@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 10: same total data over 1/2/4 nodes
+//! (throughput regression tracking; the scaling *shape* comes from
+//! `repro_fig10`, which measures per-node pipeline maxima).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dv_bench::stage::stage_ipars;
+use dv_core::{QueryOptions, Virtualizer};
+use dv_datagen::{IparsConfig, IparsLayout};
+
+fn bench_fig10(c: &mut Criterion) {
+    let sql = "SELECT * FROM IparsData WHERE TIME > 5 AND TIME < 16";
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for nodes in [1usize, 2, 4] {
+        let cfg = IparsConfig {
+            realizations: 2,
+            time_steps: 20,
+            grid_per_dir: 250,
+            dirs: 4,
+            nodes,
+            seed: 77,
+        };
+        let (base, desc) =
+            stage_ipars(&format!("bench-fig10-n{nodes}"), &cfg, IparsLayout::L0);
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        let opts = QueryOptions { sequential_nodes: true, ..Default::default() };
+        group.bench_function(format!("simulated-max-node-{nodes}"), |b| {
+            // Measure the simulated cluster time explicitly: criterion
+            // records the closure's wall time, so return-value timing
+            // is communicated via iter_custom.
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let (_, stats) = v.query_with(sql, &opts).unwrap();
+                    total += stats.simulated_parallel_time();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 11: execution time vs query size
+//! (Ipars time-range widths; Titan spatial box sides).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dv_bench::stage::{stage_ipars, stage_titan};
+use dv_core::Virtualizer;
+use dv_datagen::{IparsConfig, IparsLayout, TitanConfig};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // (a) Ipars: widen the TIME range.
+    let cfg = IparsConfig {
+        realizations: 2,
+        time_steps: 32,
+        grid_per_dir: 250,
+        dirs: 4,
+        nodes: 4,
+        seed: 311,
+    };
+    let (base, desc) = stage_ipars("bench-fig11a", &cfg, IparsLayout::L0);
+    let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+    for width in [4usize, 8, 16, 32] {
+        let sql = format!("SELECT * FROM IparsData WHERE TIME >= 1 AND TIME <= {width}");
+        group.bench_function(format!("ipars-width-{width}"), |b| {
+            b.iter(|| v.query(&sql).unwrap().0.len())
+        });
+    }
+
+    // (b) Titan: grow the spatial box.
+    let tcfg = TitanConfig { points: 100_000, tiles: (8, 8, 4), nodes: 1, seed: 606 };
+    let (tbase, tdesc) = stage_titan("bench-fig6", &tcfg); // shares the fig6 bench dataset
+    let tv = Virtualizer::builder(&tdesc).storage_base(&tbase).build().unwrap();
+    for side in [7_500i64, 15_000, 30_000, 60_000] {
+        let sql = format!(
+            "SELECT * FROM TitanData WHERE X >= 0 AND X <= {side} AND Y >= 0 AND \
+             Y <= {side} AND Z >= 0 AND Z <= 600"
+        );
+        group.bench_function(format!("titan-box-{side}"), |b| {
+            b.iter(|| tv.query(&sql).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 6: DBMS baseline vs virtualization on
+//! the five Titan queries (small configuration; the full-size numbers
+//! come from `repro_fig6`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dv_bench::queries::titan_queries;
+use dv_bench::stage::stage_titan;
+use dv_core::Virtualizer;
+use dv_datagen::TitanConfig;
+use dv_minidb::MiniDb;
+use dv_sql::UdfRegistry;
+use dv_types::Schema;
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = TitanConfig { points: 100_000, tiles: (8, 8, 4), nodes: 1, seed: 606 };
+    let (base, descriptor) = stage_titan("bench-fig6", &cfg);
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+
+    let dbdir = base.join("minidb");
+    let mut db = MiniDb::open(&dbdir, UdfRegistry::with_builtins()).unwrap();
+    if db.query("SELECT * FROM TITAN WHERE X < -1").is_err() {
+        let schema = Schema::new("TITAN", v.schema().attributes().to_vec()).unwrap();
+        db.load_table(&schema, cfg.all_rows()).unwrap();
+        db.create_index("TITAN", "X").unwrap();
+        db.create_index("TITAN", "S1").unwrap();
+    }
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for q in titan_queries("TITAN") {
+        let dv_sqltext = q.sql.replace("TITAN", "TitanData");
+        group.bench_function(format!("q{}-minidb", q.no), |b| {
+            b.iter(|| db.query(&q.sql).unwrap().0.len())
+        });
+        group.bench_function(format!("q{}-datavirt", q.no), |b| {
+            b.iter(|| v.query(&dv_sqltext).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

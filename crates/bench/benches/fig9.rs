@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 9: the range+filter query (paper's
+//! query 3) across all seven Ipars layouts, plus the hand-written L0
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dv_bench::queries::ipars_queries;
+use dv_bench::stage::stage_ipars;
+use dv_core::Virtualizer;
+use dv_datagen::{IparsConfig, IparsLayout};
+use dv_handwritten::HandIparsL0;
+use dv_sql::{bind, parse, UdfRegistry};
+
+fn small_cfg() -> IparsConfig {
+    IparsConfig {
+        realizations: 2,
+        time_steps: 20,
+        grid_per_dir: 400,
+        dirs: 2,
+        nodes: 2,
+        seed: 99,
+    }
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let queries = ipars_queries("IparsData", cfg.time_steps);
+    let q3 = &queries[2];
+
+    let mut group = c.benchmark_group("fig9-q3");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Hand-written baseline.
+    let (l0_base, l0_desc) = stage_ipars("bench-fig9-l0", &cfg, IparsLayout::L0);
+    let l0_v = Virtualizer::builder(&l0_desc).storage_base(&l0_base).build().unwrap();
+    let hand = HandIparsL0::new(l0_base, cfg.clone(), UdfRegistry::with_builtins());
+    let bq = bind(&parse(&q3.sql).unwrap(), l0_v.schema(), &UdfRegistry::with_builtins()).unwrap();
+    group.bench_function("hand-L0", |b| b.iter(|| hand.execute(&bq).unwrap().0.len()));
+
+    for layout in IparsLayout::all() {
+        let (base, desc) =
+            stage_ipars(&format!("bench-fig9-{}", layout.tag()), &cfg, layout);
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        group.bench_function(format!("generated-{}", layout.tag()), |b| {
+            b.iter(|| v.query(&q3.sql).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the building blocks: SQL parsing/binding,
+//! descriptor compilation, range analysis, R-tree queries, B+tree
+//! range scans and value decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dv_datagen::{ipars, IparsConfig, IparsLayout};
+use dv_index::{Rect, RTree};
+use dv_sql::analysis::attribute_ranges;
+use dv_sql::{bind, parse, UdfRegistry};
+use dv_types::{DataType, Value};
+
+const SQL: &str = "SELECT REL, TIME, SOIL FROM IparsData WHERE RID IN (0, 6, 26, 27) AND \
+                   TIME >= 1000 AND TIME <= 1100 AND SOIL >= 0.7 AND \
+                   SPEED(OILVX, OILVY, OILVZ) <= 30.0";
+
+fn bench_sql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro-sql");
+    group.bench_function("parse", |b| b.iter(|| parse(SQL).unwrap()));
+
+    let cfg = IparsConfig::tiny();
+    let model = dv_descriptor::compile(&ipars::descriptor(&cfg, IparsLayout::L0)).unwrap();
+    // RID isn't in the schema; use a bindable variant.
+    let bindable = SQL.replace("RID", "REL");
+    let ast = parse(&bindable).unwrap();
+    let udfs = UdfRegistry::with_builtins();
+    group.bench_function("bind", |b| b.iter(|| bind(&ast, &model.schema, &udfs).unwrap()));
+    let bq = bind(&ast, &model.schema, &udfs).unwrap();
+    group.bench_function("range-analysis", |b| {
+        b.iter(|| attribute_ranges(bq.predicate.as_ref().unwrap()).len())
+    });
+    group.finish();
+}
+
+fn bench_descriptor(c: &mut Criterion) {
+    let cfg = IparsConfig {
+        realizations: 4,
+        time_steps: 500,
+        grid_per_dir: 100,
+        dirs: 4,
+        nodes: 4,
+        seed: 1,
+    };
+    let text = ipars::descriptor(&cfg, IparsLayout::L0);
+    let mut group = c.benchmark_group("micro-descriptor");
+    group.bench_function("parse+resolve-L0-72files", |b| {
+        b.iter(|| dv_descriptor::compile(&text).unwrap().files.len())
+    });
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut entries = Vec::new();
+    for i in 0..10_000 {
+        let x = (i % 100) as f64 * 10.0;
+        let y = (i / 100) as f64 * 10.0;
+        entries.push((Rect::new(vec![x, y], vec![x + 10.0, y + 10.0]), i));
+    }
+    let tree = RTree::bulk_load(2, entries.clone());
+    let query = Rect::new(vec![300.0, 300.0], vec![420.0, 420.0]);
+    let mut group = c.benchmark_group("micro-rtree");
+    group.bench_function("bulk-load-10k", |b| {
+        b.iter(|| RTree::bulk_load(2, entries.clone()).len())
+    });
+    group.bench_function("query-selective", |b| {
+        b.iter(|| tree.query_collect(&query).len())
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    // Decode a 1 MiB buffer of packed f32s the way the extractor does.
+    let buf: Vec<u8> = (0..1_048_576u32).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("micro-decode");
+    group.bench_function("decode-f32-1MiB", |b| {
+        b.iter(|| {
+            let mut acc = 0f64;
+            for at in (0..buf.len()).step_by(4) {
+                acc += Value::decode(DataType::Float, &buf[at..]).as_f64();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql, bench_descriptor, bench_rtree, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Run the full evaluation: Figures 6, 9, 10 and 11 in sequence.
+//!
+//! ```text
+//! cargo run --release -p dv-bench --bin repro_all
+//! ```
+//!
+//! Set `DV_QUICK=1` for an ~8×-smaller smoke run.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for fig in ["repro_fig6", "repro_fig9", "repro_fig10", "repro_fig11"] {
+        println!("\n==================== {fig} ====================\n");
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("launch {fig}: {e}"));
+        if !status.success() {
+            eprintln!("{fig} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall figures reproduced.");
+}

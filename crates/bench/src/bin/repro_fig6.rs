@@ -1,0 +1,130 @@
+//! Figure 6 — PostgreSQL (minidb stand-in) vs the virtualization tool
+//! on the Titan dataset and the five Figure 7 queries.
+//!
+//! ```text
+//! cargo run --release -p dv-bench --bin repro_fig6
+//! ```
+//!
+//! Paper shape to reproduce: the DBMS needs a load step that ~3×-es
+//! the raw data; the virtualization tool wins every query except the
+//! highly selective indexed one (paper's query 4, `S1 < 0.01`), where
+//! the DBMS's B+tree makes it faster.
+
+use dv_bench::queries::titan_queries;
+use dv_bench::stage::stage_titan;
+use dv_bench::{ms, print_table, ratio, scaled, time_best_of, time_cold};
+use dv_core::Virtualizer;
+use dv_datagen::TitanConfig;
+use dv_minidb::{MiniDb, ScanKind};
+use dv_sql::UdfRegistry;
+use dv_types::Schema;
+
+fn main() {
+    let cfg = TitanConfig {
+        points: scaled(1_500_000),
+        tiles: (16, 16, 8),
+        nodes: 1,
+        seed: 60414,
+    };
+    let raw_mb = cfg.points as u64 * TitanConfig::record_bytes() / (1024 * 1024);
+    println!("# Figure 6 — DBMS baseline vs automatic virtualization (Titan)\n");
+    println!(
+        "dataset: {} measurements, {} MiB raw flat-file, {} chunks, 1 node",
+        cfg.points,
+        raw_mb,
+        cfg.tiles.0 * cfg.tiles.1 * cfg.tiles.2
+    );
+
+    // --- virtualization side: compile the descriptor, nothing moves ---
+    let (base, descriptor) = stage_titan("fig6-titan", &cfg);
+    let (v, compile_time) = time_best_of(1, || {
+        Virtualizer::builder(&descriptor).storage_base(&base).build().expect("compile")
+    });
+    println!("\nvirtualization setup: descriptor compiled in {} ms (data untouched)", ms(compile_time));
+
+    // --- DBMS side: load + index ---
+    let dbdir = base.join("minidb");
+    let mut db = MiniDb::open(&dbdir, UdfRegistry::with_builtins()).expect("open db");
+    let schema = Schema::new("TITAN", v.schema().attributes().to_vec()).unwrap();
+    let need_load = db.query("SELECT * FROM TITAN WHERE X < -1").is_err();
+    if need_load {
+        let (load, load_time) = time_best_of(1, || db.load_table(&schema, cfg.all_rows()).unwrap());
+        let (_, idx_time) = time_best_of(1, || {
+            db.create_index("TITAN", "X").unwrap();
+            db.create_index("TITAN", "Y").unwrap();
+            db.create_index("TITAN", "S1").unwrap();
+        });
+        println!(
+            "DBMS setup: COPY {} rows in {} ms + index build {} ms",
+            load.rows,
+            ms(load_time),
+            ms(idx_time)
+        );
+    } else {
+        println!("DBMS setup: reusing loaded table");
+    }
+    let tstats = db.table_stats("TITAN").unwrap();
+    println!(
+        "DBMS storage: heap {} MiB + indexes {} MiB = {} MiB ({:.1}x raw — paper: 6 GB → 18 GB = 3.0x)",
+        tstats.heap_bytes / (1024 * 1024),
+        tstats.index_bytes / (1024 * 1024),
+        tstats.total_bytes() / (1024 * 1024),
+        tstats.total_bytes() as f64 / (cfg.points as f64 * 32.0)
+    );
+
+    // --- the five queries ---
+    // Two views: measured times on this host (fast virtualized disk,
+    // lean DBMS baseline), and the times projected onto the paper's
+    // 2003 hardware regime — measured CPU time plus bytes-read at the
+    // ~40 MB/s of a period IDE disk. The projection is where the
+    // paper's 3x storage-inflation penalty shows.
+    const DISK_2003: f64 = 40.0e6; // bytes/sec
+    let mut rows = Vec::new();
+    for q in titan_queries("TITAN") {
+        let dv_sqltext = q.sql.replace("TITAN", "TitanData");
+        let ((db_table, db_stats), db_time) = time_cold(|| db.query(&q.sql).unwrap());
+        let ((dv_table, dv_stats), dv_time) = time_cold(|| v.query(&dv_sqltext).unwrap());
+        assert_eq!(db_table.len(), dv_table.len(), "q{} row count mismatch", q.no);
+        let scan = match db_stats.scan {
+            ScanKind::Seq => "seq".to_string(),
+            ScanKind::Index { attr } => format!("index({attr})"),
+        };
+        let db_proj = db_time + std::time::Duration::from_secs_f64(db_stats.bytes_read as f64 / DISK_2003);
+        let dv_proj = dv_time + std::time::Duration::from_secs_f64(dv_stats.bytes_read as f64 / DISK_2003);
+        rows.push(vec![
+            q.no.to_string(),
+            q.what.to_string(),
+            dv_table.len().to_string(),
+            scan,
+            ms(db_time),
+            ms(dv_time),
+            format!("{}", db_stats.bytes_read / (1024 * 1024)),
+            format!("{}", dv_stats.bytes_read / (1024 * 1024)),
+            ms(db_proj),
+            ms(dv_proj),
+            ratio(db_proj, dv_proj),
+        ]);
+    }
+    print_table(
+        "Figure 6 — query execution time",
+        &[
+            "#",
+            "query",
+            "rows",
+            "DBMS plan",
+            "DBMS ms",
+            "datavirt ms",
+            "DBMS MiB",
+            "dv MiB",
+            "DBMS ms (2003 disk)",
+            "dv ms (2003 disk)",
+            "DBMS/dv (2003)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected shape (paper): datavirt faster on 1, 2, 3, 5; DBMS faster on 4 \
+         (selective index). The 2003-disk projection reproduces the regime the paper \
+         measured in; see EXPERIMENTS.md."
+    );
+}

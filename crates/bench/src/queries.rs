@@ -1,0 +1,117 @@
+//! The paper's query sets, scaled to the synthetic datasets.
+//!
+//! Figure 7 (Titan) and Figure 8 (Ipars) of the paper, with literal
+//! ranges adjusted to the generators' domains so that each query keeps
+//! the selectivity role it plays in the paper (full scan / small box /
+//! UDF / selective indexed / unselective indexed; full scan / indexed
+//! subset / subset+filter / subset+UDF / remote subset).
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Paper's query number within its figure.
+    pub no: usize,
+    /// Short description, as the paper's table gives it.
+    pub what: &'static str,
+    /// SQL text.
+    pub sql: String,
+}
+
+/// Figure 7 — the five Titan queries.
+///
+/// Domain mapping: the generator draws `X, Y ∈ [0, 60000]`,
+/// `Z ∈ [0, 600]`, `S1 ∈ [0, 1)`. Query 2's box covers the same ~1/6
+/// per-axis slice as the paper's `[0, 10000]²×[0, 100]`; query 4 keeps
+/// `S1 < 0.01` (1% — index-friendly) and query 5 `S1 < 0.5` (50%).
+pub fn titan_queries(dataset: &str) -> Vec<BenchQuery> {
+    vec![
+        BenchQuery { no: 1, what: "full scan", sql: format!("SELECT * FROM {dataset}") },
+        BenchQuery {
+            no: 2,
+            what: "spatial box",
+            sql: format!(
+                "SELECT * FROM {dataset} WHERE X >= 0 AND X <= 10000 AND Y >= 0 AND \
+                 Y <= 10000 AND Z >= 0 AND Z <= 100"
+            ),
+        },
+        BenchQuery {
+            no: 3,
+            what: "DISTANCE() UDF",
+            sql: format!("SELECT * FROM {dataset} WHERE DISTANCE(X, Y, Z) < 10000.0"),
+        },
+        BenchQuery {
+            no: 4,
+            what: "S1 < 0.01 (selective)",
+            sql: format!("SELECT * FROM {dataset} WHERE S1 < 0.01"),
+        },
+        BenchQuery {
+            no: 5,
+            what: "S1 < 0.5 (unselective)",
+            sql: format!("SELECT * FROM {dataset} WHERE S1 < 0.5"),
+        },
+    ]
+}
+
+/// Figure 8 — the five Ipars queries, parameterized by the dataset's
+/// time-step count (the paper's `TIME>1000 AND TIME<1100` selects
+/// 1/10 of its 1000 steps; we select the same fraction of `t_max`).
+pub fn ipars_queries(dataset: &str, t_max: usize) -> Vec<BenchQuery> {
+    let t_lo = t_max / 2;
+    let t_hi = t_lo + t_max / 10;
+    vec![
+        BenchQuery {
+            no: 1,
+            what: "full scan of the table",
+            sql: format!("SELECT * FROM {dataset}"),
+        },
+        BenchQuery {
+            no: 2,
+            what: "subset on indexed attribute",
+            sql: format!("SELECT * FROM {dataset} WHERE TIME > {t_lo} AND TIME < {t_hi}"),
+        },
+        BenchQuery {
+            no: 3,
+            what: "subset + value filter",
+            sql: format!(
+                "SELECT * FROM {dataset} WHERE TIME > {t_lo} AND TIME < {t_hi} AND SOIL > 0.7"
+            ),
+        },
+        BenchQuery {
+            no: 4,
+            what: "subset + user-defined filter",
+            sql: format!(
+                "SELECT * FROM {dataset} WHERE TIME > {t_lo} AND TIME < {t_hi} AND \
+                 SPEED(OILVX, OILVY, OILVZ) < 30.0"
+            ),
+        },
+        BenchQuery {
+            no: 5,
+            what: "remote client subset",
+            sql: format!(
+                "SELECT * FROM {dataset} WHERE TIME > {t_lo} AND TIME < {}",
+                t_lo + t_max / 20
+            ),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_parse() {
+        for q in titan_queries("TitanData") {
+            dv_sql::parse(&q.sql).unwrap();
+        }
+        for q in ipars_queries("IparsData", 1000) {
+            dv_sql::parse(&q.sql).unwrap();
+        }
+    }
+
+    #[test]
+    fn ipars_fraction_matches_paper() {
+        let qs = ipars_queries("I", 1000);
+        assert!(qs[1].sql.contains("TIME > 500 AND TIME < 600"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Dataset staging: generate once under `target/dv-bench-data`, reuse
+//! across runs via a JSON marker of the generating configuration.
+
+use std::path::PathBuf;
+
+use dv_datagen::{ipars, titan, IparsConfig, IparsLayout, TitanConfig};
+use serde::Serialize;
+
+/// Root directory for staged benchmark datasets.
+pub fn data_root() -> PathBuf {
+    match std::env::var("DV_DATA") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => {
+            // Walk up from the crate dir to the workspace target dir.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest.parent().unwrap().parent().unwrap().join("target").join("dv-bench-data")
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct IparsMarker<'a> {
+    kind: &'a str,
+    layout: &'a str,
+    realizations: usize,
+    time_steps: usize,
+    grid_per_dir: usize,
+    dirs: usize,
+    nodes: usize,
+    seed: u64,
+}
+
+/// Stage an Ipars dataset; returns `(base_dir, descriptor_text)`.
+/// Regenerates only when the marker differs from `cfg`.
+pub fn stage_ipars(key: &str, cfg: &IparsConfig, layout: IparsLayout) -> (PathBuf, String) {
+    let base = data_root().join(key);
+    let marker_path = base.join("marker.json");
+    let marker = serde_json::to_string(&IparsMarker {
+        kind: "ipars",
+        layout: layout.tag(),
+        realizations: cfg.realizations,
+        time_steps: cfg.time_steps,
+        grid_per_dir: cfg.grid_per_dir,
+        dirs: cfg.dirs,
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+    })
+    .unwrap();
+    if std::fs::read_to_string(&marker_path).map(|m| m == marker).unwrap_or(false) {
+        return (base, ipars::descriptor(cfg, layout));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create staging dir");
+    eprintln!(
+        "[stage] generating ipars {} ({} rows, ~{} MiB) under {} ...",
+        layout.label(),
+        cfg.rows(),
+        cfg.rows() * cfg.row_bytes() / (1024 * 1024),
+        base.display()
+    );
+    let descriptor = ipars::generate(&base, cfg, layout).expect("generate ipars");
+    std::fs::write(&marker_path, marker).unwrap();
+    std::fs::write(base.join("descriptor.txt"), &descriptor).unwrap();
+    (base, descriptor)
+}
+
+#[derive(Serialize)]
+struct TitanMarker<'a> {
+    kind: &'a str,
+    points: usize,
+    tiles: (usize, usize, usize),
+    nodes: usize,
+    seed: u64,
+}
+
+/// Stage a Titan dataset; returns `(base_dir, descriptor_text)`.
+pub fn stage_titan(key: &str, cfg: &TitanConfig) -> (PathBuf, String) {
+    let base = data_root().join(key);
+    let marker_path = base.join("marker.json");
+    let marker = serde_json::to_string(&TitanMarker {
+        kind: "titan",
+        points: cfg.points,
+        tiles: cfg.tiles,
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+    })
+    .unwrap();
+    if std::fs::read_to_string(&marker_path).map(|m| m == marker).unwrap_or(false) {
+        return (base, titan::descriptor(cfg));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create staging dir");
+    eprintln!(
+        "[stage] generating titan ({} points, ~{} MiB) under {} ...",
+        cfg.points,
+        cfg.points as u64 * TitanConfig::record_bytes() / (1024 * 1024),
+        base.display()
+    );
+    let descriptor = titan::generate(&base, cfg).expect("generate titan");
+    std::fs::write(&marker_path, marker).unwrap();
+    std::fs::write(base.join("descriptor.txt"), &descriptor).unwrap();
+    (base, descriptor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_reuses_marker() {
+        let cfg = IparsConfig::tiny();
+        let key = format!("test-stage-{}", std::process::id());
+        let (base, _) = stage_ipars(&key, &cfg, IparsLayout::I);
+        let stamp = std::fs::metadata(base.join("marker.json")).unwrap().modified().unwrap();
+        // Second call must not regenerate.
+        let (_, _) = stage_ipars(&key, &cfg, IparsLayout::I);
+        let stamp2 = std::fs::metadata(base.join("marker.json")).unwrap().modified().unwrap();
+        assert_eq!(stamp, stamp2);
+        // Changed config regenerates.
+        let mut cfg2 = cfg.clone();
+        cfg2.seed += 1;
+        let (_, _) = stage_ipars(&key, &cfg2, IparsLayout::I);
+        let stamp3 = std::fs::metadata(base.join("marker.json")).unwrap().modified().unwrap();
+        assert_ne!(stamp, stamp3);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -1,0 +1,270 @@
+//! `datavirt` — command-line front end for automatic data
+//! virtualization.
+//!
+//! ```text
+//! datavirt schema   <descriptor>                      show the virtual table + file inventory
+//! datavirt fmt      <descriptor>                      print the canonical descriptor form
+//! datavirt validate <descriptor> --base <dir>         check files against the descriptor
+//! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats]
+//! datavirt explain  <descriptor> --base <dir> <SQL>   show the AFC schedule
+//! datavirt codegen  <descriptor> --base <dir>         render the generated index/extractor functions
+//! datavirt generate ipars|titan --out <dir> [--layout l0..l6] [--scale N]
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use dv_core::Virtualizer;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print!("{}", USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match args::parse(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&parsed) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+datavirt — automatic data virtualization for flat-file scientific data
+
+USAGE:
+  datavirt schema   <descriptor>
+  datavirt fmt      <descriptor>
+  datavirt validate <descriptor> --base <dir>
+  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats]
+  datavirt explain  <descriptor> --base <dir> \"<SQL>\"
+  datavirt codegen  <descriptor> --base <dir>
+  datavirt generate <ipars|titan> --out <dir> [--layout <l0..l6>] [--scale <1..>]
+";
+
+fn run(a: &args::Args) -> Result<ExitCode, String> {
+    match a.command.as_str() {
+        "schema" => cmd_schema(a),
+        "fmt" => cmd_fmt(a),
+        "validate" => cmd_validate(a),
+        "query" => cmd_query(a),
+        "explain" => cmd_explain(a),
+        "codegen" => cmd_codegen(a),
+        "generate" => cmd_generate(a),
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn read_descriptor(a: &args::Args) -> Result<String, String> {
+    let path = a.positional(0, "descriptor")?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn virtualizer(a: &args::Args) -> Result<Virtualizer, String> {
+    let text = read_descriptor(a)?;
+    let base = a.required("base")?;
+    Virtualizer::builder(&text)
+        .storage_base(base)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_schema(a: &args::Args) -> Result<ExitCode, String> {
+    let text = read_descriptor(a)?;
+    let model = dv_descriptor::compile(&text).map_err(|e| e.to_string())?;
+    println!("dataset  : {}", model.dataset_name);
+    println!("schema   : {}", model.schema.name);
+    println!("indexed  : {}", model.index_attrs.join(", "));
+    println!("nodes    : {}", model.nodes.join(", "));
+    println!("files    : {}", model.files.len());
+    println!();
+    println!("{:<12}{}", "attribute", "type");
+    for attr in model.schema.attributes() {
+        println!("{:<12}{}", attr.name, attr.dtype);
+    }
+    println!();
+    // Per-leaf-dataset file summary.
+    let mut by_dataset: Vec<(String, usize, u64)> = Vec::new();
+    for f in &model.files {
+        let size = f.expected_size(&model.attr_sizes).unwrap_or(0);
+        match by_dataset.iter_mut().find(|(n, _, _)| *n == f.dataset) {
+            Some((_, count, bytes)) => {
+                *count += 1;
+                *bytes += size;
+            }
+            None => by_dataset.push((f.dataset.clone(), 1, size)),
+        }
+    }
+    println!("{:<16}{:>8}{:>16}", "leaf dataset", "files", "bytes");
+    for (name, count, bytes) in by_dataset {
+        let shown = if bytes == 0 { "(chunked)".to_string() } else { bytes.to_string() };
+        println!("{name:<16}{count:>8}{shown:>16}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fmt(a: &args::Args) -> Result<ExitCode, String> {
+    let text = read_descriptor(a)?;
+    let ast = dv_descriptor::parse_descriptor(&text).map_err(|e| e.to_string())?;
+    print!("{}", dv_descriptor::render(&ast));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_validate(a: &args::Args) -> Result<ExitCode, String> {
+    let v = virtualizer(a)?;
+    let issues = v.verify_files();
+    if issues.is_empty() {
+        println!(
+            "ok: {} files on {} node(s) match the descriptor",
+            v.model().files.len(),
+            v.model().node_count()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for issue in &issues {
+            eprintln!("{issue}");
+        }
+        eprintln!("{} issue(s) found", issues.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
+    let v = virtualizer(a)?;
+    let sql = a.positional(1, "SQL")?;
+    let limit: usize = a
+        .option_or("limit", "0")
+        .parse()
+        .map_err(|_| "--limit must be an integer".to_string())?;
+    let (table, stats) = v.query(sql).map_err(|e| e.to_string())?;
+    match a.option_or("format", "table") {
+        "csv" => {
+            let names: Vec<&str> =
+                table.schema.attributes().iter().map(|c| c.name.as_str()).collect();
+            println!("{}", names.join(","));
+            for row in limited(&table.rows, limit) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("{}", cells.join(","));
+            }
+        }
+        "table" => {
+            let names: Vec<&str> =
+                table.schema.attributes().iter().map(|c| c.name.as_str()).collect();
+            println!("{}", names.join(" | "));
+            for row in limited(&table.rows, limit) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("{}", cells.join(" | "));
+            }
+            if limit != 0 && table.rows.len() > limit {
+                println!("... ({} rows total)", table.rows.len());
+            }
+        }
+        other => return Err(format!("unknown --format `{other}` (table|csv)")),
+    }
+    if a.has("stats") {
+        eprintln!(
+            "rows: {} selected / {} scanned; bytes read: {}; AFCs: {}; plan: {:?}; exec: {:?}",
+            stats.rows_selected,
+            stats.rows_scanned,
+            stats.bytes_read,
+            stats.afcs,
+            stats.plan_time,
+            stats.exec_time
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn limited(rows: &[dv_core::Row], limit: usize) -> &[dv_core::Row] {
+    if limit == 0 || rows.len() <= limit {
+        rows
+    } else {
+        &rows[..limit]
+    }
+}
+
+fn cmd_explain(a: &args::Args) -> Result<ExitCode, String> {
+    let v = virtualizer(a)?;
+    let sql = a.positional(1, "SQL")?;
+    print!("{}", v.explain(sql).map_err(|e| e.to_string())?);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_codegen(a: &args::Args) -> Result<ExitCode, String> {
+    let v = virtualizer(a)?;
+    print!("{}", v.render_generated_code());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_generate(a: &args::Args) -> Result<ExitCode, String> {
+    let kind = a.positional(0, "dataset kind (ipars|titan)")?;
+    let out = std::path::PathBuf::from(a.required("out")?);
+    let scale: usize = a
+        .option_or("scale", "1")
+        .parse()
+        .map_err(|_| "--scale must be an integer".to_string())?;
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    match kind {
+        "ipars" => {
+            let layout = match a.option_or("layout", "l0") {
+                "l0" => dv_datagen::IparsLayout::L0,
+                "l1" => dv_datagen::IparsLayout::I,
+                "l2" => dv_datagen::IparsLayout::II,
+                "l3" => dv_datagen::IparsLayout::III,
+                "l4" => dv_datagen::IparsLayout::IV,
+                "l5" => dv_datagen::IparsLayout::V,
+                "l6" => dv_datagen::IparsLayout::VI,
+                other => return Err(format!("unknown --layout `{other}` (l0..l6)")),
+            };
+            let cfg = dv_datagen::IparsConfig {
+                realizations: 4,
+                time_steps: 50,
+                grid_per_dir: 250 * scale,
+                dirs: 4,
+                nodes: 4,
+                seed: 42,
+            };
+            let descriptor =
+                dv_datagen::ipars::generate(&out, &cfg, layout).map_err(|e| e.to_string())?;
+            let desc_path = out.join("ipars.desc");
+            std::fs::write(&desc_path, &descriptor).map_err(|e| e.to_string())?;
+            println!(
+                "generated {} rows ({} layout) under {}; descriptor: {}",
+                cfg.rows(),
+                layout.label(),
+                out.display(),
+                desc_path.display()
+            );
+        }
+        "titan" => {
+            let cfg = dv_datagen::TitanConfig {
+                points: 100_000 * scale,
+                tiles: (8, 8, 4),
+                nodes: 1,
+                seed: 42,
+            };
+            let descriptor =
+                dv_datagen::titan::generate(&out, &cfg).map_err(|e| e.to_string())?;
+            let desc_path = out.join("titan.desc");
+            std::fs::write(&desc_path, &descriptor).map_err(|e| e.to_string())?;
+            println!(
+                "generated {} measurements under {}; descriptor: {}",
+                cfg.points,
+                out.display(),
+                desc_path.display()
+            );
+        }
+        other => return Err(format!("unknown dataset kind `{other}` (ipars|titan)")),
+    }
+    Ok(ExitCode::SUCCESS)
+}

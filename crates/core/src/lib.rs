@@ -1,0 +1,234 @@
+//! # dv-core — automatic data virtualization
+//!
+//! The public façade of `datavirt`, a Rust reproduction of
+//! *"An Approach for Automatic Data Virtualization"* (Weng, Agrawal,
+//! Catalyurek, Kurc, Narayanan, Saltz — HPDC 2004).
+//!
+//! Given a **meta-data descriptor** (schema + storage + layout of a
+//! flat-file scientific dataset), a [`Virtualizer`] compiles the
+//! descriptor once and then answers **SQL subset queries**
+//! (`SELECT`/`WHERE` with ranges, `IN` lists and user-defined filter
+//! functions) as if the dataset were a relational table — without
+//! loading or converting any data.
+//!
+//! ```no_run
+//! use dv_core::Virtualizer;
+//!
+//! let descriptor = std::fs::read_to_string("ipars.desc").unwrap();
+//! let v = Virtualizer::builder(&descriptor)
+//!     .storage_base("/data")          // node dirs live under /data/<node>
+//!     .udf("SPEED", Some(3), |a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt())
+//!     .build()
+//!     .unwrap();
+//!
+//! let (table, stats) = v
+//!     .query("SELECT * FROM IparsData WHERE TIME >= 1000 AND TIME <= 1100 AND SOIL > 0.7")
+//!     .unwrap();
+//! println!("{table}");
+//! println!("read {} bytes in {:?}", stats.bytes_read, stats.total_time());
+//! ```
+//!
+//! Lower layers are re-exported for advanced use: descriptor model
+//! inspection ([`dv_descriptor`]), plan inspection and rendering
+//! ([`dv_layout`]), and the STORM-style runtime ([`dv_storm`]).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub use dv_descriptor::DatasetModel;
+pub use dv_layout::{CompiledDataset, FileIssue, QueryPlan};
+pub use dv_sql::{BoundQuery, UdfRegistry};
+pub use dv_storm::{BandwidthModel, PartitionStrategy, QueryOptions, QueryStats, StormServer};
+pub use dv_types::{DvError, Result, Row, Schema, Table, Value};
+
+/// Builder for a [`Virtualizer`].
+pub struct VirtualizerBuilder {
+    descriptor: String,
+    storage_base: Option<PathBuf>,
+    explicit_roots: Option<Vec<PathBuf>>,
+    udfs: UdfRegistry,
+}
+
+impl VirtualizerBuilder {
+    /// Map every cluster node name `n` to `<base>/<n>` (the layout the
+    /// generators and most deployments use).
+    pub fn storage_base(mut self, base: impl AsRef<Path>) -> Self {
+        self.storage_base = Some(base.as_ref().to_path_buf());
+        self
+    }
+
+    /// Explicit per-node storage roots (`roots[i]` hosts node `i`).
+    pub fn storage_roots(mut self, roots: Vec<PathBuf>) -> Self {
+        self.explicit_roots = Some(roots);
+        self
+    }
+
+    /// Register a user-defined filter function.
+    pub fn udf(
+        mut self,
+        name: &str,
+        arity: Option<usize>,
+        f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        self.udfs.register(name, arity, f);
+        self
+    }
+
+    /// Register a UDF together with implicit argument attributes for
+    /// bare calls like `Speed()`.
+    pub fn udf_with_implicit_args(
+        mut self,
+        name: &str,
+        arity: Option<usize>,
+        implicit_args: Vec<String>,
+        f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        self.udfs.register_with_implicit_args(name, arity, implicit_args, f);
+        self
+    }
+
+    /// Compile the descriptor and start the per-node services.
+    pub fn build(self) -> Result<Virtualizer> {
+        let model = Arc::new(dv_descriptor::compile(&self.descriptor)?);
+        let roots = match (self.explicit_roots, self.storage_base) {
+            (Some(roots), _) => roots,
+            (None, Some(base)) => model.nodes.iter().map(|n| base.join(n)).collect(),
+            (None, None) => {
+                return Err(DvError::Runtime(
+                    "set storage_base(...) or storage_roots(...) before build()".into(),
+                ))
+            }
+        };
+        let compiled = Arc::new(CompiledDataset::compile(model, roots)?);
+        let server = StormServer::new(compiled, self.udfs);
+        Ok(Virtualizer { server })
+    }
+}
+
+/// A compiled, queryable virtual table over flat-file data.
+pub struct Virtualizer {
+    server: StormServer,
+}
+
+impl Virtualizer {
+    /// Start building a virtualizer from descriptor text. `SPEED` and
+    /// `DISTANCE` (the paper's example filters) are pre-registered.
+    pub fn builder(descriptor: &str) -> VirtualizerBuilder {
+        VirtualizerBuilder {
+            descriptor: descriptor.to_string(),
+            storage_base: None,
+            explicit_roots: None,
+            udfs: UdfRegistry::with_builtins(),
+        }
+    }
+
+    /// The virtual table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.server.model().schema
+    }
+
+    /// The resolved dataset model (files, implicit extents, layouts).
+    pub fn model(&self) -> &DatasetModel {
+        self.server.model()
+    }
+
+    /// Execute a query for a single local client.
+    pub fn query(&self, sql: &str) -> Result<(Table, QueryStats)> {
+        self.server.execute_table(sql)
+    }
+
+    /// Execute with full options (partitioning, remote-client
+    /// bandwidth, intra-node threads).
+    pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<(Vec<Table>, QueryStats)> {
+        self.server.execute(sql, opts)
+    }
+
+    /// Render the generated index/extractor functions as source text
+    /// (what the paper's compiler would have emitted as C++).
+    pub fn render_generated_code(&self) -> String {
+        dv_layout::codegen::render_compiled(self.server.compiled())
+    }
+
+    /// Render the AFC schedule of a query (debugging / inspection).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let bq = self.server.bind_sql(sql)?;
+        let plan = self.server.compiled().plan_query(&bq)?;
+        Ok(dv_layout::codegen::render_plan(self.server.compiled(), &plan))
+    }
+
+    /// Validate the descriptor against the files on disk; returns all
+    /// discrepancies (missing files, size mismatches, chunk overruns).
+    pub fn verify_files(&self) -> Vec<FileIssue> {
+        self.server.compiled().verify_files()
+    }
+
+    /// Access the underlying STORM server (advanced use).
+    pub fn server(&self) -> &StormServer {
+        &self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_datagen::{ipars, IparsConfig, IparsLayout};
+
+    fn setup(tag: &str) -> (PathBuf, String) {
+        let base = std::env::temp_dir().join(format!("dv-core-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let cfg = IparsConfig::tiny();
+        let desc = ipars::generate(&base, &cfg, IparsLayout::V).unwrap();
+        (base, desc)
+    }
+
+    #[test]
+    fn end_to_end_facade() {
+        let (base, desc) = setup("e2e");
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        assert_eq!(v.schema().len(), 22);
+        let (table, stats) =
+            v.query("SELECT REL, TIME, SOIL FROM IparsData WHERE SOIL > 0.5").unwrap();
+        assert!(stats.rows_scanned > 0);
+        assert!(table.len() < stats.rows_scanned as usize);
+        for row in &table.rows {
+            assert!(row[2].as_f64() > 0.5);
+        }
+    }
+
+    #[test]
+    fn builder_requires_storage() {
+        let (_base, desc) = setup("nostorage");
+        assert!(Virtualizer::builder(&desc).build().is_err());
+    }
+
+    #[test]
+    fn custom_udf() {
+        let (base, desc) = setup("udf");
+        let v = Virtualizer::builder(&desc)
+            .storage_base(&base)
+            .udf("HALF", Some(1), |a| a[0] / 2.0)
+            .build()
+            .unwrap();
+        let (table, _) = v.query("SELECT SOIL FROM IparsData WHERE HALF(SOIL) > 0.25").unwrap();
+        for row in &table.rows {
+            assert!(row[0].as_f64() > 0.5);
+        }
+    }
+
+    #[test]
+    fn explain_and_codegen_render() {
+        let (base, desc) = setup("explain");
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        let code = v.render_generated_code();
+        assert!(code.contains("index_function"));
+        let plan = v.explain("SELECT * FROM IparsData WHERE TIME = 1").unwrap();
+        assert!(plan.contains("working row"));
+    }
+
+    #[test]
+    fn bad_descriptor_reported() {
+        let err = Virtualizer::builder("not a descriptor").storage_base("/tmp").build();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic value derivation.
+//!
+//! Every synthetic cell value is `h(seed, key...)` for a fixed mixing
+//! function, so a value depends only on its logical coordinates —
+//! never on generation order or layout. This is what lets seven
+//! different physical layouts hold byte-identical logical tables.
+
+/// splitmix64 finalizer — a fast, well-distributed 64-bit mixer.
+#[inline]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combine a seed and up to four coordinates into one hash.
+#[inline]
+pub fn combine(seed: u64, a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut h = mix(seed ^ 0xD1B5_4A32_D192_ED03);
+    h = mix(h ^ a);
+    h = mix(h ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = mix(h ^ c.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    h = mix(h ^ d.wrapping_mul(0x1656_67B1_9E37_79F9));
+    h
+}
+
+/// Uniform value in `[0, 1)` derived from a hash.
+#[inline]
+pub fn unit(h: u64) -> f64 {
+    // 53 high bits → [0,1) double.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform value in `[lo, hi)`.
+#[inline]
+pub fn uniform(h: u64, lo: f64, hi: f64) -> f64 {
+    lo + unit(h) * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(42), mix(43));
+        // Nearby inputs differ in many bits.
+        let a = mix(1000);
+        let b = mix(1001);
+        assert!((a ^ b).count_ones() > 16);
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for i in 0..10_000u64 {
+            let u = unit(mix(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| unit(mix(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn combine_order_sensitivity() {
+        assert_ne!(combine(1, 2, 3, 4, 5), combine(1, 3, 2, 4, 5));
+        assert_ne!(combine(1, 2, 3, 4, 5), combine(2, 2, 3, 4, 5));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        for i in 0..1000u64 {
+            let v = uniform(mix(i), -50.0, 50.0);
+            assert!((-50.0..50.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! IPARS oil-reservoir dataset generator — all seven layouts of the
+//! paper's Figure 9 experiment, with matching descriptors.
+//!
+//! The logical table is fixed by the configuration: `R` realizations ×
+//! `T` time-steps × (`D` directories × `G` grid points). Attributes:
+//!
+//! * `REL` (short), `TIME` (int) — dimensional, often implicit;
+//! * `X, Y, Z` (float) — grid coordinates, stored once per grid point;
+//! * 17 per-cell variables (float): saturations (`SOIL`, `SGAS`,
+//!   `SWAT`), phase velocities (`OILVX..WATVZ`), pressures
+//!   (`POIL/PGAS/PWAT`), concentrations (`COIL/CGAS`) — matching the
+//!   paper's "value of seventeen separate variables ... for each cell"
+//!   (§2.2).
+//!
+//! Layouts (paper §5):
+//!
+//! * **L0** — the original application layout: every attribute in a
+//!   different file (COORDS + 17 variable files per realization; the
+//!   paper's "18 different files per aligned file chunk");
+//! * **I**  — one file per directory, tuples as records, time-major;
+//! * **II** — one file, each time-step a chunk, variables as arrays;
+//! * **III**— one file per (realization, time-step), records;
+//! * **IV** — one file per (realization, time-step), arrays;
+//! * **V**  — 7 files: coordinates + 17 variables split 3/3/3/3/3/2,
+//!   records;
+//! * **VI** — same 7 files, variables as arrays.
+
+use std::fmt::Write as _;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use dv_types::{DvError, Result, Value};
+
+use crate::hash::{combine, uniform};
+
+/// The 17 per-cell variables, in schema order after X/Y/Z.
+pub const VARS: [&str; 17] = [
+    "SOIL", "SGAS", "SWAT", "OILVX", "OILVY", "OILVZ", "GASVX", "GASVY", "GASVZ", "WATVX",
+    "WATVY", "WATVZ", "POIL", "PGAS", "PWAT", "COIL", "CGAS",
+];
+
+/// Variable groups for layouts V/VI (3+3+3+3+3+2).
+pub const VAR_GROUPS: [&[usize]; 6] =
+    [&[0, 1, 2], &[3, 4, 5], &[6, 7, 8], &[9, 10, 11], &[12, 13, 14], &[15, 16]];
+
+/// Physical layout to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IparsLayout {
+    /// Original: every attribute in a different file.
+    L0,
+    /// One file, records, time-sorted.
+    I,
+    /// One file, per-time chunks, variables as arrays.
+    II,
+    /// One file per time-step, records.
+    III,
+    /// One file per time-step, variables as arrays.
+    IV,
+    /// Seven files (coords + 6 variable groups), records.
+    V,
+    /// Seven files, variables as arrays.
+    VI,
+}
+
+impl IparsLayout {
+    /// All layouts in the order Figure 9 charts them.
+    pub fn all() -> [IparsLayout; 7] {
+        [
+            IparsLayout::L0,
+            IparsLayout::I,
+            IparsLayout::II,
+            IparsLayout::III,
+            IparsLayout::IV,
+            IparsLayout::V,
+            IparsLayout::VI,
+        ]
+    }
+
+    /// Short tag used in directory names and chart labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            IparsLayout::L0 => "l0",
+            IparsLayout::I => "l1",
+            IparsLayout::II => "l2",
+            IparsLayout::III => "l3",
+            IparsLayout::IV => "l4",
+            IparsLayout::V => "l5",
+            IparsLayout::VI => "l6",
+        }
+    }
+
+    /// Label as the paper writes it.
+    pub fn label(self) -> &'static str {
+        match self {
+            IparsLayout::L0 => "L0",
+            IparsLayout::I => "Layout I",
+            IparsLayout::II => "Layout II",
+            IparsLayout::III => "Layout III",
+            IparsLayout::IV => "Layout IV",
+            IparsLayout::V => "Layout V",
+            IparsLayout::VI => "Layout VI",
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct IparsConfig {
+    /// Number of realizations (`REL` values `0..R`).
+    pub realizations: usize,
+    /// Number of time-steps (`TIME` values `1..=T`).
+    pub time_steps: usize,
+    /// Grid points per directory.
+    pub grid_per_dir: usize,
+    /// Number of directories (grid partitions).
+    pub dirs: usize,
+    /// Number of cluster nodes; directory `d` lives on node
+    /// `d % nodes`.
+    pub nodes: usize,
+    /// Value-derivation seed.
+    pub seed: u64,
+}
+
+impl IparsConfig {
+    /// A tiny configuration for unit tests (48 logical rows).
+    pub fn tiny() -> IparsConfig {
+        IparsConfig {
+            realizations: 2,
+            time_steps: 3,
+            grid_per_dir: 4,
+            dirs: 2,
+            nodes: 2,
+            seed: 7,
+        }
+    }
+
+    /// Total logical rows of the virtual table.
+    pub fn rows(&self) -> u64 {
+        (self.realizations * self.time_steps * self.grid_per_dir * self.dirs) as u64
+    }
+
+    /// Bytes of one full logical row (2 + 4 + 20×4).
+    pub fn row_bytes(&self) -> u64 {
+        86
+    }
+
+    /// Grid coordinates of global (1-based) grid point `g`: points are
+    /// laid out on a 50×50×∞ lattice.
+    pub fn coord(g: u64) -> (f32, f32, f32) {
+        let i = g - 1;
+        ((i % 50) as f32, ((i / 50) % 50) as f32, (i / 2500) as f32)
+    }
+
+    /// Value of variable `var` (index into [`VARS`]) at
+    /// `(rel, time, g)`. Pure function of coordinates:
+    /// saturations ∈ [0,1), velocities ∈ [-50,50), pressures ∈
+    /// [0,10000), concentrations ∈ [0,1).
+    pub fn var_value(&self, rel: u64, time: u64, g: u64, var: usize) -> f32 {
+        let h = combine(self.seed, rel, time, g, var as u64);
+        let v = match var {
+            0..=2 => uniform(h, 0.0, 1.0),
+            3..=11 => uniform(h, -50.0, 50.0),
+            12..=14 => uniform(h, 0.0, 10_000.0),
+            _ => uniform(h, 0.0, 1.0),
+        };
+        v as f32
+    }
+
+    /// The full logical row at `(rel, time, g)` in schema order.
+    pub fn row_at(&self, rel: u64, time: u64, g: u64) -> Vec<Value> {
+        let (x, y, z) = Self::coord(g);
+        let mut row = Vec::with_capacity(22);
+        row.push(Value::Short(rel as i16));
+        row.push(Value::Int(time as i32));
+        row.push(Value::Float(x));
+        row.push(Value::Float(y));
+        row.push(Value::Float(z));
+        for v in 0..VARS.len() {
+            row.push(Value::Float(self.var_value(rel, time, g, v)));
+        }
+        row
+    }
+
+    /// Iterate every logical row (REL-major, then TIME, then grid).
+    pub fn all_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        let total_grid = (self.grid_per_dir * self.dirs) as u64;
+        (0..self.realizations as u64).flat_map(move |rel| {
+            (1..=self.time_steps as u64).flat_map(move |t| {
+                (1..=total_grid).map(move |g| self.row_at(rel, t, g))
+            })
+        })
+    }
+
+    /// The schema component shared by all layouts.
+    pub fn schema_text(&self) -> String {
+        let mut s = String::from("[IPARS]\nREL = short int\nTIME = int\nX = float\nY = float\nZ = float\n");
+        for v in VARS {
+            let _ = writeln!(s, "{v} = float");
+        }
+        s
+    }
+
+    fn node_of(&self, dir: usize) -> usize {
+        dir % self.nodes
+    }
+
+    /// Storage component for a layout.
+    fn storage_text(&self, tag: &str) -> String {
+        let mut s = String::from("[IparsData]\nDatasetDescription = IPARS\n");
+        for d in 0..self.dirs {
+            let _ = writeln!(s, "DIR[{d}] = osu{}/ipars.{tag}.d{d}", self.node_of(d));
+        }
+        s
+    }
+
+    fn grid_bounds(&self) -> String {
+        let g = self.grid_per_dir;
+        format!("($DIRID*{g}+1):(($DIRID+1)*{g}):1")
+    }
+}
+
+/// One directory's writer context.
+struct DirCtx {
+    path: std::path::PathBuf,
+    g_lo: u64,
+    g_hi: u64,
+}
+
+/// Generate the dataset in `layout` under `base` and return the
+/// descriptor text. Files land in `base/osu<node>/ipars.<tag>.d<dir>/`.
+pub fn generate(base: &Path, cfg: &IparsConfig, layout: IparsLayout) -> Result<String> {
+    if cfg.dirs % cfg.nodes != 0 {
+        return Err(DvError::Runtime(format!(
+            "ipars: dirs ({}) must be a multiple of nodes ({})",
+            cfg.dirs, cfg.nodes
+        )));
+    }
+    let tag = layout.tag();
+    let mut dirs = Vec::with_capacity(cfg.dirs);
+    for d in 0..cfg.dirs {
+        let path = base.join(format!("osu{}", cfg.node_of(d))).join(format!("ipars.{tag}.d{d}"));
+        fs::create_dir_all(&path).map_err(|e| DvError::io(path.display().to_string(), e))?;
+        dirs.push(DirCtx {
+            path,
+            g_lo: (d * cfg.grid_per_dir) as u64 + 1,
+            g_hi: ((d + 1) * cfg.grid_per_dir) as u64,
+        });
+    }
+    match layout {
+        IparsLayout::L0 => gen_l0(cfg, &dirs)?,
+        IparsLayout::I => gen_record_single(cfg, &dirs)?,
+        IparsLayout::II => gen_array_single(cfg, &dirs)?,
+        IparsLayout::III => gen_per_time(cfg, &dirs, false)?,
+        IparsLayout::IV => gen_per_time(cfg, &dirs, true)?,
+        IparsLayout::V => gen_grouped(cfg, &dirs, false)?,
+        IparsLayout::VI => gen_grouped(cfg, &dirs, true)?,
+    }
+    Ok(descriptor(cfg, layout))
+}
+
+struct W(BufWriter<File>);
+
+impl W {
+    fn create(path: &Path) -> Result<W> {
+        Ok(W(BufWriter::new(
+            File::create(path).map_err(|e| DvError::io(path.display().to_string(), e))?,
+        )))
+    }
+    #[inline]
+    fn f32(&mut self, v: f32) -> Result<()> {
+        self.0.write_all(&v.to_le_bytes()).map_err(|e| DvError::io("<ipars>", e))
+    }
+    fn done(mut self) -> Result<()> {
+        self.0.flush().map_err(|e| DvError::io("<ipars>", e))
+    }
+}
+
+/// L0: COORDS + one file per (variable, realization).
+fn gen_l0(cfg: &IparsConfig, dirs: &[DirCtx]) -> Result<()> {
+    for d in dirs {
+        let mut w = W::create(&d.path.join("COORDS"))?;
+        for g in d.g_lo..=d.g_hi {
+            let (x, y, z) = IparsConfig::coord(g);
+            w.f32(x)?;
+            w.f32(y)?;
+            w.f32(z)?;
+        }
+        w.done()?;
+        for (vi, vname) in VARS.iter().enumerate() {
+            for rel in 0..cfg.realizations as u64 {
+                let name = format!("{}.r{rel}.dat", vname.to_ascii_lowercase());
+                let mut w = W::create(&d.path.join(name))?;
+                for t in 1..=cfg.time_steps as u64 {
+                    for g in d.g_lo..=d.g_hi {
+                        w.f32(cfg.var_value(rel, t, g, vi))?;
+                    }
+                }
+                w.done()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Layout I: one file per dir, full records, REL/TIME implicit.
+fn gen_record_single(cfg: &IparsConfig, dirs: &[DirCtx]) -> Result<()> {
+    for d in dirs {
+        let mut w = W::create(&d.path.join("all.dat"))?;
+        for rel in 0..cfg.realizations as u64 {
+            for t in 1..=cfg.time_steps as u64 {
+                for g in d.g_lo..=d.g_hi {
+                    let (x, y, z) = IparsConfig::coord(g);
+                    w.f32(x)?;
+                    w.f32(y)?;
+                    w.f32(z)?;
+                    for vi in 0..VARS.len() {
+                        w.f32(cfg.var_value(rel, t, g, vi))?;
+                    }
+                }
+            }
+        }
+        w.done()?;
+    }
+    Ok(())
+}
+
+/// Layout II: one file per dir, per-(rel,time) chunks of per-variable
+/// arrays.
+fn gen_array_single(cfg: &IparsConfig, dirs: &[DirCtx]) -> Result<()> {
+    for d in dirs {
+        let mut w = W::create(&d.path.join("all.dat"))?;
+        for rel in 0..cfg.realizations as u64 {
+            for t in 1..=cfg.time_steps as u64 {
+                for g in d.g_lo..=d.g_hi {
+                    w.f32(IparsConfig::coord(g).0)?;
+                }
+                for g in d.g_lo..=d.g_hi {
+                    w.f32(IparsConfig::coord(g).1)?;
+                }
+                for g in d.g_lo..=d.g_hi {
+                    w.f32(IparsConfig::coord(g).2)?;
+                }
+                for vi in 0..VARS.len() {
+                    for g in d.g_lo..=d.g_hi {
+                        w.f32(cfg.var_value(rel, t, g, vi))?;
+                    }
+                }
+            }
+        }
+        w.done()?;
+    }
+    Ok(())
+}
+
+/// Layouts III/IV: one file per (rel, time); records or arrays.
+fn gen_per_time(cfg: &IparsConfig, dirs: &[DirCtx], arrays: bool) -> Result<()> {
+    for d in dirs {
+        for rel in 0..cfg.realizations as u64 {
+            for t in 1..=cfg.time_steps as u64 {
+                let mut w = W::create(&d.path.join(format!("r{rel}.t{t}.dat")))?;
+                if arrays {
+                    for g in d.g_lo..=d.g_hi {
+                        w.f32(IparsConfig::coord(g).0)?;
+                    }
+                    for g in d.g_lo..=d.g_hi {
+                        w.f32(IparsConfig::coord(g).1)?;
+                    }
+                    for g in d.g_lo..=d.g_hi {
+                        w.f32(IparsConfig::coord(g).2)?;
+                    }
+                    for vi in 0..VARS.len() {
+                        for g in d.g_lo..=d.g_hi {
+                            w.f32(cfg.var_value(rel, t, g, vi))?;
+                        }
+                    }
+                } else {
+                    for g in d.g_lo..=d.g_hi {
+                        let (x, y, z) = IparsConfig::coord(g);
+                        w.f32(x)?;
+                        w.f32(y)?;
+                        w.f32(z)?;
+                        for vi in 0..VARS.len() {
+                            w.f32(cfg.var_value(rel, t, g, vi))?;
+                        }
+                    }
+                }
+                w.done()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Layouts V/VI: COORDS + 6 variable-group files.
+fn gen_grouped(cfg: &IparsConfig, dirs: &[DirCtx], arrays: bool) -> Result<()> {
+    for d in dirs {
+        let mut w = W::create(&d.path.join("COORDS"))?;
+        for g in d.g_lo..=d.g_hi {
+            let (x, y, z) = IparsConfig::coord(g);
+            w.f32(x)?;
+            w.f32(y)?;
+            w.f32(z)?;
+        }
+        w.done()?;
+        for (gi, group) in VAR_GROUPS.iter().enumerate() {
+            let mut w = W::create(&d.path.join(format!("grp{gi}.dat")))?;
+            for rel in 0..cfg.realizations as u64 {
+                for t in 1..=cfg.time_steps as u64 {
+                    if arrays {
+                        for &vi in group.iter() {
+                            for g in d.g_lo..=d.g_hi {
+                                w.f32(cfg.var_value(rel, t, g, vi))?;
+                            }
+                        }
+                    } else {
+                        for g in d.g_lo..=d.g_hi {
+                            for &vi in group.iter() {
+                                w.f32(cfg.var_value(rel, t, g, vi))?;
+                            }
+                        }
+                    }
+                }
+            }
+            w.done()?;
+        }
+    }
+    Ok(())
+}
+
+/// Build the descriptor text for a layout.
+pub fn descriptor(cfg: &IparsConfig, layout: IparsLayout) -> String {
+    let tag = layout.tag();
+    let r_hi = cfg.realizations - 1;
+    let t_hi = cfg.time_steps;
+    let d_hi = cfg.dirs - 1;
+    let gb = cfg.grid_bounds();
+    let all_vars = VARS.join(" ");
+
+    let mut s = cfg.schema_text();
+    s.push('\n');
+    s.push_str(&cfg.storage_text(tag));
+    s.push('\n');
+    let _ = writeln!(s, "DATASET \"IparsData\" {{");
+    let _ = writeln!(s, "  DATATYPE {{ IPARS }}");
+    let _ = writeln!(s, "  DATAINDEX {{ REL TIME }}");
+    match layout {
+        IparsLayout::L0 => {
+            let mut names = vec!["coords".to_string()];
+            names.extend(VARS.iter().map(|v| format!("var_{}", v.to_ascii_lowercase())));
+            let list: Vec<String> = names.iter().map(|n| format!("DATASET {n}")).collect();
+            let _ = writeln!(s, "  DATA {{ {} }}", list.join(" "));
+            let _ = writeln!(s, "  DATASET \"coords\" {{");
+            let _ = writeln!(s, "    DATASPACE {{ LOOP GRID {gb} {{ X Y Z }} }}");
+            let _ = writeln!(s, "    DATA {{ DIR[$DIRID]/COORDS DIRID = 0:{d_hi}:1 }}");
+            let _ = writeln!(s, "  }}");
+            for v in VARS {
+                let lower = v.to_ascii_lowercase();
+                let _ = writeln!(s, "  DATASET \"var_{lower}\" {{");
+                let _ = writeln!(
+                    s,
+                    "    DATASPACE {{ LOOP TIME 1:{t_hi}:1 {{ LOOP GRID {gb} {{ {v} }} }} }}"
+                );
+                let _ = writeln!(
+                    s,
+                    "    DATA {{ DIR[$DIRID]/{lower}.r$REL.dat REL = 0:{r_hi}:1 DIRID = 0:{d_hi}:1 }}"
+                );
+                let _ = writeln!(s, "  }}");
+            }
+        }
+        IparsLayout::I => {
+            let _ = writeln!(s, "  DATA {{ DATASET all }}");
+            let _ = writeln!(s, "  DATASET \"all\" {{");
+            let _ = writeln!(
+                s,
+                "    DATASPACE {{ LOOP REL 0:{r_hi}:1 {{ LOOP TIME 1:{t_hi}:1 {{ LOOP GRID {gb} {{ X Y Z {all_vars} }} }} }} }}"
+            );
+            let _ = writeln!(s, "    DATA {{ DIR[$DIRID]/all.dat DIRID = 0:{d_hi}:1 }}");
+            let _ = writeln!(s, "  }}");
+        }
+        IparsLayout::II => {
+            let arrays: Vec<String> = ["X", "Y", "Z"]
+                .iter()
+                .copied()
+                .chain(VARS)
+                .map(|v| format!("LOOP GRID {gb} {{ {v} }}"))
+                .collect();
+            let _ = writeln!(s, "  DATA {{ DATASET all }}");
+            let _ = writeln!(s, "  DATASET \"all\" {{");
+            let _ = writeln!(
+                s,
+                "    DATASPACE {{ LOOP REL 0:{r_hi}:1 {{ LOOP TIME 1:{t_hi}:1 {{ {} }} }} }}",
+                arrays.join(" ")
+            );
+            let _ = writeln!(s, "    DATA {{ DIR[$DIRID]/all.dat DIRID = 0:{d_hi}:1 }}");
+            let _ = writeln!(s, "  }}");
+        }
+        IparsLayout::III | IparsLayout::IV => {
+            let body = if layout == IparsLayout::III {
+                format!("LOOP GRID {gb} {{ X Y Z {all_vars} }}")
+            } else {
+                let arrays: Vec<String> = ["X", "Y", "Z"]
+                    .iter()
+                    .copied()
+                    .chain(VARS)
+                    .map(|v| format!("LOOP GRID {gb} {{ {v} }}"))
+                    .collect();
+                arrays.join(" ")
+            };
+            let _ = writeln!(s, "  DATA {{ DATASET steps }}");
+            let _ = writeln!(s, "  DATASET \"steps\" {{");
+            let _ = writeln!(s, "    DATASPACE {{ {body} }}");
+            let _ = writeln!(
+                s,
+                "    DATA {{ DIR[$DIRID]/r$REL.t$TIME.dat REL = 0:{r_hi}:1 TIME = 1:{t_hi}:1 DIRID = 0:{d_hi}:1 }}"
+            );
+            let _ = writeln!(s, "  }}");
+        }
+        IparsLayout::V | IparsLayout::VI => {
+            let mut names = vec!["coords".to_string()];
+            names.extend((0..VAR_GROUPS.len()).map(|i| format!("grp{i}")));
+            let list: Vec<String> = names.iter().map(|n| format!("DATASET {n}")).collect();
+            let _ = writeln!(s, "  DATA {{ {} }}", list.join(" "));
+            let _ = writeln!(s, "  DATASET \"coords\" {{");
+            let _ = writeln!(s, "    DATASPACE {{ LOOP GRID {gb} {{ X Y Z }} }}");
+            let _ = writeln!(s, "    DATA {{ DIR[$DIRID]/COORDS DIRID = 0:{d_hi}:1 }}");
+            let _ = writeln!(s, "  }}");
+            for (gi, group) in VAR_GROUPS.iter().enumerate() {
+                let vars: Vec<&str> = group.iter().map(|&vi| VARS[vi]).collect();
+                let body = if layout == IparsLayout::V {
+                    format!("LOOP GRID {gb} {{ {} }}", vars.join(" "))
+                } else {
+                    let arrays: Vec<String> =
+                        vars.iter().map(|v| format!("LOOP GRID {gb} {{ {v} }}")).collect();
+                    arrays.join(" ")
+                };
+                let _ = writeln!(s, "  DATASET \"grp{gi}\" {{");
+                let _ = writeln!(
+                    s,
+                    "    DATASPACE {{ LOOP REL 0:{r_hi}:1 {{ LOOP TIME 1:{t_hi}:1 {{ {body} }} }} }}"
+                );
+                let _ = writeln!(s, "    DATA {{ DIR[$DIRID]/grp{gi}.dat DIRID = 0:{d_hi}:1 }}");
+                let _ = writeln!(s, "  }}");
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_row_count() {
+        let cfg = IparsConfig::tiny();
+        assert_eq!(cfg.rows(), 48);
+        assert_eq!(cfg.all_rows().count(), 48);
+    }
+
+    #[test]
+    fn values_deterministic_and_in_range() {
+        let cfg = IparsConfig::tiny();
+        let a = cfg.var_value(1, 2, 3, 0);
+        let b = cfg.var_value(1, 2, 3, 0);
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a)); // SOIL is a saturation
+        let v = cfg.var_value(0, 1, 1, 3); // OILVX is a velocity
+        assert!((-50.0..50.0).contains(&v));
+        let p = cfg.var_value(0, 1, 1, 12); // POIL is a pressure
+        assert!((0.0..10_000.0).contains(&p));
+    }
+
+    #[test]
+    fn row_at_matches_parts() {
+        let cfg = IparsConfig::tiny();
+        let row = cfg.row_at(1, 2, 5);
+        assert_eq!(row.len(), 22);
+        assert_eq!(row[0], Value::Short(1));
+        assert_eq!(row[1], Value::Int(2));
+        let (x, _, _) = IparsConfig::coord(5);
+        assert_eq!(row[2], Value::Float(x));
+        assert_eq!(row[5], Value::Float(cfg.var_value(1, 2, 5, 0)));
+    }
+
+    #[test]
+    fn descriptors_compile_for_all_layouts() {
+        let cfg = IparsConfig::tiny();
+        for layout in IparsLayout::all() {
+            let text = descriptor(&cfg, layout);
+            let model = dv_descriptor::compile(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", layout.label()));
+            assert_eq!(model.schema.len(), 22, "{}", layout.label());
+            assert_eq!(model.node_count(), 2, "{}", layout.label());
+            let expected_files = match layout {
+                IparsLayout::L0 => 2 * (1 + 17 * 2),
+                IparsLayout::I | IparsLayout::II => 2,
+                IparsLayout::III | IparsLayout::IV => 2 * 2 * 3,
+                IparsLayout::V | IparsLayout::VI => 2 * 7,
+            };
+            assert_eq!(model.files.len(), expected_files, "{}", layout.label());
+        }
+    }
+
+    #[test]
+    fn generated_file_sizes_match_descriptor() {
+        let base = std::env::temp_dir().join(format!("dv-ipars-size-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let cfg = IparsConfig::tiny();
+        for layout in IparsLayout::all() {
+            let text = generate(&base, &cfg, layout).unwrap();
+            let model = dv_descriptor::compile(&text).unwrap();
+            for f in &model.files {
+                let path = base.join(&model.nodes[f.node]).join(&f.rel_path);
+                let actual = std::fs::metadata(&path)
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+                    .len();
+                let expected = f.expected_size(&model.attr_sizes).unwrap();
+                assert_eq!(actual, expected, "{} {}", layout.label(), f.rel_path);
+            }
+        }
+    }
+
+    #[test]
+    fn dirs_must_divide_nodes() {
+        let mut cfg = IparsConfig::tiny();
+        cfg.dirs = 3;
+        cfg.nodes = 2;
+        let base = std::env::temp_dir().join("dv-ipars-baddirs");
+        assert!(generate(&base, &cfg, IparsLayout::I).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # dv-datagen
+//!
+//! Synthetic datasets shaped like the paper's two applications:
+//!
+//! * [`ipars`] — oil-reservoir simulation output (IPARS): `R`
+//!   realizations × `T` time-steps × `G` grid points per directory,
+//!   17 per-cell variables plus explicit X/Y/Z coordinates, written in
+//!   the original layout **L0** and the paper's alternative layouts
+//!   **I–VI** (Figure 9), each with its matching meta-data descriptor;
+//! * [`titan`] — satellite sensor sweeps (Titan): records of
+//!   `(X, Y, Z, S1..S5)` partitioned into spatial-temporal chunks with
+//!   a binary chunk index (the paper's spatial index).
+//!
+//! All values are **pure functions of their logical coordinates**
+//! (splitmix-style hashing), so any two layouts of the same
+//! configuration contain identical logical tables — the property the
+//! layout-equivalence tests and the hand-written-baseline comparisons
+//! rely on — and generation order never matters.
+
+pub mod hash;
+pub mod ipars;
+pub mod titan;
+
+pub use ipars::{IparsConfig, IparsLayout};
+pub use titan::TitanConfig;

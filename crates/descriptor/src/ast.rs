@@ -1,0 +1,175 @@
+//! Abstract syntax of the three descriptor components.
+
+use dv_types::DataType;
+
+use crate::expr::Expr;
+
+/// A full parsed descriptor (all three components).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DescriptorAst {
+    pub schema: SchemaAst,
+    pub storage: StorageAst,
+    /// The root of the layout component's `DATASET` tree.
+    pub layout: DatasetAst,
+}
+
+/// Component I — Dataset Schema Description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaAst {
+    pub name: String,
+    pub attrs: Vec<(String, DataType)>,
+}
+
+/// Component II — Dataset Storage Description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageAst {
+    /// Dataset name (`[IparsData]`).
+    pub dataset_name: String,
+    /// `DatasetDescription = <schema name>`.
+    pub schema_name: String,
+    /// `DIR[i] = node/path` entries, keyed by the bracket index.
+    pub dirs: Vec<DirAst>,
+}
+
+/// One `DIR[i] = node/path` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirAst {
+    pub index: usize,
+    /// Cluster node name (first path segment, e.g. `osu0`).
+    pub node: String,
+    /// Directory path on that node (remaining segments).
+    pub path: String,
+}
+
+/// Component III — one `DATASET "name" { ... }` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetAst {
+    pub name: String,
+    /// `DATATYPE { SCHEMA }` reference, if present.
+    pub schema_ref: Option<String>,
+    /// `DATATYPE { NAME = type ... }` — auxiliary attributes stored in
+    /// files but absent from the virtual table (chunk headers, padding).
+    pub extra_attrs: Vec<(String, DataType)>,
+    /// `DATAINDEX { ... }` attribute names.
+    pub index_attrs: Vec<String>,
+    /// `DATASPACE { ... }` — present on leaf datasets only.
+    pub dataspace: Option<Vec<SpaceItem>>,
+    /// `DATA { ... }` contents.
+    pub data: DataAst,
+    /// Nested `DATASET` definitions.
+    pub children: Vec<DatasetAst>,
+}
+
+/// Contents of a `DATA { ... }` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataAst {
+    /// Non-leaf: `DATA { DATASET a DATASET b }`.
+    Nested(Vec<String>),
+    /// Leaf: one or more file bindings.
+    Files(Vec<FileBinding>),
+    /// Missing `DATA` clause (legal only for non-leaf datasets whose
+    /// children are all explicitly listed as nested definitions).
+    Absent,
+}
+
+/// One item inside a `DATASPACE { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceItem {
+    /// `LOOP VAR lo:hi:step { ... }` — inclusive bounds, as in the
+    /// paper's Figure 4 (`LOOP TIME 1:500:1` iterates 500 times).
+    Loop { var: String, lo: Expr, hi: Expr, step: Expr, body: Vec<SpaceItem> },
+    /// A run of attribute names stored contiguously per iteration.
+    Attrs(Vec<String>),
+    /// `CHUNKED INDEXFILE "template" { attrs }` — variable-length
+    /// chunks of records described by an external index file (our
+    /// extension for the Titan satellite layout, see DESIGN.md).
+    Chunked { index_template: PathTemplate, attrs: Vec<String> },
+}
+
+/// A file path template: a dir reference plus name parts with embedded
+/// variables (`DIR[$DIRID]/DATA$REL`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTemplate {
+    /// The expression inside `DIR[...]`.
+    pub dir_index: Expr,
+    /// Template of the path below the directory.
+    pub name: Vec<NamePart>,
+}
+
+/// One segment of a templated file name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamePart {
+    Text(String),
+    Var(String),
+}
+
+impl PathTemplate {
+    /// Render the file-name portion under `env`.
+    pub fn render_name(&self, env: &crate::expr::Env) -> dv_types::Result<String> {
+        let mut out = String::new();
+        for part in &self.name {
+            match part {
+                NamePart::Text(t) => out.push_str(t),
+                NamePart::Var(v) => {
+                    let val = env.get(v).ok_or_else(|| {
+                        dv_types::DvError::DescriptorSemantic(format!(
+                            "unbound variable `${v}` in file template"
+                        ))
+                    })?;
+                    out.push_str(&val.to_string());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Variables referenced anywhere in the template.
+    pub fn variables(&self) -> Vec<String> {
+        let mut vars = self.dir_index.variables();
+        for part in &self.name {
+            if let NamePart::Var(v) = part {
+                vars.push(v.clone());
+            }
+        }
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+}
+
+/// A leaf `DATA` entry: template plus the ranges of its binding
+/// variables (`DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileBinding {
+    pub template: PathTemplate,
+    /// `(var, lo, hi, step)` — inclusive, like loop bounds.
+    pub ranges: Vec<(String, Expr, Expr, Expr)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Env;
+
+    #[test]
+    fn render_template() {
+        let t = PathTemplate {
+            dir_index: Expr::Var("DIRID".into()),
+            name: vec![NamePart::Text("DATA".into()), NamePart::Var("REL".into())],
+        };
+        let mut env = Env::new();
+        env.insert("DIRID".into(), 1);
+        env.insert("REL".into(), 3);
+        assert_eq!(t.render_name(&env).unwrap(), "DATA3");
+        assert_eq!(t.variables(), vec!["DIRID".to_string(), "REL".to_string()]);
+    }
+
+    #[test]
+    fn render_unbound_fails() {
+        let t = PathTemplate {
+            dir_index: Expr::Int(0),
+            name: vec![NamePart::Var("REL".into())],
+        };
+        assert!(t.render_name(&Env::new()).is_err());
+    }
+}

@@ -1,0 +1,423 @@
+//! Lexer for the meta-data description language.
+//!
+//! The tricky production is the *word/path* rule: file templates like
+//! `DIR[$DIRID]/DATA$REL` must lex as a single token, while section
+//! headers `[IPARS]` and bracketed dir references inside expressions
+//! must not. A word starts with a letter or `_` and may continue
+//! through bracket groups (`[0]`, `[$DIRID]` — only integers or a
+//! single `$var` inside), path separators (`/word`), embedded
+//! variables (`$REL`) and dots. Arithmetic characters terminate a
+//! word, so `$DIRID*100` inside a loop bound lexes as `Var(DIRID)`,
+//! `*`, `Int(100)`.
+
+use dv_types::{DvError, Result};
+
+use crate::token::{Token, TokenKind};
+
+/// Tokenize a descriptor.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer { src: input.as_bytes(), pos: 0, line: 1, column: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+fn is_word_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_word_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line, column });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'{' => self.simple(TokenKind::LBrace),
+                b'}' => self.simple(TokenKind::RBrace),
+                b'[' => self.simple(TokenKind::LBracket),
+                b']' => self.simple(TokenKind::RBracket),
+                b'(' => self.simple(TokenKind::LParen),
+                b')' => self.simple(TokenKind::RParen),
+                b'=' => self.simple(TokenKind::Equals),
+                b':' => self.simple(TokenKind::Colon),
+                b',' => self.simple(TokenKind::Comma),
+                b'+' => self.simple(TokenKind::Plus),
+                b'-' => self.simple(TokenKind::Minus),
+                b'*' => self.simple(TokenKind::Star),
+                b'/' => self.simple(TokenKind::Slash),
+                b'%' => self.simple(TokenKind::Percent),
+                b'"' => self.quoted()?,
+                b'$' => {
+                    self.advance();
+                    let name = self.plain_word()?;
+                    TokenKind::Var(name)
+                }
+                b'0'..=b'9' => self.integer()?,
+                c if is_word_start(c) => self.word_or_path()?,
+                other => {
+                    return Err(self.err(format!("unexpected character `{}`", other as char)))
+                }
+            };
+            out.push(Token { kind, line, column });
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DvError {
+        DvError::DescriptorParse { message: message.into(), line: self.line, column: self.column }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn advance(&mut self) {
+        if let Some(&c) = self.src.get(self.pos) {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+    }
+
+    fn simple(&mut self, kind: TokenKind) -> TokenKind {
+        self.advance();
+        kind
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.advance(),
+                // `//` line comments (possibly containing the paper's
+                // `{* ... *}` remarks) and `#` line comments.
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.advance();
+                    }
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.advance();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn quoted(&mut self) -> Result<TokenKind> {
+        self.advance(); // opening quote
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-UTF8 string literal"))?
+                    .to_string();
+                self.advance();
+                return Ok(TokenKind::Str(text));
+            }
+            if c == b'\n' {
+                return Err(self.err("unterminated string literal"));
+            }
+            self.advance();
+        }
+        Err(self.err("unterminated string literal"))
+    }
+
+    fn integer(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| self.err(format!("integer literal `{text}` out of range")))
+    }
+
+    /// A bare identifier after `$` — no path syntax allowed.
+    fn plain_word(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if is_word_char(c) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected variable name after `$`"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string())
+    }
+
+    /// Word that may extend into a path template. Returns `Word` when
+    /// no path syntax was consumed, `Path` otherwise.
+    fn word_or_path(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        let mut is_path = false;
+        // Leading identifier.
+        while let Some(c) = self.peek() {
+            if is_word_char(c) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        loop {
+            match self.peek() {
+                // Bracket group: `[0]` or `[$VAR]` (dir references).
+                Some(b'[') => {
+                    let ok = self.try_bracket_group();
+                    if !ok {
+                        break;
+                    }
+                    is_path = true;
+                }
+                // Path separator followed by a word char or `$`.
+                Some(b'/')
+                    if self
+                        .peek_at(1)
+                        .map(|c| is_word_char(c) || c == b'$')
+                        .unwrap_or(false) =>
+                {
+                    self.advance();
+                    is_path = true;
+                    self.consume_name_run();
+                }
+                // Embedded variable: `DATA$REL`.
+                Some(b'$') => {
+                    self.advance();
+                    is_path = true;
+                    self.consume_name_run();
+                }
+                // Dotted file extension: `titan.idx`.
+                Some(b'.')
+                    if self.peek_at(1).map(is_word_char).unwrap_or(false) =>
+                {
+                    self.advance();
+                    is_path = true;
+                    self.consume_name_run();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        Ok(if is_path { TokenKind::Path(text) } else { TokenKind::Word(text) })
+    }
+
+    fn consume_name_run(&mut self) {
+        while let Some(c) = self.peek() {
+            if is_word_char(c) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Attempt to consume `[...]` where the contents are an integer or
+    /// a `$var` (the only forms allowed *inside a word*). Returns false
+    /// (consuming nothing) if the bracket group doesn't match, so the
+    /// bracket is left for structural tokenization.
+    fn try_bracket_group(&mut self) -> bool {
+        let save = (self.pos, self.line, self.column);
+        self.advance(); // `[`
+        match self.peek() {
+            Some(b'$') => {
+                self.advance();
+                self.consume_name_run();
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.advance();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                (self.pos, self.line, self.column) = save;
+                return false;
+            }
+        }
+        if self.peek() == Some(b']') {
+            self.advance();
+            true
+        } else {
+            (self.pos, self.line, self.column) = save;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(s: &str) -> Vec<K> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn section_header() {
+        assert_eq!(kinds("[IPARS]"), vec![K::LBracket, K::Word("IPARS".into()), K::RBracket, K::Eof]);
+    }
+
+    #[test]
+    fn schema_line_multiword_type() {
+        assert_eq!(
+            kinds("REL = short int"),
+            vec![
+                K::Word("REL".into()),
+                K::Equals,
+                K::Word("short".into()),
+                K::Word("int".into()),
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dir_assignment() {
+        assert_eq!(
+            kinds("DIR[0] = osu0/ipars"),
+            vec![K::Path("DIR[0]".into()), K::Equals, K::Path("osu0/ipars".into()), K::Eof]
+        );
+    }
+
+    #[test]
+    fn file_template_with_vars() {
+        assert_eq!(
+            kinds("DIR[$DIRID]/DATA$REL REL = 0:3:1"),
+            vec![
+                K::Path("DIR[$DIRID]/DATA$REL".into()),
+                K::Word("REL".into()),
+                K::Equals,
+                K::Int(0),
+                K::Colon,
+                K::Int(3),
+                K::Colon,
+                K::Int(1),
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn loop_bounds_expression() {
+        assert_eq!(
+            kinds("($DIRID*100+1):(($DIRID+1)*100):1"),
+            vec![
+                K::LParen,
+                K::Var("DIRID".into()),
+                K::Star,
+                K::Int(100),
+                K::Plus,
+                K::Int(1),
+                K::RParen,
+                K::Colon,
+                K::LParen,
+                K::LParen,
+                K::Var("DIRID".into()),
+                K::Plus,
+                K::Int(1),
+                K::RParen,
+                K::Star,
+                K::Int(100),
+                K::RParen,
+                K::Colon,
+                K::Int(1),
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("[IPARS] // {* Dataset schema name *}\nTIME = int # trailing");
+        assert_eq!(
+            ks,
+            vec![
+                K::LBracket,
+                K::Word("IPARS".into()),
+                K::RBracket,
+                K::Word("TIME".into()),
+                K::Equals,
+                K::Word("int".into()),
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_strings() {
+        assert_eq!(
+            kinds("DATASET \"IparsData\""),
+            vec![K::Word("DATASET".into()), K::Str("IparsData".into()), K::Eof]
+        );
+    }
+
+    #[test]
+    fn dotted_filename() {
+        assert_eq!(kinds("titan.idx"), vec![K::Path("titan.idx".into()), K::Eof]);
+    }
+
+    #[test]
+    fn division_still_lexes() {
+        // `/` between expressions (not path context) is a slash token.
+        assert_eq!(kinds("4 / 2"), vec![K::Int(4), K::Slash, K::Int(2), K::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"oops").is_err());
+        assert!(tokenize("\"oops\nmore\"").is_err());
+    }
+
+    #[test]
+    fn bracket_not_a_group_falls_back() {
+        // `X[` with no closing integer/var is structural.
+        assert_eq!(
+            kinds("X[Y]"),
+            vec![K::Word("X".into()), K::LBracket, K::Word("Y".into()), K::RBracket, K::Eof]
+        );
+    }
+
+    #[test]
+    fn bare_dollar_errors() {
+        assert!(tokenize("$ 5").is_err());
+    }
+}

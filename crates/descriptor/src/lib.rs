@@ -1,0 +1,78 @@
+//! # dv-descriptor
+//!
+//! The meta-data description language of the paper (§3) and its
+//! compiler front half. A descriptor has three components:
+//!
+//! 1. **Dataset Schema Description** — the virtual relational table
+//!    (`[IPARS]` followed by `NAME = type` lines);
+//! 2. **Dataset Storage Description** — the nodes and directories
+//!    hosting the files (`[IparsData]`, `DatasetDescription = IPARS`,
+//!    `DIR[i] = node/path` lines);
+//! 3. **Dataset Layout Description** — a nested `DATASET` structure
+//!    with `DATATYPE`, `DATAINDEX`, `DATASPACE` (containing `LOOP`
+//!    nests or `CHUNKED` external-index layouts) and `DATA` clauses.
+//!
+//! Parsing produces a [`ast::DescriptorAst`]; [`resolve::resolve`]
+//! expands it — evaluating loop-bound expressions, enumerating file
+//! bindings over their variable ranges — into a [`model::DatasetModel`]
+//! whose [`model::FileModel`]s carry concrete byte layouts and
+//! *implicit attribute* extents. The layout compiler (`dv-layout`)
+//! consumes that model to generate index and extraction plans.
+//!
+//! Example (the paper's Figure 4, abbreviated):
+//!
+//! ```text
+//! [IPARS]
+//! REL = short int
+//! TIME = int
+//! X = float
+//! SOIL = float
+//!
+//! [IparsData]
+//! DatasetDescription = IPARS
+//! DIR[0] = osu0/ipars
+//! DIR[1] = osu1/ipars
+//!
+//! DATASET "IparsData" {
+//!   DATATYPE { IPARS }
+//!   DATAINDEX { REL TIME }
+//!   DATA { DATASET ipars1 DATASET ipars2 }
+//!   DATASET "ipars1" {
+//!     DATASPACE {
+//!       LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 { X }
+//!     }
+//!     DATA { DIR[$DIRID]/COORDS DIRID = 0:1:1 }
+//!   }
+//!   DATASET "ipars2" {
+//!     DATASPACE {
+//!       LOOP TIME 1:500:1 {
+//!         LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 { SOIL }
+//!       }
+//!     }
+//!     DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:1:1 }
+//!   }
+//! }
+//! ```
+
+pub mod ast;
+pub mod expr;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod pretty;
+pub mod resolve;
+pub mod token;
+
+pub use ast::DescriptorAst;
+pub use model::{DatasetModel, FileModel, ResolvedItem, VarExtent};
+pub use parser::parse_descriptor;
+pub use pretty::render;
+pub use resolve::resolve;
+
+use dv_types::Result;
+
+/// Parse and resolve a descriptor in one step.
+pub fn compile(text: &str) -> Result<DatasetModel> {
+    let ast = parse_descriptor(text)?;
+    resolve(&ast)
+}

@@ -1,0 +1,252 @@
+//! Resolved dataset model — the output of descriptor compilation.
+//!
+//! Resolution expands every `DATA` file binding over its variable
+//! ranges into concrete [`FileModel`]s. Each file carries:
+//!
+//! * a fully-evaluated loop-nest layout (all bounds are integers);
+//! * its *implicit attribute extents* — values or ranges of attributes
+//!   that are never stored in the file's bytes but are implied by the
+//!   file name, directory, or loop structure (paper §4). These drive
+//!   both file pruning and aligned-file-chunk consistency checks.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dv_types::{DataType, Schema};
+
+use crate::expr::Env;
+
+/// Location of a `DIR[i]` storage entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirInfo {
+    /// Cluster node id (index into [`DatasetModel::nodes`]).
+    pub node: usize,
+    /// Directory path on that node.
+    pub path: String,
+}
+
+/// Extent of an implicit variable for one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarExtent {
+    /// Single value (e.g. `REL = 2` inferred from the file name).
+    Point(i64),
+    /// Inclusive range with stride (e.g. `TIME` spanning `1..=500`
+    /// from `LOOP TIME 1:500:1`).
+    Range { lo: i64, hi: i64, step: i64 },
+}
+
+impl VarExtent {
+    /// Inclusive `(lo, hi)` hull.
+    pub fn hull(&self) -> (i64, i64) {
+        match *self {
+            VarExtent::Point(v) => (v, v),
+            VarExtent::Range { lo, hi, .. } => (lo, hi),
+        }
+    }
+
+    /// Merge two extents into their hull (used when a variable appears
+    /// in several loops of the same file).
+    pub fn merge(&self, other: &VarExtent) -> VarExtent {
+        let (a_lo, a_hi) = self.hull();
+        let (b_lo, b_hi) = other.hull();
+        let step = match (self, other) {
+            (VarExtent::Range { step, .. }, _) => *step,
+            (_, VarExtent::Range { step, .. }) => *step,
+            _ => 1,
+        };
+        VarExtent::Range { lo: a_lo.min(b_lo), hi: a_hi.max(b_hi), step }
+    }
+}
+
+/// A fully-resolved layout element within one file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedItem {
+    /// Inclusive loop `var = lo, lo+step, ..., <= hi`.
+    Loop { var: String, lo: i64, hi: i64, step: i64, body: Vec<ResolvedItem> },
+    /// Contiguous record of attributes, one instance per enclosing
+    /// iteration.
+    Attrs(Vec<String>),
+    /// Variable-length chunks described by an external index file.
+    Chunked { index_node: usize, index_path: String, attrs: Vec<String> },
+}
+
+impl ResolvedItem {
+    /// Iteration count of a loop (`0` for empty loops).
+    pub fn loop_iterations(lo: i64, hi: i64, step: i64) -> u64 {
+        if step <= 0 || lo > hi {
+            0
+        } else {
+            (((hi - lo) / step) + 1) as u64
+        }
+    }
+
+    /// Byte size of this item given per-attribute sizes. `Chunked`
+    /// items have data-dependent size and return `None`.
+    pub fn byte_size(&self, attr_sizes: &HashMap<String, usize>) -> Option<u64> {
+        match self {
+            ResolvedItem::Attrs(attrs) => {
+                let mut total = 0u64;
+                for a in attrs {
+                    total += *attr_sizes.get(a)? as u64;
+                }
+                Some(total)
+            }
+            ResolvedItem::Loop { lo, hi, step, body, .. } => {
+                let iters = Self::loop_iterations(*lo, *hi, *step);
+                let body_size = items_byte_size(body, attr_sizes)?;
+                Some(iters * body_size)
+            }
+            ResolvedItem::Chunked { .. } => None,
+        }
+    }
+}
+
+/// Total byte size of a resolved item sequence (`None` if any item is
+/// data-dependent).
+pub fn items_byte_size(
+    items: &[ResolvedItem],
+    attr_sizes: &HashMap<String, usize>,
+) -> Option<u64> {
+    let mut total = 0u64;
+    for item in items {
+        total += item.byte_size(attr_sizes)?;
+    }
+    Some(total)
+}
+
+/// One concrete data file of the dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileModel {
+    /// Dense id within [`DatasetModel::files`].
+    pub id: usize,
+    /// Leaf dataset this file belongs to.
+    pub dataset: String,
+    /// Cluster node hosting the file.
+    pub node: usize,
+    /// Path of the file relative to the node's storage root.
+    pub rel_path: String,
+    /// Binding-variable environment that produced this file
+    /// (`DIRID = 1, REL = 3`).
+    pub env: Env,
+    /// Resolved byte layout.
+    pub layout: Vec<ResolvedItem>,
+    /// Schema attributes physically stored in this file, in first
+    /// appearance order.
+    pub stored_attrs: Vec<String>,
+    /// Implicit extents of every variable relevant to this file:
+    /// binding variables (points) and loop variables (ranges). Keys
+    /// include non-schema alignment variables such as `GRID`.
+    pub extents: BTreeMap<String, VarExtent>,
+}
+
+impl FileModel {
+    /// Expected byte size from the layout (`None` when chunked).
+    pub fn expected_size(&self, attr_sizes: &HashMap<String, usize>) -> Option<u64> {
+        items_byte_size(&self.layout, attr_sizes)
+    }
+
+    /// True when the layout is a `CHUNKED` external-index layout.
+    pub fn is_chunked(&self) -> bool {
+        matches!(self.layout.first(), Some(ResolvedItem::Chunked { .. }))
+    }
+}
+
+/// The resolved model of a whole dataset: everything the layout
+/// compiler needs, with no descriptor-text processing left to do.
+#[derive(Debug, Clone)]
+pub struct DatasetModel {
+    /// Virtual table schema.
+    pub schema: Schema,
+    /// Root dataset name (what queries name in `FROM`).
+    pub dataset_name: String,
+    /// Attributes declared in `DATAINDEX` (upper-cased).
+    pub index_attrs: Vec<String>,
+    /// Cluster node names; node id = position.
+    pub nodes: Vec<String>,
+    /// `DIR[i]` table.
+    pub dirs: Vec<DirInfo>,
+    /// Types of all attributes appearing in layouts: schema attributes
+    /// plus auxiliary (`DATATYPE { NAME = type }`) attributes.
+    pub attr_types: HashMap<String, DataType>,
+    /// Sizes in bytes, derived from `attr_types`.
+    pub attr_sizes: HashMap<String, usize>,
+    /// Every concrete file.
+    pub files: Vec<FileModel>,
+}
+
+impl DatasetModel {
+    /// Files hosted on `node`.
+    pub fn files_on_node(&self, node: usize) -> impl Iterator<Item = &FileModel> {
+        self.files.iter().filter(move |f| f.node == node)
+    }
+
+    /// Number of cluster nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Schema attribute indices declared as indexable.
+    pub fn index_attr_indices(&self) -> Vec<usize> {
+        self.index_attrs.iter().filter_map(|a| self.schema.index_of(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> HashMap<String, usize> {
+        [("A".to_string(), 4), ("B".to_string(), 8)].into_iter().collect()
+    }
+
+    #[test]
+    fn loop_iterations_inclusive() {
+        assert_eq!(ResolvedItem::loop_iterations(1, 500, 1), 500);
+        assert_eq!(ResolvedItem::loop_iterations(0, 3, 1), 4);
+        assert_eq!(ResolvedItem::loop_iterations(1, 10, 3), 4); // 1,4,7,10
+        assert_eq!(ResolvedItem::loop_iterations(5, 4, 1), 0);
+        assert_eq!(ResolvedItem::loop_iterations(1, 10, 0), 0);
+    }
+
+    #[test]
+    fn byte_size_nested() {
+        let item = ResolvedItem::Loop {
+            var: "T".into(),
+            lo: 1,
+            hi: 10,
+            step: 1,
+            body: vec![ResolvedItem::Loop {
+                var: "G".into(),
+                lo: 1,
+                hi: 5,
+                step: 1,
+                body: vec![ResolvedItem::Attrs(vec!["A".into(), "B".into()])],
+            }],
+        };
+        assert_eq!(item.byte_size(&sizes()), Some(10 * 5 * 12));
+    }
+
+    #[test]
+    fn byte_size_unknown_attr_is_none() {
+        let item = ResolvedItem::Attrs(vec!["MISSING".into()]);
+        assert_eq!(item.byte_size(&sizes()), None);
+    }
+
+    #[test]
+    fn chunked_size_unknown() {
+        let item = ResolvedItem::Chunked {
+            index_node: 0,
+            index_path: "i".into(),
+            attrs: vec!["A".into()],
+        };
+        assert_eq!(item.byte_size(&sizes()), None);
+    }
+
+    #[test]
+    fn extent_hull_and_merge() {
+        let p = VarExtent::Point(5);
+        assert_eq!(p.hull(), (5, 5));
+        let r = VarExtent::Range { lo: 1, hi: 10, step: 2 };
+        assert_eq!(r.hull(), (1, 10));
+        assert_eq!(p.merge(&r).hull(), (1, 10));
+    }
+}

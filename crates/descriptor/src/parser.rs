@@ -1,0 +1,775 @@
+//! Recursive-descent parser for the descriptor language.
+//!
+//! Keywords (`DATASET`, `DATATYPE`, `DATAINDEX`, `DATASPACE`, `DATA`,
+//! `LOOP`, `CHUNKED`, `INDEXFILE`, `DatasetDescription`) are matched
+//! case-insensitively against words, so attribute names are never
+//! reserved. See the crate docs for the full grammar by example.
+
+use dv_types::{DataType, DvError, Result};
+
+use crate::ast::{
+    DataAst, DatasetAst, DescriptorAst, DirAst, FileBinding, NamePart, PathTemplate, SchemaAst,
+    SpaceItem, StorageAst,
+};
+use crate::expr::{Expr, Op};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a complete three-component descriptor.
+pub fn parse_descriptor(text: &str) -> Result<DescriptorAst> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let schema = p.schema_section()?;
+    let storage = p.storage_section()?;
+    let layout = p.dataset_block()?;
+    p.expect_eof()?;
+    Ok(DescriptorAst { schema, storage, layout })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> DvError {
+        let t = &self.tokens[self.pos];
+        DvError::DescriptorParse { message: message.into(), line: t.line, column: t.column }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if *self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input `{}`", self.peek())))
+        }
+    }
+
+    /// Is the current token the given keyword (case-insensitive word)?
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Word(w) => {
+                self.advance();
+                Ok(w)
+            }
+            other => Err(self.err(format!("expected a name, found `{other}`"))),
+        }
+    }
+
+    /// A dataset name: quoted string or bare word.
+    fn name(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Word(w) => {
+                self.advance();
+                Ok(w)
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected a dataset name, found `{other}`"))),
+        }
+    }
+
+    // ----- Component I: schema -----
+
+    fn schema_section(&mut self) -> Result<SchemaAst> {
+        self.expect(TokenKind::LBracket)?;
+        let name = self.word()?;
+        self.expect(TokenKind::RBracket)?;
+        let mut attrs = Vec::new();
+        while let TokenKind::Word(attr) = self.peek().clone() {
+            if *self.peek2() != TokenKind::Equals {
+                break;
+            }
+            self.advance(); // attr name
+            self.advance(); // '='
+            attrs.push((attr, self.type_name()?));
+        }
+        if attrs.is_empty() {
+            return Err(self.err(format!("schema `{name}` declares no attributes")));
+        }
+        Ok(SchemaAst { name, attrs })
+    }
+
+    /// One- or two-word C-style type name (`int`, `short int`). The
+    /// second word is consumed only when it is not itself the start of
+    /// the next `attr =` line or a section/bracket.
+    fn type_name(&mut self) -> Result<DataType> {
+        let first = self.word()?;
+        let mut text = first;
+        if let TokenKind::Word(second) = self.peek().clone() {
+            if *self.peek2() != TokenKind::Equals {
+                // Only `short int`/`long int`-style continuations are
+                // valid; try the two-word spelling first.
+                let two = format!("{text} {second}");
+                if DataType::parse(&two).is_ok() {
+                    self.advance();
+                    text = two;
+                }
+            }
+        }
+        DataType::parse(&text)
+    }
+
+    // ----- Component II: storage -----
+
+    fn storage_section(&mut self) -> Result<StorageAst> {
+        self.expect(TokenKind::LBracket)?;
+        let dataset_name = self.word()?;
+        self.expect(TokenKind::RBracket)?;
+        if !self.eat_keyword("DatasetDescription") {
+            return Err(self.err(format!(
+                "expected `DatasetDescription = <schema>` after [{dataset_name}], found `{}`",
+                self.peek()
+            )));
+        }
+        self.expect(TokenKind::Equals)?;
+        let schema_name = self.word()?;
+        let mut dirs = Vec::new();
+        loop {
+            let TokenKind::Path(p) = self.peek().clone() else { break };
+            let upper = p.to_ascii_uppercase();
+            if !upper.starts_with("DIR[") {
+                break;
+            }
+            self.advance();
+            let idx_text = &p[4..p.len() - 1];
+            let index: usize = idx_text.parse().map_err(|_| {
+                self.err(format!("storage DIR index must be a literal integer, got `{idx_text}`"))
+            })?;
+            self.expect(TokenKind::Equals)?;
+            let target = match self.advance() {
+                TokenKind::Path(t) => t,
+                TokenKind::Word(t) => t,
+                other => return Err(self.err(format!("expected node/path, found `{other}`"))),
+            };
+            let (node, path) = match target.split_once('/') {
+                Some((n, rest)) => (n.to_string(), rest.to_string()),
+                None => (target.clone(), String::new()),
+            };
+            dirs.push(DirAst { index, node, path });
+        }
+        if dirs.is_empty() {
+            return Err(self.err("storage section lists no DIR entries"));
+        }
+        // DIR indices must be dense 0..n, in any order.
+        let mut seen = vec![false; dirs.len()];
+        for d in &dirs {
+            if d.index >= dirs.len() || seen[d.index] {
+                return Err(DvError::DescriptorSemantic(format!(
+                    "storage DIR indices must be dense and unique; problem at DIR[{}]",
+                    d.index
+                )));
+            }
+            seen[d.index] = true;
+        }
+        Ok(StorageAst { dataset_name, schema_name, dirs })
+    }
+
+    // ----- Component III: layout -----
+
+    fn dataset_block(&mut self) -> Result<DatasetAst> {
+        if !self.eat_keyword("DATASET") {
+            return Err(self.err(format!("expected `DATASET`, found `{}`", self.peek())));
+        }
+        let name = self.name()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut ds = DatasetAst {
+            name,
+            schema_ref: None,
+            extra_attrs: Vec::new(),
+            index_attrs: Vec::new(),
+            dataspace: None,
+            data: DataAst::Absent,
+            children: Vec::new(),
+        };
+        loop {
+            if *self.peek() == TokenKind::RBrace {
+                self.advance();
+                break;
+            }
+            if self.at_keyword("DATATYPE") {
+                self.advance();
+                self.datatype_clause(&mut ds)?;
+            } else if self.at_keyword("DATAINDEX") {
+                self.advance();
+                self.expect(TokenKind::LBrace)?;
+                while let TokenKind::Word(w) = self.peek().clone() {
+                    ds.index_attrs.push(w);
+                    self.advance();
+                    if *self.peek() == TokenKind::Comma {
+                        self.advance();
+                    }
+                }
+                self.expect(TokenKind::RBrace)?;
+            } else if self.at_keyword("DATASPACE") {
+                self.advance();
+                self.expect(TokenKind::LBrace)?;
+                let items = self.space_items()?;
+                self.expect(TokenKind::RBrace)?;
+                if ds.dataspace.is_some() {
+                    return Err(self.err(format!(
+                        "dataset `{}` has more than one DATASPACE",
+                        ds.name
+                    )));
+                }
+                ds.dataspace = Some(items);
+            } else if self.at_keyword("DATA") {
+                self.advance();
+                self.expect(TokenKind::LBrace)?;
+                ds.data = self.data_clause()?;
+                self.expect(TokenKind::RBrace)?;
+            } else if self.at_keyword("DATASET") {
+                ds.children.push(self.dataset_block()?);
+            } else {
+                return Err(self.err(format!(
+                    "expected DATATYPE, DATAINDEX, DATASPACE, DATA or nested DATASET, found `{}`",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(ds)
+    }
+
+    fn datatype_clause(&mut self, ds: &mut DatasetAst) -> Result<()> {
+        self.expect(TokenKind::LBrace)?;
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.advance();
+                    return Ok(());
+                }
+                TokenKind::Word(w) => {
+                    if *self.peek2() == TokenKind::Equals {
+                        // New auxiliary attribute definition.
+                        self.advance();
+                        self.advance();
+                        let ty = self.type_name()?;
+                        ds.extra_attrs.push((w, ty));
+                    } else {
+                        // Schema reference.
+                        if ds.schema_ref.is_some() {
+                            return Err(self.err(format!(
+                                "dataset `{}` references more than one schema in DATATYPE",
+                                ds.name
+                            )));
+                        }
+                        ds.schema_ref = Some(w);
+                        self.advance();
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected schema name or attribute definition in DATATYPE, found `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn data_clause(&mut self) -> Result<DataAst> {
+        if self.at_keyword("DATASET") {
+            let mut names = Vec::new();
+            while self.eat_keyword("DATASET") {
+                names.push(self.name()?);
+            }
+            return Ok(DataAst::Nested(names));
+        }
+        let mut bindings = Vec::new();
+        while let TokenKind::Path(p) = self.peek().clone() {
+            self.advance();
+            let template = parse_path_template(&p)
+                .map_err(|m| self.err(format!("invalid file template `{p}`: {m}")))?;
+            let mut ranges = Vec::new();
+            while let TokenKind::Word(var) = self.peek().clone() {
+                if *self.peek2() != TokenKind::Equals {
+                    break;
+                }
+                self.advance();
+                self.advance();
+                let lo = self.expr()?;
+                self.expect(TokenKind::Colon)?;
+                let hi = self.expr()?;
+                self.expect(TokenKind::Colon)?;
+                let step = self.expr()?;
+                ranges.push((var, lo, hi, step));
+            }
+            bindings.push(FileBinding { template, ranges });
+        }
+        if bindings.is_empty() {
+            return Err(self.err(
+                "DATA clause must list nested DATASETs or at least one file template \
+                 (templates must start with `DIR[...]`)",
+            ));
+        }
+        Ok(DataAst::Files(bindings))
+    }
+
+    fn space_items(&mut self) -> Result<Vec<SpaceItem>> {
+        let mut items = Vec::new();
+        loop {
+            if *self.peek() == TokenKind::RBrace {
+                return Ok(items);
+            }
+            if self.at_keyword("LOOP") {
+                self.advance();
+                let var = self.word()?;
+                let lo = self.expr()?;
+                self.expect(TokenKind::Colon)?;
+                let hi = self.expr()?;
+                self.expect(TokenKind::Colon)?;
+                let step = self.expr()?;
+                self.expect(TokenKind::LBrace)?;
+                let body = self.space_items()?;
+                self.expect(TokenKind::RBrace)?;
+                items.push(SpaceItem::Loop { var, lo, hi, step, body });
+            } else if self.at_keyword("CHUNKED") {
+                self.advance();
+                if !self.eat_keyword("INDEXFILE") {
+                    return Err(self.err("expected `INDEXFILE` after `CHUNKED`"));
+                }
+                let template_text = match self.advance() {
+                    TokenKind::Str(s) => s,
+                    TokenKind::Path(p) => p,
+                    other => {
+                        return Err(
+                            self.err(format!("expected index file template, found `{other}`"))
+                        )
+                    }
+                };
+                let index_template = parse_path_template(&template_text).map_err(|m| {
+                    self.err(format!("invalid index file template `{template_text}`: {m}"))
+                })?;
+                self.expect(TokenKind::LBrace)?;
+                let mut attrs = Vec::new();
+                while let TokenKind::Word(w) = self.peek().clone() {
+                    attrs.push(w);
+                    self.advance();
+                    if *self.peek() == TokenKind::Comma {
+                        self.advance();
+                    }
+                }
+                self.expect(TokenKind::RBrace)?;
+                if attrs.is_empty() {
+                    return Err(self.err("CHUNKED layout lists no attributes"));
+                }
+                items.push(SpaceItem::Chunked { index_template, attrs });
+            } else if let TokenKind::Word(_) = self.peek() {
+                let mut attrs = Vec::new();
+                while let TokenKind::Word(w) = self.peek().clone() {
+                    // Stop if this word opens a nested construct.
+                    if w.eq_ignore_ascii_case("LOOP") || w.eq_ignore_ascii_case("CHUNKED") {
+                        break;
+                    }
+                    attrs.push(w);
+                    self.advance();
+                    if *self.peek() == TokenKind::Comma {
+                        self.advance();
+                    }
+                }
+                items.push(SpaceItem::Attrs(attrs));
+            } else {
+                return Err(self.err(format!(
+                    "expected LOOP, CHUNKED or attribute names in DATASPACE, found `{}`",
+                    self.peek()
+                )));
+            }
+        }
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => Op::Add,
+                TokenKind::Minus => Op::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.term()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => Op::Mul,
+                TokenKind::Slash => Op::Div,
+                TokenKind::Percent => Op::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.advance();
+                Ok(match self.factor()? {
+                    Expr::Int(v) => Expr::Int(-v),
+                    other => Expr::Neg(Box::new(other)),
+                })
+            }
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Var(name) => {
+                self.advance();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected integer expression, found `{other}`"))),
+        }
+    }
+}
+
+/// Parse the text of a path token into a [`PathTemplate`]. Accepted
+/// shape: `DIR[<int>|$VAR]/name` where `name` may interleave literal
+/// text and `$VAR` references.
+fn parse_path_template(text: &str) -> std::result::Result<PathTemplate, String> {
+    let upper = text.to_ascii_uppercase();
+    if !upper.starts_with("DIR[") {
+        return Err("file templates must start with `DIR[...]`".into());
+    }
+    let close = text.find(']').ok_or_else(|| "missing `]`".to_string())?;
+    let idx_text = &text[4..close];
+    let dir_index = if let Some(var) = idx_text.strip_prefix('$') {
+        Expr::Var(var.to_string())
+    } else {
+        Expr::Int(idx_text.parse::<i64>().map_err(|_| {
+            format!("dir index must be an integer or `$var`, got `{idx_text}`")
+        })?)
+    };
+    let rest = &text[close + 1..];
+    let rest = rest
+        .strip_prefix('/')
+        .ok_or_else(|| "expected `/` after `DIR[...]`".to_string())?;
+    if rest.is_empty() {
+        return Err("empty file name after `DIR[...]/`".into());
+    }
+    let mut name = Vec::new();
+    let mut lit = String::new();
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$' {
+            if !lit.is_empty() {
+                name.push(NamePart::Text(std::mem::take(&mut lit)));
+            }
+            i += 1;
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if start == i {
+                return Err("`$` must be followed by a variable name".into());
+            }
+            name.push(NamePart::Var(rest[start..i].to_string()));
+        } else {
+            lit.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    if !lit.is_empty() {
+        name.push(NamePart::Text(lit));
+    }
+    Ok(PathTemplate { dir_index, name })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 4 descriptor, verbatim in structure.
+    pub(crate) const FIGURE4: &str = r#"
+[IPARS]            // {* Dataset schema name *}
+REL = short int    // {* Data type definition *}
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+
+[IparsData]        // {* Dataset name *}
+DatasetDescription = IPARS
+DIR[0] = osu0/ipars
+DIR[1] = osu1/ipars
+DIR[2] = osu2/ipars
+DIR[3] = osu3/ipars
+
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET ipars1 DATASET ipars2 }
+  DATASET "ipars1" {
+    DATASPACE {
+      LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+        X Y Z
+      }
+    }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }
+  }
+  DATASET "ipars2" {
+    DATASPACE {
+      LOOP TIME 1:500:1 {
+        LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+          SOIL SGAS
+        }
+      }
+    }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }
+  }
+}
+"#;
+
+    #[test]
+    fn parse_figure4() {
+        let d = parse_descriptor(FIGURE4).unwrap();
+        assert_eq!(d.schema.name, "IPARS");
+        assert_eq!(d.schema.attrs.len(), 7);
+        assert_eq!(d.schema.attrs[0], ("REL".to_string(), DataType::Short));
+        assert_eq!(d.storage.dataset_name, "IparsData");
+        assert_eq!(d.storage.schema_name, "IPARS");
+        assert_eq!(d.storage.dirs.len(), 4);
+        assert_eq!(d.storage.dirs[2].node, "osu2");
+        assert_eq!(d.storage.dirs[2].path, "ipars");
+
+        assert_eq!(d.layout.name, "IparsData");
+        assert_eq!(d.layout.schema_ref.as_deref(), Some("IPARS"));
+        assert_eq!(d.layout.index_attrs, vec!["REL", "TIME"]);
+        assert_eq!(d.layout.data, DataAst::Nested(vec!["ipars1".into(), "ipars2".into()]));
+        assert_eq!(d.layout.children.len(), 2);
+
+        let ipars1 = &d.layout.children[0];
+        assert_eq!(ipars1.name, "ipars1");
+        let space = ipars1.dataspace.as_ref().unwrap();
+        match &space[0] {
+            SpaceItem::Loop { var, body, .. } => {
+                assert_eq!(var, "GRID");
+                assert_eq!(
+                    body[0],
+                    SpaceItem::Attrs(vec!["X".into(), "Y".into(), "Z".into()])
+                );
+            }
+            other => panic!("expected LOOP, got {other:?}"),
+        }
+
+        let ipars2 = &d.layout.children[1];
+        match &ipars2.data {
+            DataAst::Files(bindings) => {
+                assert_eq!(bindings.len(), 1);
+                let b = &bindings[0];
+                assert_eq!(b.ranges.len(), 2);
+                assert_eq!(b.ranges[0].0, "REL");
+                assert_eq!(b.ranges[1].0, "DIRID");
+                assert_eq!(
+                    b.template.name,
+                    vec![NamePart::Text("DATA".into()), NamePart::Var("REL".into())]
+                );
+            }
+            other => panic!("expected files, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_loop_bounds_evaluate() {
+        let d = parse_descriptor(FIGURE4).unwrap();
+        let ipars2 = &d.layout.children[1];
+        let space = ipars2.dataspace.as_ref().unwrap();
+        let SpaceItem::Loop { body, .. } = &space[0] else { panic!() };
+        let SpaceItem::Loop { lo, hi, .. } = &body[0] else { panic!() };
+        let mut env = crate::expr::Env::new();
+        env.insert("DIRID".into(), 3);
+        assert_eq!(lo.eval(&env).unwrap(), 301);
+        assert_eq!(hi.eval(&env).unwrap(), 400);
+    }
+
+    #[test]
+    fn chunked_layout_parses() {
+        let text = r#"
+[TITAN]
+X = int
+S1 = float
+
+[TitanData]
+DatasetDescription = TITAN
+DIR[0] = osu0/titan
+
+DATASET "TitanData" {
+  DATATYPE { TITAN }
+  DATAINDEX { X }
+  DATASET "chunks" {
+    DATASPACE {
+      CHUNKED INDEXFILE "DIR[$DIRID]/titan.idx" { X S1 }
+    }
+    DATA { DIR[$DIRID]/titan.dat DIRID = 0:0:1 }
+  }
+  DATA { DATASET chunks }
+}
+"#;
+        let d = parse_descriptor(text).unwrap();
+        let chunks = &d.layout.children[0];
+        let space = chunks.dataspace.as_ref().unwrap();
+        match &space[0] {
+            SpaceItem::Chunked { attrs, index_template } => {
+                assert_eq!(attrs, &vec!["X".to_string(), "S1".to_string()]);
+                assert_eq!(index_template.name, vec![NamePart::Text("titan.idx".into())]);
+            }
+            other => panic!("expected CHUNKED, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn datatype_extra_attrs() {
+        let text = r#"
+[S]
+A = int
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATATYPE { S PAD = int HDR = long int }
+  DATASET "leaf" {
+    DATASPACE { HDR LOOP I 1:10:1 { A PAD } }
+    DATA { DIR[0]/f }
+  }
+  DATA { DATASET leaf }
+}
+"#;
+        let d = parse_descriptor(text).unwrap();
+        assert_eq!(d.layout.schema_ref.as_deref(), Some("S"));
+        assert_eq!(
+            d.layout.extra_attrs,
+            vec![("PAD".to_string(), DataType::Int), ("HDR".to_string(), DataType::Long)]
+        );
+        let leaf = &d.layout.children[0];
+        let space = leaf.dataspace.as_ref().unwrap();
+        assert_eq!(space[0], SpaceItem::Attrs(vec!["HDR".into()]));
+    }
+
+    #[test]
+    fn negative_and_arith_range_bounds() {
+        let text = r#"
+[S]
+A = int
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATATYPE { S }
+  DATASET "leaf" {
+    DATASPACE { LOOP I -5:5*2:1 { A } }
+    DATA { DIR[0]/f }
+  }
+  DATA { DATASET leaf }
+}
+"#;
+        let d = parse_descriptor(text).unwrap();
+        let leaf = &d.layout.children[0];
+        let SpaceItem::Loop { lo, hi, .. } = &leaf.dataspace.as_ref().unwrap()[0] else {
+            panic!()
+        };
+        let env = crate::expr::Env::new();
+        assert_eq!(lo.eval(&env).unwrap(), -5);
+        assert_eq!(hi.eval(&env).unwrap(), 10);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse_descriptor("[S]\nA = varchar").unwrap_err().to_string();
+        assert!(e.contains("varchar") || e.contains("type"), "{e}");
+        let e = parse_descriptor("DATASET \"X\" {}").unwrap_err();
+        assert!(matches!(e, DvError::DescriptorParse { .. }));
+    }
+
+    #[test]
+    fn duplicate_dir_index_rejected() {
+        let text = "[S]\nA = int\n[D]\nDatasetDescription = S\nDIR[0] = n/d\nDIR[0] = n/e\nDATASET \"D\" { DATATYPE { S } DATA { DIR[0]/f } DATASPACE { A } }";
+        assert!(parse_descriptor(text).is_err());
+    }
+
+    #[test]
+    fn sparse_dir_index_rejected() {
+        let text = "[S]\nA = int\n[D]\nDatasetDescription = S\nDIR[1] = n/d\nDATASET \"D\" { DATATYPE { S } DATA { DIR[1]/f } DATASPACE { A } }";
+        assert!(parse_descriptor(text).is_err());
+    }
+
+    #[test]
+    fn path_template_parser() {
+        let t = parse_path_template("DIR[$DIRID]/res$REL/t$TIME.dat").unwrap();
+        assert_eq!(t.dir_index, Expr::Var("DIRID".into()));
+        assert_eq!(
+            t.name,
+            vec![
+                NamePart::Text("res".into()),
+                NamePart::Var("REL".into()),
+                NamePart::Text("/t".into()),
+                NamePart::Var("TIME".into()),
+                NamePart::Text(".dat".into()),
+            ]
+        );
+        assert!(parse_path_template("no_dir_prefix").is_err());
+        assert!(parse_path_template("DIR[0]").is_err());
+        assert!(parse_path_template("DIR[0]/").is_err());
+    }
+}

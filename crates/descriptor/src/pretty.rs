@@ -1,0 +1,301 @@
+//! Descriptor pretty-printing: render a [`DescriptorAst`] back to
+//! canonical descriptor text.
+//!
+//! Useful for normalizing hand-written descriptors (`datavirt fmt`),
+//! for generating descriptors programmatically, and — exercised by a
+//! property test — for guaranteeing the parser and printer agree on
+//! the language.
+
+use std::fmt::Write as _;
+
+use crate::ast::{
+    DataAst, DatasetAst, DescriptorAst, FileBinding, NamePart, PathTemplate, SpaceItem,
+};
+use crate::expr::{Expr, Op};
+
+/// Render a full descriptor as canonical text that reparses to an
+/// equivalent AST.
+pub fn render(ast: &DescriptorAst) -> String {
+    let mut out = String::new();
+
+    // Component I — schema.
+    let _ = writeln!(out, "[{}]", ast.schema.name);
+    for (name, ty) in &ast.schema.attrs {
+        let _ = writeln!(out, "{name} = {}", ty.descriptor_name());
+    }
+    out.push('\n');
+
+    // Component II — storage.
+    let _ = writeln!(out, "[{}]", ast.storage.dataset_name);
+    let _ = writeln!(out, "DatasetDescription = {}", ast.storage.schema_name);
+    for d in &ast.storage.dirs {
+        if d.path.is_empty() {
+            let _ = writeln!(out, "DIR[{}] = {}", d.index, d.node);
+        } else {
+            let _ = writeln!(out, "DIR[{}] = {}/{}", d.index, d.node, d.path);
+        }
+    }
+    out.push('\n');
+
+    // Component III — layout.
+    render_dataset(&mut out, &ast.layout, 0);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_dataset(out: &mut String, ds: &DatasetAst, depth: usize) {
+    indent(out, depth);
+    let _ = writeln!(out, "DATASET \"{}\" {{", ds.name);
+
+    if ds.schema_ref.is_some() || !ds.extra_attrs.is_empty() {
+        indent(out, depth + 1);
+        out.push_str("DATATYPE {");
+        if let Some(r) = &ds.schema_ref {
+            let _ = write!(out, " {r}");
+        }
+        for (name, ty) in &ds.extra_attrs {
+            let _ = write!(out, " {name} = {}", ty.descriptor_name());
+        }
+        out.push_str(" }\n");
+    }
+    if !ds.index_attrs.is_empty() {
+        indent(out, depth + 1);
+        let _ = writeln!(out, "DATAINDEX {{ {} }}", ds.index_attrs.join(" "));
+    }
+    if let Some(space) = &ds.dataspace {
+        indent(out, depth + 1);
+        out.push_str("DATASPACE {\n");
+        for item in space {
+            render_item(out, item, depth + 2);
+        }
+        indent(out, depth + 1);
+        out.push_str("}\n");
+    }
+    match &ds.data {
+        DataAst::Nested(names) => {
+            indent(out, depth + 1);
+            let parts: Vec<String> = names.iter().map(|n| format!("DATASET {n}")).collect();
+            let _ = writeln!(out, "DATA {{ {} }}", parts.join(" "));
+        }
+        DataAst::Files(bindings) => {
+            indent(out, depth + 1);
+            out.push_str("DATA {");
+            for b in bindings {
+                let _ = write!(out, " {}", render_binding(b));
+            }
+            out.push_str(" }\n");
+        }
+        DataAst::Absent => {}
+    }
+    for child in &ds.children {
+        render_dataset(out, child, depth + 1);
+    }
+    indent(out, depth);
+    out.push_str("}\n");
+}
+
+fn render_item(out: &mut String, item: &SpaceItem, depth: usize) {
+    match item {
+        SpaceItem::Attrs(attrs) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{}", attrs.join(" "));
+        }
+        SpaceItem::Loop { var, lo, hi, step, body } => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "LOOP {var} {}:{}:{} {{",
+                render_expr(lo),
+                render_expr(hi),
+                render_expr(step)
+            );
+            for b in body {
+                render_item(out, b, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        SpaceItem::Chunked { index_template, attrs } => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "CHUNKED INDEXFILE \"{}\" {{ {} }}",
+                render_template(index_template),
+                attrs.join(" ")
+            );
+        }
+    }
+}
+
+fn render_binding(b: &FileBinding) -> String {
+    let mut s = render_template(&b.template);
+    for (var, lo, hi, step) in &b.ranges {
+        let _ = write!(
+            s,
+            " {var} = {}:{}:{}",
+            render_expr(lo),
+            render_expr(hi),
+            render_expr(step)
+        );
+    }
+    s
+}
+
+fn render_template(t: &PathTemplate) -> String {
+    let mut s = format!("DIR[{}]/", render_expr(&t.dir_index));
+    for part in &t.name {
+        match part {
+            NamePart::Text(text) => s.push_str(text),
+            NamePart::Var(v) => {
+                s.push('$');
+                s.push_str(v);
+            }
+        }
+    }
+    s
+}
+
+/// Render an expression with enough parentheses to reparse
+/// unambiguously.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Var(v) => format!("${v}"),
+        Expr::Neg(inner) => format!("(-{})", render_expr(inner)),
+        Expr::Bin { op, lhs, rhs } => {
+            let sym = match op {
+                Op::Add => "+",
+                Op::Sub => "-",
+                Op::Mul => "*",
+                Op::Div => "/",
+                Op::Mod => "%",
+            };
+            format!("({}{sym}{})", render_expr(lhs), render_expr(rhs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_descriptor;
+
+    const FIGURE4: &str = r#"
+[IPARS]
+REL = short int
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = osu0/ipars
+DIR[1] = osu1/ipars
+DIR[2] = osu2/ipars
+DIR[3] = osu3/ipars
+
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET ipars1 DATASET ipars2 }
+  DATASET "ipars1" {
+    DATASPACE {
+      LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 { X Y Z }
+    }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }
+  }
+  DATASET "ipars2" {
+    DATASPACE {
+      LOOP TIME 1:500:1 {
+        LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 { SOIL SGAS }
+      }
+    }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }
+  }
+}
+"#;
+
+    #[test]
+    fn figure4_roundtrips() {
+        let ast1 = parse_descriptor(FIGURE4).unwrap();
+        let text = render(&ast1);
+        let ast2 = parse_descriptor(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- rendered ---\n{text}"));
+        assert_eq!(ast1, ast2, "--- rendered ---\n{text}");
+    }
+
+    #[test]
+    fn chunked_roundtrips() {
+        let text = r#"
+[T]
+X = int
+S1 = float
+
+[TitanData]
+DatasetDescription = T
+DIR[0] = tnode0/titan
+
+DATASET "TitanData" {
+  DATATYPE { T }
+  DATAINDEX { X }
+  DATA { DATASET chunks }
+  DATASET "chunks" {
+    DATASPACE { CHUNKED INDEXFILE "DIR[$DIRID]/titan.idx" { X S1 } }
+    DATA { DIR[$DIRID]/titan.dat DIRID = 0:0:1 }
+  }
+}
+"#;
+        let ast1 = parse_descriptor(text).unwrap();
+        let rendered = render(&ast1);
+        let ast2 = parse_descriptor(&rendered).unwrap();
+        assert_eq!(ast1, ast2, "--- rendered ---\n{rendered}");
+    }
+
+    #[test]
+    fn extra_attrs_and_bare_node_roundtrip() {
+        let text = r#"
+[S]
+A = int
+
+[D]
+DatasetDescription = S
+DIR[0] = solo
+
+DATASET "D" {
+  DATATYPE { S HDR = long int }
+  DATASET "leaf" {
+    DATASPACE { HDR LOOP I -5:5:2 { A } }
+    DATA { DIR[0]/f.dat }
+  }
+  DATA { DATASET leaf }
+}
+"#;
+        let ast1 = parse_descriptor(text).unwrap();
+        let rendered = render(&ast1);
+        let ast2 = parse_descriptor(&rendered).unwrap();
+        assert_eq!(ast1, ast2, "--- rendered ---\n{rendered}");
+    }
+
+    #[test]
+    fn expr_rendering() {
+        use crate::expr::Expr as E;
+        let e = E::Bin {
+            op: Op::Add,
+            lhs: Box::new(E::Bin {
+                op: Op::Mul,
+                lhs: Box::new(E::Var("DIRID".into())),
+                rhs: Box::new(E::Int(100)),
+            }),
+            rhs: Box::new(E::Int(1)),
+        };
+        assert_eq!(render_expr(&e), "(($DIRID*100)+1)");
+    }
+}

@@ -1,0 +1,75 @@
+//! Tokens of the meta-data description language.
+
+use std::fmt;
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub column: u32,
+}
+
+/// Token kinds.
+///
+/// The language distinguishes *words* (identifiers/keywords), *paths*
+/// (words that embed `/`, `[`, `]`, `$` or `.` — file templates like
+/// `DIR[$DIRID]/DATA$REL`), `$`-variables, integers, quoted strings and
+/// punctuation. Keywords are recognized by the parser (matching words
+/// case-insensitively) so attribute names are never reserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier-like word (`IPARS`, `SOIL`, `LOOP`, ...).
+    Word(String),
+    /// A word embedding path syntax (`DIR[0]`, `osu0/ipars`,
+    /// `DIR[$DIRID]/DATA$REL`).
+    Path(String),
+    /// `$NAME` variable reference.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Double-quoted string (dataset names, index-file templates).
+    Str(String),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Equals,
+    Colon,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(s) => write!(f, "{s}"),
+            TokenKind::Path(s) => write!(f, "{s}"),
+            TokenKind::Var(s) => write!(f, "${s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Equals => write!(f, "="),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eof => write!(f, "<end of descriptor>"),
+        }
+    }
+}

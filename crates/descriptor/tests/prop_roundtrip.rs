@@ -1,0 +1,203 @@
+//! Property test: for randomized descriptor ASTs, `parse(render(ast))`
+//! equals `ast`, and both resolve to the same dataset model.
+
+use proptest::prelude::*;
+
+use dv_descriptor::ast::{
+    DataAst, DatasetAst, DescriptorAst, DirAst, FileBinding, NamePart, PathTemplate, SchemaAst,
+    SpaceItem, StorageAst,
+};
+use dv_descriptor::expr::{Expr, Op};
+use dv_descriptor::{parse_descriptor, render, resolve};
+use dv_types::DataType;
+
+const ATTR_POOL: [&str; 8] = ["ALPHA", "BETA", "GAMMA", "DELTA", "EPS", "ZETA", "ETA", "THETA"];
+
+fn arb_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Char),
+        Just(DataType::Short),
+        Just(DataType::Int),
+        Just(DataType::Long),
+        Just(DataType::Float),
+        Just(DataType::Double),
+    ]
+}
+
+/// An affine bound expression over `$DIRID`.
+fn arb_bound() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (1i64..50).prop_map(Expr::Int),
+        (1i64..10, 0i64..5).prop_map(|(m, c)| Expr::Bin {
+            op: Op::Add,
+            lhs: Box::new(Expr::Bin {
+                op: Op::Mul,
+                lhs: Box::new(Expr::Var("DIRID".into())),
+                rhs: Box::new(Expr::Int(m)),
+            }),
+            rhs: Box::new(Expr::Int(c)),
+        }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Params {
+    n_attrs: usize,
+    types: Vec<DataType>,
+    dirs: usize,
+    t_hi: i64,
+    grid_lo: Expr,
+    grid_extent: i64,
+    split: usize,
+    rels: i64,
+}
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    (
+        2usize..=8,
+        prop::collection::vec(arb_type(), 8),
+        1usize..=4,
+        1i64..30,
+        arb_bound(),
+        1i64..20,
+        1usize..8,
+        1i64..4,
+    )
+        .prop_map(|(n_attrs, types, dirs, t_hi, grid_lo, grid_extent, split, rels)| Params {
+            n_attrs,
+            types,
+            dirs,
+            t_hi,
+            grid_lo,
+            grid_extent,
+            split,
+            rels,
+        })
+}
+
+/// Build a two-leaf descriptor AST: a coords-style dataset holding the
+/// first `split` attributes and a data-style dataset holding the rest,
+/// parameterized by `$DIRID`/`$REL`.
+fn build_ast(p: &Params) -> DescriptorAst {
+    let split = p.split.min(p.n_attrs - 1).max(1);
+    let attrs: Vec<(String, DataType)> = (0..p.n_attrs)
+        .map(|i| (ATTR_POOL[i].to_string(), p.types[i]))
+        .collect();
+    let head: Vec<String> = attrs[..split].iter().map(|(n, _)| n.clone()).collect();
+    let tail: Vec<String> = attrs[split..].iter().map(|(n, _)| n.clone()).collect();
+
+    let grid_hi = Expr::Bin {
+        op: Op::Add,
+        lhs: Box::new(p.grid_lo.clone()),
+        rhs: Box::new(Expr::Int(p.grid_extent)),
+    };
+    let grid_loop = |body: Vec<SpaceItem>| SpaceItem::Loop {
+        var: "GRID".into(),
+        lo: p.grid_lo.clone(),
+        hi: grid_hi.clone(),
+        step: Expr::Int(1),
+        body,
+    };
+
+    let leaf1 = DatasetAst {
+        name: "head".into(),
+        schema_ref: None,
+        extra_attrs: vec![],
+        index_attrs: vec![],
+        dataspace: Some(vec![grid_loop(vec![SpaceItem::Attrs(head)])]),
+        data: DataAst::Files(vec![FileBinding {
+            template: PathTemplate {
+                dir_index: Expr::Var("DIRID".into()),
+                name: vec![NamePart::Text("head.dat".into())],
+            },
+            ranges: vec![(
+                "DIRID".into(),
+                Expr::Int(0),
+                Expr::Int(p.dirs as i64 - 1),
+                Expr::Int(1),
+            )],
+        }]),
+        children: vec![],
+    };
+    let leaf2 = DatasetAst {
+        name: "tail".into(),
+        schema_ref: None,
+        extra_attrs: vec![],
+        index_attrs: vec![],
+        dataspace: Some(vec![SpaceItem::Loop {
+            var: "T".into(),
+            lo: Expr::Int(1),
+            hi: Expr::Int(p.t_hi),
+            step: Expr::Int(1),
+            body: vec![grid_loop(vec![SpaceItem::Attrs(tail)])],
+        }]),
+        data: DataAst::Files(vec![FileBinding {
+            template: PathTemplate {
+                dir_index: Expr::Var("DIRID".into()),
+                name: vec![NamePart::Text("tail.r".into()), NamePart::Var("REL".into())],
+            },
+            ranges: vec![
+                ("REL".into(), Expr::Int(0), Expr::Int(p.rels - 1), Expr::Int(1)),
+                (
+                    "DIRID".into(),
+                    Expr::Int(0),
+                    Expr::Int(p.dirs as i64 - 1),
+                    Expr::Int(1),
+                ),
+            ],
+        }]),
+        children: vec![],
+    };
+
+    DescriptorAst {
+        schema: SchemaAst { name: "PROP".into(), attrs },
+        storage: StorageAst {
+            dataset_name: "PropData".into(),
+            schema_name: "PROP".into(),
+            dirs: (0..p.dirs)
+                .map(|d| DirAst {
+                    index: d,
+                    node: format!("node{d}"),
+                    path: format!("prop/d{d}"),
+                })
+                .collect(),
+        },
+        layout: DatasetAst {
+            name: "PropData".into(),
+            schema_ref: Some("PROP".into()),
+            extra_attrs: vec![],
+            index_attrs: vec!["ALPHA".into()],
+            dataspace: None,
+            data: DataAst::Nested(vec!["head".into(), "tail".into()]),
+            children: vec![leaf1, leaf2],
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn render_parse_roundtrip(p in arb_params()) {
+        let ast = build_ast(&p);
+        let text = render(&ast);
+        let reparsed = parse_descriptor(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(&ast, &reparsed, "text:\n{}", text);
+
+        // Both ASTs resolve to identical models.
+        let m1 = resolve(&ast).unwrap();
+        let m2 = resolve(&reparsed).unwrap();
+        prop_assert_eq!(m1.files.len(), m2.files.len());
+        prop_assert_eq!(m1.schema, m2.schema);
+        for (a, b) in m1.files.iter().zip(&m2.files) {
+            prop_assert_eq!(a, b);
+        }
+
+        // Expected file count: head per dir + tail per (rel, dir).
+        prop_assert_eq!(
+            m1.files.len(),
+            p.dirs + p.dirs * p.rels as usize
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Hand-written executor for the original Ipars layout (L0).
+//!
+//! Layout knowledge baked in (this is the point of the baseline):
+//!
+//! * per directory `d`: `COORDS` holds `G` records of `(X, Y, Z)` f32;
+//! * per directory, variable `v`, realization `r`:
+//!   `<var>.r<r>.dat` holds `T × G` f32 values, time-major;
+//! * the value of variable `v` at `(t, g)` lives at byte offset
+//!   `((t-1)·G + g)·4` of that file;
+//! * `REL` and `TIME` are implied by file name and offset.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dv_datagen::ipars::VARS;
+use dv_datagen::IparsConfig;
+use dv_sql::analysis::attribute_ranges;
+use dv_sql::eval::EvalContext;
+use dv_sql::{BoundQuery, UdfRegistry};
+use dv_types::{DvError, IntervalSet, Result, Row, Table, Value};
+
+/// Hand-written index + extractor for Ipars L0.
+pub struct HandIparsL0 {
+    base: PathBuf,
+    cfg: IparsConfig,
+    udfs: UdfRegistry,
+}
+
+impl HandIparsL0 {
+    /// `base` is the directory the generator wrote into.
+    pub fn new(base: PathBuf, cfg: IparsConfig, udfs: UdfRegistry) -> HandIparsL0 {
+        HandIparsL0 { base, cfg, udfs }
+    }
+
+    fn dir_path(&self, d: usize) -> PathBuf {
+        self.base
+            .join(format!("osu{}", d % self.cfg.nodes))
+            .join(format!("ipars.l0.d{d}"))
+    }
+
+    /// Execute a bound query with node workers running concurrently;
+    /// returns the result table and the bytes read from disk.
+    pub fn execute(&self, bq: &BoundQuery) -> Result<(Table, u64)> {
+        self.execute_inner(bq, false, None)
+    }
+
+    /// Execute with nodes processed one at a time, appending each
+    /// node's pipeline duration to `node_busy` — `max(node_busy)`
+    /// models the wall time of a real N-node cluster (see DESIGN.md).
+    pub fn execute_sequential(
+        &self,
+        bq: &BoundQuery,
+    ) -> Result<(Table, u64, Vec<std::time::Duration>)> {
+        let mut busy = Vec::new();
+        let (table, bytes) = self.execute_inner(bq, true, Some(&mut busy))?;
+        Ok((table, bytes, busy))
+    }
+
+    fn execute_inner(
+        &self,
+        bq: &BoundQuery,
+        sequential: bool,
+        mut node_busy: Option<&mut Vec<std::time::Duration>>,
+    ) -> Result<(Table, u64)> {
+        let cfg = &self.cfg;
+        let g = cfg.grid_per_dir as u64;
+        let t_max = cfg.time_steps as i64;
+        let r_max = cfg.realizations as i64;
+
+        // Hand-written "index function": REL list and TIME range pulled
+        // straight from the predicate.
+        let ranges: HashMap<usize, IntervalSet> =
+            bq.predicate.as_ref().map(attribute_ranges).unwrap_or_default();
+        let rels: Vec<i64> = (0..r_max)
+            .filter(|r| ranges.get(&0).map(|s| s.contains(*r as f64)).unwrap_or(true))
+            .collect();
+        let times: Vec<i64> = (1..=t_max)
+            .filter(|t| ranges.get(&1).map(|s| s.contains(*t as f64)).unwrap_or(true))
+            .collect();
+
+        // Needed attributes, in working (schema) order.
+        let working = bq.needed_attrs();
+        let need_coord = working.iter().any(|&a| (2..5).contains(&a));
+        let needed_vars: Vec<usize> =
+            working.iter().filter(|&&a| a >= 5).map(|&a| a - 5).collect();
+
+        let cx = EvalContext::new(bq.schema.len(), &working, &self.udfs);
+        let out_positions: Vec<usize> = bq
+            .projection
+            .iter()
+            .map(|attr| working.iter().position(|w| w == attr).expect("projection covered"))
+            .collect();
+        // Identity projection (e.g. SELECT *) moves rows instead of
+        // re-collecting them.
+        let identity_projection = out_positions.len() == working.len()
+            && out_positions.iter().enumerate().all(|(i, &p)| i == p);
+
+        let bytes_read = AtomicU64::new(0);
+        let nodes = cfg.nodes;
+        let run_node = |node: usize| -> Result<Vec<Row>> {
+            let out_positions = &out_positions;
+            let identity_projection = &identity_projection;
+            let rels = &rels;
+            let times = &times;
+            let working = &working;
+            let needed_vars = &needed_vars;
+            let cx = &cx;
+            let bytes_read = &bytes_read;
+            {
+                {
+                    let mut rows: Vec<Row> = Vec::new();
+                    for d in (node..cfg.dirs).step_by(nodes) {
+                        let dir = self.dir_path(d);
+                        // Coordinates: read the whole (small) file once.
+                        let coords: Vec<u8> = if need_coord {
+                            let path = dir.join("COORDS");
+                            let data = std::fs::read(&path)
+                                .map_err(|e| DvError::io(path.display().to_string(), e))?;
+                            bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+                            data
+                        } else {
+                            Vec::new()
+                        };
+                        for &rel in rels {
+                            // Open the needed variable files for this
+                            // realization.
+                            let files: Vec<File> = needed_vars
+                                .iter()
+                                .map(|&v| {
+                                    let path = dir.join(format!(
+                                        "{}.r{rel}.dat",
+                                        VARS[v].to_ascii_lowercase()
+                                    ));
+                                    File::open(&path).map_err(|e| {
+                                        DvError::io(path.display().to_string(), e)
+                                    })
+                                })
+                                .collect::<Result<_>>()?;
+                            let mut bufs: Vec<Vec<u8>> =
+                                files.iter().map(|_| vec![0u8; (g * 4) as usize]).collect();
+                            for &t in times {
+                                let off = (t as u64 - 1) * g * 4;
+                                for (f, buf) in files.iter().zip(bufs.iter_mut()) {
+                                    f.read_exact_at(buf, off)
+                                        .map_err(|e| DvError::io("<l0 var file>", e))?;
+                                    bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                                }
+                                for k in 0..g as usize {
+                                    let mut row: Row =
+                                        Vec::with_capacity(working.len());
+                                    for (wi, &attr) in working.iter().enumerate() {
+                                        let v = match attr {
+                                            0 => Value::Short(rel as i16),
+                                            1 => Value::Int(t as i32),
+                                            2..=4 => {
+                                                let at = k * 12 + (attr - 2) * 4;
+                                                Value::Float(f32::from_le_bytes(
+                                                    coords[at..at + 4].try_into().unwrap(),
+                                                ))
+                                            }
+                                            _ => {
+                                                let vi = needed_vars
+                                                    .iter()
+                                                    .position(|&v| v == attr - 5)
+                                                    .unwrap();
+                                                let at = k * 4;
+                                                Value::Float(f32::from_le_bytes(
+                                                    bufs[vi][at..at + 4].try_into().unwrap(),
+                                                ))
+                                            }
+                                        };
+                                        let _ = wi;
+                                        row.push(v);
+                                    }
+                                    let keep = match &bq.predicate {
+                                        Some(p) => cx.eval(p, &row),
+                                        None => true,
+                                    };
+                                    if keep {
+                                        if *identity_projection {
+                                            rows.push(row);
+                                        } else {
+                                            rows.push(
+                                                out_positions.iter().map(|&p| row[p]).collect(),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Ok(rows)
+                }
+            }
+        };
+
+        let result: Result<Vec<Vec<Row>>> = if sequential {
+            // One node at a time, recording per-node pipeline times —
+            // the faithful scaling measurement on a single-core host.
+            let mut out = Vec::with_capacity(nodes);
+            for node in 0..nodes {
+                let start = std::time::Instant::now();
+                let rows = run_node(node)?;
+                if let Some(busy) = node_busy.as_deref_mut() {
+                    busy.push(start.elapsed());
+                }
+                out.push(rows);
+            }
+            Ok(out)
+        } else {
+            std::thread::scope(|scope| {
+                let run_node = &run_node;
+                let handles: Vec<_> =
+                    (0..nodes).map(|node| scope.spawn(move || run_node(node))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().map_err(|_| DvError::Runtime("hand worker panicked".into()))?
+                    })
+                    .collect()
+            })
+        };
+
+        let mut table = Table::empty(bq.output_schema());
+        for rows in result? {
+            table.rows.extend(rows);
+        }
+        Ok((table, bytes_read.load(Ordering::Relaxed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_datagen::{ipars, IparsLayout};
+    use dv_sql::{bind, parse};
+
+    fn setup(tag: &str) -> (PathBuf, IparsConfig) {
+        let base =
+            std::env::temp_dir().join(format!("dv-hand-l0-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let cfg = IparsConfig::tiny();
+        ipars::generate(&base, &cfg, IparsLayout::L0).unwrap();
+        (base, cfg)
+    }
+
+    fn schema() -> dv_types::Schema {
+        dv_descriptor::compile(&ipars::descriptor(&IparsConfig::tiny(), IparsLayout::L0))
+            .unwrap()
+            .schema
+    }
+
+    #[test]
+    fn hand_matches_generated() {
+        let (base, cfg) = setup("match");
+        let hand = HandIparsL0::new(base.clone(), cfg.clone(), UdfRegistry::with_builtins());
+        let desc = ipars::descriptor(&cfg, IparsLayout::L0);
+        let compiled = dv_layout::plan::compile_from_text(&desc, &base).unwrap();
+        let server = dv_storm::StormServer::new(
+            std::sync::Arc::new(compiled),
+            UdfRegistry::with_builtins(),
+        );
+
+        let queries = [
+            "SELECT * FROM IparsData",
+            "SELECT * FROM IparsData WHERE TIME >= 2 AND TIME <= 3",
+            "SELECT * FROM IparsData WHERE REL = 1 AND SOIL > 0.5",
+            "SELECT REL, TIME, SOIL FROM IparsData WHERE SPEED(OILVX, OILVY, OILVZ) < 40.0",
+        ];
+        for sql in queries {
+            let bq = bind(&parse(sql).unwrap(), &schema(), &UdfRegistry::with_builtins()).unwrap();
+            let (hand_table, hand_bytes) = hand.execute(&bq).unwrap();
+            let (gen_table, stats) = server.execute_table(sql).unwrap();
+            assert!(
+                hand_table.same_rows(&gen_table),
+                "{sql}: hand {} rows vs generated {}",
+                hand_table.len(),
+                gen_table.len()
+            );
+            assert!(hand_bytes > 0);
+            // The hand version caches COORDS per directory while the
+            // AFC model re-reads the COORD chunk per aligned set, so
+            // hand reads at most as much as generated.
+            assert!(hand_bytes <= stats.bytes_read, "{sql}");
+        }
+    }
+
+    #[test]
+    fn hand_prunes_time_and_rel() {
+        let (base, cfg) = setup("prune");
+        let hand = HandIparsL0::new(base, cfg.clone(), UdfRegistry::with_builtins());
+        let sql = "SELECT * FROM IparsData WHERE TIME = 1 AND REL = 0";
+        let bq = bind(&parse(sql).unwrap(), &schema(), &UdfRegistry::with_builtins()).unwrap();
+        let (table, bytes) = hand.execute(&bq).unwrap();
+        assert_eq!(table.len(), cfg.grid_per_dir * cfg.dirs);
+        // 1 time × (17 vars × G × 4 + coords G × 12) per dir.
+        let g = cfg.grid_per_dir as u64;
+        assert_eq!(bytes, cfg.dirs as u64 * (17 * g * 4 + g * 12));
+    }
+}

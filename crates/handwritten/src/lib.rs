@@ -1,0 +1,27 @@
+//! # dv-handwritten
+//!
+//! Hand-written index and extractor functions — the baselines the
+//! paper compares its generated code against (Figures 9–11).
+//!
+//! Each implementation is what an application developer who knows the
+//! physical layout intimately would plug into STORM:
+//!
+//! * [`ipars_l0::HandIparsL0`] — the original Ipars layout (COORDS +
+//!   one file per variable per realization): file offsets, strides and
+//!   implicit REL/TIME values are hard-coded against the layout,
+//!   not derived from any descriptor;
+//! * [`titan::HandTitan`] — the chunked satellite layout: loads the
+//!   chunk index, builds an R-tree, reads matching chunks and decodes
+//!   the fixed 32-byte records with hard-coded field offsets.
+//!
+//! Both share the query *front half* (SQL parsing/binding and residual
+//! predicate evaluation) with the generated path — in the paper, too,
+//! hand-written extractors plugged into the same STORM query/filter
+//! services. What is hand-written here is exactly what the paper's
+//! tool generates: the index function and the extraction function.
+
+pub mod ipars_l0;
+pub mod titan;
+
+pub use ipars_l0::HandIparsL0;
+pub use titan::HandTitan;

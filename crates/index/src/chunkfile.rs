@@ -1,0 +1,205 @@
+//! On-disk chunk index format for `CHUNKED INDEXFILE` layouts.
+//!
+//! The paper's Titan dataset partitions processed satellite data into
+//! spatial-temporal chunks and builds a spatial index over them
+//! (§2.2). We serialize that index as a small binary sidecar file the
+//! generated index function loads at plan-build time:
+//!
+//! ```text
+//! magic   : b"DVIX"
+//! version : u32 le (currently 1)
+//! dims    : u32 le — number of indexed attributes
+//! count   : u64 le — number of chunks
+//! entry*  : dims × (lo f64 le, hi f64 le), offset u64 le, rows u64 le
+//! ```
+//!
+//! Entries must be non-overlapping in byte ranges but may overlap
+//! spatially (satellite sweeps revisit regions).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dv_types::{DvError, Result};
+
+use crate::rect::Rect;
+
+const MAGIC: &[u8; 4] = b"DVIX";
+const VERSION: u32 = 1;
+
+/// One chunk of a chunked data file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkIndexEntry {
+    /// Per indexed attribute: inclusive `(lo, hi)` bounds of the values
+    /// inside the chunk.
+    pub bounds: Vec<(f64, f64)>,
+    /// Byte offset of the chunk within the data file.
+    pub offset: u64,
+    /// Number of records in the chunk.
+    pub rows: u64,
+}
+
+impl ChunkIndexEntry {
+    /// Bounds as a [`Rect`] for R-tree loading.
+    pub fn rect(&self) -> Rect {
+        let lo = self.bounds.iter().map(|b| b.0).collect();
+        let hi = self.bounds.iter().map(|b| b.1).collect();
+        Rect::new(lo, hi)
+    }
+}
+
+/// Write a chunk index file.
+pub fn write_chunk_index(path: &Path, dims: usize, entries: &[ChunkIndexEntry]) -> Result<()> {
+    let to_err = |e: std::io::Error| DvError::io(path.display().to_string(), e);
+    let mut w = BufWriter::new(File::create(path).map_err(to_err)?);
+    w.write_all(MAGIC).map_err(to_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(to_err)?;
+    w.write_all(&(dims as u32).to_le_bytes()).map_err(to_err)?;
+    w.write_all(&(entries.len() as u64).to_le_bytes()).map_err(to_err)?;
+    for e in entries {
+        if e.bounds.len() != dims {
+            return Err(DvError::Runtime(format!(
+                "chunk index entry has {} bounds, expected {dims}",
+                e.bounds.len()
+            )));
+        }
+        for (lo, hi) in &e.bounds {
+            w.write_all(&lo.to_le_bytes()).map_err(to_err)?;
+            w.write_all(&hi.to_le_bytes()).map_err(to_err)?;
+        }
+        w.write_all(&e.offset.to_le_bytes()).map_err(to_err)?;
+        w.write_all(&e.rows.to_le_bytes()).map_err(to_err)?;
+    }
+    w.flush().map_err(to_err)
+}
+
+/// Read a chunk index file, returning `(dims, entries)`.
+pub fn read_chunk_index(path: &Path) -> Result<(usize, Vec<ChunkIndexEntry>)> {
+    let to_err = |e: std::io::Error| DvError::io(path.display().to_string(), e);
+    let mut r = BufReader::new(File::open(path).map_err(to_err)?);
+
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(to_err)?;
+    if &magic != MAGIC {
+        return Err(DvError::Runtime(format!(
+            "{} is not a chunk index file (bad magic)",
+            path.display()
+        )));
+    }
+    let version = read_u32(&mut r, path)?;
+    if version != VERSION {
+        return Err(DvError::Runtime(format!(
+            "chunk index {} has unsupported version {version}",
+            path.display()
+        )));
+    }
+    let dims = read_u32(&mut r, path)? as usize;
+    let count = read_u64(&mut r, path)? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut bounds = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            let lo = read_f64(&mut r, path)?;
+            let hi = read_f64(&mut r, path)?;
+            bounds.push((lo, hi));
+        }
+        let offset = read_u64(&mut r, path)?;
+        let rows = read_u64(&mut r, path)?;
+        entries.push(ChunkIndexEntry { bounds, offset, rows });
+    }
+    Ok((dims, entries))
+}
+
+fn read_u32(r: &mut impl Read, path: &Path) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf).map_err(|e| DvError::io(path.display().to_string(), e))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read, path: &Path) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(|e| DvError::io(path.display().to_string(), e))?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f64(r: &mut impl Read, path: &Path) -> Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(|e| DvError::io(path.display().to_string(), e))?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dvix-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmpdir().join("idx.bin");
+        let entries = vec![
+            ChunkIndexEntry { bounds: vec![(0.0, 10.0), (5.0, 6.0)], offset: 0, rows: 128 },
+            ChunkIndexEntry {
+                bounds: vec![(10.0, 20.0), (-1.0, 2.5)],
+                offset: 4096,
+                rows: 64,
+            },
+        ];
+        write_chunk_index(&path, 2, &entries).unwrap();
+        let (dims, back) = read_chunk_index(&path).unwrap();
+        assert_eq!(dims, 2);
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let path = tmpdir().join("empty.bin");
+        write_chunk_index(&path, 3, &[]).unwrap();
+        let (dims, back) = read_chunk_index(&path).unwrap();
+        assert_eq!(dims, 3);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpdir().join("junk.bin");
+        std::fs::write(&path, b"NOTANINDEXFILE__").unwrap();
+        let e = read_chunk_index(&path).unwrap_err().to_string();
+        assert!(e.contains("bad magic"), "{e}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let path = tmpdir().join("trunc.bin");
+        let entries =
+            vec![ChunkIndexEntry { bounds: vec![(0.0, 1.0)], offset: 0, rows: 1 }];
+        write_chunk_index(&path, 1, &entries).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 4]).unwrap();
+        assert!(read_chunk_index(&path).is_err());
+    }
+
+    #[test]
+    fn wrong_dims_rejected_on_write() {
+        let path = tmpdir().join("dims.bin");
+        let entries =
+            vec![ChunkIndexEntry { bounds: vec![(0.0, 1.0)], offset: 0, rows: 1 }];
+        assert!(write_chunk_index(&path, 2, &entries).is_err());
+    }
+
+    #[test]
+    fn entry_rect() {
+        let e = ChunkIndexEntry { bounds: vec![(0.0, 1.0), (2.0, 3.0)], offset: 0, rows: 9 };
+        let r = e.rect();
+        assert_eq!(r.lo(0), 0.0);
+        assert_eq!(r.hi(1), 3.0);
+    }
+}

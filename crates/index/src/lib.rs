@@ -1,0 +1,20 @@
+//! # dv-index
+//!
+//! Indexing substrate for the STORM indexing service:
+//!
+//! * [`Rect`] — axis-aligned boxes in *k* dimensions;
+//! * [`RTree`] — a static, STR-bulk-loaded R-tree over chunk minimum
+//!   bounding rectangles. The paper's Titan dataset builds "a spatial
+//!   index ... so that chunks that intersect the query are searched
+//!   for quickly" (§2.2); this is that index.
+//! * [`chunkfile`] — the on-disk chunk index format referenced by
+//!   `CHUNKED INDEXFILE` layouts: per chunk, the bounds of each
+//!   indexed attribute plus the byte offset and row count.
+
+pub mod chunkfile;
+pub mod rect;
+pub mod rtree;
+
+pub use chunkfile::{read_chunk_index, write_chunk_index, ChunkIndexEntry};
+pub use rect::Rect;
+pub use rtree::RTree;

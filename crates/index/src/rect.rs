@@ -1,0 +1,134 @@
+//! Axis-aligned boxes in *k* dimensions (dynamic dimensionality — the
+//! indexed-attribute count comes from the descriptor at runtime).
+
+/// An axis-aligned, closed box: `lo[d] <= x[d] <= hi[d]` per dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Rect {
+    /// Build from per-dimension bounds. Panics if `lo`/`hi` lengths
+    /// differ (descriptor compilation guarantees they match).
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Rect {
+        assert_eq!(lo.len(), hi.len(), "rect dimensionality mismatch");
+        Rect { lo, hi }
+    }
+
+    /// A rect covering everything in `dims` dimensions.
+    pub fn everything(dims: usize) -> Rect {
+        Rect { lo: vec![f64::NEG_INFINITY; dims], hi: vec![f64::INFINITY; dims] }
+    }
+
+    /// The empty rect in `dims` dimensions (inverted bounds).
+    pub fn empty(dims: usize) -> Rect {
+        Rect { lo: vec![f64::INFINITY; dims], hi: vec![f64::NEG_INFINITY; dims] }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound of dimension `d`.
+    pub fn lo(&self, d: usize) -> f64 {
+        self.lo[d]
+    }
+
+    /// Upper bound of dimension `d`.
+    pub fn hi(&self, d: usize) -> f64 {
+        self.hi[d]
+    }
+
+    /// True when some dimension has inverted bounds.
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l > h)
+    }
+
+    /// Closed-interval intersection test.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((al, ah), (bl, bh))| al <= bh && bl <= ah)
+    }
+
+    /// True when `other` lies fully inside `self`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((al, ah), (bl, bh))| al <= bl && bh <= ah)
+    }
+
+    /// Point membership.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(self.dims(), p.len());
+        self.lo.iter().zip(&self.hi).zip(p).all(|((l, h), v)| l <= v && v <= h)
+    }
+
+    /// Grow `self` to cover `other`.
+    pub fn union_in_place(&mut self, other: &Rect) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for d in 0..self.lo.len() {
+            self.lo[d] = self.lo[d].min(other.lo[d]);
+            self.hi[d] = self.hi[d].max(other.hi[d]);
+        }
+    }
+
+    /// Center of dimension `d` (used by the STR sort).
+    pub fn center(&self, d: usize) -> f64 {
+        (self.lo[d] + self.hi[d]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_closed_bounds() {
+        let a = Rect::new(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let b = Rect::new(vec![10.0, 5.0], vec![20.0, 6.0]);
+        assert!(a.intersects(&b)); // touching edges intersect
+        let c = Rect::new(vec![10.1, 0.0], vec![20.0, 10.0]);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(vec![0.0], vec![10.0]);
+        let inner = Rect::new(vec![2.0], vec![8.0]);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+    }
+
+    #[test]
+    fn union_grows() {
+        let mut a = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        a.union_in_place(&Rect::new(vec![-1.0, 0.5], vec![0.5, 2.0]));
+        assert_eq!(a, Rect::new(vec![-1.0, 0.0], vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn empty_and_everything() {
+        let e = Rect::empty(3);
+        assert!(e.is_empty());
+        let all = Rect::everything(3);
+        assert!(all.contains_point(&[1e300, -1e300, 0.0]));
+        assert!(all.intersects(&Rect::new(vec![0.0; 3], vec![0.0; 3])));
+    }
+
+    #[test]
+    fn point_membership() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(r.contains_point(&[0.0, 1.0]));
+        assert!(!r.contains_point(&[1.5, 0.5]));
+    }
+}

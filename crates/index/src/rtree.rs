@@ -1,0 +1,273 @@
+//! A static R-tree bulk-loaded with Sort-Tile-Recursive (STR) packing.
+//!
+//! Read-only scientific repositories never update in place (the paper
+//! keeps data "in the original format it is generated"), so a packed
+//! static tree is both simpler and faster than a dynamic R*-tree:
+//! bulk load is O(n log n), nodes are fully packed, and queries touch
+//! the minimum number of nodes for the fanout.
+
+use crate::rect::Rect;
+
+const FANOUT: usize = 16;
+
+#[derive(Debug)]
+enum Node<T> {
+    Leaf { rect: Rect, entries: Vec<(Rect, T)> },
+    Inner { rect: Rect, children: Vec<Node<T>> },
+}
+
+impl<T> Node<T> {
+    fn rect(&self) -> &Rect {
+        match self {
+            Node::Leaf { rect, .. } | Node::Inner { rect, .. } => rect,
+        }
+    }
+}
+
+/// A static spatial index over `(Rect, T)` entries.
+#[derive(Debug)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    dims: usize,
+    len: usize,
+}
+
+impl<T> RTree<T> {
+    /// Bulk-load the tree from entries using STR packing.
+    pub fn bulk_load(dims: usize, mut entries: Vec<(Rect, T)>) -> RTree<T> {
+        let len = entries.len();
+        for (r, _) in &entries {
+            assert_eq!(r.dims(), dims, "entry dimensionality mismatch");
+        }
+        if entries.is_empty() {
+            return RTree { root: None, dims, len: 0 };
+        }
+        let leaves = str_pack_leaves(dims, &mut entries);
+        let root = build_upwards(dims, leaves);
+        RTree { root: Some(root), dims, len }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the indexed space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Visit every entry whose rect intersects `query`.
+    pub fn query<'a>(&'a self, query: &Rect, mut visit: impl FnMut(&'a Rect, &'a T)) {
+        if let Some(root) = &self.root {
+            query_rec(root, query, &mut visit);
+        }
+    }
+
+    /// Collect references to all intersecting items.
+    pub fn query_collect<'a>(&'a self, query: &Rect) -> Vec<&'a T> {
+        let mut out = Vec::new();
+        self.query(query, |_, item| out.push(item));
+        out
+    }
+
+    /// Number of tree nodes visited by `query` — exposed for the
+    /// index-ablation bench (R-tree vs linear chunk scan).
+    pub fn nodes_visited(&self, query: &Rect) -> usize {
+        fn rec<T>(node: &Node<T>, query: &Rect, count: &mut usize) {
+            *count += 1;
+            match node {
+                Node::Leaf { .. } => {}
+                Node::Inner { children, .. } => {
+                    for c in children {
+                        if c.rect().intersects(query) {
+                            rec(c, query, count);
+                        }
+                    }
+                }
+            }
+        }
+        let mut count = 0;
+        if let Some(root) = &self.root {
+            if root.rect().intersects(query) {
+                rec(root, query, &mut count);
+            }
+        }
+        count
+    }
+}
+
+fn query_rec<'a, T>(node: &'a Node<T>, query: &Rect, visit: &mut impl FnMut(&'a Rect, &'a T)) {
+    match node {
+        Node::Leaf { rect, entries } => {
+            if rect.intersects(query) {
+                for (r, item) in entries {
+                    if r.intersects(query) {
+                        visit(r, item);
+                    }
+                }
+            }
+        }
+        Node::Inner { rect, children } => {
+            if rect.intersects(query) {
+                for c in children {
+                    query_rec(c, query, visit);
+                }
+            }
+        }
+    }
+}
+
+fn bounding<T>(nodes: &[Node<T>]) -> Rect {
+    let mut rect = Rect::empty(nodes[0].rect().dims());
+    for n in nodes {
+        rect.union_in_place(n.rect());
+    }
+    rect
+}
+
+fn bounding_entries<T>(entries: &[(Rect, T)]) -> Rect {
+    let mut rect = Rect::empty(entries[0].0.dims());
+    for (r, _) in entries {
+        rect.union_in_place(r);
+    }
+    rect
+}
+
+/// Sort-Tile-Recursive leaf packing: recursively sort by each
+/// dimension's center and slice into tiles so that leaves are spatially
+/// coherent and fully packed.
+fn str_pack_leaves<T>(dims: usize, entries: &mut Vec<(Rect, T)>) -> Vec<Node<T>> {
+    let mut slices: Vec<Vec<(Rect, T)>> = vec![std::mem::take(entries)];
+    for d in 0..dims {
+        let remaining_dims = dims - d;
+        let mut next: Vec<Vec<(Rect, T)>> = Vec::new();
+        for mut slice in slices {
+            let n = slice.len();
+            let leaves_needed = n.div_ceil(FANOUT);
+            // Number of slabs along this dimension: the STR rule
+            // ceil(leaves^(1/remaining_dims)).
+            let slabs = (leaves_needed as f64).powf(1.0 / remaining_dims as f64).ceil() as usize;
+            let slabs = slabs.max(1);
+            let per_slab = n.div_ceil(slabs);
+            slice.sort_by(|a, b| a.0.center(d).total_cmp(&b.0.center(d)));
+            let mut iter = slice.into_iter().peekable();
+            while iter.peek().is_some() {
+                let chunk: Vec<(Rect, T)> = iter.by_ref().take(per_slab.max(1)).collect();
+                next.push(chunk);
+            }
+        }
+        slices = next;
+    }
+    // Each slice now holds spatially coherent entries; cut into leaves.
+    let mut leaves = Vec::new();
+    for slice in slices {
+        let mut iter = slice.into_iter().peekable();
+        while iter.peek().is_some() {
+            let chunk: Vec<(Rect, T)> = iter.by_ref().take(FANOUT).collect();
+            let rect = bounding_entries(&chunk);
+            leaves.push(Node::Leaf { rect, entries: chunk });
+        }
+    }
+    leaves
+}
+
+fn build_upwards<T>(dims: usize, mut level: Vec<Node<T>>) -> Node<T> {
+    while level.len() > 1 {
+        // Keep parents spatially coherent by sorting on the first
+        // dimension's center before grouping.
+        level.sort_by(|a, b| a.rect().center(0).total_cmp(&b.rect().center(0)));
+        let mut next = Vec::with_capacity(level.len().div_ceil(FANOUT));
+        let mut iter = level.into_iter().peekable();
+        while iter.peek().is_some() {
+            let children: Vec<Node<T>> = iter.by_ref().take(FANOUT).collect();
+            let rect = bounding(&children);
+            next.push(Node::Inner { rect, children });
+        }
+        level = next;
+    }
+    let _ = dims;
+    level.pop().expect("non-empty level")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(x: f64, y: f64) -> Rect {
+        Rect::new(vec![x, y], vec![x, y])
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<u32> = RTree::bulk_load(2, Vec::new());
+        assert!(t.is_empty());
+        assert!(t.query_collect(&Rect::everything(2)).is_empty());
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = RTree::bulk_load(2, vec![(point(1.0, 2.0), 7u32)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.query_collect(&Rect::new(vec![0.0, 0.0], vec![5.0, 5.0])), vec![&7]);
+        assert!(t.query_collect(&Rect::new(vec![3.0, 3.0], vec![5.0, 5.0])).is_empty());
+    }
+
+    #[test]
+    fn grid_query_matches_linear_scan() {
+        // 20x20 grid of unit tiles.
+        let mut entries = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let r = Rect::new(
+                    vec![i as f64, j as f64],
+                    vec![i as f64 + 1.0, j as f64 + 1.0],
+                );
+                entries.push((r, (i, j)));
+            }
+        }
+        let linear = entries.clone();
+        let t = RTree::bulk_load(2, entries);
+        assert_eq!(t.len(), 400);
+
+        let q = Rect::new(vec![3.5, 7.2], vec![8.9, 9.1]);
+        let mut from_tree: Vec<(i32, i32)> = t.query_collect(&q).into_iter().copied().collect();
+        let mut from_scan: Vec<(i32, i32)> =
+            linear.iter().filter(|(r, _)| r.intersects(&q)).map(|(_, v)| *v).collect();
+        from_tree.sort();
+        from_scan.sort();
+        assert_eq!(from_tree, from_scan);
+        assert!(!from_tree.is_empty());
+    }
+
+    #[test]
+    fn visits_fewer_nodes_on_selective_query() {
+        let mut entries = Vec::new();
+        for i in 0..1000 {
+            let x = (i % 100) as f64;
+            let y = (i / 100) as f64;
+            entries.push((point(x, y), i));
+        }
+        let t = RTree::bulk_load(2, entries);
+        let selective = Rect::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let broad = Rect::everything(2);
+        assert!(t.nodes_visited(&selective) < t.nodes_visited(&broad));
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let mut entries = Vec::new();
+        for i in 0..64 {
+            let c = vec![(i % 4) as f64, ((i / 4) % 4) as f64, (i / 16) as f64];
+            entries.push((Rect::new(c.clone(), c), i));
+        }
+        let t = RTree::bulk_load(3, entries);
+        let q = Rect::new(vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]);
+        assert_eq!(t.query_collect(&q).len(), 8);
+    }
+}

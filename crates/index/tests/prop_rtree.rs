@@ -1,0 +1,47 @@
+//! Property test: R-tree query results are identical to a linear scan
+//! for arbitrary rectangle sets and query boxes, in 1–3 dimensions.
+
+use proptest::prelude::*;
+
+use dv_index::{Rect, RTree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_matches_linear_scan(
+        dims in 1usize..4,
+        seed_rects in prop::collection::vec(prop::collection::vec((-100.0f64..100.0, 0.0f64..20.0), 3), 0..200),
+        query_sides in prop::collection::vec((-120.0f64..120.0, 0.0f64..80.0), 3),
+    ) {
+        // Truncate the 3-dim raw data down to `dims`.
+        let rects: Vec<Rect> = seed_rects
+            .iter()
+            .map(|sides| {
+                let lo: Vec<f64> = sides[..dims].iter().map(|(a, _)| *a).collect();
+                let hi: Vec<f64> = sides[..dims].iter().map(|(a, w)| a + w).collect();
+                Rect::new(lo, hi)
+            })
+            .collect();
+        let query = {
+            let lo: Vec<f64> = query_sides[..dims].iter().map(|(a, _)| *a).collect();
+            let hi: Vec<f64> = query_sides[..dims].iter().map(|(a, w)| a + w).collect();
+            Rect::new(lo, hi)
+        };
+
+        let entries: Vec<(Rect, usize)> =
+            rects.iter().cloned().enumerate().map(|(i, r)| (r, i)).collect();
+        let tree = RTree::bulk_load(dims, entries);
+
+        let mut from_tree: Vec<usize> = tree.query_collect(&query).into_iter().copied().collect();
+        let mut from_scan: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        from_tree.sort_unstable();
+        from_scan.sort_unstable();
+        prop_assert_eq!(from_tree, from_scan);
+    }
+}

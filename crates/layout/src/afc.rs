@@ -1,0 +1,925 @@
+//! Aligned File Chunks — `Process_File_Groups` of the paper's Figure 5.
+//!
+//! Given one file group `{s_1, ..., s_m}` and the per-file segments
+//! that survived pruning, this module joins segments into AFCs:
+//! tuples of byte runs (one or more per file — array layouts contribute
+//! several runs from the *same* file) whose layouts are identical and
+//! whose implicit attributes are consistent. Reading `num_rows ×
+//! stride_i` bytes from each run in lock-step materializes `num_rows`
+//! table rows.
+//!
+//! The join is implemented as a hash join on the segments' common
+//! coordinate variables — semantically the paper's "cartesian product
+//! between S_1..S_m, discard inconsistent combinations", without the
+//! exponential enumeration.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dv_descriptor::{DatasetModel, FileModel};
+use dv_types::{DataType, DvError, IntervalSet, Result, Value};
+
+use crate::segment::{InnerSig, Segment};
+
+/// How a working-row position is filled without reading bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImplicitValue {
+    /// Constant over the whole AFC (file-name or outer-loop implied).
+    Const(Value),
+    /// Row `k` carries `start + k*step` (inner-loop implied), encoded
+    /// with the attribute's schema type.
+    Affine { start: i64, step: i64, dtype: DataType },
+}
+
+/// One byte run of an AFC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AfcEntry {
+    /// File id in the dataset model.
+    pub file: usize,
+    /// Byte offset of row 0.
+    pub offset: u64,
+    /// Bytes per row.
+    pub stride: u64,
+}
+
+/// A stored field decoded from an entry's bytes into a working row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AfcField {
+    /// Index into [`Afc::entries`].
+    pub entry: usize,
+    /// Byte offset of the field within one row's stride.
+    pub byte_off: usize,
+    /// Scalar type to decode.
+    pub dtype: DataType,
+    /// Destination position in the working row.
+    pub working_pos: usize,
+}
+
+/// One aligned file chunk, fully scheduled for extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Afc {
+    /// Rows materialized by this chunk.
+    pub num_rows: u64,
+    /// Byte runs to read in lock-step.
+    pub entries: Vec<AfcEntry>,
+    /// Stored-field decode schedule.
+    pub fields: Vec<AfcField>,
+    /// Implicit values per working position.
+    pub implicits: Vec<(usize, ImplicitValue)>,
+}
+
+impl Afc {
+    /// Total bytes this AFC reads from disk.
+    pub fn bytes_read(&self) -> u64 {
+        self.entries.iter().map(|e| self.num_rows * e.stride).sum()
+    }
+}
+
+/// Query-independent description of the working row: which schema
+/// attributes the execution materializes, in schema order.
+#[derive(Debug, Clone)]
+pub struct WorkingSet {
+    /// Schema attribute indices, ascending.
+    pub attrs: Vec<usize>,
+    /// Attribute names matching `attrs`.
+    pub names: Vec<String>,
+    /// Types matching `attrs`.
+    pub dtypes: Vec<DataType>,
+    /// Name → working position (hot lookup during planning).
+    positions: HashMap<String, usize>,
+}
+
+impl WorkingSet {
+    /// Build from schema attribute indices (sorted, deduped by the
+    /// binder).
+    pub fn new(model: &DatasetModel, attrs: Vec<usize>) -> WorkingSet {
+        let names: Vec<String> =
+            attrs.iter().map(|&i| model.schema.attr_at(i).name.clone()).collect();
+        let dtypes = attrs.iter().map(|&i| model.schema.attr_at(i).dtype).collect();
+        let positions =
+            names.iter().enumerate().map(|(p, n)| (n.clone(), p)).collect();
+        WorkingSet { attrs, names, dtypes, positions }
+    }
+
+    /// Working position of the attribute named `name`, if any.
+    #[inline]
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.positions.get(name).copied()
+    }
+}
+
+/// Join state while folding files of a group together.
+struct Partial {
+    coords: Vec<(String, i64)>,
+    sig: InnerSig,
+    /// Interned signature id (per `build_afcs` call).
+    sig_id: usize,
+    rows: u64,
+    /// `(file, offset, stride, attrs)` runs accumulated so far.
+    runs: Vec<(usize, u64, u64, Arc<Vec<String>>)>,
+}
+
+/// Build the AFCs of one file group.
+///
+/// * `group` — one file per attribute class (paper's `{s_1..s_m}`);
+/// * `segments` — pruned segments, parallel to `group`;
+/// * `working` — the row the extraction must produce;
+/// * `ranges` — per-attribute constraints, for inner-loop clipping.
+pub fn build_afcs(
+    model: &DatasetModel,
+    group: &[&FileModel],
+    segments: &[&[Segment]],
+    working: &WorkingSet,
+    ranges: &HashMap<String, IntervalSet>,
+) -> Result<Vec<Afc>> {
+    assert_eq!(group.len(), segments.len());
+
+    // Signature interning: alignment keys compare interned ids instead
+    // of re-formatted strings (hot during planning).
+    let mut sig_table: Vec<(InnerSig, u64)> = Vec::new();
+    let mut intern = |sig: &InnerSig, rows: u64| -> usize {
+        let rows_key = if matches!(sig, InnerSig::Chunk) { rows } else { 0 };
+        match sig_table.iter().position(|(s, r)| s == sig && *r == rows_key) {
+            Some(i) => i,
+            None => {
+                sig_table.push((sig.clone(), rows_key));
+                sig_table.len() - 1
+            }
+        }
+    };
+
+    // Bucket each file's segments by (coords, sig): array layouts put
+    // several attribute runs of the same logical chunk in one bucket.
+    let mut per_file_buckets: Vec<Vec<Partial>> = Vec::with_capacity(group.len());
+    for (&f, &segs) in group.iter().zip(segments) {
+        // Projection push-down: runs holding nothing the query needs
+        // are never read. Exception: when *no* run of this file is
+        // needed (the file participates only to define cardinality,
+        // e.g. `SELECT REL, TIME`), keep all runs for structure; their
+        // field-less entries are dropped after alignment.
+        let any_needed = segs
+            .iter()
+            .any(|s| s.attrs.iter().any(|a| working.position_of(a).is_some()));
+        let mut buckets: Vec<Partial> = Vec::new();
+        let mut lookup: HashMap<(Vec<(String, i64)>, usize), usize> = HashMap::new();
+        for s in segs {
+            let has_needed = s.attrs.iter().any(|a| working.position_of(a).is_some());
+            if any_needed && !has_needed {
+                continue;
+            }
+            let key = (s.coords.clone(), intern(&s.inner, s.rows));
+            match lookup.get(&key) {
+                Some(&i) => {
+                    if buckets[i].rows != s.rows || buckets[i].sig != s.inner {
+                        return Err(DvError::Alignment(format!(
+                            "file `{}` has inconsistent runs at coords {:?}",
+                            f.rel_path, s.coords
+                        )));
+                    }
+                    buckets[i].runs.push((s.file, s.offset, s.stride, s.attrs.clone()));
+                }
+                None => {
+                    let sig_id = key.1;
+                    lookup.insert(key, buckets.len());
+                    buckets.push(Partial {
+                        coords: s.coords.clone(),
+                        sig: s.inner.clone(),
+                        sig_id,
+                        rows: s.rows,
+                        runs: vec![(s.file, s.offset, s.stride, s.attrs.clone())],
+                    });
+                }
+            }
+        }
+        per_file_buckets.push(buckets);
+    }
+
+    // Some file contributed nothing (either pruned away or carried no
+    // needed attrs): the group yields no rows.
+    if per_file_buckets.iter().any(|b| b.is_empty()) {
+        return Ok(Vec::new());
+    }
+
+    // Fold a hash join over the files.
+    let mut acc: Vec<Partial> = per_file_buckets.remove(0);
+    for buckets in per_file_buckets {
+        // Common coordinate variables between the accumulated side and
+        // this file (uniform within a file, so compute from the first
+        // bucket of each side).
+        let acc_vars: Vec<&String> = acc[0].coords.iter().map(|(v, _)| v).collect();
+        let common: Vec<String> = buckets[0]
+            .coords
+            .iter()
+            .map(|(v, _)| v.clone())
+            .filter(|v| acc_vars.contains(&v))
+            .collect();
+
+        let mut table: HashMap<(Vec<i64>, usize, u64), Vec<&Partial>> = HashMap::new();
+        for b in &buckets {
+            let key = (project(&b.coords, &common), b.sig_id, b.rows);
+            table.entry(key).or_default().push(b);
+        }
+        let mut next: Vec<Partial> = Vec::with_capacity(acc.len());
+        for mut p in acc {
+            let key = (project(&p.coords, &common), p.sig_id, p.rows);
+            let Some(matches) = table.get(&key) else { continue };
+            // 1:1 alignment is the overwhelmingly common case: extend
+            // the accumulated partial in place instead of re-cloning
+            // its runs at every join step. The last match consumes the
+            // partial so emission keeps ascending file order.
+            let (one, rest) = matches.split_last().expect("non-empty match list");
+            for m in rest {
+                let mut coords = p.coords.clone();
+                merge_coords(&mut coords, &m.coords);
+                let mut runs = p.runs.clone();
+                runs.extend(m.runs.iter().cloned());
+                next.push(Partial {
+                    coords,
+                    sig: p.sig.clone(),
+                    sig_id: p.sig_id,
+                    rows: p.rows,
+                    runs,
+                });
+            }
+            merge_coords(&mut p.coords, &one.coords);
+            p.runs.extend(one.runs.iter().cloned());
+            next.push(p);
+        }
+        if next.is_empty() {
+            // Every side had segments but nothing aligned: the layouts
+            // of the group are structurally incompatible.
+            let names: Vec<&str> =
+                group.iter().map(|f| f.rel_path.as_str()).collect();
+            return Err(DvError::Alignment(format!(
+                "no aligned file chunks between {{{}}}: layouts or implicit attributes do \
+                 not match",
+                names.join(", ")
+            )));
+        }
+        acc = next;
+    }
+
+    // Materialize AFCs, applying inner-loop clipping. All partials of
+    // a uniform group share one *template* (same files, strides,
+    // attribute runs and signature — only offsets and coordinate
+    // values differ), mirroring the paper's compiled extraction
+    // functions: structure is computed once, per-chunk work is just
+    // offset/value arithmetic. Non-uniform partials (mixed chunk
+    // shapes) fall back to the general path.
+    let mut out = Vec::with_capacity(acc.len());
+    let template = GroupTemplate::build(model, group, &acc[0], working, ranges)?;
+    for p in acc {
+        if !template.instantiate(&p, working, &mut out) {
+            assemble(model, group, p, working, ranges, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Precomputed per-group AFC schedule (see [`build_afcs`]).
+struct GroupTemplate {
+    /// `(file, stride, attrs-ptr)` of every run, in join order;
+    /// `keep` marks runs that decode at least one field.
+    runs: Vec<(usize, u64, Arc<Vec<String>>, bool)>,
+    sig: InnerSig,
+    rows: u64,
+    fields: Vec<AfcField>,
+    /// Constants from file-binding variables (identical across the
+    /// group's partials).
+    env_consts: Vec<(usize, Value)>,
+    /// Constants from outer-loop coords: `(working position, index
+    /// into partial.coords, dtype)`.
+    coord_consts: Vec<(usize, usize, DataType)>,
+    /// Coordinate variable names, in partial order (uniformity check).
+    coord_vars: Vec<String>,
+    /// Slow-path flag: a coord var shadows a binding var somewhere.
+    coords_overlap_env: bool,
+    /// Affine inner implicit `(pos, step, dtype)`; start depends on
+    /// clipping.
+    affine: Option<(usize, i64, DataType)>,
+    /// Pre-clipped inner runs: `(start_k, rows, affine_start)`; `None`
+    /// when the whole chunk passes unclipped.
+    clip_runs: Option<Vec<(u64, u64, i64)>>,
+}
+
+impl GroupTemplate {
+    fn build(
+        model: &DatasetModel,
+        group: &[&FileModel],
+        first: &Partial,
+        working: &WorkingSet,
+        ranges: &HashMap<String, IntervalSet>,
+    ) -> Result<GroupTemplate> {
+        // Run the general assembler once to validate coverage and
+        // consistency; then lift its structure into the template.
+        let mut probe = Vec::new();
+        assemble(model, group, clone_partial(first), working, ranges, &mut probe)?;
+
+        // Fields and entry-keeping pattern, recomputed structurally.
+        let mut fields: Vec<AfcField> = Vec::new();
+        let mut covered = vec![false; working.attrs.len()];
+        let mut runs: Vec<(usize, u64, Arc<Vec<String>>, bool)> =
+            Vec::with_capacity(first.runs.len());
+        let mut entry_idx = 0usize;
+        for (file, _off, stride, attrs) in &first.runs {
+            let before = fields.len();
+            let mut byte_off = 0usize;
+            for a in attrs.iter() {
+                let size = *model.attr_sizes.get(a).ok_or_else(|| {
+                    DvError::DescriptorSemantic(format!("attribute `{a}` has no declared size"))
+                })?;
+                if let Some(pos) = working.position_of(a) {
+                    if !covered[pos] {
+                        covered[pos] = true;
+                        fields.push(AfcField {
+                            entry: entry_idx,
+                            byte_off,
+                            dtype: working.dtypes[pos],
+                            working_pos: pos,
+                        });
+                    }
+                }
+                byte_off += size;
+            }
+            let keep = fields.len() > before;
+            if keep {
+                entry_idx += 1;
+            }
+            runs.push((*file, *stride, Arc::clone(attrs), keep));
+        }
+
+        // Implicit constants: env vars (fixed) and coords (per
+        // partial).
+        let mut env_consts = Vec::new();
+        for f in group {
+            for (var, val) in &f.env {
+                if let Some(pos) = working.position_of(var) {
+                    if !covered[pos] {
+                        covered[pos] = true;
+                        env_consts.push((pos, Value::from_i64(working.dtypes[pos], *val)));
+                    }
+                }
+            }
+        }
+        let mut coord_consts = Vec::new();
+        let coord_vars: Vec<String> = first.coords.iter().map(|(v, _)| v.clone()).collect();
+        // A coordinate variable that is also a binding variable of some
+        // group file needs the per-partial conflict check of the slow
+        // path (pathological descriptors only).
+        let coords_overlap_env = first
+            .coords
+            .iter()
+            .any(|(v, _)| group.iter().any(|f| f.env.contains_key(v)));
+        for (ci, (var, _)) in first.coords.iter().enumerate() {
+            if let Some(pos) = working.position_of(var) {
+                if !covered[pos] {
+                    covered[pos] = true;
+                    coord_consts.push((pos, ci, working.dtypes[pos]));
+                }
+            }
+        }
+        let mut affine = None;
+        if let InnerSig::Loop { var, step, .. } = &first.sig {
+            if let Some(pos) = working.position_of(var) {
+                if !covered[pos] {
+                    covered[pos] = true;
+                    affine = Some((pos, *step, working.dtypes[pos]));
+                }
+            }
+        }
+
+        // Pre-clipped inner runs (identical for every partial of the
+        // group: same signature, same ranges).
+        let clip_runs = match &first.sig {
+            InnerSig::Loop { var, lo, step, .. } => ranges.get(var).map(|set| {
+                let mut out = Vec::new();
+                let mut k = 0u64;
+                while k < first.rows {
+                    while k < first.rows && !set.contains((lo + k as i64 * step) as f64) {
+                        k += 1;
+                    }
+                    if k >= first.rows {
+                        break;
+                    }
+                    let start_k = k;
+                    while k < first.rows && set.contains((lo + k as i64 * step) as f64) {
+                        k += 1;
+                    }
+                    out.push((start_k, k - start_k, lo + start_k as i64 * step));
+                }
+                out
+            }),
+            _ => None,
+        };
+
+        Ok(GroupTemplate {
+            runs,
+            sig: first.sig.clone(),
+            rows: first.rows,
+            fields,
+            env_consts,
+            coord_consts,
+            coord_vars,
+            coords_overlap_env,
+            affine,
+            clip_runs,
+        })
+    }
+
+    /// Fast-path materialization; returns false when `p` deviates from
+    /// the template structure (caller falls back to [`assemble`]).
+    fn instantiate(&self, p: &Partial, working: &WorkingSet, out: &mut Vec<Afc>) -> bool {
+        // Uniformity checks.
+        if self.coords_overlap_env
+            || p.runs.len() != self.runs.len()
+            || p.coords.len() != self.coord_vars.len()
+        {
+            return false;
+        }
+        let same_sig = match (&p.sig, &self.sig) {
+            (InnerSig::Chunk, InnerSig::Chunk) => true, // rows may vary
+            (a, b) => a == b && p.rows == self.rows,
+        };
+        if !same_sig {
+            return false;
+        }
+        for ((file, _, stride, attrs), (tf, ts, ta, _)) in p.runs.iter().zip(&self.runs) {
+            if file != tf || stride != ts || !Arc::ptr_eq(attrs, ta) {
+                return false;
+            }
+        }
+        for ((var, _), tv) in p.coords.iter().zip(&self.coord_vars) {
+            if var != tv {
+                return false;
+            }
+        }
+
+        let entries: Vec<AfcEntry> = p
+            .runs
+            .iter()
+            .zip(&self.runs)
+            .filter(|(_, (.., keep))| *keep)
+            .map(|((file, offset, stride, _), _)| AfcEntry {
+                file: *file,
+                offset: *offset,
+                stride: *stride,
+            })
+            .collect();
+        let mut implicits: Vec<(usize, ImplicitValue)> =
+            Vec::with_capacity(self.env_consts.len() + self.coord_consts.len() + 1);
+        for (pos, v) in &self.env_consts {
+            implicits.push((*pos, ImplicitValue::Const(*v)));
+        }
+        for (pos, ci, dtype) in &self.coord_consts {
+            implicits.push((
+                *pos,
+                ImplicitValue::Const(Value::from_i64(*dtype, p.coords[*ci].1)),
+            ));
+        }
+        let _ = working;
+
+        match &self.clip_runs {
+            None => {
+                if let Some((pos, step, dtype)) = self.affine {
+                    let start = match &p.sig {
+                        InnerSig::Loop { lo, .. } => *lo,
+                        _ => 0,
+                    };
+                    implicits.push((pos, ImplicitValue::Affine { start, step, dtype }));
+                }
+                out.push(Afc {
+                    num_rows: p.rows,
+                    entries,
+                    fields: self.fields.clone(),
+                    implicits,
+                });
+            }
+            Some(cruns) => {
+                for (start_k, run_rows, affine_start) in cruns {
+                    let run_entries: Vec<AfcEntry> = entries
+                        .iter()
+                        .map(|e| AfcEntry {
+                            file: e.file,
+                            offset: e.offset + start_k * e.stride,
+                            stride: e.stride,
+                        })
+                        .collect();
+                    let mut imp = implicits.clone();
+                    if let Some((pos, step, dtype)) = self.affine {
+                        imp.push((
+                            pos,
+                            ImplicitValue::Affine { start: *affine_start, step, dtype },
+                        ));
+                    }
+                    out.push(Afc {
+                        num_rows: *run_rows,
+                        entries: run_entries,
+                        fields: self.fields.clone(),
+                        implicits: imp,
+                    });
+                }
+            }
+        }
+        true
+    }
+}
+
+fn clone_partial(p: &Partial) -> Partial {
+    Partial {
+        coords: p.coords.clone(),
+        sig: p.sig.clone(),
+        sig_id: p.sig_id,
+        rows: p.rows,
+        runs: p.runs.clone(),
+    }
+}
+
+/// Merge `other`'s coordinates into `coords` (sorted, deduplicated).
+fn merge_coords(coords: &mut Vec<(String, i64)>, other: &[(String, i64)]) {
+    let mut changed = false;
+    for (v, val) in other {
+        if !coords.iter().any(|(cv, _)| cv == v) {
+            coords.push((v.clone(), *val));
+            changed = true;
+        }
+    }
+    if changed {
+        coords.sort();
+    }
+}
+
+fn project(coords: &[(String, i64)], vars: &[String]) -> Vec<i64> {
+    vars.iter()
+        .map(|v| coords.iter().find(|(cv, _)| cv == v).map(|(_, val)| *val).unwrap_or(i64::MIN))
+        .collect()
+}
+
+fn assemble(
+    model: &DatasetModel,
+    group: &[&FileModel],
+    p: Partial,
+    working: &WorkingSet,
+    ranges: &HashMap<String, IntervalSet>,
+    out: &mut Vec<Afc>,
+) -> Result<()> {
+    // Entries and stored-field schedule. Entries that end up decoding
+    // no field (structure-only runs) are dropped — alignment already
+    // used them for cardinality, so their bytes need not be read.
+    let mut entries: Vec<AfcEntry> = Vec::with_capacity(p.runs.len());
+    let mut fields: Vec<AfcField> = Vec::new();
+    let mut covered: Vec<bool> = vec![false; working.attrs.len()];
+    for (file, offset, stride, attrs) in &p.runs {
+        let entry_idx = entries.len();
+        let fields_before = fields.len();
+        let mut byte_off = 0usize;
+        for a in attrs.iter() {
+            let size = *model.attr_sizes.get(a).ok_or_else(|| {
+                DvError::DescriptorSemantic(format!("attribute `{a}` has no declared size"))
+            })?;
+            if let Some(pos) = working.position_of(a) {
+                if !covered[pos] {
+                    covered[pos] = true;
+                    fields.push(AfcField {
+                        entry: entry_idx,
+                        byte_off,
+                        dtype: working.dtypes[pos],
+                        working_pos: pos,
+                    });
+                }
+            }
+            byte_off += size;
+        }
+        if fields.len() > fields_before {
+            entries.push(AfcEntry { file: *file, offset: *offset, stride: *stride });
+        }
+    }
+
+    // Implicit constants: file-binding variables and outer-loop coords
+    // that name schema attributes. Conflicting values are an alignment
+    // bug (group formation should have rejected the combination).
+    let mut const_map: HashMap<String, i64> = HashMap::new();
+    for f in group {
+        for (var, val) in &f.env {
+            if let Some(prev) = const_map.insert(var.clone(), *val) {
+                if prev != *val {
+                    return Err(DvError::Alignment(format!(
+                        "implicit attribute `{var}` is inconsistent across the group \
+                         ({prev} vs {val})"
+                    )));
+                }
+            }
+        }
+    }
+    for (var, val) in &p.coords {
+        if let Some(prev) = const_map.insert(var.clone(), *val) {
+            if prev != *val {
+                return Err(DvError::Alignment(format!(
+                    "implicit attribute `{var}` is inconsistent ({prev} vs {val})"
+                )));
+            }
+        }
+    }
+
+    let mut implicits: Vec<(usize, ImplicitValue)> = Vec::new();
+    for (var, val) in &const_map {
+        if let Some(pos) = working.position_of(var) {
+            if !covered[pos] {
+                covered[pos] = true;
+                implicits.push((
+                    pos,
+                    ImplicitValue::Const(Value::from_i64(working.dtypes[pos], *val)),
+                ));
+            }
+        }
+    }
+
+    // Inner-loop affine implicit (e.g. TIME when the innermost loop is
+    // over TIME itself).
+    let mut affine: Option<(usize, i64, i64)> = None;
+    if let InnerSig::Loop { var, lo, step, .. } = &p.sig {
+        if let Some(pos) = working.position_of(var) {
+            if !covered[pos] {
+                covered[pos] = true;
+                affine = Some((pos, *lo, *step));
+            }
+        }
+    }
+
+    // Every working attribute must now have a source.
+    if let Some(missing) = covered.iter().position(|c| !c) {
+        return Err(DvError::Alignment(format!(
+            "attribute `{}` is needed by the query but is neither stored in nor implied by \
+             the file group",
+            working.names[missing]
+        )));
+    }
+
+    // Inner clipping: split the chunk into runs of accepted inner
+    // values when the inner variable is constrained.
+    let clip = match &p.sig {
+        InnerSig::Loop { var, lo, step, .. } => ranges.get(var).map(|set| (*lo, *step, set)),
+        _ => None,
+    };
+    match clip {
+        None => {
+            let mut imp = implicits.clone();
+            if let Some((pos, start, step)) = affine {
+                imp.push((
+                    pos,
+                    ImplicitValue::Affine { start, step, dtype: working.dtypes[pos] },
+                ));
+            }
+            out.push(Afc { num_rows: p.rows, entries, fields, implicits: imp });
+        }
+        Some((lo, step, set)) => {
+            let mut k = 0u64;
+            while k < p.rows {
+                // Find the next accepted run [k, end).
+                while k < p.rows && !set.contains((lo + k as i64 * step) as f64) {
+                    k += 1;
+                }
+                if k >= p.rows {
+                    break;
+                }
+                let start_k = k;
+                while k < p.rows && set.contains((lo + k as i64 * step) as f64) {
+                    k += 1;
+                }
+                let run_rows = k - start_k;
+                let run_entries: Vec<AfcEntry> = entries
+                    .iter()
+                    .map(|e| AfcEntry {
+                        file: e.file,
+                        offset: e.offset + start_k * e.stride,
+                        stride: e.stride,
+                    })
+                    .collect();
+                let mut imp = implicits.clone();
+                if let Some((pos, a_lo, a_step)) = affine {
+                    imp.push((
+                        pos,
+                        ImplicitValue::Affine {
+                            start: a_lo + start_k as i64 * a_step,
+                            step: a_step,
+                            dtype: working.dtypes[pos],
+                        },
+                    ));
+                }
+                out.push(Afc {
+                    num_rows: run_rows,
+                    entries: run_entries,
+                    fields: fields.clone(),
+                    implicits: imp,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::enumerate_segments;
+    use dv_descriptor::compile;
+    use dv_types::Interval;
+
+    const DESC: &str = r#"
+[IPARS]
+REL = short int
+TIME = int
+X = float
+SOIL = float
+SGAS = float
+
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = n0/d
+
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET coords DATASET vars }
+  DATASET "coords" {
+    DATASPACE { LOOP GRID 1:10:1 { X } }
+    DATA { DIR[0]/COORDS }
+  }
+  DATASET "vars" {
+    DATASPACE {
+      LOOP TIME 1:20:1 {
+        LOOP GRID 1:10:1 { SOIL SGAS }
+      }
+    }
+    DATA { DIR[0]/DATA$REL REL = 0:1:1 }
+  }
+}
+"#;
+
+    fn setup(
+        ranges: &HashMap<String, IntervalSet>,
+        working_attrs: Vec<usize>,
+    ) -> (dv_descriptor::DatasetModel, Vec<Afc>) {
+        let m = compile(DESC).unwrap();
+        let coords = m.files.iter().find(|f| f.dataset == "coords").unwrap();
+        let data0 = m.files.iter().find(|f| f.rel_path == "d/DATA0").unwrap();
+        let group = vec![coords, data0];
+        let segs: Vec<Vec<Segment>> = group
+            .iter()
+            .map(|f| enumerate_segments(f, &m.attr_sizes, ranges, None).unwrap())
+            .collect();
+        let seg_refs: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
+        let working = WorkingSet::new(&m, working_attrs);
+        let afcs = build_afcs(&m, &group, &seg_refs, &working, ranges).unwrap();
+        (m.clone(), afcs)
+    }
+
+    #[test]
+    fn full_scan_produces_one_afc_per_time() {
+        // Working set: all five attributes.
+        let ranges = HashMap::new();
+        let (_m, afcs) = setup(&ranges, vec![0, 1, 2, 3, 4]);
+        assert_eq!(afcs.len(), 20);
+        let a = &afcs[0];
+        assert_eq!(a.num_rows, 10);
+        // Two entries: COORDS X-run and DATA0 SOIL/SGAS-run.
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].stride + a.entries[1].stride, 4 + 8);
+        // Stored fields: X, SOIL, SGAS.
+        assert_eq!(a.fields.len(), 3);
+        // Implicit: REL const (env), TIME const (coord).
+        assert_eq!(a.implicits.len(), 2);
+        assert_eq!(a.bytes_read(), 10 * 12);
+    }
+
+    #[test]
+    fn time_range_prunes_afcs() {
+        let mut ranges = HashMap::new();
+        ranges.insert("TIME".to_string(), IntervalSet::single(Interval::closed(5.0, 7.0)));
+        let (_m, afcs) = setup(&ranges, vec![0, 1, 2, 3, 4]);
+        assert_eq!(afcs.len(), 3);
+        // The COORDS entry repeats at offset 0 in each AFC; the data
+        // entry advances.
+        assert_eq!(afcs[0].entries[0].offset, 0);
+        assert_eq!(afcs[0].entries[1].offset, 4 * 80);
+    }
+
+    #[test]
+    fn inner_clipping_splits_runs() {
+        // GRID is not a schema attribute, but clip via an artificial
+        // constraint to exercise run splitting.
+        let mut ranges = HashMap::new();
+        ranges.insert(
+            "GRID".to_string(),
+            IntervalSet::points(&[2.0, 3.0, 7.0]),
+        );
+        ranges.insert("TIME".to_string(), IntervalSet::points(&[1.0]));
+        let (_m, afcs) = setup(&ranges, vec![0, 1, 2, 3, 4]);
+        // TIME=1 only; GRID runs {2,3} and {7}.
+        assert_eq!(afcs.len(), 2);
+        assert_eq!(afcs[0].num_rows, 2);
+        // Run starts at k=1 (GRID=2): offsets advance one stride.
+        assert_eq!(afcs[0].entries[0].offset, 4);
+        assert_eq!(afcs[0].entries[1].offset, 8);
+        assert_eq!(afcs[1].num_rows, 1);
+        assert_eq!(afcs[1].entries[0].offset, 6 * 4);
+    }
+
+    #[test]
+    fn projection_skips_unneeded_entries() {
+        // Query only needs SOIL (idx 3) and TIME (idx 1): the COORDS
+        // file contributes nothing and the group drops to data-only.
+        let m = compile(DESC).unwrap();
+        let data0 = m.files.iter().find(|f| f.rel_path == "d/DATA0").unwrap();
+        let group = vec![data0];
+        let ranges = HashMap::new();
+        let segs: Vec<Vec<Segment>> = group
+            .iter()
+            .map(|f| enumerate_segments(f, &m.attr_sizes, &ranges, None).unwrap())
+            .collect();
+        let seg_refs: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
+        let working = WorkingSet::new(&m, vec![1, 3]);
+        let afcs = build_afcs(&m, &group, &seg_refs, &working, &ranges).unwrap();
+        assert_eq!(afcs.len(), 20);
+        assert_eq!(afcs[0].entries.len(), 1);
+        // SOIL is at byte 0 of the 8-byte record; SGAS is skipped.
+        assert_eq!(afcs[0].fields.len(), 1);
+        assert_eq!(afcs[0].fields[0].byte_off, 0);
+        // TIME arrives as an implicit constant.
+        assert_eq!(afcs[0].implicits.len(), 1);
+    }
+
+    #[test]
+    fn uncovered_attr_is_error() {
+        // Working set includes X but the group has only the data file.
+        let m = compile(DESC).unwrap();
+        let data0 = m.files.iter().find(|f| f.rel_path == "d/DATA0").unwrap();
+        let group = vec![data0];
+        let ranges = HashMap::new();
+        let segs: Vec<Vec<Segment>> = group
+            .iter()
+            .map(|f| enumerate_segments(f, &m.attr_sizes, &ranges, None).unwrap())
+            .collect();
+        let seg_refs: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
+        let working = WorkingSet::new(&m, vec![2, 3]); // X, SOIL
+        let e = build_afcs(&m, &group, &seg_refs, &working, &ranges).unwrap_err().to_string();
+        assert!(e.contains('X'), "{e}");
+    }
+
+    #[test]
+    fn misaligned_layouts_rejected() {
+        // A COORDS file with 11 grid points cannot align with data
+        // files of 10.
+        let bad = DESC.replace("LOOP GRID 1:10:1 { X }", "LOOP GRID 1:11:1 { X }");
+        let m = compile(&bad).unwrap();
+        let coords = m.files.iter().find(|f| f.dataset == "coords").unwrap();
+        let data0 = m.files.iter().find(|f| f.rel_path == "d/DATA0").unwrap();
+        let group = vec![coords, data0];
+        let ranges = HashMap::new();
+        let segs: Vec<Vec<Segment>> = group
+            .iter()
+            .map(|f| enumerate_segments(f, &m.attr_sizes, &ranges, None).unwrap())
+            .collect();
+        let seg_refs: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
+        let working = WorkingSet::new(&m, vec![0, 1, 2, 3, 4]);
+        let e = build_afcs(&m, &group, &seg_refs, &working, &ranges).unwrap_err().to_string();
+        assert!(e.contains("aligned"), "{e}");
+    }
+
+    #[test]
+    fn affine_implicit_for_inner_schema_attr() {
+        // A per-cell time series: the innermost loop is TIME itself.
+        let text = r#"
+[S]
+TIME = int
+V = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATATYPE { S }
+  DATASET "leaf" {
+    DATASPACE { LOOP TIME 10:14:2 { V } }
+    DATA { DIR[0]/series }
+  }
+  DATA { DATASET leaf }
+}
+"#;
+        let m = compile(text).unwrap();
+        let group = vec![&m.files[0]];
+        let ranges = HashMap::new();
+        let segs = vec![enumerate_segments(&m.files[0], &m.attr_sizes, &ranges, None).unwrap()];
+        let seg_refs: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
+        let working = WorkingSet::new(&m, vec![0, 1]);
+        let afcs = build_afcs(&m, &group, &seg_refs, &working, &ranges).unwrap();
+        assert_eq!(afcs.len(), 1);
+        assert_eq!(afcs[0].num_rows, 3);
+        let (pos, imp) = &afcs[0].implicits[0];
+        assert_eq!(*pos, 0);
+        assert_eq!(
+            *imp,
+            ImplicitValue::Affine { start: 10, step: 2, dtype: DataType::Int }
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! `Find_File_Groups` — the first phase of the paper's Figure 5
+//! algorithm.
+//!
+//! 1. Match every file against the query: a file whose implicit
+//!    extents cannot overlap the query's attribute ranges is dropped
+//!    (`S` = survivors).
+//! 2. Classify survivors by the set of *needed* attributes they store
+//!    (`S_1..S_m`). Files storing nothing the query needs normally
+//!    drop out; when *no* file stores a needed attribute (a purely
+//!    implicit projection like `SELECT REL, TIME`), classification
+//!    falls back to full stored-attribute sets so the table's
+//!    cardinality is still produced.
+//! 3. Enumerate combinations `{s_1..s_m}`, one file per class,
+//!    discarding combinations whose implicit attributes are
+//!    inconsistent. The enumeration is a DFS with partial-consistency
+//!    pruning — semantically the paper's cartesian product + filter,
+//!    without materializing the product.
+
+use std::collections::HashMap;
+
+use dv_descriptor::{DatasetModel, FileModel};
+use dv_types::IntervalSet;
+
+use crate::afc::WorkingSet;
+
+/// Result of file matching + classification + combination.
+pub type FileGroups<'a> = Vec<Vec<&'a FileModel>>;
+
+/// Does the file survive the query's range constraints?
+pub fn file_matches(file: &FileModel, ranges: &HashMap<String, IntervalSet>) -> bool {
+    for (var, extent) in &file.extents {
+        if let Some(set) = ranges.get(var) {
+            let (lo, hi) = extent.hull();
+            if !set.overlaps_closed(lo as f64, hi as f64) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Are two files consistent enough to contribute to the same rows?
+/// (Shared implicit variables must overlap; exact alignment is checked
+/// later at the segment level.)
+fn consistent(a: &FileModel, b: &FileModel) -> bool {
+    for (var, ea) in &a.extents {
+        if let Some(eb) = b.extents.get(var) {
+            let (alo, ahi) = ea.hull();
+            let (blo, bhi) = eb.hull();
+            if alo > bhi || blo > ahi {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Compute the file groups for one cluster node.
+pub fn find_file_groups<'a>(
+    model: &'a DatasetModel,
+    node: usize,
+    ranges: &HashMap<String, IntervalSet>,
+    working: &WorkingSet,
+) -> FileGroups<'a> {
+    // Classify ALL files of the node first, then prune within each
+    // class. The order matters: a class whose files are all pruned away
+    // empties the cartesian product (e.g. `TIME >= 1000` eliminates
+    // every data file, so the surviving COORDS files alone must yield
+    // zero groups, not coordinate-only rows).
+    let all_files: Vec<&FileModel> = model.files_on_node(node).collect();
+    if all_files.is_empty() {
+        return Vec::new();
+    }
+
+    // Classification key: the FULL set of stored attributes, exactly
+    // as the paper specifies ("classify files in S by the set of
+    // attributes they have"). Classifying only by *needed* attributes
+    // would be wrong: a `SELECT X, Y, Z WHERE REL = 1` query still
+    // needs the per-realization data files in the join — they supply
+    // the REL/TIME implicit values and the table's cardinality, even
+    // though none of their stored bytes are read (their field-less AFC
+    // entries are dropped after alignment).
+    let full_key = |f: &FileModel| -> Vec<String> {
+        let mut key = f.stored_attrs.clone();
+        key.sort();
+        if key.is_empty() {
+            // A file storing only auxiliary attributes still defines
+            // cardinality; classify it by dataset name.
+            key.push(format!("__dataset:{}", f.dataset));
+        }
+        key
+    };
+    let mut classes: Vec<(Vec<String>, Vec<&FileModel>)> = Vec::new();
+    for f in &all_files {
+        let key = full_key(f);
+        match classes.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, files)) => files.push(f),
+            None => classes.push((key, vec![f])),
+        }
+    }
+    let _ = working;
+    if classes.is_empty() {
+        return Vec::new();
+    }
+
+    // Prune within classes; an emptied class empties the product.
+    for (_, files) in &mut classes {
+        files.retain(|f| file_matches(f, ranges));
+        if files.is_empty() {
+            return Vec::new();
+        }
+    }
+
+    // Smallest classes first: cheap pruning near the root of the DFS.
+    classes.sort_by_key(|(_, files)| files.len());
+
+    // Step 3: DFS over one-file-per-class combinations.
+    let mut groups: FileGroups<'a> = Vec::new();
+    let mut current: Vec<&FileModel> = Vec::new();
+    dfs(&classes, 0, &mut current, &mut groups);
+    groups
+}
+
+fn dfs<'a>(
+    classes: &[(Vec<String>, Vec<&'a FileModel>)],
+    depth: usize,
+    current: &mut Vec<&'a FileModel>,
+    out: &mut FileGroups<'a>,
+) {
+    if depth == classes.len() {
+        out.push(current.clone());
+        return;
+    }
+    for candidate in &classes[depth].1 {
+        if current.iter().all(|chosen| consistent(chosen, candidate)) {
+            current.push(candidate);
+            dfs(classes, depth + 1, current, out);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afc::WorkingSet;
+    use dv_descriptor::compile;
+    use dv_types::Interval;
+
+    /// Four-directory Ipars, as in the paper's worked example (§4).
+    const DESC: &str = r#"
+[IPARS]
+REL = short int
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = osu0/ipars
+DIR[1] = osu1/ipars
+DIR[2] = osu2/ipars
+DIR[3] = osu3/ipars
+
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET ipars1 DATASET ipars2 }
+  DATASET "ipars1" {
+    DATASPACE {
+      LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 { X Y Z }
+    }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }
+  }
+  DATASET "ipars2" {
+    DATASPACE {
+      LOOP TIME 1:500:1 {
+        LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 { SOIL SGAS }
+      }
+    }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }
+  }
+}
+"#;
+
+    fn ranges(pairs: &[(&str, IntervalSet)]) -> HashMap<String, IntervalSet> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Query: REL in {0, 1}, TIME in [1, 100]. The paper finds, per
+        // k, groups {DIR[k]/COORDS, DIR[k]/DATA0} and
+        // {DIR[k]/COORDS, DIR[k]/DATA1} — 8 groups over 4 nodes, i.e.
+        // 2 groups on each node.
+        let m = compile(DESC).unwrap();
+        let working = WorkingSet::new(&m, (0..m.schema.len()).collect());
+        let r = ranges(&[
+            ("REL", IntervalSet::points(&[0.0, 1.0])),
+            ("TIME", IntervalSet::single(Interval::closed(1.0, 100.0))),
+        ]);
+        for node in 0..4 {
+            let groups = find_file_groups(&m, node, &r, &working);
+            assert_eq!(groups.len(), 2, "node {node}");
+            for g in &groups {
+                assert_eq!(g.len(), 2);
+                // One coords file + one data file, same directory.
+                let coords = g.iter().find(|f| f.dataset == "ipars1").unwrap();
+                let data = g.iter().find(|f| f.dataset == "ipars2").unwrap();
+                assert_eq!(coords.env["DIRID"], data.env["DIRID"]);
+                assert!(data.env["REL"] == 0 || data.env["REL"] == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rel_pruning_drops_files() {
+        let m = compile(DESC).unwrap();
+        let working = WorkingSet::new(&m, (0..m.schema.len()).collect());
+        let r = ranges(&[("REL", IntervalSet::points(&[3.0]))]);
+        let groups = find_file_groups(&m, 0, &r, &working);
+        assert_eq!(groups.len(), 1);
+        let data = groups[0].iter().find(|f| f.dataset == "ipars2").unwrap();
+        assert_eq!(data.env["REL"], 3);
+    }
+
+    #[test]
+    fn time_out_of_range_eliminates_everything() {
+        let m = compile(DESC).unwrap();
+        let working = WorkingSet::new(&m, (0..m.schema.len()).collect());
+        let r = ranges(&[("TIME", IntervalSet::single(Interval::closed(1000.0, 1100.0)))]);
+        let groups = find_file_groups(&m, 0, &r, &working);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn projection_groups_keep_full_structure() {
+        // SELECT SOIL-ish working set: groups still pair COORDS with
+        // the data files (classification uses the full attribute sets;
+        // projection push-down happens later, at the AFC-entry level).
+        let m = compile(DESC).unwrap();
+        let soil = m.schema.index_of("SOIL").unwrap();
+        let working = WorkingSet::new(&m, vec![soil]);
+        let groups = find_file_groups(&m, 0, &HashMap::new(), &working);
+        assert_eq!(groups.len(), 4); // one per REL
+        assert!(groups.iter().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn implicit_only_projection_falls_back_to_structure() {
+        // SELECT REL, TIME: nothing needed is stored anywhere, yet the
+        // groups must still produce the table's cardinality.
+        let m = compile(DESC).unwrap();
+        let rel = m.schema.index_of("REL").unwrap();
+        let time = m.schema.index_of("TIME").unwrap();
+        let working = WorkingSet::new(&m, vec![rel, time]);
+        let groups = find_file_groups(&m, 0, &HashMap::new(), &working);
+        // Full structure: coords × data per REL.
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn cross_directory_combinations_rejected() {
+        // Give one node two directories: consistency on GRID/DIRID
+        // must keep same-directory pairs only.
+        let desc = DESC
+            .replace("DIR[1] = osu1/ipars", "DIR[1] = osu0/ipars2")
+            .replace("DIR[2] = osu2/ipars", "DIR[2] = osu2x/ipars")
+            .replace("DIR[3] = osu3/ipars", "DIR[3] = osu3x/ipars");
+        let m = compile(&desc).unwrap();
+        assert_eq!(m.node_count(), 3);
+        let working = WorkingSet::new(&m, (0..m.schema.len()).collect());
+        // Node 0 hosts DIR[0] and DIR[1]: 2 dirs × 4 RELs.
+        let groups = find_file_groups(&m, 0, &HashMap::new(), &working);
+        assert_eq!(groups.len(), 8);
+        for g in &groups {
+            let coords = g.iter().find(|f| f.dataset == "ipars1").unwrap();
+            let data = g.iter().find(|f| f.dataset == "ipars2").unwrap();
+            assert_eq!(coords.env["DIRID"], data.env["DIRID"]);
+        }
+    }
+
+    #[test]
+    fn file_matches_respects_extents() {
+        let m = compile(DESC).unwrap();
+        let data0 = m
+            .files
+            .iter()
+            .find(|f| f.rel_path == "ipars/DATA0" && f.env["DIRID"] == 0)
+            .unwrap();
+        assert!(file_matches(data0, &ranges(&[("REL", IntervalSet::points(&[0.0]))])));
+        assert!(!file_matches(data0, &ranges(&[("REL", IntervalSet::points(&[2.0]))])));
+        assert!(file_matches(
+            data0,
+            &ranges(&[("TIME", IntervalSet::single(Interval::closed(499.0, 600.0)))])
+        ));
+        assert!(!file_matches(
+            data0,
+            &ranges(&[("TIME", IntervalSet::single(Interval::closed(501.0, 600.0)))])
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! # dv-layout
+//!
+//! The virtualization compiler — the paper's core contribution (§4).
+//! Given a resolved [`dv_descriptor::DatasetModel`] and a bound query,
+//! it computes the set of **Aligned File Chunks (AFCs)**:
+//!
+//! ```text
+//! { num_rows, {File_1, Offset_1, Num_Bytes_1}, ..., {File_m, Offset_m, Num_Bytes_m} }
+//! ```
+//!
+//! and the decode schedule that materializes `num_rows` table rows by
+//! reading the *m* chunks in lock-step. The two-phase structure follows
+//! the paper:
+//!
+//! * **Phase 1 — [`plan::CompiledDataset::compile`]** runs once per
+//!   descriptor (no query): it validates the model, loads `CHUNKED`
+//!   index files, builds R-trees over chunk MBRs, and freezes
+//!   per-file layout programs. This is the "generated index and
+//!   extraction function" — in this Rust reproduction, a specialized
+//!   plan object rather than emitted C++ source (see DESIGN.md;
+//!   [`codegen`] renders the equivalent source for inspection).
+//! * **Phase 2 — [`plan::CompiledDataset::plan_query`]** runs per
+//!   query: range analysis prunes files, outer loop iterations and
+//!   chunks; surviving segments are grouped (`Find_File_Groups`) and
+//!   aligned (`Process_File_Groups`) into AFCs.
+//!
+//! [`extract::Extractor`] then executes AFCs against the filesystem,
+//! producing working rows for the filtering service.
+
+pub mod afc;
+pub mod codegen;
+pub mod extract;
+pub mod groups;
+pub mod plan;
+pub mod segment;
+
+pub use afc::{Afc, AfcEntry, ImplicitValue};
+pub use extract::{ExtractScratch, Extractor};
+pub use plan::{CompiledDataset, FileIssue, NodePlan, QueryPlan};
+pub use segment::{InnerSig, Segment};

@@ -1,0 +1,454 @@
+//! Segment enumeration: flattening a file's loop nest into contiguous
+//! byte runs.
+//!
+//! A **segment** is the unit the aligner works with: a contiguous run
+//! of `rows` fixed-width records inside one file, labelled with
+//!
+//! * the values of the outer loop variables that were peeled off to
+//!   reach it (`coords`, e.g. `TIME = 42`), and
+//! * an *inner signature* describing what one row means — an innermost
+//!   loop (`GRID` over `201..=300`), a single record, or a chunk from a
+//!   `CHUNKED` index.
+//!
+//! Enumeration clips outer loops against the query's attribute ranges
+//! (a `LOOP TIME` iteration whose value cannot satisfy the query is
+//! skipped by adding the body size to the running offset — no I/O, no
+//! further recursion) and prunes chunks through the R-tree built at
+//! compile time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dv_descriptor::{FileModel, ResolvedItem};
+use dv_index::{ChunkIndexEntry, Rect, RTree};
+use dv_types::{DvError, IntervalSet, Result};
+
+/// Inner structure of one segment row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InnerSig {
+    /// Rows correspond to an innermost loop: row `k` carries
+    /// `var = lo + k*step`; the full (unclipped) loop has
+    /// `hi` as its last value. Alignment requires identical signatures.
+    Loop { var: String, lo: i64, hi: i64, step: i64 },
+    /// A single record outside any innermost loop.
+    Record,
+    /// Rows of one variable-length chunk (row values are data, not
+    /// affine; no inner clipping possible).
+    Chunk,
+}
+
+/// A contiguous run of fixed-width records in one file.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// File id in the dataset model.
+    pub file: usize,
+    /// Outer loop variable values, sorted by name.
+    pub coords: Vec<(String, i64)>,
+    /// Inner row structure.
+    pub inner: InnerSig,
+    /// Number of records.
+    pub rows: u64,
+    /// Attribute names of one record, in byte order (shared — segments
+    /// of the same layout item alias one allocation).
+    pub attrs: Arc<Vec<String>>,
+    /// Byte offset of record 0 in the file.
+    pub offset: u64,
+    /// Bytes per record.
+    pub stride: u64,
+}
+
+impl Segment {
+    /// The join/alignment key: coords plus inner signature must match
+    /// for two segments to belong to the same aligned file chunk.
+    pub fn sig(&self) -> &InnerSig {
+        &self.inner
+    }
+}
+
+/// A `CHUNKED` index loaded at compile time: entries plus an R-tree
+/// over their bounding boxes, and the indexed attribute names in bound
+/// order.
+#[derive(Debug)]
+pub struct LoadedChunkIndex {
+    /// Attribute names corresponding to each bounds dimension.
+    pub attrs: Vec<String>,
+    /// All chunk entries, in file order.
+    pub entries: Vec<ChunkIndexEntry>,
+    /// R-tree over entry MBRs; payload is the entry ordinal.
+    pub tree: RTree<usize>,
+}
+
+impl LoadedChunkIndex {
+    /// Build from raw entries.
+    pub fn new(attrs: Vec<String>, entries: Vec<ChunkIndexEntry>) -> LoadedChunkIndex {
+        let dims = attrs.len();
+        let rects: Vec<(Rect, usize)> =
+            entries.iter().enumerate().map(|(i, e)| (e.rect(), i)).collect();
+        let tree = RTree::bulk_load(dims, rects);
+        LoadedChunkIndex { attrs, entries, tree }
+    }
+
+    /// Ordinals of chunks that can satisfy `ranges`, in file order.
+    /// Uses the R-tree with the hull box of each attribute's interval
+    /// set, then refines with exact interval overlap.
+    pub fn matching_chunks(&self, ranges: &HashMap<String, IntervalSet>) -> Vec<usize> {
+        let mut lo = Vec::with_capacity(self.attrs.len());
+        let mut hi = Vec::with_capacity(self.attrs.len());
+        for a in &self.attrs {
+            match ranges.get(a).and_then(|s| s.bounds()) {
+                Some((l, h)) => {
+                    lo.push(l);
+                    hi.push(h);
+                }
+                None if ranges.get(a).map(|s| s.is_empty()).unwrap_or(false) => {
+                    // Empty constraint: nothing matches.
+                    return Vec::new();
+                }
+                None => {
+                    lo.push(f64::NEG_INFINITY);
+                    hi.push(f64::INFINITY);
+                }
+            }
+        }
+        let query = Rect::new(lo, hi);
+        let mut hits: Vec<usize> = Vec::new();
+        self.tree.query(&query, |_, &ord| {
+            let e = &self.entries[ord];
+            let exact = self.attrs.iter().enumerate().all(|(d, a)| match ranges.get(a) {
+                Some(set) => set.overlaps_closed(e.bounds[d].0, e.bounds[d].1),
+                None => true,
+            });
+            if exact {
+                hits.push(ord);
+            }
+        });
+        hits.sort_unstable();
+        hits
+    }
+}
+
+/// Enumerate the segments of `file` that can contribute to a query
+/// with the given per-attribute `ranges` (keys are upper-cased
+/// attribute/variable names; missing keys mean unconstrained).
+///
+/// `chunk_index` must be provided for `CHUNKED` files (compile phase
+/// loads it); `attr_sizes` gives the byte width of every attribute
+/// appearing in layouts.
+pub fn enumerate_segments(
+    file: &FileModel,
+    attr_sizes: &HashMap<String, usize>,
+    ranges: &HashMap<String, IntervalSet>,
+    chunk_index: Option<&LoadedChunkIndex>,
+) -> Result<Vec<Segment>> {
+    let mut out = Vec::new();
+    let mut coords: Vec<(String, i64)> = Vec::new();
+    walk(file, &file.layout, attr_sizes, ranges, chunk_index, &mut 0u64, &mut coords, &mut out)?;
+    Ok(out)
+}
+
+fn record_size(attrs: &[String], attr_sizes: &HashMap<String, usize>) -> Result<u64> {
+    let mut total = 0u64;
+    for a in attrs {
+        total += *attr_sizes.get(a).ok_or_else(|| {
+            DvError::DescriptorSemantic(format!("attribute `{a}` has no declared size"))
+        })? as u64;
+    }
+    Ok(total)
+}
+
+fn items_size(items: &[ResolvedItem], attr_sizes: &HashMap<String, usize>) -> Result<u64> {
+    dv_descriptor::model::items_byte_size(items, attr_sizes).ok_or_else(|| {
+        DvError::DescriptorSemantic(
+            "CHUNKED layout nested under a loop has no static size".into(),
+        )
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    file: &FileModel,
+    items: &[ResolvedItem],
+    attr_sizes: &HashMap<String, usize>,
+    ranges: &HashMap<String, IntervalSet>,
+    chunk_index: Option<&LoadedChunkIndex>,
+    offset: &mut u64,
+    coords: &mut Vec<(String, i64)>,
+    out: &mut Vec<Segment>,
+) -> Result<()> {
+    for item in items {
+        match item {
+            ResolvedItem::Attrs(attrs) => {
+                let stride = record_size(attrs, attr_sizes)?;
+                out.push(Segment {
+                    file: file.id,
+                    coords: sorted(coords),
+                    inner: InnerSig::Record,
+                    rows: 1,
+                    attrs: Arc::new(attrs.clone()),
+                    offset: *offset,
+                    stride,
+                });
+                *offset += stride;
+            }
+            ResolvedItem::Loop { var, lo, hi, step, body } => {
+                let iters = ResolvedItem::loop_iterations(*lo, *hi, *step);
+                // Innermost loop over a single record: one segment.
+                if let [ResolvedItem::Attrs(attrs)] = body.as_slice() {
+                    let stride = record_size(attrs, attr_sizes)?;
+                    out.push(Segment {
+                        file: file.id,
+                        coords: sorted(coords),
+                        inner: InnerSig::Loop { var: var.clone(), lo: *lo, hi: *hi, step: *step },
+                        rows: iters,
+                        attrs: Arc::new(attrs.clone()),
+                        offset: *offset,
+                        stride,
+                    });
+                    *offset += iters * stride;
+                    continue;
+                }
+                // Structured body: peel each iteration, pruning by the
+                // query range for this variable when one exists.
+                let body_size = items_size(body, attr_sizes)?;
+                let constraint = ranges.get(var);
+                let mut v = *lo;
+                while v <= *hi {
+                    let accepted = constraint.map(|s| s.contains(v as f64)).unwrap_or(true);
+                    if accepted {
+                        coords.push((var.clone(), v));
+                        walk(file, body, attr_sizes, ranges, chunk_index, offset, coords, out)?;
+                        coords.pop();
+                    } else {
+                        *offset += body_size;
+                    }
+                    v += *step;
+                }
+            }
+            ResolvedItem::Chunked { attrs, .. } => {
+                let index = chunk_index.ok_or_else(|| {
+                    DvError::Runtime(format!(
+                        "file `{}` has a CHUNKED layout but its index was not loaded",
+                        file.rel_path
+                    ))
+                })?;
+                let stride = record_size(attrs, attr_sizes)?;
+                for ord in index.matching_chunks(ranges) {
+                    let e = &index.entries[ord];
+                    let mut c = sorted(coords);
+                    c.push(("__CHUNK".to_string(), ord as i64));
+                    out.push(Segment {
+                        file: file.id,
+                        coords: c,
+                        inner: InnerSig::Chunk,
+                        rows: e.rows,
+                        attrs: Arc::new(attrs.clone()),
+                        offset: e.offset,
+                        stride,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sorted(coords: &[(String, i64)]) -> Vec<(String, i64)> {
+    let mut c = coords.to_vec();
+    c.sort();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_descriptor::compile;
+    use dv_types::Interval;
+
+    const DESC: &str = r#"
+[IPARS]
+REL = short int
+TIME = int
+X = float
+SOIL = float
+SGAS = float
+
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = n0/d
+
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET coords DATASET vars }
+  DATASET "coords" {
+    DATASPACE { LOOP GRID 1:10:1 { X } }
+    DATA { DIR[0]/COORDS }
+  }
+  DATASET "vars" {
+    DATASPACE {
+      LOOP TIME 1:20:1 {
+        LOOP GRID 1:10:1 { SOIL SGAS }
+      }
+    }
+    DATA { DIR[0]/DATA$REL REL = 0:1:1 }
+  }
+}
+"#;
+
+    fn ranges(pairs: &[(&str, IntervalSet)]) -> HashMap<String, IntervalSet> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn coords_file_single_segment() {
+        let m = compile(DESC).unwrap();
+        let coords = m.files.iter().find(|f| f.dataset == "coords").unwrap();
+        let segs = enumerate_segments(coords, &m.attr_sizes, &HashMap::new(), None).unwrap();
+        assert_eq!(segs.len(), 1);
+        let s = &segs[0];
+        assert_eq!(s.rows, 10);
+        assert_eq!(s.stride, 4);
+        assert_eq!(s.offset, 0);
+        assert!(s.coords.is_empty());
+        assert_eq!(
+            s.inner,
+            InnerSig::Loop { var: "GRID".into(), lo: 1, hi: 10, step: 1 }
+        );
+    }
+
+    #[test]
+    fn data_file_segment_per_time() {
+        let m = compile(DESC).unwrap();
+        let data = m.files.iter().find(|f| f.rel_path == "d/DATA0").unwrap();
+        let segs = enumerate_segments(data, &m.attr_sizes, &HashMap::new(), None).unwrap();
+        assert_eq!(segs.len(), 20);
+        // Offsets advance by 10 records × 8 bytes.
+        assert_eq!(segs[0].offset, 0);
+        assert_eq!(segs[1].offset, 80);
+        assert_eq!(segs[0].coords, vec![("TIME".to_string(), 1)]);
+        assert_eq!(segs[19].coords, vec![("TIME".to_string(), 20)]);
+        assert_eq!(*segs[0].attrs, vec!["SOIL", "SGAS"]);
+    }
+
+    #[test]
+    fn outer_loop_pruning_preserves_offsets() {
+        let m = compile(DESC).unwrap();
+        let data = m.files.iter().find(|f| f.rel_path == "d/DATA0").unwrap();
+        let r = ranges(&[("TIME", IntervalSet::single(Interval::closed(5.0, 7.0)))]);
+        let segs = enumerate_segments(data, &m.attr_sizes, &r, None).unwrap();
+        assert_eq!(segs.len(), 3);
+        // TIME=5 is the 5th chunk (index 4): offset 4 × 80.
+        assert_eq!(segs[0].coords, vec![("TIME".to_string(), 5)]);
+        assert_eq!(segs[0].offset, 320);
+        assert_eq!(segs[2].offset, 480);
+    }
+
+    #[test]
+    fn empty_constraint_prunes_everything() {
+        let m = compile(DESC).unwrap();
+        let data = m.files.iter().find(|f| f.rel_path == "d/DATA1").unwrap();
+        let r = ranges(&[("TIME", IntervalSet::empty())]);
+        let segs = enumerate_segments(data, &m.attr_sizes, &r, None).unwrap();
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn point_constraints_from_in_list() {
+        let m = compile(DESC).unwrap();
+        let data = m.files.iter().find(|f| f.rel_path == "d/DATA0").unwrap();
+        let r = ranges(&[("TIME", IntervalSet::points(&[3.0, 17.0]))]);
+        let segs = enumerate_segments(data, &m.attr_sizes, &r, None).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].coords, vec![("TIME".to_string(), 3)]);
+        assert_eq!(segs[1].coords, vec![("TIME".to_string(), 17)]);
+    }
+
+    #[test]
+    fn chunked_file_uses_index() {
+        let idx = LoadedChunkIndex::new(
+            vec!["X".into()],
+            vec![
+                ChunkIndexEntry { bounds: vec![(0.0, 9.0)], offset: 0, rows: 10 },
+                ChunkIndexEntry { bounds: vec![(10.0, 19.0)], offset: 80, rows: 10 },
+                ChunkIndexEntry { bounds: vec![(20.0, 29.0)], offset: 160, rows: 4 },
+            ],
+        );
+        let text = r#"
+[T]
+X = float
+S1 = float
+
+[TitanData]
+DatasetDescription = T
+DIR[0] = n0/t
+
+DATASET "TitanData" {
+  DATATYPE { T }
+  DATAINDEX { X }
+  DATA { DATASET c }
+  DATASET "c" {
+    DATASPACE { CHUNKED INDEXFILE "DIR[0]/t.idx" { X S1 } }
+    DATA { DIR[0]/t.dat }
+  }
+}
+"#;
+        let m = compile(text).unwrap();
+        let f = &m.files[0];
+        assert!(f.is_chunked());
+        let r = ranges(&[("X", IntervalSet::single(Interval::closed(12.0, 25.0)))]);
+        let segs = enumerate_segments(f, &m.attr_sizes, &r, Some(&idx)).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].offset, 80);
+        assert_eq!(segs[0].rows, 10);
+        assert_eq!(segs[1].offset, 160);
+        assert_eq!(segs[1].rows, 4);
+        assert_eq!(segs[0].coords, vec![("__CHUNK".to_string(), 1)]);
+
+        // Missing index is an error.
+        assert!(enumerate_segments(f, &m.attr_sizes, &r, None).is_err());
+    }
+
+    #[test]
+    fn mixed_record_and_loop_body() {
+        let text = r#"
+[S]
+A = int
+B = int
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATATYPE { S HDR = long int }
+  DATASET "leaf" {
+    DATASPACE {
+      HDR
+      LOOP T 1:3:1 {
+        LOOP G 1:5:1 { A }
+        LOOP G 1:5:1 { B }
+      }
+    }
+    DATA { DIR[0]/f }
+  }
+  DATA { DATASET leaf }
+}
+"#;
+        let m = compile(text).unwrap();
+        let segs =
+            enumerate_segments(&m.files[0], &m.attr_sizes, &HashMap::new(), None).unwrap();
+        // 1 header record + 3 time-steps × 2 arrays.
+        assert_eq!(segs.len(), 7);
+        assert_eq!(segs[0].inner, InnerSig::Record);
+        assert_eq!(segs[0].stride, 8);
+        // First A-array starts after the 8-byte header.
+        assert_eq!(segs[1].offset, 8);
+        assert_eq!(*segs[1].attrs, vec!["A"]);
+        // B-array of the same time-step follows 5×4 bytes later.
+        assert_eq!(segs[2].offset, 28);
+        assert_eq!(*segs[2].attrs, vec!["B"]);
+        assert_eq!(segs[1].coords, segs[2].coords);
+        // Next time-step.
+        assert_eq!(segs[3].offset, 48);
+    }
+}

@@ -1,0 +1,345 @@
+//! On-disk B+tree secondary index, bulk-loaded.
+//!
+//! Keys are `f64` views of the indexed attribute (total order matches
+//! query comparison semantics); payloads are [`TupleId`]s. The tree is
+//! built bottom-up from sorted entries at `CREATE INDEX` time —
+//! read-only datasets never need incremental insertion.
+//!
+//! File format (8 KiB pages):
+//!
+//! ```text
+//! page 0           : magic "DVBT", root u32, height u32,
+//!                    nentries u64, min f64, max f64
+//! node page header : is_leaf u8, pad u8, nkeys u16, next_leaf u32
+//! leaf entry (16B) : key f64, page u32, slot u16, pad u16
+//! inner entry (16B): max_key f64, child u32, pad u32
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use dv_types::{DvError, Result};
+
+use crate::heap::TupleId;
+use crate::page::PAGE_SIZE;
+
+const MAGIC: &[u8; 4] = b"DVBT";
+const NODE_HEADER: usize = 8;
+const ENTRY: usize = 16;
+const CAPACITY: usize = (PAGE_SIZE - NODE_HEADER) / ENTRY;
+const NO_NEXT: u32 = u32::MAX;
+
+/// Build a B+tree index file from `entries` (must be sorted by key;
+/// duplicates allowed). Returns the number of entries written.
+pub fn build(path: &Path, mut entries: Vec<(f64, TupleId)>) -> Result<u64> {
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let to_err = |e: std::io::Error| DvError::io(path.display().to_string(), e);
+    let file = File::create(path).map_err(to_err)?;
+    let mut w = BufWriter::new(file);
+
+    // Reserve the meta page.
+    w.write_all(&[0u8; PAGE_SIZE]).map_err(to_err)?;
+    let mut next_page: u32 = 1;
+
+    let (min_key, max_key) = match (entries.first(), entries.last()) {
+        (Some(f), Some(l)) => (f.0, l.0),
+        _ => (f64::INFINITY, f64::NEG_INFINITY),
+    };
+    let nentries = entries.len() as u64;
+
+    // --- leaves ---
+    let mut level: Vec<(f64, u32)> = Vec::new(); // (max key, page)
+    {
+        let chunks: Vec<&[(f64, TupleId)]> = entries.chunks(CAPACITY).collect();
+        let first_leaf_page = next_page;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[0] = 1; // leaf
+            page[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            let next =
+                if i + 1 < chunks.len() { first_leaf_page + i as u32 + 1 } else { NO_NEXT };
+            page[4..8].copy_from_slice(&next.to_le_bytes());
+            for (j, (key, tid)) in chunk.iter().enumerate() {
+                let at = NODE_HEADER + j * ENTRY;
+                page[at..at + 8].copy_from_slice(&key.to_le_bytes());
+                page[at + 8..at + 12].copy_from_slice(&tid.page.to_le_bytes());
+                page[at + 12..at + 14].copy_from_slice(&tid.slot.to_le_bytes());
+            }
+            w.write_all(&page).map_err(to_err)?;
+            level.push((chunk.last().unwrap().0, next_page));
+            next_page += 1;
+        }
+        if chunks.is_empty() {
+            // Single empty leaf so searches have somewhere to land.
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[0] = 1;
+            page[4..8].copy_from_slice(&NO_NEXT.to_le_bytes());
+            w.write_all(&page).map_err(to_err)?;
+            level.push((f64::NEG_INFINITY, next_page));
+            next_page += 1;
+        }
+    }
+
+    // --- internal levels ---
+    let mut height = 1u32;
+    while level.len() > 1 {
+        let mut next_level = Vec::with_capacity(level.len().div_ceil(CAPACITY));
+        for chunk in level.chunks(CAPACITY) {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[0] = 0;
+            page[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            page[4..8].copy_from_slice(&NO_NEXT.to_le_bytes());
+            for (j, (max_key, child)) in chunk.iter().enumerate() {
+                let at = NODE_HEADER + j * ENTRY;
+                page[at..at + 8].copy_from_slice(&max_key.to_le_bytes());
+                page[at + 8..at + 12].copy_from_slice(&child.to_le_bytes());
+            }
+            w.write_all(&page).map_err(to_err)?;
+            next_level.push((chunk.last().unwrap().0, next_page));
+            next_page += 1;
+        }
+        level = next_level;
+        height += 1;
+    }
+    let root = level[0].1;
+    w.flush().map_err(to_err)?;
+    drop(w);
+
+    // Meta page.
+    let mut meta = vec![0u8; PAGE_SIZE];
+    meta[0..4].copy_from_slice(MAGIC);
+    meta[4..8].copy_from_slice(&root.to_le_bytes());
+    meta[8..12].copy_from_slice(&height.to_le_bytes());
+    meta[16..24].copy_from_slice(&nentries.to_le_bytes());
+    meta[24..32].copy_from_slice(&min_key.to_le_bytes());
+    meta[32..40].copy_from_slice(&max_key.to_le_bytes());
+    let file = std::fs::OpenOptions::new().write(true).open(path).map_err(to_err)?;
+    file.write_all_at(&meta, 0).map_err(to_err)?;
+    Ok(nentries)
+}
+
+/// Read side of a B+tree index.
+pub struct BTreeIndex {
+    file: File,
+    path: PathBuf,
+    root: u32,
+    /// Number of indexed entries.
+    pub entries: u64,
+    /// Smallest key (`+inf` when empty).
+    pub min_key: f64,
+    /// Largest key (`-inf` when empty).
+    pub max_key: f64,
+}
+
+impl BTreeIndex {
+    /// Open an index file.
+    pub fn open(path: &Path) -> Result<BTreeIndex> {
+        let to_err = |e: std::io::Error| DvError::io(path.display().to_string(), e);
+        let file = File::open(path).map_err(to_err)?;
+        let mut meta = [0u8; 40];
+        file.read_exact_at(&mut meta, 0).map_err(to_err)?;
+        if &meta[0..4] != MAGIC {
+            return Err(DvError::MiniDb(format!(
+                "{} is not a B+tree index file",
+                path.display()
+            )));
+        }
+        Ok(BTreeIndex {
+            file,
+            path: path.to_path_buf(),
+            root: u32::from_le_bytes(meta[4..8].try_into().unwrap()),
+            entries: u64::from_le_bytes(meta[16..24].try_into().unwrap()),
+            min_key: f64::from_le_bytes(meta[24..32].try_into().unwrap()),
+            max_key: f64::from_le_bytes(meta[32..40].try_into().unwrap()),
+        })
+    }
+
+    fn read_page(&self, page_no: u32) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file
+            .read_exact_at(&mut buf, page_no as u64 * PAGE_SIZE as u64)
+            .map_err(|e| DvError::io(self.path.display().to_string(), e))?;
+        Ok(buf)
+    }
+
+    /// Estimated fraction of entries falling in `[lo, hi]`, assuming a
+    /// uniform key distribution over `[min, max]` — the planner's
+    /// selectivity estimate.
+    pub fn estimate_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if self.entries == 0 || lo > hi {
+            return 0.0;
+        }
+        let span = self.max_key - self.min_key;
+        if span <= 0.0 {
+            return 1.0;
+        }
+        let clipped = (hi.min(self.max_key) - lo.max(self.min_key)).max(0.0);
+        (clipped / span).clamp(0.0, 1.0)
+    }
+
+    /// Collect all tuple ids with `lo <= key <= hi`, in key order.
+    pub fn range(&self, lo: f64, hi: f64) -> Result<Vec<TupleId>> {
+        let mut out = Vec::new();
+        self.range_visit(lo, hi, |tid| out.push(tid))?;
+        Ok(out)
+    }
+
+    /// Visit tuple ids with `lo <= key <= hi`.
+    pub fn range_visit(&self, lo: f64, hi: f64, mut visit: impl FnMut(TupleId)) -> Result<()> {
+        if lo > hi || self.entries == 0 {
+            return Ok(());
+        }
+        // Descend to the first leaf whose max key >= lo.
+        let mut page_no = self.root;
+        loop {
+            let page = self.read_page(page_no)?;
+            let is_leaf = page[0] == 1;
+            let nkeys = u16::from_le_bytes(page[2..4].try_into().unwrap()) as usize;
+            if is_leaf {
+                break;
+            }
+            let mut child = None;
+            for j in 0..nkeys {
+                let at = NODE_HEADER + j * ENTRY;
+                let max_key = f64::from_le_bytes(page[at..at + 8].try_into().unwrap());
+                if max_key >= lo {
+                    child =
+                        Some(u32::from_le_bytes(page[at + 8..at + 12].try_into().unwrap()));
+                    break;
+                }
+            }
+            match child {
+                Some(c) => page_no = c,
+                None => return Ok(()), // lo beyond every key
+            }
+        }
+        // Walk leaves until past hi.
+        loop {
+            let page = self.read_page(page_no)?;
+            let nkeys = u16::from_le_bytes(page[2..4].try_into().unwrap()) as usize;
+            let next = u32::from_le_bytes(page[4..8].try_into().unwrap());
+            for j in 0..nkeys {
+                let at = NODE_HEADER + j * ENTRY;
+                let key = f64::from_le_bytes(page[at..at + 8].try_into().unwrap());
+                if key < lo {
+                    continue;
+                }
+                if key > hi {
+                    return Ok(());
+                }
+                visit(TupleId {
+                    page: u32::from_le_bytes(page[at + 8..at + 12].try_into().unwrap()),
+                    slot: u16::from_le_bytes(page[at + 12..at + 14].try_into().unwrap()),
+                });
+            }
+            if next == NO_NEXT {
+                return Ok(());
+            }
+            page_no = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dv-minidb-btree-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(format!("{tag}.idx"))
+    }
+
+    fn tid(i: u64) -> TupleId {
+        TupleId { page: (i / 100) as u32, slot: (i % 100) as u16 }
+    }
+
+    #[test]
+    fn range_scan_matches_filter() {
+        let path = tmpfile("range");
+        let entries: Vec<(f64, TupleId)> =
+            (0..10_000u64).map(|i| ((i as f64 * 7.0) % 1000.0, tid(i))).collect();
+        build(&path, entries.clone()).unwrap();
+        let idx = BTreeIndex::open(&path).unwrap();
+        assert_eq!(idx.entries, 10_000);
+
+        for (lo, hi) in [(0.0, 50.0), (333.0, 334.0), (999.0, 2000.0), (-10.0, -1.0)] {
+            let mut expect: Vec<TupleId> = entries
+                .iter()
+                .filter(|(k, _)| *k >= lo && *k <= hi)
+                .map(|(_, t)| *t)
+                .collect();
+            expect.sort();
+            let mut got = idx.range(lo, hi).unwrap();
+            got.sort();
+            assert_eq!(got, expect, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn multi_level_tree() {
+        // > CAPACITY^2 entries forces height 3.
+        let n = 300_000u64;
+        let path = tmpfile("tall");
+        let entries: Vec<(f64, TupleId)> = (0..n).map(|i| (i as f64, tid(i))).collect();
+        build(&path, entries).unwrap();
+        let idx = BTreeIndex::open(&path).unwrap();
+        let got = idx.range(150_000.0, 150_004.0).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0], tid(150_000));
+        // Point query.
+        assert_eq!(idx.range(7.0, 7.0).unwrap(), vec![tid(7)]);
+        // Out of range.
+        assert!(idx.range(n as f64 + 1.0, n as f64 + 2.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let path = tmpfile("dups");
+        let entries: Vec<(f64, TupleId)> = (0..500u64).map(|i| (42.0, tid(i))).collect();
+        build(&path, entries).unwrap();
+        let idx = BTreeIndex::open(&path).unwrap();
+        assert_eq!(idx.range(42.0, 42.0).unwrap().len(), 500);
+        assert_eq!(idx.range(41.9, 41.99).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let path = tmpfile("empty");
+        build(&path, Vec::new()).unwrap();
+        let idx = BTreeIndex::open(&path).unwrap();
+        assert_eq!(idx.entries, 0);
+        assert!(idx.range(f64::NEG_INFINITY, f64::INFINITY).unwrap().is_empty());
+        assert_eq!(idx.estimate_selectivity(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let path = tmpfile("sel");
+        let entries: Vec<(f64, TupleId)> = (0..1000u64).map(|i| (i as f64, tid(i))).collect();
+        build(&path, entries).unwrap();
+        let idx = BTreeIndex::open(&path).unwrap();
+        let s = idx.estimate_selectivity(0.0, 99.0);
+        assert!((s - 0.1).abs() < 0.01, "{s}");
+        assert_eq!(idx.estimate_selectivity(2000.0, 3000.0), 0.0);
+        assert!((idx.estimate_selectivity(f64::NEG_INFINITY, f64::INFINITY) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("bad");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(BTreeIndex::open(&path).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_by_build() {
+        let path = tmpfile("unsorted");
+        let entries = vec![(5.0, tid(5)), (1.0, tid(1)), (3.0, tid(3))];
+        build(&path, entries).unwrap();
+        let idx = BTreeIndex::open(&path).unwrap();
+        assert_eq!(idx.range(0.0, 10.0).unwrap(), vec![tid(1), tid(3), tid(5)]);
+    }
+}

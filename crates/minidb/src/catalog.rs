@@ -1,0 +1,107 @@
+//! Persistent catalog: table schemas, heap files, index files.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use dv_types::{DvError, Result, Schema};
+
+/// One secondary index's metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexMeta {
+    /// Indexed attribute name (upper-cased).
+    pub attr: String,
+    /// Index file name within the database directory.
+    pub file: String,
+}
+
+/// One table's metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableMeta {
+    pub schema: Schema,
+    /// Heap file name within the database directory.
+    pub heap: String,
+    /// Row count recorded at load time (planner statistics).
+    pub rows: u64,
+    pub indexes: Vec<IndexMeta>,
+}
+
+/// The database catalog, persisted as `catalog.json`.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    pub tables: BTreeMap<String, TableMeta>,
+}
+
+impl Catalog {
+    /// Load the catalog from a database directory (empty catalog when
+    /// none exists yet).
+    pub fn load(dir: &Path) -> Result<Catalog> {
+        let path = dir.join("catalog.json");
+        if !path.exists() {
+            return Ok(Catalog::default());
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| DvError::io(path.display().to_string(), e))?;
+        serde_json::from_str(&text)
+            .map_err(|e| DvError::MiniDb(format!("corrupt catalog: {e}")))
+    }
+
+    /// Persist the catalog.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let path = dir.join("catalog.json");
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| DvError::MiniDb(format!("serialize catalog: {e}")))?;
+        std::fs::write(&path, text).map_err(|e| DvError::io(path.display().to_string(), e))
+    }
+
+    /// Look up a table (case-insensitive).
+    pub fn table(&self, name: &str) -> Result<&TableMeta> {
+        let upper = name.to_ascii_uppercase();
+        self.tables
+            .get(&upper)
+            .ok_or_else(|| DvError::MiniDb(format!("no such table `{name}`")))
+    }
+
+    /// Heap file path of a table.
+    pub fn heap_path(dir: &Path, meta: &TableMeta) -> PathBuf {
+        dir.join(&meta.heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_types::{Attribute, DataType};
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dv-minidb-cat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cat = Catalog::default();
+        cat.tables.insert(
+            "T".into(),
+            TableMeta {
+                schema: Schema::new("T", vec![Attribute::new("A", DataType::Int)]).unwrap(),
+                heap: "t.heap".into(),
+                rows: 99,
+                indexes: vec![IndexMeta { attr: "A".into(), file: "t.a.idx".into() }],
+            },
+        );
+        cat.save(&dir).unwrap();
+        let back = Catalog::load(&dir).unwrap();
+        let meta = back.table("t").unwrap();
+        assert_eq!(meta.rows, 99);
+        assert_eq!(meta.indexes[0].attr, "A");
+        assert!(back.table("missing").is_err());
+    }
+
+    #[test]
+    fn missing_catalog_is_empty() {
+        let dir =
+            std::env::temp_dir().join(format!("dv-minidb-cat-none-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cat = Catalog::load(&dir).unwrap();
+        assert!(cat.tables.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Planner and executor: SQL (dv-sql AST) over heap files and B+tree
+//! indexes.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use dv_sql::analysis::attribute_ranges;
+use dv_sql::eval::EvalContext;
+use dv_sql::{bind, parse, BoundQuery, UdfRegistry};
+use dv_types::{DvError, Interval, Result, Row, Schema, Table};
+
+use crate::btree::{build as btree_build, BTreeIndex};
+use crate::catalog::{Catalog, IndexMeta, TableMeta};
+use crate::heap::{HeapFile, HeapWriter};
+
+/// Which access path the planner chose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanKind {
+    /// Full sequential scan of the heap.
+    Seq,
+    /// B+tree index scan on one attribute.
+    Index { attr: String },
+}
+
+/// Statistics of one query execution.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    pub scan: ScanKind,
+    /// Tuples visited (heap tuples decoded).
+    pub rows_scanned: u64,
+    /// Rows returned after filtering.
+    pub rows_returned: u64,
+    /// Bytes read from heap and index pages.
+    pub bytes_read: u64,
+    /// Wall time.
+    pub elapsed: Duration,
+}
+
+/// Storage statistics of one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub rows: u64,
+    pub heap_bytes: u64,
+    pub index_bytes: u64,
+}
+
+impl TableStats {
+    /// Total on-disk footprint.
+    pub fn total_bytes(&self) -> u64 {
+        self.heap_bytes + self.index_bytes
+    }
+}
+
+/// Statistics of a bulk load.
+#[derive(Debug, Clone)]
+pub struct LoadStats {
+    pub rows: u64,
+    pub heap_bytes: u64,
+    pub elapsed: Duration,
+}
+
+/// The embedded row store.
+pub struct MiniDb {
+    dir: PathBuf,
+    catalog: Catalog,
+    udfs: UdfRegistry,
+    /// Planner threshold: an index scan is chosen when the estimated
+    /// selectivity is below this fraction (PostgreSQL-ish default).
+    pub index_threshold: f64,
+}
+
+impl MiniDb {
+    /// Open (or initialize) a database directory.
+    pub fn open(dir: &Path, udfs: UdfRegistry) -> Result<MiniDb> {
+        std::fs::create_dir_all(dir).map_err(|e| DvError::io(dir.display().to_string(), e))?;
+        let catalog = Catalog::load(dir)?;
+        Ok(MiniDb { dir: dir.to_path_buf(), catalog, udfs, index_threshold: 0.15 })
+    }
+
+    /// Bulk-load a table (the `COPY` step of the paper's "load into a
+    /// DBMS" workflow). Replaces any existing table of the same name.
+    pub fn load_table(
+        &mut self,
+        schema: &Schema,
+        rows: impl Iterator<Item = Row>,
+    ) -> Result<LoadStats> {
+        let start = Instant::now();
+        let name = schema.name.clone();
+        let heap_name = format!("{}.heap", name.to_ascii_lowercase());
+        let mut w = HeapWriter::create(&self.dir.join(&heap_name))?;
+        let mut count = 0u64;
+        for row in rows {
+            w.insert(&row)?;
+            count += 1;
+        }
+        let (_pages, tuples) = w.finish()?;
+        debug_assert_eq!(tuples, count);
+        let heap_bytes = std::fs::metadata(self.dir.join(&heap_name))
+            .map_err(|e| DvError::io(heap_name.clone(), e))?
+            .len();
+        self.catalog.tables.insert(
+            name,
+            TableMeta { schema: schema.clone(), heap: heap_name, rows: count, indexes: vec![] },
+        );
+        self.catalog.save(&self.dir)?;
+        Ok(LoadStats { rows: count, heap_bytes, elapsed: start.elapsed() })
+    }
+
+    /// Build a B+tree index on `attr` (sequential scan + bulk build).
+    pub fn create_index(&mut self, table: &str, attr: &str) -> Result<()> {
+        let meta = self.catalog.table(table)?.clone();
+        let attr_idx = meta.schema.index_of(attr).ok_or_else(|| {
+            DvError::MiniDb(format!("no attribute `{attr}` in table `{table}`"))
+        })?;
+        let upper = meta.schema.attr_at(attr_idx).name.clone();
+        let heap = HeapFile::open(&Catalog::heap_path(&self.dir, &meta))?;
+        let mut entries = Vec::with_capacity(meta.rows as usize);
+        heap.scan(&meta.schema, |tid, row| {
+            entries.push((row[attr_idx].as_f64(), tid));
+        })?;
+        let file = format!(
+            "{}.{}.idx",
+            table.to_ascii_lowercase(),
+            upper.to_ascii_lowercase()
+        );
+        btree_build(&self.dir.join(&file), entries)?;
+        let table_meta = self
+            .catalog
+            .tables
+            .get_mut(&table.to_ascii_uppercase())
+            .expect("table just looked up");
+        table_meta.indexes.retain(|i| i.attr != upper);
+        table_meta.indexes.push(IndexMeta { attr: upper, file });
+        self.catalog.save(&self.dir)
+    }
+
+    /// Storage statistics of a table.
+    pub fn table_stats(&self, table: &str) -> Result<TableStats> {
+        let meta = self.catalog.table(table)?;
+        let heap_bytes = std::fs::metadata(Catalog::heap_path(&self.dir, meta))
+            .map_err(|e| DvError::io(meta.heap.clone(), e))?
+            .len();
+        let mut index_bytes = 0;
+        for idx in &meta.indexes {
+            index_bytes += std::fs::metadata(self.dir.join(&idx.file))
+                .map_err(|e| DvError::io(idx.file.clone(), e))?
+                .len();
+        }
+        Ok(TableStats { rows: meta.rows, heap_bytes, index_bytes })
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, table: &str) -> Result<&Schema> {
+        Ok(&self.catalog.table(table)?.schema)
+    }
+
+    /// Execute a query.
+    pub fn query(&self, sql: &str) -> Result<(Table, ExecStats)> {
+        let ast = parse(sql)?;
+        let meta = self.catalog.table(&ast.dataset)?;
+        let bq = bind(&ast, &meta.schema, &self.udfs)?;
+        self.execute_bound(meta, &bq)
+    }
+
+    fn execute_bound(&self, meta: &TableMeta, bq: &BoundQuery) -> Result<(Table, ExecStats)> {
+        let start = Instant::now();
+        let schema = &meta.schema;
+        let heap = HeapFile::open(&Catalog::heap_path(&self.dir, meta))?;
+        let identity: Vec<usize> = (0..schema.len()).collect();
+        let cx = EvalContext::new(schema.len(), &identity, &self.udfs);
+
+        // Plan: find the most selective usable index.
+        let ranges = bq.predicate.as_ref().map(attribute_ranges).unwrap_or_default();
+        let mut best: Option<(f64, &IndexMeta, Vec<Interval>)> = None;
+        for idx_meta in &meta.indexes {
+            let Some(attr_idx) = schema.index_of(&idx_meta.attr) else { continue };
+            let Some(set) = ranges.get(&attr_idx) else { continue };
+            if set.is_all() {
+                continue;
+            }
+            let index = BTreeIndex::open(&self.dir.join(&idx_meta.file))?;
+            let intervals: Vec<Interval> = set.intervals().to_vec();
+            let selectivity: f64 = intervals
+                .iter()
+                .map(|iv| index.estimate_selectivity(iv.lo, iv.hi))
+                .sum::<f64>()
+                .min(1.0);
+            if best.as_ref().map(|(s, _, _)| selectivity < *s).unwrap_or(true) {
+                best = Some((selectivity, idx_meta, intervals));
+            }
+        }
+
+        let mut table = Table::empty(bq.output_schema());
+        let mut rows_scanned = 0u64;
+        let mut bytes_read = 0u64;
+        let scan = match best {
+            Some((sel, idx_meta, intervals)) if sel < self.index_threshold => {
+                let index = BTreeIndex::open(&self.dir.join(&idx_meta.file))?;
+                let mut tids = Vec::new();
+                for iv in intervals {
+                    index.range_visit(iv.lo, iv.hi, |tid| tids.push(tid))?;
+                }
+                // Index leaf pages touched (16 bytes per entry).
+                bytes_read += (tids.len() as u64 * 16).next_multiple_of(8192);
+                // Page-ordered fetch for locality (bitmap-heap-scan
+                // style).
+                tids.sort_unstable();
+                tids.dedup();
+                let mut current_page: Option<(u32, crate::page::Page)> = None;
+                for tid in tids {
+                    let page = match &current_page {
+                        Some((no, p)) if *no == tid.page => p,
+                        _ => {
+                            current_page = Some((tid.page, heap.read_page(tid.page)?));
+                            bytes_read += crate::page::PAGE_SIZE as u64;
+                            &current_page.as_ref().unwrap().1
+                        }
+                    };
+                    let row = crate::tuple::decode(schema, page.tuple(tid.slot));
+                    rows_scanned += 1;
+                    let keep = match &bq.predicate {
+                        Some(p) => cx.eval(p, &row),
+                        None => true,
+                    };
+                    if keep {
+                        table.rows.push(bq.projection.iter().map(|&i| row[i]).collect());
+                    }
+                }
+                ScanKind::Index { attr: idx_meta.attr.clone() }
+            }
+            _ => {
+                bytes_read += heap.bytes();
+                let mut err = None;
+                heap.scan(schema, |_tid, row| {
+                    rows_scanned += 1;
+                    let keep = match &bq.predicate {
+                        Some(p) => cx.eval(p, &row),
+                        None => true,
+                    };
+                    if keep {
+                        table.rows.push(bq.projection.iter().map(|&i| row[i]).collect());
+                    }
+                })
+                .unwrap_or_else(|e| err = Some(e));
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                ScanKind::Seq
+            }
+        };
+
+        let stats = ExecStats {
+            scan,
+            rows_scanned,
+            rows_returned: table.rows.len() as u64,
+            bytes_read,
+            elapsed: start.elapsed(),
+        };
+        Ok((table, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_types::{Attribute, DataType, Value};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dv-minidb-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn demo_schema() -> Schema {
+        Schema::new(
+            "DEMO",
+            vec![
+                Attribute::new("ID", DataType::Int),
+                Attribute::new("CAT", DataType::Short),
+                Attribute::new("VAL", DataType::Double),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn demo_rows(n: i32) -> impl Iterator<Item = Row> {
+        (0..n).map(|i| {
+            vec![Value::Int(i), Value::Short((i % 10) as i16), Value::Double(i as f64 / 100.0)]
+        })
+    }
+
+    fn loaded(tag: &str, n: i32) -> MiniDb {
+        let dir = tmpdir(tag);
+        let mut db = MiniDb::open(&dir, UdfRegistry::with_builtins()).unwrap();
+        db.load_table(&demo_schema(), demo_rows(n)).unwrap();
+        db
+    }
+
+    #[test]
+    fn load_and_full_scan() {
+        let db = loaded("scan", 10_000);
+        let (t, stats) = db.query("SELECT * FROM DEMO").unwrap();
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(stats.scan, ScanKind::Seq);
+        assert_eq!(stats.rows_scanned, 10_000);
+    }
+
+    #[test]
+    fn filter_without_index_is_seq() {
+        let db = loaded("noidx", 5_000);
+        let (t, stats) = db.query("SELECT ID FROM DEMO WHERE VAL < 0.5").unwrap();
+        assert_eq!(t.len(), 50);
+        assert_eq!(stats.scan, ScanKind::Seq);
+    }
+
+    #[test]
+    fn selective_query_uses_index() {
+        let dir = tmpdir("idx");
+        let mut db = MiniDb::open(&dir, UdfRegistry::with_builtins()).unwrap();
+        db.load_table(&demo_schema(), demo_rows(50_000)).unwrap();
+        db.create_index("DEMO", "ID").unwrap();
+        let (t, stats) = db.query("SELECT * FROM DEMO WHERE ID >= 100 AND ID <= 199").unwrap();
+        assert_eq!(t.len(), 100);
+        assert_eq!(stats.scan, ScanKind::Index { attr: "ID".into() });
+        // Index scan touched ~100 tuples, not 50k.
+        assert!(stats.rows_scanned <= 110, "{}", stats.rows_scanned);
+    }
+
+    #[test]
+    fn unselective_query_falls_back_to_seq() {
+        let dir = tmpdir("unsel");
+        let mut db = MiniDb::open(&dir, UdfRegistry::with_builtins()).unwrap();
+        db.load_table(&demo_schema(), demo_rows(20_000)).unwrap();
+        db.create_index("DEMO", "ID").unwrap();
+        let (t, stats) = db.query("SELECT * FROM DEMO WHERE ID >= 0").unwrap();
+        assert_eq!(t.len(), 20_000);
+        assert_eq!(stats.scan, ScanKind::Seq);
+    }
+
+    #[test]
+    fn index_scan_result_equals_seq_scan() {
+        let dir = tmpdir("equiv");
+        let mut db = MiniDb::open(&dir, UdfRegistry::with_builtins()).unwrap();
+        db.load_table(&demo_schema(), demo_rows(30_000)).unwrap();
+        let sql = "SELECT ID, VAL FROM DEMO WHERE ID BETWEEN 5000 AND 5999 AND CAT = 3";
+        let (seq, s1) = db.query(sql).unwrap();
+        assert_eq!(s1.scan, ScanKind::Seq);
+        db.create_index("DEMO", "ID").unwrap();
+        let (idx, s2) = db.query(sql).unwrap();
+        assert!(matches!(s2.scan, ScanKind::Index { .. }));
+        assert!(seq.same_rows(&idx));
+        assert_eq!(seq.len(), 100);
+    }
+
+    #[test]
+    fn in_list_uses_index_probes() {
+        let dir = tmpdir("inlist");
+        let mut db = MiniDb::open(&dir, UdfRegistry::with_builtins()).unwrap();
+        db.load_table(&demo_schema(), demo_rows(40_000)).unwrap();
+        db.create_index("DEMO", "ID").unwrap();
+        let (t, stats) = db.query("SELECT * FROM DEMO WHERE ID IN (5, 500, 39999)").unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(matches!(stats.scan, ScanKind::Index { .. }));
+        assert!(stats.rows_scanned <= 3);
+    }
+
+    #[test]
+    fn storage_expansion_roughly_3x() {
+        let db = loaded("expand", 50_000);
+        let mut db = db;
+        db.create_index("DEMO", "ID").unwrap();
+        db.create_index("DEMO", "VAL").unwrap();
+        let stats = db.table_stats("DEMO").unwrap();
+        let raw = 50_000u64 * 14; // 4 + 2 + 8 raw bytes/row
+        let ratio = stats.total_bytes() as f64 / raw as f64;
+        assert!(ratio > 2.5 && ratio < 6.0, "expansion ratio {ratio}");
+    }
+
+    #[test]
+    fn udf_filter_works() {
+        let db = loaded("udf", 1_000);
+        let (t, _) = db
+            .query("SELECT ID FROM DEMO WHERE DISTANCE(VAL, VAL, VAL) < 0.1")
+            .unwrap();
+        // sqrt(3 v²) < 0.1 → v < 0.0577 → ids 0..=5.
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn catalog_persists_across_reopen() {
+        let dir = tmpdir("persist");
+        {
+            let mut db = MiniDb::open(&dir, UdfRegistry::with_builtins()).unwrap();
+            db.load_table(&demo_schema(), demo_rows(100)).unwrap();
+            db.create_index("DEMO", "ID").unwrap();
+        }
+        let db = MiniDb::open(&dir, UdfRegistry::with_builtins()).unwrap();
+        let (t, stats) = db.query("SELECT * FROM DEMO WHERE ID = 42").unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(matches!(stats.scan, ScanKind::Index { .. }));
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let db = loaded("unknown", 10);
+        assert!(db.query("SELECT * FROM NOPE").is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # dv-minidb
+//!
+//! An embedded, page-based relational row store — the "load the data
+//! into a general-purpose DBMS" baseline of the paper's Figure 6
+//! (PostgreSQL in the original evaluation; see DESIGN.md for the
+//! substitution argument).
+//!
+//! Faithful to the costs that matter for that comparison:
+//!
+//! * **storage expansion** — tuples carry a PostgreSQL-like 24-byte
+//!   header, payloads are MAXALIGN-padded, pages add line pointers and
+//!   headers, and secondary B+trees add per-row entries, so a 6 GB raw
+//!   scientific dataset loads to roughly 3× its size (18 GB in the
+//!   paper);
+//! * **load cost** — data must be copied through the tuple format and
+//!   indexed before the first query;
+//! * **query behaviour** — sequential scans read the whole (inflated)
+//!   heap; B+tree index scans win only when selective.
+//!
+//! Components: [`page`] (slotted 8 KiB pages), [`tuple`] (header +
+//! encoding), [`heap`] (heap files), [`btree`] (bulk-loaded on-disk
+//! B+tree), [`catalog`] (persistent table metadata), [`db`] (planner +
+//! executor over the dv-sql AST).
+
+pub mod btree;
+pub mod catalog;
+pub mod db;
+pub mod heap;
+pub mod page;
+pub mod tuple;
+
+pub use db::{ExecStats, LoadStats, MiniDb, ScanKind, TableStats};

@@ -1,0 +1,163 @@
+//! Slotted 8 KiB pages, PostgreSQL-style.
+//!
+//! Layout:
+//!
+//! ```text
+//! [ header: lower u16 | upper u16 | nslots u16 | reserved u16 ]
+//! [ line pointers: (offset u16, len u16) × nslots ]  (grow down → up)
+//! [ free space ]
+//! [ tuple data ]                                      (grow up → down)
+//! ```
+
+/// Page size in bytes (PostgreSQL default).
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 8;
+const SLOT: usize = 4;
+
+/// A mutable in-memory page.
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh empty page.
+    pub fn new() -> Page {
+        let mut p = Page { buf: Box::new([0u8; PAGE_SIZE]) };
+        p.set_lower(HEADER as u16);
+        p.set_upper(PAGE_SIZE as u16);
+        p.set_nslots(0);
+        p
+    }
+
+    /// Wrap an existing page image.
+    pub fn from_bytes(bytes: &[u8]) -> Page {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        buf[..bytes.len().min(PAGE_SIZE)].copy_from_slice(&bytes[..bytes.len().min(PAGE_SIZE)]);
+        Page { buf }
+    }
+
+    /// Raw page image.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.buf
+    }
+
+    fn u16_at(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.buf[at], self.buf[at + 1]])
+    }
+
+    fn set_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn lower(&self) -> u16 {
+        self.u16_at(0)
+    }
+    fn set_lower(&mut self, v: u16) {
+        self.set_u16(0, v)
+    }
+    fn upper(&self) -> u16 {
+        self.u16_at(2)
+    }
+    fn set_upper(&mut self, v: u16) {
+        self.set_u16(2, v)
+    }
+
+    /// Number of tuples on the page.
+    pub fn nslots(&self) -> u16 {
+        self.u16_at(4)
+    }
+    fn set_nslots(&mut self, v: u16) {
+        self.set_u16(4, v)
+    }
+
+    /// Free bytes available for one more tuple (including its slot).
+    pub fn free_space(&self) -> usize {
+        (self.upper() as usize).saturating_sub(self.lower() as usize)
+    }
+
+    /// Append a tuple; returns its slot number, or `None` when the
+    /// page is full.
+    pub fn insert(&mut self, tuple: &[u8]) -> Option<u16> {
+        if tuple.len() + SLOT > self.free_space() {
+            return None;
+        }
+        let slot = self.nslots();
+        let new_upper = self.upper() as usize - tuple.len();
+        self.buf[new_upper..new_upper + tuple.len()].copy_from_slice(tuple);
+        let slot_at = HEADER + slot as usize * SLOT;
+        self.set_u16(slot_at, new_upper as u16);
+        self.set_u16(slot_at + 2, tuple.len() as u16);
+        self.set_upper(new_upper as u16);
+        self.set_lower((slot_at + SLOT) as u16);
+        self.set_nslots(slot + 1);
+        Some(slot)
+    }
+
+    /// Tuple bytes at `slot` (panics on an out-of-range slot — caller
+    /// bugs, not data conditions).
+    pub fn tuple(&self, slot: u16) -> &[u8] {
+        assert!(slot < self.nslots(), "slot {slot} out of range");
+        let slot_at = HEADER + slot as usize * SLOT;
+        let off = self.u16_at(slot_at) as usize;
+        let len = self.u16_at(slot_at + 2) as usize;
+        &self.buf[off..off + len]
+    }
+
+    /// Iterate all tuples on the page.
+    pub fn tuples(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.nslots()).map(move |s| self.tuple(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_page() {
+        let p = Page::new();
+        assert_eq!(p.nslots(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER);
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(p.tuple(0), b"hello");
+        assert_eq!(p.tuple(1), b"world!");
+        assert_eq!(p.tuples().count(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = Page::new();
+        let tuple = vec![0xAB; 64];
+        let mut count = 0;
+        while p.insert(&tuple).is_some() {
+            count += 1;
+        }
+        // 8184 / 68 = 120 tuples.
+        assert_eq!(count, (PAGE_SIZE - HEADER) / (64 + SLOT));
+        assert!(p.free_space() < 64 + SLOT);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"abc").unwrap();
+        p.insert(b"defg").unwrap();
+        let q = Page::from_bytes(p.bytes());
+        assert_eq!(q.nslots(), 2);
+        assert_eq!(q.tuple(1), b"defg");
+    }
+}

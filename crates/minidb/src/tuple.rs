@@ -1,0 +1,112 @@
+//! Tuple encoding with PostgreSQL-like overhead.
+//!
+//! Each stored tuple is `[ 24-byte header | payload padded to 8 ]`.
+//! The header mimics HeapTupleHeaderData (xmin/xmax/cid/ctid/infomask/
+//! hoff — we store real values where cheap, zeros elsewhere); the
+//! padding mimics MAXALIGN. This is what turns the paper's 6 GB of raw
+//! Titan data into ~18 GB inside the DBMS.
+
+use dv_types::{Row, Schema, Value};
+
+/// Tuple header size (HeapTupleHeaderData is 23 bytes, MAXALIGNed to
+/// 24).
+pub const TUPLE_HEADER: usize = 24;
+
+/// Round `n` up to the next multiple of 8 (MAXALIGN).
+#[inline]
+pub fn maxalign(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+/// Encoded on-page size of a row of `schema`.
+pub fn tuple_disk_size(schema: &Schema) -> usize {
+    TUPLE_HEADER + maxalign(schema.row_size())
+}
+
+/// Encode a row (with a synthetic xmin transaction id) into `out`.
+pub fn encode(row: &Row, xmin: u32, out: &mut Vec<u8>) {
+    out.clear();
+    // Header: xmin, xmax, cid, ctid(6), infomask2, infomask, hoff, pad.
+    out.extend_from_slice(&xmin.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // xmax
+    out.extend_from_slice(&0u32.to_le_bytes()); // cid
+    out.extend_from_slice(&[0u8; 6]); // ctid
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes()); // infomask2 ≈ natts
+    out.extend_from_slice(&0u16.to_le_bytes()); // infomask
+    out.push(TUPLE_HEADER as u8); // hoff
+    out.push(0); // padding to 24
+    debug_assert_eq!(out.len(), TUPLE_HEADER);
+    for v in row {
+        v.encode(out);
+    }
+    let padded = TUPLE_HEADER + maxalign(out.len() - TUPLE_HEADER);
+    out.resize(padded, 0);
+}
+
+/// Decode a stored tuple back into a row.
+pub fn decode(schema: &Schema, bytes: &[u8]) -> Row {
+    let mut row = Row::with_capacity(schema.len());
+    let mut at = TUPLE_HEADER;
+    for attr in schema.attributes() {
+        row.push(Value::decode(attr.dtype, &bytes[at..]));
+        at += attr.dtype.size();
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_types::{Attribute, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Attribute::new("A", DataType::Short),
+                Attribute::new("B", DataType::Int),
+                Attribute::new("C", DataType::Double),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = schema();
+        let row = vec![Value::Short(-5), Value::Int(123456), Value::Double(2.5)];
+        let mut buf = Vec::new();
+        encode(&row, 42, &mut buf);
+        assert_eq!(buf.len(), tuple_disk_size(&s));
+        assert_eq!(decode(&s, &buf), row);
+    }
+
+    #[test]
+    fn overhead_is_postgres_like() {
+        // IPARS tuple: 26 raw bytes → 24 + 32 = 56 on page (2.2× before
+        // line pointers, page headers and indexes).
+        let ipars_like = Schema::new(
+            "I",
+            vec![
+                Attribute::new("REL", DataType::Short),
+                Attribute::new("TIME", DataType::Int),
+                Attribute::new("A", DataType::Float),
+                Attribute::new("B", DataType::Float),
+                Attribute::new("C", DataType::Float),
+                Attribute::new("D", DataType::Float),
+                Attribute::new("E", DataType::Float),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ipars_like.row_size(), 26);
+        assert_eq!(tuple_disk_size(&ipars_like), 56);
+    }
+
+    #[test]
+    fn maxalign_math() {
+        assert_eq!(maxalign(0), 0);
+        assert_eq!(maxalign(1), 8);
+        assert_eq!(maxalign(8), 8);
+        assert_eq!(maxalign(26), 32);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the relational baseline.
+//!
+//! 1. **B+tree ≡ model**: range scans over a bulk-loaded on-disk tree
+//!    match a `Vec` filtered directly, for arbitrary key multisets and
+//!    probe ranges (duplicates, negatives, empty ranges included).
+//! 2. **Executor ≡ memory**: `query()` over a loaded table matches
+//!    filtering the original rows in memory, whether the planner picks
+//!    a sequential or an index scan.
+
+use proptest::prelude::*;
+
+use dv_minidb::btree::{build, BTreeIndex};
+use dv_minidb::heap::TupleId;
+use dv_minidb::MiniDb;
+use dv_sql::UdfRegistry;
+use dv_types::{Attribute, DataType, Schema, Table, Value};
+
+fn tid(i: u64) -> TupleId {
+    TupleId { page: (i / 64) as u32, slot: (i % 64) as u16 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn btree_range_matches_model(
+        keys in prop::collection::vec(-50i64..50, 0..400),
+        lo in -60i64..60,
+        width in 0i64..40,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "dv-prop-btree-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.idx");
+
+        let entries: Vec<(f64, TupleId)> =
+            keys.iter().enumerate().map(|(i, &k)| (k as f64, tid(i as u64))).collect();
+        build(&path, entries.clone()).unwrap();
+        let idx = BTreeIndex::open(&path).unwrap();
+
+        let hi = lo + width;
+        let mut got = idx.range(lo as f64, hi as f64).unwrap();
+        got.sort();
+        let mut expect: Vec<TupleId> = entries
+            .iter()
+            .filter(|(k, _)| *k >= lo as f64 && *k <= hi as f64)
+            .map(|(_, t)| *t)
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn executor_matches_memory(
+        rows_raw in prop::collection::vec((-20i32..20, -10i32..10), 1..500),
+        lo in -25i32..25,
+        width in 0i32..20,
+        use_index in any::<bool>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "dv-prop-db-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let schema = Schema::new(
+            "P",
+            vec![Attribute::new("K", DataType::Int), Attribute::new("V", DataType::Int)],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = rows_raw
+            .iter()
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+            .collect();
+
+        let mut db = MiniDb::open(&dir, UdfRegistry::new()).unwrap();
+        db.load_table(&schema, rows.clone().into_iter()).unwrap();
+        if use_index {
+            db.create_index("P", "K").unwrap();
+        }
+
+        let hi = lo + width;
+        let sql = format!("SELECT K, V FROM P WHERE K >= {lo} AND K <= {hi} AND V != 3");
+        let (got, _stats) = db.query(&sql).unwrap();
+
+        let mut expect = Table::empty(schema.clone());
+        for r in &rows {
+            let k = r[0].as_f64() as i32;
+            let v = r[1].as_f64() as i32;
+            if k >= lo && k <= hi && v != 3 {
+                expect.rows.push(r.clone());
+            }
+        }
+        prop_assert!(
+            got.same_rows(&expect),
+            "{} rows vs expected {} (index={})",
+            got.len(),
+            expect.len(),
+            use_index
+        );
+    }
+}

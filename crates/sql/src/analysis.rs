@@ -1,0 +1,279 @@
+//! Sound per-attribute range extraction from `WHERE` clauses.
+//!
+//! The indexing service prunes files and chunks using *implicit
+//! attributes* (paper §4): a chunk whose implicit `TIME` range is
+//! `[900, 999]` cannot contribute to `WHERE TIME >= 1000`. To decide
+//! that, we need, for each attribute, a set of values that is a
+//! **superset** of those any satisfying row could have — pruning must
+//! never drop a row, so the analysis errs toward `all` whenever an
+//! expression is too complex (UDFs, attribute-vs-attribute
+//! comparisons, arithmetic over attributes).
+//!
+//! Soundness under negation is handled by *pushing* `NOT` down rather
+//! than complementing an (already widened) child result: complementing
+//! a superset would yield a subset, which is exactly the wrong
+//! direction.
+
+use std::collections::HashMap;
+
+use dv_types::{Interval, IntervalSet};
+
+use crate::ast::CmpOp;
+use crate::bind::{BoundExpr, BoundScalar};
+
+/// The per-attribute constraint map extracted from a predicate.
+/// Attributes absent from the map are unconstrained.
+pub type RangeMap = HashMap<usize, IntervalSet>;
+
+/// Extract sound per-attribute ranges from a bound predicate.
+///
+/// Guarantee: for every row `r` with `eval(pred, r) == true` and every
+/// attribute `a` in the result map, `result[a].contains(r[a])`.
+pub fn attribute_ranges(pred: &BoundExpr) -> RangeMap {
+    ranges(pred, false)
+}
+
+/// Intersect two maps attribute-wise; attributes missing from a map are
+/// unconstrained (`all`), so intersection keeps the other side.
+fn and_maps(mut a: RangeMap, b: RangeMap) -> RangeMap {
+    for (attr, set) in b {
+        a.entry(attr)
+            .and_modify(|cur| *cur = cur.intersect(&set))
+            .or_insert(set);
+    }
+    a
+}
+
+/// Union two maps attribute-wise; an attribute constrained on only one
+/// side becomes unconstrained (a row may satisfy the other side).
+fn or_maps(a: RangeMap, b: RangeMap) -> RangeMap {
+    let mut out = RangeMap::new();
+    for (attr, sa) in &a {
+        if let Some(sb) = b.get(attr) {
+            let u = sa.union(sb);
+            if !u.is_all() {
+                out.insert(*attr, u);
+            }
+        }
+    }
+    out
+}
+
+fn ranges(e: &BoundExpr, negate: bool) -> RangeMap {
+    match e {
+        BoundExpr::And(l, r) => {
+            if negate {
+                // NOT (l AND r) = NOT l OR NOT r
+                or_maps(ranges(l, true), ranges(r, true))
+            } else {
+                and_maps(ranges(l, false), ranges(r, false))
+            }
+        }
+        BoundExpr::Or(l, r) => {
+            if negate {
+                and_maps(ranges(l, true), ranges(r, true))
+            } else {
+                or_maps(ranges(l, false), ranges(r, false))
+            }
+        }
+        BoundExpr::Not(inner) => ranges(inner, !negate),
+        BoundExpr::Cmp { op, lhs, rhs } => {
+            let effective = if negate { op.negate() } else { *op };
+            cmp_ranges(effective, lhs, rhs)
+        }
+        BoundExpr::InList { expr, list, negated } => {
+            let effective_negated = *negated != negate;
+            let BoundScalar::Attr(attr) = expr else { return RangeMap::new() };
+            let mut points = Vec::with_capacity(list.len());
+            for item in list {
+                match item {
+                    BoundScalar::Const(v) => points.push(*v),
+                    // Non-constant member: cannot constrain soundly.
+                    _ => return RangeMap::new(),
+                }
+            }
+            let set = IntervalSet::points(&points);
+            let set = if effective_negated { set.complement() } else { set };
+            one(*attr, set)
+        }
+        BoundExpr::Between { expr, lo, hi, negated } => {
+            let effective_negated = *negated != negate;
+            let (BoundScalar::Attr(attr), BoundScalar::Const(l), BoundScalar::Const(h)) =
+                (expr, lo, hi)
+            else {
+                return RangeMap::new();
+            };
+            let set = IntervalSet::single(Interval::closed(*l, *h));
+            let set = if effective_negated { set.complement() } else { set };
+            one(*attr, set)
+        }
+    }
+}
+
+fn one(attr: usize, set: IntervalSet) -> RangeMap {
+    let mut m = RangeMap::new();
+    m.insert(attr, set);
+    m
+}
+
+fn cmp_ranges(op: CmpOp, lhs: &BoundScalar, rhs: &BoundScalar) -> RangeMap {
+    // Normalize to `attr OP const`; anything else is unconstrainable.
+    let (attr, op, val) = match (lhs, rhs) {
+        (BoundScalar::Attr(a), BoundScalar::Const(v)) => (*a, op, *v),
+        (BoundScalar::Const(v), BoundScalar::Attr(a)) => (*a, op.flip(), *v),
+        _ => return RangeMap::new(),
+    };
+    let set = match op {
+        CmpOp::Lt => IntervalSet::single(Interval::less(val)),
+        CmpOp::Le => IntervalSet::single(Interval::at_most(val)),
+        CmpOp::Gt => IntervalSet::single(Interval::greater(val)),
+        CmpOp::Ge => IntervalSet::single(Interval::at_least(val)),
+        CmpOp::Eq => IntervalSet::single(Interval::point(val)),
+        CmpOp::Ne => IntervalSet::single(Interval::point(val)).complement(),
+    };
+    one(attr, set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind;
+    use crate::parser::parse;
+    use crate::udf::UdfRegistry;
+    use dv_types::{Attribute, DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Attribute::new("REL", DataType::Short), // 0
+                Attribute::new("TIME", DataType::Int),  // 1
+                Attribute::new("SOIL", DataType::Float), // 2
+                Attribute::new("X", DataType::Float),   // 3
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ranges_of(sql: &str) -> RangeMap {
+        let q = parse(sql).unwrap();
+        let b = bind(&q, &schema(), &UdfRegistry::with_builtins()).unwrap();
+        attribute_ranges(b.predicate.as_ref().unwrap())
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let m = ranges_of("SELECT * FROM T WHERE TIME >= 1000 AND TIME <= 1100");
+        let t = &m[&1];
+        assert!(t.contains(1000.0));
+        assert!(t.contains(1100.0));
+        assert!(!t.contains(999.0));
+        assert!(!t.contains(1101.0));
+    }
+
+    #[test]
+    fn strict_bounds_are_open() {
+        let m = ranges_of("SELECT * FROM T WHERE TIME > 1000 AND TIME < 1100");
+        let t = &m[&1];
+        assert!(!t.contains(1000.0));
+        assert!(t.contains(1000.5));
+        assert!(!t.contains(1100.0));
+    }
+
+    #[test]
+    fn in_list_to_points() {
+        let m = ranges_of("SELECT * FROM T WHERE REL IN (0, 6, 26, 27)");
+        let r = &m[&0];
+        assert!(r.contains(26.0));
+        assert!(!r.contains(3.0));
+    }
+
+    #[test]
+    fn flipped_literal_side() {
+        let m = ranges_of("SELECT * FROM T WHERE 1000 <= TIME");
+        assert!(m[&1].contains(1000.0));
+        assert!(!m[&1].contains(999.0));
+    }
+
+    #[test]
+    fn or_unions_same_attr() {
+        let m = ranges_of("SELECT * FROM T WHERE TIME < 10 OR TIME > 90");
+        let t = &m[&1];
+        assert!(t.contains(5.0));
+        assert!(!t.contains(50.0));
+        assert!(t.contains(95.0));
+    }
+
+    #[test]
+    fn or_drops_one_sided_attrs() {
+        // A row with any TIME can satisfy the SOIL side, so TIME must be
+        // unconstrained.
+        let m = ranges_of("SELECT * FROM T WHERE TIME < 10 OR SOIL > 0.7");
+        assert!(!m.contains_key(&1));
+        assert!(!m.contains_key(&2));
+    }
+
+    #[test]
+    fn not_pushes_through() {
+        let m = ranges_of("SELECT * FROM T WHERE NOT (TIME < 1000)");
+        assert!(m[&1].contains(1000.0));
+        assert!(!m[&1].contains(999.0));
+    }
+
+    #[test]
+    fn not_over_and_is_sound() {
+        // NOT (TIME >= 10 AND TIME <= 20) = TIME < 10 OR TIME > 20.
+        let m = ranges_of("SELECT * FROM T WHERE NOT (TIME >= 10 AND TIME <= 20)");
+        let t = &m[&1];
+        assert!(t.contains(5.0));
+        assert!(!t.contains(15.0));
+        assert!(t.contains(25.0));
+    }
+
+    #[test]
+    fn double_negation() {
+        let m = ranges_of("SELECT * FROM T WHERE NOT (NOT (TIME = 7))");
+        assert!(m[&1].contains(7.0));
+        assert!(!m[&1].contains(8.0));
+    }
+
+    #[test]
+    fn udf_unconstrained() {
+        let m = ranges_of("SELECT * FROM T WHERE SPEED(X, X, X) < 30.0");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn udf_and_range_keeps_range() {
+        let m = ranges_of("SELECT * FROM T WHERE TIME > 5 AND SPEED(X, X, X) < 30.0");
+        assert!(m.contains_key(&1));
+        assert!(!m.contains_key(&3));
+    }
+
+    #[test]
+    fn between_and_not_between() {
+        let m = ranges_of("SELECT * FROM T WHERE TIME BETWEEN 10 AND 20");
+        assert!(m[&1].contains(10.0) && m[&1].contains(20.0) && !m[&1].contains(21.0));
+        let m = ranges_of("SELECT * FROM T WHERE TIME NOT BETWEEN 10 AND 20");
+        assert!(!m[&1].contains(15.0) && m[&1].contains(21.0));
+    }
+
+    #[test]
+    fn not_in_is_complement() {
+        let m = ranges_of("SELECT * FROM T WHERE REL NOT IN (1, 2)");
+        assert!(!m[&0].contains(1.0));
+        assert!(m[&0].contains(3.0));
+    }
+
+    #[test]
+    fn attr_vs_attr_unconstrained() {
+        let m = ranges_of("SELECT * FROM T WHERE SOIL > X");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn contradiction_yields_empty_set() {
+        let m = ranges_of("SELECT * FROM T WHERE TIME > 10 AND TIME < 5");
+        assert!(m[&1].is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Abstract syntax of the SQL subset.
+//!
+//! The AST keeps identifier spellings as written; name resolution and
+//! case normalization happen in [`crate::bind`]. `Display`
+//! implementations regenerate parseable SQL (exercised by a round-trip
+//! property test).
+
+use std::fmt;
+
+/// A parsed `SELECT ... FROM ... WHERE ...` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: SelectList,
+    pub dataset: String,
+    pub predicate: Option<Expr>,
+}
+
+/// The projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectList {
+    /// `SELECT *`
+    All,
+    /// `SELECT a, b, c`
+    Columns(Vec<String>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator accepting exactly the complementary value set
+    /// (used when pushing `NOT` through comparisons).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Mirror image for swapped operands (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// Apply to two numeric operands.
+    #[inline]
+    pub fn apply(self, l: f64, r: f64) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+}
+
+/// Arithmetic operators inside scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl ArithOp {
+    /// Apply to two numeric operands.
+    #[inline]
+    pub fn apply(self, l: f64, r: f64) -> f64 {
+        match self {
+            ArithOp::Add => l + r,
+            ArithOp::Sub => l - r,
+            ArithOp::Mul => l * r,
+            ArithOp::Div => l / r,
+        }
+    }
+}
+
+/// Boolean-valued expression (the `WHERE` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Cmp { op: CmpOp, lhs: Scalar, rhs: Scalar },
+    InList { expr: Scalar, list: Vec<Scalar>, negated: bool },
+    Between { expr: Scalar, lo: Scalar, hi: Scalar, negated: bool },
+}
+
+/// Numeric-valued expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Attribute reference (name as written).
+    Column(String),
+    IntLit(i64),
+    FloatLit(f64),
+    /// User-defined filter function call, e.g. `SPEED(OILVX, OILVY, OILVZ)`.
+    Func { name: String, args: Vec<Scalar> },
+    Arith { op: ArithOp, lhs: Box<Scalar>, rhs: Box<Scalar> },
+    Neg(Box<Scalar>),
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {} FROM {}", self.select, self.dataset)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectList::All => write!(f, "*"),
+            SelectList::Columns(cols) => write!(f, "{}", cols.join(", ")),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Parenthesize everything: unambiguous and re-parseable.
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Expr::InList { expr, list, negated } => {
+                let items: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{expr} {not}IN ({})", items.join(", "))
+            }
+            Expr::Between { expr, lo, hi, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{expr} {not}BETWEEN {lo} AND {hi}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Column(c) => write!(f, "{c}"),
+            Scalar::IntLit(v) => write!(f, "{v}"),
+            Scalar::FloatLit(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    // Keep the `.0` so re-lexing yields a float again.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Scalar::Func { name, args } => {
+                let items: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+                write!(f, "{name}({})", items.join(", "))
+            }
+            Scalar::Arith { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Scalar::Neg(s) => write!(f, "(-{s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negate_is_involution() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_apply_semantics() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(!CmpOp::Lt.apply(2.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+    }
+
+    #[test]
+    fn flip_matches_operand_swap() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            for (l, r) in [(1.0, 2.0), (2.0, 1.0), (2.0, 2.0)] {
+                assert_eq!(op.apply(l, r), op.flip().apply(r, l));
+            }
+        }
+    }
+
+    #[test]
+    fn display_query() {
+        let q = Query {
+            select: SelectList::Columns(vec!["SOIL".into(), "SGAS".into()]),
+            dataset: "IPARS".into(),
+            predicate: Some(Expr::Cmp {
+                op: CmpOp::Gt,
+                lhs: Scalar::Column("TIME".into()),
+                rhs: Scalar::IntLit(1000),
+            }),
+        };
+        assert_eq!(q.to_string(), "SELECT SOIL, SGAS FROM IPARS WHERE TIME > 1000");
+    }
+
+    #[test]
+    fn display_float_keeps_decimal_point() {
+        let s = Scalar::FloatLit(30.0);
+        assert_eq!(s.to_string(), "30.0");
+    }
+}

@@ -1,0 +1,320 @@
+//! Name resolution: AST → bound query.
+//!
+//! Binding resolves column names to schema attribute indices, function
+//! names to [`UdfRegistry`] slots, folds constant arithmetic, and
+//! computes the projection. A [`BoundQuery`] is the hand-off format
+//! between the SQL front-end and the layout compiler / runtime: all
+//! string lookups are done exactly once, before any file is touched.
+
+use dv_types::{DvError, Result, Schema};
+
+use crate::ast::{ArithOp, CmpOp, Expr, Query, Scalar, SelectList};
+use crate::udf::UdfRegistry;
+
+/// A bound scalar expression: all names resolved to indices, constants
+/// folded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundScalar {
+    /// Schema attribute by index.
+    Attr(usize),
+    /// Constant (integer literals widen losslessly for our domains).
+    Const(f64),
+    /// UDF call by registry slot.
+    Func { slot: usize, args: Vec<BoundScalar> },
+    Arith { op: ArithOp, lhs: Box<BoundScalar>, rhs: Box<BoundScalar> },
+}
+
+/// A bound boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    Not(Box<BoundExpr>),
+    Cmp { op: CmpOp, lhs: BoundScalar, rhs: BoundScalar },
+    InList { expr: BoundScalar, list: Vec<BoundScalar>, negated: bool },
+    Between { expr: BoundScalar, lo: BoundScalar, hi: BoundScalar, negated: bool },
+}
+
+/// A fully-resolved query ready for planning and execution.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// Dataset name as written in `FROM` (matched case-insensitively
+    /// against the descriptor's dataset name by the planner).
+    pub dataset: String,
+    /// Schema the query was bound against.
+    pub schema: Schema,
+    /// Indices of the selected attributes, in output order.
+    pub projection: Vec<usize>,
+    /// Bound WHERE clause, if any.
+    pub predicate: Option<BoundExpr>,
+}
+
+impl BoundQuery {
+    /// Schema of the result rows.
+    pub fn output_schema(&self) -> Schema {
+        self.schema.project(&self.projection)
+    }
+
+    /// Indices of every attribute the execution needs: the projection
+    /// plus all attributes the predicate reads. Sorted, deduplicated.
+    /// This is the *working set* the extraction service materializes —
+    /// files holding none of these attributes are never opened.
+    pub fn needed_attrs(&self) -> Vec<usize> {
+        let mut out = self.projection.clone();
+        if let Some(p) = &self.predicate {
+            collect_expr_attrs(p, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn collect_expr_attrs(e: &BoundExpr, out: &mut Vec<usize>) {
+    match e {
+        BoundExpr::And(l, r) | BoundExpr::Or(l, r) => {
+            collect_expr_attrs(l, out);
+            collect_expr_attrs(r, out);
+        }
+        BoundExpr::Not(i) => collect_expr_attrs(i, out),
+        BoundExpr::Cmp { lhs, rhs, .. } => {
+            collect_scalar_attrs(lhs, out);
+            collect_scalar_attrs(rhs, out);
+        }
+        BoundExpr::InList { expr, list, .. } => {
+            collect_scalar_attrs(expr, out);
+            for s in list {
+                collect_scalar_attrs(s, out);
+            }
+        }
+        BoundExpr::Between { expr, lo, hi, .. } => {
+            collect_scalar_attrs(expr, out);
+            collect_scalar_attrs(lo, out);
+            collect_scalar_attrs(hi, out);
+        }
+    }
+}
+
+fn collect_scalar_attrs(s: &BoundScalar, out: &mut Vec<usize>) {
+    match s {
+        BoundScalar::Attr(i) => out.push(*i),
+        BoundScalar::Const(_) => {}
+        BoundScalar::Func { args, .. } => {
+            for a in args {
+                collect_scalar_attrs(a, out);
+            }
+        }
+        BoundScalar::Arith { lhs, rhs, .. } => {
+            collect_scalar_attrs(lhs, out);
+            collect_scalar_attrs(rhs, out);
+        }
+    }
+}
+
+/// Bind a parsed query against a schema and UDF registry.
+pub fn bind(query: &Query, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundQuery> {
+    let projection = match &query.select {
+        SelectList::All => (0..schema.len()).collect(),
+        SelectList::Columns(cols) => schema.resolve(cols)?,
+    };
+    let predicate = query.predicate.as_ref().map(|p| bind_expr(p, schema, udfs)).transpose()?;
+    Ok(BoundQuery {
+        dataset: query.dataset.clone(),
+        schema: schema.clone(),
+        projection,
+        predicate,
+    })
+}
+
+fn bind_expr(e: &Expr, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundExpr> {
+    Ok(match e {
+        Expr::And(l, r) => BoundExpr::And(
+            Box::new(bind_expr(l, schema, udfs)?),
+            Box::new(bind_expr(r, schema, udfs)?),
+        ),
+        Expr::Or(l, r) => BoundExpr::Or(
+            Box::new(bind_expr(l, schema, udfs)?),
+            Box::new(bind_expr(r, schema, udfs)?),
+        ),
+        Expr::Not(i) => BoundExpr::Not(Box::new(bind_expr(i, schema, udfs)?)),
+        Expr::Cmp { op, lhs, rhs } => BoundExpr::Cmp {
+            op: *op,
+            lhs: bind_scalar(lhs, schema, udfs)?,
+            rhs: bind_scalar(rhs, schema, udfs)?,
+        },
+        Expr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: bind_scalar(expr, schema, udfs)?,
+            list: list.iter().map(|s| bind_scalar(s, schema, udfs)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between { expr, lo, hi, negated } => BoundExpr::Between {
+            expr: bind_scalar(expr, schema, udfs)?,
+            lo: bind_scalar(lo, schema, udfs)?,
+            hi: bind_scalar(hi, schema, udfs)?,
+            negated: *negated,
+        },
+    })
+}
+
+fn bind_scalar(s: &Scalar, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundScalar> {
+    Ok(match s {
+        Scalar::Column(name) => {
+            let idx = schema.index_of(name).ok_or_else(|| {
+                DvError::Binding(format!(
+                    "unknown attribute `{name}` in schema `{}`",
+                    schema.name
+                ))
+            })?;
+            BoundScalar::Attr(idx)
+        }
+        Scalar::IntLit(v) => BoundScalar::Const(*v as f64),
+        Scalar::FloatLit(v) => BoundScalar::Const(*v),
+        Scalar::Neg(inner) => {
+            let b = bind_scalar(inner, schema, udfs)?;
+            match b {
+                BoundScalar::Const(v) => BoundScalar::Const(-v),
+                other => BoundScalar::Arith {
+                    op: ArithOp::Sub,
+                    lhs: Box::new(BoundScalar::Const(0.0)),
+                    rhs: Box::new(other),
+                },
+            }
+        }
+        Scalar::Func { name, args } => {
+            // A bare call like `Speed()` pulls the function's
+            // registered implicit argument attributes.
+            let bound_args: Vec<BoundScalar> = if args.is_empty() {
+                let implicit = udfs.implicit_args(name)?.to_vec();
+                implicit
+                    .iter()
+                    .map(|attr| bind_scalar(&Scalar::Column(attr.clone()), schema, udfs))
+                    .collect::<Result<_>>()?
+            } else {
+                args.iter().map(|a| bind_scalar(a, schema, udfs)).collect::<Result<_>>()?
+            };
+            let slot = udfs.resolve(name, bound_args.len())?;
+            BoundScalar::Func { slot, args: bound_args }
+        }
+        Scalar::Arith { op, lhs, rhs } => {
+            let l = bind_scalar(lhs, schema, udfs)?;
+            let r = bind_scalar(rhs, schema, udfs)?;
+            match (&l, &r) {
+                // Constant folding: loop-bound arithmetic like 100*4+1
+                // disappears at bind time.
+                (BoundScalar::Const(a), BoundScalar::Const(b)) => {
+                    BoundScalar::Const(op.apply(*a, *b))
+                }
+                _ => BoundScalar::Arith { op: *op, lhs: Box::new(l), rhs: Box::new(r) },
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use dv_types::{Attribute, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "IPARS",
+            vec![
+                Attribute::new("REL", DataType::Short),
+                Attribute::new("TIME", DataType::Int),
+                Attribute::new("SOIL", DataType::Float),
+                Attribute::new("OILVX", DataType::Float),
+                Attribute::new("OILVY", DataType::Float),
+                Attribute::new("OILVZ", DataType::Float),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn bindq(sql: &str) -> Result<BoundQuery> {
+        let q = parse(sql)?;
+        bind(&q, &schema(), &UdfRegistry::with_builtins())
+    }
+
+    #[test]
+    fn star_projects_all() {
+        let b = bindq("SELECT * FROM IPARS").unwrap();
+        assert_eq!(b.projection, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(b.output_schema().len(), 6);
+    }
+
+    #[test]
+    fn named_projection_order_kept() {
+        let b = bindq("SELECT soil, rel FROM IPARS").unwrap();
+        assert_eq!(b.projection, vec![2, 0]);
+        assert_eq!(b.output_schema().attributes()[0].name, "SOIL");
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        assert!(bindq("SELECT * FROM IPARS WHERE BOGUS > 1").is_err());
+        assert!(bindq("SELECT BOGUS FROM IPARS").is_err());
+    }
+
+    #[test]
+    fn needed_attrs_union_select_and_where() {
+        let b = bindq("SELECT SOIL FROM IPARS WHERE TIME > 10 AND SPEED(OILVX, OILVY, OILVZ) < 30.0")
+            .unwrap();
+        assert_eq!(b.needed_attrs(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let b = bindq("SELECT * FROM IPARS WHERE TIME > 100 * 4 + 1").unwrap();
+        match b.predicate.unwrap() {
+            BoundExpr::Cmp { rhs: BoundScalar::Const(v), .. } => assert_eq!(v, 401.0),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        let b = bindq("SELECT * FROM IPARS WHERE TIME > -5").unwrap();
+        match b.predicate.unwrap() {
+            BoundExpr::Cmp { rhs: BoundScalar::Const(v), .. } => assert_eq!(v, -5.0),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn udf_resolved_to_slot() {
+        let b = bindq("SELECT * FROM IPARS WHERE SPEED(OILVX, OILVY, OILVZ) <= 30.0").unwrap();
+        match b.predicate.unwrap() {
+            BoundExpr::Cmp { lhs: BoundScalar::Func { args, .. }, .. } => {
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[0], BoundScalar::Attr(3));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_udf_uses_implicit_args() {
+        let mut udfs = UdfRegistry::with_builtins();
+        udfs.register_with_implicit_args(
+            "SPEED",
+            Some(3),
+            vec!["OILVX".into(), "OILVY".into(), "OILVZ".into()],
+            |a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt(),
+        );
+        let q = parse("SELECT * FROM IPARS WHERE Speed() < 30").unwrap();
+        let b = bind(&q, &schema(), &udfs).unwrap();
+        match b.predicate.unwrap() {
+            BoundExpr::Cmp { lhs: BoundScalar::Func { args, .. }, .. } => {
+                assert_eq!(args, vec![BoundScalar::Attr(3), BoundScalar::Attr(4), BoundScalar::Attr(5)]);
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_udf_without_implicit_args_fails_arity() {
+        // Builtin SPEED has arity 3 but no implicit args registered.
+        assert!(bindq("SELECT * FROM IPARS WHERE SPEED() < 30").is_err());
+    }
+}

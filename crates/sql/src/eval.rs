@@ -1,0 +1,188 @@
+//! Row-at-a-time predicate evaluation — the core of the filtering
+//! service.
+//!
+//! Rows handed to the filter are *working rows*: they contain the
+//! attributes in [`crate::bind::BoundQuery::needed_attrs`] order, not
+//! full schema order. An [`EvalContext`] carries the schema-index →
+//! row-position mapping plus the UDF registry, both fixed per query, so
+//! the per-row path is allocation-free except for UDF argument buffers
+//! (reused via a small stack array for the common arities).
+
+use dv_types::Value;
+
+use crate::ast::CmpOp;
+use crate::bind::{BoundExpr, BoundScalar};
+use crate::udf::UdfRegistry;
+
+/// Per-query evaluation context.
+pub struct EvalContext<'a> {
+    /// `positions[schema_attr_index]` = position of that attribute in
+    /// the working row, or `usize::MAX` when absent. Built by
+    /// [`EvalContext::new`].
+    positions: Vec<usize>,
+    udfs: &'a UdfRegistry,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Build a context for working rows holding `working_attrs` (schema
+    /// attribute indices in row order) out of a schema with
+    /// `schema_len` attributes.
+    pub fn new(schema_len: usize, working_attrs: &[usize], udfs: &'a UdfRegistry) -> Self {
+        let mut positions = vec![usize::MAX; schema_len];
+        for (pos, &attr) in working_attrs.iter().enumerate() {
+            positions[attr] = pos;
+        }
+        EvalContext { positions, udfs }
+    }
+
+    /// Position of schema attribute `attr` within working rows.
+    /// Panics if the attribute is not part of the working set — that is
+    /// a planning bug, not a data condition.
+    #[inline]
+    pub fn position(&self, attr: usize) -> usize {
+        let p = self.positions[attr];
+        debug_assert!(p != usize::MAX, "attribute {attr} missing from working row");
+        p
+    }
+
+    /// Evaluate a boolean expression on a working row.
+    pub fn eval(&self, expr: &BoundExpr, row: &[Value]) -> bool {
+        match expr {
+            BoundExpr::And(l, r) => self.eval(l, row) && self.eval(r, row),
+            BoundExpr::Or(l, r) => self.eval(l, row) || self.eval(r, row),
+            BoundExpr::Not(i) => !self.eval(i, row),
+            BoundExpr::Cmp { op, lhs, rhs } => {
+                op.apply(self.scalar(lhs, row), self.scalar(rhs, row))
+            }
+            BoundExpr::InList { expr, list, negated } => {
+                let v = self.scalar(expr, row);
+                let found = list.iter().any(|item| self.scalar(item, row) == v);
+                found != *negated
+            }
+            BoundExpr::Between { expr, lo, hi, negated } => {
+                let v = self.scalar(expr, row);
+                let inside = v >= self.scalar(lo, row) && v <= self.scalar(hi, row);
+                inside != *negated
+            }
+        }
+    }
+
+    /// Evaluate a scalar expression on a working row.
+    pub fn scalar(&self, s: &BoundScalar, row: &[Value]) -> f64 {
+        match s {
+            BoundScalar::Attr(a) => row[self.position(*a)].as_f64(),
+            BoundScalar::Const(c) => *c,
+            BoundScalar::Func { slot, args } => {
+                // Common UDF arities are tiny; avoid heap traffic with a
+                // stack buffer when possible.
+                if args.len() <= 8 {
+                    let mut buf = [0.0f64; 8];
+                    for (i, a) in args.iter().enumerate() {
+                        buf[i] = self.scalar(a, row);
+                    }
+                    self.udfs.call(*slot, &buf[..args.len()])
+                } else {
+                    let vals: Vec<f64> = args.iter().map(|a| self.scalar(a, row)).collect();
+                    self.udfs.call(*slot, &vals)
+                }
+            }
+            BoundScalar::Arith { op, lhs, rhs } => {
+                op.apply(self.scalar(lhs, row), self.scalar(rhs, row))
+            }
+        }
+    }
+}
+
+/// Evaluate `op` between two values using numeric comparison — shared
+/// helper for engines (minidb) that filter full-schema rows directly.
+#[inline]
+pub fn compare_values(op: CmpOp, l: &Value, r: &Value) -> bool {
+    op.apply(l.as_f64(), r.as_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind;
+    use crate::parser::parse;
+    use crate::udf::UdfRegistry;
+    use dv_types::{Attribute, DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Attribute::new("A", DataType::Int),
+                Attribute::new("B", DataType::Float),
+                Attribute::new("C", DataType::Double),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Bind `sql` and evaluate its predicate against a full-schema row.
+    fn run(sql: &str, row: &[Value]) -> bool {
+        let q = parse(sql).unwrap();
+        let udfs = UdfRegistry::with_builtins();
+        let b = bind(&q, &schema(), &udfs).unwrap();
+        let working: Vec<usize> = (0..schema().len()).collect();
+        let cx = EvalContext::new(schema().len(), &working, &udfs);
+        cx.eval(b.predicate.as_ref().unwrap(), row)
+    }
+
+    #[test]
+    fn comparisons() {
+        let row = vec![Value::Int(5), Value::Float(0.5), Value::Double(2.0)];
+        assert!(run("SELECT * FROM T WHERE A > 4", &row));
+        assert!(!run("SELECT * FROM T WHERE A > 5", &row));
+        assert!(run("SELECT * FROM T WHERE A >= 5 AND B < 1.0", &row));
+        assert!(run("SELECT * FROM T WHERE A = 5 OR B > 100", &row));
+        assert!(run("SELECT * FROM T WHERE NOT A = 6", &row));
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let row = vec![Value::Int(6), Value::Float(0.0), Value::Double(0.0)];
+        assert!(run("SELECT * FROM T WHERE A IN (0, 6, 26, 27)", &row));
+        assert!(!run("SELECT * FROM T WHERE A IN (1, 2)", &row));
+        assert!(run("SELECT * FROM T WHERE A NOT IN (1, 2)", &row));
+        assert!(run("SELECT * FROM T WHERE A BETWEEN 5 AND 7", &row));
+        assert!(run("SELECT * FROM T WHERE A NOT BETWEEN 10 AND 20", &row));
+    }
+
+    #[test]
+    fn udf_in_predicate() {
+        // SPEED(3,4,0) = 5.
+        let row = vec![Value::Int(3), Value::Float(4.0), Value::Double(0.0)];
+        assert!(run("SELECT * FROM T WHERE SPEED(A, B, C) <= 5.0", &row));
+        assert!(!run("SELECT * FROM T WHERE SPEED(A, B, C) < 5.0", &row));
+    }
+
+    #[test]
+    fn arithmetic_in_predicate() {
+        let row = vec![Value::Int(10), Value::Float(2.0), Value::Double(0.0)];
+        assert!(run("SELECT * FROM T WHERE A / B = 5.0", &row));
+        assert!(run("SELECT * FROM T WHERE (A + 2) * B = 24.0", &row));
+    }
+
+    #[test]
+    fn working_row_positions() {
+        // Working row holds only attrs {1 (B), 2 (C)}, in that order.
+        let udfs = UdfRegistry::new();
+        let cx = EvalContext::new(3, &[1, 2], &udfs);
+        assert_eq!(cx.position(1), 0);
+        assert_eq!(cx.position(2), 1);
+        let expr = BoundExpr::Cmp {
+            op: CmpOp::Gt,
+            lhs: BoundScalar::Attr(2),
+            rhs: BoundScalar::Const(1.0),
+        };
+        assert!(cx.eval(&expr, &[Value::Float(0.0), Value::Double(1.5)]));
+    }
+
+    #[test]
+    fn compare_values_cross_type() {
+        assert!(compare_values(CmpOp::Eq, &Value::Int(2), &Value::Double(2.0)));
+        assert!(compare_values(CmpOp::Lt, &Value::Short(1), &Value::Float(1.5)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Hand-written lexer for the SQL subset.
+
+use dv_types::{DvError, Result};
+
+use crate::token::{Token, TokenKind};
+
+/// Tokenize a query string. Keywords are matched case-insensitively;
+/// identifiers keep their spelling (the binder upper-cases them).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer { src: input.as_bytes(), pos: 0, line: 1, column: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line, column });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'*' => self.simple(TokenKind::Star),
+                b',' => self.simple(TokenKind::Comma),
+                b'(' => self.simple(TokenKind::LParen),
+                b')' => self.simple(TokenKind::RParen),
+                b'+' => self.simple(TokenKind::Plus),
+                b'-' => self.simple(TokenKind::Minus),
+                b'/' => self.simple(TokenKind::Slash),
+                b';' => self.simple(TokenKind::Semi),
+                b'=' => self.simple(TokenKind::Eq),
+                b'<' => {
+                    self.advance();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.advance();
+                            TokenKind::Le
+                        }
+                        Some(b'>') => {
+                            self.advance();
+                            TokenKind::Ne
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.advance();
+                    if self.peek() == Some(b'=') {
+                        self.advance();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'!' => {
+                    self.advance();
+                    if self.peek() == Some(b'=') {
+                        self.advance();
+                        TokenKind::Ne
+                    } else {
+                        return Err(self.err("expected `=` after `!`"));
+                    }
+                }
+                b'0'..=b'9' | b'.' => self.number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                other => {
+                    return Err(self.err(&format!("unexpected character `{}`", other as char)))
+                }
+            };
+            out.push(Token { kind, line, column });
+        }
+    }
+
+    fn err(&self, message: &str) -> DvError {
+        DvError::SqlParse { message: message.into(), line: self.line, column: self.column }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        if let Some(&c) = self.src.get(self.pos) {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+    }
+
+    fn simple(&mut self, kind: TokenKind) -> TokenKind {
+        self.advance();
+        kind
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.advance(),
+                // `--` line comments, handy in query files used by the
+                // bench harness.
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.advance();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.advance(),
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.advance();
+                }
+                b'e' | b'E' if !saw_exp && self.pos > start => {
+                    saw_exp = true;
+                    self.advance();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.advance();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if text == "." {
+            return Err(self.err("lone `.` is not a number"));
+        }
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(TokenKind::FloatLit)
+                .map_err(|_| self.err(&format!("invalid numeric literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::IntLit)
+                .map_err(|_| self.err(&format!("integer literal `{text}` out of range")))
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match text.to_ascii_uppercase().as_str() {
+            "SELECT" => TokenKind::Select,
+            "FROM" => TokenKind::From,
+            "WHERE" => TokenKind::Where,
+            "AND" => TokenKind::And,
+            "OR" => TokenKind::Or,
+            "NOT" => TokenKind::Not,
+            "IN" => TokenKind::In,
+            "BETWEEN" => TokenKind::Between,
+            _ => TokenKind::Ident(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(q: &str) -> Vec<K> {
+        tokenize(q).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_paper_example() {
+        // From Figure 1 of the paper.
+        let ks = kinds("SELECT * FROM IparsData WHERE RID in (0,6) AND TIME >= 1000;");
+        assert_eq!(
+            ks,
+            vec![
+                K::Select,
+                K::Star,
+                K::From,
+                K::Ident("IparsData".into()),
+                K::Where,
+                K::Ident("RID".into()),
+                K::In,
+                K::LParen,
+                K::IntLit(0),
+                K::Comma,
+                K::IntLit(6),
+                K::RParen,
+                K::And,
+                K::Ident("TIME".into()),
+                K::Ge,
+                K::IntLit(1000),
+                K::Semi,
+                K::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("< <= > >= = != <>"),
+            vec![K::Lt, K::Le, K::Gt, K::Ge, K::Eq, K::Ne, K::Ne, K::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 0.7 30.0 1e3 2.5E-2"),
+            vec![
+                K::IntLit(42),
+                K::FloatLit(0.7),
+                K::FloatLit(30.0),
+                K::FloatLit(1000.0),
+                K::FloatLit(0.025),
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select from where and or not in between")[..8], [
+            K::Select,
+            K::From,
+            K::Where,
+            K::And,
+            K::Or,
+            K::Not,
+            K::In,
+            K::Between
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT -- the projection\n *");
+        assert_eq!(ks, vec![K::Select, K::Star, K::Eof]);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = tokenize("SELECT\n  *").unwrap();
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn bad_chars_error_with_location() {
+        let e = tokenize("SELECT #").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("1:8"), "{msg}");
+    }
+
+    #[test]
+    fn bang_requires_eq() {
+        assert!(tokenize("a ! b").is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! query     := SELECT select_list FROM ident [WHERE or_expr] [';']
+//! select_list := '*' | ident (',' ident)*
+//! or_expr   := and_expr (OR and_expr)*
+//! and_expr  := not_expr (AND not_expr)*
+//! not_expr  := NOT not_expr | predicate
+//! predicate := scalar ( cmp_op scalar
+//!                     | [NOT] IN '(' scalar (',' scalar)* ')'
+//!                     | [NOT] BETWEEN scalar AND scalar )
+//!            | '(' or_expr ')'          -- resolved by lookahead
+//! scalar    := term (('+'|'-') term)*
+//! term      := factor (('*'|'/') factor)*
+//! factor    := ['-'] ( number | ident ['(' args ')'] | '(' scalar ')' )
+//! ```
+//!
+//! The grammatical wrinkle is `(`: it may open a parenthesized boolean
+//! expression or a parenthesized scalar. We resolve it by attempting a
+//! boolean parse and falling back to scalar (bounded backtracking over
+//! the token buffer; queries are short so this is never hot).
+
+use dv_types::{DvError, Result};
+
+use crate::ast::{ArithOp, CmpOp, Expr, Query, Scalar, SelectList};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse one query.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> DvError {
+        let t = &self.tokens[self.pos];
+        DvError::SqlParse { message: message.into(), line: t.line, column: t.column }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if *self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect(TokenKind::Select)?;
+        let select = self.select_list()?;
+        self.expect(TokenKind::From)?;
+        let dataset = self.ident()?;
+        let predicate =
+            if self.eat(TokenKind::Where) { Some(self.or_expr()?) } else { None };
+        self.eat(TokenKind::Semi);
+        Ok(Query { select, dataset, predicate })
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input `{}`", self.peek())))
+        }
+    }
+
+    fn select_list(&mut self) -> Result<SelectList> {
+        if self.eat(TokenKind::Star) {
+            return Ok(SelectList::All);
+        }
+        let mut cols = vec![self.ident()?];
+        while self.eat(TokenKind::Comma) {
+            cols.push(self.ident()?);
+        }
+        // The paper's tool supports subsetting only; reject anything
+        // that smells like aggregation early with a clear message.
+        for c in &cols {
+            let upper = c.to_ascii_uppercase();
+            if matches!(upper.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") {
+                return Err(self.err(format!(
+                    "aggregation `{c}` is not supported: the virtualization tool performs \
+                     subsetting only (no joins, aggregations or group-by)"
+                )));
+            }
+        }
+        Ok(SelectList::Columns(cols))
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(TokenKind::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(TokenKind::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(TokenKind::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        // `(` could start a boolean group or a scalar; try boolean first
+        // with backtracking.
+        if *self.peek() == TokenKind::LParen {
+            let save = self.pos;
+            self.advance();
+            if let Ok(inner) = self.or_expr() {
+                if self.eat(TokenKind::RParen) {
+                    // `(a > 1)` parses as boolean; but `(X + 1) > 2`
+                    // has a comparison *after* the group — only accept
+                    // the boolean reading when no comparison follows.
+                    if !self.at_predicate_tail() {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let lhs = self.scalar()?;
+        self.predicate_tail(lhs)
+    }
+
+    /// True when the upcoming token continues a comparison/IN/BETWEEN.
+    fn at_predicate_tail(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Lt
+                | TokenKind::Le
+                | TokenKind::Gt
+                | TokenKind::Ge
+                | TokenKind::Eq
+                | TokenKind::Ne
+                | TokenKind::In
+                | TokenKind::Between
+        ) || (*self.peek() == TokenKind::Not
+            && matches!(self.peek2(), TokenKind::In | TokenKind::Between))
+    }
+
+    fn predicate_tail(&mut self, lhs: Scalar) -> Result<Expr> {
+        let negated = if *self.peek() == TokenKind::Not
+            && matches!(self.peek2(), TokenKind::In | TokenKind::Between)
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        match self.peek().clone() {
+            TokenKind::In => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let mut list = vec![self.scalar()?];
+                while self.eat(TokenKind::Comma) {
+                    list.push(self.scalar()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::InList { expr: lhs, list, negated })
+            }
+            TokenKind::Between => {
+                self.advance();
+                let lo = self.scalar()?;
+                self.expect(TokenKind::And)?;
+                let hi = self.scalar()?;
+                Ok(Expr::Between { expr: lhs, lo, hi, negated })
+            }
+            TokenKind::Lt | TokenKind::Le | TokenKind::Gt | TokenKind::Ge | TokenKind::Eq
+            | TokenKind::Ne => {
+                let op = match self.advance() {
+                    TokenKind::Lt => CmpOp::Lt,
+                    TokenKind::Le => CmpOp::Le,
+                    TokenKind::Gt => CmpOp::Gt,
+                    TokenKind::Ge => CmpOp::Ge,
+                    TokenKind::Eq => CmpOp::Eq,
+                    TokenKind::Ne => CmpOp::Ne,
+                    _ => unreachable!(),
+                };
+                let rhs = self.scalar()?;
+                Ok(Expr::Cmp { op, lhs, rhs })
+            }
+            other => Err(self.err(format!(
+                "expected comparison, IN or BETWEEN after scalar expression, found `{other}`"
+            ))),
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.term()?;
+            lhs = Scalar::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Scalar> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = Scalar::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Scalar> {
+        if self.eat(TokenKind::Minus) {
+            // Fold unary minus over literals so `-3` is a literal, not
+            // Neg(3) — keeps Display/parse round-trips stable.
+            return Ok(match self.factor()? {
+                Scalar::IntLit(v) => Scalar::IntLit(-v),
+                Scalar::FloatLit(v) => Scalar::FloatLit(-v),
+                other => Scalar::Neg(Box::new(other)),
+            });
+        }
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.advance();
+                Ok(Scalar::IntLit(v))
+            }
+            TokenKind::FloatLit(v) => {
+                self.advance();
+                Ok(Scalar::FloatLit(v))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.eat(TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        args.push(self.scalar()?);
+                        while self.eat(TokenKind::Comma) {
+                            args.push(self.scalar()?);
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Scalar::Func { name, args })
+                } else {
+                    Ok(Scalar::Column(name))
+                }
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.scalar()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected scalar expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure1_query() {
+        // The IPARS example query from Figure 1 of the paper.
+        let q = parse(
+            "SELECT * FROM IparsData WHERE RID in (0,6,26,27) AND TIME >= 1000 AND \
+             TIME <= 1100 AND SOIL >= 0.7 AND SPEED(OILVX, OILVY, OILVZ) <= 30.0;",
+        )
+        .unwrap();
+        assert_eq!(q.dataset, "IparsData");
+        assert_eq!(q.select, SelectList::All);
+        let p = q.predicate.unwrap();
+        // Left-associative ANDs: ((((IN AND >=) AND <=) AND >=) AND <=)
+        let mut count = 0;
+        let mut cur = &p;
+        while let Expr::And(l, _) = cur {
+            count += 1;
+            cur = l;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn parse_projection() {
+        let q = parse("SELECT soil, sgas FROM Ipars").unwrap();
+        assert_eq!(q.select, SelectList::Columns(vec!["soil".into(), "sgas".into()]));
+        assert!(q.predicate.is_none());
+    }
+
+    #[test]
+    fn parse_between() {
+        let q = parse("SELECT * FROM T WHERE TIME BETWEEN 10 AND 20").unwrap();
+        match q.predicate.unwrap() {
+            Expr::Between { negated: false, .. } => {}
+            other => panic!("expected BETWEEN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_not_in() {
+        let q = parse("SELECT * FROM T WHERE REL NOT IN (1, 2)").unwrap();
+        match q.predicate.unwrap() {
+            Expr::InList { negated: true, list, .. } => assert_eq!(list.len(), 2),
+            other => panic!("expected NOT IN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_boolean_grouping() {
+        let q = parse("SELECT * FROM T WHERE (A > 1 OR B < 2) AND C = 3").unwrap();
+        match q.predicate.unwrap() {
+            Expr::And(l, _) => match *l {
+                Expr::Or(..) => {}
+                other => panic!("expected OR group, got {other:?}"),
+            },
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_parenthesized_scalar_then_cmp() {
+        // `(X + 1) > 2` must not be mistaken for a boolean group.
+        let q = parse("SELECT * FROM T WHERE (X + 1) > 2").unwrap();
+        match q.predicate.unwrap() {
+            Expr::Cmp { op: CmpOp::Gt, lhs: Scalar::Arith { .. }, .. } => {}
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_nested_parens_boolean() {
+        let q = parse("SELECT * FROM T WHERE ((A > 1))").unwrap();
+        assert!(matches!(q.predicate.unwrap(), Expr::Cmp { .. }));
+    }
+
+    #[test]
+    fn parse_udf_no_args() {
+        // Figure 8 query 4 writes `Speed() < 30`.
+        let q = parse("SELECT * FROM IPARS WHERE TIME>1000 AND Speed() < 30").unwrap();
+        match q.predicate.unwrap() {
+            Expr::And(_, r) => match *r {
+                Expr::Cmp { lhs: Scalar::Func { ref name, ref args }, .. } => {
+                    assert_eq!(name, "Speed");
+                    assert!(args.is_empty());
+                }
+                other => panic!("got {other:?}"),
+            },
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let q = parse("SELECT * FROM T WHERE A + 2 * B < 10").unwrap();
+        match q.predicate.unwrap() {
+            Expr::Cmp { lhs: Scalar::Arith { op: ArithOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(*rhs, Scalar::Arith { op: ArithOp::Mul, .. }));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_unary_minus() {
+        let q = parse("SELECT * FROM T WHERE X > -5").unwrap();
+        match q.predicate.unwrap() {
+            Expr::Cmp { rhs: Scalar::IntLit(-5), .. } => {}
+            other => panic!("got {other:?}"),
+        }
+        // Unary minus over a column stays symbolic.
+        let q = parse("SELECT * FROM T WHERE X > -Y").unwrap();
+        match q.predicate.unwrap() {
+            Expr::Cmp { rhs: Scalar::Neg(inner), .. } => {
+                assert_eq!(*inner, Scalar::Column("Y".into()));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reject_trailing_garbage() {
+        assert!(parse("SELECT * FROM T WHERE A > 1 GROUP").is_err());
+    }
+
+    #[test]
+    fn reject_missing_from() {
+        assert!(parse("SELECT *").is_err());
+    }
+
+    #[test]
+    fn reject_aggregates() {
+        let e = parse("SELECT COUNT FROM T").unwrap_err().to_string();
+        assert!(e.contains("subsetting"), "{e}");
+    }
+
+    #[test]
+    fn reject_empty_where() {
+        assert!(parse("SELECT * FROM T WHERE").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let inputs = [
+            "SELECT * FROM T WHERE A > 1 AND B <= 2.5",
+            "SELECT X, Y FROM T WHERE X IN (1, 2, 3) OR NOT Y = 0",
+            "SELECT * FROM T WHERE SPEED(VX, VY, VZ) < 30.0",
+            "SELECT * FROM T WHERE A BETWEEN 1 AND 2 AND B NOT BETWEEN 3 AND 4",
+        ];
+        for q in inputs {
+            let ast1 = parse(q).unwrap();
+            let ast2 = parse(&ast1.to_string()).unwrap();
+            assert_eq!(ast1, ast2, "roundtrip failed for {q}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Token stream shared by the SQL lexer and parser.
+
+use std::fmt;
+
+/// A lexical token with its source position (1-based line/column, used
+/// in error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub column: u32,
+}
+
+/// Token kinds of the SQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords (recognized case-insensitively).
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    // Literals and identifiers.
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    // Punctuation / operators.
+    Star,
+    Comma,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Statement terminator (optional trailing `;`).
+    Semi,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Select => write!(f, "SELECT"),
+            TokenKind::From => write!(f, "FROM"),
+            TokenKind::Where => write!(f, "WHERE"),
+            TokenKind::And => write!(f, "AND"),
+            TokenKind::Or => write!(f, "OR"),
+            TokenKind::Not => write!(f, "NOT"),
+            TokenKind::In => write!(f, "IN"),
+            TokenKind::Between => write!(f, "BETWEEN"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::FloatLit(v) => write!(f, "{v}"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Eof => write!(f, "<end of query>"),
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! User-defined filter functions.
+//!
+//! The paper's canonical query shape allows `Filter(<data element>)`
+//! terms — "application-specific and user-defined filter operations
+//! that are difficult to express with simple comparison operations"
+//! (e.g. `SPEED(OILVX, OILVY, OILVZ) <= 30.0` for Ipars, or
+//! `DISTANCE(X, Y, Z) < 1000` for Titan). A [`UdfRegistry`] maps
+//! function names to numeric implementations; the binder resolves call
+//! sites to registry slots so per-row evaluation is a direct indexed
+//! call.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dv_types::{DvError, Result};
+
+/// Implementation of a user-defined scalar function over numeric views
+/// of attribute values.
+pub type UdfFn = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+struct UdfEntry {
+    name: String,
+    func: UdfFn,
+    /// Exact argument count the function requires, or `None` for
+    /// variadic functions.
+    arity: Option<usize>,
+    /// Attribute names substituted when the query writes a bare call
+    /// like `Speed()` (Figure 8 query 4 relies on this: the UDF knows
+    /// its own inputs).
+    implicit_args: Vec<String>,
+}
+
+/// Registry of user-defined filter functions. Cheap to clone is not
+/// required — services share it behind an `Arc`.
+#[derive(Default)]
+pub struct UdfRegistry {
+    entries: Vec<UdfEntry>,
+    by_name: HashMap<String, usize>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// A registry pre-loaded with the functions the paper's two
+    /// applications use:
+    ///
+    /// * `SPEED(vx, vy, vz)` — Euclidean magnitude of a velocity
+    ///   vector (oil reservoir bypass analysis);
+    /// * `DISTANCE(x, y, z)` — Euclidean distance from the origin
+    ///   (satellite region queries).
+    pub fn with_builtins() -> UdfRegistry {
+        let mut r = UdfRegistry::new();
+        r.register("SPEED", Some(3), |args| {
+            (args[0] * args[0] + args[1] * args[1] + args[2] * args[2]).sqrt()
+        });
+        r.register("DISTANCE", Some(3), |args| {
+            (args[0] * args[0] + args[1] * args[1] + args[2] * args[2]).sqrt()
+        });
+        r
+    }
+
+    /// Register `name` with the given arity (`None` = variadic).
+    /// Re-registering a name replaces the previous implementation.
+    pub fn register(
+        &mut self,
+        name: &str,
+        arity: Option<usize>,
+        f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    ) {
+        self.register_with_implicit_args(name, arity, Vec::new(), f)
+    }
+
+    /// Register a function together with the attribute names that are
+    /// implied when the query calls it with no arguments.
+    pub fn register_with_implicit_args(
+        &mut self,
+        name: &str,
+        arity: Option<usize>,
+        implicit_args: Vec<String>,
+        f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    ) {
+        let upper = name.to_ascii_uppercase();
+        let entry = UdfEntry {
+            name: upper.clone(),
+            func: Arc::new(f),
+            arity,
+            implicit_args: implicit_args.iter().map(|a| a.to_ascii_uppercase()).collect(),
+        };
+        match self.by_name.get(&upper) {
+            Some(&slot) => self.entries[slot] = entry,
+            None => {
+                self.by_name.insert(upper, self.entries.len());
+                self.entries.push(entry);
+            }
+        }
+    }
+
+    /// Resolve a call site. Checks the name exists and the argument
+    /// count is compatible; returns the slot for [`UdfRegistry::call`].
+    pub fn resolve(&self, name: &str, arg_count: usize) -> Result<usize> {
+        let upper = name.to_ascii_uppercase();
+        let slot = *self.by_name.get(&upper).ok_or_else(|| {
+            DvError::Binding(format!("unknown user-defined function `{name}`"))
+        })?;
+        if let Some(arity) = self.entries[slot].arity {
+            if arg_count != arity {
+                return Err(DvError::Binding(format!(
+                    "function `{upper}` expects {arity} argument(s), got {arg_count}"
+                )));
+            }
+        }
+        Ok(slot)
+    }
+
+    /// The implicit argument attribute names of a function (empty when
+    /// none were registered). Used by the binder for bare `F()` calls.
+    pub fn implicit_args(&self, name: &str) -> Result<&[String]> {
+        let upper = name.to_ascii_uppercase();
+        let slot = *self.by_name.get(&upper).ok_or_else(|| {
+            DvError::Binding(format!("unknown user-defined function `{name}`"))
+        })?;
+        Ok(&self.entries[slot].implicit_args)
+    }
+
+    /// Invoke the function at `slot`.
+    #[inline]
+    pub fn call(&self, slot: usize, args: &[f64]) -> f64 {
+        (self.entries[slot].func)(args)
+    }
+
+    /// Name of the function at `slot` (for plan rendering).
+    pub fn name_of(&self, slot: usize) -> &str {
+        &self.entries[slot].name
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_speed() {
+        let r = UdfRegistry::with_builtins();
+        let slot = r.resolve("speed", 3).unwrap();
+        assert_eq!(r.call(slot, &[3.0, 4.0, 0.0]), 5.0);
+        assert_eq!(r.name_of(slot), "SPEED");
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let r = UdfRegistry::with_builtins();
+        assert!(r.resolve("SPEED", 2).is_err());
+        assert!(r.resolve("DISTANCE", 3).is_ok());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let r = UdfRegistry::with_builtins();
+        assert!(r.resolve("FROB", 1).is_err());
+    }
+
+    #[test]
+    fn variadic_accepts_any_count() {
+        let mut r = UdfRegistry::new();
+        r.register("SUMALL", None, |a| a.iter().sum());
+        assert!(r.resolve("SUMALL", 0).is_ok());
+        let slot = r.resolve("SUMALL", 5).unwrap();
+        assert_eq!(r.call(slot, &[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut r = UdfRegistry::new();
+        r.register("F", Some(1), |a| a[0]);
+        r.register("F", Some(1), |a| a[0] * 2.0);
+        let slot = r.resolve("F", 1).unwrap();
+        assert_eq!(r.call(slot, &[3.0]), 6.0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn implicit_args_for_bare_calls() {
+        let mut r = UdfRegistry::new();
+        r.register_with_implicit_args(
+            "Speed",
+            Some(3),
+            vec!["oilvx".into(), "oilvy".into(), "oilvz".into()],
+            |a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt(),
+        );
+        assert_eq!(r.implicit_args("SPEED").unwrap(), &["OILVX", "OILVY", "OILVZ"]);
+        assert!(r.implicit_args("NOPE").is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the SQL front-end.
+//!
+//! Two invariants:
+//!
+//! 1. **Round-trip**: `parse(display(q)) == q` for arbitrary ASTs built
+//!    from the grammar — the pretty-printer emits exactly the language
+//!    the parser accepts.
+//! 2. **Range-analysis soundness**: for random predicates and random
+//!    rows, if the predicate accepts a row then every analyzed
+//!    attribute range contains the row's value. (This is the property
+//!    chunk pruning relies on: pruning must never lose a satisfying
+//!    row.)
+
+use proptest::prelude::*;
+
+use dv_sql::analysis::attribute_ranges;
+use dv_sql::eval::EvalContext;
+use dv_sql::{bind, parse, ArithOp, CmpOp, Expr, Query, Scalar, SelectList, UdfRegistry};
+use dv_types::{Attribute, DataType, Schema, Value};
+
+const COLS: [&str; 4] = ["REL", "TIME", "SOIL", "X"];
+
+fn schema() -> Schema {
+    Schema::new(
+        "T",
+        vec![
+            Attribute::new("REL", DataType::Short),
+            Attribute::new("TIME", DataType::Int),
+            Attribute::new("SOIL", DataType::Double),
+            Attribute::new("X", DataType::Double),
+        ],
+    )
+    .unwrap()
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = Scalar> {
+    (0..COLS.len()).prop_map(|i| Scalar::Column(COLS[i].to_string()))
+}
+
+/// Literals on a small integer grid so that predicates and rows collide
+/// often (otherwise IN/= almost never hits).
+fn arb_literal() -> impl Strategy<Value = Scalar> {
+    prop_oneof![(-8i64..8).prop_map(Scalar::IntLit), (-8i64..8).prop_map(|v| Scalar::FloatLit(v as f64 / 2.0)),]
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    let leaf = prop_oneof![arb_column(), arb_literal()];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Scalar::Arith {
+                op: ArithOp::Add,
+                lhs: Box::new(l),
+                rhs: Box::new(r)
+            }),
+            (inner.clone(), inner).prop_map(|(l, r)| Scalar::Arith {
+                op: ArithOp::Mul,
+                lhs: Box::new(l),
+                rhs: Box::new(r)
+            }),
+        ]
+    })
+}
+
+fn arb_leaf_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (arb_cmp_op(), arb_column(), arb_literal())
+            .prop_map(|(op, lhs, rhs)| Expr::Cmp { op, lhs, rhs }),
+        (arb_cmp_op(), arb_scalar(), arb_scalar())
+            .prop_map(|(op, lhs, rhs)| Expr::Cmp { op, lhs, rhs }),
+        (arb_column(), prop::collection::vec(arb_literal(), 1..4), any::<bool>())
+            .prop_map(|(expr, list, negated)| Expr::InList { expr, list, negated }),
+        (arb_column(), arb_literal(), arb_literal(), any::<bool>())
+            .prop_map(|(expr, lo, hi, negated)| Expr::Between { expr, lo, hi, negated }),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf_pred().prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let select = prop_oneof![
+        Just(SelectList::All),
+        prop::collection::vec((0..COLS.len()).prop_map(|i| COLS[i].to_string()), 1..4)
+            .prop_map(SelectList::Columns),
+    ];
+    (select, proptest::option::of(arb_expr())).prop_map(|(select, predicate)| Query {
+        select,
+        dataset: "T".to_string(),
+        predicate,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(q in arb_query()) {
+        let text = q.to_string();
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("reparse of `{text}` failed: {e}"));
+        prop_assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn range_analysis_is_sound(
+        expr in arb_expr(),
+        raw in prop::collection::vec(-8i32..8, 4),
+    ) {
+        let schema = schema();
+        let q = Query { select: SelectList::All, dataset: "T".into(), predicate: Some(expr) };
+        let udfs = UdfRegistry::new();
+        let b = bind(&q, &schema, &udfs).unwrap();
+        let pred = b.predicate.as_ref().unwrap();
+
+        let row: Vec<Value> = vec![
+            Value::Short(raw[0] as i16),
+            Value::Int(raw[1]),
+            Value::Double(raw[2] as f64 / 2.0),
+            Value::Double(raw[3] as f64 / 2.0),
+        ];
+        let working: Vec<usize> = (0..4).collect();
+        let cx = EvalContext::new(4, &working, &udfs);
+        if cx.eval(pred, &row) {
+            let map = attribute_ranges(pred);
+            for (attr, set) in &map {
+                let v = row[*attr].as_f64();
+                prop_assert!(
+                    set.contains(v),
+                    "attr {} value {} escaped analyzed range {:?}",
+                    attr, v, set
+                );
+            }
+        }
+    }
+}

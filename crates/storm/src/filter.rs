@@ -1,0 +1,106 @@
+//! Filtering service: residual predicate evaluation on working rows.
+//!
+//! Range constraints already pruned files/chunks at the plan level,
+//! but rows inside surviving chunks can still violate the predicate
+//! (value filters like `SOIL > 0.7`, user-defined filters like
+//! `SPEED(...) <= 30`, or partially-pruned ranges). This service
+//! evaluates the *full* predicate on every extracted row — sound even
+//! when pruning was exact, and required when it was not.
+
+use dv_sql::eval::EvalContext;
+use dv_sql::BoundExpr;
+use dv_types::RowBlock;
+
+/// Filter a block in place; returns the number of rows removed.
+pub fn filter_block(
+    block: &mut RowBlock,
+    predicate: Option<&BoundExpr>,
+    cx: &EvalContext<'_>,
+) -> usize {
+    let Some(pred) = predicate else { return 0 };
+    let before = block.rows.len();
+    block.rows.retain(|row| cx.eval(pred, row));
+    before - block.rows.len()
+}
+
+/// Project working rows to the output columns, in place.
+pub fn project_block(block: &mut RowBlock, output_positions: &[usize]) {
+    // Identity projection: working row already equals the output row.
+    if output_positions.len() == block.rows.first().map(|r| r.len()).unwrap_or(0)
+        && output_positions.iter().enumerate().all(|(i, &p)| i == p)
+    {
+        return;
+    }
+    for row in &mut block.rows {
+        let projected = output_positions.iter().map(|&p| row[p]).collect();
+        *row = projected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_sql::{bind, parse, UdfRegistry};
+    use dv_types::{Attribute, DataType, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Attribute::new("A", DataType::Int),
+                Attribute::new("B", DataType::Float),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn block() -> RowBlock {
+        let mut b = RowBlock::new(0);
+        for i in 0..10 {
+            b.rows.push(vec![Value::Int(i), Value::Float(i as f32 / 10.0)]);
+        }
+        b
+    }
+
+    #[test]
+    fn filters_rows() {
+        let s = schema();
+        let udfs = UdfRegistry::new();
+        let q = parse("SELECT * FROM T WHERE A >= 3 AND B < 0.7").unwrap();
+        let bq = bind(&q, &s, &udfs).unwrap();
+        let cx = EvalContext::new(2, &[0, 1], &udfs);
+        let mut b = block();
+        let removed = filter_block(&mut b, bq.predicate.as_ref(), &cx);
+        // f32(0.7) ≈ 0.699999988 < 0.7, so i = 7 survives too.
+        assert_eq!(removed, 5);
+        assert_eq!(b.rows.len(), 5); // A in {3,4,5,6,7}
+        assert_eq!(b.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn no_predicate_keeps_everything() {
+        let udfs = UdfRegistry::new();
+        let cx = EvalContext::new(2, &[0, 1], &udfs);
+        let mut b = block();
+        assert_eq!(filter_block(&mut b, None, &cx), 0);
+        assert_eq!(b.rows.len(), 10);
+    }
+
+    #[test]
+    fn projection_reorders_and_drops() {
+        let mut b = block();
+        project_block(&mut b, &[1]);
+        assert_eq!(b.rows[3], vec![Value::Float(0.3)]);
+        let mut b2 = block();
+        project_block(&mut b2, &[1, 0]);
+        assert_eq!(b2.rows[2], vec![Value::Float(0.2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn identity_projection_is_noop() {
+        let mut b = block();
+        let expected = b.rows.clone();
+        project_block(&mut b, &[0, 1]);
+        assert_eq!(b.rows, expected);
+    }
+}

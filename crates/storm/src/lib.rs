@@ -1,0 +1,36 @@
+//! # dv-storm
+//!
+//! The runtime middleware, mirroring the paper's STORM architecture
+//! (§2.3) as "a suite of loosely coupled services":
+//!
+//! * **query service** ([`server::StormServer`]) — the entry point:
+//!   parses, binds, plans and orchestrates;
+//! * **data source service** — the generated extraction function,
+//!   executed per node by [`cluster::Cluster`] workers via
+//!   [`dv_layout::Extractor`];
+//! * **indexing service** — embedded in plan generation
+//!   (`dv-layout` file/chunk pruning with implicit extents + R-trees);
+//! * **filtering service** ([`filter`]) — evaluates the residual
+//!   predicate (including user-defined filters) on working rows;
+//! * **partition generation service** ([`partition`]) — assigns
+//!   selected rows to the client program's processors;
+//! * **data mover service** ([`mover`]) — ships row blocks to client
+//!   consumers, optionally through a bandwidth/latency model that
+//!   simulates remote (wide-area) clients.
+//!
+//! The cluster is simulated: each logical node is a worker thread that
+//! owns that node's directory tree, so per-node work (I/O, decoding,
+//! filtering) runs in parallel exactly as data-parallel STORM nodes
+//! would (see DESIGN.md for the substitution argument).
+
+pub mod cluster;
+pub mod filter;
+pub mod mover;
+pub mod partition;
+pub mod server;
+pub mod stats;
+
+pub use mover::BandwidthModel;
+pub use partition::PartitionStrategy;
+pub use server::{QueryOptions, StormServer};
+pub use stats::QueryStats;

@@ -1,0 +1,126 @@
+//! Data mover service.
+//!
+//! Transfers selected row blocks from node workers to client
+//! processors. Local clients receive blocks over channels at memory
+//! speed; remote clients (the paper's Figure 8 query 5, "accessing the
+//! data from a remote client") go through a [`BandwidthModel`] that
+//! delays each block according to a link bandwidth and per-block
+//! latency, simulating the wide-area transfer.
+
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use dv_types::{DvError, Result, RowBlock};
+
+/// Simulated network link for remote clients.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthModel {
+    /// Payload bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Fixed per-block latency (round-trip / framing overhead).
+    pub latency: Duration,
+}
+
+impl BandwidthModel {
+    /// A Fast-Ethernet-class link (the paper's cluster interconnect):
+    /// 100 Mbit/s, negligible latency.
+    pub fn fast_ethernet() -> BandwidthModel {
+        BandwidthModel { bytes_per_sec: 12.5e6, latency: Duration::from_micros(100) }
+    }
+
+    /// A wide-area link for remote-client experiments: 10 Mbit/s,
+    /// 20 ms latency.
+    pub fn wide_area() -> BandwidthModel {
+        BandwidthModel { bytes_per_sec: 1.25e6, latency: Duration::from_millis(20) }
+    }
+
+    /// Transfer delay of a payload of `bytes`.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+}
+
+/// Message from node workers to the client-side collector.
+#[derive(Debug)]
+pub enum MoverMessage {
+    /// A block destined for client processor `processor`.
+    Block { processor: usize, block: RowBlock },
+    /// Node `node` finished (successfully or not), reporting how long
+    /// its extract/filter/partition/move pipeline ran.
+    Done { node: usize, result: Result<()>, busy: std::time::Duration },
+}
+
+/// Send one block, applying the bandwidth model if present. Returns
+/// the simulated bytes moved.
+pub fn send_block(
+    tx: &Sender<MoverMessage>,
+    processor: usize,
+    block: RowBlock,
+    bandwidth: Option<&BandwidthModel>,
+) -> Result<usize> {
+    let bytes = block.wire_bytes();
+    if let Some(bw) = bandwidth {
+        // The worker thread stalls for the transfer duration, exactly
+        // like a synchronous socket write over a slow link.
+        std::thread::sleep(bw.delay_for(bytes));
+    }
+    tx.send(MoverMessage::Block { processor, block })
+        .map_err(|_| DvError::Runtime("client disconnected during data transfer".into()))?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use dv_types::Value;
+
+    #[test]
+    fn delay_scales_with_bytes() {
+        let bw = BandwidthModel { bytes_per_sec: 1000.0, latency: Duration::ZERO };
+        assert_eq!(bw.delay_for(1000), Duration::from_secs(1));
+        assert_eq!(bw.delay_for(250), Duration::from_millis(250));
+        let with_lat =
+            BandwidthModel { bytes_per_sec: 1000.0, latency: Duration::from_millis(5) };
+        assert_eq!(with_lat.delay_for(0), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn send_block_counts_payload() {
+        let (tx, rx) = unbounded();
+        let mut b = RowBlock::new(0);
+        b.rows.push(vec![Value::Int(1), Value::Double(2.0)]);
+        let bytes = send_block(&tx, 3, b, None).unwrap();
+        assert_eq!(bytes, 12);
+        match rx.recv().unwrap() {
+            MoverMessage::Block { processor, block } => {
+                assert_eq!(processor, 3);
+                assert_eq!(block.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_to_disconnected_client_errors() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let b = RowBlock::new(0);
+        assert!(send_block(&tx, 0, b, None).is_err());
+    }
+
+    #[test]
+    fn bandwidth_model_actually_delays() {
+        let (tx, rx) = unbounded();
+        let mut b = RowBlock::new(0);
+        for i in 0..1000 {
+            b.rows.push(vec![Value::Double(i as f64)]);
+        }
+        // 8000 bytes at 80 kB/s = 100 ms.
+        let bw = BandwidthModel { bytes_per_sec: 80_000.0, latency: Duration::ZERO };
+        let start = std::time::Instant::now();
+        send_block(&tx, 0, b, Some(&bw)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(90));
+        drop(rx);
+    }
+}

@@ -1,0 +1,145 @@
+//! Partition generation service.
+//!
+//! "The purpose of the partition generation service is to make it
+//! possible for an application developer to implement the data
+//! distribution scheme employed in the client program at the server"
+//! (§2.3): selected rows are split among the client's processors
+//! *before* transfer, so each processor receives exactly its share.
+
+use dv_types::{RowBlock, Value};
+
+/// How rows are distributed over the client's processors.
+#[derive(Debug, Clone)]
+pub enum PartitionStrategy {
+    /// Cycle rows over processors (default; balances load).
+    RoundRobin,
+    /// Hash one attribute (by working-row position) — rows with equal
+    /// values land on the same processor.
+    HashAttr { position: usize },
+    /// Range-partition one attribute over `bounds`: processor `p`
+    /// receives rows with `bounds[p-1] <= v < bounds[p]` (processor 0
+    /// takes everything below `bounds[0]`, the last everything above).
+    RangeAttr { position: usize, bounds: Vec<f64> },
+}
+
+impl PartitionStrategy {
+    /// Processor index for a row.
+    #[inline]
+    pub fn assign(&self, row_ordinal: u64, row: &[Value], processors: usize) -> usize {
+        if processors <= 1 {
+            return 0;
+        }
+        match self {
+            PartitionStrategy::RoundRobin => (row_ordinal % processors as u64) as usize,
+            PartitionStrategy::HashAttr { position } => {
+                let v = row[*position].as_f64();
+                // Mix the bits of the value; f64 -> u64 is stable for
+                // equal values (including -0.0 == 0.0 normalization).
+                let bits = if v == 0.0 { 0u64 } else { v.to_bits() };
+                let mut h = bits ^ 0x9E37_79B9_7F4A_7C15;
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h ^= h >> 33;
+                (h % processors as u64) as usize
+            }
+            PartitionStrategy::RangeAttr { position, bounds } => {
+                let v = row[*position].as_f64();
+                let p = bounds.partition_point(|b| *b <= v);
+                p.min(processors - 1)
+            }
+        }
+    }
+}
+
+/// Split a block into per-processor blocks. `base_ordinal` is the
+/// count of rows already partitioned from this node (keeps round-robin
+/// stable across blocks).
+pub fn partition_block(
+    block: RowBlock,
+    strategy: &PartitionStrategy,
+    processors: usize,
+    base_ordinal: u64,
+) -> Vec<RowBlock> {
+    let mut out: Vec<RowBlock> =
+        (0..processors).map(|_| RowBlock::new(block.source_node)).collect();
+    for (i, row) in block.rows.into_iter().enumerate() {
+        let p = strategy.assign(base_ordinal + i as u64, &row, processors);
+        out[p].rows.push(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: i32) -> RowBlock {
+        let mut b = RowBlock::new(0);
+        for i in 0..n {
+            b.rows.push(vec![Value::Int(i), Value::Double(i as f64)]);
+        }
+        b
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let parts = partition_block(block(10), &PartitionStrategy::RoundRobin, 3, 0);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        // Conservation.
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn round_robin_continues_across_blocks() {
+        let a = partition_block(block(2), &PartitionStrategy::RoundRobin, 2, 0);
+        let b = partition_block(block(2), &PartitionStrategy::RoundRobin, 2, 2);
+        // Second block continues the cycle: ordinals 2,3 → procs 0,1.
+        assert_eq!(a[0].len(), 1);
+        assert_eq!(b[0].len(), 1);
+        assert_eq!(b[0].rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn hash_groups_equal_values() {
+        let mut b = RowBlock::new(0);
+        for _ in 0..5 {
+            b.rows.push(vec![Value::Int(42)]);
+        }
+        for _ in 0..5 {
+            b.rows.push(vec![Value::Int(7)]);
+        }
+        let parts = partition_block(b, &PartitionStrategy::HashAttr { position: 0 }, 4, 0);
+        // Each distinct value lands entirely on one processor.
+        for parts_with_42 in parts.iter().filter(|p| {
+            p.rows.iter().any(|r| r[0] == Value::Int(42))
+        }) {
+            assert!(parts_with_42.rows.iter().filter(|r| r[0] == Value::Int(42)).count() == 5);
+        }
+    }
+
+    #[test]
+    fn hash_cross_type_equal_values_agree() {
+        // Int 5 and Double 5.0 compare equal and must hash identically.
+        let s = PartitionStrategy::HashAttr { position: 0 };
+        let a = s.assign(0, &[Value::Int(5)], 8);
+        let b = s.assign(0, &[Value::Double(5.0)], 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_partition_respects_bounds() {
+        let s = PartitionStrategy::RangeAttr { position: 1, bounds: vec![3.0, 6.0] };
+        let parts = partition_block(block(10), &s, 3, 0);
+        assert_eq!(parts[0].len(), 3); // 0,1,2
+        assert_eq!(parts[1].len(), 3); // 3,4,5
+        assert_eq!(parts[2].len(), 4); // 6..9
+    }
+
+    #[test]
+    fn single_processor_short_circuits() {
+        let s = PartitionStrategy::HashAttr { position: 0 };
+        assert_eq!(s.assign(9, &[Value::Int(1)], 1), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Query service: the client entry point that orchestrates all other
+//! services.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+use dv_layout::{Afc, CompiledDataset, Extractor};
+use dv_sql::eval::EvalContext;
+use dv_sql::{bind, parse, BoundExpr, BoundQuery, UdfRegistry};
+use dv_types::{DvError, Result, RowBlock, Table};
+
+use crate::cluster::Cluster;
+use crate::filter::{filter_block, project_block};
+use crate::mover::{send_block, BandwidthModel, MoverMessage};
+use crate::partition::{partition_block, PartitionStrategy};
+use crate::stats::QueryStats;
+
+/// Per-query execution options.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Number of client processors receiving partitions.
+    pub client_processors: usize,
+    /// Row distribution scheme (positions refer to *output* columns).
+    pub partition: PartitionStrategy,
+    /// Simulated link for remote clients (`None` = local, memory
+    /// speed).
+    pub bandwidth: Option<BandwidthModel>,
+    /// Target rows per extracted block (AFCs are batched up to this).
+    pub batch_rows: usize,
+    /// Worker threads per node (1 = the paper's one-process-per-node
+    /// configuration; >1 is the intra-node parallelism ablation).
+    pub intra_node_threads: usize,
+    /// Run node pipelines one after another instead of concurrently.
+    /// Results are identical; per-node busy times become free of
+    /// timesharing noise, so `QueryStats::simulated_parallel_time`
+    /// faithfully models an N-node cluster even on a single-core host
+    /// (see DESIGN.md).
+    pub sequential_nodes: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> QueryOptions {
+        QueryOptions {
+            client_processors: 1,
+            partition: PartitionStrategy::RoundRobin,
+            bandwidth: None,
+            batch_rows: 4 * 1024,
+            intra_node_threads: 1,
+            sequential_nodes: false,
+        }
+    }
+}
+
+/// A running virtualization server for one dataset: compiled plans +
+/// UDF registry + per-node workers.
+pub struct StormServer {
+    compiled: Arc<CompiledDataset>,
+    udfs: Arc<UdfRegistry>,
+    cluster: Cluster,
+}
+
+impl StormServer {
+    /// Start a server over a compiled dataset.
+    pub fn new(compiled: Arc<CompiledDataset>, udfs: UdfRegistry) -> StormServer {
+        let nodes = compiled.model.node_count();
+        StormServer { compiled, udfs: Arc::new(udfs), cluster: Cluster::new(nodes) }
+    }
+
+    /// The dataset model served.
+    pub fn model(&self) -> &dv_descriptor::DatasetModel {
+        &self.compiled.model
+    }
+
+    /// The compiled dataset (for plan inspection / codegen rendering).
+    pub fn compiled(&self) -> &CompiledDataset {
+        &self.compiled
+    }
+
+    /// Parse + bind a query against this server's schema.
+    pub fn bind_sql(&self, sql: &str) -> Result<BoundQuery> {
+        let q = parse(sql)?;
+        bind(&q, &self.compiled.model.schema, &self.udfs)
+    }
+
+    /// Execute a query, returning one table per client processor and
+    /// execution statistics.
+    pub fn execute(&self, sql: &str, opts: &QueryOptions) -> Result<(Vec<Table>, QueryStats)> {
+        let bq = self.bind_sql(sql)?;
+        self.execute_bound(&bq, opts)
+    }
+
+    /// Execute a convenience single-table query (one local processor).
+    pub fn execute_table(&self, sql: &str) -> Result<(Table, QueryStats)> {
+        let (mut tables, stats) = self.execute(sql, &QueryOptions::default())?;
+        Ok((tables.pop().expect("one processor"), stats))
+    }
+
+    /// Execute a pre-bound query.
+    pub fn execute_bound(
+        &self,
+        bq: &BoundQuery,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Table>, QueryStats)> {
+        if opts.client_processors == 0 {
+            return Err(DvError::Runtime("client_processors must be >= 1".into()));
+        }
+        let mut stats = QueryStats::default();
+
+        // Phase 2a: central planning (range analysis, working row).
+        let plan_start = Instant::now();
+        let prep = Arc::new(self.compiled.prepare_query(bq)?);
+        stats.plan_time = plan_start.elapsed();
+
+        let output_schema = bq.output_schema();
+        let schema_len = self.compiled.model.schema.len();
+        let working_attrs = Arc::new(prep.working.attrs.clone());
+        let output_positions = Arc::new(prep.output_positions.clone());
+        let predicate: Arc<Option<BoundExpr>> = Arc::new(bq.predicate.clone());
+        let extractor = Extractor::new(&self.compiled, prep.working.attrs.len());
+
+        let rows_scanned = Arc::new(AtomicU64::new(0));
+        let rows_selected = Arc::new(AtomicU64::new(0));
+        let bytes_read = Arc::new(AtomicU64::new(0));
+        let bytes_moved = Arc::new(AtomicU64::new(0));
+        let afc_count = Arc::new(AtomicU64::new(0));
+
+        let (tx, rx) = unbounded::<MoverMessage>();
+        let exec_start = Instant::now();
+        let node_count = self.compiled.model.node_count();
+        let mut tables: Vec<Table> =
+            (0..opts.client_processors).map(|_| Table::empty(output_schema.clone())).collect();
+        let mut first_error: Option<DvError> = None;
+        let mut node_busy: Vec<std::time::Duration> = Vec::with_capacity(node_count);
+
+        let dispatch = |node: usize, tx: &crossbeam::channel::Sender<MoverMessage>| {
+            let tx = tx.clone();
+            let compiled = Arc::clone(&self.compiled);
+            let prep = Arc::clone(&prep);
+            let extractor = extractor.clone();
+            let udfs = Arc::clone(&self.udfs);
+            let predicate = Arc::clone(&predicate);
+            let working_attrs = Arc::clone(&working_attrs);
+            let output_positions = Arc::clone(&output_positions);
+            let rows_scanned = Arc::clone(&rows_scanned);
+            let rows_selected = Arc::clone(&rows_selected);
+            let bytes_read = Arc::clone(&bytes_read);
+            let bytes_moved = Arc::clone(&bytes_moved);
+            let afc_count = Arc::clone(&afc_count);
+            let opts = opts.clone();
+            self.cluster.run_on(node, move || {
+                let worker = NodeWorker {
+                    node,
+                    extractor,
+                    udfs,
+                    predicate,
+                    working_attrs,
+                    output_positions,
+                    schema_len,
+                    opts,
+                    rows_scanned,
+                    rows_selected,
+                    bytes_read,
+                    bytes_moved,
+                    afc_count,
+                };
+                // Phase 2b (the node's generated index function) runs
+                // here and counts as this node's work.
+                let busy_start = Instant::now();
+                let result = compiled
+                    .plan_node(&prep, node)
+                    .and_then(|np| worker.run(&np.afcs, &tx));
+                let _ = tx.send(MoverMessage::Done { node, result, busy: busy_start.elapsed() });
+            });
+        };
+
+        // Drain messages until `want` Done messages arrive.
+        let drain = |want: usize,
+                     tables: &mut Vec<Table>,
+                     node_busy: &mut Vec<std::time::Duration>,
+                     first_error: &mut Option<DvError>| {
+            let mut done = 0usize;
+            for msg in rx.iter() {
+                match msg {
+                    MoverMessage::Block { processor, block } => tables[processor].absorb(block),
+                    MoverMessage::Done { result, busy, .. } => {
+                        done += 1;
+                        node_busy.push(busy);
+                        if let Err(e) = result {
+                            first_error.get_or_insert(e);
+                        }
+                        if done == want {
+                            break;
+                        }
+                    }
+                }
+            }
+        };
+
+        if opts.sequential_nodes {
+            for node in 0..node_count {
+                dispatch(node, &tx);
+                drain(1, &mut tables, &mut node_busy, &mut first_error);
+            }
+        } else {
+            for node in 0..node_count {
+                dispatch(node, &tx);
+            }
+            drain(node_count, &mut tables, &mut node_busy, &mut first_error);
+        }
+        drop(tx);
+        stats.exec_time = exec_start.elapsed();
+        stats.node_busy = node_busy;
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        stats.rows_scanned = rows_scanned.load(Ordering::Relaxed);
+        stats.rows_selected = rows_selected.load(Ordering::Relaxed);
+        stats.bytes_read = bytes_read.load(Ordering::Relaxed);
+        stats.bytes_moved = bytes_moved.load(Ordering::Relaxed);
+        stats.afcs = afc_count.load(Ordering::Relaxed);
+        Ok((tables, stats))
+    }
+}
+
+/// Everything one node needs to run the extraction → filter →
+/// partition → move pipeline.
+struct NodeWorker {
+    node: usize,
+    extractor: Extractor,
+    udfs: Arc<UdfRegistry>,
+    predicate: Arc<Option<BoundExpr>>,
+    working_attrs: Arc<Vec<usize>>,
+    output_positions: Arc<Vec<usize>>,
+    schema_len: usize,
+    opts: QueryOptions,
+    rows_scanned: Arc<AtomicU64>,
+    rows_selected: Arc<AtomicU64>,
+    bytes_read: Arc<AtomicU64>,
+    bytes_moved: Arc<AtomicU64>,
+    afc_count: Arc<AtomicU64>,
+}
+
+impl NodeWorker {
+    fn run(
+        &self,
+        afcs: &[Afc],
+        tx: &crossbeam::channel::Sender<MoverMessage>,
+    ) -> Result<()> {
+        if self.opts.intra_node_threads <= 1 {
+            return self.run_stripe(afcs, tx);
+        }
+        // Intra-node parallel stripes over the AFC list.
+        let stripes = self.opts.intra_node_threads.min(afcs.len().max(1));
+        let chunk = afcs.len().div_ceil(stripes);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for piece in afcs.chunks(chunk.max(1)) {
+                handles.push(scope.spawn(move || self.run_stripe(piece, tx)));
+            }
+            for h in handles {
+                h.join().map_err(|_| DvError::Runtime("node stripe panicked".into()))??;
+            }
+            Ok(())
+        })
+    }
+
+    fn run_stripe(
+        &self,
+        afcs: &[Afc],
+        tx: &crossbeam::channel::Sender<MoverMessage>,
+    ) -> Result<()> {
+        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
+        let mut partition_base = 0u64;
+        let mut scratch = dv_layout::ExtractScratch::default();
+
+        let mut i = 0usize;
+        while i < afcs.len() {
+            // Batch AFCs until the block reaches the target row count.
+            let mut block = RowBlock::new(self.node);
+            let mut batched_rows = 0u64;
+            while i < afcs.len() && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
+            {
+                let afc = &afcs[i];
+                self.extractor.extract_into_with(afc, &mut block, &mut scratch)?;
+                self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
+                self.afc_count.fetch_add(1, Ordering::Relaxed);
+                batched_rows += afc.num_rows;
+                i += 1;
+            }
+            self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
+
+            filter_block(&mut block, self.predicate.as_ref().as_ref(), &cx);
+            self.rows_selected.fetch_add(block.len() as u64, Ordering::Relaxed);
+            if block.is_empty() {
+                continue;
+            }
+
+            project_block(&mut block, &self.output_positions);
+
+            if self.opts.client_processors == 1 {
+                let bytes =
+                    send_block(tx, 0, block, self.opts.bandwidth.as_ref())?;
+                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+            } else {
+                let parts = partition_block(
+                    block,
+                    &self.opts.partition,
+                    self.opts.client_processors,
+                    partition_base,
+                );
+                // Round-robin base advances by total rows partitioned.
+                partition_base += parts.iter().map(|p| p.len() as u64).sum::<u64>();
+                for (p, part) in parts.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let bytes = send_block(tx, p, part, self.opts.bandwidth.as_ref())?;
+                    self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,108 @@
+//! Query execution statistics, gathered across services.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters and timings of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Rows materialized by the extraction service (before filtering).
+    pub rows_scanned: u64,
+    /// Rows surviving the filtering service (= rows delivered).
+    pub rows_selected: u64,
+    /// Bytes read from data files.
+    pub bytes_read: u64,
+    /// Payload bytes shipped by the data mover.
+    pub bytes_moved: u64,
+    /// Aligned file chunks processed.
+    pub afcs: u64,
+    /// Time spent planning (phase 2: grouping + AFC alignment).
+    pub plan_time: Duration,
+    /// Wall time of the parallel execute/transfer phase.
+    pub exec_time: Duration,
+    /// Per-node pipeline busy time (extract + filter + partition +
+    /// move), indexed by completion order.
+    pub node_busy: Vec<Duration>,
+}
+
+impl QueryStats {
+    /// Total wall time.
+    pub fn total_time(&self) -> Duration {
+        self.plan_time + self.exec_time
+    }
+
+    /// Simulated cluster wall time: planning plus the slowest node's
+    /// pipeline time. On a real N-node cluster the nodes run
+    /// concurrently, so this is what a client would observe; on the
+    /// single-core simulation host it is the faithful scaling metric
+    /// (see DESIGN.md). Most accurate when the query ran with
+    /// `QueryOptions::sequential_nodes`, which removes timesharing
+    /// noise from the per-node measurements.
+    pub fn simulated_parallel_time(&self) -> Duration {
+        self.plan_time + self.node_busy.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Selectivity of the filtering service.
+    pub fn selectivity(&self) -> f64 {
+        if self.rows_scanned == 0 {
+            0.0
+        } else {
+            self.rows_selected as f64 / self.rows_scanned as f64
+        }
+    }
+}
+
+impl fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?})",
+            self.rows_selected,
+            self.rows_scanned,
+            self.afcs,
+            self.bytes_read / 1024,
+            self.bytes_moved / 1024,
+            self.total_time(),
+            self.plan_time,
+            self.exec_time,
+            self.simulated_parallel_time(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_handles_zero() {
+        let s = QueryStats::default();
+        assert_eq!(s.selectivity(), 0.0);
+        let s = QueryStats { rows_scanned: 100, rows_selected: 25, ..Default::default() };
+        assert_eq!(s.selectivity(), 0.25);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = QueryStats {
+            rows_scanned: 100,
+            rows_selected: 40,
+            bytes_read: 4096,
+            afcs: 7,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("40 rows selected / 100 scanned"), "{text}");
+        assert!(text.contains("7 AFCs"), "{text}");
+    }
+
+    #[test]
+    fn total_time_sums_phases() {
+        let s = QueryStats {
+            plan_time: Duration::from_millis(2),
+            exec_time: Duration::from_millis(40),
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(42));
+    }
+}

@@ -1,0 +1,153 @@
+//! Scalar data types of the meta-data description language.
+//!
+//! The paper's schema component declares attributes with C-like type
+//! names (`short int`, `int`, `float`, ...). Each type has a fixed
+//! on-disk width; datasets are stored little-endian, matching the x86
+//! clusters the paper targets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{DvError, Result};
+
+/// A scalar type declared in a dataset schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// `char` — a single byte (used for flags and small categorical
+    /// codes in scientific outputs).
+    Char,
+    /// `short int` — 16-bit signed integer.
+    Short,
+    /// `int` — 32-bit signed integer.
+    Int,
+    /// `long int` — 64-bit signed integer.
+    Long,
+    /// `float` — IEEE-754 single precision.
+    Float,
+    /// `double` — IEEE-754 double precision.
+    Double,
+}
+
+impl DataType {
+    /// On-disk width in bytes (little-endian, unpadded: flat scientific
+    /// files are packed with no alignment holes).
+    #[inline]
+    pub const fn size(self) -> usize {
+        match self {
+            DataType::Char => 1,
+            DataType::Short => 2,
+            DataType::Int => 4,
+            DataType::Long => 8,
+            DataType::Float => 4,
+            DataType::Double => 8,
+        }
+    }
+
+    /// True for the integer family.
+    #[inline]
+    pub const fn is_integer(self) -> bool {
+        matches!(self, DataType::Char | DataType::Short | DataType::Int | DataType::Long)
+    }
+
+    /// True for the floating-point family.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DataType::Float | DataType::Double)
+    }
+
+    /// Parse a type name as written in a descriptor schema section.
+    ///
+    /// Accepts the multi-word C-style spellings used in the paper's
+    /// Figure 4 (`short int`, `long int`) as well as single-word
+    /// synonyms. Matching is case-insensitive.
+    pub fn parse(name: &str) -> Result<DataType> {
+        let squashed: String = name.split_whitespace().collect::<Vec<_>>().join(" ").to_ascii_lowercase();
+        match squashed.as_str() {
+            "char" | "byte" | "int8" => Ok(DataType::Char),
+            "short" | "short int" | "int16" => Ok(DataType::Short),
+            "int" | "int32" | "integer" => Ok(DataType::Int),
+            "long" | "long int" | "int64" | "long long" => Ok(DataType::Long),
+            "float" | "float32" | "real" => Ok(DataType::Float),
+            "double" | "float64" => Ok(DataType::Double),
+            other => Err(DvError::Type(format!("unknown data type `{other}`"))),
+        }
+    }
+
+    /// Canonical descriptor spelling (what [`DataType::parse`] accepts
+    /// and what descriptor pretty-printing emits).
+    pub const fn descriptor_name(self) -> &'static str {
+        match self {
+            DataType::Char => "char",
+            DataType::Short => "short int",
+            DataType::Int => "int",
+            DataType::Long => "long int",
+            DataType::Float => "float",
+            DataType::Double => "double",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.descriptor_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_layout() {
+        assert_eq!(DataType::Char.size(), 1);
+        assert_eq!(DataType::Short.size(), 2);
+        assert_eq!(DataType::Int.size(), 4);
+        assert_eq!(DataType::Long.size(), 8);
+        assert_eq!(DataType::Float.size(), 4);
+        assert_eq!(DataType::Double.size(), 8);
+    }
+
+    #[test]
+    fn parse_paper_spellings() {
+        assert_eq!(DataType::parse("short int").unwrap(), DataType::Short);
+        assert_eq!(DataType::parse("int").unwrap(), DataType::Int);
+        assert_eq!(DataType::parse("float").unwrap(), DataType::Float);
+        assert_eq!(DataType::parse("double").unwrap(), DataType::Double);
+        assert_eq!(DataType::parse("long   int").unwrap(), DataType::Long);
+        assert_eq!(DataType::parse("CHAR").unwrap(), DataType::Char);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(DataType::parse("varchar").is_err());
+        assert!(DataType::parse("").is_err());
+    }
+
+    #[test]
+    fn roundtrip_descriptor_name() {
+        for t in [
+            DataType::Char,
+            DataType::Short,
+            DataType::Int,
+            DataType::Long,
+            DataType::Float,
+            DataType::Double,
+        ] {
+            assert_eq!(DataType::parse(t.descriptor_name()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn families_partition() {
+        for t in [
+            DataType::Char,
+            DataType::Short,
+            DataType::Int,
+            DataType::Long,
+            DataType::Float,
+            DataType::Double,
+        ] {
+            assert_ne!(t.is_integer(), t.is_float());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Workspace-wide error type.
+//!
+//! Every layer of the system (SQL parsing, descriptor compilation, plan
+//! generation, runtime services, the minidb baseline) reports failures
+//! through [`DvError`], so errors compose across crate boundaries
+//! without conversion boilerplate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, DvError>;
+
+/// The error type shared by all `datavirt` crates.
+#[derive(Debug)]
+pub enum DvError {
+    /// Lexical or syntactic error in a SQL query string.
+    SqlParse { message: String, line: u32, column: u32 },
+    /// Lexical or syntactic error in a meta-data descriptor.
+    DescriptorParse { message: String, line: u32, column: u32 },
+    /// Descriptor parsed, but is semantically invalid (unknown schema,
+    /// unbound variable, inconsistent loop nest, ...).
+    DescriptorSemantic(String),
+    /// The query references an attribute, dataset or function that the
+    /// bound schema does not define.
+    Binding(String),
+    /// Two files in a candidate file group cannot be aligned (their
+    /// layouts or implicit attributes are inconsistent).
+    Alignment(String),
+    /// A runtime service failed (extraction, filtering, partitioning,
+    /// data movement).
+    Runtime(String),
+    /// The minidb relational baseline failed.
+    MiniDb(String),
+    /// Underlying I/O error, annotated with the path involved.
+    Io { path: String, source: std::io::Error },
+    /// Type mismatch when evaluating an expression or decoding a value.
+    Type(String),
+}
+
+impl fmt::Display for DvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DvError::SqlParse { message, line, column } => {
+                write!(f, "SQL parse error at {line}:{column}: {message}")
+            }
+            DvError::DescriptorParse { message, line, column } => {
+                write!(f, "descriptor parse error at {line}:{column}: {message}")
+            }
+            DvError::DescriptorSemantic(m) => write!(f, "descriptor semantic error: {m}"),
+            DvError::Binding(m) => write!(f, "binding error: {m}"),
+            DvError::Alignment(m) => write!(f, "alignment error: {m}"),
+            DvError::Runtime(m) => write!(f, "runtime error: {m}"),
+            DvError::MiniDb(m) => write!(f, "minidb error: {m}"),
+            DvError::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
+            DvError::Type(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DvError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl DvError {
+    /// Wrap an [`std::io::Error`] with the path that caused it.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        DvError::Io { path: path.into(), source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = DvError::SqlParse { message: "unexpected token".into(), line: 3, column: 14 };
+        let s = e.to_string();
+        assert!(s.contains("3:14"));
+        assert!(s.contains("unexpected token"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = DvError::io("/data/COORDS", inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("/data/COORDS"));
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let cases: Vec<DvError> = vec![
+            DvError::DescriptorParse { message: "bad".into(), line: 1, column: 2 },
+            DvError::DescriptorSemantic("x".into()),
+            DvError::Binding("x".into()),
+            DvError::Alignment("x".into()),
+            DvError::Runtime("x".into()),
+            DvError::MiniDb("x".into()),
+            DvError::Type("x".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

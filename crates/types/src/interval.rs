@@ -1,0 +1,388 @@
+//! Unions of numeric intervals.
+//!
+//! Range analysis of a `WHERE` clause produces, for each attribute, the
+//! set of values the clause can accept — an [`IntervalSet`]. The
+//! indexing service intersects these sets with the *implicit attribute*
+//! ranges of candidate files and chunks (paper §4) to prune I/O.
+//!
+//! Intervals are over `f64` with independently open/closed endpoints,
+//! which exactly represents every comparison the SQL subset can
+//! express over both integer and floating attributes.
+
+use serde::{Deserialize, Serialize};
+
+/// One interval with optionally open endpoints. Unbounded sides use
+/// `-inf`/`+inf` with a closed flag of `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    pub lo: f64,
+    pub lo_closed: bool,
+    pub hi: f64,
+    pub hi_closed: bool,
+}
+
+impl Interval {
+    /// The full real line.
+    pub fn all() -> Interval {
+        Interval { lo: f64::NEG_INFINITY, lo_closed: false, hi: f64::INFINITY, hi_closed: false }
+    }
+
+    /// Degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, lo_closed: true, hi: v, hi_closed: true }
+    }
+
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Interval {
+        Interval { lo, lo_closed: true, hi, hi_closed: true }
+    }
+
+    /// `[v, +inf)`.
+    pub fn at_least(v: f64) -> Interval {
+        Interval { lo: v, lo_closed: true, hi: f64::INFINITY, hi_closed: false }
+    }
+
+    /// `(v, +inf)`.
+    pub fn greater(v: f64) -> Interval {
+        Interval { lo: v, lo_closed: false, hi: f64::INFINITY, hi_closed: false }
+    }
+
+    /// `(-inf, v]`.
+    pub fn at_most(v: f64) -> Interval {
+        Interval { lo: f64::NEG_INFINITY, lo_closed: false, hi: v, hi_closed: true }
+    }
+
+    /// `(-inf, v)`.
+    pub fn less(v: f64) -> Interval {
+        Interval { lo: f64::NEG_INFINITY, lo_closed: false, hi: v, hi_closed: false }
+    }
+
+    /// True when no value satisfies the interval.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && !(self.lo_closed && self.hi_closed))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: f64) -> bool {
+        let lo_ok = v > self.lo || (self.lo_closed && v == self.lo);
+        let hi_ok = v < self.hi || (self.hi_closed && v == self.hi);
+        lo_ok && hi_ok
+    }
+
+    /// Intersection of two intervals (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let (lo, lo_closed) = if self.lo > other.lo {
+            (self.lo, self.lo_closed)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_closed)
+        } else {
+            (self.lo, self.lo_closed && other.lo_closed)
+        };
+        let (hi, hi_closed) = if self.hi < other.hi {
+            (self.hi, self.hi_closed)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_closed)
+        } else {
+            (self.hi, self.hi_closed && other.hi_closed)
+        };
+        Interval { lo, lo_closed, hi, hi_closed }
+    }
+
+    /// True when the two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// True when `self` and `other` touch or overlap, so that their
+    /// union is a single interval (used to normalize interval sets).
+    fn mergeable(&self, other: &Interval) -> bool {
+        if self.overlaps(other) {
+            return true;
+        }
+        // Adjacent like [1,2) + [2,3]: hi == lo and at least one side
+        // closed. For our use (pruning), treating (1,2)+( 2,3) as
+        // non-mergeable is correct.
+        (self.hi == other.lo && (self.hi_closed || other.lo_closed))
+            || (other.hi == self.lo && (other.hi_closed || self.lo_closed))
+    }
+}
+
+/// A normalized (sorted, disjoint, non-adjacent) union of intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set (accepts no value).
+    pub fn empty() -> IntervalSet {
+        IntervalSet { ivs: Vec::new() }
+    }
+
+    /// The full real line (no constraint).
+    pub fn all() -> IntervalSet {
+        IntervalSet { ivs: vec![Interval::all()] }
+    }
+
+    /// A set holding a single interval (empty intervals normalize away).
+    pub fn single(iv: Interval) -> IntervalSet {
+        if iv.is_empty() {
+            IntervalSet::empty()
+        } else {
+            IntervalSet { ivs: vec![iv] }
+        }
+    }
+
+    /// A set holding the listed points (the SQL `IN (...)` list).
+    pub fn points(vals: &[f64]) -> IntervalSet {
+        let mut s = IntervalSet::empty();
+        for &v in vals {
+            s = s.union(&IntervalSet::single(Interval::point(v)));
+        }
+        s
+    }
+
+    /// The member intervals in ascending order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// True when no value is accepted.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// True when every value is accepted (i.e. this constraint cannot
+    /// prune anything).
+    pub fn is_all(&self) -> bool {
+        self.ivs.len() == 1
+            && self.ivs[0].lo == f64::NEG_INFINITY
+            && self.ivs[0].hi == f64::INFINITY
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: f64) -> bool {
+        self.ivs.iter().any(|iv| iv.contains(v))
+    }
+
+    /// True when this set shares a point with the closed range
+    /// `[lo, hi]` — the pruning primitive: a file/chunk whose implicit
+    /// attribute spans `[lo, hi]` survives iff this returns true.
+    pub fn overlaps_closed(&self, lo: f64, hi: f64) -> bool {
+        let probe = Interval::closed(lo, hi);
+        self.ivs.iter().any(|iv| iv.overlaps(&probe))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all: Vec<Interval> = self
+            .ivs
+            .iter()
+            .chain(other.ivs.iter())
+            .copied()
+            .filter(|iv| !iv.is_empty())
+            .collect();
+        all.sort_by(|a, b| {
+            a.lo.partial_cmp(&b.lo)
+                .unwrap()
+                .then_with(|| b.lo_closed.cmp(&a.lo_closed))
+        });
+        let mut out: Vec<Interval> = Vec::with_capacity(all.len());
+        for iv in all {
+            match out.last_mut() {
+                Some(last) if last.mergeable(&iv) => {
+                    // Extend the upper end if iv reaches further.
+                    if iv.hi > last.hi || (iv.hi == last.hi && iv.hi_closed && !last.hi_closed) {
+                        last.hi = iv.hi;
+                        last.hi_closed = iv.hi_closed;
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.ivs {
+            for b in &other.ivs {
+                let c = a.intersect(b);
+                if !c.is_empty() {
+                    out.push(c);
+                }
+            }
+        }
+        // Products of disjoint normalized inputs stay disjoint & sorted
+        // when built in this nested order only if self/other are sorted;
+        // normalize defensively via union with empty.
+        IntervalSet { ivs: out }.union(&IntervalSet::empty())
+    }
+
+    /// Complement (used for `NOT` and `!=` analysis).
+    pub fn complement(&self) -> IntervalSet {
+        if self.ivs.is_empty() {
+            return IntervalSet::all();
+        }
+        let mut out = Vec::new();
+        let first = &self.ivs[0];
+        if first.lo > f64::NEG_INFINITY || first.lo_closed {
+            out.push(Interval {
+                lo: f64::NEG_INFINITY,
+                lo_closed: false,
+                hi: first.lo,
+                hi_closed: !first.lo_closed,
+            });
+        }
+        for w in self.ivs.windows(2) {
+            out.push(Interval {
+                lo: w[0].hi,
+                lo_closed: !w[0].hi_closed,
+                hi: w[1].lo,
+                hi_closed: !w[1].lo_closed,
+            });
+        }
+        let last = self.ivs.last().unwrap();
+        if last.hi < f64::INFINITY || last.hi_closed {
+            out.push(Interval {
+                lo: last.hi,
+                lo_closed: !last.hi_closed,
+                hi: f64::INFINITY,
+                hi_closed: false,
+            });
+        }
+        IntervalSet { ivs: out.into_iter().filter(|iv| !iv.is_empty()).collect() }
+    }
+
+    /// Tight enclosing closed bounds `(lo, hi)` of the whole set, or
+    /// `None` when empty. Used to clip loop iteration ranges.
+    pub fn bounds(&self) -> Option<(f64, f64)> {
+        if self.ivs.is_empty() {
+            return None;
+        }
+        Some((self.ivs[0].lo, self.ivs.last().unwrap().hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_interval_detection() {
+        assert!(Interval::closed(2.0, 1.0).is_empty());
+        assert!(!Interval::point(3.0).is_empty());
+        let half_open = Interval { lo: 1.0, lo_closed: true, hi: 1.0, hi_closed: false };
+        assert!(half_open.is_empty());
+    }
+
+    #[test]
+    fn contains_respects_openness() {
+        let iv = Interval { lo: 0.0, lo_closed: false, hi: 1.0, hi_closed: true };
+        assert!(!iv.contains(0.0));
+        assert!(iv.contains(0.5));
+        assert!(iv.contains(1.0));
+    }
+
+    #[test]
+    fn intersect_openness() {
+        let a = Interval::at_least(1.0); // [1, inf)
+        let b = Interval::less(1.0); // (-inf, 1)
+        assert!(a.intersect(&b).is_empty());
+        let c = Interval::at_most(1.0); // (-inf, 1]
+        let i = a.intersect(&c);
+        assert_eq!(i, Interval::point(1.0));
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        let s = IntervalSet::single(Interval::closed(0.0, 5.0))
+            .union(&IntervalSet::single(Interval::closed(3.0, 9.0)));
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.intervals()[0], Interval::closed(0.0, 9.0));
+    }
+
+    #[test]
+    fn union_merges_adjacent_closed() {
+        let s = IntervalSet::single(Interval::closed(0.0, 1.0))
+            .union(&IntervalSet::single(Interval::closed(1.0, 2.0)));
+        assert_eq!(s.intervals().len(), 1);
+    }
+
+    #[test]
+    fn union_keeps_disjoint() {
+        let s = IntervalSet::single(Interval::closed(0.0, 1.0))
+            .union(&IntervalSet::single(Interval::closed(2.0, 3.0)));
+        assert_eq!(s.intervals().len(), 2);
+        assert!(s.contains(0.5));
+        assert!(!s.contains(1.5));
+        assert!(s.contains(2.5));
+    }
+
+    #[test]
+    fn points_dedupe_and_sort() {
+        // The paper's example: RID in (0, 6, 26, 27).
+        let s = IntervalSet::points(&[27.0, 0.0, 6.0, 26.0, 6.0]);
+        assert_eq!(s.intervals().len(), 4);
+        assert!(s.contains(26.0));
+        assert!(!s.contains(13.0));
+    }
+
+    #[test]
+    fn intersect_sets() {
+        let a = IntervalSet::single(Interval::closed(0.0, 10.0));
+        let b = IntervalSet::points(&[5.0, 15.0]);
+        let i = a.intersect(&b);
+        assert!(i.contains(5.0));
+        assert!(!i.contains(15.0));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let s = IntervalSet::single(Interval::closed(1.0, 2.0))
+            .union(&IntervalSet::single(Interval::closed(4.0, 5.0)));
+        let c = s.complement();
+        assert!(c.contains(0.0));
+        assert!(!c.contains(1.5));
+        assert!(c.contains(3.0));
+        assert!(!c.contains(4.0));
+        assert!(c.contains(6.0));
+        // Complement twice returns the original acceptance behaviour.
+        let cc = c.complement();
+        for v in [-1.0, 1.0, 1.5, 2.0, 3.0, 4.5, 5.0, 7.0] {
+            assert_eq!(cc.contains(v), s.contains(v), "at {v}");
+        }
+    }
+
+    #[test]
+    fn complement_of_all_and_empty() {
+        assert!(IntervalSet::all().complement().is_empty());
+        assert!(IntervalSet::empty().complement().is_all());
+    }
+
+    #[test]
+    fn overlaps_closed_prunes() {
+        // TIME in [1000, 1100]; a chunk covering TIME [900, 999] must be
+        // pruned, [950, 1000] must survive.
+        let s = IntervalSet::single(Interval::closed(1000.0, 1100.0));
+        assert!(!s.overlaps_closed(900.0, 999.0));
+        assert!(s.overlaps_closed(950.0, 1000.0));
+    }
+
+    #[test]
+    fn bounds_are_tight() {
+        let s = IntervalSet::points(&[3.0, 7.0]);
+        assert_eq!(s.bounds(), Some((3.0, 7.0)));
+        assert_eq!(IntervalSet::empty().bounds(), None);
+    }
+
+    #[test]
+    fn is_all_detection() {
+        assert!(IntervalSet::all().is_all());
+        assert!(!IntervalSet::single(Interval::at_least(0.0)).is_all());
+        let u = IntervalSet::single(Interval::at_most(0.0))
+            .union(&IntervalSet::single(Interval::at_least(0.0)));
+        assert!(u.is_all());
+    }
+}

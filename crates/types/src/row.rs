@@ -1,0 +1,229 @@
+//! Materialized rows, row blocks, and result tables.
+//!
+//! The extraction service produces [`RowBlock`]s (batches of rows that
+//! share a schema); the data-mover service ships blocks to client
+//! processors; clients assemble them into a [`Table`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One materialized row of the virtual table.
+pub type Row = Vec<Value>;
+
+/// A batch of rows sharing one (projected) schema.
+///
+/// Blocks are the unit of transfer between STORM services: extraction
+/// emits blocks, filtering rewrites them in place, partition generation
+/// tags them, and the data mover serializes them onto channels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RowBlock {
+    /// Rows in extraction order.
+    pub rows: Vec<Row>,
+    /// Identifier of the cluster node that produced the block.
+    pub source_node: usize,
+}
+
+impl RowBlock {
+    /// Create a block originating at `source_node`.
+    pub fn new(source_node: usize) -> RowBlock {
+        RowBlock { rows: Vec::new(), source_node }
+    }
+
+    /// Create a block with pre-allocated row capacity.
+    pub fn with_capacity(source_node: usize, cap: usize) -> RowBlock {
+        RowBlock { rows: Vec::with_capacity(cap), source_node }
+    }
+
+    /// Number of rows in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the block has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate wire size in bytes (used by the data-mover bandwidth
+    /// model to simulate remote-client transfers).
+    pub fn wire_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.iter().map(|v| v.size()).sum::<usize>()).sum()
+    }
+}
+
+/// A complete query result: a projected schema plus all rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Schema of the result (projection of the dataset schema).
+    pub schema: Schema,
+    /// All result rows. Order is implementation-defined (parallel
+    /// extraction), so comparisons sort first.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty result with the given schema.
+    pub fn empty(schema: Schema) -> Table {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append all rows of a block.
+    pub fn absorb(&mut self, block: RowBlock) {
+        self.rows.extend(block.rows);
+    }
+
+    /// Sort rows lexicographically — canonical order for comparing
+    /// results produced by different execution strategies (hand-written
+    /// vs generated vs minidb), which may emit rows in any order.
+    pub fn sort_canonical(&mut self) {
+        self.rows.sort_unstable_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let c = x.total_cmp(y);
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            a.len().cmp(&b.len())
+        });
+    }
+
+    /// True when `self` and `other` hold the same multiset of rows
+    /// (sorts copies of both; intended for tests and verification, not
+    /// hot paths).
+    pub fn same_rows(&self, other: &Table) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.sort_canonical();
+        b.sort_canonical();
+        a.rows == b.rows
+    }
+
+    /// Total payload bytes of the result (the "amount of data
+    /// retrieved" metric of the paper's Figure 11).
+    pub fn payload_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.iter().map(|v| v.size()).sum::<usize>()).sum()
+    }
+}
+
+impl fmt::Display for Table {
+    /// Renders a bounded, pipe-separated preview (first 20 rows), the
+    /// format the examples print.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+        writeln!(f, "{}", names.join(" | "))?;
+        for row in self.rows.iter().take(20) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "... ({} rows total)", self.rows.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::Attribute;
+
+    fn schema2() -> Schema {
+        Schema::new(
+            "T",
+            vec![Attribute::new("a", DataType::Int), Attribute::new("b", DataType::Double)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn block_wire_bytes() {
+        let mut b = RowBlock::new(0);
+        b.rows.push(vec![Value::Int(1), Value::Double(2.0)]);
+        b.rows.push(vec![Value::Int(3), Value::Double(4.0)]);
+        assert_eq!(b.wire_bytes(), 2 * (4 + 8));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn same_rows_ignores_order() {
+        let s = schema2();
+        let t1 = Table {
+            schema: s.clone(),
+            rows: vec![
+                vec![Value::Int(1), Value::Double(1.0)],
+                vec![Value::Int(2), Value::Double(2.0)],
+            ],
+        };
+        let t2 = Table {
+            schema: s,
+            rows: vec![
+                vec![Value::Int(2), Value::Double(2.0)],
+                vec![Value::Int(1), Value::Double(1.0)],
+            ],
+        };
+        assert!(t1.same_rows(&t2));
+    }
+
+    #[test]
+    fn same_rows_detects_multiset_difference() {
+        let s = schema2();
+        let t1 = Table {
+            schema: s.clone(),
+            rows: vec![
+                vec![Value::Int(1), Value::Double(1.0)],
+                vec![Value::Int(1), Value::Double(1.0)],
+            ],
+        };
+        let t2 = Table {
+            schema: s,
+            rows: vec![
+                vec![Value::Int(1), Value::Double(1.0)],
+                vec![Value::Int(2), Value::Double(2.0)],
+            ],
+        };
+        assert!(!t1.same_rows(&t2));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut t = Table::empty(schema2());
+        let mut b = RowBlock::new(1);
+        b.rows.push(vec![Value::Int(9), Value::Double(0.5)]);
+        t.absorb(b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let mut t = Table::empty(schema2());
+        for i in 0..25 {
+            t.rows.push(vec![Value::Int(i), Value::Double(i as f64)]);
+        }
+        let text = t.to_string();
+        assert!(text.contains("A | B"));
+        assert!(text.contains("25 rows total"));
+    }
+}

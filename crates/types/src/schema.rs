@@ -1,0 +1,198 @@
+//! Virtual-table schemas (Component I of the meta-data descriptor).
+//!
+//! A [`Schema`] is the logical relational view the scientist wants to
+//! expose: an ordered list of named, typed attributes. Attribute names
+//! are normalized to upper case, because both the descriptor language
+//! and the SQL subset are case-insensitive over identifiers (the paper
+//! freely mixes `Dataset`/`DATASET` and `TIME`/`Time`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::datatype::DataType;
+use crate::error::{DvError, Result};
+
+/// One named, typed column of the virtual table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Upper-cased attribute name.
+    pub name: String,
+    /// Scalar type.
+    pub dtype: DataType,
+}
+
+impl Attribute {
+    /// Create an attribute, normalizing the name to upper case.
+    pub fn new(name: impl AsRef<str>, dtype: DataType) -> Attribute {
+        Attribute { name: name.as_ref().to_ascii_uppercase(), dtype }
+    }
+}
+
+/// The logical relational table view (ordered attribute list).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Schema name as declared in the descriptor (`[IPARS]`), upper-cased.
+    pub name: String,
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs. Fails on duplicate
+    /// attribute names (case-insensitively).
+    pub fn new(name: impl AsRef<str>, attrs: Vec<Attribute>) -> Result<Schema> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(DvError::DescriptorSemantic(format!(
+                    "duplicate attribute `{}` in schema `{}`",
+                    a.name,
+                    name.as_ref()
+                )));
+            }
+        }
+        Ok(Schema { name: name.as_ref().to_ascii_uppercase(), attrs })
+    }
+
+    /// All attributes in declaration order.
+    #[inline]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema declares no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Index of the attribute named `name` (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let upper = name.to_ascii_uppercase();
+        self.attrs.iter().position(|a| a.name == upper)
+    }
+
+    /// Attribute by name (case-insensitive).
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.index_of(name).map(|i| &self.attrs[i])
+    }
+
+    /// Attribute by position.
+    #[inline]
+    pub fn attr_at(&self, idx: usize) -> &Attribute {
+        &self.attrs[idx]
+    }
+
+    /// Resolve a list of attribute names to indices, failing on the
+    /// first unknown name.
+    pub fn resolve(&self, names: &[String]) -> Result<Vec<usize>> {
+        names
+            .iter()
+            .map(|n| {
+                self.index_of(n).ok_or_else(|| {
+                    DvError::Binding(format!("unknown attribute `{n}` in schema `{}`", self.name))
+                })
+            })
+            .collect()
+    }
+
+    /// Width in bytes of one full row when stored packed (sum of
+    /// attribute sizes) — the record width of "tabular" layouts.
+    pub fn row_size(&self) -> usize {
+        self.attrs.iter().map(|a| a.dtype.size()).sum()
+    }
+
+    /// A derived schema containing only the attributes at `indices`, in
+    /// that order (used to type query projections).
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            name: self.name.clone(),
+            attrs: indices.iter().map(|&i| self.attrs[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.name)?;
+        for a in &self.attrs {
+            writeln!(f, "{} = {}", a.name, a.dtype.descriptor_name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ipars() -> Schema {
+        Schema::new(
+            "Ipars",
+            vec![
+                Attribute::new("rel", DataType::Short),
+                Attribute::new("time", DataType::Int),
+                Attribute::new("x", DataType::Float),
+                Attribute::new("y", DataType::Float),
+                Attribute::new("z", DataType::Float),
+                Attribute::new("soil", DataType::Float),
+                Attribute::new("sgas", DataType::Float),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn names_upper_cased() {
+        let s = ipars();
+        assert_eq!(s.name, "IPARS");
+        assert_eq!(s.attributes()[0].name, "REL");
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let s = ipars();
+        assert_eq!(s.index_of("soil"), Some(5));
+        assert_eq!(s.index_of("SoIl"), Some(5));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_attrs_rejected() {
+        let r = Schema::new(
+            "S",
+            vec![Attribute::new("a", DataType::Int), Attribute::new("A", DataType::Float)],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn row_size_packed() {
+        // 2 + 4 + 4*5 = 26 bytes, matching the Ipars record the paper
+        // describes (REL short, TIME int, five floats).
+        assert_eq!(ipars().row_size(), 26);
+    }
+
+    #[test]
+    fn resolve_and_project() {
+        let s = ipars();
+        let idx = s.resolve(&["TIME".into(), "SOIL".into()]).unwrap();
+        assert_eq!(idx, vec![1, 5]);
+        let p = s.project(&idx);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.attributes()[1].name, "SOIL");
+        assert!(s.resolve(&["NOPE".into()]).is_err());
+    }
+
+    #[test]
+    fn display_is_descriptor_syntax() {
+        let text = ipars().to_string();
+        assert!(text.starts_with("[IPARS]\n"));
+        assert!(text.contains("REL = short int\n"));
+        assert!(text.contains("TIME = int\n"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Dynamically-typed scalar values.
+//!
+//! A [`Value`] is one cell of the virtual relational table. Values carry
+//! their [`DataType`], encode/decode to the packed little-endian wire
+//! format used by the flat files, and have a *total* ordering (NaN sorts
+//! greater than every number, matching the behaviour of `f64::total_cmp`
+//! restricted to the values scientific codes actually emit).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::datatype::DataType;
+use crate::error::{DvError, Result};
+
+/// One scalar cell value.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum Value {
+    Char(u8),
+    Short(i16),
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+}
+
+impl Value {
+    /// The type tag of this value.
+    #[inline]
+    pub const fn data_type(self) -> DataType {
+        match self {
+            Value::Char(_) => DataType::Char,
+            Value::Short(_) => DataType::Short,
+            Value::Int(_) => DataType::Int,
+            Value::Long(_) => DataType::Long,
+            Value::Float(_) => DataType::Float,
+            Value::Double(_) => DataType::Double,
+        }
+    }
+
+    /// Numeric view as `f64` (used by predicate evaluation and UDFs;
+    /// `i64` values beyond 2^53 lose precision, which is acceptable for
+    /// the coordinate/sensor domains the paper works in and is
+    /// documented in DESIGN.md).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Char(v) => v as f64,
+            Value::Short(v) => v as f64,
+            Value::Int(v) => v as f64,
+            Value::Long(v) => v as f64,
+            Value::Float(v) => v as f64,
+            Value::Double(v) => v,
+        }
+    }
+
+    /// Integer view, erroring on non-integral floats.
+    pub fn as_i64(self) -> Result<i64> {
+        match self {
+            Value::Char(v) => Ok(v as i64),
+            Value::Short(v) => Ok(v as i64),
+            Value::Int(v) => Ok(v as i64),
+            Value::Long(v) => Ok(v),
+            Value::Float(v) if v.fract() == 0.0 => Ok(v as i64),
+            Value::Double(v) if v.fract() == 0.0 => Ok(v as i64),
+            other => Err(DvError::Type(format!("value {other} is not an integer"))),
+        }
+    }
+
+    /// Construct a value of `ty` from an `i64`, truncating as C would.
+    #[inline]
+    pub fn from_i64(ty: DataType, v: i64) -> Value {
+        match ty {
+            DataType::Char => Value::Char(v as u8),
+            DataType::Short => Value::Short(v as i16),
+            DataType::Int => Value::Int(v as i32),
+            DataType::Long => Value::Long(v),
+            DataType::Float => Value::Float(v as f32),
+            DataType::Double => Value::Double(v as f64),
+        }
+    }
+
+    /// Construct a value of `ty` from an `f64`.
+    #[inline]
+    pub fn from_f64(ty: DataType, v: f64) -> Value {
+        match ty {
+            DataType::Char => Value::Char(v as u8),
+            DataType::Short => Value::Short(v as i16),
+            DataType::Int => Value::Int(v as i32),
+            DataType::Long => Value::Long(v as i64),
+            DataType::Float => Value::Float(v as f32),
+            DataType::Double => Value::Double(v),
+        }
+    }
+
+    /// Decode a value of type `ty` from the head of `bytes`
+    /// (little-endian, packed). `bytes` must hold at least `ty.size()`
+    /// bytes; the caller (the generated extractor) guarantees this by
+    /// construction of the aligned file chunks.
+    #[inline]
+    pub fn decode(ty: DataType, bytes: &[u8]) -> Value {
+        match ty {
+            DataType::Char => Value::Char(bytes[0]),
+            DataType::Short => Value::Short(i16::from_le_bytes([bytes[0], bytes[1]])),
+            DataType::Int => {
+                Value::Int(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+            }
+            DataType::Long => Value::Long(i64::from_le_bytes([
+                bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+            ])),
+            DataType::Float => {
+                Value::Float(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+            }
+            DataType::Double => Value::Double(f64::from_le_bytes([
+                bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+            ])),
+        }
+    }
+
+    /// Append the packed little-endian encoding of this value to `out`.
+    #[inline]
+    pub fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            Value::Char(v) => out.push(v),
+            Value::Short(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Value::Int(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Value::Long(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Value::Float(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Value::Double(v) => out.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Encoded width in bytes.
+    #[inline]
+    pub const fn size(self) -> usize {
+        self.data_type().size()
+    }
+
+    /// Total-order comparison across numeric types (compares by `f64`
+    /// view; NaN sorts last).
+    #[inline]
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        // Exact path when both sides are integers, avoiding the f64
+        // round-trip for i64 values.
+        if self.data_type().is_integer() && other.data_type().is_integer() {
+            return self.as_i64().unwrap().cmp(&other.as_i64().unwrap());
+        }
+        self.as_f64().total_cmp(&other.as_f64())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+/// `Display` writes values the way the paper's example queries spell
+/// literals, so result tables can be diffed textually.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Char(v) => write!(f, "{v}"),
+            Value::Short(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_roundtrip_each_type() {
+        let vals = [
+            Value::Char(200),
+            Value::Short(-1234),
+            Value::Int(7_654_321),
+            Value::Long(-9_876_543_210),
+            Value::Float(3.125),
+            Value::Double(-2.5e100),
+        ];
+        for v in vals {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(buf.len(), v.size());
+            let back = Value::decode(v.data_type(), &buf);
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(5), Value::Double(5.0));
+        assert_eq!(Value::Short(5), Value::Long(5));
+        assert!(Value::Float(5.5) > Value::Int(5));
+        assert!(Value::Int(-1) < Value::Char(0));
+    }
+
+    #[test]
+    fn integer_compare_is_exact_beyond_f53() {
+        let a = Value::Long((1i64 << 53) + 1);
+        let b = Value::Long(1i64 << 53);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        assert!(Value::Double(f64::NAN) > Value::Double(f64::MAX));
+        assert!(Value::Float(f32::NAN) > Value::Float(f32::MAX));
+    }
+
+    #[test]
+    fn as_i64_rejects_fractional() {
+        assert!(Value::Double(1.5).as_i64().is_err());
+        assert_eq!(Value::Double(2.0).as_i64().unwrap(), 2);
+    }
+
+    #[test]
+    fn from_i64_truncates_like_c() {
+        assert_eq!(Value::from_i64(DataType::Char, 257), Value::Char(1));
+        assert_eq!(Value::from_i64(DataType::Short, 65536 + 7), Value::Short(7));
+    }
+
+    #[test]
+    fn display_matches_literal_spelling() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Double(0.5).to_string(), "0.5");
+    }
+}

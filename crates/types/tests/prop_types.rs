@@ -1,0 +1,110 @@
+//! Property tests for the primitive layer.
+//!
+//! * value encode/decode round-trips for every type and bit pattern;
+//! * `Value` ordering is a total order consistent across numeric types;
+//! * interval-set algebra laws: union/intersection membership,
+//!   complement involution (on membership), pruning soundness.
+
+use proptest::prelude::*;
+
+use dv_types::{DataType, Interval, IntervalSet, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u8>().prop_map(Value::Char),
+        any::<i16>().prop_map(Value::Short),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        any::<f32>().prop_map(Value::Float),
+        any::<f64>().prop_map(Value::Double),
+    ]
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec((-50.0f64..50.0, 0.0f64..20.0), 0..6).prop_map(|ivs| {
+        let mut s = IntervalSet::empty();
+        for (lo, w) in ivs {
+            s = s.union(&IntervalSet::single(Interval::closed(lo, lo + w)));
+        }
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(v in arb_value()) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        prop_assert_eq!(buf.len(), v.size());
+        let back = Value::decode(v.data_type(), &buf);
+        // NaN != NaN under IEEE, but total_cmp treats them equal here.
+        prop_assert_eq!(back.total_cmp(&v), std::cmp::Ordering::Equal);
+        prop_assert_eq!(back.data_type(), v.data_type());
+    }
+
+    #[test]
+    fn ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity (spot-check the two chains that matter).
+        if a.total_cmp(&b) != Greater && b.total_cmp(&c) != Greater {
+            prop_assert_ne!(a.total_cmp(&c), Greater);
+        }
+    }
+
+    #[test]
+    fn integer_cross_type_equality(v in any::<i16>()) {
+        let wide = Value::Long(v as i64);
+        let narrow = Value::Short(v);
+        prop_assert_eq!(wide.total_cmp(&narrow), std::cmp::Ordering::Equal);
+        prop_assert_eq!(Value::Double(v as f64).total_cmp(&narrow), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn from_i64_roundtrip_in_range(v in -30000i64..30000) {
+        for ty in [DataType::Short, DataType::Int, DataType::Long, DataType::Double] {
+            let val = Value::from_i64(ty, v);
+            prop_assert_eq!(val.as_i64().unwrap(), v, "{:?}", ty);
+        }
+    }
+
+    #[test]
+    fn union_and_intersection_membership(a in arb_set(), b in arb_set(), probe in -60.0f64..60.0) {
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        prop_assert_eq!(u.contains(probe), a.contains(probe) || b.contains(probe));
+        prop_assert_eq!(i.contains(probe), a.contains(probe) && b.contains(probe));
+    }
+
+    #[test]
+    fn complement_membership(a in arb_set(), probe in -60.0f64..60.0) {
+        let c = a.complement();
+        prop_assert_eq!(c.contains(probe), !a.contains(probe));
+        // Involution on membership.
+        prop_assert_eq!(c.complement().contains(probe), a.contains(probe));
+    }
+
+    #[test]
+    fn overlaps_closed_is_sound(a in arb_set(), lo in -60.0f64..60.0, w in 0.0f64..10.0, probe in 0.0f64..1.0) {
+        // If any point of [lo, lo+w] is in the set, overlap must say so.
+        let hi = lo + w;
+        let point = lo + probe * w;
+        if a.contains(point) {
+            prop_assert!(a.overlaps_closed(lo, hi));
+        }
+        // Conversely a reported overlap means the hulls truly touch.
+        if !a.is_empty() && a.overlaps_closed(lo, hi) {
+            let (slo, shi) = a.bounds().unwrap();
+            prop_assert!(slo <= hi && lo <= shi);
+        }
+    }
+
+    #[test]
+    fn normalized_sets_are_sorted_disjoint(a in arb_set()) {
+        let ivs = a.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].hi <= w[1].lo, "{:?}", ivs);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Failure injection: missing files, truncated files, corrupt
+//! indexes, and descriptor/data mismatches must surface as errors —
+//! never as silently wrong answers.
+
+use dv_core::Virtualizer;
+use dv_datagen::{ipars, titan, IparsConfig, IparsLayout, TitanConfig};
+use dv_integration::scratch;
+
+#[test]
+fn missing_data_file_fails_query_not_build() {
+    let base = scratch("missing-file");
+    let cfg = IparsConfig::tiny();
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::L0).unwrap();
+    std::fs::remove_file(base.join("osu0/ipars.l0.d0/soil.r0.dat")).unwrap();
+    // Compilation is metadata-only and succeeds.
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    // Queries touching the file fail with an I/O error naming it.
+    let err = v.query("SELECT * FROM IparsData").unwrap_err().to_string();
+    assert!(err.contains("soil.r0.dat"), "{err}");
+    // Queries pruned away from it still work.
+    let (t, _) = v.query("SELECT * FROM IparsData WHERE REL = 1").unwrap();
+    assert_eq!(t.len() as u64, cfg.rows() / 2);
+}
+
+#[test]
+fn truncated_data_file_is_io_error() {
+    let base = scratch("truncated");
+    let cfg = IparsConfig::tiny();
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::I).unwrap();
+    let path = base.join("osu1/ipars.l1.d1/all.dat");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    assert!(v.query("SELECT * FROM IparsData").is_err());
+    // The intact node's data is still fully queryable... but a full
+    // scan must NOT return partial results silently.
+    let err = v.query("SELECT * FROM IparsData").unwrap_err();
+    assert!(matches!(err, dv_core::DvError::Io { .. }));
+}
+
+#[test]
+fn corrupt_chunk_index_fails_compile() {
+    let base = scratch("badidx");
+    let cfg = TitanConfig::tiny();
+    let descriptor = titan::generate(&base, &cfg).unwrap();
+    std::fs::write(base.join("tnode0/titan/titan.idx"), b"garbage").unwrap();
+    let err = Virtualizer::builder(&descriptor).storage_base(&base).build();
+    assert!(err.is_err());
+}
+
+#[test]
+fn descriptor_data_mismatch_detected_at_read() {
+    // Descriptor promises 2× the time steps the files contain: the
+    // extractor's exact reads run past EOF and error.
+    let base = scratch("mismatch");
+    let cfg = IparsConfig::tiny();
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::I).unwrap();
+    let lying = descriptor.replace("LOOP TIME 1:3:1", "LOOP TIME 1:6:1");
+    let v = Virtualizer::builder(&lying).storage_base(&base).build().unwrap();
+    assert!(v.query("SELECT * FROM IparsData").is_err());
+    // A query confined to the truly existing region still succeeds.
+    let (t, _) = v.query("SELECT * FROM IparsData WHERE TIME <= 1 AND REL = 0").unwrap();
+    assert_eq!(t.len(), cfg.grid_per_dir * cfg.dirs);
+}
+
+#[test]
+fn wrong_storage_base_is_clean_error() {
+    let base = scratch("wrongbase");
+    let cfg = IparsConfig::tiny();
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::V).unwrap();
+    let v = Virtualizer::builder(&descriptor)
+        .storage_base(base.join("nonexistent"))
+        .build()
+        .unwrap();
+    let err = v.query("SELECT * FROM IparsData").unwrap_err();
+    assert!(matches!(err, dv_core::DvError::Io { .. }));
+}
+
+#[test]
+fn unknown_attribute_and_dataset_errors() {
+    let base = scratch("binderr");
+    let cfg = IparsConfig::tiny();
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::V).unwrap();
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    let e = v.query("SELECT NOPE FROM IparsData").unwrap_err().to_string();
+    assert!(e.contains("NOPE"), "{e}");
+    let e = v.query("SELECT * FROM OtherTable").unwrap_err().to_string();
+    assert!(e.contains("OtherTable"), "{e}");
+    let e = v.query("SELECT * FROM IparsData WHERE FROB(SOIL) > 1").unwrap_err().to_string();
+    assert!(e.contains("FROB"), "{e}");
+}
+
+#[test]
+fn contradictory_predicate_returns_empty() {
+    let base = scratch("contradict");
+    let cfg = IparsConfig::tiny();
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::III).unwrap();
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    let (t, stats) =
+        v.query("SELECT * FROM IparsData WHERE TIME > 2 AND TIME < 2").unwrap();
+    assert!(t.is_empty());
+    assert_eq!(stats.bytes_read, 0, "contradiction must not read anything");
+}
+
+#[test]
+fn verify_files_reports_all_issue_kinds() {
+    // Clean dataset verifies clean.
+    let base = scratch("verify");
+    let cfg = IparsConfig::tiny();
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::L0).unwrap();
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    assert!(v.verify_files().is_empty());
+
+    // Missing file.
+    std::fs::remove_file(base.join("osu0/ipars.l0.d0/sgas.r1.dat")).unwrap();
+    // Truncated file.
+    let coords = base.join("osu1/ipars.l0.d1/COORDS");
+    let bytes = std::fs::read(&coords).unwrap();
+    std::fs::write(&coords, &bytes[..bytes.len() - 4]).unwrap();
+
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    let issues = v.verify_files();
+    assert_eq!(issues.len(), 2, "{issues:?}");
+    assert!(issues.iter().any(|i| matches!(i, dv_core::FileIssue::Missing { .. })));
+    assert!(issues
+        .iter()
+        .any(|i| matches!(i, dv_core::FileIssue::SizeMismatch { expected, actual, .. }
+            if expected - 4 == *actual)));
+}
+
+#[test]
+fn verify_files_detects_chunk_overrun() {
+    let base = scratch("verify-chunk");
+    let cfg = TitanConfig::tiny();
+    let descriptor = titan::generate(&base, &cfg).unwrap();
+    let data = base.join("tnode0/titan/titan.dat");
+    let bytes = std::fs::read(&data).unwrap();
+    std::fs::write(&data, &bytes[..bytes.len() - 64]).unwrap();
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    let issues = v.verify_files();
+    assert_eq!(issues.len(), 1);
+    assert!(matches!(issues[0], dv_core::FileIssue::ChunkBeyondEof { .. }));
+    // Display is human-readable.
+    assert!(issues[0].to_string().contains("overruns"));
+}

@@ -1,0 +1,40 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use std::path::PathBuf;
+
+use dv_core::Virtualizer;
+use dv_datagen::{ipars, IparsConfig, IparsLayout};
+use dv_types::{Schema, Table, Value};
+
+/// Fresh scratch directory unique to a test.
+pub fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dv-itest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Generate an Ipars dataset and build a virtualizer over it.
+pub fn ipars_virtualizer(tag: &str, cfg: &IparsConfig, layout: IparsLayout) -> Virtualizer {
+    let base = scratch(&format!("{tag}-{}", layout.tag()));
+    let descriptor = ipars::generate(&base, cfg, layout).expect("generate");
+    Virtualizer::builder(&descriptor).storage_base(&base).build().expect("compile")
+}
+
+/// Evaluate a predicate + projection over the logical row set directly
+/// (the trusted oracle).
+pub fn ipars_oracle(
+    cfg: &IparsConfig,
+    schema: &Schema,
+    keep: impl Fn(&[Value]) -> bool,
+    project: &[&str],
+) -> Table {
+    let idx: Vec<usize> = project.iter().map(|p| schema.index_of(p).unwrap()).collect();
+    let mut t = Table::empty(schema.project(&idx));
+    for row in cfg.all_rows() {
+        if keep(&row) {
+            t.rows.push(idx.iter().map(|&i| row[i]).collect());
+        }
+    }
+    t
+}

@@ -1,0 +1,179 @@
+//! Property test: AFC completeness and exactness.
+//!
+//! For randomized dataset shapes, physical layouts and queries, the
+//! virtualized execution must return exactly the rows the analytic
+//! oracle computes — every satisfying row exactly once (no row lost by
+//! pruning/alignment, none duplicated by grouping).
+
+use proptest::prelude::*;
+
+use dv_datagen::{IparsConfig, IparsLayout};
+use dv_integration::{ipars_oracle, ipars_virtualizer};
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    rel_eq: Option<i64>,
+    time_lo: i64,
+    time_width: i64,
+    soil_gt: Option<f64>,
+    project_narrow: bool,
+}
+
+fn arb_cfg() -> impl Strategy<Value = IparsConfig> {
+    (1usize..3, 1usize..6, 1usize..8, prop_oneof![Just(1usize), Just(2usize)], any::<u32>())
+        .prop_map(|(r, t, g, d, seed)| IparsConfig {
+            realizations: r,
+            time_steps: t,
+            grid_per_dir: g,
+            dirs: d * 2,
+            nodes: d * 2, // one dir per node keeps generation cheap
+            seed: seed as u64,
+        })
+}
+
+fn arb_layout() -> impl Strategy<Value = IparsLayout> {
+    prop_oneof![
+        Just(IparsLayout::L0),
+        Just(IparsLayout::I),
+        Just(IparsLayout::II),
+        Just(IparsLayout::III),
+        Just(IparsLayout::IV),
+        Just(IparsLayout::V),
+        Just(IparsLayout::VI),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    (
+        proptest::option::of(0i64..3),
+        0i64..6,
+        0i64..4,
+        proptest::option::of(0.0f64..1.0),
+        any::<bool>(),
+    )
+        .prop_map(|(rel_eq, time_lo, time_width, soil_gt, project_narrow)| QuerySpec {
+            rel_eq,
+            time_lo,
+            time_width,
+            soil_gt,
+            project_narrow,
+        })
+}
+
+proptest! {
+    // Each case generates a dataset on disk; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn virtualized_equals_oracle(cfg in arb_cfg(), layout in arb_layout(), q in arb_query()) {
+        let v = ipars_virtualizer(
+            &format!("prop-{}", std::thread::current().name().unwrap_or("t").len()),
+            &cfg,
+            layout,
+        );
+        let schema = v.schema().clone();
+
+        let mut conjuncts: Vec<String> = Vec::new();
+        if let Some(rel) = q.rel_eq {
+            conjuncts.push(format!("REL = {rel}"));
+        }
+        let (tlo, thi) = (q.time_lo, q.time_lo + q.time_width);
+        conjuncts.push(format!("TIME >= {tlo} AND TIME <= {thi}"));
+        if let Some(s) = q.soil_gt {
+            conjuncts.push(format!("SOIL > {s:.3}"));
+        }
+        let select = if q.project_narrow { "REL, TIME, X, SOIL" } else { "*" };
+        let sql = format!("SELECT {select} FROM IparsData WHERE {}", conjuncts.join(" AND "));
+
+        let (table, _) = v.query(&sql).unwrap();
+
+        let projection: Vec<&str> = if q.project_narrow {
+            vec!["REL", "TIME", "X", "SOIL"]
+        } else {
+            schema.attributes().iter().map(|a| a.name.as_str()).collect()
+        };
+        let soil_idx = schema.index_of("SOIL").unwrap();
+        let oracle = ipars_oracle(
+            &cfg,
+            &schema,
+            |row| {
+                let rel_ok = q.rel_eq.map(|r| row[0].as_f64() == r as f64).unwrap_or(true);
+                let t = row[1].as_f64();
+                let time_ok = t >= tlo as f64 && t <= thi as f64;
+                let soil_ok = q
+                    .soil_gt
+                    // Mirror the SQL literal's 3-decimal rounding.
+                    .map(|s| row[soil_idx].as_f64() > format!("{s:.3}").parse::<f64>().unwrap())
+                    .unwrap_or(true);
+                rel_ok && time_ok && soil_ok
+            },
+            &projection,
+        );
+
+        prop_assert!(
+            table.same_rows(&oracle),
+            "{} / {sql}: got {} rows, oracle {}",
+            layout.label(),
+            table.len(),
+            oracle.len()
+        );
+    }
+}
+
+/// Titan counterpart: random spatial boxes over a chunked dataset must
+/// return exactly the oracle rows — chunk pruning (R-tree + bounds
+/// refinement) must never lose a record on a chunk boundary.
+mod titan_boxes {
+    use super::proptest;
+    use proptest::prelude::*;
+
+    use dv_core::Virtualizer;
+    use dv_datagen::{titan, TitanConfig};
+    use dv_integration::scratch;
+    use dv_types::Table;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+        #[test]
+        fn titan_box_equals_oracle(
+            seed in 0u64..1000,
+            x0 in 0i64..50_000,
+            xw in 0i64..30_000,
+            y0 in 0i64..50_000,
+            yw in 0i64..30_000,
+            z0 in 0i64..500,
+            zw in 0i64..300,
+            nodes in 1usize..3,
+        ) {
+            let cfg = TitanConfig { points: 1500, tiles: (3, 3, 2), nodes, seed };
+            let base = scratch("prop-titan");
+            let descriptor = titan::generate(&base, &cfg).unwrap();
+            let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+
+            let (x1, y1, z1) = (x0 + xw, y0 + yw, z0 + zw);
+            let sql = format!(
+                "SELECT * FROM TitanData WHERE X >= {x0} AND X <= {x1} AND \
+                 Y >= {y0} AND Y <= {y1} AND Z >= {z0} AND Z <= {z1}"
+            );
+            let (table, _) = v.query(&sql).unwrap();
+
+            let mut oracle = Table::empty(v.schema().clone());
+            for row in cfg.all_rows() {
+                let (x, y, z) = (row[0].as_f64(), row[1].as_f64(), row[2].as_f64());
+                if x >= x0 as f64 && x <= x1 as f64
+                    && y >= y0 as f64 && y <= y1 as f64
+                    && z >= z0 as f64 && z <= z1 as f64
+                {
+                    oracle.rows.push(row);
+                }
+            }
+            prop_assert!(
+                table.same_rows(&oracle),
+                "box [{x0},{x1}]x[{y0},{y1}]x[{z0},{z1}]: got {} rows, oracle {}",
+                table.len(),
+                oracle.len()
+            );
+        }
+    }
+}
