@@ -16,14 +16,7 @@ use dv_index::Rect;
 use dv_layout::segment::LoadedChunkIndex;
 
 fn small_cfg() -> IparsConfig {
-    IparsConfig {
-        realizations: 2,
-        time_steps: 20,
-        grid_per_dir: 400,
-        dirs: 2,
-        nodes: 2,
-        seed: 99,
-    }
+    IparsConfig { realizations: 2, time_steps: 20, grid_per_dir: 400, dirs: 2, nodes: 2, seed: 99 }
 }
 
 fn bench_index_ablation(c: &mut Criterion) {
@@ -31,16 +24,13 @@ fn bench_index_ablation(c: &mut Criterion) {
     // the naive linear scan a DATAINDEX-less descriptor would force.
     let cfg = TitanConfig { points: 100_000, tiles: (16, 16, 8), nodes: 1, seed: 5 };
     let (base, _) = stage_titan("bench-ablation-titan", &cfg);
-    let (_, entries) =
-        dv_index::read_chunk_index(&base.join("tnode0/titan/titan.idx")).unwrap();
+    let (_, entries) = dv_index::read_chunk_index(&base.join("tnode0/titan/titan.idx")).unwrap();
     let attrs = vec!["X".to_string(), "Y".to_string(), "Z".to_string()];
     let loaded = LoadedChunkIndex::new(attrs, entries.clone());
     let query = Rect::new(vec![0.0, 0.0, 0.0], vec![8000.0, 8000.0, 100.0]);
 
     let mut group = c.benchmark_group("ablation-chunk-index");
-    group.bench_function("rtree", |b| {
-        b.iter(|| loaded.tree.query_collect(&query).len())
-    });
+    group.bench_function("rtree", |b| b.iter(|| loaded.tree.query_collect(&query).len()));
     group.bench_function("linear", |b| {
         b.iter(|| entries.iter().filter(|e| e.rect().intersects(&query)).count())
     });
@@ -92,9 +82,7 @@ fn bench_plan_cost(c: &mut Criterion) {
             .bind_sql("SELECT * FROM IparsData WHERE TIME > 5 AND TIME < 11 AND SOIL > 0.7")
             .unwrap();
         let compiled = v.server().compiled();
-        group.bench_function(name, |b| {
-            b.iter(|| compiled.plan_query(&bq).unwrap().planned_rows())
-        });
+        group.bench_function(name, |b| b.iter(|| compiled.plan_query(&bq).unwrap().planned_rows()));
     }
     group.finish();
 }

@@ -23,8 +23,7 @@ fn bench_fig10(c: &mut Criterion) {
             nodes,
             seed: 77,
         };
-        let (base, desc) =
-            stage_ipars(&format!("bench-fig10-n{nodes}"), &cfg, IparsLayout::L0);
+        let (base, desc) = stage_ipars(&format!("bench-fig10-n{nodes}"), &cfg, IparsLayout::L0);
         let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
         let opts = QueryOptions { sequential_nodes: true, ..Default::default() };
         group.bench_function(format!("simulated-max-node-{nodes}"), |b| {

@@ -12,14 +12,7 @@ use dv_handwritten::HandIparsL0;
 use dv_sql::{bind, parse, UdfRegistry};
 
 fn small_cfg() -> IparsConfig {
-    IparsConfig {
-        realizations: 2,
-        time_steps: 20,
-        grid_per_dir: 400,
-        dirs: 2,
-        nodes: 2,
-        seed: 99,
-    }
+    IparsConfig { realizations: 2, time_steps: 20, grid_per_dir: 400, dirs: 2, nodes: 2, seed: 99 }
 }
 
 fn bench_fig9(c: &mut Criterion) {
@@ -40,8 +33,7 @@ fn bench_fig9(c: &mut Criterion) {
     group.bench_function("hand-L0", |b| b.iter(|| hand.execute(&bq).unwrap().0.len()));
 
     for layout in IparsLayout::all() {
-        let (base, desc) =
-            stage_ipars(&format!("bench-fig9-{}", layout.tag()), &cfg, layout);
+        let (base, desc) = stage_ipars(&format!("bench-fig9-{}", layout.tag()), &cfg, layout);
         let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
         group.bench_function(format!("generated-{}", layout.tag()), |b| {
             b.iter(|| v.query(&q3.sql).unwrap().0.len())

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dv_datagen::{ipars, IparsConfig, IparsLayout};
-use dv_index::{Rect, RTree};
+use dv_index::{RTree, Rect};
 use dv_sql::analysis::attribute_ranges;
 use dv_sql::{bind, parse, UdfRegistry};
 use dv_types::{DataType, Value};
@@ -59,12 +59,9 @@ fn bench_rtree(c: &mut Criterion) {
     let tree = RTree::bulk_load(2, entries.clone());
     let query = Rect::new(vec![300.0, 300.0], vec![420.0, 420.0]);
     let mut group = c.benchmark_group("micro-rtree");
-    group.bench_function("bulk-load-10k", |b| {
-        b.iter(|| RTree::bulk_load(2, entries.clone()).len())
-    });
-    group.bench_function("query-selective", |b| {
-        b.iter(|| tree.query_collect(&query).len())
-    });
+    group
+        .bench_function("bulk-load-10k", |b| b.iter(|| RTree::bulk_load(2, entries.clone()).len()));
+    group.bench_function("query-selective", |b| b.iter(|| tree.query_collect(&query).len()));
     group.finish();
 }
 

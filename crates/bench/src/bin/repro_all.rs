@@ -13,9 +13,8 @@ fn main() {
     let dir = exe.parent().expect("bin dir");
     for fig in ["repro_fig6", "repro_fig9", "repro_fig10", "repro_fig11"] {
         println!("\n==================== {fig} ====================\n");
-        let status = Command::new(dir.join(fig))
-            .status()
-            .unwrap_or_else(|e| panic!("launch {fig}: {e}"));
+        let status =
+            Command::new(dir.join(fig)).status().unwrap_or_else(|e| panic!("launch {fig}: {e}"));
         if !status.success() {
             eprintln!("{fig} failed with {status}");
             std::process::exit(1);

@@ -24,11 +24,8 @@ fn main() {
     let dirs = 8;
     let grid = scaled(1250);
     let t = 40;
-    let sql = format!(
-        "SELECT * FROM IparsData WHERE TIME > {} AND TIME < {}",
-        t / 4,
-        t / 4 + t / 2 + 1
-    );
+    let sql =
+        format!("SELECT * FROM IparsData WHERE TIME > {} AND TIME < {}", t / 4, t / 4 + t / 2 + 1);
     println!("query: {sql}\n(processes half of every realization's time range)");
 
     let mut rows = Vec::new();
@@ -54,8 +51,7 @@ fn main() {
         });
 
         let hand = HandIparsL0::new(base.clone(), cfg.clone(), UdfRegistry::with_builtins());
-        let bq =
-            bind(&parse(&sql).unwrap(), v.schema(), &UdfRegistry::with_builtins()).unwrap();
+        let bq = bind(&parse(&sql).unwrap(), v.schema(), &UdfRegistry::with_builtins()).unwrap();
         let (hand_rows, hand_time) = dv_bench::min_over(3, || {
             let (table, _bytes, busy) = hand.execute_sequential(&bq).unwrap();
             (table.len(), busy.iter().copied().max().unwrap_or_default())

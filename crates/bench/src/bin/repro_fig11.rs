@@ -41,8 +41,7 @@ fn ipars_sweep() {
     let mut rows = Vec::new();
     for frac in [8usize, 4, 2, 1] {
         let width = t_max / frac;
-        let sql =
-            format!("SELECT * FROM IparsData WHERE TIME >= 1 AND TIME <= {width}");
+        let sql = format!("SELECT * FROM IparsData WHERE TIME >= 1 AND TIME <= {width}");
         let (gen_out, gen_time) = dv_bench::min_over(3, || {
             let (tables, stats) = v.query_with(&sql, &opts).unwrap();
             ((tables[0].len(), stats.bytes_read), stats.simulated_parallel_time())
@@ -71,12 +70,7 @@ fn ipars_sweep() {
 
 fn titan_sweep() {
     println!("\n# Figure 11(b) — Titan, time vs query size (1 node)\n");
-    let cfg = TitanConfig {
-        points: scaled(1_500_000),
-        tiles: (16, 16, 8),
-        nodes: 1,
-        seed: 60414,
-    };
+    let cfg = TitanConfig { points: scaled(1_500_000), tiles: (16, 16, 8), nodes: 1, seed: 60414 };
     let (base, desc) = stage_titan("fig6-titan", &cfg); // reuse the Figure 6 dataset
     dv_bench::warm_dir(&base);
     let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
@@ -99,7 +93,7 @@ fn titan_sweep() {
         });
         assert_eq!(hand_rows, gen_out.0);
         rows.push(vec![
-            format!("{side}²", ),
+            format!("{side}²",),
             gen_out.0.to_string(),
             format!("{}", gen_out.1 / (1024 * 1024)),
             ms(hand_time),

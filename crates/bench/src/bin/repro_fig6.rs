@@ -20,12 +20,7 @@ use dv_sql::UdfRegistry;
 use dv_types::Schema;
 
 fn main() {
-    let cfg = TitanConfig {
-        points: scaled(1_500_000),
-        tiles: (16, 16, 8),
-        nodes: 1,
-        seed: 60414,
-    };
+    let cfg = TitanConfig { points: scaled(1_500_000), tiles: (16, 16, 8), nodes: 1, seed: 60414 };
     let raw_mb = cfg.points as u64 * TitanConfig::record_bytes() / (1024 * 1024);
     println!("# Figure 6 — DBMS baseline vs automatic virtualization (Titan)\n");
     println!(
@@ -40,7 +35,10 @@ fn main() {
     let (v, compile_time) = time_best_of(1, || {
         Virtualizer::builder(&descriptor).storage_base(&base).build().expect("compile")
     });
-    println!("\nvirtualization setup: descriptor compiled in {} ms (data untouched)", ms(compile_time));
+    println!(
+        "\nvirtualization setup: descriptor compiled in {} ms (data untouched)",
+        ms(compile_time)
+    );
 
     // --- DBMS side: load + index ---
     let dbdir = base.join("minidb");
@@ -89,8 +87,10 @@ fn main() {
             ScanKind::Seq => "seq".to_string(),
             ScanKind::Index { attr } => format!("index({attr})"),
         };
-        let db_proj = db_time + std::time::Duration::from_secs_f64(db_stats.bytes_read as f64 / DISK_2003);
-        let dv_proj = dv_time + std::time::Duration::from_secs_f64(dv_stats.bytes_read as f64 / DISK_2003);
+        let db_proj =
+            db_time + std::time::Duration::from_secs_f64(db_stats.bytes_read as f64 / DISK_2003);
+        let dv_proj =
+            dv_time + std::time::Duration::from_secs_f64(dv_stats.bytes_read as f64 / DISK_2003);
         rows.push(vec![
             q.no.to_string(),
             q.what.to_string(),

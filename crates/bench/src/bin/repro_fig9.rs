@@ -90,11 +90,8 @@ fn main() {
     // Figure 9(a): the full scan alone; 9(b): queries 2–5.
     let mut table_rows = Vec::new();
     for (qi, q) in queries.iter().enumerate() {
-        let mut row = vec![
-            format!("{} ({})", q.no, q.what),
-            hand_rows[qi].to_string(),
-            ms(hand_times[qi]),
-        ];
+        let mut row =
+            vec![format!("{} ({})", q.no, q.what), hand_rows[qi].to_string(), ms(hand_times[qi])];
         for (_, times) in &columns {
             row.push(ms(times[qi]));
         }

@@ -4,7 +4,6 @@
 use std::path::PathBuf;
 
 use dv_datagen::{ipars, titan, IparsConfig, IparsLayout, TitanConfig};
-use serde::Serialize;
 
 /// Root directory for staged benchmark datasets.
 pub fn data_root() -> PathBuf {
@@ -18,34 +17,22 @@ pub fn data_root() -> PathBuf {
     }
 }
 
-#[derive(Serialize)]
-struct IparsMarker<'a> {
-    kind: &'a str,
-    layout: &'a str,
-    realizations: usize,
-    time_steps: usize,
-    grid_per_dir: usize,
-    dirs: usize,
-    nodes: usize,
-    seed: u64,
-}
-
 /// Stage an Ipars dataset; returns `(base_dir, descriptor_text)`.
 /// Regenerates only when the marker differs from `cfg`.
 pub fn stage_ipars(key: &str, cfg: &IparsConfig, layout: IparsLayout) -> (PathBuf, String) {
     let base = data_root().join(key);
     let marker_path = base.join("marker.json");
-    let marker = serde_json::to_string(&IparsMarker {
-        kind: "ipars",
-        layout: layout.tag(),
-        realizations: cfg.realizations,
-        time_steps: cfg.time_steps,
-        grid_per_dir: cfg.grid_per_dir,
-        dirs: cfg.dirs,
-        nodes: cfg.nodes,
-        seed: cfg.seed,
-    })
-    .unwrap();
+    let marker = format!(
+        "{{\"kind\":\"ipars\",\"layout\":\"{}\",\"realizations\":{},\"time_steps\":{},\
+         \"grid_per_dir\":{},\"dirs\":{},\"nodes\":{},\"seed\":{}}}",
+        layout.tag(),
+        cfg.realizations,
+        cfg.time_steps,
+        cfg.grid_per_dir,
+        cfg.dirs,
+        cfg.nodes,
+        cfg.seed,
+    );
     if std::fs::read_to_string(&marker_path).map(|m| m == marker).unwrap_or(false) {
         return (base, ipars::descriptor(cfg, layout));
     }
@@ -64,27 +51,14 @@ pub fn stage_ipars(key: &str, cfg: &IparsConfig, layout: IparsLayout) -> (PathBu
     (base, descriptor)
 }
 
-#[derive(Serialize)]
-struct TitanMarker<'a> {
-    kind: &'a str,
-    points: usize,
-    tiles: (usize, usize, usize),
-    nodes: usize,
-    seed: u64,
-}
-
 /// Stage a Titan dataset; returns `(base_dir, descriptor_text)`.
 pub fn stage_titan(key: &str, cfg: &TitanConfig) -> (PathBuf, String) {
     let base = data_root().join(key);
     let marker_path = base.join("marker.json");
-    let marker = serde_json::to_string(&TitanMarker {
-        kind: "titan",
-        points: cfg.points,
-        tiles: cfg.tiles,
-        nodes: cfg.nodes,
-        seed: cfg.seed,
-    })
-    .unwrap();
+    let marker = format!(
+        "{{\"kind\":\"titan\",\"points\":{},\"tiles\":[{},{},{}],\"nodes\":{},\"seed\":{}}}",
+        cfg.points, cfg.tiles.0, cfg.tiles.1, cfg.tiles.2, cfg.nodes, cfg.seed,
+    );
     if std::fs::read_to_string(&marker_path).map(|m| m == marker).unwrap_or(false) {
         return (base, titan::descriptor(cfg));
     }

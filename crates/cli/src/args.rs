@@ -29,10 +29,7 @@ pub fn parse(raw: &[String]) -> Result<Args, String> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             if VALUED.contains(&name) {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} requires a value"))?
-                    .clone();
+                let value = it.next().ok_or_else(|| format!("--{name} requires a value"))?.clone();
                 args.options.insert(name.to_string(), value);
             } else {
                 args.switches.push(name.to_string());

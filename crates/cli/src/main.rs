@@ -5,11 +5,16 @@
 //! datavirt schema   <descriptor>                      show the virtual table + file inventory
 //! datavirt fmt      <descriptor>                      print the canonical descriptor form
 //! datavirt validate <descriptor> --base <dir>         check files against the descriptor
+//! datavirt lint     <descriptor> [<SQL>]              static analysis: DV0xx/DV1xx diagnostics
 //! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats]
 //! datavirt explain  <descriptor> --base <dir> <SQL>   show the AFC schedule
 //! datavirt codegen  <descriptor> --base <dir>         render the generated index/extractor functions
 //! datavirt generate ipars|titan --out <dir> [--layout l0..l6] [--scale N]
 //! ```
+//!
+//! `query` and `explain` accept `--deny-warnings` to refuse execution
+//! when the lint pass reports anything; `lint --deny-warnings` turns
+//! warnings into a failing exit code (for CI).
 
 mod args;
 
@@ -46,8 +51,9 @@ USAGE:
   datavirt schema   <descriptor>
   datavirt fmt      <descriptor>
   datavirt validate <descriptor> --base <dir>
-  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats]
-  datavirt explain  <descriptor> --base <dir> \"<SQL>\"
+  datavirt lint     <descriptor> [\"<SQL>\"] [--deny-warnings]
+  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--deny-warnings]
+  datavirt explain  <descriptor> --base <dir> \"<SQL>\" [--deny-warnings]
   datavirt codegen  <descriptor> --base <dir>
   datavirt generate <ipars|titan> --out <dir> [--layout <l0..l6>] [--scale <1..>]
 ";
@@ -57,6 +63,7 @@ fn run(a: &args::Args) -> Result<ExitCode, String> {
         "schema" => cmd_schema(a),
         "fmt" => cmd_fmt(a),
         "validate" => cmd_validate(a),
+        "lint" => cmd_lint(a),
         "query" => cmd_query(a),
         "explain" => cmd_explain(a),
         "codegen" => cmd_codegen(a),
@@ -73,10 +80,7 @@ fn read_descriptor(a: &args::Args) -> Result<String, String> {
 fn virtualizer(a: &args::Args) -> Result<Virtualizer, String> {
     let text = read_descriptor(a)?;
     let base = a.required("base")?;
-    Virtualizer::builder(&text)
-        .storage_base(base)
-        .build()
-        .map_err(|e| e.to_string())
+    Virtualizer::builder(&text).storage_base(base).build().map_err(|e| e.to_string())
 }
 
 fn cmd_schema(a: &args::Args) -> Result<ExitCode, String> {
@@ -88,7 +92,7 @@ fn cmd_schema(a: &args::Args) -> Result<ExitCode, String> {
     println!("nodes    : {}", model.nodes.join(", "));
     println!("files    : {}", model.files.len());
     println!();
-    println!("{:<12}{}", "attribute", "type");
+    println!("{:<12}type", "attribute");
     for attr in model.schema.attributes() {
         println!("{:<12}{}", attr.name, attr.dtype);
     }
@@ -139,13 +143,67 @@ fn cmd_validate(a: &args::Args) -> Result<ExitCode, String> {
     }
 }
 
+/// Collect every lint diagnostic for the descriptor (and SQL, when
+/// given), already rendered against the right source text.
+fn collect_lints(
+    text: &str,
+    origin: &str,
+    sql: Option<&str>,
+) -> Result<(Vec<dv_lint::Diagnostic>, String), String> {
+    let mut diags = dv_lint::lint_descriptor(text).map_err(|e| e.to_string())?;
+    let mut rendered: Vec<String> = diags.iter().map(|d| d.render(text, origin)).collect();
+    if let Some(sql) = sql {
+        let model = dv_descriptor::compile(text).map_err(|e| e.to_string())?;
+        let udfs = dv_sql::UdfRegistry::with_builtins();
+        let qdiags = dv_lint::lint_query(&model, sql, &udfs).map_err(|e| e.to_string())?;
+        rendered.extend(qdiags.iter().map(|d| d.render(sql, "<query>")));
+        diags.extend(qdiags);
+    }
+    Ok((diags, rendered.join("\n")))
+}
+
+fn cmd_lint(a: &args::Args) -> Result<ExitCode, String> {
+    let path = a.positional(0, "descriptor")?.to_string();
+    let text = read_descriptor(a)?;
+    let sql = a.positionals.get(1).map(|s| s.as_str());
+    let (diags, rendered) = collect_lints(&text, &path, sql)?;
+    if diags.is_empty() {
+        println!("ok: no diagnostics");
+        return Ok(ExitCode::SUCCESS);
+    }
+    print!("{rendered}");
+    let errors = diags.iter().filter(|d| d.severity == dv_lint::Severity::Error).count();
+    let warnings = diags.len() - errors;
+    println!("\n{warnings} warning(s), {errors} error(s)");
+    if errors > 0 || (warnings > 0 && a.has("deny-warnings")) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `--deny-warnings` pre-flight for query/explain: refuse to run when
+/// the lint pass reports anything about the descriptor or the SQL.
+fn preflight_lint(a: &args::Args, sql: &str) -> Result<(), String> {
+    if !a.has("deny-warnings") {
+        return Ok(());
+    }
+    let path = a.positional(0, "descriptor")?.to_string();
+    let text = read_descriptor(a)?;
+    let (diags, rendered) = collect_lints(&text, &path, Some(sql))?;
+    if diags.is_empty() {
+        return Ok(());
+    }
+    Err(format!("{rendered}\nrefusing to run: {} diagnostic(s) with --deny-warnings", diags.len()))
+}
+
 fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
+    let sql = a.positional(1, "SQL")?.to_string();
+    preflight_lint(a, &sql)?;
     let v = virtualizer(a)?;
-    let sql = a.positional(1, "SQL")?;
-    let limit: usize = a
-        .option_or("limit", "0")
-        .parse()
-        .map_err(|_| "--limit must be an integer".to_string())?;
+    let sql = sql.as_str();
+    let limit: usize =
+        a.option_or("limit", "0").parse().map_err(|_| "--limit must be an integer".to_string())?;
     let (table, stats) = v.query(sql).map_err(|e| e.to_string())?;
     match a.option_or("format", "table") {
         "csv" => {
@@ -194,9 +252,10 @@ fn limited(rows: &[dv_core::Row], limit: usize) -> &[dv_core::Row] {
 }
 
 fn cmd_explain(a: &args::Args) -> Result<ExitCode, String> {
+    let sql = a.positional(1, "SQL")?.to_string();
+    preflight_lint(a, &sql)?;
     let v = virtualizer(a)?;
-    let sql = a.positional(1, "SQL")?;
-    print!("{}", v.explain(sql).map_err(|e| e.to_string())?);
+    print!("{}", v.explain(&sql).map_err(|e| e.to_string())?);
     Ok(ExitCode::SUCCESS)
 }
 
@@ -209,10 +268,8 @@ fn cmd_codegen(a: &args::Args) -> Result<ExitCode, String> {
 fn cmd_generate(a: &args::Args) -> Result<ExitCode, String> {
     let kind = a.positional(0, "dataset kind (ipars|titan)")?;
     let out = std::path::PathBuf::from(a.required("out")?);
-    let scale: usize = a
-        .option_or("scale", "1")
-        .parse()
-        .map_err(|_| "--scale must be an integer".to_string())?;
+    let scale: usize =
+        a.option_or("scale", "1").parse().map_err(|_| "--scale must be an integer".to_string())?;
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     match kind {
         "ipars" => {
@@ -253,8 +310,7 @@ fn cmd_generate(a: &args::Args) -> Result<ExitCode, String> {
                 nodes: 1,
                 seed: 42,
             };
-            let descriptor =
-                dv_datagen::titan::generate(&out, &cfg).map_err(|e| e.to_string())?;
+            let descriptor = dv_datagen::titan::generate(&out, &cfg).map_err(|e| e.to_string())?;
             let desc_path = out.join("titan.desc");
             std::fs::write(&desc_path, &descriptor).map_err(|e| e.to_string())?;
             println!(

@@ -36,8 +36,8 @@ use crate::hash::{combine, uniform};
 
 /// The 17 per-cell variables, in schema order after X/Y/Z.
 pub const VARS: [&str; 17] = [
-    "SOIL", "SGAS", "SWAT", "OILVX", "OILVY", "OILVZ", "GASVX", "GASVY", "GASVZ", "WATVX",
-    "WATVY", "WATVZ", "POIL", "PGAS", "PWAT", "COIL", "CGAS",
+    "SOIL", "SGAS", "SWAT", "OILVX", "OILVY", "OILVZ", "GASVX", "GASVY", "GASVZ", "WATVX", "WATVY",
+    "WATVZ", "POIL", "PGAS", "PWAT", "COIL", "CGAS",
 ];
 
 /// Variable groups for layouts V/VI (3+3+3+3+3+2).
@@ -125,14 +125,7 @@ pub struct IparsConfig {
 impl IparsConfig {
     /// A tiny configuration for unit tests (48 logical rows).
     pub fn tiny() -> IparsConfig {
-        IparsConfig {
-            realizations: 2,
-            time_steps: 3,
-            grid_per_dir: 4,
-            dirs: 2,
-            nodes: 2,
-            seed: 7,
-        }
+        IparsConfig { realizations: 2, time_steps: 3, grid_per_dir: 4, dirs: 2, nodes: 2, seed: 7 }
     }
 
     /// Total logical rows of the virtual table.
@@ -186,15 +179,15 @@ impl IparsConfig {
     pub fn all_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
         let total_grid = (self.grid_per_dir * self.dirs) as u64;
         (0..self.realizations as u64).flat_map(move |rel| {
-            (1..=self.time_steps as u64).flat_map(move |t| {
-                (1..=total_grid).map(move |g| self.row_at(rel, t, g))
-            })
+            (1..=self.time_steps as u64)
+                .flat_map(move |t| (1..=total_grid).map(move |g| self.row_at(rel, t, g)))
         })
     }
 
     /// The schema component shared by all layouts.
     pub fn schema_text(&self) -> String {
-        let mut s = String::from("[IPARS]\nREL = short int\nTIME = int\nX = float\nY = float\nZ = float\n");
+        let mut s =
+            String::from("[IPARS]\nREL = short int\nTIME = int\nX = float\nY = float\nZ = float\n");
         for v in VARS {
             let _ = writeln!(s, "{v} = float");
         }
@@ -230,7 +223,7 @@ struct DirCtx {
 /// Generate the dataset in `layout` under `base` and return the
 /// descriptor text. Files land in `base/osu<node>/ipars.<tag>.d<dir>/`.
 pub fn generate(base: &Path, cfg: &IparsConfig, layout: IparsLayout) -> Result<String> {
-    if cfg.dirs % cfg.nodes != 0 {
+    if !cfg.dirs.is_multiple_of(cfg.nodes) {
         return Err(DvError::Runtime(format!(
             "ipars: dirs ({}) must be a multiple of nodes ({})",
             cfg.dirs, cfg.nodes

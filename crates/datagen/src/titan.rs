@@ -135,7 +135,8 @@ pub fn generate(base: &Path, cfg: &TitanConfig) -> Result<String> {
         fs::create_dir_all(&dir).map_err(|e| DvError::io(dir.display().to_string(), e))?;
         let data_path = dir.join("titan.dat");
         let mut w = BufWriter::new(
-            File::create(&data_path).map_err(|e| DvError::io(data_path.display().to_string(), e))?,
+            File::create(&data_path)
+                .map_err(|e| DvError::io(data_path.display().to_string(), e))?,
         );
         let mut entries: Vec<ChunkIndexEntry> = Vec::new();
         let mut offset = 0u64;
@@ -238,8 +239,7 @@ mod tests {
         let cfg = TitanConfig::tiny();
         let base = tmpbase("cover");
         generate(&base, &cfg).unwrap();
-        let (dims, entries) =
-            read_chunk_index(&base.join("tnode0/titan/titan.idx")).unwrap();
+        let (dims, entries) = read_chunk_index(&base.join("tnode0/titan/titan.idx")).unwrap();
         assert_eq!(dims, 3);
         let total: u64 = entries.iter().map(|e| e.rows).sum();
         assert_eq!(total, cfg.points as u64);

@@ -1,6 +1,12 @@
 //! Abstract syntax of the three descriptor components.
+//!
+//! Nodes carry [`Span`]s pointing back at the descriptor source so
+//! that semantic checks and `dv lint` diagnostics can render the
+//! offending region. Spans never participate in equality (see
+//! [`Span`]), so comparing an AST against the re-parse of its
+//! pretty-printed form still works.
 
-use dv_types::DataType;
+use dv_types::{DataType, Span};
 
 use crate::expr::Expr;
 
@@ -17,7 +23,10 @@ pub struct DescriptorAst {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchemaAst {
     pub name: String,
-    pub attrs: Vec<(String, DataType)>,
+    /// Span of the `[NAME]` header.
+    pub name_span: Span,
+    /// `(attr, type, span of the declaration)` in declaration order.
+    pub attrs: Vec<(String, DataType, Span)>,
 }
 
 /// Component II — Dataset Storage Description.
@@ -39,19 +48,23 @@ pub struct DirAst {
     pub node: String,
     /// Directory path on that node (remaining segments).
     pub path: String,
+    /// Span of the whole `DIR[i] = node/path` line.
+    pub span: Span,
 }
 
 /// Component III — one `DATASET "name" { ... }` block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetAst {
     pub name: String,
+    /// Span of the dataset name in the `DATASET "name"` header.
+    pub name_span: Span,
     /// `DATATYPE { SCHEMA }` reference, if present.
     pub schema_ref: Option<String>,
     /// `DATATYPE { NAME = type ... }` — auxiliary attributes stored in
     /// files but absent from the virtual table (chunk headers, padding).
-    pub extra_attrs: Vec<(String, DataType)>,
-    /// `DATAINDEX { ... }` attribute names.
-    pub index_attrs: Vec<String>,
+    pub extra_attrs: Vec<(String, DataType, Span)>,
+    /// `DATAINDEX { ... }` attribute names with their spans.
+    pub index_attrs: Vec<(String, Span)>,
     /// `DATASPACE { ... }` — present on leaf datasets only.
     pub dataspace: Option<Vec<SpaceItem>>,
     /// `DATA { ... }` contents.
@@ -77,13 +90,25 @@ pub enum DataAst {
 pub enum SpaceItem {
     /// `LOOP VAR lo:hi:step { ... }` — inclusive bounds, as in the
     /// paper's Figure 4 (`LOOP TIME 1:500:1` iterates 500 times).
-    Loop { var: String, lo: Expr, hi: Expr, step: Expr, body: Vec<SpaceItem> },
-    /// A run of attribute names stored contiguously per iteration.
-    Attrs(Vec<String>),
+    /// `span` covers the `LOOP VAR lo:hi:step` header.
+    Loop { var: String, lo: Expr, hi: Expr, step: Expr, body: Vec<SpaceItem>, span: Span },
+    /// A run of attribute names stored contiguously per iteration,
+    /// each with the span of its occurrence.
+    Attrs(Vec<(String, Span)>),
     /// `CHUNKED INDEXFILE "template" { attrs }` — variable-length
     /// chunks of records described by an external index file (our
     /// extension for the Titan satellite layout, see DESIGN.md).
-    Chunked { index_template: PathTemplate, attrs: Vec<String> },
+    Chunked { index_template: PathTemplate, attrs: Vec<(String, Span)>, span: Span },
+}
+
+impl SpaceItem {
+    /// Source span of the item (joined attr spans for a run).
+    pub fn span(&self) -> Span {
+        match self {
+            SpaceItem::Loop { span, .. } | SpaceItem::Chunked { span, .. } => *span,
+            SpaceItem::Attrs(attrs) => attrs.iter().fold(Span::DUMMY, |acc, (_, s)| acc.to(*s)),
+        }
+    }
 }
 
 /// A file path template: a dir reference plus name parts with embedded
@@ -144,6 +169,8 @@ pub struct FileBinding {
     pub template: PathTemplate,
     /// `(var, lo, hi, step)` — inclusive, like loop bounds.
     pub ranges: Vec<(String, Expr, Expr, Expr)>,
+    /// Span from the file template through the last range.
+    pub span: Span,
 }
 
 #[cfg(test)]
@@ -166,10 +193,7 @@ mod tests {
 
     #[test]
     fn render_unbound_fails() {
-        let t = PathTemplate {
-            dir_index: Expr::Int(0),
-            name: vec![NamePart::Var("REL".into())],
-        };
+        let t = PathTemplate { dir_index: Expr::Int(0), name: vec![NamePart::Var("REL".into())] };
         assert!(t.render_name(&Env::new()).is_err());
     }
 }

@@ -127,11 +127,7 @@ mod tests {
     #[test]
     fn paper_loop_bound() {
         // $DIRID*100+1 with DIRID=2 → 201.
-        let e = bin(
-            Op::Add,
-            bin(Op::Mul, Expr::Var("DIRID".into()), Expr::Int(100)),
-            Expr::Int(1),
-        );
+        let e = bin(Op::Add, bin(Op::Mul, Expr::Var("DIRID".into()), Expr::Int(100)), Expr::Int(1));
         assert_eq!(e.eval(&env(&[("DIRID", 2)])).unwrap(), 201);
     }
 

@@ -10,7 +10,7 @@
 //! word, so `$DIRID*100` inside a loop bound lexes as `Var(DIRID)`,
 //! `*`, `Int(100)`.
 
-use dv_types::{DvError, Result};
+use dv_types::{DvError, Result, Span};
 
 use crate::token::{Token, TokenKind};
 
@@ -39,9 +39,11 @@ impl<'a> Lexer<'a> {
         let mut out = Vec::new();
         loop {
             self.skip_ws_and_comments();
+            let start = self.pos;
             let (line, column) = (self.line, self.column);
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, line, column });
+                let span = Span::new(start, start);
+                out.push(Token { kind: TokenKind::Eof, span, line, column });
                 return Ok(out);
             };
             let kind = match c {
@@ -67,11 +69,9 @@ impl<'a> Lexer<'a> {
                 }
                 b'0'..=b'9' => self.integer()?,
                 c if is_word_start(c) => self.word_or_path()?,
-                other => {
-                    return Err(self.err(format!("unexpected character `{}`", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
             };
-            out.push(Token { kind, line, column });
+            out.push(Token { kind, span: Span::new(start, self.pos), line, column });
         }
     }
 
@@ -206,10 +206,7 @@ impl<'a> Lexer<'a> {
                 }
                 // Path separator followed by a word char or `$`.
                 Some(b'/')
-                    if self
-                        .peek_at(1)
-                        .map(|c| is_word_char(c) || c == b'$')
-                        .unwrap_or(false) =>
+                    if self.peek_at(1).map(|c| is_word_char(c) || c == b'$').unwrap_or(false) =>
                 {
                     self.advance();
                     is_path = true;
@@ -222,9 +219,7 @@ impl<'a> Lexer<'a> {
                     self.consume_name_run();
                 }
                 // Dotted file extension: `titan.idx`.
-                Some(b'.')
-                    if self.peek_at(1).map(is_word_char).unwrap_or(false) =>
-                {
+                Some(b'.') if self.peek_at(1).map(is_word_char).unwrap_or(false) => {
                     self.advance();
                     is_path = true;
                     self.consume_name_run();
@@ -293,7 +288,10 @@ mod tests {
 
     #[test]
     fn section_header() {
-        assert_eq!(kinds("[IPARS]"), vec![K::LBracket, K::Word("IPARS".into()), K::RBracket, K::Eof]);
+        assert_eq!(
+            kinds("[IPARS]"),
+            vec![K::LBracket, K::Word("IPARS".into()), K::RBracket, K::Eof]
+        );
     }
 
     #[test]

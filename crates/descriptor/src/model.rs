@@ -102,10 +102,7 @@ impl ResolvedItem {
 
 /// Total byte size of a resolved item sequence (`None` if any item is
 /// data-dependent).
-pub fn items_byte_size(
-    items: &[ResolvedItem],
-    attr_sizes: &HashMap<String, usize>,
-) -> Option<u64> {
+pub fn items_byte_size(items: &[ResolvedItem], attr_sizes: &HashMap<String, usize>) -> Option<u64> {
     let mut total = 0u64;
     for item in items {
         total += item.byte_size(attr_sizes)?;

@@ -5,7 +5,7 @@
 //! case-insensitively against words, so attribute names are never
 //! reserved. See the crate docs for the full grammar by example.
 
-use dv_types::{DataType, DvError, Result};
+use dv_types::{DataType, DvError, Result, Span};
 
 use crate::ast::{
     DataAst, DatasetAst, DescriptorAst, DirAst, FileBinding, NamePart, PathTemplate, SchemaAst,
@@ -47,6 +47,16 @@ impl Parser {
             self.pos += 1;
         }
         t
+    }
+
+    /// Span of the current (not yet consumed) token.
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    /// Span of the most recently consumed token.
+    fn last_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
     }
 
     fn err(&self, message: impl Into<String>) -> DvError {
@@ -113,22 +123,26 @@ impl Parser {
     // ----- Component I: schema -----
 
     fn schema_section(&mut self) -> Result<SchemaAst> {
+        let header_start = self.span();
         self.expect(TokenKind::LBracket)?;
         let name = self.word()?;
         self.expect(TokenKind::RBracket)?;
+        let name_span = header_start.to(self.last_span());
         let mut attrs = Vec::new();
         while let TokenKind::Word(attr) = self.peek().clone() {
             if *self.peek2() != TokenKind::Equals {
                 break;
             }
+            let attr_start = self.span();
             self.advance(); // attr name
             self.advance(); // '='
-            attrs.push((attr, self.type_name()?));
+            let ty = self.type_name()?;
+            attrs.push((attr, ty, attr_start.to(self.last_span())));
         }
         if attrs.is_empty() {
             return Err(self.err(format!("schema `{name}` declares no attributes")));
         }
-        Ok(SchemaAst { name, attrs })
+        Ok(SchemaAst { name, name_span, attrs })
     }
 
     /// One- or two-word C-style type name (`int`, `short int`). The
@@ -166,12 +180,12 @@ impl Parser {
         self.expect(TokenKind::Equals)?;
         let schema_name = self.word()?;
         let mut dirs = Vec::new();
-        loop {
-            let TokenKind::Path(p) = self.peek().clone() else { break };
+        while let TokenKind::Path(p) = self.peek().clone() {
             let upper = p.to_ascii_uppercase();
             if !upper.starts_with("DIR[") {
                 break;
             }
+            let dir_start = self.span();
             self.advance();
             let idx_text = &p[4..p.len() - 1];
             let index: usize = idx_text.parse().map_err(|_| {
@@ -187,7 +201,7 @@ impl Parser {
                 Some((n, rest)) => (n.to_string(), rest.to_string()),
                 None => (target.clone(), String::new()),
             };
-            dirs.push(DirAst { index, node, path });
+            dirs.push(DirAst { index, node, path, span: dir_start.to(self.last_span()) });
         }
         if dirs.is_empty() {
             return Err(self.err("storage section lists no DIR entries"));
@@ -212,10 +226,12 @@ impl Parser {
         if !self.eat_keyword("DATASET") {
             return Err(self.err(format!("expected `DATASET`, found `{}`", self.peek())));
         }
+        let name_span = self.span();
         let name = self.name()?;
         self.expect(TokenKind::LBrace)?;
         let mut ds = DatasetAst {
             name,
+            name_span,
             schema_ref: None,
             extra_attrs: Vec::new(),
             index_attrs: Vec::new(),
@@ -235,7 +251,7 @@ impl Parser {
                 self.advance();
                 self.expect(TokenKind::LBrace)?;
                 while let TokenKind::Word(w) = self.peek().clone() {
-                    ds.index_attrs.push(w);
+                    ds.index_attrs.push((w, self.span()));
                     self.advance();
                     if *self.peek() == TokenKind::Comma {
                         self.advance();
@@ -248,10 +264,9 @@ impl Parser {
                 let items = self.space_items()?;
                 self.expect(TokenKind::RBrace)?;
                 if ds.dataspace.is_some() {
-                    return Err(self.err(format!(
-                        "dataset `{}` has more than one DATASPACE",
-                        ds.name
-                    )));
+                    return Err(
+                        self.err(format!("dataset `{}` has more than one DATASPACE", ds.name))
+                    );
                 }
                 ds.dataspace = Some(items);
             } else if self.at_keyword("DATA") {
@@ -282,10 +297,11 @@ impl Parser {
                 TokenKind::Word(w) => {
                     if *self.peek2() == TokenKind::Equals {
                         // New auxiliary attribute definition.
+                        let attr_start = self.span();
                         self.advance();
                         self.advance();
                         let ty = self.type_name()?;
-                        ds.extra_attrs.push((w, ty));
+                        ds.extra_attrs.push((w, ty, attr_start.to(self.last_span())));
                     } else {
                         // Schema reference.
                         if ds.schema_ref.is_some() {
@@ -317,6 +333,7 @@ impl Parser {
         }
         let mut bindings = Vec::new();
         while let TokenKind::Path(p) = self.peek().clone() {
+            let binding_start = self.span();
             self.advance();
             let template = parse_path_template(&p)
                 .map_err(|m| self.err(format!("invalid file template `{p}`: {m}")))?;
@@ -334,7 +351,8 @@ impl Parser {
                 let step = self.expr()?;
                 ranges.push((var, lo, hi, step));
             }
-            bindings.push(FileBinding { template, ranges });
+            let span = binding_start.to(self.last_span());
+            bindings.push(FileBinding { template, ranges, span });
         }
         if bindings.is_empty() {
             return Err(self.err(
@@ -352,6 +370,7 @@ impl Parser {
                 return Ok(items);
             }
             if self.at_keyword("LOOP") {
+                let loop_start = self.span();
                 self.advance();
                 let var = self.word()?;
                 let lo = self.expr()?;
@@ -359,11 +378,13 @@ impl Parser {
                 let hi = self.expr()?;
                 self.expect(TokenKind::Colon)?;
                 let step = self.expr()?;
+                let span = loop_start.to(self.last_span());
                 self.expect(TokenKind::LBrace)?;
                 let body = self.space_items()?;
                 self.expect(TokenKind::RBrace)?;
-                items.push(SpaceItem::Loop { var, lo, hi, step, body });
+                items.push(SpaceItem::Loop { var, lo, hi, step, body, span });
             } else if self.at_keyword("CHUNKED") {
+                let chunked_start = self.span();
                 self.advance();
                 if !self.eat_keyword("INDEXFILE") {
                     return Err(self.err("expected `INDEXFILE` after `CHUNKED`"));
@@ -383,7 +404,7 @@ impl Parser {
                 self.expect(TokenKind::LBrace)?;
                 let mut attrs = Vec::new();
                 while let TokenKind::Word(w) = self.peek().clone() {
-                    attrs.push(w);
+                    attrs.push((w, self.span()));
                     self.advance();
                     if *self.peek() == TokenKind::Comma {
                         self.advance();
@@ -393,7 +414,8 @@ impl Parser {
                 if attrs.is_empty() {
                     return Err(self.err("CHUNKED layout lists no attributes"));
                 }
-                items.push(SpaceItem::Chunked { index_template, attrs });
+                let span = chunked_start.to(self.last_span());
+                items.push(SpaceItem::Chunked { index_template, attrs, span });
             } else if let TokenKind::Word(_) = self.peek() {
                 let mut attrs = Vec::new();
                 while let TokenKind::Word(w) = self.peek().clone() {
@@ -401,7 +423,7 @@ impl Parser {
                     if w.eq_ignore_ascii_case("LOOP") || w.eq_ignore_ascii_case("CHUNKED") {
                         break;
                     }
-                    attrs.push(w);
+                    attrs.push((w, self.span()));
                     self.advance();
                     if *self.peek() == TokenKind::Comma {
                         self.advance();
@@ -491,14 +513,14 @@ fn parse_path_template(text: &str) -> std::result::Result<PathTemplate, String> 
     let dir_index = if let Some(var) = idx_text.strip_prefix('$') {
         Expr::Var(var.to_string())
     } else {
-        Expr::Int(idx_text.parse::<i64>().map_err(|_| {
-            format!("dir index must be an integer or `$var`, got `{idx_text}`")
-        })?)
+        Expr::Int(
+            idx_text
+                .parse::<i64>()
+                .map_err(|_| format!("dir index must be an integer or `$var`, got `{idx_text}`"))?,
+        )
     };
     let rest = &text[close + 1..];
-    let rest = rest
-        .strip_prefix('/')
-        .ok_or_else(|| "expected `/` after `DIR[...]`".to_string())?;
+    let rest = rest.strip_prefix('/').ok_or_else(|| "expected `/` after `DIR[...]`".to_string())?;
     if rest.is_empty() {
         return Err("empty file name after `DIR[...]/`".into());
     }
@@ -583,7 +605,7 @@ DATASET "IparsData" {
         let d = parse_descriptor(FIGURE4).unwrap();
         assert_eq!(d.schema.name, "IPARS");
         assert_eq!(d.schema.attrs.len(), 7);
-        assert_eq!(d.schema.attrs[0], ("REL".to_string(), DataType::Short));
+        assert_eq!(d.schema.attrs[0], ("REL".to_string(), DataType::Short, Span::DUMMY));
         assert_eq!(d.storage.dataset_name, "IparsData");
         assert_eq!(d.storage.schema_name, "IPARS");
         assert_eq!(d.storage.dirs.len(), 4);
@@ -592,7 +614,11 @@ DATASET "IparsData" {
 
         assert_eq!(d.layout.name, "IparsData");
         assert_eq!(d.layout.schema_ref.as_deref(), Some("IPARS"));
-        assert_eq!(d.layout.index_attrs, vec!["REL", "TIME"]);
+        let index_names: Vec<&str> = d.layout.index_attrs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(index_names, vec!["REL", "TIME"]);
+        // Spans point at the attribute names inside DATAINDEX.
+        let (_, rel_span) = &d.layout.index_attrs[0];
+        assert_eq!(&FIGURE4[rel_span.start..rel_span.end], "REL");
         assert_eq!(d.layout.data, DataAst::Nested(vec!["ipars1".into(), "ipars2".into()]));
         assert_eq!(d.layout.children.len(), 2);
 
@@ -604,7 +630,11 @@ DATASET "IparsData" {
                 assert_eq!(var, "GRID");
                 assert_eq!(
                     body[0],
-                    SpaceItem::Attrs(vec!["X".into(), "Y".into(), "Z".into()])
+                    SpaceItem::Attrs(vec![
+                        ("X".to_string(), Span::DUMMY),
+                        ("Y".to_string(), Span::DUMMY),
+                        ("Z".to_string(), Span::DUMMY),
+                    ])
                 );
             }
             other => panic!("expected LOOP, got {other:?}"),
@@ -667,8 +697,9 @@ DATASET "TitanData" {
         let chunks = &d.layout.children[0];
         let space = chunks.dataspace.as_ref().unwrap();
         match &space[0] {
-            SpaceItem::Chunked { attrs, index_template } => {
-                assert_eq!(attrs, &vec!["X".to_string(), "S1".to_string()]);
+            SpaceItem::Chunked { attrs, index_template, .. } => {
+                let names: Vec<&str> = attrs.iter().map(|(n, _)| n.as_str()).collect();
+                assert_eq!(names, vec!["X", "S1"]);
                 assert_eq!(index_template.name, vec![NamePart::Text("titan.idx".into())]);
             }
             other => panic!("expected CHUNKED, got {other:?}"),
@@ -698,11 +729,14 @@ DATASET "D" {
         assert_eq!(d.layout.schema_ref.as_deref(), Some("S"));
         assert_eq!(
             d.layout.extra_attrs,
-            vec![("PAD".to_string(), DataType::Int), ("HDR".to_string(), DataType::Long)]
+            vec![
+                ("PAD".to_string(), DataType::Int, Span::DUMMY),
+                ("HDR".to_string(), DataType::Long, Span::DUMMY),
+            ]
         );
         let leaf = &d.layout.children[0];
         let space = leaf.dataspace.as_ref().unwrap();
-        assert_eq!(space[0], SpaceItem::Attrs(vec!["HDR".into()]));
+        assert_eq!(space[0], SpaceItem::Attrs(vec![("HDR".to_string(), Span::DUMMY)]));
     }
 
     #[test]
@@ -726,9 +760,7 @@ DATASET "D" {
 "#;
         let d = parse_descriptor(text).unwrap();
         let leaf = &d.layout.children[0];
-        let SpaceItem::Loop { lo, hi, .. } = &leaf.dataspace.as_ref().unwrap()[0] else {
-            panic!()
-        };
+        let SpaceItem::Loop { lo, hi, .. } = &leaf.dataspace.as_ref().unwrap()[0] else { panic!() };
         let env = crate::expr::Env::new();
         assert_eq!(lo.eval(&env).unwrap(), -5);
         assert_eq!(hi.eval(&env).unwrap(), 10);

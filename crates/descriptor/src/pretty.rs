@@ -20,7 +20,7 @@ pub fn render(ast: &DescriptorAst) -> String {
 
     // Component I — schema.
     let _ = writeln!(out, "[{}]", ast.schema.name);
-    for (name, ty) in &ast.schema.attrs {
+    for (name, ty, _) in &ast.schema.attrs {
         let _ = writeln!(out, "{name} = {}", ty.descriptor_name());
     }
     out.push('\n');
@@ -58,14 +58,15 @@ fn render_dataset(out: &mut String, ds: &DatasetAst, depth: usize) {
         if let Some(r) = &ds.schema_ref {
             let _ = write!(out, " {r}");
         }
-        for (name, ty) in &ds.extra_attrs {
+        for (name, ty, _) in &ds.extra_attrs {
             let _ = write!(out, " {name} = {}", ty.descriptor_name());
         }
         out.push_str(" }\n");
     }
     if !ds.index_attrs.is_empty() {
         indent(out, depth + 1);
-        let _ = writeln!(out, "DATAINDEX {{ {} }}", ds.index_attrs.join(" "));
+        let names: Vec<&str> = ds.index_attrs.iter().map(|(n, _)| n.as_str()).collect();
+        let _ = writeln!(out, "DATAINDEX {{ {} }}", names.join(" "));
     }
     if let Some(space) = &ds.dataspace {
         indent(out, depth + 1);
@@ -103,9 +104,10 @@ fn render_item(out: &mut String, item: &SpaceItem, depth: usize) {
     match item {
         SpaceItem::Attrs(attrs) => {
             indent(out, depth);
-            let _ = writeln!(out, "{}", attrs.join(" "));
+            let names: Vec<&str> = attrs.iter().map(|(n, _)| n.as_str()).collect();
+            let _ = writeln!(out, "{}", names.join(" "));
         }
-        SpaceItem::Loop { var, lo, hi, step, body } => {
+        SpaceItem::Loop { var, lo, hi, step, body, .. } => {
             indent(out, depth);
             let _ = writeln!(
                 out,
@@ -120,13 +122,14 @@ fn render_item(out: &mut String, item: &SpaceItem, depth: usize) {
             indent(out, depth);
             out.push_str("}\n");
         }
-        SpaceItem::Chunked { index_template, attrs } => {
+        SpaceItem::Chunked { index_template, attrs, .. } => {
             indent(out, depth);
+            let names: Vec<&str> = attrs.iter().map(|(n, _)| n.as_str()).collect();
             let _ = writeln!(
                 out,
                 "CHUNKED INDEXFILE \"{}\" {{ {} }}",
                 render_template(index_template),
-                attrs.join(" ")
+                names.join(" ")
             );
         }
     }
@@ -135,13 +138,7 @@ fn render_item(out: &mut String, item: &SpaceItem, depth: usize) {
 fn render_binding(b: &FileBinding) -> String {
     let mut s = render_template(&b.template);
     for (var, lo, hi, step) in &b.ranges {
-        let _ = write!(
-            s,
-            " {var} = {}:{}:{}",
-            render_expr(lo),
-            render_expr(hi),
-            render_expr(step)
-        );
+        let _ = write!(s, " {var} = {}:{}:{}", render_expr(lo), render_expr(hi), render_expr(step));
     }
     s
 }

@@ -17,7 +17,7 @@ use crate::model::{DatasetModel, DirInfo, FileModel, ResolvedItem, VarExtent};
 pub fn resolve(ast: &DescriptorAst) -> Result<DatasetModel> {
     // --- Component I: schema ---
     let attrs: Vec<Attribute> =
-        ast.schema.attrs.iter().map(|(n, t)| Attribute::new(n, *t)).collect();
+        ast.schema.attrs.iter().map(|(n, t, _)| Attribute::new(n, *t)).collect();
     let schema = Schema::new(&ast.schema.name, attrs)?;
 
     // --- Component II: storage ---
@@ -28,7 +28,8 @@ pub fn resolve(ast: &DescriptorAst) -> Result<DatasetModel> {
         )));
     }
     let mut nodes: Vec<String> = Vec::new();
-    let mut dirs: Vec<DirInfo> = vec![DirInfo { node: 0, path: String::new() }; ast.storage.dirs.len()];
+    let mut dirs: Vec<DirInfo> =
+        vec![DirInfo { node: 0, path: String::new() }; ast.storage.dirs.len()];
     for d in &ast.storage.dirs {
         let node = match nodes.iter().position(|n| *n == d.node) {
             Some(i) => i,
@@ -56,11 +57,8 @@ pub fn resolve(ast: &DescriptorAst) -> Result<DatasetModel> {
 
     // Attribute type table: schema attributes + auxiliary attributes
     // collected from every DATATYPE clause in the tree.
-    let mut attr_types: HashMap<String, DataType> = schema
-        .attributes()
-        .iter()
-        .map(|a| (a.name.clone(), a.dtype))
-        .collect();
+    let mut attr_types: HashMap<String, DataType> =
+        schema.attributes().iter().map(|a| (a.name.clone(), a.dtype)).collect();
     collect_extra_attrs(&ast.layout, &mut attr_types, &schema)?;
     let attr_sizes: HashMap<String, usize> =
         attr_types.iter().map(|(k, v)| (k.clone(), v.size())).collect();
@@ -112,7 +110,7 @@ fn collect_extra_attrs(
     out: &mut HashMap<String, DataType>,
     schema: &Schema,
 ) -> Result<()> {
-    for (name, ty) in &ds.extra_attrs {
+    for (name, ty, _) in &ds.extra_attrs {
         let upper = name.to_ascii_uppercase();
         if schema.index_of(&upper).is_some() {
             return Err(DvError::DescriptorSemantic(format!(
@@ -129,7 +127,7 @@ fn collect_extra_attrs(
 }
 
 fn collect_index_attrs(ds: &DatasetAst, out: &mut Vec<String>) {
-    for a in &ds.index_attrs {
+    for (a, _) in &ds.index_attrs {
         let upper = a.to_ascii_uppercase();
         if !out.contains(&upper) {
             out.push(upper);
@@ -268,14 +266,13 @@ impl<'a> Resolver<'a> {
         // no — vars were uppercased at range evaluation, and Expr vars
         // are matched case-sensitively, so normalize expressions too).
         let dir_slot = binding.template.dir_index.eval(&upper_env(env))?;
-        let slot = usize::try_from(dir_slot).ok().filter(|s| *s < self.dirs.len()).ok_or_else(
-            || {
+        let slot =
+            usize::try_from(dir_slot).ok().filter(|s| *s < self.dirs.len()).ok_or_else(|| {
                 DvError::DescriptorSemantic(format!(
                     "dataset `{}` references DIR[{dir_slot}] which is not in the storage section",
                     ds.name
                 ))
-            },
-        )?;
+            })?;
         let dir = self.dirs[slot].clone();
         let name = binding.template.render_name(&upper_env(env))?;
         let rel_path =
@@ -323,7 +320,7 @@ impl<'a> Resolver<'a> {
             match item {
                 SpaceItem::Attrs(names) => {
                     let mut attrs = Vec::with_capacity(names.len());
-                    for n in names {
+                    for (n, _) in names {
                         let upper = n.to_ascii_uppercase();
                         if !self.attr_types.contains_key(&upper) {
                             return Err(DvError::DescriptorSemantic(format!(
@@ -336,7 +333,7 @@ impl<'a> Resolver<'a> {
                     }
                     out.push(ResolvedItem::Attrs(attrs));
                 }
-                SpaceItem::Loop { var, lo, hi, step, body } => {
+                SpaceItem::Loop { var, lo, hi, step, body, .. } => {
                     let var = var.to_ascii_uppercase();
                     let lo = lo.eval(env)?;
                     let hi = hi.eval(env)?;
@@ -354,14 +351,11 @@ impl<'a> Resolver<'a> {
                         )));
                     }
                     let ext = VarExtent::Range { lo, hi, step };
-                    extents
-                        .entry(var.clone())
-                        .and_modify(|e| *e = e.merge(&ext))
-                        .or_insert(ext);
+                    extents.entry(var.clone()).and_modify(|e| *e = e.merge(&ext)).or_insert(ext);
                     let body = self.resolve_items(ds, body, env, extents)?;
                     out.push(ResolvedItem::Loop { var, lo, hi, step, body });
                 }
-                SpaceItem::Chunked { index_template, attrs } => {
+                SpaceItem::Chunked { index_template, attrs, .. } => {
                     if items.len() != 1 {
                         return Err(DvError::DescriptorSemantic(format!(
                             "CHUNKED must be the only item in the DATASPACE of dataset `{}`",
@@ -380,13 +374,10 @@ impl<'a> Resolver<'a> {
                         })?;
                     let dir = self.dirs[slot].clone();
                     let name = index_template.render_name(env)?;
-                    let index_path = if dir.path.is_empty() {
-                        name
-                    } else {
-                        format!("{}/{}", dir.path, name)
-                    };
+                    let index_path =
+                        if dir.path.is_empty() { name } else { format!("{}/{}", dir.path, name) };
                     let mut resolved_attrs = Vec::with_capacity(attrs.len());
-                    for n in attrs {
+                    for (n, _) in attrs {
                         let upper = n.to_ascii_uppercase();
                         if !self.attr_types.contains_key(&upper) {
                             return Err(DvError::DescriptorSemantic(format!(
@@ -487,8 +478,7 @@ DATASET "IparsData" {
     #[test]
     fn figure4_coords_files() {
         let m = model();
-        let coords: Vec<&FileModel> =
-            m.files.iter().filter(|f| f.dataset == "ipars1").collect();
+        let coords: Vec<&FileModel> = m.files.iter().filter(|f| f.dataset == "ipars1").collect();
         assert_eq!(coords.len(), 4);
         let c2 = coords.iter().find(|f| f.node == 2).unwrap();
         assert_eq!(c2.rel_path, "ipars/COORDS");

@@ -2,10 +2,14 @@
 
 use std::fmt;
 
-/// A token with its 1-based source position.
+use dv_types::Span;
+
+/// A token with its byte span and 1-based source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub kind: TokenKind,
+    /// Byte range of the token text in the descriptor source.
+    pub span: Span,
     pub line: u32,
     pub column: u32,
 }

@@ -9,7 +9,7 @@ use dv_descriptor::ast::{
 };
 use dv_descriptor::expr::{Expr, Op};
 use dv_descriptor::{parse_descriptor, render, resolve};
-use dv_types::DataType;
+use dv_types::{DataType, Span};
 
 const ATTR_POOL: [&str; 8] = ["ALPHA", "BETA", "GAMMA", "DELTA", "EPS", "ZETA", "ETA", "THETA"];
 
@@ -80,11 +80,12 @@ fn arb_params() -> impl Strategy<Value = Params> {
 /// parameterized by `$DIRID`/`$REL`.
 fn build_ast(p: &Params) -> DescriptorAst {
     let split = p.split.min(p.n_attrs - 1).max(1);
-    let attrs: Vec<(String, DataType)> = (0..p.n_attrs)
-        .map(|i| (ATTR_POOL[i].to_string(), p.types[i]))
-        .collect();
-    let head: Vec<String> = attrs[..split].iter().map(|(n, _)| n.clone()).collect();
-    let tail: Vec<String> = attrs[split..].iter().map(|(n, _)| n.clone()).collect();
+    let attrs: Vec<(String, DataType, Span)> =
+        (0..p.n_attrs).map(|i| (ATTR_POOL[i].to_string(), p.types[i], Span::DUMMY)).collect();
+    let head: Vec<(String, Span)> =
+        attrs[..split].iter().map(|(n, _, _)| (n.clone(), Span::DUMMY)).collect();
+    let tail: Vec<(String, Span)> =
+        attrs[split..].iter().map(|(n, _, _)| (n.clone(), Span::DUMMY)).collect();
 
     let grid_hi = Expr::Bin {
         op: Op::Add,
@@ -97,10 +98,12 @@ fn build_ast(p: &Params) -> DescriptorAst {
         hi: grid_hi.clone(),
         step: Expr::Int(1),
         body,
+        span: Span::DUMMY,
     };
 
     let leaf1 = DatasetAst {
         name: "head".into(),
+        name_span: Span::DUMMY,
         schema_ref: None,
         extra_attrs: vec![],
         index_attrs: vec![],
@@ -116,11 +119,13 @@ fn build_ast(p: &Params) -> DescriptorAst {
                 Expr::Int(p.dirs as i64 - 1),
                 Expr::Int(1),
             )],
+            span: Span::DUMMY,
         }]),
         children: vec![],
     };
     let leaf2 = DatasetAst {
         name: "tail".into(),
+        name_span: Span::DUMMY,
         schema_ref: None,
         extra_attrs: vec![],
         index_attrs: vec![],
@@ -130,6 +135,7 @@ fn build_ast(p: &Params) -> DescriptorAst {
             hi: Expr::Int(p.t_hi),
             step: Expr::Int(1),
             body: vec![grid_loop(vec![SpaceItem::Attrs(tail)])],
+            span: Span::DUMMY,
         }]),
         data: DataAst::Files(vec![FileBinding {
             template: PathTemplate {
@@ -138,19 +144,15 @@ fn build_ast(p: &Params) -> DescriptorAst {
             },
             ranges: vec![
                 ("REL".into(), Expr::Int(0), Expr::Int(p.rels - 1), Expr::Int(1)),
-                (
-                    "DIRID".into(),
-                    Expr::Int(0),
-                    Expr::Int(p.dirs as i64 - 1),
-                    Expr::Int(1),
-                ),
+                ("DIRID".into(), Expr::Int(0), Expr::Int(p.dirs as i64 - 1), Expr::Int(1)),
             ],
+            span: Span::DUMMY,
         }]),
         children: vec![],
     };
 
     DescriptorAst {
-        schema: SchemaAst { name: "PROP".into(), attrs },
+        schema: SchemaAst { name: "PROP".into(), name_span: Span::DUMMY, attrs },
         storage: StorageAst {
             dataset_name: "PropData".into(),
             schema_name: "PROP".into(),
@@ -159,14 +161,16 @@ fn build_ast(p: &Params) -> DescriptorAst {
                     index: d,
                     node: format!("node{d}"),
                     path: format!("prop/d{d}"),
+                    span: Span::DUMMY,
                 })
                 .collect(),
         },
         layout: DatasetAst {
             name: "PropData".into(),
+            name_span: Span::DUMMY,
             schema_ref: Some("PROP".into()),
             extra_attrs: vec![],
-            index_attrs: vec!["ALPHA".into()],
+            index_attrs: vec![("ALPHA".to_string(), Span::DUMMY)],
             dataspace: None,
             data: DataAst::Nested(vec!["head".into(), "tail".into()]),
             children: vec![leaf1, leaf2],

@@ -36,9 +36,7 @@ impl HandIparsL0 {
     }
 
     fn dir_path(&self, d: usize) -> PathBuf {
-        self.base
-            .join(format!("osu{}", d % self.cfg.nodes))
-            .join(format!("ipars.l0.d{d}"))
+        self.base.join(format!("osu{}", d % self.cfg.nodes)).join(format!("ipars.l0.d{d}"))
     }
 
     /// Execute a bound query with node workers running concurrently;
@@ -84,8 +82,7 @@ impl HandIparsL0 {
         // Needed attributes, in working (schema) order.
         let working = bq.needed_attrs();
         let need_coord = working.iter().any(|&a| (2..5).contains(&a));
-        let needed_vars: Vec<usize> =
-            working.iter().filter(|&&a| a >= 5).map(|&a| a - 5).collect();
+        let needed_vars: Vec<usize> = working.iter().filter(|&&a| a >= 5).map(|&a| a - 5).collect();
 
         let cx = EvalContext::new(bq.schema.len(), &working, &self.udfs);
         let out_positions: Vec<usize> = bq
@@ -134,9 +131,8 @@ impl HandIparsL0 {
                                         "{}.r{rel}.dat",
                                         VARS[v].to_ascii_lowercase()
                                     ));
-                                    File::open(&path).map_err(|e| {
-                                        DvError::io(path.display().to_string(), e)
-                                    })
+                                    File::open(&path)
+                                        .map_err(|e| DvError::io(path.display().to_string(), e))
                                 })
                                 .collect::<Result<_>>()?;
                             let mut bufs: Vec<Vec<u8>> =
@@ -149,8 +145,7 @@ impl HandIparsL0 {
                                     bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
                                 }
                                 for k in 0..g as usize {
-                                    let mut row: Row =
-                                        Vec::with_capacity(working.len());
+                                    let mut row: Row = Vec::with_capacity(working.len());
                                     for (wi, &attr) in working.iter().enumerate() {
                                         let v = match attr {
                                             0 => Value::Short(rel as i16),
@@ -239,8 +234,7 @@ mod tests {
     use dv_sql::{bind, parse};
 
     fn setup(tag: &str) -> (PathBuf, IparsConfig) {
-        let base =
-            std::env::temp_dir().join(format!("dv-hand-l0-{tag}-{}", std::process::id()));
+        let base = std::env::temp_dir().join(format!("dv-hand-l0-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         std::fs::create_dir_all(&base).unwrap();
         let cfg = IparsConfig::tiny();
@@ -260,10 +254,8 @@ mod tests {
         let hand = HandIparsL0::new(base.clone(), cfg.clone(), UdfRegistry::with_builtins());
         let desc = ipars::descriptor(&cfg, IparsLayout::L0);
         let compiled = dv_layout::plan::compile_from_text(&desc, &base).unwrap();
-        let server = dv_storm::StormServer::new(
-            std::sync::Arc::new(compiled),
-            UdfRegistry::with_builtins(),
-        );
+        let server =
+            dv_storm::StormServer::new(std::sync::Arc::new(compiled), UdfRegistry::with_builtins());
 
         let queries = [
             "SELECT * FROM IparsData",

@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dv_datagen::TitanConfig;
-use dv_index::{read_chunk_index, ChunkIndexEntry, Rect, RTree};
+use dv_index::{read_chunk_index, ChunkIndexEntry, RTree, Rect};
 use dv_sql::analysis::attribute_ranges;
 use dv_sql::eval::EvalContext;
 use dv_sql::{BoundQuery, UdfRegistry};
@@ -125,9 +125,7 @@ impl HandTitan {
                             for &attr in working.iter() {
                                 let v = if attr < 3 {
                                     Value::Int(i32::from_le_bytes(
-                                        buf[at + attr * 4..at + attr * 4 + 4]
-                                            .try_into()
-                                            .unwrap(),
+                                        buf[at + attr * 4..at + attr * 4 + 4].try_into().unwrap(),
                                     ))
                                 } else {
                                     let off = at + 12 + (attr - 3) * 4;
@@ -169,11 +167,8 @@ impl HandTitan {
         } else {
             std::thread::scope(|scope| {
                 let run_node = &run_node;
-                let handles: Vec<_> = self
-                    .nodes
-                    .iter()
-                    .map(|node| scope.spawn(move || run_node(node)))
-                    .collect();
+                let handles: Vec<_> =
+                    self.nodes.iter().map(|node| scope.spawn(move || run_node(node))).collect();
                 handles
                     .into_iter()
                     .map(|h| {
@@ -198,8 +193,7 @@ mod tests {
     use dv_sql::{bind, parse};
 
     fn setup(tag: &str, nodes: usize) -> (PathBuf, TitanConfig) {
-        let base =
-            std::env::temp_dir().join(format!("dv-hand-titan-{tag}-{}", std::process::id()));
+        let base = std::env::temp_dir().join(format!("dv-hand-titan-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         std::fs::create_dir_all(&base).unwrap();
         let cfg = TitanConfig { nodes, ..TitanConfig::tiny() };
@@ -214,14 +208,10 @@ mod tests {
     #[test]
     fn hand_matches_generated_titan() {
         let (base, cfg) = setup("match", 2);
-        let hand =
-            HandTitan::new(base.clone(), &cfg, UdfRegistry::with_builtins()).unwrap();
-        let compiled =
-            dv_layout::plan::compile_from_text(&titan::descriptor(&cfg), &base).unwrap();
-        let server = dv_storm::StormServer::new(
-            std::sync::Arc::new(compiled),
-            UdfRegistry::with_builtins(),
-        );
+        let hand = HandTitan::new(base.clone(), &cfg, UdfRegistry::with_builtins()).unwrap();
+        let compiled = dv_layout::plan::compile_from_text(&titan::descriptor(&cfg), &base).unwrap();
+        let server =
+            dv_storm::StormServer::new(std::sync::Arc::new(compiled), UdfRegistry::with_builtins());
         let queries = [
             "SELECT * FROM TitanData",
             "SELECT * FROM TitanData WHERE X >= 0 AND X <= 20000 AND Y >= 0 AND Y <= 20000 \

@@ -147,11 +147,7 @@ mod tests {
         let path = tmpdir().join("idx.bin");
         let entries = vec![
             ChunkIndexEntry { bounds: vec![(0.0, 10.0), (5.0, 6.0)], offset: 0, rows: 128 },
-            ChunkIndexEntry {
-                bounds: vec![(10.0, 20.0), (-1.0, 2.5)],
-                offset: 4096,
-                rows: 64,
-            },
+            ChunkIndexEntry { bounds: vec![(10.0, 20.0), (-1.0, 2.5)], offset: 4096, rows: 64 },
         ];
         write_chunk_index(&path, 2, &entries).unwrap();
         let (dims, back) = read_chunk_index(&path).unwrap();
@@ -179,8 +175,7 @@ mod tests {
     #[test]
     fn truncated_file_rejected() {
         let path = tmpdir().join("trunc.bin");
-        let entries =
-            vec![ChunkIndexEntry { bounds: vec![(0.0, 1.0)], offset: 0, rows: 1 }];
+        let entries = vec![ChunkIndexEntry { bounds: vec![(0.0, 1.0)], offset: 0, rows: 1 }];
         write_chunk_index(&path, 1, &entries).unwrap();
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 4]).unwrap();
@@ -190,8 +185,7 @@ mod tests {
     #[test]
     fn wrong_dims_rejected_on_write() {
         let path = tmpdir().join("dims.bin");
-        let entries =
-            vec![ChunkIndexEntry { bounds: vec![(0.0, 1.0)], offset: 0, rows: 1 }];
+        let entries = vec![ChunkIndexEntry { bounds: vec![(0.0, 1.0)], offset: 0, rows: 1 }];
         assert!(write_chunk_index(&path, 2, &entries).is_err());
     }
 

@@ -224,10 +224,7 @@ mod tests {
         let mut entries = Vec::new();
         for i in 0..20 {
             for j in 0..20 {
-                let r = Rect::new(
-                    vec![i as f64, j as f64],
-                    vec![i as f64 + 1.0, j as f64 + 1.0],
-                );
+                let r = Rect::new(vec![i as f64, j as f64], vec![i as f64 + 1.0, j as f64 + 1.0]);
                 entries.push((r, (i, j)));
             }
         }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use dv_index::{Rect, RTree};
+use dv_index::{RTree, Rect};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

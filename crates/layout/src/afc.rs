@@ -96,8 +96,7 @@ impl WorkingSet {
         let names: Vec<String> =
             attrs.iter().map(|&i| model.schema.attr_at(i).name.clone()).collect();
         let dtypes = attrs.iter().map(|&i| model.schema.attr_at(i).dtype).collect();
-        let positions =
-            names.iter().enumerate().map(|(p, n)| (n.clone(), p)).collect();
+        let positions = names.iter().enumerate().map(|(p, n)| (n.clone(), p)).collect();
         WorkingSet { attrs, names, dtypes, positions }
     }
 
@@ -157,9 +156,8 @@ pub fn build_afcs(
         // needed (the file participates only to define cardinality,
         // e.g. `SELECT REL, TIME`), keep all runs for structure; their
         // field-less entries are dropped after alignment.
-        let any_needed = segs
-            .iter()
-            .any(|s| s.attrs.iter().any(|a| working.position_of(a).is_some()));
+        let any_needed =
+            segs.iter().any(|s| s.attrs.iter().any(|a| working.position_of(a).is_some()));
         let mut buckets: Vec<Partial> = Vec::new();
         let mut lookup: HashMap<(Vec<(String, i64)>, usize), usize> = HashMap::new();
         for s in segs {
@@ -248,8 +246,7 @@ pub fn build_afcs(
         if next.is_empty() {
             // Every side had segments but nothing aligned: the layouts
             // of the group are structurally incompatible.
-            let names: Vec<&str> =
-                group.iter().map(|f| f.rel_path.as_str()).collect();
+            let names: Vec<&str> = group.iter().map(|f| f.rel_path.as_str()).collect();
             return Err(DvError::Alignment(format!(
                 "no aligned file chunks between {{{}}}: layouts or implicit attributes do \
                  not match",
@@ -366,10 +363,8 @@ impl GroupTemplate {
         // A coordinate variable that is also a binding variable of some
         // group file needs the per-partial conflict check of the slow
         // path (pathological descriptors only).
-        let coords_overlap_env = first
-            .coords
-            .iter()
-            .any(|(v, _)| group.iter().any(|f| f.env.contains_key(v)));
+        let coords_overlap_env =
+            first.coords.iter().any(|(v, _)| group.iter().any(|f| f.env.contains_key(v)));
         for (ci, (var, _)) in first.coords.iter().enumerate() {
             if let Some(pos) = working.position_of(var) {
                 if !covered[pos] {
@@ -471,10 +466,7 @@ impl GroupTemplate {
             implicits.push((*pos, ImplicitValue::Const(*v)));
         }
         for (pos, ci, dtype) in &self.coord_consts {
-            implicits.push((
-                *pos,
-                ImplicitValue::Const(Value::from_i64(*dtype, p.coords[*ci].1)),
-            ));
+            implicits.push((*pos, ImplicitValue::Const(Value::from_i64(*dtype, p.coords[*ci].1))));
         }
         let _ = working;
 
@@ -487,12 +479,7 @@ impl GroupTemplate {
                     };
                     implicits.push((pos, ImplicitValue::Affine { start, step, dtype }));
                 }
-                out.push(Afc {
-                    num_rows: p.rows,
-                    entries,
-                    fields: self.fields.clone(),
-                    implicits,
-                });
+                out.push(Afc { num_rows: p.rows, entries, fields: self.fields.clone(), implicits });
             }
             Some(cruns) => {
                 for (start_k, run_rows, affine_start) in cruns {
@@ -625,10 +612,8 @@ fn assemble(
         if let Some(pos) = working.position_of(var) {
             if !covered[pos] {
                 covered[pos] = true;
-                implicits.push((
-                    pos,
-                    ImplicitValue::Const(Value::from_i64(working.dtypes[pos], *val)),
-                ));
+                implicits
+                    .push((pos, ImplicitValue::Const(Value::from_i64(working.dtypes[pos], *val))));
             }
         }
     }
@@ -664,10 +649,7 @@ fn assemble(
         None => {
             let mut imp = implicits.clone();
             if let Some((pos, start, step)) = affine {
-                imp.push((
-                    pos,
-                    ImplicitValue::Affine { start, step, dtype: working.dtypes[pos] },
-                ));
+                imp.push((pos, ImplicitValue::Affine { start, step, dtype: working.dtypes[pos] }));
             }
             out.push(Afc { num_rows: p.rows, entries, fields, implicits: imp });
         }
@@ -808,10 +790,7 @@ DATASET "IparsData" {
         // GRID is not a schema attribute, but clip via an artificial
         // constraint to exercise run splitting.
         let mut ranges = HashMap::new();
-        ranges.insert(
-            "GRID".to_string(),
-            IntervalSet::points(&[2.0, 3.0, 7.0]),
-        );
+        ranges.insert("GRID".to_string(), IntervalSet::points(&[2.0, 3.0, 7.0]));
         ranges.insert("TIME".to_string(), IntervalSet::points(&[1.0]));
         let (_m, afcs) = setup(&ranges, vec![0, 1, 2, 3, 4]);
         // TIME=1 only; GRID runs {2,3} and {7}.
@@ -909,7 +888,7 @@ DATASET "D" {
         let m = compile(text).unwrap();
         let group = vec![&m.files[0]];
         let ranges = HashMap::new();
-        let segs = vec![enumerate_segments(&m.files[0], &m.attr_sizes, &ranges, None).unwrap()];
+        let segs = [enumerate_segments(&m.files[0], &m.attr_sizes, &ranges, None).unwrap()];
         let seg_refs: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
         let working = WorkingSet::new(&m, vec![0, 1]);
         let afcs = build_afcs(&m, &group, &seg_refs, &working, &ranges).unwrap();
@@ -917,9 +896,6 @@ DATASET "D" {
         assert_eq!(afcs[0].num_rows, 3);
         let (pos, imp) = &afcs[0].implicits[0];
         assert_eq!(*pos, 0);
-        assert_eq!(
-            *imp,
-            ImplicitValue::Affine { start: 10, step: 2, dtype: DataType::Int }
-        );
+        assert_eq!(*imp, ImplicitValue::Affine { start: 10, step: 2, dtype: DataType::Int });
     }
 }

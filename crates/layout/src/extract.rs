@@ -8,11 +8,11 @@
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use dv_types::{DvError, Result, RowBlock, Value};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::afc::{Afc, ImplicitValue};
 use crate::plan::CompiledDataset;
@@ -41,16 +41,15 @@ impl Extractor {
 
     fn open(&self, file: usize) -> Result<Arc<File>> {
         {
-            let cache = self.handles.lock();
+            let cache = self.handles.lock().expect("handle cache poisoned");
             if let Some(h) = cache.get(&file) {
                 return Ok(Arc::clone(h));
             }
         }
         let path = &self.paths[file];
-        let handle = Arc::new(
-            File::open(path).map_err(|e| DvError::io(path.display().to_string(), e))?,
-        );
-        self.handles.lock().insert(file, Arc::clone(&handle));
+        let handle =
+            Arc::new(File::open(path).map_err(|e| DvError::io(path.display().to_string(), e))?);
+        self.handles.lock().expect("handle cache poisoned").insert(file, Arc::clone(&handle));
         Ok(handle)
     }
 
@@ -90,13 +89,11 @@ impl Extractor {
 
         if std::env::var_os("DV_ROWMAJOR").is_some() {
             // Experimental row-major decode path (perf comparison).
-            let strides: Vec<usize> =
-                afc.entries.iter().map(|e| e.stride as usize).collect();
+            let strides: Vec<usize> = afc.entries.iter().map(|e| e.stride as usize).collect();
             for (r, row) in rows.iter_mut().enumerate() {
                 for f in &afc.fields {
                     let at = r * strides[f.entry] + f.byte_off;
-                    row[f.working_pos] =
-                        Value::decode(f.dtype, &scratch.buffers[f.entry][at..]);
+                    row[f.working_pos] = Value::decode(f.dtype, &scratch.buffers[f.entry][at..]);
                 }
             }
             for (pos, imp) in &afc.implicits {
@@ -127,9 +124,8 @@ impl Extractor {
                 ($ctor:path, $ty:ty, $size:expr) => {{
                     for (r, row) in rows.iter_mut().enumerate() {
                         let at = r * stride + off;
-                        row[pos] = $ctor(<$ty>::from_le_bytes(
-                            buf[at..at + $size].try_into().unwrap(),
-                        ));
+                        row[pos] =
+                            $ctor(<$ty>::from_le_bytes(buf[at..at + $size].try_into().unwrap()));
                     }
                 }};
             }
@@ -182,14 +178,13 @@ pub struct ExtractScratch {
 }
 
 #[cfg(unix)]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64, path: &PathBuf) -> Result<()> {
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64, path: &Path) -> Result<()> {
     use std::os::unix::fs::FileExt;
-    file.read_exact_at(buf, offset)
-        .map_err(|e| DvError::io(path.display().to_string(), e))
+    file.read_exact_at(buf, offset).map_err(|e| DvError::io(path.display().to_string(), e))
 }
 
 #[cfg(not(unix))]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64, path: &PathBuf) -> Result<()> {
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64, path: &Path) -> Result<()> {
     use std::io::{Read, Seek, SeekFrom};
     let mut f = file;
     f.seek(SeekFrom::Start(offset))
@@ -355,11 +350,8 @@ DATASET "IparsData" {
         let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
         let plan = compiled.plan_query(&b).unwrap();
         let ex = Extractor::new(&compiled, plan.working.attrs.len());
-        let result: Result<Vec<RowBlock>> = plan
-            .node_plans
-            .iter()
-            .map(|np| ex.extract_all(&np.afcs, np.node))
-            .collect();
+        let result: Result<Vec<RowBlock>> =
+            plan.node_plans.iter().map(|np| ex.extract_all(&np.afcs, np.node)).collect();
         assert!(result.is_err());
     }
 }

@@ -41,8 +41,9 @@ pub fn file_matches(file: &FileModel, ranges: &HashMap<String, IntervalSet>) -> 
 
 /// Are two files consistent enough to contribute to the same rows?
 /// (Shared implicit variables must overlap; exact alignment is checked
-/// later at the segment level.)
-fn consistent(a: &FileModel, b: &FileModel) -> bool {
+/// later at the segment level.) Also used by `dv-lint` to decide which
+/// file pairs would group together at query time.
+pub fn consistent(a: &FileModel, b: &FileModel) -> bool {
     for (var, ea) in &a.extents {
         if let Some(eb) = b.extents.get(var) {
             let (alo, ahi) = ea.hull();
@@ -287,11 +288,8 @@ DATASET "IparsData" {
     #[test]
     fn file_matches_respects_extents() {
         let m = compile(DESC).unwrap();
-        let data0 = m
-            .files
-            .iter()
-            .find(|f| f.rel_path == "ipars/DATA0" && f.env["DIRID"] == 0)
-            .unwrap();
+        let data0 =
+            m.files.iter().find(|f| f.rel_path == "ipars/DATA0" && f.env["DIRID"] == 0).unwrap();
         assert!(file_matches(data0, &ranges(&[("REL", IntervalSet::points(&[0.0]))])));
         assert!(!file_matches(data0, &ranges(&[("REL", IntervalSet::points(&[2.0]))])));
         assert!(file_matches(

@@ -104,8 +104,7 @@ impl CompiledDataset {
         let mut by_path: HashMap<(usize, String), Arc<LoadedChunkIndex>> = HashMap::new();
         let mut chunk_indexes = HashMap::new();
         for f in &model.files {
-            if let Some(ResolvedItem::Chunked { index_node, index_path, .. }) = f.layout.first()
-            {
+            if let Some(ResolvedItem::Chunked { index_node, index_path, .. }) = f.layout.first() {
                 let key = (*index_node, index_path.clone());
                 let loaded = match by_path.get(&key) {
                     Some(l) => Arc::clone(l),
@@ -120,10 +119,8 @@ impl CompiledDataset {
                                 model.index_attrs.len()
                             )));
                         }
-                        let loaded = Arc::new(LoadedChunkIndex::new(
-                            model.index_attrs.clone(),
-                            entries,
-                        ));
+                        let loaded =
+                            Arc::new(LoadedChunkIndex::new(model.index_attrs.clone(), entries));
                         by_path.insert(key, Arc::clone(&loaded));
                         loaded
                     }
@@ -174,12 +171,8 @@ impl CompiledDataset {
                         .sum(),
                     _ => 0,
                 };
-                let needed = index
-                    .entries
-                    .iter()
-                    .map(|e| e.offset + e.rows * stride)
-                    .max()
-                    .unwrap_or(0);
+                let needed =
+                    index.entries.iter().map(|e| e.offset + e.rows * stride).max().unwrap_or(0);
                 if needed > actual {
                     issues.push(FileIssue::ChunkBeyondEof { file: f.id, path, needed, actual });
                 }
@@ -251,13 +244,7 @@ impl CompiledDataset {
                 segs.push(entry);
             }
             let seg_slices: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
-            afcs.extend(build_afcs(
-                &self.model,
-                group,
-                &seg_slices,
-                &prep.working,
-                &prep.ranges,
-            )?);
+            afcs.extend(build_afcs(&self.model, group, &seg_slices, &prep.working, &prep.ranges)?);
         }
         Ok(NodePlan { node, afcs })
     }

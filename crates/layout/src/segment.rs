@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dv_descriptor::{FileModel, ResolvedItem};
-use dv_index::{ChunkIndexEntry, Rect, RTree};
+use dv_index::{ChunkIndexEntry, RTree, Rect};
 use dv_types::{DvError, IntervalSet, Result};
 
 /// Inner structure of one segment row.
@@ -158,9 +158,7 @@ fn record_size(attrs: &[String], attr_sizes: &HashMap<String, usize>) -> Result<
 
 fn items_size(items: &[ResolvedItem], attr_sizes: &HashMap<String, usize>) -> Result<u64> {
     dv_descriptor::model::items_byte_size(items, attr_sizes).ok_or_else(|| {
-        DvError::DescriptorSemantic(
-            "CHUNKED layout nested under a loop has no static size".into(),
-        )
+        DvError::DescriptorSemantic("CHUNKED layout nested under a loop has no static size".into())
     })
 }
 
@@ -310,10 +308,7 @@ DATASET "IparsData" {
         assert_eq!(s.stride, 4);
         assert_eq!(s.offset, 0);
         assert!(s.coords.is_empty());
-        assert_eq!(
-            s.inner,
-            InnerSig::Loop { var: "GRID".into(), lo: 1, hi: 10, step: 1 }
-        );
+        assert_eq!(s.inner, InnerSig::Loop { var: "GRID".into(), lo: 1, hi: 10, step: 1 });
     }
 
     #[test]
@@ -435,8 +430,7 @@ DATASET "D" {
 }
 "#;
         let m = compile(text).unwrap();
-        let segs =
-            enumerate_segments(&m.files[0], &m.attr_sizes, &HashMap::new(), None).unwrap();
+        let segs = enumerate_segments(&m.files[0], &m.attr_sizes, &HashMap::new(), None).unwrap();
         // 1 header record + 3 time-steps × 2 arrays.
         assert_eq!(segs.len(), 7);
         assert_eq!(segs[0].inner, InnerSig::Record);

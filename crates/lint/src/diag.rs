@@ -1,0 +1,181 @@
+//! The diagnostics vocabulary: codes, severities, and rustc-style
+//! source-snippet rendering.
+
+use std::fmt;
+
+use dv_types::Span;
+
+/// Every lint the analyzer can emit. `DV0xx` codes fire on descriptor
+/// text, `DV1xx` codes on queries checked against a resolved model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Overlapping or shadowing `LOOP`s over one variable.
+    Dv001,
+    /// Attribute stored more than once in a single `DATASPACE`.
+    Dv002,
+    /// Schema attribute never stored nor implied by any layout.
+    Dv003,
+    /// `DATATYPE` auxiliary attribute never stored by any `DATASPACE`.
+    Dv004,
+    /// Attribute both stored explicitly and bound implicitly.
+    Dv005,
+    /// Empty or non-positive-stride loop / binding range.
+    Dv006,
+    /// Storage `DIR` entry referenced by no file template.
+    Dv007,
+    /// Aligned file groups whose computed row counts disagree.
+    Dv008,
+    /// Predicate provably selects nothing.
+    Dv101,
+    /// UDF filter over an index-prunable attribute.
+    Dv102,
+}
+
+impl Code {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::Dv001 => "DV001",
+            Code::Dv002 => "DV002",
+            Code::Dv003 => "DV003",
+            Code::Dv004 => "DV004",
+            Code::Dv005 => "DV005",
+            Code::Dv006 => "DV006",
+            Code::Dv007 => "DV007",
+            Code::Dv008 => "DV008",
+            Code::Dv101 => "DV101",
+            Code::Dv102 => "DV102",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding, anchored to a byte span of the analyzed source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn warning(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, severity: Severity::Warning, span, message: message.into(), help: None }
+    }
+
+    pub fn error(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, severity: Severity::Error, span, message: message.into(), help: None }
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render the diagnostic against the source it was produced from:
+    ///
+    /// ```text
+    /// warning[DV003]: schema attribute `SGAS` is never stored
+    ///   --> ipars.desc:8:1
+    ///    |
+    ///  8 | SGAS = float
+    ///    | ^^^^^^^^^^^^
+    ///    = help: remove it or store it in a DATASPACE
+    /// ```
+    ///
+    /// Spans covering several lines underline the first line only.
+    pub fn render(&self, source: &str, origin: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        let line_no = line.to_string();
+        let gutter = " ".repeat(line_no.len());
+        out.push_str(&format!("{gutter}--> {origin}:{line}:{col}\n"));
+
+        if let Some(text) = source.lines().nth(line - 1) {
+            let start_in_line = col - 1;
+            // Clip the underline to the first line of the span.
+            let span_len = self.span.end.saturating_sub(self.span.start).max(1);
+            let avail = text.len().saturating_sub(start_in_line).max(1);
+            let carets = "^".repeat(span_len.min(avail));
+            out.push_str(&format!("{gutter} |\n"));
+            out.push_str(&format!("{line_no} | {text}\n"));
+            out.push_str(&format!("{gutter} | {}{carets}\n", " ".repeat(start_in_line)));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("{gutter} = help: {help}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_span() {
+        let src = "[S]\nBAD = float\nGOOD = int\n";
+        let start = src.find("BAD").unwrap();
+        let d = Diagnostic::warning(
+            Code::Dv003,
+            Span::new(start, start + "BAD = float".len()),
+            "schema attribute `BAD` is never stored",
+        )
+        .with_help("store it or drop it");
+        let r = d.render(src, "t.desc");
+        assert!(r.contains("warning[DV003]"), "{r}");
+        assert!(r.contains("--> t.desc:2:1"), "{r}");
+        assert!(r.contains("2 | BAD = float"), "{r}");
+        assert!(r.contains("^^^^^^^^^^^"), "{r}");
+        assert!(r.contains("= help: store it or drop it"), "{r}");
+    }
+
+    #[test]
+    fn render_survives_dummy_span() {
+        let d = Diagnostic::error(Code::Dv101, Span::DUMMY, "boom");
+        let r = d.render("abc", "q");
+        assert!(r.contains("error[DV101]: boom"), "{r}");
+        assert!(r.contains("--> q:1:1"), "{r}");
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let all = [
+            Code::Dv001,
+            Code::Dv002,
+            Code::Dv003,
+            Code::Dv004,
+            Code::Dv005,
+            Code::Dv006,
+            Code::Dv007,
+            Code::Dv008,
+            Code::Dv101,
+            Code::Dv102,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

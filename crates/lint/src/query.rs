@@ -1,0 +1,176 @@
+//! Query lints DV101–DV102: a SQL query checked against a resolved
+//! dataset model.
+//!
+//! SQL has no per-token spans, so query diagnostics anchor to the
+//! WHERE clause of the query string.
+
+use std::collections::HashMap;
+
+use dv_descriptor::DatasetModel;
+use dv_layout::groups::file_matches;
+use dv_sql::analysis::attribute_ranges;
+use dv_sql::{bind, parse, BoundExpr, BoundScalar, UdfRegistry};
+use dv_types::{IntervalSet, Result, Span};
+
+use crate::diag::{Code, Diagnostic};
+
+/// Span of the WHERE clause (or the whole query when there is none).
+fn where_span(sql: &str) -> Span {
+    match sql.to_ascii_uppercase().find("WHERE") {
+        Some(p) => Span::new(p, sql.trim_end().len().max(p + 5)),
+        None => Span::new(0, sql.trim_end().len().max(1)),
+    }
+}
+
+/// Attribute indices read (transitively) by a scalar.
+fn scalar_attrs(s: &BoundScalar, out: &mut Vec<usize>) {
+    match s {
+        BoundScalar::Attr(i) => out.push(*i),
+        BoundScalar::Const(_) => {}
+        BoundScalar::Func { args, .. } => {
+            for a in args {
+                scalar_attrs(a, out);
+            }
+        }
+        BoundScalar::Arith { lhs, rhs, .. } => {
+            scalar_attrs(lhs, out);
+            scalar_attrs(rhs, out);
+        }
+    }
+}
+
+/// Does this scalar contain a UDF call whose arguments read one of the
+/// given attributes? Returns the first such attribute index.
+fn udf_over_attr(s: &BoundScalar, attrs: &[usize]) -> Option<usize> {
+    match s {
+        BoundScalar::Attr(_) | BoundScalar::Const(_) => None,
+        BoundScalar::Func { args, .. } => {
+            let mut read = Vec::new();
+            for a in args {
+                scalar_attrs(a, &mut read);
+            }
+            read.into_iter()
+                .find(|i| attrs.contains(i))
+                .or_else(|| args.iter().find_map(|a| udf_over_attr(a, attrs)))
+        }
+        BoundScalar::Arith { lhs, rhs, .. } => {
+            udf_over_attr(lhs, attrs).or_else(|| udf_over_attr(rhs, attrs))
+        }
+    }
+}
+
+/// DV102: find comparisons whose scalars wrap an index-prunable
+/// attribute inside a UDF call.
+fn check_udf_filters(
+    pred: &BoundExpr,
+    index_attrs: &[usize],
+    model: &DatasetModel,
+    span: Span,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match pred {
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+            check_udf_filters(a, index_attrs, model, span, diags);
+            check_udf_filters(b, index_attrs, model, span, diags);
+        }
+        BoundExpr::Not(inner) => check_udf_filters(inner, index_attrs, model, span, diags),
+        BoundExpr::Cmp { lhs, rhs, .. } => {
+            for s in [lhs, rhs] {
+                if let Some(i) = udf_over_attr(s, index_attrs) {
+                    push_udf_diag(i, model, span, diags);
+                }
+            }
+        }
+        BoundExpr::InList { expr, list, .. } => {
+            for s in std::iter::once(expr).chain(list.iter()) {
+                if let Some(i) = udf_over_attr(s, index_attrs) {
+                    push_udf_diag(i, model, span, diags);
+                }
+            }
+        }
+        BoundExpr::Between { expr, lo, hi, .. } => {
+            for s in [expr, lo, hi] {
+                if let Some(i) = udf_over_attr(s, index_attrs) {
+                    push_udf_diag(i, model, span, diags);
+                }
+            }
+        }
+    }
+}
+
+fn push_udf_diag(attr: usize, model: &DatasetModel, span: Span, diags: &mut Vec<Diagnostic>) {
+    let name = &model.schema.attr_at(attr).name;
+    let d = Diagnostic::warning(
+        Code::Dv102,
+        span,
+        format!("UDF filter over index attribute `{name}` defeats index-based file pruning"),
+    )
+    .with_help(format!(
+        "range analysis cannot see through the call; compare `{name}` directly to keep pruning"
+    ));
+    if !diags.contains(&d) {
+        diags.push(d);
+    }
+}
+
+/// Lint one SQL query against a resolved model. Parse/bind errors are
+/// returned as `Err`; lint findings come back as diagnostics whose
+/// spans index into `sql`.
+pub fn lint_query(model: &DatasetModel, sql: &str, udfs: &UdfRegistry) -> Result<Vec<Diagnostic>> {
+    let query = parse(sql)?;
+    let bound = bind(&query, &model.schema, udfs)?;
+    let mut diags = Vec::new();
+    let span = where_span(sql);
+
+    let Some(pred) = &bound.predicate else {
+        return Ok(diags);
+    };
+
+    // DV101a: some attribute's derived interval set is empty — the
+    // predicate can never be satisfied.
+    let ranges = attribute_ranges(pred);
+    let mut unsat = false;
+    for (idx, set) in &ranges {
+        if set.is_empty() {
+            unsat = true;
+            let name = &model.schema.attr_at(*idx).name;
+            diags.push(
+                Diagnostic::warning(
+                    Code::Dv101,
+                    span,
+                    format!("predicate constrains `{name}` to an empty set; it selects no rows"),
+                )
+                .with_help("the WHERE clause is unsatisfiable — the query always returns 0 rows"),
+            );
+        }
+    }
+
+    // DV101b: satisfiable ranges, but no file's implicit extents
+    // overlap them — the query scans nothing.
+    if !unsat && !ranges.is_empty() && !model.files.is_empty() {
+        let by_name: HashMap<String, IntervalSet> = ranges
+            .iter()
+            .map(|(idx, set)| (model.schema.attr_at(*idx).name.clone(), set.clone()))
+            .collect();
+        if !model.files.iter().any(|f| file_matches(f, &by_name)) {
+            diags.push(
+                Diagnostic::warning(
+                    Code::Dv101,
+                    span,
+                    "predicate is outside the extents of every file; it selects no rows"
+                        .to_string(),
+                )
+                .with_help("the constrained attributes never take these values in any stored file"),
+            );
+        }
+    }
+
+    // DV102: UDFs wrapping index attributes.
+    let index_attrs = model.index_attr_indices();
+    if !index_attrs.is_empty() {
+        check_udf_filters(pred, &index_attrs, model, span, &mut diags);
+    }
+
+    diags.sort_by_key(|d| (d.span.start, d.code));
+    Ok(diags)
+}

@@ -58,8 +58,7 @@ pub fn build(path: &Path, mut entries: Vec<(f64, TupleId)>) -> Result<u64> {
             let mut page = vec![0u8; PAGE_SIZE];
             page[0] = 1; // leaf
             page[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
-            let next =
-                if i + 1 < chunks.len() { first_leaf_page + i as u32 + 1 } else { NO_NEXT };
+            let next = if i + 1 < chunks.len() { first_leaf_page + i as u32 + 1 } else { NO_NEXT };
             page[4..8].copy_from_slice(&next.to_le_bytes());
             for (j, (key, tid)) in chunk.iter().enumerate() {
                 let at = NODE_HEADER + j * ENTRY;
@@ -141,10 +140,7 @@ impl BTreeIndex {
         let mut meta = [0u8; 40];
         file.read_exact_at(&mut meta, 0).map_err(to_err)?;
         if &meta[0..4] != MAGIC {
-            return Err(DvError::MiniDb(format!(
-                "{} is not a B+tree index file",
-                path.display()
-            )));
+            return Err(DvError::MiniDb(format!("{} is not a B+tree index file", path.display())));
         }
         Ok(BTreeIndex {
             file,
@@ -205,8 +201,7 @@ impl BTreeIndex {
                 let at = NODE_HEADER + j * ENTRY;
                 let max_key = f64::from_le_bytes(page[at..at + 8].try_into().unwrap());
                 if max_key >= lo {
-                    child =
-                        Some(u32::from_le_bytes(page[at + 8..at + 12].try_into().unwrap()));
+                    child = Some(u32::from_le_bytes(page[at + 8..at + 12].try_into().unwrap()));
                     break;
                 }
             }
@@ -266,11 +261,8 @@ mod tests {
         assert_eq!(idx.entries, 10_000);
 
         for (lo, hi) in [(0.0, 50.0), (333.0, 334.0), (999.0, 2000.0), (-10.0, -1.0)] {
-            let mut expect: Vec<TupleId> = entries
-                .iter()
-                .filter(|(k, _)| *k >= lo && *k <= hi)
-                .map(|(_, t)| *t)
-                .collect();
+            let mut expect: Vec<TupleId> =
+                entries.iter().filter(|(k, _)| *k >= lo && *k <= hi).map(|(_, t)| *t).collect();
             expect.sort();
             let mut got = idx.range(lo, hi).unwrap();
             got.sort();

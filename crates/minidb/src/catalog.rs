@@ -1,14 +1,17 @@
 //! Persistent catalog: table schemas, heap files, index files.
+//!
+//! The catalog is persisted as `catalog.json`. Serialization is
+//! hand-rolled (the build environment carries no serde): the writer
+//! emits a fixed, pretty-printed object shape and the reader is a
+//! small recursive-descent JSON parser over exactly that shape.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
-
-use dv_types::{DvError, Result, Schema};
+use dv_types::{Attribute, DataType, DvError, Result, Schema};
 
 /// One secondary index's metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IndexMeta {
     /// Indexed attribute name (upper-cased).
     pub attr: String,
@@ -17,7 +20,7 @@ pub struct IndexMeta {
 }
 
 /// One table's metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableMeta {
     pub schema: Schema,
     /// Heap file name within the database directory.
@@ -28,7 +31,7 @@ pub struct TableMeta {
 }
 
 /// The database catalog, persisted as `catalog.json`.
-#[derive(Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct Catalog {
     pub tables: BTreeMap<String, TableMeta>,
 }
@@ -43,30 +46,305 @@ impl Catalog {
         }
         let text = std::fs::read_to_string(&path)
             .map_err(|e| DvError::io(path.display().to_string(), e))?;
-        serde_json::from_str(&text)
-            .map_err(|e| DvError::MiniDb(format!("corrupt catalog: {e}")))
+        parse_catalog(&text).map_err(|e| DvError::MiniDb(format!("corrupt catalog: {e}")))
     }
 
     /// Persist the catalog.
     pub fn save(&self, dir: &Path) -> Result<()> {
         let path = dir.join("catalog.json");
-        let text = serde_json::to_string_pretty(self)
-            .map_err(|e| DvError::MiniDb(format!("serialize catalog: {e}")))?;
+        let text = render_catalog(self);
         std::fs::write(&path, text).map_err(|e| DvError::io(path.display().to_string(), e))
     }
 
     /// Look up a table (case-insensitive).
     pub fn table(&self, name: &str) -> Result<&TableMeta> {
         let upper = name.to_ascii_uppercase();
-        self.tables
-            .get(&upper)
-            .ok_or_else(|| DvError::MiniDb(format!("no such table `{name}`")))
+        self.tables.get(&upper).ok_or_else(|| DvError::MiniDb(format!("no such table `{name}`")))
     }
 
     /// Heap file path of a table.
     pub fn heap_path(dir: &Path, meta: &TableMeta) -> PathBuf {
         dir.join(&meta.heap)
     }
+}
+
+// ---------------------------------------------------------------- writer
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_catalog(cat: &Catalog) -> String {
+    let mut out = String::from("{\n  \"tables\": {");
+    for (i, (name, meta)) in cat.tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_string(name));
+        out.push_str(": {\n      \"schema\": { \"name\": ");
+        out.push_str(&json_string(&meta.schema.name));
+        out.push_str(", \"attrs\": [");
+        for (j, a) in meta.schema.attributes().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{ \"name\": {}, \"dtype\": {} }}",
+                json_string(&a.name),
+                json_string(a.dtype.descriptor_name())
+            ));
+        }
+        out.push_str("] },\n      \"heap\": ");
+        out.push_str(&json_string(&meta.heap));
+        out.push_str(&format!(",\n      \"rows\": {},\n      \"indexes\": [", meta.rows));
+        for (j, ix) in meta.indexes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{ \"attr\": {}, \"file\": {} }}",
+                json_string(&ix.attr),
+                json_string(&ix.file)
+            ));
+        }
+        out.push_str("]\n    }");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------- reader
+
+/// Minimal JSON value, sufficient for the catalog shape.
+enum Json {
+    Str(String),
+    Num(u64),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> std::result::Result<&'a Json, String> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key `{key}`")),
+            _ => Err(format!("expected object with key `{key}`")),
+        }
+    }
+
+    fn as_str(&self) -> std::result::Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected string".into()),
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> std::result::Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, c: u8) -> std::result::Result<(), String> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> std::result::Result<Json, String> {
+        match self.peek()? {
+            b'"' => self.string().map(Json::Str),
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected `{}` at byte {}", other as char, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> std::result::Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match c {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let slice =
+                            self.bytes.get(start..start + width).ok_or("truncated UTF-8")?;
+                        out.push_str(std::str::from_utf8(slice).map_err(|_| "bad UTF-8")?);
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> std::result::Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<u64>().map(Json::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+
+    fn object(&mut self) -> std::result::Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
+            }
+            self.skip_ws();
+        }
+    }
+
+    fn array(&mut self) -> std::result::Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
+            }
+        }
+    }
+}
+
+fn parse_catalog(text: &str) -> std::result::Result<Catalog, String> {
+    let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    let root = p.value()?;
+    let mut cat = Catalog::default();
+    let tables = root.get("tables")?;
+    let pairs = match tables {
+        Json::Obj(pairs) => pairs,
+        _ => return Err("`tables` must be an object".into()),
+    };
+    for (name, meta) in pairs {
+        let schema_v = meta.get("schema")?;
+        let schema_name = schema_v.get("name")?.as_str()?;
+        let attrs_v = match schema_v.get("attrs")? {
+            Json::Arr(items) => items,
+            _ => return Err("`attrs` must be an array".into()),
+        };
+        let mut attrs = Vec::with_capacity(attrs_v.len());
+        for a in attrs_v {
+            let attr_name = a.get("name")?.as_str()?;
+            let dtype = DataType::parse(a.get("dtype")?.as_str()?).map_err(|e| e.to_string())?;
+            attrs.push(Attribute::new(attr_name, dtype));
+        }
+        let schema = Schema::new(schema_name, attrs).map_err(|e| e.to_string())?;
+        let heap = meta.get("heap")?.as_str()?.to_string();
+        let rows = match meta.get("rows")? {
+            Json::Num(n) => *n,
+            _ => return Err("`rows` must be a number".into()),
+        };
+        let indexes_v = match meta.get("indexes")? {
+            Json::Arr(items) => items,
+            _ => return Err("`indexes` must be an array".into()),
+        };
+        let mut indexes = Vec::with_capacity(indexes_v.len());
+        for ix in indexes_v {
+            indexes.push(IndexMeta {
+                attr: ix.get("attr")?.as_str()?.to_string(),
+                file: ix.get("file")?.as_str()?.to_string(),
+            });
+        }
+        cat.tables.insert(name.clone(), TableMeta { schema, heap, rows, indexes });
+    }
+    Ok(cat)
 }
 
 #[cfg(test)]
@@ -98,10 +376,62 @@ mod tests {
 
     #[test]
     fn missing_catalog_is_empty() {
-        let dir =
-            std::env::temp_dir().join(format!("dv-minidb-cat-none-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("dv-minidb-cat-none-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let cat = Catalog::load(&dir).unwrap();
         assert!(cat.tables.is_empty());
+    }
+
+    #[test]
+    fn corrupt_catalog_reports_error() {
+        let dir = std::env::temp_dir().join(format!("dv-minidb-cat-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("catalog.json"), "{ \"tables\": [nope] }").unwrap();
+        let err = Catalog::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("corrupt catalog"), "{err}");
+    }
+
+    #[test]
+    fn multi_table_all_types_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dv-minidb-cat-mt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cat = Catalog::default();
+        let all = [
+            DataType::Char,
+            DataType::Short,
+            DataType::Int,
+            DataType::Long,
+            DataType::Float,
+            DataType::Double,
+        ];
+        let attrs: Vec<Attribute> =
+            all.iter().enumerate().map(|(i, t)| Attribute::new(format!("A{i}"), *t)).collect();
+        cat.tables.insert(
+            "WIDE".into(),
+            TableMeta {
+                schema: Schema::new("WIDE", attrs).unwrap(),
+                heap: "wide.heap".into(),
+                rows: 0,
+                indexes: vec![],
+            },
+        );
+        cat.tables.insert(
+            "E".into(),
+            TableMeta {
+                schema: Schema::new("E", vec![Attribute::new("K", DataType::Long)]).unwrap(),
+                heap: "e.heap".into(),
+                rows: u64::MAX,
+                indexes: vec![IndexMeta { attr: "K".into(), file: "e.k.idx".into() }],
+            },
+        );
+        cat.save(&dir).unwrap();
+        let back = Catalog::load(&dir).unwrap();
+        assert_eq!(back.tables.len(), 2);
+        let wide = back.table("WIDE").unwrap();
+        assert_eq!(wide.schema.len(), 6);
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(wide.schema.attr_at(i).dtype, *t);
+        }
+        assert_eq!(back.table("E").unwrap().rows, u64::MAX);
     }
 }

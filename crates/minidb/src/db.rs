@@ -109,26 +109,20 @@ impl MiniDb {
     /// Build a B+tree index on `attr` (sequential scan + bulk build).
     pub fn create_index(&mut self, table: &str, attr: &str) -> Result<()> {
         let meta = self.catalog.table(table)?.clone();
-        let attr_idx = meta.schema.index_of(attr).ok_or_else(|| {
-            DvError::MiniDb(format!("no attribute `{attr}` in table `{table}`"))
-        })?;
+        let attr_idx = meta
+            .schema
+            .index_of(attr)
+            .ok_or_else(|| DvError::MiniDb(format!("no attribute `{attr}` in table `{table}`")))?;
         let upper = meta.schema.attr_at(attr_idx).name.clone();
         let heap = HeapFile::open(&Catalog::heap_path(&self.dir, &meta))?;
         let mut entries = Vec::with_capacity(meta.rows as usize);
         heap.scan(&meta.schema, |tid, row| {
             entries.push((row[attr_idx].as_f64(), tid));
         })?;
-        let file = format!(
-            "{}.{}.idx",
-            table.to_ascii_lowercase(),
-            upper.to_ascii_lowercase()
-        );
+        let file = format!("{}.{}.idx", table.to_ascii_lowercase(), upper.to_ascii_lowercase());
         btree_build(&self.dir.join(&file), entries)?;
-        let table_meta = self
-            .catalog
-            .tables
-            .get_mut(&table.to_ascii_uppercase())
-            .expect("table just looked up");
+        let table_meta =
+            self.catalog.tables.get_mut(&table.to_ascii_uppercase()).expect("table just looked up");
         table_meta.indexes.retain(|i| i.attr != upper);
         table_meta.indexes.push(IndexMeta { attr: upper, file });
         self.catalog.save(&self.dir)
@@ -380,9 +374,7 @@ mod tests {
     #[test]
     fn udf_filter_works() {
         let db = loaded("udf", 1_000);
-        let (t, _) = db
-            .query("SELECT ID FROM DEMO WHERE DISTANCE(VAL, VAL, VAL) < 0.1")
-            .unwrap();
+        let (t, _) = db.query("SELECT ID FROM DEMO WHERE DISTANCE(VAL, VAL, VAL) < 0.1").unwrap();
         // sqrt(3 v²) < 0.1 → v < 0.0577 → ids 0..=5.
         assert_eq!(t.len(), 6);
     }

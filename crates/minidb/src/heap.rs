@@ -31,8 +31,7 @@ pub struct HeapWriter {
 impl HeapWriter {
     /// Create/truncate the heap file.
     pub fn create(path: &Path) -> Result<HeapWriter> {
-        let file =
-            File::create(path).map_err(|e| DvError::io(path.display().to_string(), e))?;
+        let file = File::create(path).map_err(|e| DvError::io(path.display().to_string(), e))?;
         Ok(HeapWriter {
             out: BufWriter::new(file),
             path: path.to_path_buf(),
@@ -93,8 +92,7 @@ impl HeapFile {
     /// Open an existing heap file.
     pub fn open(path: &Path) -> Result<HeapFile> {
         let file = File::open(path).map_err(|e| DvError::io(path.display().to_string(), e))?;
-        let len =
-            file.metadata().map_err(|e| DvError::io(path.display().to_string(), e))?.len();
+        let len = file.metadata().map_err(|e| DvError::io(path.display().to_string(), e))?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(DvError::MiniDb(format!(
                 "heap file {} is not page-aligned ({len} bytes)",
@@ -134,8 +132,8 @@ impl HeapFile {
     /// through a fresh buffered reader (streaming I/O like a real
     /// seqscan).
     pub fn scan(&self, schema: &Schema, mut visit: impl FnMut(TupleId, Row)) -> Result<()> {
-        let mut reader = File::open(&self.path)
-            .map_err(|e| DvError::io(self.path.display().to_string(), e))?;
+        let mut reader =
+            File::open(&self.path).map_err(|e| DvError::io(self.path.display().to_string(), e))?;
         reader
             .seek(SeekFrom::Start(0))
             .map_err(|e| DvError::io(self.path.display().to_string(), e))?;
@@ -158,10 +156,7 @@ impl HeapFile {
             for chunk in buf[..filled].chunks_exact(PAGE_SIZE) {
                 let page = Page::from_bytes(chunk);
                 for slot in 0..page.nslots() {
-                    visit(
-                        TupleId { page: page_no, slot },
-                        tuple::decode(schema, page.tuple(slot)),
-                    );
+                    visit(TupleId { page: page_no, slot }, tuple::decode(schema, page.tuple(slot)));
                 }
                 page_no += 1;
             }

@@ -13,6 +13,14 @@
 //! than complementing an (already widened) child result: complementing
 //! a superset would yield a subset, which is exactly the wrong
 //! direction.
+//!
+//! The guarantee is over **finite** attribute values. A `NaN` value
+//! satisfies every negated comparison under IEEE semantics
+//! (`!(NaN < 5)`), but no [`Interval`] contains it. That is fine here:
+//! pruning consumes this map only through implicit-attribute extents
+//! (integer-valued by construction: loop and binding variables) and
+//! chunk-index bounding boxes (finite min/max of stored data), so a
+//! `NaN` can never be the value that pruning decides on.
 
 use std::collections::HashMap;
 
@@ -37,9 +45,7 @@ pub fn attribute_ranges(pred: &BoundExpr) -> RangeMap {
 /// unconstrained (`all`), so intersection keeps the other side.
 fn and_maps(mut a: RangeMap, b: RangeMap) -> RangeMap {
     for (attr, set) in b {
-        a.entry(attr)
-            .and_modify(|cur| *cur = cur.intersect(&set))
-            .or_insert(set);
+        a.entry(attr).and_modify(|cur| *cur = cur.intersect(&set)).or_insert(set);
     }
     a
 }
@@ -146,10 +152,10 @@ mod tests {
         Schema::new(
             "T",
             vec![
-                Attribute::new("REL", DataType::Short), // 0
-                Attribute::new("TIME", DataType::Int),  // 1
+                Attribute::new("REL", DataType::Short),  // 0
+                Attribute::new("TIME", DataType::Int),   // 1
                 Attribute::new("SOIL", DataType::Float), // 2
-                Attribute::new("X", DataType::Float),   // 3
+                Attribute::new("X", DataType::Float),    // 3
             ],
         )
         .unwrap()
@@ -275,5 +281,34 @@ mod tests {
     fn contradiction_yields_empty_set() {
         let m = ranges_of("SELECT * FROM T WHERE TIME > 10 AND TIME < 5");
         assert!(m[&1].is_empty());
+    }
+
+    #[test]
+    fn or_with_contradictory_side_keeps_other_arm() {
+        // The left arm is unsatisfiable (empty set), so the union must
+        // equal the right arm exactly — an empty set is a valid operand
+        // of or_maps, not a special case.
+        let m = ranges_of("SELECT * FROM T WHERE (TIME > 10 AND TIME < 5) OR TIME = 7");
+        let t = &m[&1];
+        assert!(t.contains(7.0));
+        assert!(!t.contains(8.0));
+    }
+
+    #[test]
+    fn not_over_or_intersects() {
+        // NOT (TIME < 10 OR TIME > 20) = TIME >= 10 AND TIME <= 20 —
+        // the De Morgan swap must use and_maps on the negated arms.
+        let m = ranges_of("SELECT * FROM T WHERE NOT (TIME < 10 OR TIME > 20)");
+        let t = &m[&1];
+        assert!(t.contains(10.0) && t.contains(20.0));
+        assert!(!t.contains(9.0) && !t.contains(21.0));
+    }
+
+    #[test]
+    fn not_over_udf_unconstrained() {
+        // Pushing NOT into an opaque comparison must still widen to
+        // `all`, never complement a widened result.
+        let m = ranges_of("SELECT * FROM T WHERE NOT (SPEED(X, X, X) < 30.0)");
+        assert!(m.is_empty());
     }
 }

@@ -116,8 +116,15 @@ pub enum Scalar {
     IntLit(i64),
     FloatLit(f64),
     /// User-defined filter function call, e.g. `SPEED(OILVX, OILVY, OILVZ)`.
-    Func { name: String, args: Vec<Scalar> },
-    Arith { op: ArithOp, lhs: Box<Scalar>, rhs: Box<Scalar> },
+    Func {
+        name: String,
+        args: Vec<Scalar>,
+    },
+    Arith {
+        op: ArithOp,
+        lhs: Box<Scalar>,
+        rhs: Box<Scalar>,
+    },
     Neg(Box<Scalar>),
 }
 

@@ -20,8 +20,15 @@ pub enum BoundScalar {
     /// Constant (integer literals widen losslessly for our domains).
     Const(f64),
     /// UDF call by registry slot.
-    Func { slot: usize, args: Vec<BoundScalar> },
-    Arith { op: ArithOp, lhs: Box<BoundScalar>, rhs: Box<BoundScalar> },
+    Func {
+        slot: usize,
+        args: Vec<BoundScalar>,
+    },
+    Arith {
+        op: ArithOp,
+        lhs: Box<BoundScalar>,
+        rhs: Box<BoundScalar>,
+    },
 }
 
 /// A bound boolean expression.
@@ -118,12 +125,7 @@ pub fn bind(query: &Query, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundQ
         SelectList::Columns(cols) => schema.resolve(cols)?,
     };
     let predicate = query.predicate.as_ref().map(|p| bind_expr(p, schema, udfs)).transpose()?;
-    Ok(BoundQuery {
-        dataset: query.dataset.clone(),
-        schema: schema.clone(),
-        projection,
-        predicate,
-    })
+    Ok(BoundQuery { dataset: query.dataset.clone(), schema: schema.clone(), projection, predicate })
 }
 
 fn bind_expr(e: &Expr, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundExpr> {
@@ -160,10 +162,7 @@ fn bind_scalar(s: &Scalar, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundS
     Ok(match s {
         Scalar::Column(name) => {
             let idx = schema.index_of(name).ok_or_else(|| {
-                DvError::Binding(format!(
-                    "unknown attribute `{name}` in schema `{}`",
-                    schema.name
-                ))
+                DvError::Binding(format!("unknown attribute `{name}` in schema `{}`", schema.name))
             })?;
             BoundScalar::Attr(idx)
         }
@@ -258,8 +257,9 @@ mod tests {
 
     #[test]
     fn needed_attrs_union_select_and_where() {
-        let b = bindq("SELECT SOIL FROM IPARS WHERE TIME > 10 AND SPEED(OILVX, OILVY, OILVZ) < 30.0")
-            .unwrap();
+        let b =
+            bindq("SELECT SOIL FROM IPARS WHERE TIME > 10 AND SPEED(OILVX, OILVY, OILVZ) < 30.0")
+                .unwrap();
         assert_eq!(b.needed_attrs(), vec![1, 2, 3, 4, 5]);
     }
 
@@ -306,7 +306,10 @@ mod tests {
         let b = bind(&q, &schema(), &udfs).unwrap();
         match b.predicate.unwrap() {
             BoundExpr::Cmp { lhs: BoundScalar::Func { args, .. }, .. } => {
-                assert_eq!(args, vec![BoundScalar::Attr(3), BoundScalar::Attr(4), BoundScalar::Attr(5)]);
+                assert_eq!(
+                    args,
+                    vec![BoundScalar::Attr(3), BoundScalar::Attr(4), BoundScalar::Attr(5)]
+                );
             }
             other => panic!("got {other:?}"),
         }

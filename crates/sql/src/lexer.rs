@@ -71,9 +71,7 @@ impl<'a> Lexer<'a> {
                 }
                 b'0'..=b'9' | b'.' => self.number()?,
                 c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
-                other => {
-                    return Err(self.err(&format!("unexpected character `{}`", other as char)))
-                }
+                other => return Err(self.err(&format!("unexpected character `{}`", other as char))),
             };
             out.push(Token { kind, line, column });
         }
@@ -246,16 +244,10 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(kinds("select from where and or not in between")[..8], [
-            K::Select,
-            K::From,
-            K::Where,
-            K::And,
-            K::Or,
-            K::Not,
-            K::In,
-            K::Between
-        ]);
+        assert_eq!(
+            kinds("select from where and or not in between")[..8],
+            [K::Select, K::From, K::Where, K::And, K::Or, K::Not, K::In, K::Between]
+        );
     }
 
     #[test]

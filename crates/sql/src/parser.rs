@@ -98,8 +98,7 @@ impl Parser {
         let select = self.select_list()?;
         self.expect(TokenKind::From)?;
         let dataset = self.ident()?;
-        let predicate =
-            if self.eat(TokenKind::Where) { Some(self.or_expr()?) } else { None };
+        let predicate = if self.eat(TokenKind::Where) { Some(self.or_expr()?) } else { None };
         self.eat(TokenKind::Semi);
         Ok(Query { select, dataset, predicate })
     }
@@ -225,7 +224,11 @@ impl Parser {
                 let hi = self.scalar()?;
                 Ok(Expr::Between { expr: lhs, lo, hi, negated })
             }
-            TokenKind::Lt | TokenKind::Le | TokenKind::Gt | TokenKind::Ge | TokenKind::Eq
+            TokenKind::Lt
+            | TokenKind::Le
+            | TokenKind::Gt
+            | TokenKind::Ge
+            | TokenKind::Eq
             | TokenKind::Ne => {
                 let op = match self.advance() {
                     TokenKind::Lt => CmpOp::Lt,

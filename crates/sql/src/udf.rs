@@ -102,9 +102,10 @@ impl UdfRegistry {
     /// count is compatible; returns the slot for [`UdfRegistry::call`].
     pub fn resolve(&self, name: &str, arg_count: usize) -> Result<usize> {
         let upper = name.to_ascii_uppercase();
-        let slot = *self.by_name.get(&upper).ok_or_else(|| {
-            DvError::Binding(format!("unknown user-defined function `{name}`"))
-        })?;
+        let slot = *self
+            .by_name
+            .get(&upper)
+            .ok_or_else(|| DvError::Binding(format!("unknown user-defined function `{name}`")))?;
         if let Some(arity) = self.entries[slot].arity {
             if arg_count != arity {
                 return Err(DvError::Binding(format!(
@@ -119,9 +120,10 @@ impl UdfRegistry {
     /// none were registered). Used by the binder for bare `F()` calls.
     pub fn implicit_args(&self, name: &str) -> Result<&[String]> {
         let upper = name.to_ascii_uppercase();
-        let slot = *self.by_name.get(&upper).ok_or_else(|| {
-            DvError::Binding(format!("unknown user-defined function `{name}`"))
-        })?;
+        let slot = *self
+            .by_name
+            .get(&upper)
+            .ok_or_else(|| DvError::Binding(format!("unknown user-defined function `{name}`")))?;
         Ok(&self.entries[slot].implicit_args)
     }
 

@@ -9,7 +9,11 @@
 //!    rows, if the predicate accepts a row then every analyzed
 //!    attribute range contains the row's value. (This is the property
 //!    chunk pruning relies on: pruning must never lose a satisfying
-//!    row.)
+//!    row.) Predicates cover AND/OR/NOT nesting (plus explicit extra
+//!    NOT wrappers, so `or_maps` and the negation pushdown see both
+//!    parities), attribute-vs-attribute comparisons, arithmetic, and
+//!    builtin UDF calls — everything the analysis must widen to `all`
+//!    rather than constrain.
 
 use proptest::prelude::*;
 
@@ -51,7 +55,10 @@ fn arb_column() -> impl Strategy<Value = Scalar> {
 /// Literals on a small integer grid so that predicates and rows collide
 /// often (otherwise IN/= almost never hits).
 fn arb_literal() -> impl Strategy<Value = Scalar> {
-    prop_oneof![(-8i64..8).prop_map(Scalar::IntLit), (-8i64..8).prop_map(|v| Scalar::FloatLit(v as f64 / 2.0)),]
+    prop_oneof![
+        (-8i64..8).prop_map(Scalar::IntLit),
+        (-8i64..8).prop_map(|v| Scalar::FloatLit(v as f64 / 2.0)),
+    ]
 }
 
 fn arb_scalar() -> impl Strategy<Value = Scalar> {
@@ -63,21 +70,31 @@ fn arb_scalar() -> impl Strategy<Value = Scalar> {
                 lhs: Box::new(l),
                 rhs: Box::new(r)
             }),
-            (inner.clone(), inner).prop_map(|(l, r)| Scalar::Arith {
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Scalar::Arith {
                 op: ArithOp::Mul,
                 lhs: Box::new(l),
                 rhs: Box::new(r)
             }),
+            // UDF calls (builtin SPEED/DISTANCE, arity 3): analysis must
+            // treat these as unconstrainable, never as a narrowed range.
+            (prop_oneof![Just("SPEED"), Just("DISTANCE")], prop::collection::vec(inner, 3))
+                .prop_map(|(name, args)| Scalar::Func { name: name.to_string(), args }),
         ]
     })
 }
 
 fn arb_leaf_pred() -> impl Strategy<Value = Expr> {
     prop_oneof![
-        (arb_cmp_op(), arb_column(), arb_literal())
-            .prop_map(|(op, lhs, rhs)| Expr::Cmp { op, lhs, rhs }),
-        (arb_cmp_op(), arb_scalar(), arb_scalar())
-            .prop_map(|(op, lhs, rhs)| Expr::Cmp { op, lhs, rhs }),
+        (arb_cmp_op(), arb_column(), arb_literal()).prop_map(|(op, lhs, rhs)| Expr::Cmp {
+            op,
+            lhs,
+            rhs
+        }),
+        (arb_cmp_op(), arb_scalar(), arb_scalar()).prop_map(|(op, lhs, rhs)| Expr::Cmp {
+            op,
+            lhs,
+            rhs
+        }),
         (arb_column(), prop::collection::vec(arb_literal(), 1..4), any::<bool>())
             .prop_map(|(expr, list, negated)| Expr::InList { expr, list, negated }),
         (arb_column(), arb_literal(), arb_literal(), any::<bool>())
@@ -88,10 +105,8 @@ fn arb_leaf_pred() -> impl Strategy<Value = Expr> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     arb_leaf_pred().prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
             inner.prop_map(|e| Expr::Not(Box::new(e))),
         ]
     })
@@ -123,11 +138,18 @@ proptest! {
     #[test]
     fn range_analysis_is_sound(
         expr in arb_expr(),
+        // Extra NOT layers on top of whatever arb_expr generated: the
+        // negation pushdown (De Morgan swap of and_maps/or_maps,
+        // CmpOp::negate, IN/BETWEEN `negated` flips) is the subtlest
+        // part of the analysis, so exercise odd AND even depths
+        // explicitly rather than relying on recursion to produce them.
+        nots in 0usize..4,
         raw in prop::collection::vec(-8i32..8, 4),
     ) {
         let schema = schema();
+        let expr = (0..nots).fold(expr, |e, _| Expr::Not(Box::new(e)));
         let q = Query { select: SelectList::All, dataset: "T".into(), predicate: Some(expr) };
-        let udfs = UdfRegistry::new();
+        let udfs = UdfRegistry::with_builtins();
         let b = bind(&q, &schema, &udfs).unwrap();
         let pred = b.predicate.as_ref().unwrap();
 

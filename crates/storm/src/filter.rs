@@ -46,10 +46,7 @@ mod tests {
     fn schema() -> Schema {
         Schema::new(
             "T",
-            vec![
-                Attribute::new("A", DataType::Int),
-                Attribute::new("B", DataType::Float),
-            ],
+            vec![Attribute::new("A", DataType::Int), Attribute::new("B", DataType::Float)],
         )
         .unwrap()
     }

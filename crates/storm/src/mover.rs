@@ -80,8 +80,7 @@ mod tests {
         let bw = BandwidthModel { bytes_per_sec: 1000.0, latency: Duration::ZERO };
         assert_eq!(bw.delay_for(1000), Duration::from_secs(1));
         assert_eq!(bw.delay_for(250), Duration::from_millis(250));
-        let with_lat =
-            BandwidthModel { bytes_per_sec: 1000.0, latency: Duration::from_millis(5) };
+        let with_lat = BandwidthModel { bytes_per_sec: 1000.0, latency: Duration::from_millis(5) };
         assert_eq!(with_lat.delay_for(0), Duration::from_millis(5));
     }
 

@@ -112,9 +112,8 @@ mod tests {
         }
         let parts = partition_block(b, &PartitionStrategy::HashAttr { position: 0 }, 4, 0);
         // Each distinct value lands entirely on one processor.
-        for parts_with_42 in parts.iter().filter(|p| {
-            p.rows.iter().any(|r| r[0] == Value::Int(42))
-        }) {
+        for parts_with_42 in parts.iter().filter(|p| p.rows.iter().any(|r| r[0] == Value::Int(42)))
+        {
             assert!(parts_with_42.rows.iter().filter(|r| r[0] == Value::Int(42)).count() == 5);
         }
     }

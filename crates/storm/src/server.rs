@@ -168,9 +168,8 @@ impl StormServer {
                 // Phase 2b (the node's generated index function) runs
                 // here and counts as this node's work.
                 let busy_start = Instant::now();
-                let result = compiled
-                    .plan_node(&prep, node)
-                    .and_then(|np| worker.run(&np.afcs, &tx));
+                let result =
+                    compiled.plan_node(&prep, node).and_then(|np| worker.run(&np.afcs, &tx));
                 let _ = tx.send(MoverMessage::Done { node, result, busy: busy_start.elapsed() });
             });
         };
@@ -244,11 +243,7 @@ struct NodeWorker {
 }
 
 impl NodeWorker {
-    fn run(
-        &self,
-        afcs: &[Afc],
-        tx: &crossbeam::channel::Sender<MoverMessage>,
-    ) -> Result<()> {
+    fn run(&self, afcs: &[Afc], tx: &crossbeam::channel::Sender<MoverMessage>) -> Result<()> {
         if self.opts.intra_node_threads <= 1 {
             return self.run_stripe(afcs, tx);
         }
@@ -281,7 +276,8 @@ impl NodeWorker {
             // Batch AFCs until the block reaches the target row count.
             let mut block = RowBlock::new(self.node);
             let mut batched_rows = 0u64;
-            while i < afcs.len() && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
+            while i < afcs.len()
+                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
             {
                 let afc = &afcs[i];
                 self.extractor.extract_into_with(afc, &mut block, &mut scratch)?;
@@ -301,8 +297,7 @@ impl NodeWorker {
             project_block(&mut block, &self.output_positions);
 
             if self.opts.client_processors == 1 {
-                let bytes =
-                    send_block(tx, 0, block, self.opts.bandwidth.as_ref())?;
+                let bytes = send_block(tx, 0, block, self.opts.bandwidth.as_ref())?;
                 self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
             } else {
                 let parts = partition_block(

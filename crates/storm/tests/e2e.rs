@@ -1,7 +1,7 @@
 //! End-to-end tests: generate tiny datasets, run SQL through the full
 //! service stack, verify against independently computed references.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use dv_datagen::{ipars, titan, IparsConfig, IparsLayout, TitanConfig};
@@ -17,7 +17,7 @@ fn tmpbase(tag: &str) -> PathBuf {
     d
 }
 
-fn ipars_server(base: &PathBuf, cfg: &IparsConfig, layout: IparsLayout) -> StormServer {
+fn ipars_server(base: &Path, cfg: &IparsConfig, layout: IparsLayout) -> StormServer {
     let desc = ipars::generate(base, cfg, layout).unwrap();
     let compiled = compile_from_text(&desc, base).unwrap();
     StormServer::new(Arc::new(compiled), UdfRegistry::with_builtins())
@@ -234,7 +234,9 @@ fn titan_box_query_matches_reference() {
     let mut reference = Table::empty(server.model().schema.clone());
     for row in cfg.all_rows() {
         let (x, y, z) = (row[0].as_f64(), row[1].as_f64(), row[2].as_f64());
-        if (0.0..=30000.0).contains(&x) && (0.0..=30000.0).contains(&y) && (0.0..=300.0).contains(&z)
+        if (0.0..=30000.0).contains(&x)
+            && (0.0..=30000.0).contains(&y)
+            && (0.0..=300.0).contains(&z)
         {
             reference.rows.push(row);
         }
@@ -269,8 +271,9 @@ fn titan_distance_udf() {
     let compiled = compile_from_text(&desc, &base).unwrap();
     let server = StormServer::new(Arc::new(compiled), UdfRegistry::with_builtins());
 
-    let (table, _) =
-        server.execute_table("SELECT X, Y, Z FROM TitanData WHERE DISTANCE(X, Y, Z) < 20000.0").unwrap();
+    let (table, _) = server
+        .execute_table("SELECT X, Y, Z FROM TitanData WHERE DISTANCE(X, Y, Z) < 20000.0")
+        .unwrap();
     let expected = cfg
         .all_rows()
         .filter(|r| {

@@ -5,13 +5,12 @@
 //! on-disk width; datasets are stored little-endian, matching the x86
 //! clusters the paper targets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::{DvError, Result};
 
 /// A scalar type declared in a dataset schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// `char` — a single byte (used for flags and small categorical
     /// codes in scientific outputs).
@@ -61,7 +60,8 @@ impl DataType {
     /// Figure 4 (`short int`, `long int`) as well as single-word
     /// synonyms. Matching is case-insensitive.
     pub fn parse(name: &str) -> Result<DataType> {
-        let squashed: String = name.split_whitespace().collect::<Vec<_>>().join(" ").to_ascii_lowercase();
+        let squashed: String =
+            name.split_whitespace().collect::<Vec<_>>().join(" ").to_ascii_lowercase();
         match squashed.as_str() {
             "char" | "byte" | "int8" => Ok(DataType::Char),
             "short" | "short int" | "int16" => Ok(DataType::Short),

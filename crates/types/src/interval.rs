@@ -9,11 +9,9 @@
 //! which exactly represents every comparison the SQL subset can
 //! express over both integer and floating attributes.
 
-use serde::{Deserialize, Serialize};
-
 /// One interval with optionally open endpoints. Unbounded sides use
 /// `-inf`/`+inf` with a closed flag of `false`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     pub lo: f64,
     pub lo_closed: bool,
@@ -108,7 +106,7 @@ impl Interval {
 }
 
 /// A normalized (sorted, disjoint, non-adjacent) union of intervals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalSet {
     ivs: Vec<Interval>,
 }
@@ -175,17 +173,10 @@ impl IntervalSet {
 
     /// Set union.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        let mut all: Vec<Interval> = self
-            .ivs
-            .iter()
-            .chain(other.ivs.iter())
-            .copied()
-            .filter(|iv| !iv.is_empty())
-            .collect();
+        let mut all: Vec<Interval> =
+            self.ivs.iter().chain(other.ivs.iter()).copied().filter(|iv| !iv.is_empty()).collect();
         all.sort_by(|a, b| {
-            a.lo.partial_cmp(&b.lo)
-                .unwrap()
-                .then_with(|| b.lo_closed.cmp(&a.lo_closed))
+            a.lo.partial_cmp(&b.lo).unwrap().then_with(|| b.lo_closed.cmp(&a.lo_closed))
         });
         let mut out: Vec<Interval> = Vec::with_capacity(all.len());
         for iv in all {

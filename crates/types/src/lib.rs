@@ -27,6 +27,7 @@ pub mod error;
 pub mod interval;
 pub mod row;
 pub mod schema;
+pub mod span;
 pub mod value;
 
 pub use datatype::DataType;
@@ -34,4 +35,5 @@ pub use error::{DvError, Result};
 pub use interval::{Interval, IntervalSet};
 pub use row::{Row, RowBlock, Table};
 pub use schema::{Attribute, Schema};
+pub use span::Span;
 pub use value::Value;

@@ -4,7 +4,6 @@
 //! share a schema); the data-mover service ships blocks to client
 //! processors; clients assemble them into a [`Table`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::schema::Schema;
@@ -18,7 +17,7 @@ pub type Row = Vec<Value>;
 /// Blocks are the unit of transfer between STORM services: extraction
 /// emits blocks, filtering rewrites them in place, partition generation
 /// tags them, and the data mover serializes them onto channels.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RowBlock {
     /// Rows in extraction order.
     pub rows: Vec<Row>,
@@ -57,7 +56,7 @@ impl RowBlock {
 }
 
 /// A complete query result: a projected schema plus all rows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Schema of the result (projection of the dataset schema).
     pub schema: Schema,

@@ -6,14 +6,13 @@
 //! and the SQL subset are case-insensitive over identifiers (the paper
 //! freely mixes `Dataset`/`DATASET` and `TIME`/`Time`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::datatype::DataType;
 use crate::error::{DvError, Result};
 
 /// One named, typed column of the virtual table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Upper-cased attribute name.
     pub name: String,
@@ -29,7 +28,7 @@ impl Attribute {
 }
 
 /// The logical relational table view (ordered attribute list).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     /// Schema name as declared in the descriptor (`[IPARS]`), upper-cased.
     pub name: String,

@@ -1,0 +1,94 @@
+//! Byte spans into descriptor / query source text.
+//!
+//! Spans are carried by tokens and AST nodes so that semantic checks
+//! and lints can point at the exact source region. A [`Span`] compares
+//! equal to every other span on purpose: AST round-trip tests compare
+//! a parsed tree against the re-parse of its pretty-printed rendering,
+//! and that rendering legitimately moves every byte offset. Positions
+//! are diagnostics metadata, not part of a node's identity.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into some source text.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// The empty placeholder span used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Span over `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// True for synthesized nodes with no source location.
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// Smallest span covering both `self` and `other`. A dummy operand
+    /// yields the other span unchanged.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source.as_bytes()[..self.start.min(source.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+        (line, col)
+    }
+}
+
+/// All spans are equal: source positions never affect AST equality.
+impl PartialEq for Span {
+    fn eq(&self, _other: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_position() {
+        assert_eq!(Span::new(3, 9), Span::new(100, 200));
+        assert_eq!(Span::DUMMY, Span::new(5, 6));
+    }
+
+    #[test]
+    fn join_covers_both() {
+        let j = Span::new(10, 14).to(Span::new(2, 6));
+        assert!(j.start == 2 && j.end == 14);
+        let d = Span::DUMMY.to(Span::new(7, 9));
+        assert!(d.start == 7 && d.end == 9);
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "abc\ndef\nxyz";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(5, 6).line_col(src), (2, 2));
+        assert_eq!(Span::new(9, 10).line_col(src), (3, 2));
+    }
+}

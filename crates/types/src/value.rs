@@ -6,7 +6,6 @@
 //! greater than every number, matching the behaviour of `f64::total_cmp`
 //! restricted to the values scientific codes actually emit).
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -14,7 +13,7 @@ use crate::datatype::DataType;
 use crate::error::{DvError, Result};
 
 /// One scalar cell value.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum Value {
     Char(u8),
     Short(i16),
@@ -158,7 +157,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for Value {

@@ -33,19 +33,12 @@ fn main() {
 
     let queries = [
         ("full scan", "SELECT * FROM IparsData".to_string()),
-        (
-            "time range",
-            "SELECT * FROM IparsData WHERE TIME >= 10 AND TIME <= 15".to_string(),
-        ),
+        ("time range", "SELECT * FROM IparsData WHERE TIME >= 10 AND TIME <= 15".to_string()),
         (
             "range+filter",
-            "SELECT * FROM IparsData WHERE TIME >= 10 AND TIME <= 15 AND SOIL > 0.7"
-                .to_string(),
+            "SELECT * FROM IparsData WHERE TIME >= 10 AND TIME <= 15 AND SOIL > 0.7".to_string(),
         ),
-        (
-            "projection",
-            "SELECT TIME, SOIL FROM IparsData WHERE REL = 0".to_string(),
-        ),
+        ("projection", "SELECT TIME, SOIL FROM IparsData WHERE REL = 0".to_string()),
     ];
 
     println!(

@@ -83,7 +83,8 @@ fn main() {
     println!("  ({} KiB moved in {:?})", stats.bytes_moved / 1024, stats.exec_time);
 
     // --- remote client over a simulated wide-area link ---
-    let remote = QueryOptions { bandwidth: Some(BandwidthModel::wide_area()), ..Default::default() };
+    let remote =
+        QueryOptions { bandwidth: Some(BandwidthModel::wide_area()), ..Default::default() };
     let sql = format!(
         "SELECT TIME, SOIL FROM IparsData WHERE REL = {} AND TIME >= 20 AND TIME <= 25",
         best.0

@@ -30,8 +30,7 @@ fn main() {
         seed: 42,
     };
     println!("generating {} logical rows of IPARS data ...", cfg.rows());
-    let descriptor =
-        ipars::generate(&base, &cfg, IparsLayout::L0).expect("generate dataset");
+    let descriptor = ipars::generate(&base, &cfg, IparsLayout::L0).expect("generate dataset");
 
     // 2. The meta-data descriptor is plain text — this is everything
     //    the administrator writes.
@@ -44,10 +43,8 @@ fn main() {
 
     // 3. Compile the descriptor; the tool generates the index and
     //    extraction functions.
-    let v = Virtualizer::builder(&descriptor)
-        .storage_base(&base)
-        .build()
-        .expect("compile descriptor");
+    let v =
+        Virtualizer::builder(&descriptor).storage_base(&base).build().expect("compile descriptor");
     println!(
         "virtual table `{}` with {} attributes over {} files on {} nodes\n",
         v.model().dataset_name,

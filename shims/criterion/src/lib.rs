@@ -1,0 +1,129 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the surface the bench targets use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_custom`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical
+//! machinery. Results print as `name  median-per-iter (total iters)`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[bench] group {name}");
+        BenchmarkGroup { _c: self, name, sample_size: 20, measurement_time: Duration::from_secs(1) }
+    }
+
+    /// Stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (floor of iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget — accepted for API compatibility, ignored (the
+    /// shim runs a fixed number of iterations with no warm-up phase).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            budget: self.measurement_time,
+            elapsed: Duration::ZERO,
+            done: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.done > 0 { b.elapsed / b.done as u32 } else { Duration::ZERO };
+        eprintln!("[bench] {}/{}: {:?}/iter ({} iters)", self.name, name.into(), per_iter, b.done);
+    }
+
+    /// End the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Measurement handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    budget: Duration,
+    elapsed: Duration,
+    done: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over repeated calls until the sample count or
+    /// time budget is reached.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up call outside the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        let mut done = 0u64;
+        while done < self.iters && start.elapsed() < self.budget {
+            black_box(routine());
+            done += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.done = done.max(1);
+    }
+
+    /// Variant where the routine does its own timing over `iters`
+    /// iterations and reports the elapsed time.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        let iters = self.iters.max(1);
+        self.elapsed = routine(iters);
+        self.done = iters;
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crate registry, so this workspace
+//! ships the one crossbeam facility the runtime uses: `channel`
+//! with unbounded channels whose `Sender` is `Sync` (std's mpsc
+//! `Sender` is only `Send`; here it is wrapped in a `Mutex` so a
+//! reference can be shared across scoped threads, matching crossbeam's
+//! sharing model).
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::{mpsc, Mutex};
+
+    /// Sending half of an unbounded channel. Clonable and `Sync`.
+    pub struct Sender<T> {
+        inner: Mutex<mpsc::Sender<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; errors when the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let guard = self.inner.lock().expect("sender mutex poisoned");
+            guard.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let guard = self.inner.lock().expect("sender mutex poisoned");
+            Sender { inner: Mutex::new(guard.clone()) }
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocking iterator that ends when all senders are gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Borrowed receiver iterator.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning receiver iterator.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Error returned by [`Sender::send`] after receiver disconnect;
+    /// carries the unsent message back to the caller.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] after all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: Mutex::new(tx) }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn shared_sender_across_scoped_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            std::thread::scope(|s| {
+                for i in 0..4 {
+                    let tx = &tx;
+                    s.spawn(move || tx.send(i).unwrap());
+                }
+            });
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn send_after_receiver_drop_errors() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}

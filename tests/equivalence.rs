@@ -11,14 +11,7 @@ use dv_sql::{bind, parse, UdfRegistry};
 use dv_types::Table;
 
 fn ipars_cfg() -> IparsConfig {
-    IparsConfig {
-        realizations: 2,
-        time_steps: 6,
-        grid_per_dir: 25,
-        dirs: 2,
-        nodes: 2,
-        seed: 31,
-    }
+    IparsConfig { realizations: 2, time_steps: 6, grid_per_dir: 25, dirs: 2, nodes: 2, seed: 31 }
 }
 
 const IPARS_QUERIES: [&str; 6] = [
@@ -45,11 +38,8 @@ fn generated_equals_oracle_for_every_layout_and_query() {
             let b = bind(&parse(sql).unwrap(), &schema, &udfs).unwrap();
             let working: Vec<usize> = (0..schema.len()).collect();
             let cx = dv_sql::eval::EvalContext::new(schema.len(), &working, &udfs);
-            let names: Vec<&str> = b
-                .projection
-                .iter()
-                .map(|&i| schema.attr_at(i).name.as_str())
-                .collect();
+            let names: Vec<&str> =
+                b.projection.iter().map(|&i| schema.attr_at(i).name.as_str()).collect();
             ipars_oracle(
                 &cfg,
                 &schema,
@@ -97,11 +87,7 @@ fn generated_equals_minidb() {
     let mut db = MiniDb::open(&dbdir, UdfRegistry::with_builtins()).unwrap();
     // "Load the data into the DBMS" — schema name must match FROM.
     let mut schema = v.schema().clone();
-    schema = dv_types::Schema::new(
-        "IPARSDATA",
-        schema.attributes().to_vec(),
-    )
-    .unwrap();
+    schema = dv_types::Schema::new("IPARSDATA", schema.attributes().to_vec()).unwrap();
     db.load_table(&schema, cfg.all_rows()).unwrap();
     db.create_index("IPARSDATA", "TIME").unwrap();
 
@@ -127,8 +113,7 @@ fn titan_three_way() {
 
     let dbdir = scratch("titan3-db");
     let mut db = MiniDb::open(&dbdir, UdfRegistry::with_builtins()).unwrap();
-    let schema =
-        dv_types::Schema::new("TITANDATA", v.schema().attributes().to_vec()).unwrap();
+    let schema = dv_types::Schema::new("TITANDATA", v.schema().attributes().to_vec()).unwrap();
     db.load_table(&schema, cfg.all_rows()).unwrap();
     db.create_index("TITANDATA", "X").unwrap();
     db.create_index("TITANDATA", "S1").unwrap();

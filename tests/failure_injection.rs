@@ -68,10 +68,8 @@ fn wrong_storage_base_is_clean_error() {
     let base = scratch("wrongbase");
     let cfg = IparsConfig::tiny();
     let descriptor = ipars::generate(&base, &cfg, IparsLayout::V).unwrap();
-    let v = Virtualizer::builder(&descriptor)
-        .storage_base(base.join("nonexistent"))
-        .build()
-        .unwrap();
+    let v =
+        Virtualizer::builder(&descriptor).storage_base(base.join("nonexistent")).build().unwrap();
     let err = v.query("SELECT * FROM IparsData").unwrap_err();
     assert!(matches!(err, dv_core::DvError::Io { .. }));
 }
@@ -96,8 +94,7 @@ fn contradictory_predicate_returns_empty() {
     let cfg = IparsConfig::tiny();
     let descriptor = ipars::generate(&base, &cfg, IparsLayout::III).unwrap();
     let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
-    let (t, stats) =
-        v.query("SELECT * FROM IparsData WHERE TIME > 2 AND TIME < 2").unwrap();
+    let (t, stats) = v.query("SELECT * FROM IparsData WHERE TIME > 2 AND TIME < 2").unwrap();
     assert!(t.is_empty());
     assert_eq!(stats.bytes_read, 0, "contradiction must not read anything");
 }

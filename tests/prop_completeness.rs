@@ -62,7 +62,7 @@ fn arb_query() -> impl Strategy<Value = QuerySpec> {
 
 proptest! {
     // Each case generates a dataset on disk; keep the count modest.
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn virtualized_equals_oracle(cfg in arb_cfg(), layout in arb_layout(), q in arb_query()) {
@@ -133,7 +133,7 @@ mod titan_boxes {
     use dv_types::Table;
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig::with_cases(16))]
 
         #[test]
         fn titan_box_equals_oracle(
