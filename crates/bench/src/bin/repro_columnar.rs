@@ -1,0 +1,180 @@
+//! Columnar-vs-row execution ablation — the tentpole measurement for
+//! the vectorized extract → filter → partition pipeline.
+//!
+//! ```text
+//! cargo run --release -p dv-bench --bin repro_columnar
+//! ```
+//!
+//! Runs the fig9 scan-heavy Ipars query set twice per layout — once
+//! with `ExecMode::RowAtATime` (the original row-oriented pipeline,
+//! kept for exactly this ablation) and once with the default
+//! `ExecMode::Columnar` — asserts identical result cardinalities, and
+//! writes the measured speedups to `BENCH_columnar.json` at the repo
+//! root (override the path with `DV_BENCH_OUT`).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dv_bench::queries::ipars_queries;
+use dv_bench::stage::stage_ipars;
+use dv_bench::{ms, print_table, ratio, scaled};
+use dv_core::{ExecMode, QueryOptions, Virtualizer};
+use dv_datagen::{IparsConfig, IparsLayout};
+
+fn cfg() -> IparsConfig {
+    IparsConfig {
+        realizations: 4,
+        time_steps: 40,
+        grid_per_dir: scaled(1250),
+        dirs: 4,
+        nodes: 4,
+        seed: 909,
+    }
+}
+
+/// Simulated cluster time of one query under one execution mode.
+fn run_mode(v: &Virtualizer, sql: &str, exec: ExecMode) -> (usize, Duration) {
+    let opts = QueryOptions { sequential_nodes: true, exec, ..Default::default() };
+    dv_bench::min_over(3, || {
+        let (tables, stats) = v.query_with(sql, &opts).unwrap();
+        (tables[0].len(), stats.simulated_parallel_time())
+    })
+}
+
+struct Measurement {
+    layout: String,
+    query_no: usize,
+    what: &'static str,
+    rows: usize,
+    row_time: Duration,
+    col_time: Duration,
+}
+
+fn main() {
+    let cfg = cfg();
+    println!("# Columnar block execution — row-at-a-time vs columnar ablation\n");
+    println!(
+        "dataset: {} rows (~{} MiB per layout), 4 nodes; times are simulated cluster wall \
+         times (max over per-node pipelines)",
+        cfg.rows(),
+        cfg.rows() * cfg.row_bytes() / (1024 * 1024)
+    );
+
+    let queries = ipars_queries("IparsData", cfg.time_steps);
+
+    // L0 (the original 18-file layout) and Layout I (one file): the
+    // two extremes of fig9's fan-in axis, so the ablation covers both
+    // many-small-reads and one-big-read extraction.
+    let mut results: Vec<Measurement> = Vec::new();
+    for layout in [IparsLayout::L0, IparsLayout::I] {
+        // Same staging keys as repro_fig9 — datasets are shared.
+        let (base, desc) = stage_ipars(&format!("fig9-{}", layout.tag()), &cfg, layout);
+        dv_bench::warm_dir(&base);
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        for q in &queries {
+            let (row_rows, row_time) = run_mode(&v, &q.sql, ExecMode::RowAtATime);
+            let (col_rows, col_time) = run_mode(&v, &q.sql, ExecMode::Columnar);
+            assert_eq!(
+                row_rows,
+                col_rows,
+                "{} q{}: columnar and row paths disagree on cardinality",
+                layout.label(),
+                q.no
+            );
+            results.push(Measurement {
+                layout: layout.label().to_string(),
+                query_no: q.no,
+                what: q.what,
+                rows: row_rows,
+                row_time,
+                col_time,
+            });
+        }
+    }
+
+    let table_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            vec![
+                m.layout.clone(),
+                format!("{} ({})", m.query_no, m.what),
+                m.rows.to_string(),
+                ms(m.row_time),
+                ms(m.col_time),
+                ratio(m.row_time, m.col_time),
+            ]
+        })
+        .collect();
+    print_table(
+        "Columnar ablation — per-query times (ms)",
+        &["layout", "query", "rows", "row", "columnar", "speedup"],
+        &table_rows,
+    );
+
+    let geomean = geomean_speedup(&results);
+    println!("\ngeomean speedup (columnar over row, all layout x query cells): {geomean:.2}x");
+
+    let out = out_path();
+    std::fs::write(&out, render_json(&cfg, &results, geomean)).expect("write bench JSON");
+    println!("wrote {}", out.display());
+}
+
+fn geomean_speedup(results: &[Measurement]) -> f64 {
+    let log_sum: f64 = results
+        .iter()
+        .map(|m| (m.row_time.as_secs_f64() / m.col_time.as_secs_f64().max(1e-9)).ln())
+        .sum();
+    (log_sum / results.len() as f64).exp()
+}
+
+fn out_path() -> PathBuf {
+    match std::env::var("DV_BENCH_OUT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => {
+            // crates/bench -> workspace root.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest.parent().unwrap().parent().unwrap().join("BENCH_columnar.json")
+        }
+    }
+}
+
+/// Hand-formatted JSON (the workspace carries no serde).
+fn render_json(cfg: &IparsConfig, results: &[Measurement], geomean: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"columnar-vs-row\",\n");
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"ipars\", \"rows\": {}, \"realizations\": {}, \
+         \"time_steps\": {}, \"grid_per_dir\": {}, \"dirs\": {}, \"nodes\": {}, \"seed\": {}}},\n",
+        cfg.rows(),
+        cfg.realizations,
+        cfg.time_steps,
+        cfg.grid_per_dir,
+        cfg.dirs,
+        cfg.nodes,
+        cfg.seed
+    ));
+    s.push_str(&format!("  \"quick_mode\": {},\n", dv_bench::quick_mode()));
+    s.push_str("  \"runs\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let row_ms = m.row_time.as_secs_f64() * 1e3;
+        let col_ms = m.col_time.as_secs_f64() * 1e3;
+        let speedup = m.row_time.as_secs_f64() / m.col_time.as_secs_f64().max(1e-9);
+        s.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"query\": {}, \"what\": \"{}\", \"rows\": {}, \
+             \"row_ms\": {:.3}, \"columnar_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            m.layout,
+            m.query_no,
+            m.what,
+            m.rows,
+            row_ms,
+            col_ms,
+            speedup,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"geomean_speedup\": {geomean:.3}\n"));
+    s.push_str("}\n");
+    s
+}

@@ -38,7 +38,9 @@ use std::sync::Arc;
 pub use dv_descriptor::DatasetModel;
 pub use dv_layout::{CompiledDataset, FileIssue, QueryPlan};
 pub use dv_sql::{BoundQuery, UdfRegistry};
-pub use dv_storm::{BandwidthModel, PartitionStrategy, QueryOptions, QueryStats, StormServer};
+pub use dv_storm::{
+    BandwidthModel, ExecMode, PartitionStrategy, QueryOptions, QueryStats, StormServer,
+};
 pub use dv_types::{DvError, Result, Row, Schema, Table, Value};
 
 /// Builder for a [`Virtualizer`].

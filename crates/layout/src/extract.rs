@@ -11,8 +11,8 @@ use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use dv_types::{DvError, Result, RowBlock, Value};
-use std::sync::Mutex;
+use dv_types::{ColumnBlock, ColumnData, ColumnGen, DvError, Result, RowBlock, Value};
+use std::sync::RwLock;
 
 use crate::afc::{Afc, ImplicitValue};
 use crate::plan::CompiledDataset;
@@ -24,7 +24,10 @@ pub struct Extractor {
     paths: Arc<Vec<PathBuf>>,
     /// Working-row width (number of attributes to materialize).
     row_width: usize,
-    handles: Arc<Mutex<HashMap<usize, Arc<File>>>>,
+    handles: Arc<RwLock<HashMap<usize, Arc<File>>>>,
+    /// `DV_ROWMAJOR` ablation flag, read once at construction rather
+    /// than once per AFC on the hot path.
+    rowmajor: bool,
 }
 
 impl Extractor {
@@ -35,22 +38,25 @@ impl Extractor {
         Extractor {
             paths: Arc::new(paths),
             row_width,
-            handles: Arc::new(Mutex::new(HashMap::new())),
+            handles: Arc::new(RwLock::new(HashMap::new())),
+            rowmajor: std::env::var_os("DV_ROWMAJOR").is_some(),
         }
     }
 
     fn open(&self, file: usize) -> Result<Arc<File>> {
-        {
-            let cache = self.handles.lock().expect("handle cache poisoned");
-            if let Some(h) = cache.get(&file) {
-                return Ok(Arc::clone(h));
-            }
+        // Read-fast path: after warm-up every lookup takes only the
+        // shared lock.
+        if let Some(h) = self.handles.read().expect("handle cache poisoned").get(&file) {
+            return Ok(Arc::clone(h));
         }
         let path = &self.paths[file];
         let handle =
             Arc::new(File::open(path).map_err(|e| DvError::io(path.display().to_string(), e))?);
-        self.handles.lock().expect("handle cache poisoned").insert(file, Arc::clone(&handle));
-        Ok(handle)
+        // A racing opener may have inserted already; keep whichever
+        // handle is in the cache (both point at the same file).
+        Ok(Arc::clone(
+            self.handles.write().expect("handle cache poisoned").entry(file).or_insert(handle),
+        ))
     }
 
     /// Read and decode one AFC into rows, appending to `block`.
@@ -87,7 +93,7 @@ impl Extractor {
         }
         let rows = &mut block.rows[start..];
 
-        if std::env::var_os("DV_ROWMAJOR").is_some() {
+        if self.rowmajor {
             // Experimental row-major decode path (perf comparison).
             let strides: Vec<usize> = afc.entries.iter().map(|e| e.stride as usize).collect();
             for (r, row) in rows.iter_mut().enumerate() {
@@ -166,6 +172,99 @@ impl Extractor {
         let mut scratch = ExtractScratch::default();
         for afc in afcs {
             self.extract_into_with(afc, &mut block, &mut scratch)?;
+        }
+        Ok(block)
+    }
+
+    /// Read and decode one AFC straight into typed columns — the
+    /// columnar hot path. Each scheduled field runs one tight
+    /// strided-copy loop from the read buffer into its native `Vec`
+    /// (no per-row `Vec<Value>` allocation, no placeholder pre-fill);
+    /// implicit attributes append lazy generator runs instead of
+    /// materializing anything.
+    pub fn extract_columns_with(
+        &self,
+        afc: &Afc,
+        block: &mut ColumnBlock,
+        scratch: &mut ExtractScratch,
+    ) -> Result<()> {
+        debug_assert_eq!(block.columns.len(), self.row_width);
+        while scratch.buffers.len() < afc.entries.len() {
+            scratch.buffers.push(Vec::new());
+        }
+        for (e, buf) in afc.entries.iter().zip(scratch.buffers.iter_mut()) {
+            let handle = self.open(e.file)?;
+            let len = (afc.num_rows * e.stride) as usize;
+            buf.resize(len, 0);
+            read_exact_at(&handle, &mut buf[..len], e.offset, &self.paths[e.file])?;
+        }
+
+        let n = afc.num_rows as usize;
+        for f in &afc.fields {
+            let stride = afc.entries[f.entry].stride as usize;
+            let buf = &scratch.buffers[f.entry][..];
+            let off = f.byte_off;
+            let col = block.columns[f.working_pos].append_data();
+            macro_rules! fill {
+                ($variant:ident, $ty:ty, $size:expr) => {{
+                    let ColumnData::$variant(v) = col else {
+                        return Err(DvError::Runtime(format!(
+                            "column {} type mismatch decoding {:?}",
+                            f.working_pos, f.dtype
+                        )));
+                    };
+                    v.reserve(n);
+                    for r in 0..n {
+                        let at = r * stride + off;
+                        v.push(<$ty>::from_le_bytes(buf[at..at + $size].try_into().unwrap()));
+                    }
+                }};
+            }
+            match f.dtype {
+                dv_types::DataType::Char => {
+                    let ColumnData::Char(v) = col else {
+                        return Err(DvError::Runtime(format!(
+                            "column {} type mismatch decoding Char",
+                            f.working_pos
+                        )));
+                    };
+                    v.reserve(n);
+                    for r in 0..n {
+                        v.push(buf[r * stride + off]);
+                    }
+                }
+                dv_types::DataType::Short => fill!(Short, i16, 2),
+                dv_types::DataType::Int => fill!(Int, i32, 4),
+                dv_types::DataType::Long => fill!(Long, i64, 8),
+                dv_types::DataType::Float => fill!(Float, f32, 4),
+                dv_types::DataType::Double => fill!(Double, f64, 8),
+            }
+        }
+        for (pos, imp) in &afc.implicits {
+            let gen = match imp {
+                ImplicitValue::Const(v) => ColumnGen::Const(*v),
+                ImplicitValue::Affine { start, step, .. } => {
+                    ColumnGen::Affine { start: *start, step: *step }
+                }
+            };
+            block.columns[*pos].push_run(n, gen);
+        }
+        block.advance_rows(n);
+        Ok(())
+    }
+
+    /// Convenience: extract a batch of AFCs into a fresh columnar
+    /// block (used by tests and the ablation harness).
+    pub fn extract_all_columns(
+        &self,
+        afcs: &[Afc],
+        source_node: usize,
+        dtypes: &[dv_types::DataType],
+    ) -> Result<ColumnBlock> {
+        let mut block = ColumnBlock::with_dtypes(source_node, dtypes);
+        let mut scratch = ExtractScratch::default();
+        for afc in afcs {
+            self.extract_columns_with(afc, &mut block, &mut scratch)?;
         }
         Ok(block)
     }
@@ -316,6 +415,33 @@ DATASET "IparsData" {
         // TIME even though pruning already captured them.
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].len(), 3);
+    }
+
+    #[test]
+    fn columnar_extraction_matches_rows() {
+        let base = tmpbase("columnar");
+        write_dataset(&base);
+        let compiled = crate::plan::compile_from_text(DESC, &base).unwrap();
+        let sqls = [
+            "SELECT * FROM IparsData",
+            "SELECT SOIL FROM IparsData WHERE REL = 0 AND TIME = 1",
+            "SELECT X FROM IparsData WHERE TIME = 2",
+        ];
+        for sql in sqls {
+            let q = parse(sql).unwrap();
+            let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+            let plan = compiled.plan_query(&b).unwrap();
+            let ex = Extractor::new(&compiled, plan.working.attrs.len());
+            for np in &plan.node_plans {
+                let rows = ex.extract_all(&np.afcs, np.node).unwrap();
+                let cols = ex.extract_all_columns(&np.afcs, np.node, &plan.working.dtypes).unwrap();
+                assert_eq!(cols.len(), rows.len(), "{sql}");
+                let rebuilt: Vec<Row> = (0..cols.len())
+                    .map(|i| cols.columns.iter().map(|c| c.value_at(i)).collect())
+                    .collect();
+                assert_eq!(rebuilt, rows.rows, "{sql}");
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum Code {
     Dv101,
     /// UDF filter over an index-prunable attribute.
     Dv102,
+    /// UDF filter with no vectorizable guard conjunct — every block
+    /// falls back to row-at-a-time evaluation.
+    Dv103,
 }
 
 impl Code {
@@ -44,6 +47,7 @@ impl Code {
             Code::Dv008 => "DV008",
             Code::Dv101 => "DV101",
             Code::Dv102 => "DV102",
+            Code::Dv103 => "DV103",
         }
     }
 }
@@ -172,6 +176,7 @@ mod tests {
             Code::Dv008,
             Code::Dv101,
             Code::Dv102,
+            Code::Dv103,
         ];
         let mut names: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         names.sort();

@@ -24,9 +24,10 @@
 //! * [`lint_descriptor`] — DV001..DV008 over descriptor text. Syntax
 //!   errors abort (the parser reports those); everything else, even a
 //!   descriptor the resolver rejects, still gets AST-level lints.
-//! * [`lint_query`] — DV101/DV102 over a SQL string checked against a
-//!   resolved [`DatasetModel`]: provably-empty predicates and UDF
-//!   filters that defeat index pruning.
+//! * [`lint_query`] — DV101..DV103 over a SQL string checked against a
+//!   resolved [`DatasetModel`]: provably-empty predicates, UDF
+//!   filters that defeat index pruning, and UDF filters that defeat
+//!   vectorized execution.
 //!
 //! | code  | severity | meaning |
 //! |-------|----------|---------|
@@ -40,6 +41,7 @@
 //! | DV008 | warning  | aligned datasets disagree on iteration counts |
 //! | DV101 | warning  | predicate provably selects nothing |
 //! | DV102 | warning  | UDF filter over an index-prunable attribute |
+//! | DV103 | warning  | UDF filter with no vectorizable guard conjunct |
 
 mod descriptor;
 mod diag;

@@ -1,4 +1,4 @@
-//! Query lints DV101–DV102: a SQL query checked against a resolved
+//! Query lints DV101–DV103: a SQL query checked against a resolved
 //! dataset model.
 //!
 //! SQL has no per-token spans, so query diagnostics anchor to the
@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use dv_descriptor::DatasetModel;
 use dv_layout::groups::file_matches;
 use dv_sql::analysis::attribute_ranges;
+use dv_sql::eval::expr_has_func;
 use dv_sql::{bind, parse, BoundExpr, BoundScalar, UdfRegistry};
 use dv_types::{IntervalSet, Result, Span};
 
@@ -171,6 +172,41 @@ pub fn lint_query(model: &DatasetModel, sql: &str, udfs: &UdfRegistry) -> Result
         check_udf_filters(pred, &index_attrs, model, span, &mut diags);
     }
 
+    // DV103: a UDF filter with no vectorizable guard. The columnar
+    // engine evaluates UDF-free conjuncts first and row-falls-back
+    // only on the survivors; when *every* top-level conjunct contains
+    // a UDF call, that narrowing never happens and the whole block is
+    // evaluated row-at-a-time.
+    if expr_has_func(pred) {
+        let mut conjuncts = Vec::new();
+        flatten_and(pred, &mut conjuncts);
+        if conjuncts.iter().all(|c| expr_has_func(c)) {
+            diags.push(
+                Diagnostic::warning(
+                    Code::Dv103,
+                    span,
+                    "user-defined filter has no vectorizable guard; every block falls back to \
+                     row-at-a-time evaluation",
+                )
+                .with_help(
+                    "AND a plain comparison (e.g. a range on an attribute) so the columnar \
+                     engine can narrow rows before calling the UDF",
+                ),
+            );
+        }
+    }
+
     diags.sort_by_key(|d| (d.span.start, d.code));
     Ok(diags)
+}
+
+/// Flatten nested top-level ANDs into a conjunct list.
+fn flatten_and<'p>(pred: &'p BoundExpr, out: &mut Vec<&'p BoundExpr>) {
+    match pred {
+        BoundExpr::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
 }

@@ -134,9 +134,25 @@ fn dv101_predicate_outside_extents() {
 
 #[test]
 fn dv102_udf_over_index_attr() {
-    let (diags, rendered) = run_query("SELECT X FROM D WHERE DISTANCE(T, X, X) < 5");
+    // The guard conjunct keeps DV103 quiet so this exercises DV102 alone.
+    let (diags, rendered) = run_query("SELECT X FROM D WHERE T < 50 AND DISTANCE(T, X, X) < 5");
     assert_eq!(codes(&diags), [Code::Dv102], "{rendered}");
     check_golden(&rendered, "q_udf.expected");
+}
+
+#[test]
+fn dv103_unguarded_udf_filter() {
+    // DISTANCE over non-index attrs only (no DV102), with no UDF-free
+    // conjunct: the columnar engine row-falls-back on every block.
+    let (diags, rendered) = run_query("SELECT X FROM D WHERE DISTANCE(X, X, X) < 5");
+    assert_eq!(codes(&diags), [Code::Dv103], "{rendered}");
+    check_golden(&rendered, "q_dv103.expected");
+}
+
+#[test]
+fn dv103_guarded_udf_filter_is_clean() {
+    let (diags, rendered) = run_query("SELECT X FROM D WHERE X < 50 AND DISTANCE(X, X, X) < 5");
+    assert!(diags.is_empty(), "unexpected diagnostics:\n{rendered}");
 }
 
 /// The acceptance bar: the lint suite distinguishes at least 8

@@ -9,7 +9,7 @@
 
 use dv_sql::eval::EvalContext;
 use dv_sql::BoundExpr;
-use dv_types::RowBlock;
+use dv_types::{ColumnBlock, RowBlock};
 
 /// Filter a block in place; returns the number of rows removed.
 pub fn filter_block(
@@ -21,6 +21,25 @@ pub fn filter_block(
     let before = block.rows.len();
     block.rows.retain(|row| cx.eval(pred, row));
     before - block.rows.len()
+}
+
+/// Filter a freshly extracted columnar block by evaluating the
+/// predicate vectorized and installing the resulting selection vector
+/// — no row data moves. Returns the number of rows rejected.
+pub fn filter_columns(
+    block: &mut ColumnBlock,
+    predicate: Option<&BoundExpr>,
+    cx: &EvalContext<'_>,
+) -> usize {
+    let Some(pred) = predicate else { return 0 };
+    let before = block.selected();
+    let bm = cx.eval_block(pred, block);
+    if bm.count() == block.len() {
+        block.set_selection(None);
+    } else {
+        block.set_selection(Some(bm.indices()));
+    }
+    before - block.selected()
 }
 
 /// Project working rows to the output columns, in place.
@@ -99,5 +118,44 @@ mod tests {
         let expected = b.rows.clone();
         project_block(&mut b, &[0, 1]);
         assert_eq!(b.rows, expected);
+    }
+
+    fn column_block() -> ColumnBlock {
+        let mut b = ColumnBlock::with_dtypes(0, &[DataType::Int, DataType::Float]);
+        for i in 0..10 {
+            b.columns[0].append_data().push_value(Value::Int(i));
+            b.columns[1].append_data().push_value(Value::Float(i as f32 / 10.0));
+        }
+        b.advance_rows(10);
+        b
+    }
+
+    #[test]
+    fn columnar_filter_selects_same_rows() {
+        let s = schema();
+        let udfs = UdfRegistry::new();
+        let q = parse("SELECT * FROM T WHERE A >= 3 AND B < 0.7").unwrap();
+        let bq = bind(&q, &s, &udfs).unwrap();
+        let cx = EvalContext::new(2, &[0, 1], &udfs);
+
+        let mut rows = block();
+        filter_block(&mut rows, bq.predicate.as_ref(), &cx);
+        let mut cols = column_block();
+        let removed = filter_columns(&mut cols, bq.predicate.as_ref(), &cx);
+        assert_eq!(removed, 10 - rows.rows.len());
+
+        let survivors: Vec<Value> = cols.columns[0].values(cols.selection());
+        let expected: Vec<Value> = rows.rows.iter().map(|r| r[0]).collect();
+        assert_eq!(survivors, expected);
+    }
+
+    #[test]
+    fn columnar_filter_without_predicate_keeps_all() {
+        let udfs = UdfRegistry::new();
+        let cx = EvalContext::new(2, &[0, 1], &udfs);
+        let mut cols = column_block();
+        assert_eq!(filter_columns(&mut cols, None, &cx), 0);
+        assert_eq!(cols.selected(), 10);
+        assert!(cols.selection().is_none());
     }
 }

@@ -32,5 +32,5 @@ pub mod stats;
 
 pub use mover::BandwidthModel;
 pub use partition::PartitionStrategy;
-pub use server::{QueryOptions, StormServer};
+pub use server::{ExecMode, QueryOptions, StormServer};
 pub use stats::QueryStats;

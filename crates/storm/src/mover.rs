@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use crossbeam::channel::Sender;
-use dv_types::{DvError, Result, RowBlock};
+use dv_types::{ColumnBlock, DvError, Result, RowBlock};
 
 /// Simulated network link for remote clients.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +45,9 @@ impl BandwidthModel {
 pub enum MoverMessage {
     /// A block destined for client processor `processor`.
     Block { processor: usize, block: RowBlock },
+    /// A columnar block destined for client processor `processor`
+    /// (rows are reconstituted only when the client absorbs it).
+    Columns { processor: usize, block: ColumnBlock },
     /// Node `node` finished (successfully or not), reporting how long
     /// its extract/filter/partition/move pipeline ran.
     Done { node: usize, result: Result<()>, busy: std::time::Duration },
@@ -65,6 +68,24 @@ pub fn send_block(
         std::thread::sleep(bw.delay_for(bytes));
     }
     tx.send(MoverMessage::Block { processor, block })
+        .map_err(|_| DvError::Runtime("client disconnected during data transfer".into()))?;
+    Ok(bytes)
+}
+
+/// Send one columnar block, applying the bandwidth model if present.
+/// Only *selected* rows count toward the simulated payload — exactly
+/// what a serializing mover would put on the wire.
+pub fn send_columns(
+    tx: &Sender<MoverMessage>,
+    processor: usize,
+    block: ColumnBlock,
+    bandwidth: Option<&BandwidthModel>,
+) -> Result<usize> {
+    let bytes = block.wire_bytes();
+    if let Some(bw) = bandwidth {
+        std::thread::sleep(bw.delay_for(bytes));
+    }
+    tx.send(MoverMessage::Columns { processor, block })
         .map_err(|_| DvError::Runtime("client disconnected during data transfer".into()))?;
     Ok(bytes)
 }
@@ -95,6 +116,28 @@ mod tests {
             MoverMessage::Block { processor, block } => {
                 assert_eq!(processor, 3);
                 assert_eq!(block.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_columns_counts_selected_payload() {
+        use dv_types::{DataType, Value};
+        let (tx, rx) = unbounded();
+        let mut b = ColumnBlock::with_dtypes(0, &[DataType::Int, DataType::Double]);
+        for i in 0..4 {
+            b.columns[0].append_data().push_value(Value::Int(i));
+            b.columns[1].append_data().push_value(Value::Double(i as f64));
+        }
+        b.advance_rows(4);
+        b.set_selection(Some(vec![1, 3]));
+        let bytes = send_columns(&tx, 2, b, None).unwrap();
+        assert_eq!(bytes, 2 * 12);
+        match rx.recv().unwrap() {
+            MoverMessage::Columns { processor, block } => {
+                assert_eq!(processor, 2);
+                assert_eq!(block.selected(), 2);
             }
             other => panic!("unexpected {other:?}"),
         }

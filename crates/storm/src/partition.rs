@@ -6,7 +6,7 @@
 //! (§2.3): selected rows are split among the client's processors
 //! *before* transfer, so each processor receives exactly its share.
 
-use dv_types::{RowBlock, Value};
+use dv_types::{ColumnBlock, RowBlock, Value};
 
 /// How rows are distributed over the client's processors.
 #[derive(Debug, Clone)]
@@ -32,23 +32,32 @@ impl PartitionStrategy {
         match self {
             PartitionStrategy::RoundRobin => (row_ordinal % processors as u64) as usize,
             PartitionStrategy::HashAttr { position } => {
-                let v = row[*position].as_f64();
-                // Mix the bits of the value; f64 -> u64 is stable for
-                // equal values (including -0.0 == 0.0 normalization).
-                let bits = if v == 0.0 { 0u64 } else { v.to_bits() };
-                let mut h = bits ^ 0x9E37_79B9_7F4A_7C15;
-                h ^= h >> 33;
-                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-                h ^= h >> 33;
-                (h % processors as u64) as usize
+                hash_processor(row[*position].as_f64(), processors)
             }
             PartitionStrategy::RangeAttr { position, bounds } => {
-                let v = row[*position].as_f64();
-                let p = bounds.partition_point(|b| *b <= v);
-                p.min(processors - 1)
+                range_processor(row[*position].as_f64(), bounds, processors)
             }
         }
     }
+}
+
+/// Hash a partition-key value to a processor. Mixes the bits of the
+/// value; f64 -> u64 is stable for equal values (including
+/// -0.0 == 0.0 normalization), so the row and columnar paths agree.
+#[inline]
+fn hash_processor(v: f64, processors: usize) -> usize {
+    let bits = if v == 0.0 { 0u64 } else { v.to_bits() };
+    let mut h = bits ^ 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h % processors as u64) as usize
+}
+
+/// Range-partition a key value over sorted `bounds`.
+#[inline]
+fn range_processor(v: f64, bounds: &[f64], processors: usize) -> usize {
+    bounds.partition_point(|b| *b <= v).min(processors - 1)
 }
 
 /// Split a block into per-processor blocks. `base_ordinal` is the
@@ -67,6 +76,43 @@ pub fn partition_block(
         out[p].rows.push(row);
     }
     out
+}
+
+/// Split a columnar block's *selected* rows into dense per-processor
+/// columnar blocks. Assignment reads only the key column (as `f64`s);
+/// the gather then touches each payload column exactly once.
+pub fn partition_columns(
+    block: ColumnBlock,
+    strategy: &PartitionStrategy,
+    processors: usize,
+    base_ordinal: u64,
+) -> Vec<ColumnBlock> {
+    let mut idx: Vec<Vec<u32>> = (0..processors).map(|_| Vec::new()).collect();
+    match strategy {
+        PartitionStrategy::RoundRobin => {
+            for (k, i) in block.selected_rows().into_iter().enumerate() {
+                idx[((base_ordinal + k as u64) % processors as u64) as usize].push(i);
+            }
+        }
+        PartitionStrategy::HashAttr { position } => {
+            let keys = block.columns[*position].f64s(block.selection());
+            for (v, i) in keys.into_iter().zip(block.selected_rows()) {
+                idx[hash_processor(v, processors)].push(i);
+            }
+        }
+        PartitionStrategy::RangeAttr { position, bounds } => {
+            let keys = block.columns[*position].f64s(block.selection());
+            for (v, i) in keys.into_iter().zip(block.selected_rows()) {
+                idx[range_processor(v, bounds, processors)].push(i);
+            }
+        }
+    }
+    idx.into_iter()
+        .map(|ids| {
+            let cols = block.columns.iter().map(|c| c.gather(&ids)).collect();
+            ColumnBlock::from_columns(block.source_node, cols)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,5 +186,49 @@ mod tests {
     fn single_processor_short_circuits() {
         let s = PartitionStrategy::HashAttr { position: 0 };
         assert_eq!(s.assign(9, &[Value::Int(1)], 1), 0);
+    }
+
+    fn col_block(n: i32) -> ColumnBlock {
+        use dv_types::DataType;
+        let mut b = ColumnBlock::with_dtypes(0, &[DataType::Int, DataType::Double]);
+        for i in 0..n {
+            b.columns[0].append_data().push_value(Value::Int(i));
+            b.columns[1].append_data().push_value(Value::Double(i as f64));
+        }
+        b.advance_rows(n as usize);
+        b
+    }
+
+    /// Reconstitute a columnar partition as rows for comparison.
+    fn part_rows(p: &ColumnBlock) -> Vec<Vec<Value>> {
+        (0..p.len()).map(|i| p.columns.iter().map(|c| c.value_at(i)).collect()).collect()
+    }
+
+    #[test]
+    fn columnar_partition_matches_row_partition() {
+        let strategies = [
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::HashAttr { position: 0 },
+            PartitionStrategy::RangeAttr { position: 1, bounds: vec![3.0, 6.0] },
+        ];
+        for s in strategies {
+            let rows = partition_block(block(10), &s, 3, 5);
+            let cols = partition_columns(col_block(10), &s, 3, 5);
+            assert_eq!(cols.len(), rows.len());
+            for (c, r) in cols.iter().zip(&rows) {
+                assert_eq!(part_rows(c), r.rows, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_partition_honors_selection() {
+        let mut b = col_block(10);
+        // Keep only even rows, then round-robin over 2 processors.
+        b.set_selection(Some(vec![0, 2, 4, 6, 8]));
+        let parts = partition_columns(b, &PartitionStrategy::RoundRobin, 2, 0);
+        assert_eq!(parts[0].len() + parts[1].len(), 5);
+        assert_eq!(part_rows(&parts[0])[0], vec![Value::Int(0), Value::Double(0.0)]);
+        assert_eq!(part_rows(&parts[1])[0], vec![Value::Int(2), Value::Double(2.0)]);
     }
 }

@@ -9,13 +9,26 @@ use crossbeam::channel::unbounded;
 use dv_layout::{Afc, CompiledDataset, Extractor};
 use dv_sql::eval::EvalContext;
 use dv_sql::{bind, parse, BoundExpr, BoundQuery, UdfRegistry};
-use dv_types::{DvError, Result, RowBlock, Table};
+use dv_types::{ColumnBlock, DataType, DvError, Result, RowBlock, Table};
 
 use crate::cluster::Cluster;
-use crate::filter::{filter_block, project_block};
-use crate::mover::{send_block, BandwidthModel, MoverMessage};
-use crate::partition::{partition_block, PartitionStrategy};
+use crate::filter::{filter_block, filter_columns, project_block};
+use crate::mover::{send_block, send_columns, BandwidthModel, MoverMessage};
+use crate::partition::{partition_block, partition_columns, PartitionStrategy};
 use crate::stats::QueryStats;
+
+/// Which engine the node pipeline runs. Results are identical; the
+/// columnar engine is the default, the row engine is retained for the
+/// ablation benchmark and as the oracle in differential tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Struct-of-arrays blocks, vectorized filtering, selection
+    /// vectors; rows reconstituted only at the client boundary.
+    #[default]
+    Columnar,
+    /// Legacy `Vec<Vec<Value>>` blocks filtered row-at-a-time.
+    RowAtATime,
+}
 
 /// Per-query execution options.
 #[derive(Debug, Clone)]
@@ -38,6 +51,8 @@ pub struct QueryOptions {
     /// faithfully models an N-node cluster even on a single-core host
     /// (see DESIGN.md).
     pub sequential_nodes: bool,
+    /// Which execution engine to run (columnar by default).
+    pub exec: ExecMode,
 }
 
 impl Default for QueryOptions {
@@ -49,6 +64,7 @@ impl Default for QueryOptions {
             batch_rows: 4 * 1024,
             intra_node_threads: 1,
             sequential_nodes: false,
+            exec: ExecMode::default(),
         }
     }
 }
@@ -116,6 +132,7 @@ impl StormServer {
         let output_schema = bq.output_schema();
         let schema_len = self.compiled.model.schema.len();
         let working_attrs = Arc::new(prep.working.attrs.clone());
+        let working_dtypes = Arc::new(prep.working.dtypes.clone());
         let output_positions = Arc::new(prep.output_positions.clone());
         let predicate: Arc<Option<BoundExpr>> = Arc::new(bq.predicate.clone());
         let extractor = Extractor::new(&self.compiled, prep.working.attrs.len());
@@ -142,6 +159,7 @@ impl StormServer {
             let udfs = Arc::clone(&self.udfs);
             let predicate = Arc::clone(&predicate);
             let working_attrs = Arc::clone(&working_attrs);
+            let working_dtypes = Arc::clone(&working_dtypes);
             let output_positions = Arc::clone(&output_positions);
             let rows_scanned = Arc::clone(&rows_scanned);
             let rows_selected = Arc::clone(&rows_selected);
@@ -156,6 +174,7 @@ impl StormServer {
                     udfs,
                     predicate,
                     working_attrs,
+                    working_dtypes,
                     output_positions,
                     schema_len,
                     opts,
@@ -183,6 +202,9 @@ impl StormServer {
             for msg in rx.iter() {
                 match msg {
                     MoverMessage::Block { processor, block } => tables[processor].absorb(block),
+                    MoverMessage::Columns { processor, block } => {
+                        tables[processor].absorb_columns(block)
+                    }
                     MoverMessage::Done { result, busy, .. } => {
                         done += 1;
                         node_busy.push(busy);
@@ -232,6 +254,7 @@ struct NodeWorker {
     udfs: Arc<UdfRegistry>,
     predicate: Arc<Option<BoundExpr>>,
     working_attrs: Arc<Vec<usize>>,
+    working_dtypes: Arc<Vec<DataType>>,
     output_positions: Arc<Vec<usize>>,
     schema_len: usize,
     opts: QueryOptions,
@@ -245,7 +268,7 @@ struct NodeWorker {
 impl NodeWorker {
     fn run(&self, afcs: &[Afc], tx: &crossbeam::channel::Sender<MoverMessage>) -> Result<()> {
         if self.opts.intra_node_threads <= 1 {
-            return self.run_stripe(afcs, tx);
+            return self.run_stripe_any(afcs, tx);
         }
         // Intra-node parallel stripes over the AFC list.
         let stripes = self.opts.intra_node_threads.min(afcs.len().max(1));
@@ -253,13 +276,86 @@ impl NodeWorker {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for piece in afcs.chunks(chunk.max(1)) {
-                handles.push(scope.spawn(move || self.run_stripe(piece, tx)));
+                handles.push(scope.spawn(move || self.run_stripe_any(piece, tx)));
             }
             for h in handles {
                 h.join().map_err(|_| DvError::Runtime("node stripe panicked".into()))??;
             }
             Ok(())
         })
+    }
+
+    fn run_stripe_any(
+        &self,
+        afcs: &[Afc],
+        tx: &crossbeam::channel::Sender<MoverMessage>,
+    ) -> Result<()> {
+        match self.opts.exec {
+            ExecMode::Columnar => self.run_stripe_columns(afcs, tx),
+            ExecMode::RowAtATime => self.run_stripe(afcs, tx),
+        }
+    }
+
+    /// The columnar pipeline (default): extract into typed columns,
+    /// filter vectorized into a selection vector, project by
+    /// reordering column handles, partition with one gather per
+    /// column, move without touching row data.
+    fn run_stripe_columns(
+        &self,
+        afcs: &[Afc],
+        tx: &crossbeam::channel::Sender<MoverMessage>,
+    ) -> Result<()> {
+        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
+        let mut partition_base = 0u64;
+        let mut scratch = dv_layout::ExtractScratch::default();
+
+        let mut i = 0usize;
+        while i < afcs.len() {
+            // Batch AFCs until the block reaches the target row count.
+            let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
+            let mut batched_rows = 0u64;
+            while i < afcs.len()
+                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
+            {
+                let afc = &afcs[i];
+                self.extractor.extract_columns_with(afc, &mut block, &mut scratch)?;
+                self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
+                self.afc_count.fetch_add(1, Ordering::Relaxed);
+                batched_rows += afc.num_rows;
+                i += 1;
+            }
+            self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
+
+            filter_columns(&mut block, self.predicate.as_ref().as_ref(), &cx);
+            self.rows_selected.fetch_add(block.selected() as u64, Ordering::Relaxed);
+            if block.is_empty() {
+                continue;
+            }
+
+            block.project(&self.output_positions);
+
+            if self.opts.client_processors == 1 {
+                let bytes = send_columns(tx, 0, block, self.opts.bandwidth.as_ref())?;
+                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+            } else {
+                let parts = partition_columns(
+                    block,
+                    &self.opts.partition,
+                    self.opts.client_processors,
+                    partition_base,
+                );
+                // Round-robin base advances by total rows partitioned.
+                partition_base += parts.iter().map(|p| p.selected() as u64).sum::<u64>();
+                for (p, part) in parts.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let bytes = send_columns(tx, p, part, self.opts.bandwidth.as_ref())?;
+                    self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn run_stripe(

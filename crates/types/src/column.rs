@@ -1,0 +1,625 @@
+//! Columnar blocks: the struct-of-arrays unit of data flow through the
+//! STORM pipeline.
+//!
+//! A [`ColumnBlock`] holds one typed vector per working attribute plus
+//! an optional *selection vector* naming the rows that survived
+//! filtering. Services operate column-at-a-time: extraction decodes
+//! fields straight from read buffers into typed vectors, filtering
+//! produces a [`Bitmap`] and stores it as a selection (no data moves),
+//! and rows are only reconstituted at the client boundary
+//! ([`crate::Table::absorb_columns`]).
+//!
+//! Implicit attributes (constant over an AFC, or affine in the row
+//! ordinal) are kept as *lazy runs* — generator descriptions appended
+//! per chunk — and materialize only when something actually gathers or
+//! enumerates their values.
+
+use crate::datatype::DataType;
+use crate::value::Value;
+
+/// A dense, typed vector of cell values — one physical column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Char(Vec<u8>),
+    Short(Vec<i16>),
+    Int(Vec<i32>),
+    Long(Vec<i64>),
+    Float(Vec<f32>),
+    Double(Vec<f64>),
+}
+
+impl ColumnData {
+    /// An empty vector of the given type.
+    pub fn empty(dtype: DataType) -> ColumnData {
+        match dtype {
+            DataType::Char => ColumnData::Char(Vec::new()),
+            DataType::Short => ColumnData::Short(Vec::new()),
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Long => ColumnData::Long(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Double => ColumnData::Double(Vec::new()),
+        }
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Char(v) => v.len(),
+            ColumnData::Short(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Long(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Double(v) => v.len(),
+        }
+    }
+
+    /// True when no values are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at index `i` (panics out of bounds).
+    #[inline]
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Char(v) => Value::Char(v[i]),
+            ColumnData::Short(v) => Value::Short(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Long(v) => Value::Long(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Double(v) => Value::Double(v[i]),
+        }
+    }
+
+    /// Append one value; must match the vector's type.
+    #[inline]
+    pub fn push_value(&mut self, v: Value) {
+        match (self, v) {
+            (ColumnData::Char(d), Value::Char(x)) => d.push(x),
+            (ColumnData::Short(d), Value::Short(x)) => d.push(x),
+            (ColumnData::Int(d), Value::Int(x)) => d.push(x),
+            (ColumnData::Long(d), Value::Long(x)) => d.push(x),
+            (ColumnData::Float(d), Value::Float(x)) => d.push(x),
+            (ColumnData::Double(d), Value::Double(x)) => d.push(x),
+            (_, v) => panic!("type mismatch pushing {v:?} into typed column"),
+        }
+    }
+
+    /// Reserve room for `n` more values.
+    pub fn reserve(&mut self, n: usize) {
+        match self {
+            ColumnData::Char(v) => v.reserve(n),
+            ColumnData::Short(v) => v.reserve(n),
+            ColumnData::Int(v) => v.reserve(n),
+            ColumnData::Long(v) => v.reserve(n),
+            ColumnData::Float(v) => v.reserve(n),
+            ColumnData::Double(v) => v.reserve(n),
+        }
+    }
+}
+
+/// Generator for rows an AFC supplies without reading bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnGen {
+    /// The same value for every row of the run.
+    Const(Value),
+    /// Row `k` of the run carries `start + k*step`, converted to the
+    /// column's type exactly like the row-at-a-time extractor does.
+    Affine { start: i64, step: i64 },
+}
+
+impl ColumnGen {
+    /// Value of row `k` within the run.
+    #[inline]
+    pub fn value_at(&self, k: usize, dtype: DataType) -> Value {
+        match self {
+            ColumnGen::Const(v) => *v,
+            ColumnGen::Affine { start, step } => Value::from_i64(dtype, start + k as i64 * step),
+        }
+    }
+}
+
+/// One lazily-materialized run of generated rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LazyRun {
+    /// First block row the run covers.
+    pub start: usize,
+    /// Rows covered.
+    pub len: usize,
+    /// How the values are produced.
+    pub gen: ColumnGen,
+}
+
+/// One column: a dense decoded prefix (possibly empty) followed by
+/// zero or more lazy runs. Appending decoded data after a lazy run
+/// materializes the runs first, so the split point only moves forward.
+#[derive(Debug, Clone)]
+pub struct Column {
+    dtype: DataType,
+    data: ColumnData,
+    runs: Vec<LazyRun>,
+}
+
+impl Column {
+    /// A fresh empty column of the given type.
+    pub fn new(dtype: DataType) -> Column {
+        Column { dtype, data: ColumnData::empty(dtype), runs: Vec::new() }
+    }
+
+    /// The column's scalar type.
+    #[inline]
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Total rows (decoded + lazy).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self.runs.last() {
+            Some(r) => r.start + r.len,
+            None => self.data.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dense prefix and the lazy suffix, for kernels that want to
+    /// specialize over both representations.
+    #[inline]
+    pub fn parts(&self) -> (&ColumnData, &[LazyRun]) {
+        (&self.data, &self.runs)
+    }
+
+    /// Mutable access to the dense vector for appending decoded
+    /// values; any lazy runs are materialized first so the dense part
+    /// stays a prefix.
+    pub fn append_data(&mut self) -> &mut ColumnData {
+        if !self.runs.is_empty() {
+            self.materialize();
+        }
+        &mut self.data
+    }
+
+    /// Append a lazy run of `len` generated rows.
+    pub fn push_run(&mut self, len: usize, gen: ColumnGen) {
+        if len == 0 {
+            return;
+        }
+        self.runs.push(LazyRun { start: self.len(), len, gen });
+    }
+
+    /// Convert every lazy run into dense values.
+    pub fn materialize(&mut self) {
+        let runs = std::mem::take(&mut self.runs);
+        let total: usize = runs.iter().map(|r| r.len).sum();
+        self.data.reserve(total);
+        for r in &runs {
+            for k in 0..r.len {
+                self.data.push_value(r.gen.value_at(k, self.dtype));
+            }
+        }
+    }
+
+    /// The value at block row `i`.
+    #[inline]
+    pub fn value_at(&self, i: usize) -> Value {
+        if i < self.data.len() {
+            return self.data.value_at(i);
+        }
+        // Binary search the runs by start row.
+        let at = self.runs.partition_point(|r| r.start + r.len <= i);
+        let r = &self.runs[at];
+        debug_assert!(i >= r.start && i < r.start + r.len);
+        r.gen.value_at(i - r.start, self.dtype)
+    }
+
+    /// All values as `f64` in row order (the view predicate kernels
+    /// and partitioning compare on).
+    pub fn f64_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        match &self.data {
+            ColumnData::Char(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Short(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Int(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Long(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Float(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Double(v) => out.extend(v.iter().copied()),
+        }
+        for r in &self.runs {
+            match r.gen {
+                ColumnGen::Const(v) => {
+                    let x = v.as_f64();
+                    out.extend(std::iter::repeat_n(x, r.len));
+                }
+                ColumnGen::Affine { .. } => {
+                    out.extend((0..r.len).map(|k| r.gen.value_at(k, self.dtype).as_f64()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Selected values in order: the whole column when `sel` is
+    /// `None`, otherwise the rows the (ascending) selection names.
+    pub fn values(&self, sel: Option<&[u32]>) -> Vec<Value> {
+        match sel {
+            None => (0..self.len()).map(|i| self.value_at(i)).collect(),
+            Some(idx) => idx.iter().map(|&i| self.value_at(i as usize)).collect(),
+        }
+    }
+
+    /// Selected values as `f64` (partitioning reads one column this
+    /// way).
+    pub fn f64s(&self, sel: Option<&[u32]>) -> Vec<f64> {
+        match sel {
+            None => self.f64_vec(),
+            Some(idx) => idx.iter().map(|&i| self.value_at(i as usize).as_f64()).collect(),
+        }
+    }
+
+    /// Gather the rows named by the ascending index list into a fresh
+    /// dense column (lazy constants stay lazy — a gather of a constant
+    /// run is still constant).
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        // Fast path: one constant run covering everything stays lazy.
+        if self.data.is_empty() && self.runs.len() == 1 {
+            if let ColumnGen::Const(_) = self.runs[0].gen {
+                let mut out = Column::new(self.dtype);
+                out.push_run(idx.len(), self.runs[0].gen);
+                return out;
+            }
+        }
+        let mut data = ColumnData::empty(self.dtype);
+        data.reserve(idx.len());
+        for &i in idx {
+            data.push_value(self.value_at(i as usize));
+        }
+        Column { dtype: self.dtype, data, runs: Vec::new() }
+    }
+}
+
+/// A batch of rows in columnar form — the columnar sibling of
+/// [`crate::RowBlock`].
+#[derive(Debug, Clone)]
+pub struct ColumnBlock {
+    /// Identifier of the cluster node that produced the block.
+    pub source_node: usize,
+    /// One column per working attribute, all the same length.
+    pub columns: Vec<Column>,
+    /// Total rows extracted into the block.
+    len: usize,
+    /// Ascending row indices that passed the filter; `None` = all.
+    sel: Option<Vec<u32>>,
+}
+
+impl ColumnBlock {
+    /// An empty block with one column per working-attribute type.
+    pub fn with_dtypes(source_node: usize, dtypes: &[DataType]) -> ColumnBlock {
+        ColumnBlock {
+            source_node,
+            columns: dtypes.iter().map(|&d| Column::new(d)).collect(),
+            len: 0,
+            sel: None,
+        }
+    }
+
+    /// Assemble a block from equal-length columns (all rows selected).
+    pub fn from_columns(source_node: usize, columns: Vec<Column>) -> ColumnBlock {
+        let len = columns.first().map(|c| c.len()).unwrap_or(0);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        ColumnBlock { source_node, columns, len, sel: None }
+    }
+
+    /// Total rows extracted (before selection).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Rows that pass the current selection.
+    #[inline]
+    pub fn selected(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.len,
+        }
+    }
+
+    /// True when no rows are selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.selected() == 0
+    }
+
+    /// The selection vector, if any.
+    #[inline]
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Install a selection (`None` keeps every row). Indices must be
+    /// ascending and in range — the filter service produces them from
+    /// a bitmap, which guarantees both.
+    pub fn set_selection(&mut self, sel: Option<Vec<u32>>) {
+        debug_assert!(sel
+            .as_ref()
+            .map(|s| s.windows(2).all(|w| w[0] < w[1])
+                && s.last().map(|&i| (i as usize) < self.len).unwrap_or(true))
+            .unwrap_or(true));
+        self.sel = sel;
+    }
+
+    /// The selected row indices, materialized.
+    pub fn selected_rows(&self) -> Vec<u32> {
+        match &self.sel {
+            Some(s) => s.clone(),
+            None => (0..self.len as u32).collect(),
+        }
+    }
+
+    /// Record that every column grew by `n` rows (one extracted AFC).
+    pub fn advance_rows(&mut self, n: usize) {
+        self.len += n;
+        debug_assert!(self.columns.iter().all(|c| c.len() == self.len));
+    }
+
+    /// Approximate wire size of the *selected* rows — the unit the
+    /// data-mover bandwidth model charges, matching
+    /// [`crate::RowBlock::wire_bytes`].
+    pub fn wire_bytes(&self) -> usize {
+        let row_bytes: usize = self.columns.iter().map(|c| c.dtype().size()).sum();
+        self.selected() * row_bytes
+    }
+
+    /// Project working columns to output order, in place. Duplicated
+    /// positions clone; the selection is untouched (it indexes rows,
+    /// not columns).
+    pub fn project(&mut self, output_positions: &[usize]) {
+        if output_positions.len() == self.columns.len()
+            && output_positions.iter().enumerate().all(|(i, &p)| i == p)
+        {
+            return;
+        }
+        let old = std::mem::take(&mut self.columns);
+        let mut slots: Vec<Option<Column>> = old.into_iter().map(Some).collect();
+        self.columns = output_positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if output_positions[i + 1..].contains(&p) {
+                    slots[p].clone().expect("projection position out of range")
+                } else {
+                    slots[p].take().expect("projection position out of range")
+                }
+            })
+            .collect();
+    }
+}
+
+/// A fixed-size bitmap over the rows of one block — the result type of
+/// the vectorized predicate kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All bits clear.
+    pub fn new_false(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// All bits set.
+    pub fn new_true(len: usize) -> Bitmap {
+        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.trim();
+        b
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn trim(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set every bit in `[start, end)` (constant-run fast path).
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        for i in start..end {
+            self.set(i);
+        }
+    }
+
+    /// `self &= other`.
+    pub fn and(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other`.
+    pub fn or(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self = !self` (bits past `len` stay clear).
+    pub fn not(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Ascending indices of set bits — the selection vector.
+    pub fn indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push((wi * 64 + b) as u32);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_ops() {
+        let mut a = Bitmap::new_false(70);
+        a.set(0);
+        a.set(65);
+        assert!(a.get(0) && a.get(65) && !a.get(64));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.indices(), vec![0, 65]);
+
+        let t = Bitmap::new_true(70);
+        assert_eq!(t.count(), 70);
+        let mut n = t.clone();
+        n.not();
+        assert_eq!(n.count(), 0);
+
+        let mut o = a.clone();
+        o.or(&t);
+        assert_eq!(o.count(), 70);
+        o.and(&a);
+        assert_eq!(o.indices(), vec![0, 65]);
+    }
+
+    #[test]
+    fn lazy_runs_materialize_like_generators() {
+        let mut c = Column::new(DataType::Int);
+        c.push_run(3, ColumnGen::Const(Value::Int(7)));
+        c.push_run(2, ColumnGen::Affine { start: 10, step: 2 });
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.value_at(1), Value::Int(7));
+        assert_eq!(c.value_at(3), Value::Int(10));
+        assert_eq!(c.value_at(4), Value::Int(12));
+        assert_eq!(c.f64_vec(), vec![7.0, 7.0, 7.0, 10.0, 12.0]);
+        // Appending decoded data materializes the lazy prefix.
+        c.append_data().push_value(Value::Int(99));
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.value_at(4), Value::Int(12));
+        assert_eq!(c.value_at(5), Value::Int(99));
+    }
+
+    #[test]
+    fn affine_truncates_like_row_extractor() {
+        // Short wraps exactly as Value::from_i64 does on the row path.
+        let mut c = Column::new(DataType::Short);
+        c.push_run(2, ColumnGen::Affine { start: 65536 + 5, step: 1 });
+        assert_eq!(c.value_at(0), Value::Short(5));
+        assert_eq!(c.f64_vec(), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_walks_data_and_runs() {
+        let mut c = Column::new(DataType::Double);
+        c.append_data().push_value(Value::Double(0.5));
+        c.append_data().push_value(Value::Double(1.5));
+        c.push_run(3, ColumnGen::Affine { start: 10, step: 5 });
+        let g = c.gather(&[1, 2, 4]);
+        assert_eq!(
+            g.values(None),
+            vec![Value::Double(1.5), Value::Double(10.0), Value::Double(20.0)]
+        );
+        // Pure constant column stays lazy under gather.
+        let mut k = Column::new(DataType::Int);
+        k.push_run(100, ColumnGen::Const(Value::Int(3)));
+        let gk = k.gather(&[5, 50]);
+        let (data, runs) = gk.parts();
+        assert!(data.is_empty());
+        assert_eq!(runs.len(), 1);
+        assert_eq!(gk.values(None), vec![Value::Int(3), Value::Int(3)]);
+    }
+
+    #[test]
+    fn block_selection_and_wire_bytes() {
+        let mut b = ColumnBlock::with_dtypes(0, &[DataType::Int, DataType::Double]);
+        for i in 0..4 {
+            b.columns[0].append_data().push_value(Value::Int(i));
+            b.columns[1].append_data().push_value(Value::Double(i as f64));
+        }
+        b.advance_rows(4);
+        assert_eq!(b.wire_bytes(), 4 * 12);
+        b.set_selection(Some(vec![1, 3]));
+        assert_eq!(b.selected(), 2);
+        assert_eq!(b.wire_bytes(), 2 * 12);
+        assert_eq!(b.selected_rows(), vec![1, 3]);
+        assert_eq!(b.columns[0].values(b.selection()), vec![Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let mut b = ColumnBlock::with_dtypes(0, &[DataType::Int, DataType::Float]);
+        b.columns[0].append_data().push_value(Value::Int(1));
+        b.columns[1].append_data().push_value(Value::Float(2.0));
+        b.advance_rows(1);
+        b.project(&[1, 0, 1]);
+        assert_eq!(b.columns.len(), 3);
+        assert_eq!(b.columns[0].value_at(0), Value::Float(2.0));
+        assert_eq!(b.columns[1].value_at(0), Value::Int(1));
+        assert_eq!(b.columns[2].value_at(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn identity_projection_is_noop() {
+        let mut b = ColumnBlock::with_dtypes(0, &[DataType::Int, DataType::Float]);
+        b.columns[0].append_data().push_value(Value::Int(1));
+        b.columns[1].append_data().push_value(Value::Float(2.0));
+        b.advance_rows(1);
+        b.project(&[0, 1]);
+        assert_eq!(b.columns.len(), 2);
+        assert_eq!(b.columns[0].value_at(0), Value::Int(1));
+    }
+}

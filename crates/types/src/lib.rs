@@ -14,6 +14,9 @@
 //! * [`Schema`] / [`Attribute`] — the virtual relational table schema
 //!   (Component I of the meta-data descriptor);
 //! * [`Row`] / [`Table`] — materialized query results;
+//! * [`ColumnBlock`] / [`Bitmap`] — struct-of-arrays batches and
+//!   selection bitmaps, the unit of data flow on the vectorized
+//!   execution path;
 //! * [`IntervalSet`] — unions of closed numeric intervals, used for
 //!   range analysis of `WHERE` clauses and for implicit-attribute
 //!   pruning;
@@ -22,6 +25,7 @@
 //! Nothing here knows about files, layouts, SQL or the STORM runtime;
 //! those live in the higher crates.
 
+pub mod column;
 pub mod datatype;
 pub mod error;
 pub mod interval;
@@ -30,6 +34,7 @@ pub mod schema;
 pub mod span;
 pub mod value;
 
+pub use column::{Bitmap, Column, ColumnBlock, ColumnData, ColumnGen, LazyRun};
 pub use datatype::DataType;
 pub use error::{DvError, Result};
 pub use interval::{Interval, IntervalSet};

@@ -88,6 +88,22 @@ impl Table {
         self.rows.extend(block.rows);
     }
 
+    /// Append the selected rows of a columnar block, reconstituting
+    /// rows here — the client boundary is the only place the columnar
+    /// pipeline ever transposes back to row form.
+    pub fn absorb_columns(&mut self, block: crate::column::ColumnBlock) {
+        let n = block.selected();
+        if n == 0 {
+            return;
+        }
+        let cols: Vec<Vec<Value>> =
+            block.columns.iter().map(|c| c.values(block.selection())).collect();
+        self.rows.reserve(n);
+        for i in 0..n {
+            self.rows.push(cols.iter().map(|c| c[i]).collect());
+        }
+    }
+
     /// Sort rows lexicographically — canonical order for comparing
     /// results produced by different execution strategies (hand-written
     /// vs generated vs minidb), which may emit rows in any order.
@@ -213,6 +229,24 @@ mod tests {
         t.absorb(b);
         assert_eq!(t.len(), 1);
         assert_eq!(t.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn absorb_columns_reconstitutes_selected_rows() {
+        use crate::column::ColumnBlock;
+        let mut t = Table::empty(schema2());
+        let mut b = ColumnBlock::with_dtypes(0, &[DataType::Int, DataType::Double]);
+        for i in 0..3 {
+            b.columns[0].append_data().push_value(Value::Int(i));
+            b.columns[1].append_data().push_value(Value::Double(i as f64));
+        }
+        b.advance_rows(3);
+        b.set_selection(Some(vec![0, 2]));
+        t.absorb_columns(b);
+        assert_eq!(
+            t.rows,
+            vec![vec![Value::Int(0), Value::Double(0.0)], vec![Value::Int(2), Value::Double(2.0)],]
+        );
     }
 
     #[test]
