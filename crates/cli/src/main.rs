@@ -239,6 +239,19 @@ fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
             stats.plan_time,
             stats.exec_time
         );
+        eprintln!(
+            "io: {} read syscalls; coalesce ratio: {:.1}; bytes issued/used: {}/{}; cache hit: {:.0}% ({} hit / {} miss bytes); prefetch: {} hits, {} waits ({:?})",
+            stats.io.read_syscalls,
+            stats.io.coalesce_ratio(),
+            stats.io.bytes_issued,
+            stats.io.bytes_used,
+            stats.io.cache_hit_rate() * 100.0,
+            stats.io.cache_hit_bytes,
+            stats.io.cache_miss_bytes,
+            stats.io.prefetch_hits,
+            stats.io.prefetch_waits,
+            stats.io.prefetch_wait,
+        );
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -39,7 +39,8 @@ pub use dv_descriptor::DatasetModel;
 pub use dv_layout::{CompiledDataset, FileIssue, QueryPlan};
 pub use dv_sql::{BoundQuery, UdfRegistry};
 pub use dv_storm::{
-    BandwidthModel, ExecMode, PartitionStrategy, QueryOptions, QueryStats, StormServer,
+    BandwidthModel, ExecMode, IoOptions, IoSnapshot, PartitionStrategy, QueryOptions, QueryStats,
+    StormServer,
 };
 pub use dv_types::{DvError, Result, Row, Schema, Table, Value};
 

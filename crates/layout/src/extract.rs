@@ -1,30 +1,95 @@
 //! The generated *extraction function*: executing AFCs against the
 //! filesystem.
 //!
-//! For each AFC, the extractor issues one contiguous read per entry
-//! (`num_rows × stride` bytes starting at the entry offset — exactly
-//! the access pattern the paper describes) and then assembles working
-//! rows by decoding scheduled fields and supplying implicit values.
+//! For each AFC, the extractor obtains one contiguous byte run per
+//! entry (`num_rows × stride` bytes starting at the entry offset —
+//! exactly the access pattern the paper describes) and then assembles
+//! working rows by decoding scheduled fields and supplying implicit
+//! values. Runs arrive either from direct per-entry reads (the
+//! fallback path) or as slices of an [`crate::io::IoScheduler`]'s
+//! coalesced segments (the default columnar path).
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::SystemTime;
 
 use dv_types::{ColumnBlock, ColumnData, ColumnGen, DvError, Result, RowBlock, Value};
 use std::sync::RwLock;
 
 use crate::afc::{Afc, ImplicitValue};
+use crate::io::{missed_run, FetchedGroup, FileGen};
 use crate::plan::CompiledDataset;
 
+/// Maximum open file handles pooled per extractor.
+const HANDLE_CACHE_CAP: usize = 256;
+
+struct HandleSlot {
+    file: Arc<File>,
+    last_used: AtomicU64,
+}
+
+/// LRU-bounded pool of open file handles shared across worker
+/// threads. Lookups take only the shared lock (recency is an atomic
+/// tick); opens and evictions take the exclusive lock.
+struct HandlePool {
+    cap: usize,
+    tick: AtomicU64,
+    map: RwLock<HashMap<usize, HandleSlot>>,
+}
+
+impl HandlePool {
+    fn new(cap: usize) -> HandlePool {
+        HandlePool { cap, tick: AtomicU64::new(0), map: RwLock::new(HashMap::new()) }
+    }
+
+    fn get(&self, file: usize) -> Option<Arc<File>> {
+        let map = self.map.read().expect("handle pool poisoned");
+        let slot = map.get(&file)?;
+        slot.last_used.store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        Some(Arc::clone(&slot.file))
+    }
+
+    fn insert(&self, file: usize, handle: Arc<File>) -> Arc<File> {
+        let mut map = self.map.write().expect("handle pool poisoned");
+        // A racing opener may have inserted already; keep whichever
+        // handle is in the pool (both point at the same file).
+        if let Some(slot) = map.get(&file) {
+            return Arc::clone(&slot.file);
+        }
+        while map.len() >= self.cap {
+            let oldest = map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+                .expect("non-empty pool");
+            map.remove(&oldest);
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        map.insert(file, HandleSlot { file: Arc::clone(&handle), last_used: AtomicU64::new(tick) });
+        handle
+    }
+
+    fn remove(&self, file: usize) {
+        self.map.write().expect("handle pool poisoned").remove(&file);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.read().expect("handle pool poisoned").len()
+    }
+}
+
 /// Executes AFCs on one node's files. Cloneable across worker threads;
-/// the open-file cache is shared.
+/// the open-file pool is shared.
 #[derive(Clone)]
 pub struct Extractor {
     paths: Arc<Vec<PathBuf>>,
     /// Working-row width (number of attributes to materialize).
     row_width: usize,
-    handles: Arc<RwLock<HashMap<usize, Arc<File>>>>,
+    handles: Arc<HandlePool>,
     /// `DV_ROWMAJOR` ablation flag, read once at construction rather
     /// than once per AFC on the hot path.
     rowmajor: bool,
@@ -38,25 +103,75 @@ impl Extractor {
         Extractor {
             paths: Arc::new(paths),
             row_width,
-            handles: Arc::new(RwLock::new(HashMap::new())),
+            handles: Arc::new(HandlePool::new(HANDLE_CACHE_CAP)),
             rowmajor: std::env::var_os("DV_ROWMAJOR").is_some(),
         }
     }
 
     fn open(&self, file: usize) -> Result<Arc<File>> {
-        // Read-fast path: after warm-up every lookup takes only the
-        // shared lock.
-        if let Some(h) = self.handles.read().expect("handle cache poisoned").get(&file) {
-            return Ok(Arc::clone(h));
+        if let Some(h) = self.handles.get(file) {
+            return Ok(h);
         }
         let path = &self.paths[file];
         let handle =
             Arc::new(File::open(path).map_err(|e| DvError::io(path.display().to_string(), e))?);
-        // A racing opener may have inserted already; keep whichever
-        // handle is in the cache (both point at the same file).
-        Ok(Arc::clone(
-            self.handles.write().expect("handle cache poisoned").entry(file).or_insert(handle),
-        ))
+        Ok(self.handles.insert(file, handle))
+    }
+
+    /// Read `buf.len()` bytes of `file` starting at `offset` (the
+    /// I/O scheduler's single entry point to the filesystem).
+    pub fn read_file_at(&self, file: usize, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let handle = self.open(file)?;
+        read_exact_at(&handle, buf, offset, &self.paths[file])
+    }
+
+    /// The file's current `(len, mtime)` generation, statted by path
+    /// so a replaced file is observed even while an old handle is
+    /// pooled.
+    pub fn file_generation(&self, file: usize) -> Result<FileGen> {
+        let path = &self.paths[file];
+        let meta =
+            std::fs::metadata(path).map_err(|e| DvError::io(path.display().to_string(), e))?;
+        Ok(FileGen { len: meta.len(), mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH) })
+    }
+
+    /// Drop the pooled handle for `file` (called when its on-disk
+    /// generation changed: the handle may point at a replaced inode).
+    pub fn invalidate_handle(&self, file: usize) {
+        self.handles.remove(file);
+    }
+
+    /// Read every entry run of `afc` into the shared scratch buffer
+    /// (one allocation reused across entries and calls) and return
+    /// per-entry slices.
+    fn read_runs<'s>(&self, afc: &Afc, scratch: &'s mut ExtractScratch) -> Result<Vec<&'s [u8]>> {
+        scratch.spans.clear();
+        let mut total = 0usize;
+        for e in &afc.entries {
+            let len = (afc.num_rows * e.stride) as usize;
+            scratch.spans.push((total, total + len));
+            total += len;
+        }
+        if scratch.data.len() < total {
+            scratch.data.resize(total, 0);
+        }
+        for (e, &(a, b)) in afc.entries.iter().zip(scratch.spans.iter()) {
+            let handle = self.open(e.file)?;
+            read_exact_at(&handle, &mut scratch.data[a..b], e.offset, &self.paths[e.file])?;
+        }
+        Ok(scratch.spans.iter().map(|&(a, b)| &scratch.data[a..b]).collect())
+    }
+
+    /// Per-entry slices of `afc` out of a fetched group's coalesced
+    /// segments (no copies, no syscalls).
+    fn fetched_runs<'g>(&self, afc: &Afc, group: &'g FetchedGroup) -> Result<Vec<&'g [u8]>> {
+        afc.entries
+            .iter()
+            .map(|e| {
+                let len = afc.num_rows * e.stride;
+                group.slice(e.file, e.offset, len).ok_or_else(|| missed_run(e.file, e.offset, len))
+            })
+            .collect()
     }
 
     /// Read and decode one AFC into rows, appending to `block`.
@@ -73,16 +188,7 @@ impl Extractor {
         block: &mut RowBlock,
         scratch: &mut ExtractScratch,
     ) -> Result<()> {
-        // One contiguous read per entry, into reused buffers.
-        while scratch.buffers.len() < afc.entries.len() {
-            scratch.buffers.push(Vec::new());
-        }
-        for (e, buf) in afc.entries.iter().zip(scratch.buffers.iter_mut()) {
-            let handle = self.open(e.file)?;
-            let len = (afc.num_rows * e.stride) as usize;
-            buf.resize(len, 0);
-            read_exact_at(&handle, &mut buf[..len], e.offset, &self.paths[e.file])?;
-        }
+        let bufs = self.read_runs(afc, scratch)?;
 
         let n = afc.num_rows as usize;
         let start = block.rows.len();
@@ -99,7 +205,7 @@ impl Extractor {
             for (r, row) in rows.iter_mut().enumerate() {
                 for f in &afc.fields {
                     let at = r * strides[f.entry] + f.byte_off;
-                    row[f.working_pos] = Value::decode(f.dtype, &scratch.buffers[f.entry][at..]);
+                    row[f.working_pos] = Value::decode(f.dtype, &bufs[f.entry][at..]);
                 }
             }
             for (pos, imp) in &afc.implicits {
@@ -123,7 +229,7 @@ impl Extractor {
         // entry lookups are hoisted out of the per-row loop.
         for f in &afc.fields {
             let stride = afc.entries[f.entry].stride as usize;
-            let buf = &scratch.buffers[f.entry][..];
+            let buf = bufs[f.entry];
             let pos = f.working_pos;
             let off = f.byte_off;
             macro_rules! fill {
@@ -177,32 +283,43 @@ impl Extractor {
     }
 
     /// Read and decode one AFC straight into typed columns — the
-    /// columnar hot path. Each scheduled field runs one tight
-    /// strided-copy loop from the read buffer into its native `Vec`
-    /// (no per-row `Vec<Value>` allocation, no placeholder pre-fill);
-    /// implicit attributes append lazy generator runs instead of
-    /// materializing anything.
+    /// columnar fallback path (direct per-entry reads into the shared
+    /// scratch buffer).
     pub fn extract_columns_with(
         &self,
         afc: &Afc,
         block: &mut ColumnBlock,
         scratch: &mut ExtractScratch,
     ) -> Result<()> {
-        debug_assert_eq!(block.columns.len(), self.row_width);
-        while scratch.buffers.len() < afc.entries.len() {
-            scratch.buffers.push(Vec::new());
-        }
-        for (e, buf) in afc.entries.iter().zip(scratch.buffers.iter_mut()) {
-            let handle = self.open(e.file)?;
-            let len = (afc.num_rows * e.stride) as usize;
-            buf.resize(len, 0);
-            read_exact_at(&handle, &mut buf[..len], e.offset, &self.paths[e.file])?;
-        }
+        let bufs = self.read_runs(afc, scratch)?;
+        self.decode_columns(afc, block, &bufs)
+    }
 
+    /// Decode one AFC into typed columns out of an I/O scheduler's
+    /// fetched group — the columnar default path. Runs are sliced out
+    /// of the coalesced segments without copying.
+    pub fn extract_columns_fetched(
+        &self,
+        afc: &Afc,
+        block: &mut ColumnBlock,
+        group: &FetchedGroup,
+    ) -> Result<()> {
+        let bufs = self.fetched_runs(afc, group)?;
+        self.decode_columns(afc, block, &bufs)
+    }
+
+    /// The columnar decode kernel, shared by the direct-read and
+    /// scheduled paths. Each scheduled field runs one tight
+    /// strided-copy loop from its run's bytes into its native `Vec`
+    /// (no per-row `Vec<Value>` allocation, no placeholder pre-fill);
+    /// implicit attributes append lazy generator runs instead of
+    /// materializing anything.
+    fn decode_columns(&self, afc: &Afc, block: &mut ColumnBlock, bufs: &[&[u8]]) -> Result<()> {
+        debug_assert_eq!(block.columns.len(), self.row_width);
         let n = afc.num_rows as usize;
         for f in &afc.fields {
             let stride = afc.entries[f.entry].stride as usize;
-            let buf = &scratch.buffers[f.entry][..];
+            let buf = bufs[f.entry];
             let off = f.byte_off;
             let col = block.columns[f.working_pos].append_data();
             macro_rules! fill {
@@ -270,10 +387,13 @@ impl Extractor {
     }
 }
 
-/// Reusable read buffers for the extraction hot path.
+/// Reusable read state for the direct-read extraction path: one data
+/// buffer shared across all AFC entries plus the per-entry spans into
+/// it.
 #[derive(Default)]
 pub struct ExtractScratch {
-    buffers: Vec<Vec<u8>>,
+    data: Vec<u8>,
+    spans: Vec<(usize, usize)>,
 }
 
 #[cfg(unix)]
@@ -294,6 +414,7 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64, path: &Path) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{group_afcs, IoOptions, IoScheduler, IoStats, SegmentCache};
     use dv_sql::{bind, parse, UdfRegistry};
     use dv_types::Row;
     use std::io::Write;
@@ -442,6 +563,64 @@ DATASET "IparsData" {
                 assert_eq!(rebuilt, rows.rows, "{sql}");
             }
         }
+    }
+
+    #[test]
+    fn scheduled_extraction_matches_direct_reads() {
+        // Every knob combination of the I/O scheduler decodes the same
+        // columns as the direct per-entry path, with fewer syscalls.
+        let base = tmpbase("sched");
+        write_dataset(&base);
+        let compiled = crate::plan::compile_from_text(DESC, &base).unwrap();
+        let q = parse("SELECT * FROM IparsData").unwrap();
+        let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+        let plan = compiled.plan_query(&b).unwrap();
+        let ex = Extractor::new(&compiled, plan.working.attrs.len());
+        for (gap, cache_bytes) in [(0u64, 0u64), (64 * 1024, 0), (64 * 1024, 1 << 20)] {
+            let opts = IoOptions { coalesce_gap: gap, cache_bytes, ..IoOptions::default() };
+            let cache = Some(Arc::new(SegmentCache::new(cache_bytes.max(1))));
+            let stats = Arc::new(IoStats::default());
+            for np in &plan.node_plans {
+                let sched =
+                    IoScheduler::new(ex.clone(), opts.clone(), cache.clone(), Arc::clone(&stats));
+                let direct =
+                    ex.extract_all_columns(&np.afcs, np.node, &plan.working.dtypes).unwrap();
+                let mut via_sched = ColumnBlock::with_dtypes(np.node, &plan.working.dtypes);
+                for g in group_afcs(&np.afcs, opts.group_bytes) {
+                    let fetched = sched.fetch(&np.afcs[g.clone()]).unwrap();
+                    for afc in &np.afcs[g] {
+                        ex.extract_columns_fetched(afc, &mut via_sched, &fetched).unwrap();
+                    }
+                }
+                assert_eq!(via_sched.len(), direct.len());
+                for i in 0..direct.len() {
+                    let a: Row = direct.columns.iter().map(|c| c.value_at(i)).collect();
+                    let b: Row = via_sched.columns.iter().map(|c| c.value_at(i)).collect();
+                    assert_eq!(a, b, "row {i} gap={gap} cache={cache_bytes}");
+                }
+            }
+            let snap = stats.snapshot();
+            assert!(snap.read_syscalls > 0);
+            assert!(snap.runs_scheduled >= snap.read_syscalls);
+        }
+    }
+
+    #[test]
+    fn handle_pool_is_bounded() {
+        let pool = HandlePool::new(4);
+        let base = tmpbase("pool");
+        write_dataset(&base);
+        let f = Arc::new(File::open(base.join("n0/d/COORDS")).unwrap());
+        for i in 0..100 {
+            pool.insert(i, Arc::clone(&f));
+        }
+        assert_eq!(pool.len(), 4, "pool must evict down to capacity");
+        // Recently used entries survive eviction.
+        assert!(pool.get(99).is_some());
+        pool.insert(1000, Arc::clone(&f));
+        assert!(pool.get(99).is_some(), "just-touched handle kept");
+        pool.remove(99);
+        assert!(pool.get(99).is_none());
     }
 
     #[test]

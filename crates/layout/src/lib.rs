@@ -25,16 +25,22 @@
 //!   aligned (`Process_File_Groups`) into AFCs.
 //!
 //! [`extract::Extractor`] then executes AFCs against the filesystem,
-//! producing working rows for the filtering service.
+//! producing working rows for the filtering service. By default reads
+//! flow through the [`io`] scheduler, which coalesces AFC byte runs
+//! into large sequential reads, prefetches the next working set on a
+//! background thread, and serves repeated ranges from a cross-query
+//! segment cache.
 
 pub mod afc;
 pub mod codegen;
 pub mod extract;
 pub mod groups;
+pub mod io;
 pub mod plan;
 pub mod segment;
 
 pub use afc::{Afc, AfcEntry, ImplicitValue};
 pub use extract::{ExtractScratch, Extractor};
+pub use io::{IoOptions, IoScheduler, IoSnapshot, IoStats, SegmentCache};
 pub use plan::{CompiledDataset, FileIssue, NodePlan, QueryPlan};
 pub use segment::{InnerSig, Segment};

@@ -1,16 +1,18 @@
-//! Descriptor lints DV001–DV008.
+//! Descriptor lints DV001–DV008 and DV104.
 //!
 //! DV001–DV007 run on the raw [`DescriptorAst`], so they fire even for
 //! descriptors that fail semantic resolution. DV008 compares resolved
-//! file extents, so it additionally needs the [`DatasetModel`].
+//! file extents and DV104 inspects resolved layouts and file groups,
+//! so they additionally need the [`DatasetModel`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use dv_descriptor::ast::{DataAst, DatasetAst, DescriptorAst, SpaceItem};
 use dv_descriptor::expr::{Env, Expr};
-use dv_descriptor::model::VarExtent;
+use dv_descriptor::model::{items_byte_size, ResolvedItem, VarExtent};
 use dv_descriptor::DatasetModel;
-use dv_layout::groups::consistent;
+use dv_layout::afc::WorkingSet;
+use dv_layout::groups::{consistent, find_file_groups};
 use dv_types::Span;
 
 use crate::diag::{Code, Diagnostic};
@@ -420,6 +422,12 @@ fn find_loop_span(ast: &DescriptorAst, dataset: &str, var: &str) -> Span {
 /// row counts disagree, so aligned iteration would drop or duplicate
 /// rows.
 pub fn model_lints(ast: &DescriptorAst, model: &DatasetModel) -> Vec<Diagnostic> {
+    let mut diags = check_group_alignment(ast, model);
+    diags.extend(check_tiny_runs(ast, model));
+    diags
+}
+
+fn check_group_alignment(ast: &DescriptorAst, model: &DatasetModel) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut reported: BTreeSet<(String, String, String)> = BTreeSet::new();
     for (i, a) in model.files.iter().enumerate() {
@@ -454,6 +462,126 @@ pub fn model_lints(ast: &DescriptorAst, model: &DatasetModel) -> Vec<Diagnostic>
                         );
                     }
                 }
+            }
+        }
+    }
+    diags
+}
+
+/// One I/O coalescing unit: AFC runs below this size cannot amortize a
+/// seek, so every row block costs one read syscall per grouped file.
+const DV104_RUN_BYTES: u64 = 4096;
+/// Fan-in below this rarely hurts — a couple of small-run files still
+/// coalesce fine along the time axis within each file.
+const DV104_FAN_IN: usize = 4;
+
+/// Does any loop in `items` iterate over an index attribute?
+fn has_index_loop(items: &[ResolvedItem], index: &BTreeSet<&str>) -> bool {
+    items.iter().any(|i| match i {
+        ResolvedItem::Loop { var, body, .. } => {
+            index.contains(var.as_str()) || has_index_loop(body, index)
+        }
+        _ => false,
+    })
+}
+
+/// Smallest contiguous byte run left in `items` once every loop over an
+/// index attribute is sliced down to a single value — the granularity
+/// of the AFC entries a point query produces. `None` when the layout is
+/// chunked (data-dependent) or an attribute size is unknown.
+fn min_sliced_run(
+    items: &[ResolvedItem],
+    index: &BTreeSet<&str>,
+    sizes: &HashMap<String, usize>,
+) -> Option<u64> {
+    if items.iter().any(|i| matches!(i, ResolvedItem::Chunked { .. })) {
+        return None;
+    }
+    if !has_index_loop(items, index) {
+        // Nothing here gets sliced: the whole sequence reads as one
+        // contiguous span.
+        return items_byte_size(items, sizes);
+    }
+    let mut min: Option<u64> = None;
+    for item in items {
+        if let ResolvedItem::Loop { var, body, .. } = item {
+            if index.contains(var.as_str()) || has_index_loop(body, index) {
+                let r = min_sliced_run(body, index, sizes)?;
+                min = Some(min.map_or(r, |m| m.min(r)));
+            }
+        }
+    }
+    min
+}
+
+/// Deepest index-attribute loop variable in `items` — the loop whose
+/// slicing produces the minimal run, used to anchor DV104.
+fn innermost_index_var<'a>(items: &'a [ResolvedItem], index: &BTreeSet<&str>) -> Option<&'a str> {
+    let mut found = None;
+    for item in items {
+        if let ResolvedItem::Loop { var, body, .. } = item {
+            if let Some(v) = innermost_index_var(body, index) {
+                found = Some(v);
+            } else if index.contains(var.as_str()) {
+                found = Some(var.as_str());
+            }
+        }
+    }
+    found
+}
+
+/// DV104: a dataset whose files group together with high fan-in while
+/// each point-query slice of its layout reads less than one coalescing
+/// unit. Every row block then seeks across all grouped files and the
+/// I/O scheduler's merged reads degenerate to seek-per-file traffic.
+fn check_tiny_runs(ast: &DescriptorAst, model: &DatasetModel) -> Vec<Diagnostic> {
+    let index: BTreeSet<&str> = model.index_attrs.iter().map(|s| s.as_str()).collect();
+    if index.is_empty() {
+        return Vec::new();
+    }
+    let working = WorkingSet::new(model, (0..model.schema.len()).collect());
+    let ranges = HashMap::new();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    let mut diags = Vec::new();
+    for node in 0..model.node_count() {
+        for group in find_file_groups(model, node, &ranges, &working) {
+            if group.len() < DV104_FAN_IN {
+                continue;
+            }
+            for f in &group {
+                if reported.contains(&f.dataset) {
+                    continue;
+                }
+                // A file with no index loop is read once per query,
+                // not re-sought per slice — never a seek storm.
+                let Some(var) = innermost_index_var(&f.layout, &index) else {
+                    continue;
+                };
+                let Some(run) = min_sliced_run(&f.layout, &index, &model.attr_sizes) else {
+                    continue;
+                };
+                if run == 0 || run >= DV104_RUN_BYTES {
+                    continue;
+                }
+                reported.insert(f.dataset.clone());
+                diags.push(
+                    Diagnostic::warning(
+                        Code::Dv104,
+                        find_loop_span(ast, &f.dataset, var),
+                        format!(
+                            "dataset \"{}\" yields {run}-byte AFC runs per `{var}` value in \
+                             {}-file groups — smaller than one {DV104_RUN_BYTES}-byte \
+                             coalescing unit",
+                            f.dataset,
+                            group.len()
+                        ),
+                    )
+                    .with_help(
+                        "each row block seeks once per grouped file; store more rows per \
+                         index value (or split the dataset across fewer files) so coalesced \
+                         reads stay effective",
+                    ),
+                );
             }
         }
     }

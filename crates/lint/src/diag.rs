@@ -32,6 +32,9 @@ pub enum Code {
     /// UDF filter with no vectorizable guard conjunct — every block
     /// falls back to row-at-a-time evaluation.
     Dv103,
+    /// Layout yields AFC runs smaller than one I/O coalescing unit at
+    /// high file fan-in — reads degenerate to a seek per file.
+    Dv104,
 }
 
 impl Code {
@@ -48,6 +51,7 @@ impl Code {
             Code::Dv101 => "DV101",
             Code::Dv102 => "DV102",
             Code::Dv103 => "DV103",
+            Code::Dv104 => "DV104",
         }
     }
 }
@@ -177,6 +181,7 @@ mod tests {
             Code::Dv101,
             Code::Dv102,
             Code::Dv103,
+            Code::Dv104,
         ];
         let mut names: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         names.sort();

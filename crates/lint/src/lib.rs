@@ -21,7 +21,8 @@
 //!
 //! Two passes exist:
 //!
-//! * [`lint_descriptor`] — DV001..DV008 over descriptor text. Syntax
+//! * [`lint_descriptor`] — DV001..DV008 and DV104 over descriptor
+//!   text. Syntax
 //!   errors abort (the parser reports those); everything else, even a
 //!   descriptor the resolver rejects, still gets AST-level lints.
 //! * [`lint_query`] — DV101..DV103 over a SQL string checked against a
@@ -42,6 +43,7 @@
 //! | DV101 | warning  | predicate provably selects nothing |
 //! | DV102 | warning  | UDF filter over an index-prunable attribute |
 //! | DV103 | warning  | UDF filter with no vectorizable guard conjunct |
+//! | DV104 | warning  | AFC runs smaller than one I/O coalescing unit at high fan-in |
 
 mod descriptor;
 mod diag;

@@ -119,6 +119,14 @@ fn dv008_row_count_mismatch() {
 }
 
 #[test]
+fn dv104_tiny_afc_runs() {
+    let (diags, rendered) = run_descriptor("dv104");
+    assert_eq!(codes(&diags), [Code::Dv104], "{rendered}");
+    assert_eq!(diags.len(), 4, "one per grouped dataset:\n{rendered}");
+    check_golden(&rendered, "dv104.expected");
+}
+
+#[test]
 fn dv101_unsatisfiable_predicate() {
     let (diags, rendered) = run_query("SELECT X FROM D WHERE T > 10 AND T < 5");
     assert_eq!(codes(&diags), [Code::Dv101], "{rendered}");
@@ -155,13 +163,13 @@ fn dv103_guarded_udf_filter_is_clean() {
     assert!(diags.is_empty(), "unexpected diagnostics:\n{rendered}");
 }
 
-/// The acceptance bar: the lint suite distinguishes at least 8
+/// The acceptance bar: the lint suite distinguishes at least 9
 /// descriptor codes, and every descriptor diagnostic carries a real
 /// source span.
 #[test]
 fn descriptor_codes_are_spanned_and_distinct() {
     let mut seen = Vec::new();
-    for name in ["dv001", "dv002", "dv003", "dv004", "dv005", "dv006", "dv007", "dv008"] {
+    for name in ["dv001", "dv002", "dv003", "dv004", "dv005", "dv006", "dv007", "dv008", "dv104"] {
         let (diags, rendered) = run_descriptor(name);
         assert!(!diags.is_empty(), "{name} produced nothing");
         for d in &diags {
@@ -171,5 +179,5 @@ fn descriptor_codes_are_spanned_and_distinct() {
     }
     seen.sort();
     seen.dedup();
-    assert_eq!(seen.len(), 8, "expected 8 distinct descriptor codes, got {seen:?}");
+    assert_eq!(seen.len(), 9, "expected 9 distinct descriptor codes, got {seen:?}");
 }

@@ -30,6 +30,7 @@ pub mod partition;
 pub mod server;
 pub mod stats;
 
+pub use dv_layout::{IoOptions, IoSnapshot};
 pub use mover::BandwidthModel;
 pub use partition::PartitionStrategy;
 pub use server::{ExecMode, QueryOptions, StormServer};

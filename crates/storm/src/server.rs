@@ -5,8 +5,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::unbounded;
-use dv_layout::{Afc, CompiledDataset, Extractor};
+use crossbeam::channel::{bounded, unbounded, TryRecvError};
+use dv_layout::io::{group_afcs, FetchedGroup, IoScheduler, IoStats};
+use dv_layout::{Afc, CompiledDataset, Extractor, IoOptions, SegmentCache};
 use dv_sql::eval::EvalContext;
 use dv_sql::{bind, parse, BoundExpr, BoundQuery, UdfRegistry};
 use dv_types::{ColumnBlock, DataType, DvError, Result, RowBlock, Table};
@@ -53,6 +54,8 @@ pub struct QueryOptions {
     pub sequential_nodes: bool,
     /// Which execution engine to run (columnar by default).
     pub exec: ExecMode,
+    /// I/O scheduler knobs (coalescing, readahead, segment cache).
+    pub io: IoOptions,
 }
 
 impl Default for QueryOptions {
@@ -65,6 +68,7 @@ impl Default for QueryOptions {
             intra_node_threads: 1,
             sequential_nodes: false,
             exec: ExecMode::default(),
+            io: IoOptions::default(),
         }
     }
 }
@@ -75,13 +79,21 @@ pub struct StormServer {
     compiled: Arc<CompiledDataset>,
     udfs: Arc<UdfRegistry>,
     cluster: Cluster,
+    /// Cross-query segment cache shared by every node's I/O
+    /// scheduler; budget follows `QueryOptions::io.cache_bytes`.
+    segment_cache: Arc<SegmentCache>,
 }
 
 impl StormServer {
     /// Start a server over a compiled dataset.
     pub fn new(compiled: Arc<CompiledDataset>, udfs: UdfRegistry) -> StormServer {
         let nodes = compiled.model.node_count();
-        StormServer { compiled, udfs: Arc::new(udfs), cluster: Cluster::new(nodes) }
+        StormServer {
+            compiled,
+            udfs: Arc::new(udfs),
+            cluster: Cluster::new(nodes),
+            segment_cache: Arc::new(SegmentCache::new(IoOptions::default().cache_bytes)),
+        }
     }
 
     /// The dataset model served.
@@ -142,6 +154,10 @@ impl StormServer {
         let bytes_read = Arc::new(AtomicU64::new(0));
         let bytes_moved = Arc::new(AtomicU64::new(0));
         let afc_count = Arc::new(AtomicU64::new(0));
+        let io_stats = Arc::new(IoStats::default());
+        if opts.io.enabled && opts.io.cache_bytes > 0 {
+            self.segment_cache.set_budget(opts.io.cache_bytes);
+        }
 
         let (tx, rx) = unbounded::<MoverMessage>();
         let exec_start = Instant::now();
@@ -166,6 +182,8 @@ impl StormServer {
             let bytes_read = Arc::clone(&bytes_read);
             let bytes_moved = Arc::clone(&bytes_moved);
             let afc_count = Arc::clone(&afc_count);
+            let io_stats = Arc::clone(&io_stats);
+            let segment_cache = Arc::clone(&self.segment_cache);
             let opts = opts.clone();
             self.cluster.run_on(node, move || {
                 let worker = NodeWorker {
@@ -183,6 +201,8 @@ impl StormServer {
                     bytes_read,
                     bytes_moved,
                     afc_count,
+                    io_stats,
+                    segment_cache,
                 };
                 // Phase 2b (the node's generated index function) runs
                 // here and counts as this node's work.
@@ -242,6 +262,7 @@ impl StormServer {
         stats.bytes_read = bytes_read.load(Ordering::Relaxed);
         stats.bytes_moved = bytes_moved.load(Ordering::Relaxed);
         stats.afcs = afc_count.load(Ordering::Relaxed);
+        stats.io = io_stats.snapshot();
         Ok((tables, stats))
     }
 }
@@ -263,6 +284,8 @@ struct NodeWorker {
     bytes_read: Arc<AtomicU64>,
     bytes_moved: Arc<AtomicU64>,
     afc_count: Arc<AtomicU64>,
+    io_stats: Arc<IoStats>,
+    segment_cache: Arc<SegmentCache>,
 }
 
 impl NodeWorker {
@@ -296,11 +319,118 @@ impl NodeWorker {
         }
     }
 
-    /// The columnar pipeline (default): extract into typed columns,
-    /// filter vectorized into a selection vector, project by
-    /// reordering column handles, partition with one gather per
-    /// column, move without touching row data.
+    /// The columnar pipeline (default): fetch coalesced segments
+    /// through the I/O scheduler (prefetching the next working set in
+    /// the background), decode into typed columns, filter vectorized
+    /// into a selection vector, project by reordering column handles,
+    /// partition with one gather per column, move without touching
+    /// row data.
     fn run_stripe_columns(
+        &self,
+        afcs: &[Afc],
+        tx: &crossbeam::channel::Sender<MoverMessage>,
+    ) -> Result<()> {
+        if !self.opts.io.enabled {
+            return self.run_stripe_columns_direct(afcs, tx);
+        }
+        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
+        let mut partition_base = 0u64;
+        let scheduler = IoScheduler::new(
+            self.extractor.clone(),
+            self.opts.io.clone(),
+            Some(Arc::clone(&self.segment_cache)),
+            Arc::clone(&self.io_stats),
+        );
+        let groups = group_afcs(afcs, self.opts.io.group_bytes);
+
+        if !self.opts.io.readahead || groups.len() < 2 {
+            for g in groups {
+                let fetched = scheduler.fetch(&afcs[g.clone()])?;
+                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
+            }
+            return Ok(());
+        }
+
+        // Double-buffered readahead: a bounded channel of fetched
+        // groups; the prefetcher works on group g+1 (and beyond, up
+        // to the channel depth) while this thread decodes group g.
+        let depth = self.opts.io.prefetch_depth.max(1);
+        std::thread::scope(|scope| -> Result<()> {
+            let (gtx, grx) = bounded::<Result<FetchedGroup>>(depth);
+            let scheduler = &scheduler;
+            let groups_tx = groups.clone();
+            scope.spawn(move || {
+                for g in groups_tx {
+                    let fetched = scheduler.fetch(&afcs[g]);
+                    let failed = fetched.is_err();
+                    // The receiver hangs up after a decode error; stop
+                    // fetching. Also stop after shipping a fetch error.
+                    if gtx.send(fetched).is_err() || failed {
+                        break;
+                    }
+                }
+            });
+            for g in groups {
+                let fetched = match grx.try_recv() {
+                    Ok(r) => {
+                        self.io_stats.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                        r?
+                    }
+                    Err(TryRecvError::Empty) => {
+                        let wait_start = Instant::now();
+                        let r = grx
+                            .recv()
+                            .map_err(|_| DvError::Runtime("I/O prefetcher disconnected".into()))?;
+                        self.io_stats.prefetch_waits.fetch_add(1, Ordering::Relaxed);
+                        self.io_stats
+                            .prefetch_wait_ns
+                            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        r?
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        return Err(DvError::Runtime("I/O prefetcher disconnected".into()));
+                    }
+                };
+                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Decode one fetched working-set group into blocks of at most
+    /// `batch_rows` and run each through filter → project → partition
+    /// → move.
+    fn decode_and_ship(
+        &self,
+        afcs: &[Afc],
+        fetched: &FetchedGroup,
+        cx: &EvalContext,
+        partition_base: &mut u64,
+        tx: &crossbeam::channel::Sender<MoverMessage>,
+    ) -> Result<()> {
+        let mut i = 0usize;
+        while i < afcs.len() {
+            let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
+            let mut batched_rows = 0u64;
+            while i < afcs.len()
+                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
+            {
+                let afc = &afcs[i];
+                self.extractor.extract_columns_fetched(afc, &mut block, fetched)?;
+                self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
+                self.afc_count.fetch_add(1, Ordering::Relaxed);
+                batched_rows += afc.num_rows;
+                i += 1;
+            }
+            self.ship_columns(block, cx, partition_base, tx)?;
+        }
+        Ok(())
+    }
+
+    /// The scheduler-off columnar path: one read per AFC entry into
+    /// the shared scratch buffer (kept as the ablation baseline and
+    /// the fallback when `QueryOptions::io.enabled` is false).
+    fn run_stripe_columns_direct(
         &self,
         afcs: &[Afc],
         tx: &crossbeam::channel::Sender<MoverMessage>,
@@ -319,40 +449,64 @@ impl NodeWorker {
             {
                 let afc = &afcs[i];
                 self.extractor.extract_columns_with(afc, &mut block, &mut scratch)?;
-                self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
-                self.afc_count.fetch_add(1, Ordering::Relaxed);
+                self.count_direct_reads(afc);
                 batched_rows += afc.num_rows;
                 i += 1;
             }
-            self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
+            self.ship_columns(block, &cx, &mut partition_base, tx)?;
+        }
+        Ok(())
+    }
 
-            filter_columns(&mut block, self.predicate.as_ref().as_ref(), &cx);
-            self.rows_selected.fetch_add(block.selected() as u64, Ordering::Relaxed);
-            if block.is_empty() {
-                continue;
-            }
+    /// Per-AFC accounting shared by the direct-read paths: logical
+    /// bytes plus one issued syscall per entry run.
+    fn count_direct_reads(&self, afc: &Afc) {
+        let bytes = afc.bytes_read();
+        let runs = afc.entries.len() as u64;
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.afc_count.fetch_add(1, Ordering::Relaxed);
+        self.io_stats.read_syscalls.fetch_add(runs, Ordering::Relaxed);
+        self.io_stats.runs_scheduled.fetch_add(runs, Ordering::Relaxed);
+        self.io_stats.bytes_issued.fetch_add(bytes, Ordering::Relaxed);
+        self.io_stats.bytes_used.fetch_add(bytes, Ordering::Relaxed);
+    }
 
-            block.project(&self.output_positions);
+    /// Filter → project → partition → move one columnar block.
+    fn ship_columns(
+        &self,
+        mut block: ColumnBlock,
+        cx: &EvalContext,
+        partition_base: &mut u64,
+        tx: &crossbeam::channel::Sender<MoverMessage>,
+    ) -> Result<()> {
+        self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
 
-            if self.opts.client_processors == 1 {
-                let bytes = send_columns(tx, 0, block, self.opts.bandwidth.as_ref())?;
-                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
-            } else {
-                let parts = partition_columns(
-                    block,
-                    &self.opts.partition,
-                    self.opts.client_processors,
-                    partition_base,
-                );
-                // Round-robin base advances by total rows partitioned.
-                partition_base += parts.iter().map(|p| p.selected() as u64).sum::<u64>();
-                for (p, part) in parts.into_iter().enumerate() {
-                    if part.is_empty() {
-                        continue;
-                    }
-                    let bytes = send_columns(tx, p, part, self.opts.bandwidth.as_ref())?;
-                    self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        filter_columns(&mut block, self.predicate.as_ref().as_ref(), cx);
+        self.rows_selected.fetch_add(block.selected() as u64, Ordering::Relaxed);
+        if block.is_empty() {
+            return Ok(());
+        }
+
+        block.project(&self.output_positions);
+
+        if self.opts.client_processors == 1 {
+            let bytes = send_columns(tx, 0, block, self.opts.bandwidth.as_ref())?;
+            self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            let parts = partition_columns(
+                block,
+                &self.opts.partition,
+                self.opts.client_processors,
+                *partition_base,
+            );
+            // Round-robin base advances by total rows partitioned.
+            *partition_base += parts.iter().map(|p| p.selected() as u64).sum::<u64>();
+            for (p, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
                 }
+                let bytes = send_columns(tx, p, part, self.opts.bandwidth.as_ref())?;
+                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
             }
         }
         Ok(())
@@ -377,8 +531,7 @@ impl NodeWorker {
             {
                 let afc = &afcs[i];
                 self.extractor.extract_into_with(afc, &mut block, &mut scratch)?;
-                self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
-                self.afc_count.fetch_add(1, Ordering::Relaxed);
+                self.count_direct_reads(afc);
                 batched_rows += afc.num_rows;
                 i += 1;
             }

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use dv_layout::IoSnapshot;
+
 /// Counters and timings of one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
@@ -16,6 +18,9 @@ pub struct QueryStats {
     pub bytes_moved: u64,
     /// Aligned file chunks processed.
     pub afcs: u64,
+    /// I/O scheduler counters: syscalls, bytes issued vs. used,
+    /// coalescing, prefetch and cache behaviour.
+    pub io: IoSnapshot,
     /// Time spent planning (phase 2: grouping + AFC alignment).
     pub plan_time: Duration,
     /// Wall time of the parallel execute/transfer phase.
@@ -56,7 +61,7 @@ impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?})",
+            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits)",
             self.rows_selected,
             self.rows_scanned,
             self.afcs,
@@ -66,6 +71,13 @@ impl fmt::Display for QueryStats {
             self.plan_time,
             self.exec_time,
             self.simulated_parallel_time(),
+            self.io.read_syscalls,
+            self.io.coalesce_ratio(),
+            self.io.bytes_issued / 1024,
+            self.io.bytes_used / 1024,
+            self.io.cache_hit_rate() * 100.0,
+            self.io.prefetch_hits,
+            self.io.prefetch_waits,
         )
     }
 }
@@ -89,11 +101,24 @@ mod tests {
             rows_selected: 40,
             bytes_read: 4096,
             afcs: 7,
+            io: IoSnapshot {
+                read_syscalls: 3,
+                runs_scheduled: 12,
+                bytes_issued: 2048,
+                bytes_used: 4096,
+                cache_hit_bytes: 1024,
+                cache_miss_bytes: 1024,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let text = s.to_string();
         assert!(text.contains("40 rows selected / 100 scanned"), "{text}");
         assert!(text.contains("7 AFCs"), "{text}");
+        assert!(text.contains("3 syscalls"), "{text}");
+        assert!(text.contains("coalesce 4.0x"), "{text}");
+        assert!(text.contains("2 KiB issued / 4 KiB used"), "{text}");
+        assert!(text.contains("cache hit 50%"), "{text}");
     }
 
     #[test]

@@ -1,33 +1,51 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no crate registry, so this workspace
-//! ships the one crossbeam facility the runtime uses: `channel`
-//! with unbounded channels whose `Sender` is `Sync` (std's mpsc
-//! `Sender` is only `Send`; here it is wrapped in a `Mutex` so a
+//! ships the crossbeam facilities the runtime uses: `channel` with
+//! unbounded and bounded channels whose `Sender` is `Sync` (std's
+//! mpsc `Sender` is only `Send`; here it is wrapped in a `Mutex` so a
 //! reference can be shared across scoped threads, matching crossbeam's
-//! sharing model).
+//! sharing model; `SyncSender` is already `Sync`).
 
 pub mod channel {
     use std::fmt;
     use std::sync::{mpsc, Mutex};
 
-    /// Sending half of an unbounded channel. Clonable and `Sync`.
+    enum SenderInner<T> {
+        Unbounded(Mutex<mpsc::Sender<T>>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// Sending half of a channel. Clonable and `Sync`. For bounded
+    /// channels `send` blocks while the buffer is full.
     pub struct Sender<T> {
-        inner: Mutex<mpsc::Sender<T>>,
+        inner: SenderInner<T>,
     }
 
     impl<T> Sender<T> {
-        /// Send a message; errors when the receiver is gone.
+        /// Send a message; errors when the receiver is gone. Blocks
+        /// when a bounded channel is at capacity.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            let guard = self.inner.lock().expect("sender mutex poisoned");
-            guard.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.inner {
+                SenderInner::Unbounded(tx) => {
+                    let guard = tx.lock().expect("sender mutex poisoned");
+                    guard.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderInner::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            let guard = self.inner.lock().expect("sender mutex poisoned");
-            Sender { inner: Mutex::new(guard.clone()) }
+            let inner = match &self.inner {
+                SenderInner::Unbounded(tx) => {
+                    let guard = tx.lock().expect("sender mutex poisoned");
+                    SenderInner::Unbounded(Mutex::new(guard.clone()))
+                }
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            };
+            Sender { inner }
         }
     }
 
@@ -40,6 +58,14 @@ pub mod channel {
         /// Block until a message arrives or all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive: a message if one is ready.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
 
         /// Blocking iterator that ends when all senders are gone.
@@ -118,10 +144,39 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: Mutex::new(tx) }, Receiver { inner: rx })
+        (Sender { inner: SenderInner::Unbounded(Mutex::new(tx)) }, Receiver { inner: rx })
+    }
+
+    /// Create a bounded channel: `send` blocks once `cap` messages are
+    /// queued (a `cap` of 0 makes every send a rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: SenderInner::Bounded(tx) }, Receiver { inner: rx })
     }
 
     #[cfg(test)]
@@ -148,6 +203,38 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_blocks_at_capacity() {
+            let (tx, rx) = bounded::<usize>(1);
+            tx.send(1).unwrap();
+            // A second send must block until the consumer drains one.
+            let t = std::thread::spawn(move || tx.send(2).unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            t.join().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn bounded_send_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded::<usize>(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(t.join().unwrap().is_err());
+        }
+
+        #[test]
+        fn try_recv_reports_empty_and_disconnected() {
+            let (tx, rx) = bounded::<u8>(4);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(7).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
     }
 }
