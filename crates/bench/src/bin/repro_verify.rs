@@ -1,0 +1,225 @@
+//! Verification-certificate ablation — checked vs certificate-gated
+//! unchecked columnar decode.
+//!
+//! ```text
+//! cargo run --release -p dv-bench --bin repro_verify
+//! ```
+//!
+//! Runs scan-heavy Ipars queries on two layout extremes (L0's 18-file
+//! aligned groups and Layout I's single strided file) twice per query:
+//! once with verification disabled (the extractor keeps its per-run
+//! bounds checks) and once with the `dv-verify` pass proving the
+//! descriptor Safe at build time, which lets the decode hot loop drop
+//! those checks. Cardinalities are asserted identical throughout, and
+//! the verifier's own cost is measured. Results go to
+//! `BENCH_verify.json` at the repo root (override with `DV_BENCH_OUT`;
+//! `DV_QUICK=1` runs a smoke-sized dataset).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use dv_bench::stage::stage_ipars;
+use dv_bench::{ms, print_table, ratio, scaled};
+use dv_core::{Certificate, ExecMode, QueryOptions, Virtualizer};
+use dv_datagen::{IparsConfig, IparsLayout};
+use dv_lint::verify_descriptor;
+
+fn cfg() -> IparsConfig {
+    IparsConfig {
+        realizations: 4,
+        time_steps: 40,
+        grid_per_dir: scaled(1250),
+        dirs: 4,
+        nodes: 4,
+        seed: 909,
+    }
+}
+
+/// Scan-heavy queries: the decode loop dominates, so the dropped
+/// bounds checks are visible (point lookups are seek-bound instead).
+fn queries(t_max: usize) -> Vec<(usize, &'static str, String)> {
+    vec![
+        (1, "full scan, all attrs", "SELECT * FROM IparsData WHERE TIME >= 0".to_string()),
+        (
+            2,
+            "half range, all attrs",
+            format!("SELECT * FROM IparsData WHERE TIME >= 1 AND TIME <= {}", t_max / 2),
+        ),
+        (
+            3,
+            "full scan, 4 attrs + filter",
+            "SELECT REL, TIME, SOIL, SGAS FROM IparsData WHERE SOIL > 0.2".to_string(),
+        ),
+    ]
+}
+
+fn run_once(v: &Virtualizer, sql: &str) -> (usize, Duration) {
+    let opts =
+        QueryOptions { sequential_nodes: true, exec: ExecMode::Columnar, ..Default::default() };
+    let (tables, stats) = v.query_with(sql, &opts).unwrap();
+    (tables[0].len(), stats.simulated_parallel_time())
+}
+
+fn run_timed(v: &Virtualizer, sql: &str) -> (usize, Duration) {
+    dv_bench::min_over(5, || run_once(v, sql))
+}
+
+struct Measurement {
+    layout: String,
+    query_no: usize,
+    what: &'static str,
+    rows: usize,
+    checked: Duration,
+    unchecked: Duration,
+}
+
+fn main() {
+    let cfg = cfg();
+    println!("# dv-verify certificate — checked vs unchecked columnar decode\n");
+    println!(
+        "dataset: {} rows (~{} MiB per layout), 4 nodes; times are simulated cluster wall \
+         times (max over per-node pipelines)",
+        cfg.rows(),
+        cfg.rows() * cfg.row_bytes() / (1024 * 1024)
+    );
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut verify_times: Vec<(String, Duration)> = Vec::new();
+
+    for layout in [IparsLayout::L0, IparsLayout::I] {
+        let (base, desc) = stage_ipars(&format!("fig9-{}", layout.tag()), &cfg, layout);
+        dv_bench::warm_dir(&base);
+
+        // The verifier's own cost (pure static analysis, no data read).
+        let t0 = Instant::now();
+        let report = verify_descriptor(&desc, None).unwrap();
+        let verify_time = t0.elapsed();
+        assert_eq!(report.certificate(), Certificate::Safe, "{}: not proved safe", layout.label());
+        verify_times.push((layout.label().to_string(), verify_time));
+
+        let checked =
+            Virtualizer::builder(&desc).storage_base(&base).verify(false).build().unwrap();
+        assert_eq!(checked.certificate(), Certificate::Unverified);
+        let unchecked = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        assert_eq!(unchecked.certificate(), Certificate::Safe, "{}", layout.label());
+
+        for (no, what, sql) in queries(cfg.time_steps) {
+            let (rows_c, tc) = run_timed(&checked, &sql);
+            let (rows_u, tu) = run_timed(&unchecked, &sql);
+            assert_eq!(rows_c, rows_u, "{} q{no}: cardinality diverges", layout.label());
+            results.push(Measurement {
+                layout: layout.label().to_string(),
+                query_no: no,
+                what,
+                rows: rows_c,
+                checked: tc,
+                unchecked: tu,
+            });
+        }
+    }
+
+    let table_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            vec![
+                m.layout.clone(),
+                format!("{} ({})", m.query_no, m.what),
+                m.rows.to_string(),
+                ms(m.checked),
+                ms(m.unchecked),
+                ratio(m.checked, m.unchecked),
+            ]
+        })
+        .collect();
+    print_table(
+        "Certificate-gated decode — per-query times (ms)",
+        &["layout", "query", "rows", "checked", "unchecked", "speedup"],
+        &table_rows,
+    );
+
+    for (layout, t) in &verify_times {
+        println!("verify pass on {layout}: {} ms (static, no data read)", ms(*t));
+    }
+    let best = results
+        .iter()
+        .map(|m| m.checked.as_secs_f64() / m.unchecked.as_secs_f64().max(1e-9))
+        .fold(0.0f64, f64::max);
+    let geomean = {
+        let log_sum: f64 = results
+            .iter()
+            .map(|m| (m.checked.as_secs_f64() / m.unchecked.as_secs_f64().max(1e-9)).ln())
+            .sum();
+        (log_sum / results.len() as f64).exp()
+    };
+    println!("\nbest speedup (checked -> unchecked): {best:.2}x");
+    println!("geomean speedup: {geomean:.3}x");
+
+    let out = out_path();
+    std::fs::write(&out, render_json(&cfg, &results, &verify_times, best, geomean))
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}
+
+fn out_path() -> PathBuf {
+    match std::env::var("DV_BENCH_OUT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => {
+            // crates/bench -> workspace root.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest.parent().unwrap().parent().unwrap().join("BENCH_verify.json")
+        }
+    }
+}
+
+/// Hand-formatted JSON (the workspace carries no serde).
+fn render_json(
+    cfg: &IparsConfig,
+    results: &[Measurement],
+    verify_times: &[(String, Duration)],
+    best: f64,
+    geomean: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"verify-certificate\",\n");
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"ipars\", \"rows\": {}, \"realizations\": {}, \
+         \"time_steps\": {}, \"grid_per_dir\": {}, \"dirs\": {}, \"nodes\": {}, \"seed\": {}}},\n",
+        cfg.rows(),
+        cfg.realizations,
+        cfg.time_steps,
+        cfg.grid_per_dir,
+        cfg.dirs,
+        cfg.nodes,
+        cfg.seed
+    ));
+    s.push_str(&format!("  \"quick_mode\": {},\n", dv_bench::quick_mode()));
+    s.push_str("  \"verify_pass\": [\n");
+    for (i, (layout, t)) in verify_times.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"layout\": \"{layout}\", \"verify_ms\": {:.3}, \"certificate\": \"safe\"}}{}\n",
+            t.as_secs_f64() * 1e3,
+            if i + 1 == verify_times.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"runs\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"query\": {}, \"what\": \"{}\", \"rows\": {}, \
+             \"checked_ms\": {:.3}, \"unchecked_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            m.layout,
+            m.query_no,
+            m.what,
+            m.rows,
+            m.checked.as_secs_f64() * 1e3,
+            m.unchecked.as_secs_f64() * 1e3,
+            m.checked.as_secs_f64() / m.unchecked.as_secs_f64().max(1e-9),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"best_speedup\": {best:.3},\n  \"geomean_speedup\": {geomean:.3}\n"));
+    s.push_str("}\n");
+    s
+}

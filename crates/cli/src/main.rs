@@ -6,6 +6,7 @@
 //! datavirt fmt      <descriptor>                      print the canonical descriptor form
 //! datavirt validate <descriptor> --base <dir>         check files against the descriptor
 //! datavirt lint     <descriptor> [<SQL>]              static analysis: DV0xx/DV1xx diagnostics
+//! datavirt verify   <descriptor> [<SQL>]              semantic verification: DV2xx refutations + certificate
 //! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats]
 //! datavirt explain  <descriptor> --base <dir> <SQL>   show the AFC schedule
 //! datavirt codegen  <descriptor> --base <dir>         render the generated index/extractor functions
@@ -13,8 +14,10 @@
 //! ```
 //!
 //! `query` and `explain` accept `--deny-warnings` to refuse execution
-//! when the lint pass reports anything; `lint --deny-warnings` turns
-//! warnings into a failing exit code (for CI).
+//! when the lint or verify passes report anything; `lint
+//! --deny-warnings` turns warnings into a failing exit code (for CI).
+//! `lint` and `verify` accept `--format json` (one shared schema), and
+//! `verify` additionally `--format sarif` for code-scanning upload.
 
 mod args;
 
@@ -51,7 +54,8 @@ USAGE:
   datavirt schema   <descriptor>
   datavirt fmt      <descriptor>
   datavirt validate <descriptor> --base <dir>
-  datavirt lint     <descriptor> [\"<SQL>\"] [--deny-warnings]
+  datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json] [--deny-warnings]
+  datavirt verify   <descriptor> [\"<SQL>\"] [--base <dir>] [--format human|json|sarif] [--deny-warnings]
   datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--deny-warnings]
   datavirt explain  <descriptor> --base <dir> \"<SQL>\" [--deny-warnings]
   datavirt codegen  <descriptor> --base <dir>
@@ -64,6 +68,7 @@ fn run(a: &args::Args) -> Result<ExitCode, String> {
         "fmt" => cmd_fmt(a),
         "validate" => cmd_validate(a),
         "lint" => cmd_lint(a),
+        "verify" => cmd_verify(a),
         "query" => cmd_query(a),
         "explain" => cmd_explain(a),
         "codegen" => cmd_codegen(a),
@@ -144,37 +149,153 @@ fn cmd_validate(a: &args::Args) -> Result<ExitCode, String> {
 }
 
 /// Collect every lint diagnostic for the descriptor (and SQL, when
-/// given), already rendered against the right source text.
+/// given), kept separate per source so output formats can resolve
+/// spans against the right text.
 fn collect_lints(
     text: &str,
-    origin: &str,
     sql: Option<&str>,
-) -> Result<(Vec<dv_lint::Diagnostic>, String), String> {
-    let mut diags = dv_lint::lint_descriptor(text).map_err(|e| e.to_string())?;
-    let mut rendered: Vec<String> = diags.iter().map(|d| d.render(text, origin)).collect();
+) -> Result<(Vec<dv_lint::Diagnostic>, Vec<dv_lint::Diagnostic>), String> {
+    let diags = dv_lint::lint_descriptor(text).map_err(|e| e.to_string())?;
+    let qdiags = match sql {
+        Some(sql) => {
+            let model = dv_descriptor::compile(text).map_err(|e| e.to_string())?;
+            let udfs = dv_sql::UdfRegistry::with_builtins();
+            dv_lint::lint_query(&model, sql, &udfs).map_err(|e| e.to_string())?
+        }
+        None => Vec::new(),
+    };
+    Ok((diags, qdiags))
+}
+
+fn render_mixed(
+    desc_diags: &[dv_lint::Diagnostic],
+    text: &str,
+    origin: &str,
+    query_diags: &[dv_lint::Diagnostic],
+    sql: Option<&str>,
+) -> String {
+    let mut rendered: Vec<String> = desc_diags.iter().map(|d| d.render(text, origin)).collect();
     if let Some(sql) = sql {
-        let model = dv_descriptor::compile(text).map_err(|e| e.to_string())?;
-        let udfs = dv_sql::UdfRegistry::with_builtins();
-        let qdiags = dv_lint::lint_query(&model, sql, &udfs).map_err(|e| e.to_string())?;
-        rendered.extend(qdiags.iter().map(|d| d.render(sql, "<query>")));
-        diags.extend(qdiags);
+        rendered.extend(query_diags.iter().map(|d| d.render(sql, "<query>")));
     }
-    Ok((diags, rendered.join("\n")))
+    rendered.join("\n")
 }
 
 fn cmd_lint(a: &args::Args) -> Result<ExitCode, String> {
     let path = a.positional(0, "descriptor")?.to_string();
     let text = read_descriptor(a)?;
     let sql = a.positionals.get(1).map(|s| s.as_str());
-    let (diags, rendered) = collect_lints(&text, &path, sql)?;
-    if diags.is_empty() {
-        println!("ok: no diagnostics");
-        return Ok(ExitCode::SUCCESS);
+    let (diags, qdiags) = collect_lints(&text, sql)?;
+    let total = diags.len() + qdiags.len();
+    let errors =
+        diags.iter().chain(&qdiags).filter(|d| d.severity == dv_lint::Severity::Error).count();
+    let warnings = total - errors;
+    match a.option_or("format", "human") {
+        "human" => {
+            if total == 0 {
+                println!("ok: no diagnostics");
+            } else {
+                print!("{}", render_mixed(&diags, &text, &path, &qdiags, sql));
+                println!("\n{warnings} warning(s), {errors} error(s)");
+            }
+        }
+        "json" => {
+            let emitted: Vec<dv_lint::Emitted> = diags
+                .iter()
+                .map(|d| dv_lint::Emitted::new(d, &text, &path))
+                .chain(
+                    qdiags.iter().map(|d| dv_lint::Emitted::new(d, sql.unwrap_or(""), "<query>")),
+                )
+                .collect();
+            print!("{}", dv_lint::verify::report::to_json(&emitted, None, &[]));
+        }
+        other => return Err(format!("unknown --format `{other}` (human|json)")),
     }
-    print!("{rendered}");
-    let errors = diags.iter().filter(|d| d.severity == dv_lint::Severity::Error).count();
-    let warnings = diags.len() - errors;
-    println!("\n{warnings} warning(s), {errors} error(s)");
+    if errors > 0 || (warnings > 0 && a.has("deny-warnings")) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Observed file sizes for `verify --base`: stat every file the
+/// resolved model names. Missing files simply leave no entry, which
+/// keeps the bounds property unproven rather than falsely safe.
+fn observed_sizes(text: &str, base: &str) -> Result<dv_lint::verify::ObservedSizes, String> {
+    let model = dv_descriptor::compile(text).map_err(|e| e.to_string())?;
+    let base = std::path::Path::new(base);
+    let mut sizes = dv_lint::verify::ObservedSizes::new();
+    for f in &model.files {
+        let node = &model.nodes[f.node];
+        if let Ok(md) = std::fs::metadata(base.join(node).join(&f.rel_path)) {
+            sizes.insert((node.clone(), f.rel_path.clone()), md.len());
+        }
+    }
+    Ok(sizes)
+}
+
+fn cmd_verify(a: &args::Args) -> Result<ExitCode, String> {
+    let path = a.positional(0, "descriptor")?.to_string();
+    let text = read_descriptor(a)?;
+    let sql = a.positionals.get(1).map(|s| s.as_str());
+
+    let sizes = match a.options.get("base") {
+        Some(base) => Some(observed_sizes(&text, base)?),
+        None => None,
+    };
+    let report = dv_lint::verify_descriptor(&text, sizes.as_ref()).map_err(|e| e.to_string())?;
+    // The certificate covers the descriptor; query findings (DV205)
+    // additionally gate the exit code.
+    let certificate = report.certificate();
+    let qfindings = match sql {
+        Some(sql) => {
+            let model = dv_descriptor::compile(&text).map_err(|e| e.to_string())?;
+            let udfs = dv_sql::UdfRegistry::with_builtins();
+            dv_lint::verify_query(&model, sql, &udfs).map_err(|e| e.to_string())?
+        }
+        None => Vec::new(),
+    };
+
+    let emitted: Vec<dv_lint::Emitted> = report
+        .findings
+        .iter()
+        .map(|f| {
+            dv_lint::Emitted::new(&f.diag, &text, &path)
+                .with_counterexample(f.counterexample.as_ref())
+        })
+        .chain(qfindings.iter().map(|f| {
+            dv_lint::Emitted::new(&f.diag, sql.unwrap_or(""), "<query>")
+                .with_counterexample(f.counterexample.as_ref())
+        }))
+        .collect();
+
+    match a.option_or("format", "human") {
+        "human" => {
+            let rendered: Vec<String> = report
+                .findings
+                .iter()
+                .map(|f| f.diag.render(&text, &path))
+                .chain(qfindings.iter().map(|f| f.diag.render(sql.unwrap_or(""), "<query>")))
+                .collect();
+            if !rendered.is_empty() {
+                print!("{}", rendered.join("\n"));
+                println!();
+            }
+            for reason in &report.unproven {
+                println!("unproven: {reason}");
+            }
+            println!("certificate: {certificate}");
+        }
+        "json" => print!(
+            "{}",
+            dv_lint::verify::report::to_json(&emitted, Some(certificate), &report.unproven)
+        ),
+        "sarif" => print!("{}", dv_lint::verify::report::to_sarif(&emitted)),
+        other => return Err(format!("unknown --format `{other}` (human|json|sarif)")),
+    }
+
+    let errors = emitted.iter().filter(|e| e.diag.severity == dv_lint::Severity::Error).count();
+    let warnings = emitted.len() - errors;
     if errors > 0 || (warnings > 0 && a.has("deny-warnings")) {
         Ok(ExitCode::FAILURE)
     } else {
@@ -183,18 +304,30 @@ fn cmd_lint(a: &args::Args) -> Result<ExitCode, String> {
 }
 
 /// `--deny-warnings` pre-flight for query/explain: refuse to run when
-/// the lint pass reports anything about the descriptor or the SQL.
+/// the lint or verify passes report anything about the descriptor or
+/// the SQL.
 fn preflight_lint(a: &args::Args, sql: &str) -> Result<(), String> {
     if !a.has("deny-warnings") {
         return Ok(());
     }
     let path = a.positional(0, "descriptor")?.to_string();
     let text = read_descriptor(a)?;
-    let (diags, rendered) = collect_lints(&text, &path, Some(sql))?;
-    if diags.is_empty() {
+    let (mut diags, mut qdiags) = collect_lints(&text, Some(sql))?;
+    let report = dv_lint::verify_descriptor(&text, None).map_err(|e| e.to_string())?;
+    diags.extend(report.findings.into_iter().map(|f| f.diag));
+    diags.sort_by_key(|d| (d.span.start, d.code));
+    if let Ok(model) = dv_descriptor::compile(&text) {
+        let udfs = dv_sql::UdfRegistry::with_builtins();
+        let qf = dv_lint::verify_query(&model, sql, &udfs).map_err(|e| e.to_string())?;
+        qdiags.extend(qf.into_iter().map(|f| f.diag));
+        qdiags.sort_by_key(|d| (d.span.start, d.code));
+    }
+    let total = diags.len() + qdiags.len();
+    if total == 0 {
         return Ok(());
     }
-    Err(format!("{rendered}\nrefusing to run: {} diagnostic(s) with --deny-warnings", diags.len()))
+    let rendered = render_mixed(&diags, &text, &path, &qdiags, Some(sql));
+    Err(format!("{rendered}\nrefusing to run: {total} diagnostic(s) with --deny-warnings"))
 }
 
 fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {

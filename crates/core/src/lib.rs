@@ -36,7 +36,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 pub use dv_descriptor::DatasetModel;
-pub use dv_layout::{CompiledDataset, FileIssue, QueryPlan};
+pub use dv_layout::{Certificate, CompiledDataset, FileIssue, QueryPlan};
+pub use dv_lint::VerifyReport;
 pub use dv_sql::{BoundQuery, UdfRegistry};
 pub use dv_storm::{
     BandwidthModel, ExecMode, IoOptions, IoSnapshot, PartitionStrategy, QueryOptions, QueryStats,
@@ -50,6 +51,7 @@ pub struct VirtualizerBuilder {
     storage_base: Option<PathBuf>,
     explicit_roots: Option<Vec<PathBuf>>,
     udfs: UdfRegistry,
+    verify: bool,
 }
 
 impl VirtualizerBuilder {
@@ -90,6 +92,16 @@ impl VirtualizerBuilder {
         self
     }
 
+    /// Run (or skip) the `dv-verify` semantic pass at build time.
+    /// Enabled by default: a descriptor whose extent maps are proved
+    /// overlap-free, in-bounds and aligned earns a
+    /// [`Certificate::Safe`], which lets the extractor use the
+    /// unchecked columnar decode path.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
     /// Compile the descriptor and start the per-node services.
     pub fn build(self) -> Result<Virtualizer> {
         let model = Arc::new(dv_descriptor::compile(&self.descriptor)?);
@@ -103,6 +115,21 @@ impl VirtualizerBuilder {
             }
         };
         let compiled = Arc::new(CompiledDataset::compile(model, roots)?);
+        if self.verify {
+            if let Ok(ast) = dv_descriptor::parse_descriptor(&self.descriptor) {
+                let m = &compiled.model;
+                let mut sizes = dv_lint::verify::ObservedSizes::new();
+                for f in &m.files {
+                    // Missing files leave no entry, which keeps the
+                    // bounds property unproven (never falsely safe).
+                    if let Ok(md) = std::fs::metadata(compiled.file_path(f.id)) {
+                        sizes.insert((m.nodes[f.node].clone(), f.rel_path.clone()), md.len());
+                    }
+                }
+                let report = dv_lint::verify_ast(&ast, Some(m), Some(&sizes));
+                compiled.set_certificate(report.certificate());
+            }
+        }
         let server = StormServer::new(compiled, self.udfs);
         Ok(Virtualizer { server })
     }
@@ -122,6 +149,7 @@ impl Virtualizer {
             storage_base: None,
             explicit_roots: None,
             udfs: UdfRegistry::with_builtins(),
+            verify: true,
         }
     }
 
@@ -163,6 +191,12 @@ impl Virtualizer {
     /// discrepancies (missing files, size mismatches, chunk overruns).
     pub fn verify_files(&self) -> Vec<FileIssue> {
         self.server.compiled().verify_files()
+    }
+
+    /// The verification certificate computed at build time (or
+    /// [`Certificate::Unverified`] when verification was disabled).
+    pub fn certificate(&self) -> Certificate {
+        self.server.compiled().certificate()
     }
 
     /// Access the underlying STORM server (advanced use).
@@ -233,5 +267,49 @@ mod tests {
     fn bad_descriptor_reported() {
         let err = Virtualizer::builder("not a descriptor").storage_base("/tmp").build();
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn build_verifies_and_certifies() {
+        let (base, desc) = setup("certify");
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        assert_eq!(v.certificate(), Certificate::Safe);
+        assert!(v.render_generated_code().contains("certificate: safe"));
+        // Queries still answer correctly through the unchecked path.
+        let (table, _) = v.query("SELECT REL, TIME FROM IparsData WHERE TIME = 1").unwrap();
+        assert!(!table.rows.is_empty());
+        // Opting out of verification leaves the checked path in place.
+        let v = Virtualizer::builder(&desc).storage_base(&base).verify(false).build().unwrap();
+        assert_eq!(v.certificate(), Certificate::Unverified);
+    }
+
+    #[test]
+    fn truncated_file_refutes_certificate() {
+        let (base, desc) = setup("refute");
+        // Chop bytes off one data file: verification must refuse the
+        // Safe certificate and fall back to checked decode.
+        let victim = walkdir_first_data(&base);
+        let len = std::fs::metadata(&victim).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&victim).unwrap();
+        f.set_len(len - 3).unwrap();
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        assert_eq!(v.certificate(), Certificate::Refuted);
+    }
+
+    fn walkdir_first_data(base: &Path) -> PathBuf {
+        fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+            for e in std::fs::read_dir(dir).unwrap().flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, out);
+                } else if p.extension().is_some_and(|e| e == "dat") {
+                    out.push(p);
+                }
+            }
+        }
+        let mut found = Vec::new();
+        walk(base, &mut found);
+        found.sort();
+        found.into_iter().next().expect("generated dataset has a .dat file")
     }
 }

@@ -21,7 +21,7 @@ use std::sync::RwLock;
 
 use crate::afc::{Afc, ImplicitValue};
 use crate::io::{missed_run, FetchedGroup, FileGen};
-use crate::plan::CompiledDataset;
+use crate::plan::{Certificate, CompiledDataset};
 
 /// Maximum open file handles pooled per extractor.
 const HANDLE_CACHE_CAP: usize = 256;
@@ -93,6 +93,11 @@ pub struct Extractor {
     /// `DV_ROWMAJOR` ablation flag, read once at construction rather
     /// than once per AFC on the hot path.
     rowmajor: bool,
+    /// True when the compiled dataset carries a `Safe` verification
+    /// certificate: per-row bounds checks in the columnar decode are
+    /// provably redundant and the unchecked kernel runs instead.
+    /// `DV_CHECKED_DECODE` forces the checked path (ablation).
+    unchecked: bool,
 }
 
 impl Extractor {
@@ -105,7 +110,21 @@ impl Extractor {
             row_width,
             handles: Arc::new(HandlePool::new(HANDLE_CACHE_CAP)),
             rowmajor: std::env::var_os("DV_ROWMAJOR").is_some(),
+            unchecked: compiled.certificate() == Certificate::Safe
+                && std::env::var_os("DV_CHECKED_DECODE").is_none(),
         }
+    }
+
+    /// Force the decode path, overriding the certificate (ablation
+    /// harnesses and differential tests).
+    pub fn with_unchecked(mut self, on: bool) -> Extractor {
+        self.unchecked = on;
+        self
+    }
+
+    /// Whether the certificate-gated unchecked decode path is active.
+    pub fn uses_unchecked_decode(&self) -> bool {
+        self.unchecked
     }
 
     fn open(&self, file: usize) -> Result<Arc<File>> {
@@ -316,6 +335,9 @@ impl Extractor {
     /// materializing anything.
     fn decode_columns(&self, afc: &Afc, block: &mut ColumnBlock, bufs: &[&[u8]]) -> Result<()> {
         debug_assert_eq!(block.columns.len(), self.row_width);
+        if self.unchecked {
+            return self.decode_columns_unchecked(afc, block, bufs);
+        }
         let n = afc.num_rows as usize;
         for f in &afc.fields {
             let stride = afc.entries[f.entry].stride as usize;
@@ -357,6 +379,80 @@ impl Extractor {
                 dv_types::DataType::Double => fill!(Double, f64, 8),
             }
         }
+        Self::append_implicits(afc, block, n);
+        Ok(())
+    }
+
+    /// The certificate-gated decode kernel: one amortized length guard
+    /// per (field, run) replaces the per-row slice bounds checks, and
+    /// raw-pointer appends replace the per-push capacity checks.
+    ///
+    /// A `Safe` certificate proves the descriptor's extents are
+    /// consistent — it says nothing about how many bytes a particular
+    /// run actually holds, so the up-front guard below is what keeps
+    /// this path memory-safe even against a lying filesystem.
+    fn decode_columns_unchecked(
+        &self,
+        afc: &Afc,
+        block: &mut ColumnBlock,
+        bufs: &[&[u8]],
+    ) -> Result<()> {
+        let n = afc.num_rows as usize;
+        for f in &afc.fields {
+            let stride = afc.entries[f.entry].stride as usize;
+            let buf = bufs[f.entry];
+            let off = f.byte_off;
+            let col = block.columns[f.working_pos].append_data();
+            macro_rules! fill {
+                ($variant:ident, $ty:ty, $size:expr) => {{
+                    let ColumnData::$variant(v) = col else {
+                        return Err(DvError::Runtime(format!(
+                            "column {} type mismatch decoding {:?}",
+                            f.working_pos, f.dtype
+                        )));
+                    };
+                    if n > 0 {
+                        let need = (n - 1) * stride + off + $size;
+                        if buf.len() < need {
+                            return Err(DvError::Runtime(format!(
+                                "run of {} bytes too short for {n} rows (need {need})",
+                                buf.len()
+                            )));
+                        }
+                        v.reserve(n);
+                        let base = v.len();
+                        // SAFETY: the guard above bounds every strided
+                        // read (`r < n` ⇒ `r*stride + off + $size <=
+                        // need <= buf.len()`), and `reserve(n)` backs
+                        // the writes finalized by `set_len`.
+                        unsafe {
+                            let src = buf.as_ptr();
+                            let dst = v.as_mut_ptr().add(base);
+                            for r in 0..n {
+                                let p = src.add(r * stride + off) as *const [u8; $size];
+                                dst.add(r).write(<$ty>::from_le_bytes(std::ptr::read_unaligned(p)));
+                            }
+                            v.set_len(base + n);
+                        }
+                    }
+                }};
+            }
+            match f.dtype {
+                dv_types::DataType::Char => fill!(Char, u8, 1),
+                dv_types::DataType::Short => fill!(Short, i16, 2),
+                dv_types::DataType::Int => fill!(Int, i32, 4),
+                dv_types::DataType::Long => fill!(Long, i64, 8),
+                dv_types::DataType::Float => fill!(Float, f32, 4),
+                dv_types::DataType::Double => fill!(Double, f64, 8),
+            }
+        }
+        Self::append_implicits(afc, block, n);
+        Ok(())
+    }
+
+    /// Append implicit-attribute generator runs and advance the block
+    /// (shared tail of both decode kernels).
+    fn append_implicits(afc: &Afc, block: &mut ColumnBlock, n: usize) {
         for (pos, imp) in &afc.implicits {
             let gen = match imp {
                 ImplicitValue::Const(v) => ColumnGen::Const(*v),
@@ -367,7 +463,6 @@ impl Extractor {
             block.columns[*pos].push_run(n, gen);
         }
         block.advance_rows(n);
-        Ok(())
     }
 
     /// Convenience: extract a batch of AFCs into a fresh columnar
@@ -603,6 +698,73 @@ DATASET "IparsData" {
             assert!(snap.read_syscalls > 0);
             assert!(snap.runs_scheduled >= snap.read_syscalls);
         }
+    }
+
+    #[test]
+    fn unchecked_decode_matches_checked() {
+        let base = tmpbase("unchecked");
+        write_dataset(&base);
+        let compiled = crate::plan::compile_from_text(DESC, &base).unwrap();
+        assert_eq!(compiled.certificate(), crate::plan::Certificate::Unverified);
+        let sqls = [
+            "SELECT * FROM IparsData",
+            "SELECT SOIL FROM IparsData WHERE REL = 0 AND TIME = 1",
+            "SELECT X FROM IparsData WHERE TIME = 2",
+        ];
+        for sql in sqls {
+            let q = parse(sql).unwrap();
+            let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+            let plan = compiled.plan_query(&b).unwrap();
+            let checked = Extractor::new(&compiled, plan.working.attrs.len());
+            let unchecked = checked.clone().with_unchecked(true);
+            assert!(!checked.uses_unchecked_decode());
+            assert!(unchecked.uses_unchecked_decode());
+            for np in &plan.node_plans {
+                let a = checked.extract_all_columns(&np.afcs, np.node, &plan.working.dtypes);
+                let b = unchecked.extract_all_columns(&np.afcs, np.node, &plan.working.dtypes);
+                let (a, b) = (a.unwrap(), b.unwrap());
+                assert_eq!(a.len(), b.len(), "{sql}");
+                for i in 0..a.len() {
+                    let ra: Row = a.columns.iter().map(|c| c.value_at(i)).collect();
+                    let rb: Row = b.columns.iter().map(|c| c.value_at(i)).collect();
+                    assert_eq!(ra, rb, "{sql} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchecked_decode_guards_short_runs() {
+        // Even with the per-row checks gone, a run shorter than the
+        // AFC demands must error — never read out of bounds.
+        let base = tmpbase("unchecked-short");
+        write_dataset(&base);
+        let full = std::fs::read(base.join("n0/d/DATA0")).unwrap();
+        std::fs::write(base.join("n0/d/DATA0"), &full[..full.len() / 2]).unwrap();
+        let compiled = crate::plan::compile_from_text(DESC, &base).unwrap();
+        let q = parse("SELECT * FROM IparsData WHERE REL = 0").unwrap();
+        let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+        let plan = compiled.plan_query(&b).unwrap();
+        let ex = Extractor::new(&compiled, plan.working.attrs.len()).with_unchecked(true);
+        let result: Result<Vec<ColumnBlock>> = plan
+            .node_plans
+            .iter()
+            .map(|np| ex.extract_all_columns(&np.afcs, np.node, &plan.working.dtypes))
+            .collect();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn certificate_enables_unchecked_path() {
+        let base = tmpbase("cert");
+        write_dataset(&base);
+        let compiled = crate::plan::compile_from_text(DESC, &base).unwrap();
+        compiled.set_certificate(crate::plan::Certificate::Safe);
+        let ex = Extractor::new(&compiled, 4);
+        assert!(ex.uses_unchecked_decode());
+        compiled.set_certificate(crate::plan::Certificate::Refuted);
+        let ex = Extractor::new(&compiled, 4);
+        assert!(!ex.uses_unchecked_decode());
     }
 
     #[test]

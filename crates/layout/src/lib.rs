@@ -42,5 +42,5 @@ pub mod segment;
 pub use afc::{Afc, AfcEntry, ImplicitValue};
 pub use extract::{ExtractScratch, Extractor};
 pub use io::{IoOptions, IoScheduler, IoSnapshot, IoStats, SegmentCache};
-pub use plan::{CompiledDataset, FileIssue, NodePlan, QueryPlan};
+pub use plan::{Certificate, CompiledDataset, FileIssue, NodePlan, QueryPlan};
 pub use segment::{InnerSig, Segment};

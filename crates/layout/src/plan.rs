@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use dv_descriptor::{DatasetModel, ResolvedItem};
@@ -76,6 +77,55 @@ impl QueryPlan {
     }
 }
 
+/// Verdict of the `dv-verify` semantic analysis over the descriptor
+/// this dataset was compiled from.
+///
+/// `Safe` certifies that every layout property was proved (no
+/// overlapping DATA extents, all accesses in-bounds, aligned file
+/// groups agree on iteration counts, no dead regions), so the
+/// extractor may run the unchecked columnar decode path. `Refuted`
+/// and `Unverified` keep today's per-row checked path. The
+/// certificate never weakens memory safety: the unchecked path still
+/// validates each run's total length before any raw reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Certificate {
+    /// No verification pass has run (or it could not decide).
+    #[default]
+    Unverified,
+    /// All four layout properties proved.
+    Safe,
+    /// At least one property refuted with a counterexample.
+    Refuted,
+}
+
+impl Certificate {
+    fn from_u8(v: u8) -> Certificate {
+        match v {
+            1 => Certificate::Safe,
+            2 => Certificate::Refuted,
+            _ => Certificate::Unverified,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Certificate::Unverified => 0,
+            Certificate::Safe => 1,
+            Certificate::Refuted => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Certificate::Unverified => f.write_str("unverified"),
+            Certificate::Safe => f.write_str("safe"),
+            Certificate::Refuted => f.write_str("refuted"),
+        }
+    }
+}
+
 /// Phase-1 output: the "generated code" of the paper, as a specialized
 /// plan object. Shared across queries and threads.
 pub struct CompiledDataset {
@@ -86,6 +136,9 @@ pub struct CompiledDataset {
     pub roots: Vec<PathBuf>,
     /// Loaded chunk indexes, keyed by file id (only chunked files).
     chunk_indexes: HashMap<usize, Arc<LoadedChunkIndex>>,
+    /// Verification verdict (atomic so it can be stamped after
+    /// compilation, before the dataset is shared across threads).
+    certificate: AtomicU8,
 }
 
 impl CompiledDataset {
@@ -128,7 +181,19 @@ impl CompiledDataset {
                 chunk_indexes.insert(f.id, loaded);
             }
         }
-        Ok(CompiledDataset { model, roots, chunk_indexes })
+        Ok(CompiledDataset { model, roots, chunk_indexes, certificate: AtomicU8::new(0) })
+    }
+
+    /// The verification verdict attached to this dataset.
+    pub fn certificate(&self) -> Certificate {
+        Certificate::from_u8(self.certificate.load(Ordering::Relaxed))
+    }
+
+    /// Attach a verification verdict. Normally called once, right
+    /// after `dv-verify` ran over the descriptor this was compiled
+    /// from; extractors read it at construction.
+    pub fn set_certificate(&self, cert: Certificate) {
+        self.certificate.store(cert.as_u8(), Ordering::Relaxed);
     }
 
     /// The chunk index of a file, if it has one.

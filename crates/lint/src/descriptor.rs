@@ -80,7 +80,7 @@ fn check_loops(space: &[SpaceItem], ancestors: &mut Vec<String>, diags: &mut Vec
         if let SpaceItem::Loop { var, body, span, .. } = item {
             if ancestors.iter().any(|a| a == var) {
                 diags.push(
-                    Diagnostic::warning(
+                    Diagnostic::new(
                         Code::Dv001,
                         *span,
                         format!(
@@ -113,7 +113,7 @@ fn check_loops(space: &[SpaceItem], ancestors: &mut Vec<String>, diags: &mut Vec
             if let (Some(alo), Some(ahi), Some(blo), Some(bhi)) = bounds {
                 if alo <= bhi && blo <= ahi {
                     diags.push(
-                        Diagnostic::warning(
+                        Diagnostic::new(
                             Code::Dv001,
                             *span_b,
                             format!(
@@ -138,7 +138,7 @@ fn check_duplicate_stores(leaf: &DatasetAst, diags: &mut Vec<Diagnostic>) {
     for (name, span) in occ {
         if !seen.insert(name.clone()) {
             diags.push(
-                Diagnostic::warning(
+                Diagnostic::new(
                     Code::Dv002,
                     span,
                     format!(
@@ -188,7 +188,7 @@ fn check_dead_attrs(ast: &DescriptorAst, diags: &mut Vec<Diagnostic>) {
     for (name, _, span) in &ast.schema.attrs {
         if !stored.contains(name) && !bound.contains(name) {
             diags.push(
-                Diagnostic::warning(
+                Diagnostic::new(
                     Code::Dv003,
                     *span,
                     format!("schema attribute `{name}` is never stored or bound by any layout"),
@@ -201,7 +201,7 @@ fn check_dead_attrs(ast: &DescriptorAst, diags: &mut Vec<Diagnostic>) {
         for (name, _, span) in &ds.extra_attrs {
             if !stored.contains(name) && !bound.contains(name) {
                 diags.push(
-                    Diagnostic::warning(
+                    Diagnostic::new(
                         Code::Dv004,
                         *span,
                         format!(
@@ -233,7 +233,7 @@ fn check_double_binding(leaf: &DatasetAst, diags: &mut Vec<Diagnostic>) {
     for (name, span) in &occ {
         if implicit.contains(name) {
             diags.push(
-                Diagnostic::error(
+                Diagnostic::new(
                     Code::Dv005,
                     *span,
                     format!(
@@ -263,7 +263,7 @@ fn check_degenerate_ranges(ds: &DatasetAst, diags: &mut Vec<Diagnostic>) {
         if let Some(s) = const_eval(step) {
             if s <= 0 {
                 diags.push(
-                    Diagnostic::error(
+                    Diagnostic::new(
                         Code::Dv006,
                         span,
                         format!("{what} over `{var}` has non-positive step {s}"),
@@ -276,7 +276,7 @@ fn check_degenerate_ranges(ds: &DatasetAst, diags: &mut Vec<Diagnostic>) {
         if let (Some(l), Some(h)) = (const_eval(lo), const_eval(hi)) {
             if l > h {
                 diags.push(
-                    Diagnostic::error(
+                    Diagnostic::new(
                         Code::Dv006,
                         span,
                         format!("{what} over `{var}` is empty: lower bound {l} > upper bound {h}"),
@@ -366,7 +366,7 @@ fn check_unreferenced_dirs(ast: &DescriptorAst, diags: &mut Vec<Diagnostic>) {
     for d in &ast.storage.dirs {
         if !referenced.contains(&(d.index as i64)) {
             diags.push(
-                Diagnostic::warning(
+                Diagnostic::new(
                     Code::Dv007,
                     d.span,
                     format!("storage directory DIR[{}] is referenced by no file template", d.index),
@@ -445,7 +445,7 @@ fn check_group_alignment(ast: &DescriptorAst, model: &DatasetModel) -> Vec<Diagn
                             continue;
                         }
                         diags.push(
-                            Diagnostic::warning(
+                            Diagnostic::new(
                                 Code::Dv008,
                                 find_loop_span(ast, &a.dataset, var),
                                 format!(
@@ -565,7 +565,7 @@ fn check_tiny_runs(ast: &DescriptorAst, model: &DatasetModel) -> Vec<Diagnostic>
                 }
                 reported.insert(f.dataset.clone());
                 diags.push(
-                    Diagnostic::warning(
+                    Diagnostic::new(
                         Code::Dv104,
                         find_loop_span(ast, &f.dataset, var),
                         format!(

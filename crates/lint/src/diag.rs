@@ -5,8 +5,10 @@ use std::fmt;
 
 use dv_types::Span;
 
-/// Every lint the analyzer can emit. `DV0xx` codes fire on descriptor
-/// text, `DV1xx` codes on queries checked against a resolved model.
+/// Every diagnostic the analyzer can emit. `DV0xx` codes fire on
+/// descriptor text, `DV1xx` codes on queries checked against a
+/// resolved model, and `DV2xx` codes are refutations produced by the
+/// `dv-verify` semantic analysis pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Overlapping or shadowing `LOOP`s over one variable.
@@ -35,24 +37,35 @@ pub enum Code {
     /// Layout yields AFC runs smaller than one I/O coalescing unit at
     /// high file fan-in — reads degenerate to a seek per file.
     Dv104,
+    /// Two DATA items claim overlapping byte ranges of one file.
+    Dv201,
+    /// A layout access is out of bounds w.r.t. the observed file size.
+    Dv202,
+    /// Files of one aligned group disagree on iteration counts.
+    Dv203,
+    /// A DATASPACE region is dead: no query can ever reach its bytes.
+    Dv204,
+    /// A predicate is provably empty against the implicit loop bounds.
+    Dv205,
 }
 
 impl Code {
+    /// The registry row for this code (name, default severity,
+    /// summary, documentation anchor).
+    pub fn info(&self) -> &'static crate::CodeInfo {
+        crate::CODE_REGISTRY
+            .iter()
+            .find(|i| i.code == *self)
+            .expect("every Code variant has a registry row")
+    }
+
     pub fn as_str(&self) -> &'static str {
-        match self {
-            Code::Dv001 => "DV001",
-            Code::Dv002 => "DV002",
-            Code::Dv003 => "DV003",
-            Code::Dv004 => "DV004",
-            Code::Dv005 => "DV005",
-            Code::Dv006 => "DV006",
-            Code::Dv007 => "DV007",
-            Code::Dv008 => "DV008",
-            Code::Dv101 => "DV101",
-            Code::Dv102 => "DV102",
-            Code::Dv103 => "DV103",
-            Code::Dv104 => "DV104",
-        }
+        self.info().name
+    }
+
+    /// The severity this code carries unless a pass overrides it.
+    pub fn default_severity(&self) -> Severity {
+        self.info().severity
     }
 }
 
@@ -88,6 +101,19 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
+    /// Construct a diagnostic with the code's registry-default
+    /// severity — the one constructor every pass should use, so that
+    /// severity policy lives in a single table.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
     pub fn warning(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
         Diagnostic { code, severity: Severity::Warning, span, message: message.into(), help: None }
     }
@@ -182,10 +208,24 @@ mod tests {
             Code::Dv102,
             Code::Dv103,
             Code::Dv104,
+            Code::Dv201,
+            Code::Dv202,
+            Code::Dv203,
+            Code::Dv204,
+            Code::Dv205,
         ];
         let mut names: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), all.len());
+        assert_eq!(all.len(), crate::CODE_REGISTRY.len());
+    }
+
+    #[test]
+    fn new_uses_registry_severity() {
+        let d = Diagnostic::new(Code::Dv204, Span::DUMMY, "dead region");
+        assert_eq!(d.severity, Severity::Warning);
+        let d = Diagnostic::new(Code::Dv201, Span::DUMMY, "overlap");
+        assert_eq!(d.severity, Severity::Error);
     }
 }

@@ -29,6 +29,17 @@
 //!   resolved [`DatasetModel`]: provably-empty predicates, UDF
 //!   filters that defeat index pruning, and UDF filters that defeat
 //!   vectorized execution.
+//! * [`verify_descriptor`] / [`verify_query`] — the `dv-verify`
+//!   semantic pass (DV201..DV205): abstract interpretation of the
+//!   layout with a symbolic affine/interval domain that *proves* or
+//!   *refutes* overlap-freedom, in-boundedness, group alignment,
+//!   region liveness, and predicate satisfiability. Refutations carry
+//!   concrete counterexamples; a fully proved descriptor earns a
+//!   `Safe` certificate that lets the executor drop per-row bounds
+//!   checks (see `dv-layout::Certificate`).
+//!
+//! The single source of truth for every code's name, default severity
+//! and documentation anchor is [`CODE_REGISTRY`]:
 //!
 //! | code  | severity | meaning |
 //! |-------|----------|---------|
@@ -44,16 +55,74 @@
 //! | DV102 | warning  | UDF filter over an index-prunable attribute |
 //! | DV103 | warning  | UDF filter with no vectorizable guard conjunct |
 //! | DV104 | warning  | AFC runs smaller than one I/O coalescing unit at high fan-in |
+//! | DV201 | error    | two DATA items overlap within one file |
+//! | DV202 | error    | layout access out of bounds of the observed file size |
+//! | DV203 | error    | aligned file group with mismatched row counts |
+//! | DV204 | warning  | dead (unreachable or zero-iteration) DATASPACE region |
+//! | DV205 | error    | predicate provably empty against implicit loop bounds |
 
 mod descriptor;
 mod diag;
 mod query;
+pub mod verify;
 
 pub use diag::{Code, Diagnostic, Severity};
 pub use query::lint_query;
+pub use verify::{
+    verify_ast, verify_descriptor, verify_query, Counterexample, Emitted, Finding, VerifyReport,
+};
 
 use dv_descriptor::{parse_descriptor, resolve};
 use dv_types::Result;
+
+/// One row of the diagnostic-code registry: the printable name, the
+/// severity a [`Diagnostic::new`] gets by default, a one-line summary,
+/// and the `docs/LANGUAGE.md` anchor documenting the code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeInfo {
+    pub code: Code,
+    pub name: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+    pub doc: &'static str,
+}
+
+const fn row(
+    code: Code,
+    name: &'static str,
+    severity: Severity,
+    summary: &'static str,
+) -> CodeInfo {
+    CodeInfo { code, name, severity, summary, doc: "docs/LANGUAGE.md#diagnostics" }
+}
+
+/// Every code the crate can emit, in ascending order. Both lint passes
+/// and the verify pass construct diagnostics through this table so the
+/// severity policy is declared exactly once.
+pub const CODE_REGISTRY: &[CodeInfo] = &[
+    row(
+        Code::Dv001,
+        "DV001",
+        Severity::Warning,
+        "shadowing or overlapping LOOPs over one variable",
+    ),
+    row(Code::Dv002, "DV002", Severity::Warning, "attribute stored twice in one DATASPACE"),
+    row(Code::Dv003, "DV003", Severity::Warning, "schema attribute never stored or bound"),
+    row(Code::Dv004, "DV004", Severity::Warning, "dead DATATYPE auxiliary attribute"),
+    row(Code::Dv005, "DV005", Severity::Error, "attribute both stored and implicitly bound"),
+    row(Code::Dv006, "DV006", Severity::Error, "empty or non-positive-stride range"),
+    row(Code::Dv007, "DV007", Severity::Warning, "storage DIR referenced by no file template"),
+    row(Code::Dv008, "DV008", Severity::Warning, "aligned datasets disagree on iteration counts"),
+    row(Code::Dv101, "DV101", Severity::Warning, "predicate provably selects nothing"),
+    row(Code::Dv102, "DV102", Severity::Warning, "UDF filter over an index-prunable attribute"),
+    row(Code::Dv103, "DV103", Severity::Warning, "UDF filter with no vectorizable guard conjunct"),
+    row(Code::Dv104, "DV104", Severity::Warning, "AFC runs below one I/O coalescing unit"),
+    row(Code::Dv201, "DV201", Severity::Error, "two DATA items overlap within one file"),
+    row(Code::Dv202, "DV202", Severity::Error, "layout access out of bounds of the file size"),
+    row(Code::Dv203, "DV203", Severity::Error, "aligned file group with mismatched row counts"),
+    row(Code::Dv204, "DV204", Severity::Warning, "dead DATASPACE region"),
+    row(Code::Dv205, "DV205", Severity::Error, "predicate provably empty against loop bounds"),
+];
 
 /// Lint descriptor text: parse, run the AST lints, and — when the
 /// descriptor also resolves — the model-level lints. Diagnostics come

@@ -101,7 +101,7 @@ fn check_udf_filters(
 
 fn push_udf_diag(attr: usize, model: &DatasetModel, span: Span, diags: &mut Vec<Diagnostic>) {
     let name = &model.schema.attr_at(attr).name;
-    let d = Diagnostic::warning(
+    let d = Diagnostic::new(
         Code::Dv102,
         span,
         format!("UDF filter over index attribute `{name}` defeats index-based file pruning"),
@@ -136,7 +136,7 @@ pub fn lint_query(model: &DatasetModel, sql: &str, udfs: &UdfRegistry) -> Result
             unsat = true;
             let name = &model.schema.attr_at(*idx).name;
             diags.push(
-                Diagnostic::warning(
+                Diagnostic::new(
                     Code::Dv101,
                     span,
                     format!("predicate constrains `{name}` to an empty set; it selects no rows"),
@@ -155,7 +155,7 @@ pub fn lint_query(model: &DatasetModel, sql: &str, udfs: &UdfRegistry) -> Result
             .collect();
         if !model.files.iter().any(|f| file_matches(f, &by_name)) {
             diags.push(
-                Diagnostic::warning(
+                Diagnostic::new(
                     Code::Dv101,
                     span,
                     "predicate is outside the extents of every file; it selects no rows"
@@ -182,7 +182,7 @@ pub fn lint_query(model: &DatasetModel, sql: &str, udfs: &UdfRegistry) -> Result
         flatten_and(pred, &mut conjuncts);
         if conjuncts.iter().all(|c| expr_has_func(c)) {
             diags.push(
-                Diagnostic::warning(
+                Diagnostic::new(
                     Code::Dv103,
                     span,
                     "user-defined filter has no vectorizable guard; every block falls back to \

@@ -1,0 +1,327 @@
+//! The symbolic affine/interval domain of the verifier.
+//!
+//! Every DATA item of a dense (non-`CHUNKED`) layout elaborates to an
+//! [`AffineExtent`]: a closed-form byte-extent map
+//!
+//! ```text
+//! offset(i_1, ..., i_n) = base + Σ i_j · stride_j        0 <= i_j < count_j
+//! ```
+//!
+//! over the enclosing loop nest, describing `row_bytes`-wide records.
+//! Because loop strides are *properly nested* — each loop's stride is
+//! the byte size of its whole body, which contains everything the
+//! inner dimensions can address — greedy per-dimension division is an
+//! exact membership test, and lexicographic index order equals
+//! ascending byte order. That is what lets the verifier prove or
+//! refute overlap and bounds questions without enumerating records.
+//!
+//! All arithmetic is checked `u64`; overflow degrades a proof to
+//! "unproven" rather than silently wrapping.
+
+use dv_types::Span;
+
+/// One loop dimension of an extent map, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    /// Loop variable (upper-cased).
+    pub var: String,
+    /// First value of the variable.
+    pub lo: i64,
+    /// Increment per iteration (>= 1 for live regions).
+    pub step: i64,
+    /// Number of iterations (0 marks a dead dimension).
+    pub count: u64,
+    /// Bytes between consecutive iterations — the byte size of the
+    /// loop body, so strides are properly nested by construction.
+    pub stride: u64,
+    /// Span of the `LOOP var lo:hi:step` header.
+    pub span: Span,
+}
+
+impl Dim {
+    /// Variable value at iteration `idx`.
+    pub fn value_at(&self, idx: u64) -> i64 {
+        self.lo + self.step * idx as i64
+    }
+}
+
+/// A closed-form byte-extent map for one stored record run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineExtent {
+    /// Absolute byte offset of record (0, ..., 0).
+    pub base: u64,
+    /// Enclosing loop dimensions, outermost first. Strides are
+    /// non-increasing and properly nested.
+    pub dims: Vec<Dim>,
+    /// Width of one record in bytes (> 0).
+    pub row_bytes: u64,
+    /// Attribute names of the record, for messages.
+    pub attrs: Vec<String>,
+    /// Span of the attribute run in the descriptor.
+    pub span: Span,
+}
+
+/// Outcome of an overlap query between two extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Overlap {
+    /// Proven: no byte is claimed by both extents.
+    Disjoint,
+    /// Refuted: `byte` lies in record `a_idx` of the first extent and
+    /// record `b_idx` of the second.
+    Witness { byte: u64, a_idx: Vec<u64>, b_idx: Vec<u64> },
+    /// The enumeration budget ran out before either answer.
+    Unknown,
+}
+
+impl AffineExtent {
+    /// Total number of records (0 when any dimension is dead).
+    pub fn rows(&self) -> u64 {
+        self.dims.iter().fold(1u64, |acc, d| acc.saturating_mul(d.count))
+    }
+
+    /// True when some dimension iterates zero times.
+    pub fn is_dead(&self) -> bool {
+        self.dims.iter().any(|d| d.count == 0)
+    }
+
+    /// Byte offset of the record at `idx` (one index per dimension).
+    pub fn offset_of(&self, idx: &[u64]) -> Option<u64> {
+        let mut off = self.base;
+        for (d, i) in self.dims.iter().zip(idx) {
+            off = off.checked_add(i.checked_mul(d.stride)?)?;
+        }
+        Some(off)
+    }
+
+    /// One-past-the-end byte of the extent: the end of the last record.
+    /// `None` for dead extents or on overflow.
+    pub fn end(&self) -> Option<u64> {
+        if self.is_dead() {
+            return None;
+        }
+        let last: Vec<u64> = self.dims.iter().map(|d| d.count - 1).collect();
+        self.offset_of(&last)?.checked_add(self.row_bytes)
+    }
+
+    /// Exact membership: which record (if any) contains `byte`?
+    /// Valid because strides are properly nested: the greedy quotient
+    /// per dimension is the only candidate index.
+    pub fn record_containing(&self, byte: u64) -> Option<Vec<u64>> {
+        if self.is_dead() || byte < self.base {
+            return None;
+        }
+        let mut rel = byte - self.base;
+        let mut idx = Vec::with_capacity(self.dims.len());
+        for d in &self.dims {
+            let i = rel / d.stride;
+            if i >= d.count {
+                return None;
+            }
+            rel -= i * d.stride;
+            idx.push(i);
+        }
+        if rel < self.row_bytes {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// First record (in ascending byte order) whose *end* exceeds
+    /// `limit` — the witness for an out-of-bounds refutation against a
+    /// `limit`-byte file. `None` when every record fits.
+    pub fn first_record_past(&self, limit: u64) -> Option<Vec<u64>> {
+        if self.is_dead() {
+            return None;
+        }
+        // record end > limit  <=>  offset >= limit + 1 - row_bytes.
+        let t = (limit + 1).saturating_sub(self.row_bytes);
+        if self.base >= t {
+            return Some(vec![0; self.dims.len()]);
+        }
+        let mut target = t - self.base;
+        // Max contribution of dimensions j.. for each suffix.
+        let mut max_rest = vec![0u64; self.dims.len() + 1];
+        for (j, d) in self.dims.iter().enumerate().rev() {
+            max_rest[j] = max_rest[j + 1].checked_add((d.count - 1).checked_mul(d.stride)?)?;
+        }
+        let mut idx = Vec::with_capacity(self.dims.len());
+        for (j, d) in self.dims.iter().enumerate() {
+            // Smallest index such that the remaining dimensions can
+            // still reach the target.
+            let need = target.saturating_sub(max_rest[j + 1]);
+            let i = need.div_ceil(d.stride);
+            if i >= d.count {
+                return None;
+            }
+            target = target.saturating_sub(i * d.stride);
+            idx.push(i);
+        }
+        Some(idx)
+    }
+
+    /// Lexicographic successor of `idx` (ascending byte order). False
+    /// when `idx` was the last record.
+    pub fn next_index(&self, idx: &mut [u64]) -> bool {
+        for j in (0..self.dims.len()).rev() {
+            if idx[j] + 1 < self.dims[j].count {
+                idx[j] += 1;
+                for k in idx.iter_mut().skip(j + 1) {
+                    *k = 0;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Does any byte of this extent also belong to `other`? Walks this
+    /// extent's records inside the hull intersection (ascending byte
+    /// order) and membership-tests each byte against `other`, spending
+    /// at most `budget` membership tests.
+    pub fn overlaps(&self, other: &AffineExtent, mut budget: u64) -> Overlap {
+        let (Some(a_end), Some(b_end)) = (self.end(), other.end()) else {
+            // A dead extent claims no bytes; overflow is caught by the
+            // caller via `end()` before reaching here.
+            return Overlap::Disjoint;
+        };
+        let lo = self.base.max(other.base);
+        let hi = a_end.min(b_end);
+        if lo >= hi {
+            return Overlap::Disjoint;
+        }
+        // First of our records that reaches past `lo`.
+        let Some(mut idx) = self.first_record_past(lo) else {
+            return Overlap::Disjoint;
+        };
+        loop {
+            let Some(off) = self.offset_of(&idx) else { return Overlap::Unknown };
+            if off >= hi {
+                return Overlap::Disjoint;
+            }
+            for byte in off..off + self.row_bytes {
+                if budget == 0 {
+                    return Overlap::Unknown;
+                }
+                budget -= 1;
+                if let Some(b_idx) = other.record_containing(byte) {
+                    return Overlap::Witness { byte, a_idx: idx.clone(), b_idx };
+                }
+            }
+            if !self.next_index(&mut idx) {
+                return Overlap::Disjoint;
+            }
+        }
+    }
+
+    /// Variable assignment of the record at `idx`, for counterexample
+    /// rendering.
+    pub fn assignment(&self, idx: &[u64]) -> Vec<(String, i64)> {
+        self.dims.iter().zip(idx).map(|(d, i)| (d.var.clone(), d.value_at(*i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// LOOP T 1:3:1 { LOOP G 0:1:1 { 8-byte record } }  at base 16.
+    fn nest() -> AffineExtent {
+        AffineExtent {
+            base: 16,
+            dims: vec![
+                Dim { var: "T".into(), lo: 1, step: 1, count: 3, stride: 16, span: Span::DUMMY },
+                Dim { var: "G".into(), lo: 0, step: 1, count: 2, stride: 8, span: Span::DUMMY },
+            ],
+            row_bytes: 8,
+            attrs: vec!["V".into()],
+            span: Span::DUMMY,
+        }
+    }
+
+    #[test]
+    fn offsets_and_end() {
+        let e = nest();
+        assert_eq!(e.rows(), 6);
+        assert_eq!(e.offset_of(&[0, 0]), Some(16));
+        assert_eq!(e.offset_of(&[2, 1]), Some(16 + 2 * 16 + 8));
+        assert_eq!(e.end(), Some(16 + 2 * 16 + 8 + 8));
+    }
+
+    #[test]
+    fn membership_is_exact() {
+        let e = nest();
+        assert_eq!(e.record_containing(15), None);
+        assert_eq!(e.record_containing(16), Some(vec![0, 0]));
+        assert_eq!(e.record_containing(23), Some(vec![0, 0]));
+        assert_eq!(e.record_containing(24), Some(vec![0, 1]));
+        assert_eq!(e.record_containing(e.end().unwrap()), None);
+    }
+
+    #[test]
+    fn first_record_past_finds_oob_witness() {
+        let e = nest();
+        // A 40-byte file truncates record (T=2, G=1) at offset 40.
+        assert_eq!(e.first_record_past(40), Some(vec![1, 1]));
+        assert_eq!(e.offset_of(&[1, 1]), Some(40));
+        // Everything fits in a file of exactly end() bytes.
+        assert_eq!(e.first_record_past(e.end().unwrap()), None);
+        // Even the first record does not fit in 17 bytes.
+        assert_eq!(e.first_record_past(17), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn interleaved_extents_do_not_overlap() {
+        // Two 4-byte fields of a 8-byte record: A at offset 0, B at 4.
+        let a = AffineExtent {
+            base: 0,
+            dims: vec![Dim {
+                var: "T".into(),
+                lo: 0,
+                step: 1,
+                count: 4,
+                stride: 8,
+                span: Span::DUMMY,
+            }],
+            row_bytes: 4,
+            attrs: vec!["A".into()],
+            span: Span::DUMMY,
+        };
+        let mut b = a.clone();
+        b.base = 4;
+        assert_eq!(a.overlaps(&b, 1000), Overlap::Disjoint);
+        // Shift B to offset 2: every record straddles an A record.
+        b.base = 2;
+        match a.overlaps(&b, 1000) {
+            Overlap::Witness { byte, a_idx, b_idx } => {
+                assert_eq!(byte, 2);
+                assert_eq!(a_idx, vec![0]);
+                assert_eq!(b_idx, vec![0]);
+            }
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_extents_overlap_at_base() {
+        let e = nest();
+        match e.overlaps(&e.clone(), 1000) {
+            Overlap::Witness { byte, .. } => assert_eq!(byte, 16),
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown() {
+        let e = nest();
+        let mut far = e.clone();
+        far.base = 17; // interleaves oddly with e
+        assert_eq!(e.overlaps(&far, 0), Overlap::Unknown);
+    }
+
+    #[test]
+    fn assignment_maps_indices_to_values() {
+        let e = nest();
+        assert_eq!(e.assignment(&[2, 1]), vec![("T".to_string(), 3), ("G".to_string(), 1)]);
+    }
+}

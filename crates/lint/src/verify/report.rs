@@ -1,0 +1,283 @@
+//! Verification findings, certificates, and the machine-readable
+//! report serializers shared by `datavirt lint --format json` and
+//! `datavirt verify --format json|sarif`.
+//!
+//! Serialization is hand-formatted (the workspace carries no JSON
+//! dependency); [`json_escape`] covers the strings we emit.
+
+use dv_layout::Certificate;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// A concrete instantiation refuting a property: the file, the loop
+/// indices, and the byte range of the offending record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// File path relative to the node's storage root.
+    pub file: String,
+    /// `(variable, value)` assignment selecting the record; empty for
+    /// region-level witnesses.
+    pub indices: Vec<(String, i64)>,
+    /// Start byte of the refuting range.
+    pub byte_lo: u64,
+    /// End byte (exclusive); equal to `byte_lo` for empty regions.
+    pub byte_hi: u64,
+}
+
+/// One verification finding: a diagnostic plus its counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub diag: Diagnostic,
+    pub counterexample: Option<Counterexample>,
+}
+
+/// The verdict of a verification run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Refutations (and warnings), ordered by source position.
+    pub findings: Vec<Finding>,
+    /// Properties the verifier could not decide, with reasons. A
+    /// non-empty list blocks the `Safe` certificate.
+    pub unproven: Vec<String>,
+}
+
+impl VerifyReport {
+    pub fn errors(&self) -> usize {
+        self.findings.iter().filter(|f| f.diag.severity == Severity::Error).count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.findings.iter().filter(|f| f.diag.severity == Severity::Warning).count()
+    }
+
+    /// The certificate this report earns: any error refutes; undecided
+    /// properties leave the descriptor unverified; otherwise safe.
+    pub fn certificate(&self) -> Certificate {
+        if self.errors() > 0 {
+            Certificate::Refuted
+        } else if !self.unproven.is_empty() {
+            Certificate::Unverified
+        } else {
+            Certificate::Safe
+        }
+    }
+}
+
+/// One diagnostic flattened for serialization: resolved position plus
+/// an optional counterexample. Built by the caller so lint output
+/// (no counterexamples, query or descriptor origin) and verify output
+/// share one schema.
+#[derive(Debug, Clone)]
+pub struct Emitted<'a> {
+    pub diag: &'a Diagnostic,
+    pub counterexample: Option<&'a Counterexample>,
+    /// Name of the source the span indexes into.
+    pub origin: &'a str,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl<'a> Emitted<'a> {
+    /// Resolve a diagnostic's span against its source text.
+    pub fn new(diag: &'a Diagnostic, source: &str, origin: &'a str) -> Emitted<'a> {
+        let (line, col) = diag.span.line_col(source);
+        Emitted { diag, counterexample: None, origin, line, col }
+    }
+
+    pub fn with_counterexample(mut self, ce: Option<&'a Counterexample>) -> Emitted<'a> {
+        self.counterexample = ce;
+        self
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_diag_json(out: &mut String, e: &Emitted<'_>, indent: &str) {
+    out.push_str(&format!("{indent}{{\n"));
+    out.push_str(&format!("{indent}  \"code\": \"{}\",\n", e.diag.code));
+    out.push_str(&format!("{indent}  \"severity\": \"{}\",\n", e.diag.severity));
+    out.push_str(&format!(
+        "{indent}  \"origin\": \"{}\",\n{indent}  \"line\": {},\n{indent}  \"col\": {},\n",
+        json_escape(e.origin),
+        e.line,
+        e.col
+    ));
+    out.push_str(&format!("{indent}  \"message\": \"{}\"", json_escape(&e.diag.message)));
+    if let Some(h) = &e.diag.help {
+        out.push_str(&format!(",\n{indent}  \"help\": \"{}\"", json_escape(h)));
+    }
+    if let Some(ce) = e.counterexample {
+        out.push_str(&format!(",\n{indent}  \"counterexample\": {{\n"));
+        out.push_str(&format!("{indent}    \"file\": \"{}\",\n", json_escape(&ce.file)));
+        let idx = ce
+            .indices
+            .iter()
+            .map(|(v, x)| format!("{{\"var\": \"{}\", \"value\": {x}}}", json_escape(v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("{indent}    \"indices\": [{idx}],\n"));
+        out.push_str(&format!(
+            "{indent}    \"byte_lo\": {},\n{indent}    \"byte_hi\": {}\n{indent}  }}",
+            ce.byte_lo, ce.byte_hi
+        ));
+    }
+    out.push_str(&format!("\n{indent}}}"));
+}
+
+/// The one machine-readable schema for lint and verify output:
+/// `{"tool", "certificate"?, "diagnostics": [...], "unproven": [...]}`.
+pub fn to_json(
+    items: &[Emitted<'_>],
+    certificate: Option<Certificate>,
+    unproven: &[String],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"tool\": \"dv-lint\",\n");
+    if let Some(c) = certificate {
+        out.push_str(&format!("  \"certificate\": \"{c}\",\n"));
+    }
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, e) in items.iter().enumerate() {
+        push_diag_json(&mut out, e, "    ");
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"unproven\": [");
+    let reasons =
+        unproven.iter().map(|r| format!("\"{}\"", json_escape(r))).collect::<Vec<_>>().join(", ");
+    out.push_str(&reasons);
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal SARIF 2.1.0 document: rules from the code registry, one
+/// result per diagnostic.
+pub fn to_sarif(items: &[Emitted<'_>]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"dv-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, info) in crate::CODE_REGISTRY.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            info.name,
+            json_escape(info.summary),
+            if i + 1 < crate::CODE_REGISTRY.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, e) in items.iter().enumerate() {
+        let level = match e.diag.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        let mut text = e.diag.message.clone();
+        if let Some(ce) = e.counterexample {
+            text.push_str(&format!(
+                " [counterexample: file `{}` bytes {}..{}]",
+                ce.file, ce.byte_lo, ce.byte_hi
+            ));
+        }
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", e.diag.code));
+        out.push_str(&format!("          \"level\": \"{level}\",\n"));
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            json_escape(&text)
+        ));
+        out.push_str("          \"locations\": [\n");
+        out.push_str("            {\"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "              \"artifactLocation\": {{\"uri\": \"{}\"}},\n",
+            json_escape(e.origin)
+        ));
+        out.push_str(&format!(
+            "              \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n",
+            e.line, e.col
+        ));
+        out.push_str("            }}\n          ]\n");
+        out.push_str(&format!("        }}{}\n", if i + 1 < items.len() { "," } else { "" }));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use dv_types::Span;
+
+    fn sample() -> (Diagnostic, Counterexample) {
+        let d = Diagnostic::new(Code::Dv202, Span::new(5, 10), "record past \"EOF\"")
+            .with_help("shorten it");
+        let ce = Counterexample {
+            file: "d/f0".into(),
+            indices: vec![("T".into(), 3)],
+            byte_lo: 16,
+            byte_hi: 24,
+        };
+        (d, ce)
+    }
+
+    #[test]
+    fn json_includes_counterexample_and_certificate() {
+        let (d, ce) = sample();
+        let src = "0123\n56789\n";
+        let e = Emitted::new(&d, src, "x.desc").with_counterexample(Some(&ce));
+        let j = to_json(&[e], Some(Certificate::Refuted), &["chunked".into()]);
+        assert!(j.contains("\"certificate\": \"refuted\""), "{j}");
+        assert!(j.contains("\"code\": \"DV202\""), "{j}");
+        assert!(j.contains("\"byte_lo\": 16"), "{j}");
+        assert!(j.contains("{\"var\": \"T\", \"value\": 3}"), "{j}");
+        assert!(j.contains("record past \\\"EOF\\\""), "{j}");
+        assert!(j.contains("\"unproven\": [\"chunked\"]"), "{j}");
+        assert!(j.contains("\"line\": 2"), "{j}");
+    }
+
+    #[test]
+    fn sarif_has_rules_and_results() {
+        let (d, ce) = sample();
+        let e = Emitted::new(&d, "0123456789", "x.desc").with_counterexample(Some(&ce));
+        let s = to_sarif(&[e]);
+        assert!(s.contains("\"version\": \"2.1.0\""), "{s}");
+        assert!(s.contains("\"id\": \"DV201\""), "{s}");
+        assert!(s.contains("\"ruleId\": \"DV202\""), "{s}");
+        assert!(s.contains("\"level\": \"error\""), "{s}");
+        assert!(s.contains("bytes 16..24"), "{s}");
+    }
+
+    #[test]
+    fn report_certificates() {
+        let mut r = VerifyReport::default();
+        assert_eq!(r.certificate(), Certificate::Safe);
+        r.unproven.push("chunked".into());
+        assert_eq!(r.certificate(), Certificate::Unverified);
+        let (d, _) = sample();
+        r.findings.push(Finding { diag: d, counterexample: None });
+        assert_eq!(r.certificate(), Certificate::Refuted);
+        assert_eq!(r.errors(), 1);
+    }
+}
