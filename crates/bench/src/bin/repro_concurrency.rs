@@ -1,0 +1,268 @@
+//! Query service plane under concurrency — throughput and latency at
+//! 1 / 4 / 16 concurrent clients.
+//!
+//! ```text
+//! cargo run --release -p dv-bench --bin repro_concurrency
+//! ```
+//!
+//! A fixed workload of bandwidth-modeled remote-client queries (the
+//! fig8 subset/filter set) is drained by N client threads sharing one
+//! server. The mover's simulated link stalls dominate each query, so
+//! concurrent sessions overlap their transfer sleeps — which is
+//! exactly the capacity a serial server wastes — and every result is
+//! asserted bit-identical (canonical sort) to the serial reference.
+//! Throughput and p50/p99 client-observed latencies go to
+//! `BENCH_concurrency.json` at the repo root (override with
+//! `DV_BENCH_OUT`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dv_bench::queries::ipars_queries;
+use dv_bench::stage::stage_ipars;
+use dv_bench::{ms, print_table, scaled};
+use dv_core::{BandwidthModel, QueryOptions, SubmitOptions, Table, Virtualizer};
+use dv_datagen::{IparsConfig, IparsLayout};
+
+fn cfg() -> IparsConfig {
+    IparsConfig {
+        realizations: 2,
+        time_steps: 20,
+        grid_per_dir: scaled(400),
+        dirs: 4,
+        nodes: 4,
+        seed: 2026,
+    }
+}
+
+/// Client fan-outs measured against the 1-client (serial) baseline.
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Query instances drained per measurement.
+const WORK_ITEMS: usize = 24;
+
+/// A ~20 Mbit/s remote link with a small per-block latency: slow
+/// enough that the mover's modeled stalls dominate per-query time.
+fn link() -> BandwidthModel {
+    BandwidthModel { bytes_per_sec: 2.5e6, latency: Duration::from_millis(2) }
+}
+
+fn run_opts() -> QueryOptions {
+    QueryOptions { bandwidth: Some(link()), ..QueryOptions::default() }
+}
+
+struct RunResult {
+    clients: usize,
+    wall: Duration,
+    throughput_qps: f64,
+    p50: Duration,
+    p99: Duration,
+    blocked_sends: u64,
+}
+
+fn main() {
+    let cfg = cfg();
+    println!("# Query service plane — concurrent clients vs serial\n");
+    println!(
+        "dataset: {} rows (~{} KiB), 4 nodes; link: 20 Mbit/s + 2 ms/block; \
+         workload: {WORK_ITEMS} queries (fig8 subset/filter set), admission limit 16",
+        cfg.rows(),
+        cfg.rows() * cfg.row_bytes() / 1024,
+    );
+
+    let (base, desc) = stage_ipars("concurrency", &cfg, IparsLayout::L0);
+    dv_bench::warm_dir(&base);
+
+    // Queries 2..5: indexed subsets and filters (~5-10% of rows each).
+    // The full scan is omitted so a single item cannot dominate the
+    // wall time of the whole workload.
+    let queries: Vec<String> =
+        ipars_queries("IparsData", cfg.time_steps).into_iter().skip(1).map(|q| q.sql).collect();
+
+    // Serial reference results, one per distinct query, on a fresh
+    // server: the bit-identity oracle for every concurrent run.
+    let reference: Vec<Table> = {
+        let v = build(&desc, &base);
+        queries.iter().map(|sql| v.query_with(sql, &run_opts()).unwrap().0.remove(0)).collect()
+    };
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        let r = run_clients(clients, &desc, &base, &queries, &reference);
+        println!(
+            "{:>2} client(s): {} in {} ms -> {:.2} queries/s (p50 {} ms, p99 {} ms, {} blocked sends)",
+            r.clients,
+            WORK_ITEMS,
+            ms(r.wall),
+            r.throughput_qps,
+            ms(r.p50),
+            ms(r.p99),
+            r.blocked_sends,
+        );
+        results.push(r);
+    }
+
+    let serial = results[0].throughput_qps;
+    let table_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.clients.to_string(),
+                ms(r.wall),
+                format!("{:.2}", r.throughput_qps),
+                format!("{:.2}x", r.throughput_qps / serial),
+                ms(r.p50),
+                ms(r.p99),
+            ]
+        })
+        .collect();
+    print_table(
+        "Concurrent clients — throughput and client-observed latency",
+        &["clients", "wall ms", "queries/s", "vs serial", "p50 ms", "p99 ms"],
+        &table_rows,
+    );
+
+    let speedup16 = results.last().unwrap().throughput_qps / serial;
+    println!("\n16-client throughput vs serial: {speedup16:.2}x (all results bit-identical)");
+    assert!(
+        speedup16 >= 2.0,
+        "acceptance: 16 concurrent clients must reach >= 2x serial throughput, got {speedup16:.2}x"
+    );
+
+    let out = out_path();
+    std::fs::write(&out, render_json(&cfg, &results, speedup16)).expect("write bench JSON");
+    println!("wrote {}", out.display());
+}
+
+fn build(desc: &str, base: &std::path::Path) -> Virtualizer {
+    Virtualizer::builder(desc)
+        .storage_base(base)
+        .max_concurrent(16)
+        .build()
+        .expect("compile dataset")
+}
+
+/// Drain `WORK_ITEMS` query instances with `clients` threads sharing
+/// one fresh server, asserting each result against the serial
+/// reference; returns wall time and the latency distribution.
+fn run_clients(
+    clients: usize,
+    desc: &str,
+    base: &std::path::Path,
+    queries: &[String],
+    reference: &[Table],
+) -> RunResult {
+    let v = Arc::new(build(desc, base));
+    let next = Arc::new(AtomicUsize::new(0));
+    let blocked = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                let next = Arc::clone(&next);
+                let blocked = Arc::clone(&blocked);
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let item = next.fetch_add(1, Ordering::Relaxed);
+                        if item >= WORK_ITEMS {
+                            return mine;
+                        }
+                        let q = item % queries.len();
+                        let issued = Instant::now();
+                        let handle = v
+                            .submit(&queries[q], &run_opts(), &SubmitOptions::default())
+                            .expect("submit");
+                        let (mut tables, stats) = handle.wait().expect("query");
+                        mine.push(issued.elapsed());
+                        blocked.fetch_add(stats.mover.blocked_sends, Ordering::Relaxed);
+                        let table = tables.remove(0);
+                        assert!(
+                            table.same_rows(&reference[q]),
+                            "query {q} under {clients} client(s): {} rows vs {} serial",
+                            table.len(),
+                            reference[q].len()
+                        );
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+    let mut sorted = latencies;
+    sorted.sort();
+    RunResult {
+        clients,
+        wall,
+        throughput_qps: WORK_ITEMS as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&sorted, 0.50),
+        p99: percentile(&sorted, 0.99),
+        blocked_sends: blocked.load(Ordering::Relaxed),
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn out_path() -> PathBuf {
+    match std::env::var("DV_BENCH_OUT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => {
+            // crates/bench -> workspace root.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest.parent().unwrap().parent().unwrap().join("BENCH_concurrency.json")
+        }
+    }
+}
+
+/// Hand-formatted JSON (the workspace carries no serde).
+fn render_json(cfg: &IparsConfig, results: &[RunResult], speedup16: f64) -> String {
+    let serial = results[0].throughput_qps;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"concurrency\",\n");
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"ipars\", \"rows\": {}, \"realizations\": {}, \
+         \"time_steps\": {}, \"grid_per_dir\": {}, \"dirs\": {}, \"nodes\": {}, \"seed\": {}}},\n",
+        cfg.rows(),
+        cfg.realizations,
+        cfg.time_steps,
+        cfg.grid_per_dir,
+        cfg.dirs,
+        cfg.nodes,
+        cfg.seed
+    ));
+    s.push_str(&format!("  \"quick_mode\": {},\n", dv_bench::quick_mode()));
+    s.push_str(&format!(
+        "  \"workload\": {{\"items\": {WORK_ITEMS}, \"bandwidth_bytes_per_sec\": {:.0}, \
+         \"latency_ms\": 2, \"max_concurrent\": 16}},\n",
+        link().bytes_per_sec
+    ));
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clients\": {}, \"wall_ms\": {:.3}, \"throughput_qps\": {:.3}, \
+             \"speedup_vs_serial\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"blocked_sends\": {}}}{}\n",
+            r.clients,
+            r.wall.as_secs_f64() * 1e3,
+            r.throughput_qps,
+            r.throughput_qps / serial,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.blocked_sends,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"bit_identical\": true,\n  \"speedup_16_clients\": {speedup16:.3}\n"));
+    s.push_str("}\n");
+    s
+}

@@ -15,7 +15,8 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// switch).
-const VALUED: [&str; 6] = ["base", "format", "limit", "out", "scale", "layout"];
+const VALUED: [&str; 9] =
+    ["base", "format", "limit", "out", "scale", "layout", "workload", "timeout", "max-concurrent"];
 
 /// Parse raw arguments (excluding argv[0]).
 pub fn parse(raw: &[String]) -> Result<Args, String> {
@@ -96,6 +97,27 @@ mod tests {
         assert_eq!(a.option_or("format", "table"), "csv");
         assert!(a.has("stats"));
         assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn parses_serve_options() {
+        let a = parse(&sv(&[
+            "serve",
+            "ipars.desc",
+            "--base",
+            "/data",
+            "--workload",
+            "queries.sql",
+            "--max-concurrent",
+            "8",
+            "--timeout",
+            "2s",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "serve");
+        assert_eq!(a.required("workload").unwrap(), "queries.sql");
+        assert_eq!(a.option_or("max-concurrent", "4"), "8");
+        assert_eq!(a.option_or("timeout", ""), "2s");
     }
 
     #[test]

@@ -7,11 +7,17 @@
 //! datavirt validate <descriptor> --base <dir>         check files against the descriptor
 //! datavirt lint     <descriptor> [<SQL>]              static analysis: DV0xx/DV1xx diagnostics
 //! datavirt verify   <descriptor> [<SQL>]              semantic verification: DV2xx refutations + certificate
-//! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats]
+//! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats] [--timeout D]
+//! datavirt serve    <descriptor> --base <dir> --workload <file>   run a query workload concurrently
 //! datavirt explain  <descriptor> --base <dir> <SQL>   show the AFC schedule
 //! datavirt codegen  <descriptor> --base <dir>         render the generated index/extractor functions
 //! datavirt generate ipars|titan --out <dir> [--layout l0..l6] [--scale N]
 //! ```
+//!
+//! `serve` drives the query service plane: every line of the workload
+//! file is submitted as a concurrent session, admitted under
+//! `--max-concurrent` slots, each aborted mid-scan once `--timeout`
+//! (e.g. `500ms`, `2s`) elapses.
 //!
 //! `query` and `explain` accept `--deny-warnings` to refuse execution
 //! when the lint or verify passes report anything; `lint
@@ -56,7 +62,8 @@ USAGE:
   datavirt validate <descriptor> --base <dir>
   datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json] [--deny-warnings]
   datavirt verify   <descriptor> [\"<SQL>\"] [--base <dir>] [--format human|json|sarif] [--deny-warnings]
-  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--deny-warnings]
+  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--deny-warnings]
+  datavirt serve    <descriptor> --base <dir> --workload <file> [--max-concurrent <N>] [--timeout <dur>]
   datavirt explain  <descriptor> --base <dir> \"<SQL>\" [--deny-warnings]
   datavirt codegen  <descriptor> --base <dir>
   datavirt generate <ipars|titan> --out <dir> [--layout <l0..l6>] [--scale <1..>]
@@ -70,6 +77,7 @@ fn run(a: &args::Args) -> Result<ExitCode, String> {
         "lint" => cmd_lint(a),
         "verify" => cmd_verify(a),
         "query" => cmd_query(a),
+        "serve" => cmd_serve(a),
         "explain" => cmd_explain(a),
         "codegen" => cmd_codegen(a),
         "generate" => cmd_generate(a),
@@ -85,7 +93,29 @@ fn read_descriptor(a: &args::Args) -> Result<String, String> {
 fn virtualizer(a: &args::Args) -> Result<Virtualizer, String> {
     let text = read_descriptor(a)?;
     let base = a.required("base")?;
-    Virtualizer::builder(&text).storage_base(base).build().map_err(|e| e.to_string())
+    let mut builder = Virtualizer::builder(&text).storage_base(base);
+    if let Some(limit) = a.options.get("max-concurrent") {
+        let limit: usize =
+            limit.parse().map_err(|_| "--max-concurrent must be an integer".to_string())?;
+        builder = builder.max_concurrent(limit);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Parse a duration like `500ms`, `2s`, or a bare number of seconds.
+fn parse_duration(text: &str) -> Result<std::time::Duration, String> {
+    let (number, scale) = match text.strip_suffix("ms") {
+        Some(n) => (n, 1e-3),
+        None => (text.strip_suffix('s').unwrap_or(text), 1.0),
+    };
+    let value: f64 = number
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid duration `{text}` (use e.g. 500ms, 2s, 1.5)"))?;
+    if value < 0.0 || !value.is_finite() {
+        return Err(format!("invalid duration `{text}`"));
+    }
+    Ok(std::time::Duration::from_secs_f64(value * scale))
 }
 
 fn cmd_schema(a: &args::Args) -> Result<ExitCode, String> {
@@ -337,7 +367,11 @@ fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
     let sql = sql.as_str();
     let limit: usize =
         a.option_or("limit", "0").parse().map_err(|_| "--limit must be an integer".to_string())?;
-    let (table, stats) = v.query(sql).map_err(|e| e.to_string())?;
+    let (table, stats) = match a.options.get("timeout") {
+        Some(t) => v.query_with_timeout(sql, parse_duration(t)?),
+        None => v.query(sql),
+    }
+    .map_err(|e| e.to_string())?;
     match a.option_or("format", "table") {
         "csv" => {
             let names: Vec<&str> =
@@ -395,6 +429,70 @@ fn limited(rows: &[dv_core::Row], limit: usize) -> &[dv_core::Row] {
     } else {
         &rows[..limit]
     }
+}
+
+/// Run a workload file (one SQL query per line; `#` comments and
+/// blank lines ignored) as concurrent sessions through the query
+/// service, printing one result line per query and a throughput
+/// summary. Fails if any query failed.
+fn cmd_serve(a: &args::Args) -> Result<ExitCode, String> {
+    let workload_path = a.required("workload")?.to_string();
+    let workload = std::fs::read_to_string(&workload_path)
+        .map_err(|e| format!("cannot read {workload_path}: {e}"))?;
+    let queries: Vec<String> = workload
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    if queries.is_empty() {
+        return Err(format!("{workload_path} contains no queries"));
+    }
+    let timeout = match a.options.get("timeout") {
+        Some(t) => Some(parse_duration(t)?),
+        None => None,
+    };
+    let v = virtualizer(a)?;
+    let sub = dv_core::SubmitOptions { timeout, ..dv_core::SubmitOptions::default() };
+    let opts = dv_core::QueryOptions::default();
+
+    // Submit everything up front: the service queues what the
+    // admission limit does not immediately admit.
+    let start = std::time::Instant::now();
+    let sessions: Vec<(String, Result<dv_core::SessionHandle, String>)> = queries
+        .iter()
+        .map(|sql| (sql.clone(), v.submit(sql, &opts, &sub).map_err(|e| e.to_string())))
+        .collect();
+    let mut failures = 0usize;
+    for (sql, session) in sessions {
+        let shown: String = if sql.len() > 48 { format!("{}...", &sql[..45]) } else { sql.clone() };
+        match session.and_then(|h| {
+            let id = h.id();
+            h.wait().map(|r| (id, r)).map_err(|e| e.to_string())
+        }) {
+            Ok((id, (tables, stats))) => {
+                let rows: usize = tables.iter().map(|t| t.len()).sum();
+                println!(
+                    "{id}  ok    {rows} rows  exec {:?}  queued {:?}  {shown}",
+                    stats.exec_time, stats.queue_wait
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("-   error {e}  {shown}");
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{} quer(ies), {} failed, in {:?} ({:.1} queries/s, {} admission slot(s))",
+        queries.len(),
+        failures,
+        elapsed,
+        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        v.service().max_concurrent(),
+    );
+    Ok(if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 fn cmd_explain(a: &args::Args) -> Result<ExitCode, String> {

@@ -40,8 +40,9 @@ pub use dv_layout::{Certificate, CompiledDataset, FileIssue, QueryPlan};
 pub use dv_lint::VerifyReport;
 pub use dv_sql::{BoundQuery, UdfRegistry};
 pub use dv_storm::{
-    BandwidthModel, ExecMode, IoOptions, IoSnapshot, PartitionStrategy, QueryOptions, QueryStats,
-    StormServer,
+    BandwidthModel, CancelReason, CancelToken, ExecMode, IoOptions, IoSnapshot, PartitionStrategy,
+    QueryId, QueryOptions, QueryService, QueryStats, ServiceConfig, SessionHandle, StormServer,
+    SubmitOptions,
 };
 pub use dv_types::{DvError, Result, Row, Schema, Table, Value};
 
@@ -52,6 +53,7 @@ pub struct VirtualizerBuilder {
     explicit_roots: Option<Vec<PathBuf>>,
     udfs: UdfRegistry,
     verify: bool,
+    service: ServiceConfig,
 }
 
 impl VirtualizerBuilder {
@@ -102,6 +104,13 @@ impl VirtualizerBuilder {
         self
     }
 
+    /// How many queries the service admits at once (default 4, clamped
+    /// to at least 1); the rest queue priority-then-FIFO.
+    pub fn max_concurrent(mut self, limit: usize) -> Self {
+        self.service.max_concurrent = limit;
+        self
+    }
+
     /// Compile the descriptor and start the per-node services.
     pub fn build(self) -> Result<Virtualizer> {
         let model = Arc::new(dv_descriptor::compile(&self.descriptor)?);
@@ -130,7 +139,7 @@ impl VirtualizerBuilder {
                 compiled.set_certificate(report.certificate());
             }
         }
-        let server = StormServer::new(compiled, self.udfs);
+        let server = StormServer::with_config(compiled, self.udfs, self.service);
         Ok(Virtualizer { server })
     }
 }
@@ -150,6 +159,7 @@ impl Virtualizer {
             explicit_roots: None,
             udfs: UdfRegistry::with_builtins(),
             verify: true,
+            service: ServiceConfig::default(),
         }
     }
 
@@ -172,6 +182,43 @@ impl Virtualizer {
     /// bandwidth, intra-node threads).
     pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<(Vec<Table>, QueryStats)> {
         self.server.execute(sql, opts)
+    }
+
+    /// Execute a single-table query that is aborted mid-scan once
+    /// `timeout` elapses (including time spent queued for admission).
+    pub fn query_with_timeout(
+        &self,
+        sql: &str,
+        timeout: std::time::Duration,
+    ) -> Result<(Table, QueryStats)> {
+        let sub = SubmitOptions { timeout: Some(timeout), ..SubmitOptions::default() };
+        let (mut tables, stats) =
+            self.server.service().execute_with(sql, &QueryOptions::default(), &sub)?;
+        match tables.pop() {
+            Some(table) => Ok((table, stats)),
+            None => Err(DvError::Runtime(
+                "query produced no client partitions (zero processors configured)".into(),
+            )),
+        }
+    }
+
+    /// Submit a query as a background session: returns a
+    /// [`SessionHandle`] whose `wait()` yields the result and whose
+    /// drop (without waiting) cancels the query. The session queues
+    /// under the service's admission limit.
+    pub fn submit(
+        &self,
+        sql: &str,
+        opts: &QueryOptions,
+        sub: &SubmitOptions,
+    ) -> Result<SessionHandle> {
+        self.server.service().submit(sql, opts, sub)
+    }
+
+    /// The query service plane: sessions, admission introspection,
+    /// cancellation by [`QueryId`].
+    pub fn service(&self) -> &QueryService {
+        self.server.service()
     }
 
     /// Render the generated index/extractor functions as source text
@@ -209,6 +256,7 @@ impl Virtualizer {
 mod tests {
     use super::*;
     use dv_datagen::{ipars, IparsConfig, IparsLayout};
+    use std::time::Duration;
 
     fn setup(tag: &str) -> (PathBuf, String) {
         let base = std::env::temp_dir().join(format!("dv-core-{tag}-{}", std::process::id()));
@@ -281,6 +329,36 @@ mod tests {
         // Opting out of verification leaves the checked path in place.
         let v = Virtualizer::builder(&desc).storage_base(&base).verify(false).build().unwrap();
         assert_eq!(v.certificate(), Certificate::Unverified);
+    }
+
+    #[test]
+    fn session_submit_wait_and_timeout() {
+        let (base, desc) = setup("session");
+        let v = Virtualizer::builder(&desc).storage_base(&base).max_concurrent(2).build().unwrap();
+        assert_eq!(v.service().max_concurrent(), 2);
+        // A background session resolves to the same rows as the
+        // synchronous path.
+        let (direct, _) = v.query("SELECT REL, TIME FROM IparsData WHERE TIME = 1").unwrap();
+        let handle = v
+            .submit(
+                "SELECT REL, TIME FROM IparsData WHERE TIME = 1",
+                &QueryOptions::default(),
+                &SubmitOptions::default(),
+            )
+            .unwrap();
+        let (mut tables, stats) = handle.wait().unwrap();
+        assert_eq!(tables.pop().unwrap().rows, direct.rows);
+        assert!(stats.query_id > 0);
+        // A generous timeout leaves the query unaffected.
+        let (table, _) = v
+            .query_with_timeout(
+                "SELECT REL, TIME FROM IparsData WHERE TIME = 1",
+                Duration::from_secs(60),
+            )
+            .unwrap();
+        assert_eq!(table.rows, direct.rows);
+        // All slots are free again afterwards.
+        assert_eq!(v.service().running(), 0);
     }
 
     #[test]

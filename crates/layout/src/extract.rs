@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::SystemTime;
 
-use dv_types::{ColumnBlock, ColumnData, ColumnGen, DvError, Result, RowBlock, Value};
+use dv_types::{CancelToken, ColumnBlock, ColumnData, ColumnGen, DvError, Result, RowBlock, Value};
 use std::sync::RwLock;
 
 use crate::afc::{Afc, ImplicitValue};
@@ -82,6 +82,29 @@ impl HandlePool {
     }
 }
 
+/// A handle pool that outlives any one query: the server constructs
+/// one per dataset and threads it into every query's extractors, so
+/// concurrent queries share open descriptors instead of each opening
+/// (and each counting against) their own. The pool stays LRU-bounded
+/// at [`HANDLE_CACHE_CAP`] regardless of how many queries share it.
+#[derive(Clone)]
+pub struct SharedHandles {
+    pool: Arc<HandlePool>,
+}
+
+impl SharedHandles {
+    /// A fresh pool with the standard capacity.
+    pub fn new() -> SharedHandles {
+        SharedHandles { pool: Arc::new(HandlePool::new(HANDLE_CACHE_CAP)) }
+    }
+}
+
+impl Default for SharedHandles {
+    fn default() -> SharedHandles {
+        SharedHandles::new()
+    }
+}
+
 /// Executes AFCs on one node's files. Cloneable across worker threads;
 /// the open-file pool is shared.
 #[derive(Clone)]
@@ -98,6 +121,9 @@ pub struct Extractor {
     /// provably redundant and the unchecked kernel runs instead.
     /// `DV_CHECKED_DECODE` forces the checked path (ablation).
     unchecked: bool,
+    /// Per-query cancellation flag, polled once per byte run so an
+    /// abort or deadline takes effect mid-extraction.
+    cancel: CancelToken,
 }
 
 impl Extractor {
@@ -112,6 +138,7 @@ impl Extractor {
             rowmajor: std::env::var_os("DV_ROWMAJOR").is_some(),
             unchecked: compiled.certificate() == Certificate::Safe
                 && std::env::var_os("DV_CHECKED_DECODE").is_none(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -119,6 +146,20 @@ impl Extractor {
     /// harnesses and differential tests).
     pub fn with_unchecked(mut self, on: bool) -> Extractor {
         self.unchecked = on;
+        self
+    }
+
+    /// Attach a query's cancellation token; extraction checkpoints
+    /// (one per byte run) report [`DvError::Cancelled`] once it trips.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Extractor {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Share the server's cross-query open-file pool instead of this
+    /// extractor's private one.
+    pub fn with_shared_handles(mut self, shared: &SharedHandles) -> Extractor {
+        self.handles = Arc::clone(&shared.pool);
         self
     }
 
@@ -175,6 +216,7 @@ impl Extractor {
             scratch.data.resize(total, 0);
         }
         for (e, &(a, b)) in afc.entries.iter().zip(scratch.spans.iter()) {
+            self.cancel.check()?;
             let handle = self.open(e.file)?;
             read_exact_at(&handle, &mut scratch.data[a..b], e.offset, &self.paths[e.file])?;
         }
@@ -335,6 +377,7 @@ impl Extractor {
     /// materializing anything.
     fn decode_columns(&self, afc: &Afc, block: &mut ColumnBlock, bufs: &[&[u8]]) -> Result<()> {
         debug_assert_eq!(block.columns.len(), self.row_width);
+        self.cancel.check()?;
         if self.unchecked {
             return self.decode_columns_unchecked(afc, block, bufs);
         }

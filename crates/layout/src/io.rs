@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
-use dv_types::{DvError, Result};
+use dv_types::{CancelToken, DvError, Result};
 
 use crate::afc::Afc;
 use crate::extract::Extractor;
@@ -90,6 +90,9 @@ pub struct IoStats {
     pub prefetch_waits: AtomicU64,
     /// Total time the decoder spent waiting on the prefetcher.
     pub prefetch_wait_ns: AtomicU64,
+    /// Bytes this query inserted into the shared segment cache (its
+    /// footprint in the cross-query budget).
+    pub cache_insert_bytes: AtomicU64,
 }
 
 impl IoStats {
@@ -105,6 +108,7 @@ impl IoStats {
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             prefetch_waits: self.prefetch_waits.load(Ordering::Relaxed),
             prefetch_wait: Duration::from_nanos(self.prefetch_wait_ns.load(Ordering::Relaxed)),
+            cache_insert_bytes: self.cache_insert_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -130,6 +134,8 @@ pub struct IoSnapshot {
     pub prefetch_waits: u64,
     /// Total decoder time spent waiting on the prefetcher.
     pub prefetch_wait: Duration,
+    /// Bytes this query inserted into the shared segment cache.
+    pub cache_insert_bytes: u64,
 }
 
 impl IoSnapshot {
@@ -420,6 +426,7 @@ pub struct IoScheduler {
     opts: IoOptions,
     cache: Option<Arc<SegmentCache>>,
     stats: Arc<IoStats>,
+    cancel: CancelToken,
 }
 
 impl IoScheduler {
@@ -433,7 +440,14 @@ impl IoScheduler {
         stats: Arc<IoStats>,
     ) -> IoScheduler {
         let cache = if opts.cache_bytes == 0 { None } else { cache };
-        IoScheduler { extractor, opts, cache, stats }
+        IoScheduler { extractor, opts, cache, stats, cancel: CancelToken::new() }
+    }
+
+    /// Attach a query's cancellation token; [`IoScheduler::fetch`]
+    /// checks it before every coalesced read.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> IoScheduler {
+        self.cancel = cancel;
+        self
     }
 
     /// The scheduler's options.
@@ -462,6 +476,7 @@ impl IoScheduler {
         let mut gens: HashMap<usize, FileGen> = HashMap::new();
         let mut segs: FileSegments = HashMap::new();
         for read in &reads {
+            self.cancel.check()?;
             let generation = match (self.cache.as_deref(), gens.get(&read.file)) {
                 (None, _) => FileGen { len: 0, mtime: SystemTime::UNIX_EPOCH },
                 (Some(_), Some(g)) => *g,
@@ -489,6 +504,7 @@ impl IoScheduler {
                     let data = Arc::new(buf);
                     if let Some(cache) = self.cache.as_deref() {
                         self.stats.cache_miss_bytes.fetch_add(read.len, Ordering::Relaxed);
+                        self.stats.cache_insert_bytes.fetch_add(read.len, Ordering::Relaxed);
                         cache.insert(read, generation, Arc::clone(&data));
                     }
                     data

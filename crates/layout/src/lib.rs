@@ -40,7 +40,7 @@ pub mod plan;
 pub mod segment;
 
 pub use afc::{Afc, AfcEntry, ImplicitValue};
-pub use extract::{ExtractScratch, Extractor};
+pub use extract::{ExtractScratch, Extractor, SharedHandles};
 pub use io::{IoOptions, IoScheduler, IoSnapshot, IoStats, SegmentCache};
 pub use plan::{Certificate, CompiledDataset, FileIssue, NodePlan, QueryPlan};
 pub use segment::{InnerSig, Segment};

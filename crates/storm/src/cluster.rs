@@ -28,7 +28,13 @@ impl Cluster {
                 .name(format!("storm-node-{node}"))
                 .spawn(move || {
                     for job in rx {
-                        job();
+                        // A panicking job must not kill the node: the
+                        // worker outlives queries, and its death would
+                        // turn every later `run_on` into a panic. The
+                        // executor layer converts fragment panics into
+                        // query errors; this catch keeps the thread
+                        // alive even for raw jobs that slip through.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                     }
                 })
                 .expect("spawn cluster worker");
@@ -107,5 +113,15 @@ mod tests {
         cluster.run_on(0, || {});
         cluster.run_on(1, || {});
         drop(cluster); // must not hang or panic
+    }
+
+    #[test]
+    fn worker_survives_panicking_job() {
+        let cluster = Cluster::new(1);
+        cluster.run_on(0, || panic!("job blew up"));
+        // The worker must still be alive and processing.
+        let (tx, rx) = unbounded();
+        cluster.run_on(0, move || tx.send(42).unwrap());
+        assert_eq!(rx.recv(), Ok(42));
     }
 }

@@ -1,0 +1,406 @@
+//! Per-node executor services.
+//!
+//! An [`ExecutorService`] runs one node's plan fragments on that
+//! node's long-lived [`Cluster`] worker. It owns the contract between
+//! the service plane and the cluster: every spawned fragment reports
+//! completion with a `MoverMessage::Done` — even when it errors or
+//! panics — so the session's drain loop can always account for all
+//! nodes, and a panicking UDF becomes a query error instead of a dead
+//! node thread. [`NodeWorker`] is the fragment body: the extract →
+//! filter → partition → move pipeline, checkpointed on the query's
+//! [`CancelToken`] at every block boundary.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Sender, TryRecvError};
+use dv_layout::io::{group_afcs, FetchedGroup, IoScheduler, IoStats};
+use dv_layout::{Afc, Extractor, SegmentCache};
+use dv_sql::eval::EvalContext;
+use dv_sql::{BoundExpr, UdfRegistry};
+use dv_types::{CancelToken, ColumnBlock, DataType, DvError, Result, RowBlock};
+
+use crate::cluster::Cluster;
+use crate::filter::{filter_block, filter_columns, project_block};
+use crate::mover::{send_block, send_columns, MoverMessage, MoverStats};
+use crate::partition::{partition_block, partition_columns};
+use crate::server::{ExecMode, QueryOptions};
+
+/// One node's executor: dispatches plan fragments onto the node's
+/// cluster worker and guarantees a `Done` report per fragment.
+pub struct ExecutorService {
+    node: usize,
+    cluster: Arc<Cluster>,
+}
+
+impl ExecutorService {
+    /// An executor for `node`, running on `cluster`'s worker threads.
+    pub fn new(node: usize, cluster: Arc<Cluster>) -> ExecutorService {
+        ExecutorService { node, cluster }
+    }
+
+    /// The node this executor serves.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Run `fragment` on this node's worker. The fragment's outcome —
+    /// including a panic, converted to a runtime error — is always
+    /// reported to `tx` as `MoverMessage::Done` with the fragment's
+    /// busy time, so the session can never lose track of a node.
+    pub fn spawn_fragment<F>(&self, tx: Sender<MoverMessage>, fragment: F)
+    where
+        F: FnOnce() -> Result<()> + Send + 'static,
+    {
+        let node = self.node;
+        self.cluster.run_on(node, move || {
+            let busy_start = Instant::now();
+            let result = match catch_unwind(AssertUnwindSafe(fragment)) {
+                Ok(r) => r,
+                Err(payload) => Err(DvError::Runtime(format!(
+                    "node {node} fragment panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            };
+            let _ = tx.send(MoverMessage::Done { node, result, busy: busy_start.elapsed() });
+        });
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Everything one node needs to run the extraction → filter →
+/// partition → move pipeline for one query.
+pub(crate) struct NodeWorker {
+    pub node: usize,
+    pub extractor: Extractor,
+    pub udfs: Arc<UdfRegistry>,
+    pub predicate: Arc<Option<BoundExpr>>,
+    pub working_attrs: Arc<Vec<usize>>,
+    pub working_dtypes: Arc<Vec<DataType>>,
+    pub output_positions: Arc<Vec<usize>>,
+    pub schema_len: usize,
+    pub opts: QueryOptions,
+    pub cancel: CancelToken,
+    pub rows_scanned: Arc<AtomicU64>,
+    pub rows_selected: Arc<AtomicU64>,
+    pub bytes_read: Arc<AtomicU64>,
+    pub bytes_moved: Arc<AtomicU64>,
+    pub afc_count: Arc<AtomicU64>,
+    pub io_stats: Arc<IoStats>,
+    pub mover_stats: Arc<MoverStats>,
+    pub segment_cache: Arc<SegmentCache>,
+}
+
+impl NodeWorker {
+    pub(crate) fn run(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+        if self.opts.intra_node_threads <= 1 {
+            return self.run_stripe_any(afcs, tx);
+        }
+        // Intra-node parallel stripes over the AFC list.
+        let stripes = self.opts.intra_node_threads.min(afcs.len().max(1));
+        let chunk = afcs.len().div_ceil(stripes);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for piece in afcs.chunks(chunk.max(1)) {
+                handles.push(scope.spawn(move || self.run_stripe_any(piece, tx)));
+            }
+            for h in handles {
+                h.join().map_err(|_| DvError::Runtime("node stripe panicked".into()))??;
+            }
+            Ok(())
+        })
+    }
+
+    fn run_stripe_any(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+        match self.opts.exec {
+            ExecMode::Columnar => self.run_stripe_columns(afcs, tx),
+            ExecMode::RowAtATime => self.run_stripe(afcs, tx),
+        }
+    }
+
+    /// The columnar pipeline (default): fetch coalesced segments
+    /// through the I/O scheduler (prefetching the next working set in
+    /// the background), decode into typed columns, filter vectorized
+    /// into a selection vector, project by reordering column handles,
+    /// partition with one gather per column, move without touching
+    /// row data.
+    fn run_stripe_columns(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+        if !self.opts.io.enabled {
+            return self.run_stripe_columns_direct(afcs, tx);
+        }
+        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
+        let mut partition_base = 0u64;
+        let scheduler = IoScheduler::new(
+            self.extractor.clone(),
+            self.opts.io.clone(),
+            Some(Arc::clone(&self.segment_cache)),
+            Arc::clone(&self.io_stats),
+        )
+        .with_cancel(self.cancel.clone());
+        let groups = group_afcs(afcs, self.opts.io.group_bytes);
+
+        if !self.opts.io.readahead || groups.len() < 2 {
+            for g in groups {
+                self.cancel.check()?;
+                let fetched = scheduler.fetch(&afcs[g.clone()])?;
+                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
+            }
+            return Ok(());
+        }
+
+        // Double-buffered readahead: a bounded channel of fetched
+        // groups; the prefetcher works on group g+1 (and beyond, up
+        // to the channel depth) while this thread decodes group g.
+        // On cancellation the decode loop's early return drops the
+        // receiver; the prefetcher's next send then fails and the
+        // scoped thread exits before the scope joins it — no orphan.
+        let depth = self.opts.io.prefetch_depth.max(1);
+        std::thread::scope(|scope| -> Result<()> {
+            let (gtx, grx) = bounded::<Result<FetchedGroup>>(depth);
+            let scheduler = &scheduler;
+            let groups_tx = groups.clone();
+            scope.spawn(move || {
+                for g in groups_tx {
+                    let fetched = scheduler.fetch(&afcs[g]);
+                    let failed = fetched.is_err();
+                    // The receiver hangs up after a decode error; stop
+                    // fetching. Also stop after shipping a fetch error.
+                    if gtx.send(fetched).is_err() || failed {
+                        break;
+                    }
+                }
+            });
+            for g in groups {
+                self.cancel.check()?;
+                let fetched = match grx.try_recv() {
+                    Ok(r) => {
+                        self.io_stats.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                        r?
+                    }
+                    Err(TryRecvError::Empty) => {
+                        let wait_start = Instant::now();
+                        let r = grx
+                            .recv()
+                            .map_err(|_| DvError::Runtime("I/O prefetcher disconnected".into()))?;
+                        self.io_stats.prefetch_waits.fetch_add(1, Ordering::Relaxed);
+                        self.io_stats
+                            .prefetch_wait_ns
+                            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        r?
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        return Err(DvError::Runtime("I/O prefetcher disconnected".into()));
+                    }
+                };
+                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Decode one fetched working-set group into blocks of at most
+    /// `batch_rows` and run each through filter → project → partition
+    /// → move.
+    fn decode_and_ship(
+        &self,
+        afcs: &[Afc],
+        fetched: &FetchedGroup,
+        cx: &EvalContext,
+        partition_base: &mut u64,
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
+        let mut i = 0usize;
+        while i < afcs.len() {
+            let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
+            let mut batched_rows = 0u64;
+            while i < afcs.len()
+                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
+            {
+                let afc = &afcs[i];
+                self.extractor.extract_columns_fetched(afc, &mut block, fetched)?;
+                self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
+                self.afc_count.fetch_add(1, Ordering::Relaxed);
+                batched_rows += afc.num_rows;
+                i += 1;
+            }
+            self.ship_columns(block, cx, partition_base, tx)?;
+        }
+        Ok(())
+    }
+
+    /// The scheduler-off columnar path: one read per AFC entry into
+    /// the shared scratch buffer (kept as the ablation baseline and
+    /// the fallback when `QueryOptions::io.enabled` is false).
+    fn run_stripe_columns_direct(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
+        let mut partition_base = 0u64;
+        let mut scratch = dv_layout::ExtractScratch::default();
+
+        let mut i = 0usize;
+        while i < afcs.len() {
+            // Batch AFCs until the block reaches the target row count.
+            let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
+            let mut batched_rows = 0u64;
+            while i < afcs.len()
+                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
+            {
+                let afc = &afcs[i];
+                self.extractor.extract_columns_with(afc, &mut block, &mut scratch)?;
+                self.count_direct_reads(afc);
+                batched_rows += afc.num_rows;
+                i += 1;
+            }
+            self.ship_columns(block, &cx, &mut partition_base, tx)?;
+        }
+        Ok(())
+    }
+
+    /// Per-AFC accounting shared by the direct-read paths: logical
+    /// bytes plus one issued syscall per entry run.
+    fn count_direct_reads(&self, afc: &Afc) {
+        let bytes = afc.bytes_read();
+        let runs = afc.entries.len() as u64;
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.afc_count.fetch_add(1, Ordering::Relaxed);
+        self.io_stats.read_syscalls.fetch_add(runs, Ordering::Relaxed);
+        self.io_stats.runs_scheduled.fetch_add(runs, Ordering::Relaxed);
+        self.io_stats.bytes_issued.fetch_add(bytes, Ordering::Relaxed);
+        self.io_stats.bytes_used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Filter → project → partition → move one columnar block.
+    fn ship_columns(
+        &self,
+        mut block: ColumnBlock,
+        cx: &EvalContext,
+        partition_base: &mut u64,
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
+        self.cancel.check()?;
+        self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
+
+        filter_columns(&mut block, self.predicate.as_ref().as_ref(), cx);
+        self.rows_selected.fetch_add(block.selected() as u64, Ordering::Relaxed);
+        if block.is_empty() {
+            return Ok(());
+        }
+
+        block.project(&self.output_positions);
+
+        if self.opts.client_processors == 1 {
+            let bytes = send_columns(tx, 0, block, &self.mover_stats)?;
+            self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            let parts = partition_columns(
+                block,
+                &self.opts.partition,
+                self.opts.client_processors,
+                *partition_base,
+            );
+            // Round-robin base advances by total rows partitioned.
+            *partition_base += parts.iter().map(|p| p.selected() as u64).sum::<u64>();
+            for (p, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                let bytes = send_columns(tx, p, part, &self.mover_stats)?;
+                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_stripe(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
+        let mut partition_base = 0u64;
+        let mut scratch = dv_layout::ExtractScratch::default();
+
+        let mut i = 0usize;
+        while i < afcs.len() {
+            self.cancel.check()?;
+            // Batch AFCs until the block reaches the target row count.
+            let mut block = RowBlock::new(self.node);
+            let mut batched_rows = 0u64;
+            while i < afcs.len()
+                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
+            {
+                let afc = &afcs[i];
+                self.extractor.extract_into_with(afc, &mut block, &mut scratch)?;
+                self.count_direct_reads(afc);
+                batched_rows += afc.num_rows;
+                i += 1;
+            }
+            self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
+
+            filter_block(&mut block, self.predicate.as_ref().as_ref(), &cx);
+            self.rows_selected.fetch_add(block.len() as u64, Ordering::Relaxed);
+            if block.is_empty() {
+                continue;
+            }
+
+            project_block(&mut block, &self.output_positions);
+
+            if self.opts.client_processors == 1 {
+                let bytes = send_block(tx, 0, block, &self.mover_stats)?;
+                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+            } else {
+                let parts = partition_block(
+                    block,
+                    &self.opts.partition,
+                    self.opts.client_processors,
+                    partition_base,
+                );
+                // Round-robin base advances by total rows partitioned.
+                partition_base += parts.iter().map(|p| p.len() as u64).sum::<u64>();
+                for (p, part) in parts.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let bytes = send_block(tx, p, part, &self.mover_stats)?;
+                    self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn fragment_panic_reports_done_with_error() {
+        let cluster = Arc::new(Cluster::new(1));
+        let exec = ExecutorService::new(0, Arc::clone(&cluster));
+        let (tx, rx) = unbounded();
+        exec.spawn_fragment(tx, || panic!("udf exploded"));
+        match rx.recv().unwrap() {
+            MoverMessage::Done { node, result, .. } => {
+                assert_eq!(node, 0);
+                let err = result.unwrap_err();
+                assert!(err.to_string().contains("udf exploded"), "{err}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The node worker survived the panic and still runs fragments.
+        let (tx, rx) = unbounded();
+        exec.spawn_fragment(tx, || Ok(()));
+        match rx.recv().unwrap() {
+            MoverMessage::Done { result, .. } => assert!(result.is_ok()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,16 +1,31 @@
 //! Data mover service.
 //!
 //! Transfers selected row blocks from node workers to client
-//! processors. Local clients receive blocks over channels at memory
-//! speed; remote clients (the paper's Figure 8 query 5, "accessing the
-//! data from a remote client") go through a [`BandwidthModel`] that
-//! delays each block according to a link bandwidth and per-block
-//! latency, simulating the wide-area transfer.
+//! processors — the only inter-stage transport in the service plane.
+//! Blocks flow over *bounded* channels sized by
+//! `QueryOptions::mover_capacity`, so a slow absorber back-pressures
+//! the node pipelines instead of buffering unboundedly; send-side
+//! blocking is counted in [`MoverStats`] (queue-wait observability).
+//! Local clients receive blocks at memory speed; remote clients (the
+//! paper's Figure 8 query 5, "accessing the data from a remote
+//! client") go through a [`BandwidthModel`] that delays each block
+//! according to a link bandwidth and per-block latency, simulating the
+//! wide-area transfer. The delay is charged on the *absorbing* side
+//! ([`absorb_transfer`], the client session's thread) — it models the
+//! client's ingest link, so concurrent queries overlap their stalls
+//! while a slow client back-pressures only its own node pipelines
+//! through the bounded channel. The simulated transfer sleeps in short
+//! slices and polls the query's [`CancelToken`] between them, so an
+//! abort or deadline interrupts a block mid-"flight".
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::Sender;
-use dv_types::{ColumnBlock, DvError, Result, RowBlock};
+use crossbeam::channel::{Sender, TrySendError};
+use dv_types::{CancelToken, ColumnBlock, DvError, Result, RowBlock};
+
+/// Longest uninterruptible slice of a simulated transfer sleep.
+const SLEEP_SLICE: Duration = Duration::from_millis(10);
 
 /// Simulated network link for remote clients.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +55,41 @@ impl BandwidthModel {
     }
 }
 
+/// Shared atomic mover counters for one query, snapshotted into
+/// `QueryStats::mover`.
+#[derive(Debug, Default)]
+pub struct MoverStats {
+    /// Blocks handed to the transport.
+    pub sends: AtomicU64,
+    /// Sends that found the bounded channel full and had to wait.
+    pub blocked_sends: AtomicU64,
+    /// Total time senders spent blocked on a full channel.
+    pub send_wait_ns: AtomicU64,
+}
+
+impl MoverStats {
+    /// Copy the counters into a plain snapshot.
+    pub fn snapshot(&self) -> MoverSnapshot {
+        MoverSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            blocked_sends: self.blocked_sends.load(Ordering::Relaxed),
+            send_wait: Duration::from_nanos(self.send_wait_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time view of [`MoverStats`], carried in
+/// `QueryStats::mover`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoverSnapshot {
+    /// Blocks handed to the transport.
+    pub sends: u64,
+    /// Sends that found the bounded channel full and had to wait.
+    pub blocked_sends: u64,
+    /// Total sender time spent blocked on a full channel.
+    pub send_wait: Duration,
+}
+
 /// Message from node workers to the client-side collector.
 #[derive(Debug)]
 pub enum MoverMessage {
@@ -53,40 +103,75 @@ pub enum MoverMessage {
     Done { node: usize, result: Result<()>, busy: std::time::Duration },
 }
 
-/// Send one block, applying the bandwidth model if present. Returns
-/// the simulated bytes moved.
+/// Sleep for the simulated transfer duration in short slices, polling
+/// the cancel token between them so an abort interrupts the transfer.
+fn sleep_cancellable(total: Duration, cancel: &CancelToken) -> Result<()> {
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        cancel.check()?;
+        let step = remaining.min(SLEEP_SLICE);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    cancel.check()
+}
+
+/// Hand one message to the transport: a non-blocking attempt first so
+/// a full channel is observed (and its wait timed) rather than folded
+/// silently into the blocking send.
+fn send_msg(tx: &Sender<MoverMessage>, msg: MoverMessage, stats: &MoverStats) -> Result<()> {
+    let disconnected = || DvError::Runtime("client disconnected during data transfer".into());
+    stats.sends.fetch_add(1, Ordering::Relaxed);
+    match tx.try_send(msg) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Disconnected(_)) => Err(disconnected()),
+        Err(TrySendError::Full(msg)) => {
+            stats.blocked_sends.fetch_add(1, Ordering::Relaxed);
+            let wait_start = Instant::now();
+            let sent = tx.send(msg);
+            stats.send_wait_ns.fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            sent.map_err(|_| disconnected())
+        }
+    }
+}
+
+/// Charge the simulated transfer of `bytes` at the absorbing end: the
+/// client's ingest link. A `None` model is a local client — no delay.
+pub fn absorb_transfer(
+    bandwidth: Option<&BandwidthModel>,
+    bytes: usize,
+    cancel: &CancelToken,
+) -> Result<()> {
+    match bandwidth {
+        Some(bw) => sleep_cancellable(bw.delay_for(bytes), cancel),
+        None => Ok(()),
+    }
+}
+
+/// Send one block into the bounded transport. Returns the wire bytes
+/// of the payload.
 pub fn send_block(
     tx: &Sender<MoverMessage>,
     processor: usize,
     block: RowBlock,
-    bandwidth: Option<&BandwidthModel>,
+    stats: &MoverStats,
 ) -> Result<usize> {
     let bytes = block.wire_bytes();
-    if let Some(bw) = bandwidth {
-        // The worker thread stalls for the transfer duration, exactly
-        // like a synchronous socket write over a slow link.
-        std::thread::sleep(bw.delay_for(bytes));
-    }
-    tx.send(MoverMessage::Block { processor, block })
-        .map_err(|_| DvError::Runtime("client disconnected during data transfer".into()))?;
+    send_msg(tx, MoverMessage::Block { processor, block }, stats)?;
     Ok(bytes)
 }
 
-/// Send one columnar block, applying the bandwidth model if present.
-/// Only *selected* rows count toward the simulated payload — exactly
-/// what a serializing mover would put on the wire.
+/// Send one columnar block into the bounded transport. Only *selected*
+/// rows count toward the payload — exactly what a serializing mover
+/// would put on the wire.
 pub fn send_columns(
     tx: &Sender<MoverMessage>,
     processor: usize,
     block: ColumnBlock,
-    bandwidth: Option<&BandwidthModel>,
+    stats: &MoverStats,
 ) -> Result<usize> {
     let bytes = block.wire_bytes();
-    if let Some(bw) = bandwidth {
-        std::thread::sleep(bw.delay_for(bytes));
-    }
-    tx.send(MoverMessage::Columns { processor, block })
-        .map_err(|_| DvError::Runtime("client disconnected during data transfer".into()))?;
+    send_msg(tx, MoverMessage::Columns { processor, block }, stats)?;
     Ok(bytes)
 }
 
@@ -108,9 +193,10 @@ mod tests {
     #[test]
     fn send_block_counts_payload() {
         let (tx, rx) = unbounded();
+        let stats = MoverStats::default();
         let mut b = RowBlock::new(0);
         b.rows.push(vec![Value::Int(1), Value::Double(2.0)]);
-        let bytes = send_block(&tx, 3, b, None).unwrap();
+        let bytes = send_block(&tx, 3, b, &stats).unwrap();
         assert_eq!(bytes, 12);
         match rx.recv().unwrap() {
             MoverMessage::Block { processor, block } => {
@@ -119,6 +205,9 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        let snap = stats.snapshot();
+        assert_eq!(snap.sends, 1);
+        assert_eq!(snap.blocked_sends, 0, "unbounded channel never blocks");
     }
 
     #[test]
@@ -132,7 +221,7 @@ mod tests {
         }
         b.advance_rows(4);
         b.set_selection(Some(vec![1, 3]));
-        let bytes = send_columns(&tx, 2, b, None).unwrap();
+        let bytes = send_columns(&tx, 2, b, &MoverStats::default()).unwrap();
         assert_eq!(bytes, 2 * 12);
         match rx.recv().unwrap() {
             MoverMessage::Columns { processor, block } => {
@@ -148,21 +237,57 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         let b = RowBlock::new(0);
-        assert!(send_block(&tx, 0, b, None).is_err());
+        assert!(send_block(&tx, 0, b, &MoverStats::default()).is_err());
     }
 
     #[test]
     fn bandwidth_model_actually_delays() {
-        let (tx, rx) = unbounded();
-        let mut b = RowBlock::new(0);
-        for i in 0..1000 {
-            b.rows.push(vec![Value::Double(i as f64)]);
-        }
         // 8000 bytes at 80 kB/s = 100 ms.
         let bw = BandwidthModel { bytes_per_sec: 80_000.0, latency: Duration::ZERO };
         let start = std::time::Instant::now();
-        send_block(&tx, 0, b, Some(&bw)).unwrap();
+        absorb_transfer(Some(&bw), 8000, &CancelToken::new()).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(90));
-        drop(rx);
+        // A local client pays nothing.
+        let start = std::time::Instant::now();
+        absorb_transfer(None, usize::MAX, &CancelToken::new()).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn cancel_interrupts_simulated_transfer() {
+        // 8000 bytes at 8 kB/s = 1 s, but the deadline trips in 30 ms.
+        let bw = BandwidthModel { bytes_per_sec: 8_000.0, latency: Duration::ZERO };
+        let cancel = CancelToken::with_timeout(Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        let err = absorb_transfer(Some(&bw), 8000, &cancel).unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(start.elapsed() < Duration::from_millis(500), "abort must cut the sleep short");
+    }
+
+    #[test]
+    fn full_bounded_channel_counts_blocked_send() {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let stats = MoverStats::default();
+        let mk = || {
+            let mut b = RowBlock::new(0);
+            b.rows.push(vec![Value::Int(1)]);
+            b
+        };
+        send_block(&tx, 0, mk(), &stats).unwrap();
+        // The channel is full: the next send must block until the
+        // consumer drains one message.
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let first = rx.recv();
+            let second = rx.recv();
+            (first.is_ok(), second.is_ok())
+        });
+        send_block(&tx, 0, mk(), &stats).unwrap();
+        let (first, second) = consumer.join().unwrap();
+        assert!(first && second);
+        let snap = stats.snapshot();
+        assert_eq!(snap.sends, 2);
+        assert_eq!(snap.blocked_sends, 1);
+        assert!(snap.send_wait > Duration::ZERO);
     }
 }

@@ -1,21 +1,22 @@
-//! Query service: the client entry point that orchestrates all other
-//! services.
+//! The server facade: per-query execution options and the
+//! single-query API, now a thin wrapper over the service plane.
+//!
+//! [`StormServer`] owns one [`QueryService`] per dataset. The legacy
+//! synchronous calls (`execute`, `execute_bound`, `execute_table`)
+//! route through the service — admission, query ids, cancellation —
+//! with default submission options, so existing callers keep their
+//! API while concurrent clients use [`StormServer::service`] (or
+//! [`QueryService`] directly) for sessions, priorities, timeouts.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
-use crossbeam::channel::{bounded, unbounded, TryRecvError};
-use dv_layout::io::{group_afcs, FetchedGroup, IoScheduler, IoStats};
-use dv_layout::{Afc, CompiledDataset, Extractor, IoOptions, SegmentCache};
-use dv_sql::eval::EvalContext;
-use dv_sql::{bind, parse, BoundExpr, BoundQuery, UdfRegistry};
-use dv_types::{ColumnBlock, DataType, DvError, Result, RowBlock, Table};
+use dv_layout::{CompiledDataset, IoOptions};
+use dv_sql::{BoundQuery, UdfRegistry};
+use dv_types::{DvError, Result, Table};
 
-use crate::cluster::Cluster;
-use crate::filter::{filter_block, filter_columns, project_block};
-use crate::mover::{send_block, send_columns, BandwidthModel, MoverMessage};
-use crate::partition::{partition_block, partition_columns, PartitionStrategy};
+use crate::mover::BandwidthModel;
+use crate::partition::PartitionStrategy;
+use crate::service::{QueryService, ServerCore, ServiceConfig, SubmitOptions};
 use crate::stats::QueryStats;
 
 /// Which engine the node pipeline runs. Results are identical; the
@@ -56,6 +57,9 @@ pub struct QueryOptions {
     pub exec: ExecMode,
     /// I/O scheduler knobs (coalescing, readahead, segment cache).
     pub io: IoOptions,
+    /// Capacity of the bounded mover channel (blocks in flight from
+    /// node pipelines to the absorber before senders back-pressure).
+    pub mover_capacity: usize,
 }
 
 impl Default for QueryOptions {
@@ -69,60 +73,71 @@ impl Default for QueryOptions {
             sequential_nodes: false,
             exec: ExecMode::default(),
             io: IoOptions::default(),
+            mover_capacity: 64,
         }
     }
 }
 
-/// A running virtualization server for one dataset: compiled plans +
-/// UDF registry + per-node workers.
+/// A running virtualization server for one dataset: compiled plans,
+/// UDF registry, per-node executors, and the query service in front.
 pub struct StormServer {
-    compiled: Arc<CompiledDataset>,
-    udfs: Arc<UdfRegistry>,
-    cluster: Cluster,
-    /// Cross-query segment cache shared by every node's I/O
-    /// scheduler; budget follows `QueryOptions::io.cache_bytes`.
-    segment_cache: Arc<SegmentCache>,
+    service: QueryService,
 }
 
 impl StormServer {
-    /// Start a server over a compiled dataset.
+    /// Start a server over a compiled dataset with default service
+    /// configuration.
     pub fn new(compiled: Arc<CompiledDataset>, udfs: UdfRegistry) -> StormServer {
-        let nodes = compiled.model.node_count();
-        StormServer {
-            compiled,
-            udfs: Arc::new(udfs),
-            cluster: Cluster::new(nodes),
-            segment_cache: Arc::new(SegmentCache::new(IoOptions::default().cache_bytes)),
-        }
+        StormServer::with_config(compiled, udfs, ServiceConfig::default())
+    }
+
+    /// Start a server with an explicit service configuration
+    /// (admission concurrency limit).
+    pub fn with_config(
+        compiled: Arc<CompiledDataset>,
+        udfs: UdfRegistry,
+        config: ServiceConfig,
+    ) -> StormServer {
+        let core = Arc::new(ServerCore::new(compiled, udfs));
+        StormServer { service: QueryService::new(core, &config) }
+    }
+
+    /// The query service plane: sessions, priorities, timeouts,
+    /// cancellation, admission introspection.
+    pub fn service(&self) -> &QueryService {
+        &self.service
     }
 
     /// The dataset model served.
     pub fn model(&self) -> &dv_descriptor::DatasetModel {
-        &self.compiled.model
+        self.service.model()
     }
 
     /// The compiled dataset (for plan inspection / codegen rendering).
     pub fn compiled(&self) -> &CompiledDataset {
-        &self.compiled
+        self.service.compiled()
     }
 
     /// Parse + bind a query against this server's schema.
     pub fn bind_sql(&self, sql: &str) -> Result<BoundQuery> {
-        let q = parse(sql)?;
-        bind(&q, &self.compiled.model.schema, &self.udfs)
+        self.service.bind_sql(sql)
     }
 
     /// Execute a query, returning one table per client processor and
     /// execution statistics.
     pub fn execute(&self, sql: &str, opts: &QueryOptions) -> Result<(Vec<Table>, QueryStats)> {
-        let bq = self.bind_sql(sql)?;
-        self.execute_bound(&bq, opts)
+        self.service.execute(sql, opts)
     }
 
     /// Execute a convenience single-table query (one local processor).
     pub fn execute_table(&self, sql: &str) -> Result<(Table, QueryStats)> {
         let (mut tables, stats) = self.execute(sql, &QueryOptions::default())?;
-        Ok((tables.pop().expect("one processor"), stats))
+        match tables.pop() {
+            Some(table) => Ok((table, stats)),
+            None => Err(DvError::Runtime(
+                "query produced no client partitions (zero processors configured)".into(),
+            )),
+        }
     }
 
     /// Execute a pre-bound query.
@@ -131,441 +146,6 @@ impl StormServer {
         bq: &BoundQuery,
         opts: &QueryOptions,
     ) -> Result<(Vec<Table>, QueryStats)> {
-        if opts.client_processors == 0 {
-            return Err(DvError::Runtime("client_processors must be >= 1".into()));
-        }
-        let mut stats = QueryStats::default();
-
-        // Phase 2a: central planning (range analysis, working row).
-        let plan_start = Instant::now();
-        let prep = Arc::new(self.compiled.prepare_query(bq)?);
-        stats.plan_time = plan_start.elapsed();
-
-        let output_schema = bq.output_schema();
-        let schema_len = self.compiled.model.schema.len();
-        let working_attrs = Arc::new(prep.working.attrs.clone());
-        let working_dtypes = Arc::new(prep.working.dtypes.clone());
-        let output_positions = Arc::new(prep.output_positions.clone());
-        let predicate: Arc<Option<BoundExpr>> = Arc::new(bq.predicate.clone());
-        let extractor = Extractor::new(&self.compiled, prep.working.attrs.len());
-
-        let rows_scanned = Arc::new(AtomicU64::new(0));
-        let rows_selected = Arc::new(AtomicU64::new(0));
-        let bytes_read = Arc::new(AtomicU64::new(0));
-        let bytes_moved = Arc::new(AtomicU64::new(0));
-        let afc_count = Arc::new(AtomicU64::new(0));
-        let io_stats = Arc::new(IoStats::default());
-        if opts.io.enabled && opts.io.cache_bytes > 0 {
-            self.segment_cache.set_budget(opts.io.cache_bytes);
-        }
-
-        let (tx, rx) = unbounded::<MoverMessage>();
-        let exec_start = Instant::now();
-        let node_count = self.compiled.model.node_count();
-        let mut tables: Vec<Table> =
-            (0..opts.client_processors).map(|_| Table::empty(output_schema.clone())).collect();
-        let mut first_error: Option<DvError> = None;
-        let mut node_busy: Vec<std::time::Duration> = Vec::with_capacity(node_count);
-
-        let dispatch = |node: usize, tx: &crossbeam::channel::Sender<MoverMessage>| {
-            let tx = tx.clone();
-            let compiled = Arc::clone(&self.compiled);
-            let prep = Arc::clone(&prep);
-            let extractor = extractor.clone();
-            let udfs = Arc::clone(&self.udfs);
-            let predicate = Arc::clone(&predicate);
-            let working_attrs = Arc::clone(&working_attrs);
-            let working_dtypes = Arc::clone(&working_dtypes);
-            let output_positions = Arc::clone(&output_positions);
-            let rows_scanned = Arc::clone(&rows_scanned);
-            let rows_selected = Arc::clone(&rows_selected);
-            let bytes_read = Arc::clone(&bytes_read);
-            let bytes_moved = Arc::clone(&bytes_moved);
-            let afc_count = Arc::clone(&afc_count);
-            let io_stats = Arc::clone(&io_stats);
-            let segment_cache = Arc::clone(&self.segment_cache);
-            let opts = opts.clone();
-            self.cluster.run_on(node, move || {
-                let worker = NodeWorker {
-                    node,
-                    extractor,
-                    udfs,
-                    predicate,
-                    working_attrs,
-                    working_dtypes,
-                    output_positions,
-                    schema_len,
-                    opts,
-                    rows_scanned,
-                    rows_selected,
-                    bytes_read,
-                    bytes_moved,
-                    afc_count,
-                    io_stats,
-                    segment_cache,
-                };
-                // Phase 2b (the node's generated index function) runs
-                // here and counts as this node's work.
-                let busy_start = Instant::now();
-                let result =
-                    compiled.plan_node(&prep, node).and_then(|np| worker.run(&np.afcs, &tx));
-                let _ = tx.send(MoverMessage::Done { node, result, busy: busy_start.elapsed() });
-            });
-        };
-
-        // Drain messages until `want` Done messages arrive.
-        let drain = |want: usize,
-                     tables: &mut Vec<Table>,
-                     node_busy: &mut Vec<std::time::Duration>,
-                     first_error: &mut Option<DvError>| {
-            let mut done = 0usize;
-            for msg in rx.iter() {
-                match msg {
-                    MoverMessage::Block { processor, block } => tables[processor].absorb(block),
-                    MoverMessage::Columns { processor, block } => {
-                        tables[processor].absorb_columns(block)
-                    }
-                    MoverMessage::Done { result, busy, .. } => {
-                        done += 1;
-                        node_busy.push(busy);
-                        if let Err(e) = result {
-                            first_error.get_or_insert(e);
-                        }
-                        if done == want {
-                            break;
-                        }
-                    }
-                }
-            }
-        };
-
-        if opts.sequential_nodes {
-            for node in 0..node_count {
-                dispatch(node, &tx);
-                drain(1, &mut tables, &mut node_busy, &mut first_error);
-            }
-        } else {
-            for node in 0..node_count {
-                dispatch(node, &tx);
-            }
-            drain(node_count, &mut tables, &mut node_busy, &mut first_error);
-        }
-        drop(tx);
-        stats.exec_time = exec_start.elapsed();
-        stats.node_busy = node_busy;
-        if let Some(e) = first_error {
-            return Err(e);
-        }
-
-        stats.rows_scanned = rows_scanned.load(Ordering::Relaxed);
-        stats.rows_selected = rows_selected.load(Ordering::Relaxed);
-        stats.bytes_read = bytes_read.load(Ordering::Relaxed);
-        stats.bytes_moved = bytes_moved.load(Ordering::Relaxed);
-        stats.afcs = afc_count.load(Ordering::Relaxed);
-        stats.io = io_stats.snapshot();
-        Ok((tables, stats))
-    }
-}
-
-/// Everything one node needs to run the extraction → filter →
-/// partition → move pipeline.
-struct NodeWorker {
-    node: usize,
-    extractor: Extractor,
-    udfs: Arc<UdfRegistry>,
-    predicate: Arc<Option<BoundExpr>>,
-    working_attrs: Arc<Vec<usize>>,
-    working_dtypes: Arc<Vec<DataType>>,
-    output_positions: Arc<Vec<usize>>,
-    schema_len: usize,
-    opts: QueryOptions,
-    rows_scanned: Arc<AtomicU64>,
-    rows_selected: Arc<AtomicU64>,
-    bytes_read: Arc<AtomicU64>,
-    bytes_moved: Arc<AtomicU64>,
-    afc_count: Arc<AtomicU64>,
-    io_stats: Arc<IoStats>,
-    segment_cache: Arc<SegmentCache>,
-}
-
-impl NodeWorker {
-    fn run(&self, afcs: &[Afc], tx: &crossbeam::channel::Sender<MoverMessage>) -> Result<()> {
-        if self.opts.intra_node_threads <= 1 {
-            return self.run_stripe_any(afcs, tx);
-        }
-        // Intra-node parallel stripes over the AFC list.
-        let stripes = self.opts.intra_node_threads.min(afcs.len().max(1));
-        let chunk = afcs.len().div_ceil(stripes);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for piece in afcs.chunks(chunk.max(1)) {
-                handles.push(scope.spawn(move || self.run_stripe_any(piece, tx)));
-            }
-            for h in handles {
-                h.join().map_err(|_| DvError::Runtime("node stripe panicked".into()))??;
-            }
-            Ok(())
-        })
-    }
-
-    fn run_stripe_any(
-        &self,
-        afcs: &[Afc],
-        tx: &crossbeam::channel::Sender<MoverMessage>,
-    ) -> Result<()> {
-        match self.opts.exec {
-            ExecMode::Columnar => self.run_stripe_columns(afcs, tx),
-            ExecMode::RowAtATime => self.run_stripe(afcs, tx),
-        }
-    }
-
-    /// The columnar pipeline (default): fetch coalesced segments
-    /// through the I/O scheduler (prefetching the next working set in
-    /// the background), decode into typed columns, filter vectorized
-    /// into a selection vector, project by reordering column handles,
-    /// partition with one gather per column, move without touching
-    /// row data.
-    fn run_stripe_columns(
-        &self,
-        afcs: &[Afc],
-        tx: &crossbeam::channel::Sender<MoverMessage>,
-    ) -> Result<()> {
-        if !self.opts.io.enabled {
-            return self.run_stripe_columns_direct(afcs, tx);
-        }
-        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
-        let mut partition_base = 0u64;
-        let scheduler = IoScheduler::new(
-            self.extractor.clone(),
-            self.opts.io.clone(),
-            Some(Arc::clone(&self.segment_cache)),
-            Arc::clone(&self.io_stats),
-        );
-        let groups = group_afcs(afcs, self.opts.io.group_bytes);
-
-        if !self.opts.io.readahead || groups.len() < 2 {
-            for g in groups {
-                let fetched = scheduler.fetch(&afcs[g.clone()])?;
-                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
-            }
-            return Ok(());
-        }
-
-        // Double-buffered readahead: a bounded channel of fetched
-        // groups; the prefetcher works on group g+1 (and beyond, up
-        // to the channel depth) while this thread decodes group g.
-        let depth = self.opts.io.prefetch_depth.max(1);
-        std::thread::scope(|scope| -> Result<()> {
-            let (gtx, grx) = bounded::<Result<FetchedGroup>>(depth);
-            let scheduler = &scheduler;
-            let groups_tx = groups.clone();
-            scope.spawn(move || {
-                for g in groups_tx {
-                    let fetched = scheduler.fetch(&afcs[g]);
-                    let failed = fetched.is_err();
-                    // The receiver hangs up after a decode error; stop
-                    // fetching. Also stop after shipping a fetch error.
-                    if gtx.send(fetched).is_err() || failed {
-                        break;
-                    }
-                }
-            });
-            for g in groups {
-                let fetched = match grx.try_recv() {
-                    Ok(r) => {
-                        self.io_stats.prefetch_hits.fetch_add(1, Ordering::Relaxed);
-                        r?
-                    }
-                    Err(TryRecvError::Empty) => {
-                        let wait_start = Instant::now();
-                        let r = grx
-                            .recv()
-                            .map_err(|_| DvError::Runtime("I/O prefetcher disconnected".into()))?;
-                        self.io_stats.prefetch_waits.fetch_add(1, Ordering::Relaxed);
-                        self.io_stats
-                            .prefetch_wait_ns
-                            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        r?
-                    }
-                    Err(TryRecvError::Disconnected) => {
-                        return Err(DvError::Runtime("I/O prefetcher disconnected".into()));
-                    }
-                };
-                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
-            }
-            Ok(())
-        })
-    }
-
-    /// Decode one fetched working-set group into blocks of at most
-    /// `batch_rows` and run each through filter → project → partition
-    /// → move.
-    fn decode_and_ship(
-        &self,
-        afcs: &[Afc],
-        fetched: &FetchedGroup,
-        cx: &EvalContext,
-        partition_base: &mut u64,
-        tx: &crossbeam::channel::Sender<MoverMessage>,
-    ) -> Result<()> {
-        let mut i = 0usize;
-        while i < afcs.len() {
-            let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
-            let mut batched_rows = 0u64;
-            while i < afcs.len()
-                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
-            {
-                let afc = &afcs[i];
-                self.extractor.extract_columns_fetched(afc, &mut block, fetched)?;
-                self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
-                self.afc_count.fetch_add(1, Ordering::Relaxed);
-                batched_rows += afc.num_rows;
-                i += 1;
-            }
-            self.ship_columns(block, cx, partition_base, tx)?;
-        }
-        Ok(())
-    }
-
-    /// The scheduler-off columnar path: one read per AFC entry into
-    /// the shared scratch buffer (kept as the ablation baseline and
-    /// the fallback when `QueryOptions::io.enabled` is false).
-    fn run_stripe_columns_direct(
-        &self,
-        afcs: &[Afc],
-        tx: &crossbeam::channel::Sender<MoverMessage>,
-    ) -> Result<()> {
-        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
-        let mut partition_base = 0u64;
-        let mut scratch = dv_layout::ExtractScratch::default();
-
-        let mut i = 0usize;
-        while i < afcs.len() {
-            // Batch AFCs until the block reaches the target row count.
-            let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
-            let mut batched_rows = 0u64;
-            while i < afcs.len()
-                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
-            {
-                let afc = &afcs[i];
-                self.extractor.extract_columns_with(afc, &mut block, &mut scratch)?;
-                self.count_direct_reads(afc);
-                batched_rows += afc.num_rows;
-                i += 1;
-            }
-            self.ship_columns(block, &cx, &mut partition_base, tx)?;
-        }
-        Ok(())
-    }
-
-    /// Per-AFC accounting shared by the direct-read paths: logical
-    /// bytes plus one issued syscall per entry run.
-    fn count_direct_reads(&self, afc: &Afc) {
-        let bytes = afc.bytes_read();
-        let runs = afc.entries.len() as u64;
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-        self.afc_count.fetch_add(1, Ordering::Relaxed);
-        self.io_stats.read_syscalls.fetch_add(runs, Ordering::Relaxed);
-        self.io_stats.runs_scheduled.fetch_add(runs, Ordering::Relaxed);
-        self.io_stats.bytes_issued.fetch_add(bytes, Ordering::Relaxed);
-        self.io_stats.bytes_used.fetch_add(bytes, Ordering::Relaxed);
-    }
-
-    /// Filter → project → partition → move one columnar block.
-    fn ship_columns(
-        &self,
-        mut block: ColumnBlock,
-        cx: &EvalContext,
-        partition_base: &mut u64,
-        tx: &crossbeam::channel::Sender<MoverMessage>,
-    ) -> Result<()> {
-        self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
-
-        filter_columns(&mut block, self.predicate.as_ref().as_ref(), cx);
-        self.rows_selected.fetch_add(block.selected() as u64, Ordering::Relaxed);
-        if block.is_empty() {
-            return Ok(());
-        }
-
-        block.project(&self.output_positions);
-
-        if self.opts.client_processors == 1 {
-            let bytes = send_columns(tx, 0, block, self.opts.bandwidth.as_ref())?;
-            self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
-        } else {
-            let parts = partition_columns(
-                block,
-                &self.opts.partition,
-                self.opts.client_processors,
-                *partition_base,
-            );
-            // Round-robin base advances by total rows partitioned.
-            *partition_base += parts.iter().map(|p| p.selected() as u64).sum::<u64>();
-            for (p, part) in parts.into_iter().enumerate() {
-                if part.is_empty() {
-                    continue;
-                }
-                let bytes = send_columns(tx, p, part, self.opts.bandwidth.as_ref())?;
-                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
-            }
-        }
-        Ok(())
-    }
-
-    fn run_stripe(
-        &self,
-        afcs: &[Afc],
-        tx: &crossbeam::channel::Sender<MoverMessage>,
-    ) -> Result<()> {
-        let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
-        let mut partition_base = 0u64;
-        let mut scratch = dv_layout::ExtractScratch::default();
-
-        let mut i = 0usize;
-        while i < afcs.len() {
-            // Batch AFCs until the block reaches the target row count.
-            let mut block = RowBlock::new(self.node);
-            let mut batched_rows = 0u64;
-            while i < afcs.len()
-                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
-            {
-                let afc = &afcs[i];
-                self.extractor.extract_into_with(afc, &mut block, &mut scratch)?;
-                self.count_direct_reads(afc);
-                batched_rows += afc.num_rows;
-                i += 1;
-            }
-            self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
-
-            filter_block(&mut block, self.predicate.as_ref().as_ref(), &cx);
-            self.rows_selected.fetch_add(block.len() as u64, Ordering::Relaxed);
-            if block.is_empty() {
-                continue;
-            }
-
-            project_block(&mut block, &self.output_positions);
-
-            if self.opts.client_processors == 1 {
-                let bytes = send_block(tx, 0, block, self.opts.bandwidth.as_ref())?;
-                self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
-            } else {
-                let parts = partition_block(
-                    block,
-                    &self.opts.partition,
-                    self.opts.client_processors,
-                    partition_base,
-                );
-                // Round-robin base advances by total rows partitioned.
-                partition_base += parts.iter().map(|p| p.len() as u64).sum::<u64>();
-                for (p, part) in parts.into_iter().enumerate() {
-                    if part.is_empty() {
-                        continue;
-                    }
-                    let bytes = send_block(tx, p, part, self.opts.bandwidth.as_ref())?;
-                    self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
-                }
-            }
-        }
-        Ok(())
+        self.service.execute_bound_with(bq, opts, &SubmitOptions::default())
     }
 }

@@ -1,0 +1,499 @@
+//! The query service plane: admission, sessions, and the staged
+//! execution loop.
+//!
+//! [`QueryService`] is the front end of the STORM runtime. It assigns
+//! each query a [`QueryId`], admits it through the shared
+//! [`Admission`] gate (priority-then-FIFO, bounded concurrency), and
+//! runs it as a *session*: plan centrally, fan plan fragments out to
+//! the per-node [`ExecutorService`]s, and absorb mover blocks until
+//! every node reports done. Sessions are either blocking
+//! ([`QueryService::execute_with`], caller's thread) or detached
+//! ([`QueryService::submit`], own thread + [`SessionHandle`]).
+//! Dropping a handle without taking the result cancels the query —
+//! the client-side-drop abort path.
+//!
+//! Every session carries a [`CancelToken`] threaded through admission,
+//! extraction, I/O scheduling, filtering, and the mover; the drain
+//! loop always waits for all node `Done` reports, so a cancelled query
+//! leaves no orphaned cluster jobs, and its RAII admission slot and
+//! per-query channels/file state are released on every exit path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver};
+use dv_layout::io::IoStats;
+use dv_layout::{CompiledDataset, Extractor, IoOptions, SegmentCache, SharedHandles};
+use dv_sql::{bind, parse, BoundExpr, BoundQuery, UdfRegistry};
+use dv_types::{CancelToken, DvError, Result, Table};
+
+use crate::admission::Admission;
+use crate::cluster::Cluster;
+use crate::executor::{ExecutorService, NodeWorker};
+use crate::mover::{absorb_transfer, MoverMessage, MoverStats};
+use crate::server::QueryOptions;
+use crate::stats::QueryStats;
+
+/// Identifier the service assigns to each admitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Service-level configuration, fixed at server construction.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Queries admitted concurrently; the rest queue (min 1).
+    pub max_concurrent: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { max_concurrent: 4 }
+    }
+}
+
+/// Per-submission options, orthogonal to [`QueryOptions`] (which
+/// shapes execution): how the query enters and leaves the service.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Admission priority; higher values are admitted first, ties
+    /// break FIFO.
+    pub priority: u8,
+    /// Deadline for the whole query (queue wait included); expiry
+    /// cancels it with [`DvError::Cancelled`].
+    pub timeout: Option<Duration>,
+    /// Externally supplied cancellation token (a fresh one is made
+    /// when absent). The timeout, if any, still applies on top.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SubmitOptions {
+    fn token(&self) -> CancelToken {
+        match (&self.cancel, self.timeout) {
+            (Some(t), None) => t.clone(),
+            (Some(t), Some(timeout)) => t.child_with_deadline(Some(Instant::now() + timeout)),
+            (None, Some(timeout)) => CancelToken::with_timeout(timeout),
+            (None, None) => CancelToken::new(),
+        }
+    }
+}
+
+/// Everything shared by all sessions of one server: the compiled
+/// dataset, UDFs, the simulated cluster and its per-node executors,
+/// and the cross-query caches (segment cache, open-file pool).
+pub(crate) struct ServerCore {
+    pub compiled: Arc<CompiledDataset>,
+    pub udfs: Arc<UdfRegistry>,
+    pub segment_cache: Arc<SegmentCache>,
+    pub shared_handles: SharedHandles,
+    pub executors: Vec<ExecutorService>,
+}
+
+impl ServerCore {
+    pub fn new(compiled: Arc<CompiledDataset>, udfs: UdfRegistry) -> ServerCore {
+        let nodes = compiled.model.node_count();
+        let cluster = Arc::new(Cluster::new(nodes));
+        let executors =
+            (0..nodes).map(|node| ExecutorService::new(node, Arc::clone(&cluster))).collect();
+        ServerCore {
+            compiled,
+            udfs: Arc::new(udfs),
+            segment_cache: Arc::new(SegmentCache::new(IoOptions::default().cache_bytes)),
+            shared_handles: SharedHandles::new(),
+            executors,
+        }
+    }
+}
+
+/// The front-end service: admission, session tracking, execution.
+#[derive(Clone)]
+pub struct QueryService {
+    core: Arc<ServerCore>,
+    admission: Arc<Admission>,
+    next_id: Arc<AtomicU64>,
+    /// Cancel tokens of live sessions, keyed by query id — the
+    /// service-side view used by [`QueryService::cancel`].
+    sessions: Arc<Mutex<HashMap<u64, CancelToken>>>,
+}
+
+impl QueryService {
+    pub(crate) fn new(core: Arc<ServerCore>, config: &ServiceConfig) -> QueryService {
+        QueryService {
+            core,
+            admission: Admission::new(config.max_concurrent),
+            next_id: Arc::new(AtomicU64::new(0)),
+            sessions: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Queries currently executing.
+    pub fn running(&self) -> usize {
+        self.admission.running()
+    }
+
+    /// Queries waiting for an execution slot.
+    pub fn queued(&self) -> usize {
+        self.admission.queued()
+    }
+
+    /// The configured concurrency limit.
+    pub fn max_concurrent(&self) -> usize {
+        self.admission.max_concurrent()
+    }
+
+    /// Ids of sessions the service is tracking (queued or running).
+    pub fn active(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .keys()
+            .map(|&id| QueryId(id))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Cancel a tracked session by id; `false` if unknown (already
+    /// finished or never existed).
+    pub fn cancel(&self, id: QueryId) -> bool {
+        match self.sessions.lock().expect("session table poisoned").get(&id.0) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The dataset model served.
+    pub fn model(&self) -> &dv_descriptor::DatasetModel {
+        &self.core.compiled.model
+    }
+
+    /// The compiled dataset (for plan inspection / codegen rendering).
+    pub fn compiled(&self) -> &CompiledDataset {
+        &self.core.compiled
+    }
+
+    /// Parse + bind a query against the served schema.
+    pub fn bind_sql(&self, sql: &str) -> Result<BoundQuery> {
+        let q = parse(sql)?;
+        bind(&q, &self.core.compiled.model.schema, &self.core.udfs)
+    }
+
+    /// Execute on the caller's thread with default submission options.
+    pub fn execute(&self, sql: &str, opts: &QueryOptions) -> Result<(Vec<Table>, QueryStats)> {
+        self.execute_with(sql, opts, &SubmitOptions::default())
+    }
+
+    /// Execute on the caller's thread: bind, admit, run, absorb.
+    pub fn execute_with(
+        &self,
+        sql: &str,
+        opts: &QueryOptions,
+        sub: &SubmitOptions,
+    ) -> Result<(Vec<Table>, QueryStats)> {
+        let bq = self.bind_sql(sql)?;
+        self.execute_bound_with(&bq, opts, sub)
+    }
+
+    /// Execute a pre-bound query on the caller's thread.
+    pub fn execute_bound_with(
+        &self,
+        bq: &BoundQuery,
+        opts: &QueryOptions,
+        sub: &SubmitOptions,
+    ) -> Result<(Vec<Table>, QueryStats)> {
+        let id = self.fresh_id();
+        let cancel = sub.token();
+        let _session = SessionGuard::register(&self.sessions, id, cancel.clone());
+        self.run_admitted(id, bq, opts, sub.priority, &cancel)
+    }
+
+    /// Submit a detached session: binding happens here (so syntax and
+    /// binding errors surface synchronously), execution on its own
+    /// thread. The returned handle is the only way to the result;
+    /// dropping it un-taken cancels the query.
+    pub fn submit(
+        &self,
+        sql: &str,
+        opts: &QueryOptions,
+        sub: &SubmitOptions,
+    ) -> Result<SessionHandle> {
+        let bq = self.bind_sql(sql)?;
+        let id = self.fresh_id();
+        let cancel = sub.token();
+        let (tx, rx) = bounded::<Result<(Vec<Table>, QueryStats)>>(1);
+        let service = self.clone();
+        let opts = opts.clone();
+        let priority = sub.priority;
+        let session_cancel = cancel.clone();
+        // Register before the thread exists so the id is cancellable
+        // the moment `submit` returns; the guard travels with the
+        // session and deregisters on any exit.
+        let guard = SessionGuard::register(&self.sessions, id, cancel.clone());
+        std::thread::Builder::new()
+            .name(format!("dv-session-{id}"))
+            .spawn(move || {
+                let _session = guard;
+                let result = service.run_admitted(id, &bq, &opts, priority, &session_cancel);
+                // A dropped handle means nobody wants the result.
+                let _ = tx.send(result);
+            })
+            .map_err(|e| DvError::Runtime(format!("spawn session thread: {e}")))?;
+        Ok(SessionHandle { id, cancel, rx, taken: false })
+    }
+
+    fn fresh_id(&self) -> QueryId {
+        QueryId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// The session body: queue for admission, execute. The caller
+    /// holds the [`SessionGuard`]; the admission slot acquired here is
+    /// RAII, so it is released however this returns.
+    fn run_admitted(
+        &self,
+        id: QueryId,
+        bq: &BoundQuery,
+        opts: &QueryOptions,
+        priority: u8,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<Table>, QueryStats)> {
+        let wait_start = Instant::now();
+        let _slot = self.admission.acquire(priority, cancel)?;
+        let queue_wait = wait_start.elapsed();
+        let (tables, mut stats) = run_session(&self.core, bq, opts, cancel)?;
+        stats.query_id = id.0;
+        stats.queue_wait = queue_wait;
+        Ok((tables, stats))
+    }
+}
+
+/// RAII registration of a session in the service's tracking table.
+struct SessionGuard {
+    sessions: Arc<Mutex<HashMap<u64, CancelToken>>>,
+    id: u64,
+}
+
+impl SessionGuard {
+    fn register(
+        sessions: &Arc<Mutex<HashMap<u64, CancelToken>>>,
+        id: QueryId,
+        token: CancelToken,
+    ) -> SessionGuard {
+        sessions.lock().expect("session table poisoned").insert(id.0, token);
+        SessionGuard { sessions: Arc::clone(sessions), id: id.0 }
+    }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.sessions.lock().expect("session table poisoned").remove(&self.id);
+    }
+}
+
+/// A detached session's client-side handle.
+///
+/// Holds the query's cancel token and the one-shot result channel.
+/// [`SessionHandle::wait`] consumes the handle and blocks for the
+/// result; dropping the handle without waiting cancels the query —
+/// a disappearing client aborts its scan instead of leaking work.
+pub struct SessionHandle {
+    id: QueryId,
+    cancel: CancelToken,
+    rx: Receiver<Result<(Vec<Table>, QueryStats)>>,
+    taken: bool,
+}
+
+impl SessionHandle {
+    /// The service-assigned query id.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// A clone of the session's cancel token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Request cancellation (the session ends with
+    /// [`DvError::Cancelled`] unless it already finished).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Block until the session finishes and take its result.
+    pub fn wait(mut self) -> Result<(Vec<Table>, QueryStats)> {
+        self.taken = true;
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(DvError::Runtime("session thread terminated without a result".into())),
+        }
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        if !self.taken {
+            self.cancel.cancel();
+        }
+    }
+}
+
+/// Execute one admitted session: central planning, fragment fan-out
+/// via the per-node executors, and the absorb loop. This is the old
+/// monolithic `StormServer::execute_bound`, now fed by the service
+/// plane and threaded with the session's cancel token.
+pub(crate) fn run_session(
+    core: &Arc<ServerCore>,
+    bq: &BoundQuery,
+    opts: &QueryOptions,
+    cancel: &CancelToken,
+) -> Result<(Vec<Table>, QueryStats)> {
+    if opts.client_processors == 0 {
+        return Err(DvError::Runtime("client_processors must be >= 1".into()));
+    }
+    let mut stats = QueryStats::default();
+    cancel.check()?;
+
+    // Phase 2a: central planning (range analysis, working row).
+    let plan_start = Instant::now();
+    let prep = Arc::new(core.compiled.prepare_query(bq)?);
+    stats.plan_time = plan_start.elapsed();
+
+    let output_schema = bq.output_schema();
+    let schema_len = core.compiled.model.schema.len();
+    let working_attrs = Arc::new(prep.working.attrs.clone());
+    let working_dtypes = Arc::new(prep.working.dtypes.clone());
+    let output_positions = Arc::new(prep.output_positions.clone());
+    let predicate: Arc<Option<BoundExpr>> = Arc::new(bq.predicate.clone());
+    // Per-query extractor over the server's shared open-file pool,
+    // checkpointed on this session's cancel token.
+    let extractor = Extractor::new(&core.compiled, prep.working.attrs.len())
+        .with_shared_handles(&core.shared_handles)
+        .with_cancel(cancel.clone());
+
+    let rows_scanned = Arc::new(AtomicU64::new(0));
+    let rows_selected = Arc::new(AtomicU64::new(0));
+    let bytes_read = Arc::new(AtomicU64::new(0));
+    let bytes_moved = Arc::new(AtomicU64::new(0));
+    let afc_count = Arc::new(AtomicU64::new(0));
+    let io_stats = Arc::new(IoStats::default());
+    let mover_stats = Arc::new(MoverStats::default());
+
+    // The mover is the only inter-stage transport: a bounded typed
+    // channel, so a slow absorber back-pressures the node pipelines.
+    let (tx, rx) = bounded::<MoverMessage>(opts.mover_capacity.max(1));
+    let exec_start = Instant::now();
+    let node_count = core.compiled.model.node_count();
+    let mut tables: Vec<Table> =
+        (0..opts.client_processors).map(|_| Table::empty(output_schema.clone())).collect();
+    let mut first_error: Option<DvError> = None;
+    let mut node_busy: Vec<std::time::Duration> = Vec::with_capacity(node_count);
+
+    let dispatch = |node: usize, tx: &crossbeam::channel::Sender<MoverMessage>| {
+        let compiled = Arc::clone(&core.compiled);
+        let prep = Arc::clone(&prep);
+        let worker = NodeWorker {
+            node,
+            extractor: extractor.clone(),
+            udfs: Arc::clone(&core.udfs),
+            predicate: Arc::clone(&predicate),
+            working_attrs: Arc::clone(&working_attrs),
+            working_dtypes: Arc::clone(&working_dtypes),
+            output_positions: Arc::clone(&output_positions),
+            schema_len,
+            opts: opts.clone(),
+            cancel: cancel.clone(),
+            rows_scanned: Arc::clone(&rows_scanned),
+            rows_selected: Arc::clone(&rows_selected),
+            bytes_read: Arc::clone(&bytes_read),
+            bytes_moved: Arc::clone(&bytes_moved),
+            afc_count: Arc::clone(&afc_count),
+            io_stats: Arc::clone(&io_stats),
+            mover_stats: Arc::clone(&mover_stats),
+            segment_cache: Arc::clone(&core.segment_cache),
+        };
+        let worker_tx = tx.clone();
+        // Phase 2b (the node's generated index function) runs inside
+        // the fragment and counts as this node's work.
+        core.executors[node].spawn_fragment(tx.clone(), move || {
+            compiled.plan_node(&prep, node).and_then(|np| worker.run(&np.afcs, &worker_tx))
+        });
+    };
+
+    // Drain messages until `want` Done messages arrive. Always drains
+    // to completion — a cancelled query still collects every node's
+    // Done, so no fragment is left running or blocked on the mover.
+    // The simulated client link is charged here, on the absorbing
+    // side: concurrent sessions overlap their transfer stalls, and a
+    // cancelled one skips the remaining sleeps (the error surfaces
+    // from the final checkpoint) while still collecting every Done.
+    let drain = |want: usize,
+                 tables: &mut Vec<Table>,
+                 node_busy: &mut Vec<std::time::Duration>,
+                 first_error: &mut Option<DvError>| {
+        let mut done = 0usize;
+        for msg in rx.iter() {
+            match msg {
+                MoverMessage::Block { processor, block } => {
+                    let _ = absorb_transfer(opts.bandwidth.as_ref(), block.wire_bytes(), cancel);
+                    tables[processor].absorb(block)
+                }
+                MoverMessage::Columns { processor, block } => {
+                    let _ = absorb_transfer(opts.bandwidth.as_ref(), block.wire_bytes(), cancel);
+                    tables[processor].absorb_columns(block)
+                }
+                MoverMessage::Done { result, busy, .. } => {
+                    done += 1;
+                    node_busy.push(busy);
+                    if let Err(e) = result {
+                        first_error.get_or_insert(e);
+                    }
+                    if done == want {
+                        break;
+                    }
+                }
+            }
+        }
+    };
+
+    if opts.sequential_nodes {
+        for node in 0..node_count {
+            dispatch(node, &tx);
+            drain(1, &mut tables, &mut node_busy, &mut first_error);
+        }
+    } else {
+        for node in 0..node_count {
+            dispatch(node, &tx);
+        }
+        drain(node_count, &mut tables, &mut node_busy, &mut first_error);
+    }
+    drop(tx);
+    stats.exec_time = exec_start.elapsed();
+    stats.node_busy = node_busy;
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    // All nodes succeeded, but a deadline may have expired between
+    // their last checkpoint and here; a cancelled query must not
+    // return a (possibly complete) result as if nothing happened.
+    cancel.check()?;
+
+    stats.rows_scanned = rows_scanned.load(Ordering::Relaxed);
+    stats.rows_selected = rows_selected.load(Ordering::Relaxed);
+    stats.bytes_read = bytes_read.load(Ordering::Relaxed);
+    stats.bytes_moved = bytes_moved.load(Ordering::Relaxed);
+    stats.afcs = afc_count.load(Ordering::Relaxed);
+    stats.io = io_stats.snapshot();
+    stats.mover = mover_stats.snapshot();
+    Ok((tables, stats))
+}

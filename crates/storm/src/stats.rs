@@ -5,9 +5,16 @@ use std::time::Duration;
 
 use dv_layout::IoSnapshot;
 
+use crate::mover::MoverSnapshot;
+
 /// Counters and timings of one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
+    /// Id the query service assigned this execution (0 when the query
+    /// ran outside the service plane, e.g. in unit tests).
+    pub query_id: u64,
+    /// Time spent queued in admission before an execution slot opened.
+    pub queue_wait: Duration,
     /// Rows materialized by the extraction service (before filtering).
     pub rows_scanned: u64,
     /// Rows surviving the filtering service (= rows delivered).
@@ -21,6 +28,9 @@ pub struct QueryStats {
     /// I/O scheduler counters: syscalls, bytes issued vs. used,
     /// coalescing, prefetch and cache behaviour.
     pub io: IoSnapshot,
+    /// Data mover counters: sends, and how often/long the bounded
+    /// transport back-pressured the node pipelines.
+    pub mover: MoverSnapshot,
     /// Time spent planning (phase 2: grouping + AFC alignment).
     pub plan_time: Duration,
     /// Wall time of the parallel execute/transfer phase.
@@ -61,7 +71,7 @@ impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits)",
+            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits; mover: {} sends, {} blocked {:?}; queued {:?})",
             self.rows_selected,
             self.rows_scanned,
             self.afcs,
@@ -78,6 +88,10 @@ impl fmt::Display for QueryStats {
             self.io.cache_hit_rate() * 100.0,
             self.io.prefetch_hits,
             self.io.prefetch_waits,
+            self.mover.sends,
+            self.mover.blocked_sends,
+            self.mover.send_wait,
+            self.queue_wait,
         )
     }
 }
@@ -110,6 +124,7 @@ mod tests {
                 cache_miss_bytes: 1024,
                 ..Default::default()
             },
+            mover: crate::mover::MoverSnapshot { sends: 9, blocked_sends: 2, ..Default::default() },
             ..Default::default()
         };
         let text = s.to_string();
@@ -119,6 +134,7 @@ mod tests {
         assert!(text.contains("coalesce 4.0x"), "{text}");
         assert!(text.contains("2 KiB issued / 4 KiB used"), "{text}");
         assert!(text.contains("cache hit 50%"), "{text}");
+        assert!(text.contains("9 sends, 2 blocked"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Cooperative cancellation for long-running queries.
+//!
+//! A [`CancelToken`] is shared between the client that owns a query
+//! session and every stage executing it (extraction, I/O scheduling,
+//! filtering, partitioning, data movement). Stages poll the token at
+//! natural checkpoints — once per byte run, per fetched group, per
+//! block — so an abort takes effect mid-scan without unwinding through
+//! foreign stack frames. Cancellation is *sticky*: once the flag is
+//! set (explicitly or by an expired deadline) it never clears.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{DvError, Result};
+
+/// Why a token reports cancelled (recorded at the first observation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (client drop, explicit
+    /// abort, admission shutdown).
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+const REASON_NONE: u8 = 0;
+const REASON_CANCELLED: u8 = 1;
+const REASON_DEADLINE: u8 = 2;
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    /// Which condition tripped first, latched for error messages.
+    reason: AtomicU8,
+    /// Absolute deadline; checked lazily by observers.
+    deadline: Option<Instant>,
+    /// A parent token whose cancellation propagates to this one (but
+    /// not the other way around).
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    /// Lazily evaluate cancellation: own flag, own deadline, then the
+    /// parent chain. A tripped condition latches flag and reason.
+    fn poll(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                let _ = self.reason.compare_exchange(
+                    REASON_NONE,
+                    REASON_DEADLINE,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                self.flag.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        if let Some(parent) = &self.parent {
+            if parent.poll() {
+                let inherited = match parent.reason.load(Ordering::Relaxed) {
+                    REASON_DEADLINE => REASON_DEADLINE,
+                    _ => REASON_CANCELLED,
+                };
+                let _ = self.reason.compare_exchange(
+                    REASON_NONE,
+                    inherited,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                self.flag.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A cloneable cancellation flag with an optional deadline. Clones
+/// share state: cancelling any clone cancels them all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels explicitly (no deadline).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_NONE),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A token that additionally cancels when `timeout` has elapsed
+    /// from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A token that additionally cancels at the absolute instant
+    /// `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_NONE),
+                deadline: Some(deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token that also trips when `self` trips, with its own
+    /// optional deadline on top. Cancelling the child leaves the
+    /// parent live — one client's timeout must not abort another
+    /// query sharing the parent.
+    pub fn child_with_deadline(&self, deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_NONE),
+                deadline,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        // Keep the first reason: a deadline observed before an
+        // explicit cancel stays DeadlineExceeded.
+        let _ = self.inner.reason.compare_exchange(
+            REASON_NONE,
+            REASON_CANCELLED,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// True once cancelled, past the deadline, or tripped through the
+    /// parent chain. Deadlines are evaluated lazily here, so expiry is
+    /// observed by whichever stage polls next.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.poll()
+    }
+
+    /// The latched reason, if cancelled.
+    pub fn reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        match self.inner.reason.load(Ordering::Relaxed) {
+            REASON_DEADLINE => Some(CancelReason::DeadlineExceeded),
+            _ => Some(CancelReason::Cancelled),
+        }
+    }
+
+    /// The checkpoint call: `Ok(())` while live, [`DvError::Cancelled`]
+    /// once cancelled. Stages call this between units of work and
+    /// propagate the error with `?`.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(self.error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The error this token produces once cancelled.
+    pub fn error(&self) -> DvError {
+        match self.reason() {
+            Some(CancelReason::DeadlineExceeded) => DvError::Cancelled("deadline exceeded".into()),
+            _ => DvError::Cancelled("cancelled by client".into()),
+        }
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time until the deadline (zero once passed; `None` without one).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert_eq!(t.reason(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.reason(), Some(CancelReason::Cancelled));
+        let err = clone.check().unwrap_err();
+        assert!(err.to_string().contains("cancelled by client"), "{err}");
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_timeout(Duration::from_millis(5));
+        assert!(t.remaining().is_some());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        let err = t.check().unwrap_err();
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+    }
+
+    #[test]
+    fn deadline_reason_wins_when_observed_first() {
+        let t = CancelToken::with_timeout(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.is_cancelled()); // latches DeadlineExceeded
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn far_deadline_stays_live() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn parent_cancel_propagates_to_child() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(None);
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert_eq!(child.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn child_cancel_leaves_parent_live() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Some(Instant::now() + Duration::from_millis(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(child.is_cancelled());
+        assert_eq!(child.reason(), Some(CancelReason::DeadlineExceeded));
+        assert!(!parent.is_cancelled(), "child deadline must not trip the parent");
+    }
+
+    #[test]
+    fn child_inherits_parent_deadline_reason() {
+        let parent = CancelToken::with_timeout(Duration::from_millis(5));
+        let child = parent.child_with_deadline(None);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(child.is_cancelled());
+        assert_eq!(child.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+}

@@ -29,6 +29,9 @@ pub enum DvError {
     /// A runtime service failed (extraction, filtering, partitioning,
     /// data movement).
     Runtime(String),
+    /// The query was cancelled (client abort, session drop, or an
+    /// expired deadline) before it completed.
+    Cancelled(String),
     /// The minidb relational baseline failed.
     MiniDb(String),
     /// Underlying I/O error, annotated with the path involved.
@@ -50,6 +53,7 @@ impl fmt::Display for DvError {
             DvError::Binding(m) => write!(f, "binding error: {m}"),
             DvError::Alignment(m) => write!(f, "alignment error: {m}"),
             DvError::Runtime(m) => write!(f, "runtime error: {m}"),
+            DvError::Cancelled(m) => write!(f, "query cancelled: {m}"),
             DvError::MiniDb(m) => write!(f, "minidb error: {m}"),
             DvError::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
             DvError::Type(m) => write!(f, "type error: {m}"),
@@ -70,6 +74,12 @@ impl DvError {
     /// Wrap an [`std::io::Error`] with the path that caused it.
     pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
         DvError::Io { path: path.into(), source }
+    }
+
+    /// True for the [`DvError::Cancelled`] variant (callers that treat
+    /// aborts differently from failures branch on this).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, DvError::Cancelled(_))
     }
 }
 
@@ -102,6 +112,7 @@ mod tests {
             DvError::Binding("x".into()),
             DvError::Alignment("x".into()),
             DvError::Runtime("x".into()),
+            DvError::Cancelled("x".into()),
             DvError::MiniDb("x".into()),
             DvError::Type("x".into()),
         ];

@@ -25,6 +25,7 @@
 //! Nothing here knows about files, layouts, SQL or the STORM runtime;
 //! those live in the higher crates.
 
+pub mod cancel;
 pub mod column;
 pub mod datatype;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod schema;
 pub mod span;
 pub mod value;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use column::{Bitmap, Column, ColumnBlock, ColumnData, ColumnGen, LazyRun};
 pub use datatype::DataType;
 pub use error::{DvError, Result};

@@ -34,6 +34,22 @@ pub mod channel {
                 SenderInner::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
             }
         }
+
+        /// Non-blocking send: on a full bounded channel the message is
+        /// handed back as [`TrySendError::Full`] instead of blocking.
+        /// Unbounded channels never report `Full`.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(tx) => {
+                    let guard = tx.lock().expect("sender mutex poisoned");
+                    guard.send(msg).map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+                }
+                SenderInner::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -131,6 +147,49 @@ pub mod channel {
     }
 
     impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// message back to the caller.
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiver disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True for the [`TrySendError::Full`] case.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
 
     /// Error returned by [`Receiver::recv`] after all senders dropped.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

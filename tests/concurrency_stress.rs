@@ -1,0 +1,213 @@
+//! Stress tests for the query service plane: concurrent clients over
+//! one shared server must get bit-identical results to serial runs,
+//! cancellation must free admission slots and leave no orphaned work,
+//! per-query cache accounting must stay consistent under sharing, and
+//! a panicking UDF must surface as a query error without killing the
+//! server.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dv_bench::queries::ipars_queries;
+use dv_core::{BandwidthModel, QueryOptions, SubmitOptions, Virtualizer};
+use dv_datagen::{ipars, IparsConfig, IparsLayout};
+use dv_integration::scratch;
+
+fn cfg() -> IparsConfig {
+    IparsConfig { realizations: 2, time_steps: 40, grid_per_dir: 50, dirs: 2, nodes: 2, seed: 99 }
+}
+
+fn build(tag: &str, max_concurrent: usize) -> Virtualizer {
+    let base = scratch(tag);
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    Virtualizer::builder(&descriptor)
+        .storage_base(&base)
+        .max_concurrent(max_concurrent)
+        .build()
+        .unwrap()
+}
+
+/// A link slow enough that a full-scan transfer takes many seconds —
+/// cancellation tests must interrupt it mid-move, never win by racing
+/// a fast query to completion.
+fn crawl() -> QueryOptions {
+    QueryOptions {
+        bandwidth: Some(BandwidthModel {
+            bytes_per_sec: 64.0 * 1024.0,
+            latency: Duration::from_millis(1),
+        }),
+        ..QueryOptions::default()
+    }
+}
+
+/// N client threads running the mixed benchmark workload concurrently
+/// get exactly the rows the serial runs got (canonical-sorted
+/// bit-match), and the admission limit is never exceeded.
+#[test]
+fn concurrent_clients_bit_match_serial() {
+    let v = Arc::new(build("stress-bitmatch", 4));
+    let queries: Vec<String> =
+        ipars_queries("IparsData", cfg().time_steps).into_iter().map(|q| q.sql).take(4).collect();
+    let serial: Vec<_> = queries
+        .iter()
+        .map(|sql| v.query_with(sql, &QueryOptions::default()).unwrap().0.remove(0))
+        .collect();
+
+    let max_running_seen = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for client in 0..8usize {
+            let v = Arc::clone(&v);
+            let queries = &queries;
+            let serial = &serial;
+            let seen = Arc::clone(&max_running_seen);
+            scope.spawn(move || {
+                for (i, sql) in queries.iter().enumerate() {
+                    // Rotate the starting query per client so different
+                    // queries genuinely overlap.
+                    let i = (i + client) % queries.len();
+                    let handle = v
+                        .submit(&queries[i], &QueryOptions::default(), &SubmitOptions::default())
+                        .unwrap();
+                    seen.fetch_max(v.service().running(), Ordering::Relaxed);
+                    let (mut tables, stats) = handle.wait().unwrap();
+                    let table = tables.remove(0);
+                    assert!(
+                        table.same_rows(&serial[i]),
+                        "client {client} query {i} ({sql}): {} rows vs {} serial",
+                        table.len(),
+                        serial[i].len()
+                    );
+                    assert!(stats.query_id > 0);
+                }
+            });
+        }
+    });
+    assert!(max_running_seen.load(Ordering::Relaxed) <= 4, "admission limit exceeded");
+    assert_eq!(v.service().running(), 0, "all slots released");
+    assert_eq!(v.service().queued(), 0, "no waiter left behind");
+}
+
+/// A timed-out query returns `Cancelled`, releases its admission slot,
+/// and the very next query on the same server succeeds — no orphaned
+/// cluster job holds the slot or wedges the workers.
+#[test]
+fn timeout_frees_slot_and_server_survives() {
+    let v = build("stress-timeout", 1);
+    let sub = SubmitOptions { timeout: Some(Duration::from_millis(40)), ..Default::default() };
+    let handle = v.submit("SELECT * FROM IparsData", &crawl(), &sub).unwrap();
+    let err = handle.wait().unwrap_err();
+    assert!(err.is_cancelled(), "expected a cancellation, got: {err}");
+    assert!(err.to_string().contains("deadline exceeded"), "{err}");
+
+    assert_eq!(v.service().running(), 0, "timed-out query must release its slot");
+    assert_eq!(v.service().queued(), 0);
+    let (table, _) = v.query("SELECT REL, TIME FROM IparsData WHERE TIME = 1").unwrap();
+    assert!(!table.rows.is_empty(), "server must keep serving after a timeout");
+}
+
+/// Dropping a session handle without waiting cancels the query
+/// (client-side drop abort); an explicit `cancel()` by id does too.
+#[test]
+fn client_drop_and_explicit_cancel_abort_the_query() {
+    let v = build("stress-drop", 2);
+
+    // Drop abort: the handle goes away, the token must trip.
+    let handle = v.submit("SELECT * FROM IparsData", &crawl(), &SubmitOptions::default()).unwrap();
+    let token = handle.cancel_token().clone();
+    drop(handle);
+    assert!(token.is_cancelled(), "dropping an unwaited session must cancel it");
+
+    // Explicit cancel by id through the service.
+    let handle = v.submit("SELECT * FROM IparsData", &crawl(), &SubmitOptions::default()).unwrap();
+    let id = handle.id();
+    assert!(v.service().cancel(id), "live query id must be cancellable");
+    let err = handle.wait().unwrap_err();
+    assert!(err.is_cancelled(), "{err}");
+
+    // Both sessions are gone; the server is idle and healthy.
+    deadline_assert(|| v.service().running() == 0, "slots drain after aborts");
+    assert!(v.query("SELECT REL FROM IparsData WHERE TIME = 1").is_ok());
+}
+
+/// Per-query I/O accounting stays consistent when queries share the
+/// segment cache: on the cache-enabled path every issued byte is a
+/// recorded miss, every miss is inserted, and hits+misses cover the
+/// cache traffic — with no cross-query bleed making a query's counters
+/// internally inconsistent.
+#[test]
+fn shared_cache_accounting_is_consistent_per_query() {
+    let v = Arc::new(build("stress-cache", 4));
+    let sql = "SELECT REL, TIME, SOIL FROM IparsData WHERE TIME <= 20";
+
+    let snaps: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                scope.spawn(move || {
+                    let (_, stats) = v.query_with(sql, &QueryOptions::default()).unwrap();
+                    stats.io
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut total_miss = 0;
+    for (i, io) in snaps.iter().enumerate() {
+        assert_eq!(
+            io.bytes_issued, io.cache_miss_bytes,
+            "query {i}: every issued byte is a cache miss on the cached path"
+        );
+        assert_eq!(io.cache_miss_bytes, io.cache_insert_bytes, "query {i}: every miss is inserted");
+        assert!(io.cache_hit_bytes + io.cache_miss_bytes > 0, "query {i}: cache traffic recorded");
+        total_miss += io.cache_miss_bytes;
+    }
+    // The four identical queries share one cache: collectively they
+    // must not have read the dataset four times over.
+    let solo = snaps[0].cache_hit_bytes + snaps[0].cache_miss_bytes;
+    assert!(
+        total_miss < 4 * solo,
+        "sharing must deduplicate reads: {total_miss} miss bytes vs {solo} per query"
+    );
+}
+
+/// A UDF that panics mid-filter becomes a query error naming the
+/// panic, the cluster workers survive, and the same server answers the
+/// next query normally.
+#[test]
+fn panicking_udf_is_a_query_error_not_a_dead_server() {
+    let base = scratch("stress-panic");
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    let v = Virtualizer::builder(&descriptor)
+        .storage_base(&base)
+        .udf("BOOM", Some(1), |a| {
+            if a[0] > -1.0 {
+                panic!("udf exploded");
+            }
+            a[0]
+        })
+        .build()
+        .unwrap();
+
+    let err = v.query("SELECT REL FROM IparsData WHERE BOOM(SOIL) > 0.5").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("panicked") && msg.contains("udf exploded"), "{msg}");
+
+    assert_eq!(v.service().running(), 0, "failed query must release its slot");
+    let (table, _) = v.query("SELECT REL, TIME FROM IparsData WHERE TIME = 1").unwrap();
+    assert!(!table.rows.is_empty(), "server must survive a panicking fragment");
+}
+
+/// Poll `cond` for up to two seconds before failing — session threads
+/// are detached, so slot release may trail `wait()` by a scheduling
+/// quantum.
+fn deadline_assert(cond: impl Fn() -> bool, what: &str) {
+    for _ in 0..200 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for: {what}");
+}
