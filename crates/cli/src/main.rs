@@ -22,8 +22,10 @@
 //! `query` and `explain` accept `--deny-warnings` to refuse execution
 //! when the lint or verify passes report anything; `lint
 //! --deny-warnings` turns warnings into a failing exit code (for CI).
-//! `lint` and `verify` accept `--format json` (one shared schema), and
-//! `verify` additionally `--format sarif` for code-scanning upload.
+//! `lint` and `verify` accept `--format json` (one shared schema) and
+//! `--format sarif` for code-scanning upload. When a SQL argument is
+//! given, `lint` also runs the static prune pass (DV301–DV305): the
+//! WHERE clause abstract-interpreted over the descriptor's extents.
 
 mod args;
 
@@ -60,7 +62,7 @@ USAGE:
   datavirt schema   <descriptor>
   datavirt fmt      <descriptor>
   datavirt validate <descriptor> --base <dir>
-  datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json] [--deny-warnings]
+  datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json|sarif] [--deny-warnings]
   datavirt verify   <descriptor> [\"<SQL>\"] [--base <dir>] [--format human|json|sarif] [--deny-warnings]
   datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--deny-warnings]
   datavirt serve    <descriptor> --base <dir> --workload <file> [--max-concurrent <N>] [--timeout <dur>]
@@ -190,7 +192,10 @@ fn collect_lints(
         Some(sql) => {
             let model = dv_descriptor::compile(text).map_err(|e| e.to_string())?;
             let udfs = dv_sql::UdfRegistry::with_builtins();
-            dv_lint::lint_query(&model, sql, &udfs).map_err(|e| e.to_string())?
+            let mut q = dv_lint::lint_query(&model, sql, &udfs).map_err(|e| e.to_string())?;
+            q.extend(dv_lint::prune_query(&model, sql, &udfs).map_err(|e| e.to_string())?);
+            q.sort_by_key(|d| (d.span.start, d.code));
+            q
         }
         None => Vec::new(),
     };
@@ -219,7 +224,11 @@ fn cmd_lint(a: &args::Args) -> Result<ExitCode, String> {
     let total = diags.len() + qdiags.len();
     let errors =
         diags.iter().chain(&qdiags).filter(|d| d.severity == dv_lint::Severity::Error).count();
-    let warnings = total - errors;
+    let notes =
+        diags.iter().chain(&qdiags).filter(|d| d.severity == dv_lint::Severity::Note).count();
+    // Notes are informational (e.g. the DV304 prune summary): they
+    // never count against --deny-warnings.
+    let warnings = total - errors - notes;
     match a.option_or("format", "human") {
         "human" => {
             if total == 0 {
@@ -239,7 +248,17 @@ fn cmd_lint(a: &args::Args) -> Result<ExitCode, String> {
                 .collect();
             print!("{}", dv_lint::verify::report::to_json(&emitted, None, &[]));
         }
-        other => return Err(format!("unknown --format `{other}` (human|json)")),
+        "sarif" => {
+            let emitted: Vec<dv_lint::Emitted> = diags
+                .iter()
+                .map(|d| dv_lint::Emitted::new(d, &text, &path))
+                .chain(
+                    qdiags.iter().map(|d| dv_lint::Emitted::new(d, sql.unwrap_or(""), "<query>")),
+                )
+                .collect();
+            print!("{}", dv_lint::verify::report::to_sarif(&emitted));
+        }
+        other => return Err(format!("unknown --format `{other}` (human|json|sarif)")),
     }
     if errors > 0 || (warnings > 0 && a.has("deny-warnings")) {
         Ok(ExitCode::FAILURE)
@@ -325,7 +344,8 @@ fn cmd_verify(a: &args::Args) -> Result<ExitCode, String> {
     }
 
     let errors = emitted.iter().filter(|e| e.diag.severity == dv_lint::Severity::Error).count();
-    let warnings = emitted.len() - errors;
+    let notes = emitted.iter().filter(|e| e.diag.severity == dv_lint::Severity::Note).count();
+    let warnings = emitted.len() - errors - notes;
     if errors > 0 || (warnings > 0 && a.has("deny-warnings")) {
         Ok(ExitCode::FAILURE)
     } else {
@@ -352,6 +372,10 @@ fn preflight_lint(a: &args::Args, sql: &str) -> Result<(), String> {
         qdiags.extend(qf.into_iter().map(|f| f.diag));
         qdiags.sort_by_key(|d| (d.span.start, d.code));
     }
+    // Notes (e.g. the DV304 prune summary) are informational and must
+    // not stop a query under --deny-warnings.
+    diags.retain(|d| d.severity != dv_lint::Severity::Note);
+    qdiags.retain(|d| d.severity != dv_lint::Severity::Note);
     let total = diags.len() + qdiags.len();
     if total == 0 {
         return Ok(());
@@ -405,6 +429,10 @@ fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
             stats.afcs,
             stats.plan_time,
             stats.exec_time
+        );
+        eprintln!(
+            "prune: {} of {} groups statically empty; {} provably full (filter skipped); bytes avoided: {}",
+            stats.groups_pruned, stats.groups_total, stats.groups_full, stats.bytes_avoided,
         );
         eprintln!(
             "io: {} read syscalls; coalesce ratio: {:.1}; bytes issued/used: {}/{}; cache hit: {:.0}% ({} hit / {} miss bytes); prefetch: {} hits, {} waits ({:?})",

@@ -185,14 +185,20 @@ impl Extractor {
         read_exact_at(&handle, buf, offset, &self.paths[file])
     }
 
-    /// The file's current `(len, mtime)` generation, statted by path
-    /// so a replaced file is observed even while an old handle is
+    /// The file's current `(len, mtime_nanos)` generation, statted by
+    /// path so a replaced file is observed even while an old handle is
     /// pooled.
     pub fn file_generation(&self, file: usize) -> Result<FileGen> {
         let path = &self.paths[file];
         let meta =
             std::fs::metadata(path).map_err(|e| DvError::io(path.display().to_string(), e))?;
-        Ok(FileGen { len: meta.len(), mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH) })
+        let mtime_nanos = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        Ok(FileGen { len: meta.len(), mtime_nanos })
     }
 
     /// Drop the pooled handle for `file` (called when its on-disk
@@ -863,5 +869,47 @@ DATASET "IparsData" {
         let result: Result<Vec<RowBlock>> =
             plan.node_plans.iter().map(|np| ex.extract_all(&np.afcs, np.node)).collect();
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn same_second_rewrite_changes_generation() {
+        // Regression: generations keyed on whole-second mtimes let a
+        // same-length file rewritten twice within one second keep its
+        // generation, so the segment cache served the first rewrite's
+        // bytes. Nanosecond mtimes must observe the change well inside
+        // the second.
+        let base = tmpbase("gen");
+        write_dataset(&base);
+        let compiled = crate::plan::compile_from_text(DESC, &base).unwrap();
+        let ex = Extractor::new(&compiled, 4);
+        let fid = compiled.model.files.iter().find(|f| f.rel_path.ends_with("DATA0")).unwrap().id;
+        let path = compiled.file_path(fid);
+        let bytes = std::fs::read(&path).unwrap();
+
+        // First rewrite of the second.
+        std::fs::write(&path, &bytes).unwrap();
+        let g1 = ex.file_generation(fid).unwrap();
+        let cache = SegmentCache::new(1 << 20);
+        assert!(!cache.observe_generation(fid, g1));
+        let read = crate::io::CoalescedRead { file: fid, start: 0, len: 8 };
+        cache.insert(&read, g1, Arc::new(bytes[..8].to_vec()));
+        assert!(cache.get(&read, g1).is_some());
+
+        // Second rewrite, same length, still within the same second
+        // (bounded retry: filesystem timestamps tick coarsely, but far
+        // finer than a second).
+        let start = std::time::Instant::now();
+        let mut g2 = g1;
+        while g2 == g1 && start.elapsed() < std::time::Duration::from_millis(900) {
+            std::fs::write(&path, &bytes).unwrap();
+            g2 = ex.file_generation(fid).unwrap();
+            if g2 == g1 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        assert_ne!(g1, g2, "sub-second rewrite must change the file generation");
+        assert_eq!(g1.len, g2.len);
+        assert!(cache.observe_generation(fid, g2), "new generation must purge the file");
+        assert!(cache.get(&read, g2).is_none());
     }
 }

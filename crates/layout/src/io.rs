@@ -11,13 +11,14 @@
 //! while group `g` decodes, and a byte-budgeted LRU cache keyed by
 //! `(file, coalesced range)` lets repeated or overlapping queries hit
 //! warm segments instead of re-reading flat files. Cache entries carry
-//! the file's `(len, mtime)` generation and are invalidated when the
-//! file changes on disk.
+//! the file's `(len, mtime_nanos)` generation and are invalidated when
+//! the file changes on disk — nanosecond mtimes so that two rewrites
+//! within the same second cannot serve stale bytes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, SystemTime};
+use std::time::Duration;
 
 use dv_types::{CancelToken, DvError, Result};
 
@@ -166,8 +167,11 @@ impl IoSnapshot {
 pub struct FileGen {
     /// Byte length.
     pub len: u64,
-    /// Modification time.
-    pub mtime: SystemTime,
+    /// Modification time in nanoseconds since the Unix epoch.
+    /// Whole-second granularity is not enough: a file rewritten twice
+    /// within one second would keep its `(len, mtime)` pair and the
+    /// cache would serve the first rewrite's bytes.
+    pub mtime_nanos: u128,
 }
 
 /// One coalesced read: a contiguous byte range of one file covering
@@ -288,7 +292,7 @@ struct CacheInner {
 
 /// Cross-query segment cache: a byte-budgeted LRU over coalesced
 /// reads, keyed by `(file, range)` and invalidated when the file's
-/// `(len, mtime)` generation changes.
+/// `(len, mtime_nanos)` generation changes.
 pub struct SegmentCache {
     inner: Mutex<CacheInner>,
 }
@@ -478,7 +482,7 @@ impl IoScheduler {
         for read in &reads {
             self.cancel.check()?;
             let generation = match (self.cache.as_deref(), gens.get(&read.file)) {
-                (None, _) => FileGen { len: 0, mtime: SystemTime::UNIX_EPOCH },
+                (None, _) => FileGen { len: 0, mtime_nanos: 0 },
                 (Some(_), Some(g)) => *g,
                 (Some(cache), None) => {
                     let g = self.extractor.file_generation(read.file)?;
@@ -609,7 +613,7 @@ mod tests {
     }
 
     fn gen(len: u64) -> FileGen {
-        FileGen { len, mtime: SystemTime::UNIX_EPOCH }
+        FileGen { len, mtime_nanos: 0 }
     }
 
     #[test]

@@ -37,10 +37,12 @@ pub mod extract;
 pub mod groups;
 pub mod io;
 pub mod plan;
+pub mod prune;
 pub mod segment;
 
 pub use afc::{Afc, AfcEntry, ImplicitValue};
 pub use extract::{ExtractScratch, Extractor, SharedHandles};
 pub use io::{IoOptions, IoScheduler, IoSnapshot, IoStats, SegmentCache};
 pub use plan::{Certificate, CompiledDataset, FileIssue, NodePlan, QueryPlan};
+pub use prune::{PruneCertificate, PruneVerdict};
 pub use segment::{InnerSig, Segment};

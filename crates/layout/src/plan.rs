@@ -26,6 +26,7 @@ use dv_types::{DvError, IntervalSet, Result};
 
 use crate::afc::{build_afcs, Afc, WorkingSet};
 use crate::groups::find_file_groups;
+use crate::prune::{prune_afcs, PruneCertificate};
 use crate::segment::{enumerate_segments, LoadedChunkIndex, Segment};
 
 /// Per-node slice of a query plan.
@@ -33,8 +34,11 @@ use crate::segment::{enumerate_segments, LoadedChunkIndex, Segment};
 pub struct NodePlan {
     /// Cluster node id.
     pub node: usize,
-    /// Aligned file chunks to extract on this node.
+    /// Aligned file chunks to extract on this node (statically empty
+    /// chunks already removed).
     pub afcs: Vec<Afc>,
+    /// Static prune verdicts for `afcs` plus drop accounting.
+    pub prune: PruneCertificate,
 }
 
 impl NodePlan {
@@ -277,7 +281,13 @@ impl CompiledDataset {
                     .expect("projection attr missing from working set")
             })
             .collect();
-        Ok(QueryPrep { working, output_positions, ranges })
+        Ok(QueryPrep {
+            working,
+            output_positions,
+            ranges,
+            predicate: query.predicate.clone(),
+            prune_enabled: prune_enabled_by_env(),
+        })
     }
 
     /// Phase 2b — the *per-node* part of planning (the generated index
@@ -311,7 +321,12 @@ impl CompiledDataset {
             let seg_slices: Vec<&[Segment]> = segs.iter().map(|s| s.as_slice()).collect();
             afcs.extend(build_afcs(&self.model, group, &seg_slices, &prep.working, &prep.ranges)?);
         }
-        Ok(NodePlan { node, afcs })
+        // Abstract-interpret the predicate over each AFC's implicit
+        // hulls: provably-empty chunks leave the plan here, before the
+        // I/O scheduler ever sees them.
+        let predicate = if prep.prune_enabled { prep.predicate.as_ref() } else { None };
+        let (afcs, prune) = prune_afcs(predicate, &prep.working, afcs);
+        Ok(NodePlan { node, afcs, prune })
     }
 
     /// Phase 2, whole-cluster convenience: plan every node centrally
@@ -370,6 +385,17 @@ pub struct QueryPrep {
     pub output_positions: Vec<usize>,
     /// Analyzed per-attribute ranges.
     pub ranges: HashMap<String, IntervalSet>,
+    /// The bound predicate, kept for per-AFC prune verdicts.
+    pub predicate: Option<dv_sql::BoundExpr>,
+    /// Static pruning switch (default on; `DV_NO_PRUNE=1` or
+    /// `QueryOptions::no_prune` turn it off for ablation).
+    pub prune_enabled: bool,
+}
+
+/// Pruning default from the environment: enabled unless `DV_NO_PRUNE`
+/// is set to something other than `0`/empty.
+fn prune_enabled_by_env() -> bool {
+    !matches!(std::env::var("DV_NO_PRUNE"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 /// Convenience: compile a descriptor text directly against a single
@@ -495,5 +521,51 @@ DATASET "IparsData" {
         assert_eq!(p.planned_rows(), 800);
         // Output is SOIL only, at working position 1.
         assert_eq!(p.output_positions, vec![1]);
+        // A UDF predicate can never prune or bypass filtering.
+        for np in &p.node_plans {
+            assert_eq!(np.prune.groups_pruned, 0);
+            assert_eq!(np.prune.groups_full, 0);
+        }
+    }
+
+    #[test]
+    fn arith_predicate_prunes_beyond_range_analysis() {
+        // attribute_ranges cannot analyze `TIME * 10`, so segment
+        // pruning reads everything; the abstract interpreter drops the
+        // provably-empty chunks afterwards.
+        let p = plan("SELECT SOIL FROM IparsData WHERE TIME * 10 <= 40");
+        // TIME in 1..=4 of 1..=20 survive: per node 2 REL × 4 TIME.
+        assert_eq!(p.planned_rows(), 2 * 2 * 4 * 10);
+        for np in &p.node_plans {
+            assert_eq!(np.prune.groups_total, 40);
+            assert_eq!(np.prune.groups_pruned, 32);
+            // Every retained chunk is TIME<=4, provably satisfying.
+            assert_eq!(np.prune.groups_full, 8);
+            assert_eq!(np.prune.verdicts.len(), np.afcs.len());
+            assert_eq!(np.prune.bytes_avoided, 32 * 10 * 8);
+        }
+    }
+
+    #[test]
+    fn tautological_predicate_marks_full() {
+        let p = plan("SELECT SOIL FROM IparsData WHERE TIME >= 1");
+        assert_eq!(p.planned_rows(), 800);
+        for np in &p.node_plans {
+            assert_eq!(np.prune.groups_pruned, 0);
+            assert_eq!(np.prune.groups_full, np.afcs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn prune_disabled_keeps_everything() {
+        let c = compiled();
+        let q = parse("SELECT SOIL FROM IparsData WHERE TIME * 10 <= 40").unwrap();
+        let b = bind(&q, &c.model.schema, &UdfRegistry::with_builtins()).unwrap();
+        let mut prep = c.prepare_query(&b).unwrap();
+        prep.prune_enabled = false;
+        let np = c.plan_node(&prep, 0).unwrap();
+        assert_eq!(np.afcs.len(), 40);
+        assert_eq!(np.prune.groups_pruned, 0);
+        assert_eq!(np.prune.verdicts.len(), 40);
     }
 }

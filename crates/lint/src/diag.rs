@@ -7,8 +7,9 @@ use dv_types::Span;
 
 /// Every diagnostic the analyzer can emit. `DV0xx` codes fire on
 /// descriptor text, `DV1xx` codes on queries checked against a
-/// resolved model, and `DV2xx` codes are refutations produced by the
-/// `dv-verify` semantic analysis pass.
+/// resolved model, `DV2xx` codes are refutations produced by the
+/// `dv-verify` semantic analysis pass, and `DV3xx` codes come from the
+/// dv-prune predicate–extent abstract interpretation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Overlapping or shadowing `LOOP`s over one variable.
@@ -47,6 +48,20 @@ pub enum Code {
     Dv204,
     /// A predicate is provably empty against the implicit loop bounds.
     Dv205,
+    /// Predicate contradicts the layout extents: the result is
+    /// statically empty (every file group prunes away).
+    Dv301,
+    /// Predicate is tautological over the dataset's extents: it can
+    /// never filter anything.
+    Dv302,
+    /// Pruning is blocked by a UDF call or a non-finite (NaN-unsound)
+    /// constant in the predicate.
+    Dv303,
+    /// Per-group prune summary (informational note).
+    Dv304,
+    /// Predicate constrains a coordinate dimension the descriptor
+    /// never varies.
+    Dv305,
 }
 
 impl Code {
@@ -77,6 +92,8 @@ impl fmt::Display for Code {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Informational: never trips `--deny-warnings` or exit codes.
+    Note,
     Warning,
     Error,
 }
@@ -84,6 +101,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Note => f.write_str("note"),
             Severity::Warning => f.write_str("warning"),
             Severity::Error => f.write_str("error"),
         }
@@ -213,6 +231,11 @@ mod tests {
             Code::Dv203,
             Code::Dv204,
             Code::Dv205,
+            Code::Dv301,
+            Code::Dv302,
+            Code::Dv303,
+            Code::Dv304,
+            Code::Dv305,
         ];
         let mut names: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         names.sort();
@@ -227,5 +250,13 @@ mod tests {
         assert_eq!(d.severity, Severity::Warning);
         let d = Diagnostic::new(Code::Dv201, Span::DUMMY, "overlap");
         assert_eq!(d.severity, Severity::Error);
+        let d = Diagnostic::new(Code::Dv304, Span::DUMMY, "prune summary");
+        assert_eq!(d.severity, Severity::Note);
+    }
+
+    #[test]
+    fn note_sorts_below_warning() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
     }
 }

@@ -37,6 +37,13 @@
 //!   concrete counterexamples; a fully proved descriptor earns a
 //!   `Safe` certificate that lets the executor drop per-row bounds
 //!   checks (see `dv-layout::Certificate`).
+//! * [`prune_query`] — the dv-prune static pass (DV301..DV305):
+//!   three-valued abstract interpretation of the WHERE clause over the
+//!   dataset's per-attribute extent hulls. It reports statically-empty
+//!   results (DV301), tautological predicates (DV302), prune blockers
+//!   such as UDF calls and non-finite constants (DV303), a per-file
+//!   prune summary note (DV304), and predicates constraining a
+//!   coordinate the descriptor never varies (DV305).
 //!
 //! The single source of truth for every code's name, default severity
 //! and documentation anchor is [`CODE_REGISTRY`]:
@@ -60,13 +67,20 @@
 //! | DV203 | error    | aligned file group with mismatched row counts |
 //! | DV204 | warning  | dead (unreachable or zero-iteration) DATASPACE region |
 //! | DV205 | error    | predicate provably empty against implicit loop bounds |
+//! | DV301 | warning  | predicate contradicts layout extents; result statically empty |
+//! | DV302 | warning  | predicate tautological over the dataset's extents |
+//! | DV303 | warning  | pruning blocked by a UDF or NaN-unsound comparison |
+//! | DV304 | note     | per-group static prune summary |
+//! | DV305 | warning  | predicate constrains a never-varying coordinate dimension |
 
 mod descriptor;
 mod diag;
+pub mod prune;
 mod query;
 pub mod verify;
 
 pub use diag::{Code, Diagnostic, Severity};
+pub use prune::prune_query;
 pub use query::lint_query;
 pub use verify::{
     verify_ast, verify_descriptor, verify_query, Counterexample, Emitted, Finding, VerifyReport,
@@ -122,6 +136,21 @@ pub const CODE_REGISTRY: &[CodeInfo] = &[
     row(Code::Dv203, "DV203", Severity::Error, "aligned file group with mismatched row counts"),
     row(Code::Dv204, "DV204", Severity::Warning, "dead DATASPACE region"),
     row(Code::Dv205, "DV205", Severity::Error, "predicate provably empty against loop bounds"),
+    row(
+        Code::Dv301,
+        "DV301",
+        Severity::Warning,
+        "predicate contradicts layout extents; result statically empty",
+    ),
+    row(Code::Dv302, "DV302", Severity::Warning, "predicate tautological over dataset extents"),
+    row(Code::Dv303, "DV303", Severity::Warning, "pruning blocked by UDF or non-finite constant"),
+    row(Code::Dv304, "DV304", Severity::Note, "per-group static prune summary"),
+    row(
+        Code::Dv305,
+        "DV305",
+        Severity::Warning,
+        "predicate constrains a never-varying coordinate dimension",
+    ),
 ];
 
 /// Lint descriptor text: parse, run the AST lints, and — when the

@@ -1,0 +1,357 @@
+//! Prune lints DV301–DV305: the WHERE clause abstract-interpreted
+//! over the descriptor's file extents.
+//!
+//! The runtime half of dv-prune ([`dv_layout::prune`]) decides each
+//! aligned file chunk at plan time; this pass runs the same
+//! three-valued evaluator ([`dv_sql::ternary`]) at *lint* time, over
+//! the hulls the descriptor promises, so contradictions and
+//! tautologies surface before any data exists on disk.
+//!
+//! Environments used here, both sound over-approximations:
+//!
+//! * **Dataset-wide env** — for every schema attribute that is only
+//!   ever implicit (bound by a loop or file-binding variable, stored
+//!   in no file), the union of its hulls across all files. Every row
+//!   the dataset can produce has its implicit values inside this box,
+//!   so `False` here means *statically empty* (DV301) and `True`
+//!   means *tautological* (DV302).
+//! * **Per-file env** — the same, restricted to one file's own
+//!   extents and bindings; drives the DV304 per-group summary note.
+//!
+//! Attributes stored in *any* file are excluded from both envs: their
+//! byte values are unconstrained by the descriptor (a stored float may
+//! even be NaN), so the evaluator must see them as unbounded.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dv_descriptor::{DatasetModel, FileModel};
+use dv_sql::ternary::{
+    abstract_eval, predicate_attrs, prune_blockers, HullEnv, PruneBlocker, Ternary,
+};
+use dv_sql::{bind, parse, BoundExpr, UdfRegistry};
+use dv_types::{Result, Span};
+
+use crate::diag::{Code, Diagnostic};
+
+/// Span of the WHERE clause (or the whole query when there is none).
+fn where_span(sql: &str) -> Span {
+    match sql.to_ascii_uppercase().find("WHERE") {
+        Some(p) => Span::new(p, sql.trim_end().len().max(p + 5)),
+        None => Span::new(0, sql.trim_end().len().max(1)),
+    }
+}
+
+/// Span of the first case-insensitive occurrence of `needle` in `sql`,
+/// falling back to the WHERE clause.
+fn span_of(sql: &str, needle: &str) -> Span {
+    match sql.to_ascii_uppercase().find(&needle.to_ascii_uppercase()) {
+        Some(p) => Span::new(p, p + needle.len()),
+        None => where_span(sql),
+    }
+}
+
+/// Names of schema attributes stored in at least one file — excluded
+/// from every hull env (their byte values are unconstrained).
+fn stored_attrs(model: &DatasetModel) -> BTreeSet<&str> {
+    model.files.iter().flat_map(|f| f.stored_attrs.iter().map(String::as_str)).collect()
+}
+
+/// Hulls of the never-stored schema attributes: attribute index →
+/// inclusive `(lo, hi)` union across every file's bindings + extents.
+fn dataset_hulls(model: &DatasetModel) -> BTreeMap<usize, (f64, f64)> {
+    let stored = stored_attrs(model);
+    let mut hulls: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+    for file in &model.files {
+        for (idx, lo, hi) in file_hulls(model, file, &stored) {
+            hulls.entry(idx).and_modify(|h| *h = (h.0.min(lo), h.1.max(hi))).or_insert((lo, hi));
+        }
+    }
+    hulls
+}
+
+/// One file's implicit hulls, keyed by schema attribute index.
+/// Attributes stored anywhere in the dataset are skipped.
+fn file_hulls(
+    model: &DatasetModel,
+    file: &FileModel,
+    stored: &BTreeSet<&str>,
+) -> Vec<(usize, f64, f64)> {
+    let mut out = Vec::new();
+    let mut push = |name: &str, lo: i64, hi: i64| {
+        if let Some(idx) = model.schema.index_of(name) {
+            if !stored.contains(name) {
+                out.push((idx, lo as f64, hi as f64));
+            }
+        }
+    };
+    for (name, v) in &file.env {
+        push(name, *v, *v);
+    }
+    for (name, extent) in &file.extents {
+        let (lo, hi) = extent.hull();
+        push(name, lo, hi);
+    }
+    out
+}
+
+/// Lint one SQL query's prunability against a resolved model. Parse and
+/// bind errors are returned as `Err`; findings come back as
+/// diagnostics whose spans index into `sql`.
+pub fn prune_query(model: &DatasetModel, sql: &str, udfs: &UdfRegistry) -> Result<Vec<Diagnostic>> {
+    let query = parse(sql)?;
+    let bound = bind(&query, &model.schema, udfs)?;
+    let mut diags = Vec::new();
+    let Some(pred) = &bound.predicate else {
+        return Ok(diags);
+    };
+    let span = where_span(sql);
+
+    let hulls = dataset_hulls(model);
+    let env: HullEnv = hulls.iter().map(|(&i, &h)| (i, h)).collect();
+
+    // DV301 / DV302: the whole predicate decided over the dataset box.
+    match abstract_eval(pred, &env) {
+        Ternary::False => diags.push(
+            Diagnostic::new(
+                Code::Dv301,
+                span,
+                "predicate contradicts the layout extents; the result is statically empty"
+                    .to_string(),
+            )
+            .with_help(format!(
+                "every file chunk is provably empty, so the query reads nothing; {}",
+                extent_summary(model, pred, &hulls)
+            )),
+        ),
+        Ternary::True => diags.push(
+            Diagnostic::new(
+                Code::Dv302,
+                span,
+                "predicate is tautological over the dataset extents; it filters nothing"
+                    .to_string(),
+            )
+            .with_help(format!(
+                "every row the layout can produce satisfies it — drop the clause or tighten it; {}",
+                extent_summary(model, pred, &hulls)
+            )),
+        ),
+        Ternary::Unknown => {}
+    }
+
+    // DV303: subexpressions that force Unknown regardless of extents.
+    for blocker in prune_blockers(pred) {
+        let (bspan, what, help) = match blocker {
+            PruneBlocker::Udf { slot } => {
+                let name = udfs.name_of(slot).to_string();
+                (
+                    span_of(sql, &name),
+                    format!("UDF `{name}` is opaque to interval analysis"),
+                    format!(
+                        "chunks overlapping `{name}` must be read and filtered at runtime; \
+                         AND a plain comparison on a coordinate attribute to restore pruning"
+                    ),
+                )
+            }
+            PruneBlocker::NonFiniteConst => (
+                span,
+                "a non-finite constant defeats sound interval comparison".to_string(),
+                "NaN/overflowing literals compare by IEEE rules no interval captures; \
+                 replace the constant with a finite value"
+                    .to_string(),
+            ),
+        };
+        diags.push(
+            Diagnostic::new(Code::Dv303, bspan, format!("static pruning blocked: {what}"))
+                .with_help(help),
+        );
+    }
+
+    // DV305: the predicate constrains an implicit attribute whose
+    // dataset-wide hull is a single point — the descriptor never
+    // varies it, so the comparison is constant over the whole dataset.
+    for idx in predicate_attrs(pred) {
+        if let Some(&(lo, hi)) = hulls.get(&idx) {
+            if lo == hi {
+                let name = &model.schema.attr_at(idx).name;
+                diags.push(
+                    Diagnostic::new(
+                        Code::Dv305,
+                        span,
+                        format!(
+                            "predicate constrains `{name}`, a coordinate the descriptor never \
+                             varies (always {lo})"
+                        ),
+                    )
+                    .with_help(
+                        "the comparison is constant over the whole dataset: it either keeps \
+                         or drops every row",
+                    ),
+                );
+            }
+        }
+    }
+
+    // DV304 (note): per-file static prune summary — the same verdicts
+    // the planner will reach, computed from each file's own extents.
+    if !model.files.is_empty() {
+        let stored = stored_attrs(model);
+        let (mut empty, mut full, mut unknown) = (0usize, 0usize, 0usize);
+        for file in &model.files {
+            let fenv: HullEnv = file_hulls(model, file, &stored)
+                .into_iter()
+                .map(|(i, lo, hi)| (i, (lo, hi)))
+                .collect();
+            match abstract_eval(pred, &fenv) {
+                Ternary::False => empty += 1,
+                Ternary::True => full += 1,
+                Ternary::Unknown => unknown += 1,
+            }
+        }
+        diags.push(
+            Diagnostic::new(
+                Code::Dv304,
+                span,
+                format!(
+                    "static prune summary: {empty}/{} files provably empty, {full} provably \
+                     full, {unknown} undecided",
+                    model.files.len()
+                ),
+            )
+            .with_help(
+                "per-chunk verdicts at query time can only be sharper; run `datavirt explain` \
+                 for the chunk-level plan",
+            ),
+        );
+    }
+
+    diags.sort_by_key(|d| (d.span.start, d.code));
+    Ok(diags)
+}
+
+/// Human-readable hulls of the attributes the predicate touches, for
+/// DV301/DV302 help text.
+fn extent_summary(
+    model: &DatasetModel,
+    pred: &BoundExpr,
+    hulls: &BTreeMap<usize, (f64, f64)>,
+) -> String {
+    let parts: Vec<String> = predicate_attrs(pred)
+        .into_iter()
+        .filter_map(|idx| {
+            hulls
+                .get(&idx)
+                .map(|(lo, hi)| format!("`{}` spans [{lo}, {hi}]", model.schema.attr_at(idx).name))
+        })
+        .collect();
+    if parts.is_empty() {
+        "no constrained attribute is implicit in the layout".to_string()
+    } else {
+        format!("layout extents: {}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn model() -> DatasetModel {
+        dv_descriptor::compile(
+            r#"
+[S]
+REL = short int
+TIME = int
+SOIL = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATATYPE { S }
+  DATASET "leaf" {
+    DATASPACE { LOOP TIME 1:50:1 { SOIL } }
+    DATA { DIR[0]/f$REL.dat REL = 0:0:1 }
+  }
+  DATA { DATASET leaf }
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    fn lint(sql: &str) -> Vec<Diagnostic> {
+        prune_query(&model(), sql, &UdfRegistry::with_builtins()).unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn no_predicate_is_silent() {
+        assert!(lint("SELECT SOIL FROM D").is_empty());
+    }
+
+    #[test]
+    fn contradiction_fires_dv301() {
+        let diags = lint("SELECT SOIL FROM D WHERE TIME > 1000");
+        assert!(codes(&diags).contains(&Code::Dv301), "{diags:?}");
+        let d = diags.iter().find(|d| d.code == Code::Dv301).unwrap();
+        assert!(d.help.as_deref().unwrap().contains("`TIME` spans [1, 50]"), "{d:?}");
+        // Summary note agrees: every file statically empty.
+        let s = diags.iter().find(|d| d.code == Code::Dv304).unwrap();
+        assert!(s.message.contains("1/1 files provably empty"), "{s:?}");
+    }
+
+    #[test]
+    fn tautology_fires_dv302() {
+        let diags = lint("SELECT SOIL FROM D WHERE TIME >= 1");
+        assert!(codes(&diags).contains(&Code::Dv302), "{diags:?}");
+        assert!(!codes(&diags).contains(&Code::Dv301));
+    }
+
+    #[test]
+    fn stored_attribute_stays_unknown() {
+        // SOIL is stored: its bytes are unconstrained, so neither
+        // DV301 nor DV302 may fire no matter the comparison.
+        let diags = lint("SELECT SOIL FROM D WHERE SOIL > 1e30");
+        assert!(!codes(&diags).contains(&Code::Dv301), "{diags:?}");
+        assert!(!codes(&diags).contains(&Code::Dv302), "{diags:?}");
+    }
+
+    #[test]
+    fn udf_fires_dv303_at_call_site() {
+        let sql = "SELECT SOIL FROM D WHERE SPEED(SOIL, SOIL, SOIL) < 30.0";
+        let diags = lint(sql);
+        let d = diags.iter().find(|d| d.code == Code::Dv303).expect("DV303");
+        assert!(d.message.contains("SPEED"), "{d:?}");
+        assert_eq!(&sql[d.span.start..d.span.end], "SPEED");
+    }
+
+    #[test]
+    fn non_finite_constant_fires_dv303() {
+        let diags = lint("SELECT SOIL FROM D WHERE SOIL < 1e999");
+        let d = diags.iter().find(|d| d.code == Code::Dv303).expect("DV303");
+        assert!(d.message.contains("non-finite"), "{d:?}");
+    }
+
+    #[test]
+    fn point_coordinate_fires_dv305() {
+        // REL = 0:0:1 — a single value across the whole dataset.
+        let diags = lint("SELECT SOIL FROM D WHERE REL = 0");
+        assert!(codes(&diags).contains(&Code::Dv305), "{diags:?}");
+        // TIME varies: no DV305.
+        let diags = lint("SELECT SOIL FROM D WHERE TIME < 10");
+        assert!(!codes(&diags).contains(&Code::Dv305), "{diags:?}");
+    }
+
+    #[test]
+    fn summary_note_counts_partitions() {
+        let diags = lint("SELECT SOIL FROM D WHERE TIME < 10");
+        let s = diags.iter().find(|d| d.code == Code::Dv304).expect("DV304");
+        assert_eq!(s.severity, Severity::Note);
+        assert!(s.message.contains("0/1 files provably empty"), "{s:?}");
+        assert!(s.message.contains("1 undecided"), "{s:?}");
+    }
+}

@@ -190,6 +190,7 @@ pub fn to_sarif(items: &[Emitted<'_>]) -> String {
     out.push_str("      \"results\": [\n");
     for (i, e) in items.iter().enumerate() {
         let level = match e.diag.severity {
+            Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
         };

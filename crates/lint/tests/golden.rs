@@ -181,3 +181,127 @@ fn descriptor_codes_are_spanned_and_distinct() {
     seen.dedup();
     assert_eq!(seen.len(), 9, "expected 9 distinct descriptor codes, got {seen:?}");
 }
+
+// ---------------------------------------------------------------------
+// DV301–DV305: the static prune pass (`prune_query`), golden-tested the
+// same way. The pass is separate from `lint_query` (the CLI merges
+// them), so these fixtures exercise it in isolation.
+
+fn run_prune(desc: &str, sql: &str) -> (Vec<Diagnostic>, String) {
+    let text = fs::read_to_string(fixture(&format!("{desc}.desc"))).unwrap();
+    let model = dv_descriptor::compile(&text).unwrap();
+    let diags = dv_lint::prune_query(&model, sql, &UdfRegistry::with_builtins()).unwrap();
+    let rendered = render_all(&diags, sql, "<query>");
+    (diags, rendered)
+}
+
+#[test]
+fn dv301_contradicted_extents() {
+    let (diags, rendered) = run_prune("query", "SELECT X FROM D WHERE T > 1000");
+    assert_eq!(codes(&diags), [Code::Dv301, Code::Dv304], "{rendered}");
+    check_golden(&rendered, "q_dv301.expected");
+}
+
+#[test]
+fn dv302_tautological_predicate() {
+    let (diags, rendered) = run_prune("query", "SELECT X FROM D WHERE T >= 1");
+    assert_eq!(codes(&diags), [Code::Dv302, Code::Dv304], "{rendered}");
+    check_golden(&rendered, "q_dv302.expected");
+}
+
+#[test]
+fn dv303_udf_blocks_pruning() {
+    let (diags, rendered) = run_prune("query", "SELECT X FROM D WHERE SPEED(X, X, X) < 30.0");
+    // The DV303 span points at the call site, past the WHERE keyword
+    // the summary note anchors to.
+    assert_eq!(codes(&diags), [Code::Dv304, Code::Dv303], "{rendered}");
+    let d = diags.iter().find(|d| d.code == Code::Dv303).unwrap();
+    let sql = "SELECT X FROM D WHERE SPEED(X, X, X) < 30.0";
+    assert_eq!(&sql[d.span.start..d.span.end], "SPEED", "{rendered}");
+    check_golden(&rendered, "q_dv303.expected");
+}
+
+#[test]
+fn dv304_prune_summary_note() {
+    let (diags, rendered) = run_prune("query", "SELECT X FROM D WHERE T < 50");
+    assert_eq!(codes(&diags), [Code::Dv304], "{rendered}");
+    assert!(diags.iter().all(|d| d.severity == Severity::Note), "{rendered}");
+    check_golden(&rendered, "q_dv304.expected");
+}
+
+#[test]
+fn dv305_never_varying_coordinate() {
+    // `REL = 0:0:1` pins REL; the stored-attr conjunct keeps the whole
+    // predicate undecidable so DV302 stays quiet and DV305 is isolated.
+    let (diags, rendered) = run_prune("prune", "SELECT X FROM D WHERE REL = 0 AND X > 0.5");
+    assert_eq!(codes(&diags), [Code::Dv304, Code::Dv305], "{rendered}");
+    check_golden(&rendered, "q_dv305.expected");
+}
+
+#[test]
+fn prune_codes_are_spanned_and_distinct() {
+    let mut seen = Vec::new();
+    for (desc, sql) in [
+        ("query", "SELECT X FROM D WHERE T > 1000"),
+        ("query", "SELECT X FROM D WHERE T >= 1"),
+        ("query", "SELECT X FROM D WHERE SPEED(X, X, X) < 30.0"),
+        ("prune", "SELECT X FROM D WHERE REL = 0 AND X > 0.5"),
+    ] {
+        let (diags, rendered) = run_prune(desc, sql);
+        assert!(!diags.is_empty(), "{sql} produced nothing");
+        for d in &diags {
+            assert!(!d.span.is_dummy(), "{sql}: dummy span in:\n{rendered}");
+        }
+        seen.extend(codes(&diags));
+    }
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), 5, "expected DV301–DV305, got {seen:?}");
+}
+
+/// Every shipped example descriptor stays DV30x-clean under its
+/// canonical query — except `ipars_pinned.desc`, shipped intentionally
+/// contradictory: its pinned TIME makes the canonical query statically
+/// empty (DV301) over a never-varying coordinate (DV305).
+#[test]
+fn shipped_examples_prune_clean_except_pinned() {
+    let canonical: &[(&str, &str)] = &[
+        ("ipars_l0.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l1.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l2.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l3.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l4.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l5.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l6.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("titan.desc", "SELECT S1 FROM TitanData WHERE X > 100"),
+        ("ipars_pinned.desc", "SELECT SOIL FROM SnapData WHERE TIME > 5"),
+    ];
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/descriptors");
+    let mut entries: Vec<_> = fs::read_dir(&dir).unwrap().flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "desc") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let (_, sql) = canonical
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name}: add a canonical query for this new example"));
+        let text = fs::read_to_string(&path).unwrap();
+        let model = dv_descriptor::compile(&text).unwrap();
+        let diags = dv_lint::prune_query(&model, sql, &UdfRegistry::with_builtins()).unwrap();
+        let rendered = render_all(&diags, sql, "<query>");
+        if name == "ipars_pinned.desc" {
+            let c = codes(&diags);
+            assert!(c.contains(&Code::Dv301), "{name}: expected DV301:\n{rendered}");
+            assert!(c.contains(&Code::Dv305), "{name}: expected DV305:\n{rendered}");
+        } else {
+            assert!(
+                diags.iter().all(|d| d.severity == Severity::Note),
+                "{name} is not DV30x-clean:\n{rendered}"
+            );
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod bind;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod ternary;
 pub mod token;
 pub mod udf;
 

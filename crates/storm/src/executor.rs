@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Sender, TryRecvError};
 use dv_layout::io::{group_afcs, FetchedGroup, IoScheduler, IoStats};
-use dv_layout::{Afc, Extractor, SegmentCache};
+use dv_layout::{Afc, Extractor, PruneCertificate, PruneVerdict, SegmentCache};
 use dv_sql::eval::EvalContext;
 use dv_sql::{BoundExpr, UdfRegistry};
 use dv_types::{CancelToken, ColumnBlock, DataType, DvError, Result, RowBlock};
@@ -97,23 +97,46 @@ pub(crate) struct NodeWorker {
     pub bytes_read: Arc<AtomicU64>,
     pub bytes_moved: Arc<AtomicU64>,
     pub afc_count: Arc<AtomicU64>,
+    pub prune_total: Arc<AtomicU64>,
+    pub prune_pruned: Arc<AtomicU64>,
+    pub prune_full: Arc<AtomicU64>,
+    pub prune_bytes_avoided: Arc<AtomicU64>,
     pub io_stats: Arc<IoStats>,
     pub mover_stats: Arc<MoverStats>,
     pub segment_cache: Arc<SegmentCache>,
 }
 
 impl NodeWorker {
-    pub(crate) fn run(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+    /// Fold a node plan's prune accounting into the session counters.
+    pub(crate) fn record_prune(&self, cert: &PruneCertificate) {
+        self.prune_total.fetch_add(cert.groups_total, Ordering::Relaxed);
+        self.prune_pruned.fetch_add(cert.groups_pruned, Ordering::Relaxed);
+        self.prune_full.fetch_add(cert.groups_full, Ordering::Relaxed);
+        self.prune_bytes_avoided.fetch_add(cert.bytes_avoided, Ordering::Relaxed);
+    }
+
+    /// Run the node's AFC schedule. `verdicts` is parallel to `afcs`
+    /// (the plan's [`PruneCertificate`]); `Full` chunks skip the
+    /// filter kernel whenever an entire batch is provably satisfying.
+    pub(crate) fn run(
+        &self,
+        afcs: &[Afc],
+        verdicts: &[PruneVerdict],
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
+        debug_assert_eq!(afcs.len(), verdicts.len());
         if self.opts.intra_node_threads <= 1 {
-            return self.run_stripe_any(afcs, tx);
+            return self.run_stripe_any(afcs, verdicts, tx);
         }
         // Intra-node parallel stripes over the AFC list.
         let stripes = self.opts.intra_node_threads.min(afcs.len().max(1));
         let chunk = afcs.len().div_ceil(stripes);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for piece in afcs.chunks(chunk.max(1)) {
-                handles.push(scope.spawn(move || self.run_stripe_any(piece, tx)));
+            for (piece, piece_verdicts) in
+                afcs.chunks(chunk.max(1)).zip(verdicts.chunks(chunk.max(1)))
+            {
+                handles.push(scope.spawn(move || self.run_stripe_any(piece, piece_verdicts, tx)));
             }
             for h in handles {
                 h.join().map_err(|_| DvError::Runtime("node stripe panicked".into()))??;
@@ -122,10 +145,15 @@ impl NodeWorker {
         })
     }
 
-    fn run_stripe_any(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+    fn run_stripe_any(
+        &self,
+        afcs: &[Afc],
+        verdicts: &[PruneVerdict],
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
         match self.opts.exec {
-            ExecMode::Columnar => self.run_stripe_columns(afcs, tx),
-            ExecMode::RowAtATime => self.run_stripe(afcs, tx),
+            ExecMode::Columnar => self.run_stripe_columns(afcs, verdicts, tx),
+            ExecMode::RowAtATime => self.run_stripe(afcs, verdicts, tx),
         }
     }
 
@@ -135,9 +163,14 @@ impl NodeWorker {
     /// into a selection vector, project by reordering column handles,
     /// partition with one gather per column, move without touching
     /// row data.
-    fn run_stripe_columns(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+    fn run_stripe_columns(
+        &self,
+        afcs: &[Afc],
+        verdicts: &[PruneVerdict],
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
         if !self.opts.io.enabled {
-            return self.run_stripe_columns_direct(afcs, tx);
+            return self.run_stripe_columns_direct(afcs, verdicts, tx);
         }
         let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
         let mut partition_base = 0u64;
@@ -154,7 +187,14 @@ impl NodeWorker {
             for g in groups {
                 self.cancel.check()?;
                 let fetched = scheduler.fetch(&afcs[g.clone()])?;
-                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
+                self.decode_and_ship(
+                    &afcs[g.clone()],
+                    &verdicts[g],
+                    &fetched,
+                    &cx,
+                    &mut partition_base,
+                    tx,
+                )?;
             }
             return Ok(());
         }
@@ -203,7 +243,14 @@ impl NodeWorker {
                         return Err(DvError::Runtime("I/O prefetcher disconnected".into()));
                     }
                 };
-                self.decode_and_ship(&afcs[g], &fetched, &cx, &mut partition_base, tx)?;
+                self.decode_and_ship(
+                    &afcs[g.clone()],
+                    &verdicts[g],
+                    &fetched,
+                    &cx,
+                    &mut partition_base,
+                    tx,
+                )?;
             }
             Ok(())
         })
@@ -215,6 +262,7 @@ impl NodeWorker {
     fn decode_and_ship(
         &self,
         afcs: &[Afc],
+        verdicts: &[PruneVerdict],
         fetched: &FetchedGroup,
         cx: &EvalContext,
         partition_base: &mut u64,
@@ -224,6 +272,7 @@ impl NodeWorker {
         while i < afcs.len() {
             let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
             let mut batched_rows = 0u64;
+            let mut all_full = true;
             while i < afcs.len()
                 && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
             {
@@ -231,10 +280,11 @@ impl NodeWorker {
                 self.extractor.extract_columns_fetched(afc, &mut block, fetched)?;
                 self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
                 self.afc_count.fetch_add(1, Ordering::Relaxed);
+                all_full &= verdicts[i] == PruneVerdict::Full;
                 batched_rows += afc.num_rows;
                 i += 1;
             }
-            self.ship_columns(block, cx, partition_base, tx)?;
+            self.ship_columns(block, all_full, cx, partition_base, tx)?;
         }
         Ok(())
     }
@@ -242,7 +292,12 @@ impl NodeWorker {
     /// The scheduler-off columnar path: one read per AFC entry into
     /// the shared scratch buffer (kept as the ablation baseline and
     /// the fallback when `QueryOptions::io.enabled` is false).
-    fn run_stripe_columns_direct(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+    fn run_stripe_columns_direct(
+        &self,
+        afcs: &[Afc],
+        verdicts: &[PruneVerdict],
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
         let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
         let mut partition_base = 0u64;
         let mut scratch = dv_layout::ExtractScratch::default();
@@ -252,16 +307,18 @@ impl NodeWorker {
             // Batch AFCs until the block reaches the target row count.
             let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
             let mut batched_rows = 0u64;
+            let mut all_full = true;
             while i < afcs.len()
                 && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
             {
                 let afc = &afcs[i];
                 self.extractor.extract_columns_with(afc, &mut block, &mut scratch)?;
                 self.count_direct_reads(afc);
+                all_full &= verdicts[i] == PruneVerdict::Full;
                 batched_rows += afc.num_rows;
                 i += 1;
             }
-            self.ship_columns(block, &cx, &mut partition_base, tx)?;
+            self.ship_columns(block, all_full, &cx, &mut partition_base, tx)?;
         }
         Ok(())
     }
@@ -279,10 +336,14 @@ impl NodeWorker {
         self.io_stats.bytes_used.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Filter → project → partition → move one columnar block.
+    /// Filter → project → partition → move one columnar block. When
+    /// every AFC in the block carried a `Full` prune verdict the
+    /// predicate is provably true for all rows, so the filter kernel
+    /// runs with no predicate (select-all).
     fn ship_columns(
         &self,
         mut block: ColumnBlock,
+        skip_filter: bool,
         cx: &EvalContext,
         partition_base: &mut u64,
         tx: &Sender<MoverMessage>,
@@ -290,7 +351,8 @@ impl NodeWorker {
         self.cancel.check()?;
         self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
 
-        filter_columns(&mut block, self.predicate.as_ref().as_ref(), cx);
+        let predicate = if skip_filter { None } else { self.predicate.as_ref().as_ref() };
+        filter_columns(&mut block, predicate, cx);
         self.rows_selected.fetch_add(block.selected() as u64, Ordering::Relaxed);
         if block.is_empty() {
             return Ok(());
@@ -321,7 +383,12 @@ impl NodeWorker {
         Ok(())
     }
 
-    fn run_stripe(&self, afcs: &[Afc], tx: &Sender<MoverMessage>) -> Result<()> {
+    fn run_stripe(
+        &self,
+        afcs: &[Afc],
+        verdicts: &[PruneVerdict],
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
         let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
         let mut partition_base = 0u64;
         let mut scratch = dv_layout::ExtractScratch::default();
@@ -332,18 +399,21 @@ impl NodeWorker {
             // Batch AFCs until the block reaches the target row count.
             let mut block = RowBlock::new(self.node);
             let mut batched_rows = 0u64;
+            let mut all_full = true;
             while i < afcs.len()
                 && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
             {
                 let afc = &afcs[i];
                 self.extractor.extract_into_with(afc, &mut block, &mut scratch)?;
                 self.count_direct_reads(afc);
+                all_full &= verdicts[i] == PruneVerdict::Full;
                 batched_rows += afc.num_rows;
                 i += 1;
             }
             self.rows_scanned.fetch_add(block.len() as u64, Ordering::Relaxed);
 
-            filter_block(&mut block, self.predicate.as_ref().as_ref(), &cx);
+            let predicate = if all_full { None } else { self.predicate.as_ref().as_ref() };
+            filter_block(&mut block, predicate, &cx);
             self.rows_selected.fetch_add(block.len() as u64, Ordering::Relaxed);
             if block.is_empty() {
                 continue;

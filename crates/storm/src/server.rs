@@ -60,6 +60,9 @@ pub struct QueryOptions {
     /// Capacity of the bounded mover channel (blocks in flight from
     /// node pipelines to the absorber before senders back-pressure).
     pub mover_capacity: usize,
+    /// Disable static partition pruning for this query (ablation
+    /// baseline; equivalent to running with `DV_NO_PRUNE=1`).
+    pub no_prune: bool,
 }
 
 impl Default for QueryOptions {
@@ -74,6 +77,7 @@ impl Default for QueryOptions {
             exec: ExecMode::default(),
             io: IoOptions::default(),
             mover_capacity: 64,
+            no_prune: false,
         }
     }
 }

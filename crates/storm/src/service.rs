@@ -366,7 +366,11 @@ pub(crate) fn run_session(
 
     // Phase 2a: central planning (range analysis, working row).
     let plan_start = Instant::now();
-    let prep = Arc::new(core.compiled.prepare_query(bq)?);
+    let mut prep = core.compiled.prepare_query(bq)?;
+    if opts.no_prune {
+        prep.prune_enabled = false;
+    }
+    let prep = Arc::new(prep);
     stats.plan_time = plan_start.elapsed();
 
     let output_schema = bq.output_schema();
@@ -386,6 +390,10 @@ pub(crate) fn run_session(
     let bytes_read = Arc::new(AtomicU64::new(0));
     let bytes_moved = Arc::new(AtomicU64::new(0));
     let afc_count = Arc::new(AtomicU64::new(0));
+    let prune_total = Arc::new(AtomicU64::new(0));
+    let prune_pruned = Arc::new(AtomicU64::new(0));
+    let prune_full = Arc::new(AtomicU64::new(0));
+    let prune_bytes_avoided = Arc::new(AtomicU64::new(0));
     let io_stats = Arc::new(IoStats::default());
     let mover_stats = Arc::new(MoverStats::default());
 
@@ -418,6 +426,10 @@ pub(crate) fn run_session(
             bytes_read: Arc::clone(&bytes_read),
             bytes_moved: Arc::clone(&bytes_moved),
             afc_count: Arc::clone(&afc_count),
+            prune_total: Arc::clone(&prune_total),
+            prune_pruned: Arc::clone(&prune_pruned),
+            prune_full: Arc::clone(&prune_full),
+            prune_bytes_avoided: Arc::clone(&prune_bytes_avoided),
             io_stats: Arc::clone(&io_stats),
             mover_stats: Arc::clone(&mover_stats),
             segment_cache: Arc::clone(&core.segment_cache),
@@ -426,7 +438,10 @@ pub(crate) fn run_session(
         // Phase 2b (the node's generated index function) runs inside
         // the fragment and counts as this node's work.
         core.executors[node].spawn_fragment(tx.clone(), move || {
-            compiled.plan_node(&prep, node).and_then(|np| worker.run(&np.afcs, &worker_tx))
+            compiled.plan_node(&prep, node).and_then(|np| {
+                worker.record_prune(&np.prune);
+                worker.run(&np.afcs, &np.prune.verdicts, &worker_tx)
+            })
         });
     };
 
@@ -493,6 +508,10 @@ pub(crate) fn run_session(
     stats.bytes_read = bytes_read.load(Ordering::Relaxed);
     stats.bytes_moved = bytes_moved.load(Ordering::Relaxed);
     stats.afcs = afc_count.load(Ordering::Relaxed);
+    stats.groups_total = prune_total.load(Ordering::Relaxed);
+    stats.groups_pruned = prune_pruned.load(Ordering::Relaxed);
+    stats.groups_full = prune_full.load(Ordering::Relaxed);
+    stats.bytes_avoided = prune_bytes_avoided.load(Ordering::Relaxed);
     stats.io = io_stats.snapshot();
     stats.mover = mover_stats.snapshot();
     Ok((tables, stats))

@@ -25,6 +25,14 @@ pub struct QueryStats {
     pub bytes_moved: u64,
     /// Aligned file chunks processed.
     pub afcs: u64,
+    /// AFC groups planned before static pruning.
+    pub groups_total: u64,
+    /// AFC groups dropped as provably empty (no I/O issued for them).
+    pub groups_pruned: u64,
+    /// AFC groups whose predicate was provably true (filter skipped).
+    pub groups_full: u64,
+    /// Bytes the pruned groups would have read.
+    pub bytes_avoided: u64,
     /// I/O scheduler counters: syscalls, bytes issued vs. used,
     /// coalescing, prefetch and cache behaviour.
     pub io: IoSnapshot,
@@ -71,7 +79,7 @@ impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits; mover: {} sends, {} blocked {:?}; queued {:?})",
+            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; prune: {}/{} groups pruned, {} full, {} KiB avoided; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits; mover: {} sends, {} blocked {:?}; queued {:?})",
             self.rows_selected,
             self.rows_scanned,
             self.afcs,
@@ -81,6 +89,10 @@ impl fmt::Display for QueryStats {
             self.plan_time,
             self.exec_time,
             self.simulated_parallel_time(),
+            self.groups_pruned,
+            self.groups_total,
+            self.groups_full,
+            self.bytes_avoided / 1024,
             self.io.read_syscalls,
             self.io.coalesce_ratio(),
             self.io.bytes_issued / 1024,
@@ -115,6 +127,10 @@ mod tests {
             rows_selected: 40,
             bytes_read: 4096,
             afcs: 7,
+            groups_total: 10,
+            groups_pruned: 3,
+            groups_full: 2,
+            bytes_avoided: 8192,
             io: IoSnapshot {
                 read_syscalls: 3,
                 runs_scheduled: 12,
@@ -135,6 +151,7 @@ mod tests {
         assert!(text.contains("2 KiB issued / 4 KiB used"), "{text}");
         assert!(text.contains("cache hit 50%"), "{text}");
         assert!(text.contains("9 sends, 2 blocked"), "{text}");
+        assert!(text.contains("3/10 groups pruned, 2 full, 8 KiB avoided"), "{text}");
     }
 
     #[test]

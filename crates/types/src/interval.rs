@@ -246,6 +246,13 @@ impl IntervalSet {
         IntervalSet { ivs: out.into_iter().filter(|iv| !iv.is_empty()).collect() }
     }
 
+    /// True when every point of the closed range `[lo, hi]` is
+    /// accepted — the tautology primitive: a predicate whose accepted
+    /// set covers a dataset's whole extent hull can never filter it.
+    pub fn covers_closed(&self, lo: f64, hi: f64) -> bool {
+        !self.complement().overlaps_closed(lo, hi)
+    }
+
     /// Tight enclosing closed bounds `(lo, hi)` of the whole set, or
     /// `None` when empty. Used to clip loop iteration ranges.
     pub fn bounds(&self) -> Option<(f64, f64)> {
@@ -359,6 +366,21 @@ mod tests {
         let s = IntervalSet::single(Interval::closed(1000.0, 1100.0));
         assert!(!s.overlaps_closed(900.0, 999.0));
         assert!(s.overlaps_closed(950.0, 1000.0));
+    }
+
+    #[test]
+    fn covers_closed_detects_tautology() {
+        // TIME >= 1 covers a dataset whose TIME hull is [1, 50].
+        let s = IntervalSet::single(Interval::at_least(1.0));
+        assert!(s.covers_closed(1.0, 50.0));
+        assert!(!s.covers_closed(0.0, 50.0));
+        // A punctured set does not cover across the hole.
+        let holed = IntervalSet::single(Interval::closed(0.0, 10.0))
+            .union(&IntervalSet::single(Interval::closed(20.0, 30.0)));
+        assert!(holed.covers_closed(2.0, 9.0));
+        assert!(!holed.covers_closed(2.0, 25.0));
+        assert!(IntervalSet::all().covers_closed(f64::MIN, f64::MAX));
+        assert!(!IntervalSet::empty().covers_closed(0.0, 0.0));
     }
 
     #[test]
