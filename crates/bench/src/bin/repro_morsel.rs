@@ -1,0 +1,295 @@
+//! Intra-node morsel parallelism — pool scaling and skew tolerance.
+//!
+//! ```text
+//! cargo run --release -p dv-bench --bin repro_morsel
+//! ```
+//!
+//! One single-node dataset is scanned with pools of 1 / 2 / 4 / 8
+//! worker threads, twice: once with uniform per-directory extents and
+//! once with a steep skew (directory 0 holds ~6× the bytes of
+//! directory 7 — the shape that serialized the old count-based chunk
+//! striping behind its biggest directory). The filter carries a
+//! calibrated per-row cost model: a UDF that sleeps [`STALL`] every
+//! [`STALL_EVERY`]th evaluation, making the scan latency-bound the
+//! same way the mover's [`BandwidthModel`] makes transfers
+//! link-bound. Workers overlap those stalls, so pool scaling is
+//! measurable and stable even on single-core CI hosts — a CPU-heavy
+//! predicate on a multi-core machine behaves the same, this just
+//! removes the dependence on how many cores the runner happens to
+//! have. Every parallel result is asserted *bit-identical in row
+//! order* to the serial scan (the (node, seq) reassembly guarantee).
+//!
+//! Wall times, speedups and steal-scheduler counters go to
+//! `BENCH_MORSEL.json` at the repo root (override with
+//! `DV_BENCH_OUT`).
+//!
+//! [`BandwidthModel`]: dv_core::BandwidthModel
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dv_bench::stage::data_root;
+use dv_bench::{ms, print_table, scaled};
+use dv_core::{QueryOptions, Table, Virtualizer};
+
+/// Pool sizes measured against the 1-thread (serial) baseline.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed iterations per (dataset, threads) cell; best kept.
+const ITERS: usize = 2;
+
+/// The per-row cost model: one [`STALL`] sleep every `STALL_EVERY`
+/// filter evaluations. Total modeled work is fixed per dataset, so the
+/// serial run pays it all sequentially and an N-worker pool overlaps
+/// it N ways — exactly when its byte balance is good.
+const STALL_EVERY: u64 = 1024;
+const STALL: Duration = Duration::from_millis(2);
+
+/// Directories per dataset; directory `d` holds `8000 - 960*d` grid
+/// points per time step when skewed (6.25× spread), 4640 when uniform
+/// (same total rows either way).
+const DIRS: usize = 8;
+
+fn extent(d: usize, uniform: bool) -> usize {
+    if uniform {
+        4640
+    } else {
+        8000 - 960 * d
+    }
+}
+
+struct Run {
+    dataset: &'static str,
+    threads: usize,
+    wall: Duration,
+    morsels: u64,
+    stolen: u64,
+    workers: u64,
+    /// Busiest worker's bytes over the fair per-worker share.
+    balance: f64,
+}
+
+fn main() {
+    let times = scaled(32);
+    let rows_per_step: usize = (0..DIRS).map(|d| extent(d, false)).sum();
+    let rows = times * rows_per_step;
+    println!("# Intra-node morsel parallelism — pool scaling, uniform vs skewed\n");
+    println!(
+        "dataset: {rows} rows on 1 node across {DIRS} dirs (skew 6.25x / uniform); \
+         cost model: {} ms per {} rows; pools: {THREADS:?} threads, best of {ITERS}",
+        STALL.as_millis(),
+        STALL_EVERY,
+    );
+
+    let sql = "SELECT TIME, VAL FROM SkewData WHERE COST(VAL) >= 0.0";
+    let mut runs: Vec<Run> = Vec::new();
+    for (name, uniform) in [("uniform", true), ("skewed", false)] {
+        let (base, desc) = stage_skew(name, uniform, times);
+        dv_bench::warm_dir(&base);
+        let v = build(&desc, &base);
+
+        let mut oracle: Option<Table> = None;
+        for &threads in &THREADS {
+            let opts = QueryOptions { intra_node_threads: threads, ..QueryOptions::default() };
+            let ((table, stats), wall) = dv_bench::time_best_of(ITERS, || {
+                let (mut tables, stats) = v.query_with(sql, &opts).expect("query");
+                (tables.remove(0), stats)
+            });
+            match &oracle {
+                None => oracle = Some(table),
+                Some(o) => assert_eq!(
+                    table.rows, o.rows,
+                    "{name} @ {threads} threads: parallel rows diverged from serial order"
+                ),
+            }
+            let m = &stats.morsels;
+            let fair = stats.bytes_read as f64 / m.workers.max(1) as f64;
+            runs.push(Run {
+                dataset: name,
+                threads,
+                wall,
+                morsels: m.planned,
+                stolen: m.stolen,
+                workers: m.workers,
+                balance: m.worker_bytes_max as f64 / fair.max(1.0),
+            });
+            let r = runs.last().unwrap();
+            println!(
+                "{name:>7} @ {threads} thread(s): {} ms ({} morsels, {} stolen, balance {:.2})",
+                ms(wall),
+                r.morsels,
+                r.stolen,
+                r.balance,
+            );
+        }
+    }
+
+    for name in ["uniform", "skewed"] {
+        let of: Vec<&Run> = runs.iter().filter(|r| r.dataset == name).collect();
+        let serial = of[0].wall;
+        let rows: Vec<Vec<String>> = of
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    ms(r.wall),
+                    format!("{:.2}x", speedup(serial, r.wall)),
+                    r.morsels.to_string(),
+                    r.stolen.to_string(),
+                    format!("{:.2}", r.balance),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Morsel pool scaling — {name} schedule"),
+            &["threads", "wall ms", "vs serial", "morsels", "stolen", "max/fair bytes"],
+            &rows,
+        );
+    }
+
+    let speedup4 = {
+        let of: Vec<&Run> = runs.iter().filter(|r| r.dataset == "skewed").collect();
+        speedup(of[0].wall, of.iter().find(|r| r.threads == 4).unwrap().wall)
+    };
+    println!("\nskewed schedule, 4 threads vs serial: {speedup4:.2}x (all results bit-identical)");
+    assert!(
+        speedup4 >= 2.0,
+        "acceptance: 4-thread pool must reach >= 2x serial on the skewed schedule, \
+         got {speedup4:.2}x"
+    );
+
+    let out = out_path();
+    std::fs::write(&out, render_json(rows, times, &runs, speedup4)).expect("write bench JSON");
+    println!("wrote {}", out.display());
+}
+
+fn speedup(serial: Duration, wall: Duration) -> f64 {
+    serial.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+}
+
+/// One shared server per dataset: pool ceiling 8, plus the cost-model
+/// UDF (pass-through value; the sleep is the point).
+fn build(desc: &str, base: &Path) -> Virtualizer {
+    let calls = Arc::new(AtomicU64::new(0));
+    Virtualizer::builder(desc)
+        .storage_base(base)
+        .max_intra_node_threads(8)
+        .udf("COST", Some(1), move |a| {
+            if calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(STALL_EVERY) {
+                std::thread::sleep(STALL);
+            }
+            a[0]
+        })
+        .build()
+        .expect("compile dataset")
+}
+
+/// Stage the single-node skew/uniform dataset under the bench data
+/// root, marker-cached like `stage_ipars`: two float variables per
+/// directory, time-major, directory extents per [`extent`].
+fn stage_skew(name: &'static str, uniform: bool, times: usize) -> (PathBuf, String) {
+    let base = data_root().join(format!("morsel-{name}"));
+    let marker_path = base.join("marker.json");
+    let marker = format!(
+        "{{\"kind\":\"morsel-skew\",\"uniform\":{uniform},\"dirs\":{DIRS},\"times\":{times}}}"
+    );
+
+    let mut desc = String::from(
+        "[SKEW]\nTIME = int\nVAL = float\nAUX = float\n\n[SkewData]\nDatasetDescription = SKEW\n",
+    );
+    for d in 0..DIRS {
+        desc.push_str(&format!("DIR[{d}] = node0/skew.d{d}\n"));
+    }
+    desc.push_str(
+        "\nDATASET \"SkewData\" {\n  DATATYPE { SKEW }\n  DATAINDEX { TIME }\n  \
+         DATA { DATASET var_val DATASET var_aux }\n",
+    );
+    let grid = if uniform { "4640".to_string() } else { "(8000-960*$DIRID)".to_string() };
+    for (var, attr, file) in [("var_val", "VAL", "val.dat"), ("var_aux", "AUX", "aux.dat")] {
+        desc.push_str(&format!(
+            "  DATASET \"{var}\" {{\n    DATASPACE {{ LOOP TIME 1:{times}:1 {{ \
+             LOOP GRID 1:{grid}:1 {{ {attr} }} }} }}\n    \
+             DATA {{ DIR[$DIRID]/{file} DIRID = 0:{}:1 }}\n  }}\n",
+            DIRS - 1,
+        ));
+    }
+    desc.push_str("}\n");
+
+    if std::fs::read_to_string(&marker_path).map(|m| m == marker).unwrap_or(false) {
+        return (base, desc);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    eprintln!("[stage] generating {name} morsel dataset under {} ...", base.display());
+    for d in 0..DIRS {
+        let dir = base.join("node0").join(format!("skew.d{d}"));
+        std::fs::create_dir_all(&dir).expect("create staging dir");
+        let rows = extent(d, uniform);
+        for file in ["val.dat", "aux.dat"] {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(dir.join(file)).unwrap());
+            for t in 0..times {
+                for g in 0..rows {
+                    let x = (d * 1_000_000 + t * 10_000 + g) as f32 * 1e-3;
+                    w.write_all(&x.to_le_bytes()).unwrap();
+                }
+            }
+            w.flush().unwrap();
+        }
+    }
+    std::fs::write(&marker_path, marker).unwrap();
+    std::fs::write(base.join("descriptor.txt"), &desc).unwrap();
+    (base, desc)
+}
+
+fn out_path() -> PathBuf {
+    match std::env::var("DV_BENCH_OUT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => {
+            // crates/bench -> workspace root.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest.parent().unwrap().parent().unwrap().join("BENCH_MORSEL.json")
+        }
+    }
+}
+
+/// Hand-formatted JSON (the workspace carries no serde).
+fn render_json(rows: usize, times: usize, runs: &[Run], speedup4: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"morsel\",\n");
+    s.push_str(&format!("  \"quick_mode\": {},\n", dv_bench::quick_mode()));
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"skew\", \"rows\": {rows}, \"dirs\": {DIRS}, \
+         \"time_steps\": {times}, \"nodes\": 1, \"skew_ratio\": 6.25}},\n"
+    ));
+    s.push_str(&format!(
+        "  \"cost_model\": {{\"stall_every_rows\": {STALL_EVERY}, \"stall_ms\": {}}},\n",
+        STALL.as_millis()
+    ));
+    s.push_str("  \"runs\": [\n");
+    let serial = |name: &str| runs.iter().find(|r| r.dataset == name && r.threads == 1).unwrap();
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
+             \"speedup_vs_serial\": {:.3}, \"morsels\": {}, \"stolen\": {}, \"workers\": {}, \
+             \"byte_balance_max_over_fair\": {:.3}}}{}\n",
+            r.dataset,
+            r.threads,
+            r.wall.as_secs_f64() * 1e3,
+            speedup(serial(r.dataset).wall, r.wall),
+            r.morsels,
+            r.stolen,
+            r.workers,
+            r.balance,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"bit_identical\": true,\n  \"speedup_skewed_4_threads\": {speedup4:.3}\n"
+    ));
+    s.push_str("}\n");
+    s
+}

@@ -15,8 +15,19 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// switch).
-const VALUED: [&str; 9] =
-    ["base", "format", "limit", "out", "scale", "layout", "workload", "timeout", "max-concurrent"];
+const VALUED: [&str; 11] = [
+    "base",
+    "format",
+    "limit",
+    "out",
+    "scale",
+    "layout",
+    "workload",
+    "timeout",
+    "max-concurrent",
+    "threads",
+    "morsel-bytes",
+];
 
 /// Parse raw arguments (excluding argv[0]).
 pub fn parse(raw: &[String]) -> Result<Args, String> {

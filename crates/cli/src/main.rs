@@ -64,8 +64,8 @@ USAGE:
   datavirt validate <descriptor> --base <dir>
   datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json|sarif] [--deny-warnings]
   datavirt verify   <descriptor> [\"<SQL>\"] [--base <dir>] [--format human|json|sarif] [--deny-warnings]
-  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--deny-warnings]
-  datavirt serve    <descriptor> --base <dir> --workload <file> [--max-concurrent <N>] [--timeout <dur>]
+  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>] [--deny-warnings]
+  datavirt serve    <descriptor> --base <dir> --workload <file> [--max-concurrent <N>] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>]
   datavirt explain  <descriptor> --base <dir> \"<SQL>\" [--deny-warnings]
   datavirt codegen  <descriptor> --base <dir>
   datavirt generate <ipars|titan> --out <dir> [--layout <l0..l6>] [--scale <1..>]
@@ -101,7 +101,33 @@ fn virtualizer(a: &args::Args) -> Result<Virtualizer, String> {
             limit.parse().map_err(|_| "--max-concurrent must be an integer".to_string())?;
         builder = builder.max_concurrent(limit);
     }
+    // An explicit --threads also raises the server-side ceiling so the
+    // per-query request is honored as given.
+    if let Some(t) = a.options.get("threads") {
+        let t: usize = t.parse().map_err(|_| "--threads must be an integer".to_string())?;
+        builder = builder.max_intra_node_threads(t.max(1));
+    }
     builder.build().map_err(|e| e.to_string())
+}
+
+/// Per-query execution options from `--threads` (intra-node worker
+/// pool size, default: available parallelism) and `--morsel-bytes`
+/// (morsel size target, 0 = adaptive).
+fn query_options(a: &args::Args) -> Result<dv_core::QueryOptions, String> {
+    let mut opts = dv_core::QueryOptions::default();
+    if let Some(t) = a.options.get("threads") {
+        opts.intra_node_threads =
+            t.parse().map_err(|_| "--threads must be an integer".to_string())?;
+        if opts.intra_node_threads == 0 {
+            return Err("--threads must be >= 1".to_string());
+        }
+    }
+    if let Some(b) = a.options.get("morsel-bytes") {
+        opts.morsel_bytes = b
+            .parse()
+            .map_err(|_| "--morsel-bytes must be an integer (0 = adaptive)".to_string())?;
+    }
+    Ok(opts)
 }
 
 /// Parse a duration like `500ms`, `2s`, or a bare number of seconds.
@@ -391,11 +417,15 @@ fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
     let sql = sql.as_str();
     let limit: usize =
         a.option_or("limit", "0").parse().map_err(|_| "--limit must be an integer".to_string())?;
-    let (table, stats) = match a.options.get("timeout") {
-        Some(t) => v.query_with_timeout(sql, parse_duration(t)?),
-        None => v.query(sql),
-    }
-    .map_err(|e| e.to_string())?;
+    let opts = query_options(a)?;
+    let timeout = match a.options.get("timeout") {
+        Some(t) => Some(parse_duration(t)?),
+        None => None,
+    };
+    let sub = dv_core::SubmitOptions { timeout, ..dv_core::SubmitOptions::default() };
+    let (mut tables, stats) =
+        v.service().execute_with(sql, &opts, &sub).map_err(|e| e.to_string())?;
+    let table = tables.pop().ok_or_else(|| "query produced no client partitions".to_string())?;
     match a.option_or("format", "table") {
         "csv" => {
             let names: Vec<&str> =
@@ -447,6 +477,15 @@ fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
             stats.io.prefetch_waits,
             stats.io.prefetch_wait,
         );
+        eprintln!(
+            "morsels: {} planned, {} stolen; workers: {}; per-worker bytes: {}..{}; pool wait: {:?}",
+            stats.morsels.planned,
+            stats.morsels.stolen,
+            stats.morsels.workers,
+            stats.morsels.worker_bytes_min,
+            stats.morsels.worker_bytes_max,
+            stats.morsels.pool_wait,
+        );
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -482,7 +521,7 @@ fn cmd_serve(a: &args::Args) -> Result<ExitCode, String> {
     };
     let v = virtualizer(a)?;
     let sub = dv_core::SubmitOptions { timeout, ..dv_core::SubmitOptions::default() };
-    let opts = dv_core::QueryOptions::default();
+    let opts = query_options(a)?;
 
     // Submit everything up front: the service queues what the
     // admission limit does not immediately admit.

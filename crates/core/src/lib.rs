@@ -111,6 +111,15 @@ impl VirtualizerBuilder {
         self
     }
 
+    /// Server-wide ceiling on per-query intra-node worker threads
+    /// (default: the host's available parallelism). Per-query
+    /// `QueryOptions::intra_node_threads` requests above this are
+    /// clamped at execution time.
+    pub fn max_intra_node_threads(mut self, limit: usize) -> Self {
+        self.service.max_intra_node_threads = limit.max(1);
+        self
+    }
+
     /// Compile the descriptor and start the per-node services.
     pub fn build(self) -> Result<Virtualizer> {
         let model = Arc::new(dv_descriptor::compile(&self.descriptor)?);

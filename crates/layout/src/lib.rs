@@ -36,6 +36,7 @@ pub mod codegen;
 pub mod extract;
 pub mod groups;
 pub mod io;
+pub mod morsel;
 pub mod plan;
 pub mod prune;
 pub mod segment;
@@ -43,6 +44,7 @@ pub mod segment;
 pub use afc::{Afc, AfcEntry, ImplicitValue};
 pub use extract::{ExtractScratch, Extractor, SharedHandles};
 pub use io::{IoOptions, IoScheduler, IoSnapshot, IoStats, SegmentCache};
+pub use morsel::{adaptive_morsel_bytes, Morsel, MorselPlan, MORSELS_PER_THREAD};
 pub use plan::{Certificate, CompiledDataset, FileIssue, NodePlan, QueryPlan};
 pub use prune::{PruneCertificate, PruneVerdict};
 pub use segment::{InnerSig, Segment};

@@ -1,0 +1,280 @@
+//! Plan-time morsel assignment for intra-node parallel execution.
+//!
+//! A *morsel* is a run of consecutive coalesce groups (see
+//! [`crate::io::group_afcs`]) that one worker thread executes as a
+//! unit: fetch each group, decode, filter, partition, move. Morsels
+//! are computed once per node schedule, before any worker starts, and
+//! each carries two precomputed anchors that make execution order
+//! irrelevant to the result:
+//!
+//! * `base_rows` — the number of rows every earlier AFC in the node's
+//!   schedule materializes. Round-robin partitioning assigns a row by
+//!   its *global scanned ordinal* (`base_rows` + the row's pre-filter
+//!   index), a pure plan-time function of the schedule, so the
+//!   row → processor map is identical no matter which worker runs the
+//!   morsel or when.
+//! * `seq` — the morsel's position in schedule order. Mover blocks are
+//!   tagged with their starting scanned ordinal, so the absorbing side
+//!   can reassemble output in schedule order regardless of steal
+//!   order.
+//!
+//! Sizing is adaptive in the style of a linker's work-grouping
+//! heuristic: aim for [`MORSELS_PER_THREAD`] morsels per worker so the
+//! steal scheduler has enough slack to even out skew, but never split
+//! below a coalesce group (the I/O fetch unit) or
+//! [`MIN_MORSEL_BYTES`].
+
+use std::ops::Range;
+
+use crate::afc::Afc;
+use crate::io::group_afcs;
+
+/// Morsels the sizing heuristic aims to hand each worker thread.
+/// Enough that work stealing can even out skewed schedules (a worker
+/// that drew a slow morsel loses at most ~1/Nth of its share), small
+/// enough that per-morsel scheduling overhead stays negligible.
+pub const MORSELS_PER_THREAD: usize = 8;
+
+/// Floor for the adaptive morsel size: below this, claim/steal
+/// overhead dominates the work.
+pub const MIN_MORSEL_BYTES: u64 = 64 * 1024;
+
+/// One unit of intra-node work: a run of consecutive coalesce groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position in schedule order (0-based).
+    pub seq: usize,
+    /// AFC index range covered (into the node's schedule).
+    pub afcs: Range<usize>,
+    /// Coalesce-group index range covered (into
+    /// [`MorselPlan::groups`]).
+    pub groups: Range<usize>,
+    /// Rows materialized by all AFCs before `afcs.start` — the global
+    /// scanned ordinal of this morsel's first row.
+    pub base_rows: u64,
+    /// Bytes this morsel reads (the work-stealing weight).
+    pub bytes: u64,
+}
+
+/// A node schedule split into byte-budgeted, group-aligned morsels.
+#[derive(Debug, Clone, Default)]
+pub struct MorselPlan {
+    /// The coalesce groups the morsels are built from (the I/O fetch
+    /// units; each morsel covers a consecutive run of them).
+    pub groups: Vec<Range<usize>>,
+    /// The morsels, in schedule order (`morsels[i].seq == i`).
+    pub morsels: Vec<Morsel>,
+    /// The byte target each morsel was grown to.
+    pub target_bytes: u64,
+    /// Total bytes of the schedule.
+    pub total_bytes: u64,
+}
+
+/// The adaptive morsel size: aim for `threads × MORSELS_PER_THREAD`
+/// morsels over the schedule, floored at [`MIN_MORSEL_BYTES`]. A
+/// non-zero `override_bytes` (the `QueryOptions::morsel_bytes` /
+/// `--morsel-bytes` knob) wins outright.
+pub fn adaptive_morsel_bytes(total_bytes: u64, threads: usize, override_bytes: u64) -> u64 {
+    if override_bytes > 0 {
+        return override_bytes;
+    }
+    let want = (threads.max(1) * MORSELS_PER_THREAD) as u64;
+    (total_bytes / want).max(MIN_MORSEL_BYTES)
+}
+
+impl MorselPlan {
+    /// Split a node's AFC schedule into morsels: coalesce groups (the
+    /// I/O fetch unit) folded together until each morsel reaches the
+    /// adaptive byte target. The groups themselves are capped at
+    /// `min(group_bytes, target)` — a schedule smaller than one
+    /// configured coalesce group must still split into enough fetch
+    /// units to keep a pool busy (fetches stay coalesced *within* each
+    /// group; parallelism trades away only cross-morsel coalescing).
+    pub fn build(
+        afcs: &[Afc],
+        group_bytes: u64,
+        threads: usize,
+        override_bytes: u64,
+    ) -> MorselPlan {
+        let total_bytes: u64 = afcs.iter().map(Afc::bytes_read).sum();
+        let target_bytes = adaptive_morsel_bytes(total_bytes, threads, override_bytes);
+        let groups = group_afcs(afcs, group_bytes.min(target_bytes).max(1));
+
+        // Scanned-ordinal prefix: rows before each AFC.
+        let mut row_prefix = Vec::with_capacity(afcs.len() + 1);
+        let mut rows = 0u64;
+        row_prefix.push(0u64);
+        for afc in afcs {
+            rows += afc.num_rows;
+            row_prefix.push(rows);
+        }
+
+        let mut morsels = Vec::new();
+        let mut g_start = 0usize;
+        let mut acc = 0u64;
+        for (gi, g) in groups.iter().enumerate() {
+            acc += afcs[g.clone()].iter().map(Afc::bytes_read).sum::<u64>();
+            if acc >= target_bytes || gi + 1 == groups.len() {
+                let afc_lo = groups[g_start].start;
+                let afc_hi = g.end;
+                morsels.push(Morsel {
+                    seq: morsels.len(),
+                    afcs: afc_lo..afc_hi,
+                    groups: g_start..gi + 1,
+                    base_rows: row_prefix[afc_lo],
+                    bytes: acc,
+                });
+                g_start = gi + 1;
+                acc = 0;
+            }
+        }
+        MorselPlan { groups, morsels, target_bytes, total_bytes }
+    }
+
+    /// Worker count for a requested thread count: never more workers
+    /// than morsels (an empty schedule gets zero workers).
+    pub fn worker_count(&self, threads: usize) -> usize {
+        threads.max(1).min(self.morsels.len())
+    }
+
+    /// Initial per-worker queues: contiguous runs of morsels split by
+    /// *bytes* (not count — the skew bug the old striping had), greedy
+    /// to each worker's proportional byte quota. Contiguity keeps a
+    /// worker's fetches mostly sequential on disk; the steal scheduler
+    /// corrects any residual imbalance at run time.
+    pub fn assign(&self, workers: usize) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        if workers == 0 {
+            return out;
+        }
+        let n = self.morsels.len();
+        let mut w = 0usize;
+        let mut cum = 0u128;
+        let total = self.total_bytes.max(1) as u128;
+        for (i, m) in self.morsels.iter().enumerate() {
+            if !out[w].is_empty() && w + 1 < workers {
+                let hit_quota = cum * workers as u128 >= total * (w as u128 + 1);
+                // Each remaining worker must still receive >= 1 morsel.
+                let must_leave = n - i < workers - w;
+                if hit_quota || must_leave {
+                    w += 1;
+                }
+            }
+            out[w].push(i);
+            cum += m.bytes as u128;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afc::AfcEntry;
+
+    fn afc(file: usize, rows: u64, stride: u64) -> Afc {
+        Afc {
+            num_rows: rows,
+            entries: vec![AfcEntry { file, offset: 0, stride }],
+            fields: Vec::new(),
+            implicits: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn adaptive_target_scales_with_threads() {
+        let mib = 1024 * 1024;
+        // 64 MiB over 4 threads → 32 morsels of 2 MiB.
+        assert_eq!(adaptive_morsel_bytes(64 * mib, 4, 0), 2 * mib);
+        // More threads → smaller morsels.
+        assert_eq!(adaptive_morsel_bytes(64 * mib, 8, 0), mib);
+        // Tiny schedules clamp at the floor.
+        assert_eq!(adaptive_morsel_bytes(100, 8, 0), MIN_MORSEL_BYTES);
+        // Explicit override wins.
+        assert_eq!(adaptive_morsel_bytes(64 * mib, 4, 12345), 12345);
+    }
+
+    #[test]
+    fn build_covers_schedule_with_correct_bases() {
+        // 16 AFCs × 100 rows × 1 KiB rows.
+        let afcs: Vec<Afc> = (0..16).map(|f| afc(f, 100, 1024)).collect();
+        let plan = MorselPlan::build(&afcs, 128 * 1024, 2, 200 * 1024);
+        assert!(plan.morsels.len() > 1, "schedule should split");
+        // Coverage: morsels tile the AFC list in order, gap-free.
+        let mut next_afc = 0usize;
+        let mut next_group = 0usize;
+        for (i, m) in plan.morsels.iter().enumerate() {
+            assert_eq!(m.seq, i);
+            assert_eq!(m.afcs.start, next_afc);
+            assert_eq!(m.groups.start, next_group);
+            assert_eq!(m.base_rows, next_afc as u64 * 100);
+            next_afc = m.afcs.end;
+            next_group = m.groups.end;
+        }
+        assert_eq!(next_afc, afcs.len());
+        assert_eq!(next_group, plan.groups.len());
+        assert_eq!(plan.total_bytes, 16 * 100 * 1024);
+    }
+
+    #[test]
+    fn empty_schedule_builds_empty_plan() {
+        let plan = MorselPlan::build(&[], 1024, 4, 0);
+        assert!(plan.morsels.is_empty());
+        assert_eq!(plan.worker_count(8), 0);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_morsels() {
+        let afcs: Vec<Afc> = (0..4).map(|f| afc(f, 10, 64)).collect();
+        let plan = MorselPlan::build(&afcs, 64, 8, 64);
+        assert!(plan.worker_count(8) <= plan.morsels.len());
+        assert_eq!(plan.worker_count(1), 1);
+    }
+
+    /// The skew regression the old `afcs.chunks()` striping failed:
+    /// one giant file's AFCs next to many tiny files'. Splitting by
+    /// AFC *count* would give two of four workers almost all bytes;
+    /// splitting by bytes keeps the initial queues near-even.
+    #[test]
+    fn assignment_splits_by_bytes_not_count() {
+        let mut afcs = Vec::new();
+        // 64 × 1 MiB chunks of the giant file 0 ...
+        for _ in 0..64 {
+            afcs.push(afc(0, 1024, 1024));
+        }
+        // ... then 64 × 16 KiB tiny files.
+        for f in 1..=64 {
+            afcs.push(afc(f, 16, 1024));
+        }
+        let plan = MorselPlan::build(&afcs, 256 * 1024, 4, 0);
+        let queues = plan.assign(4);
+        let bytes_of = |q: &Vec<usize>| q.iter().map(|&m| plan.morsels[m].bytes).sum::<u64>();
+        let per_worker: Vec<u64> = queues.iter().map(bytes_of).collect();
+        let mean = plan.total_bytes / 4;
+        for (w, &b) in per_worker.iter().enumerate() {
+            assert!(
+                b as f64 <= mean as f64 * 1.4 && b as f64 >= mean as f64 * 0.6,
+                "worker {w} got {b} bytes, mean {mean} ({per_worker:?})"
+            );
+        }
+        // The old count split (128 AFCs / 4 = 32 each) would have put
+        // 32 MiB on each of the first two workers and 0.5 MiB on each
+        // of the last two — assert the schedule really is that skewed.
+        let count_split: u64 = afcs[..32].iter().map(Afc::bytes_read).sum();
+        assert!(count_split > mean * 15 / 10, "fixture lost its skew");
+    }
+
+    #[test]
+    fn assignment_gives_every_worker_work() {
+        let afcs: Vec<Afc> = (0..8).map(|f| afc(f, 100, 1024)).collect();
+        let plan = MorselPlan::build(&afcs, 100 * 1024, 8, 100 * 1024);
+        let workers = plan.worker_count(8);
+        let queues = plan.assign(workers);
+        for (w, q) in queues.iter().enumerate() {
+            assert!(!q.is_empty(), "worker {w} idle from the start");
+        }
+        // Every morsel assigned exactly once, in order.
+        let flat: Vec<usize> = queues.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..plan.morsels.len()).collect::<Vec<_>>());
+    }
+}

@@ -11,16 +11,29 @@ use dv_sql::eval::EvalContext;
 use dv_sql::BoundExpr;
 use dv_types::{ColumnBlock, RowBlock};
 
-/// Filter a block in place; returns the number of rows removed.
+/// Filter a block in place, returning the surviving rows' *pre-filter*
+/// indices within the block. Round-robin partitioning keys on those
+/// scanned ordinals (not the compacted positions), so the row →
+/// processor map stays a pure function of the scan schedule — the
+/// property the morsel engine's determinism rests on. `None` predicate
+/// keeps everything (identity indices).
 pub fn filter_block(
     block: &mut RowBlock,
     predicate: Option<&BoundExpr>,
     cx: &EvalContext<'_>,
-) -> usize {
-    let Some(pred) = predicate else { return 0 };
-    let before = block.rows.len();
-    block.rows.retain(|row| cx.eval(pred, row));
-    before - block.rows.len()
+) -> Vec<u32> {
+    let Some(pred) = predicate else { return (0..block.rows.len() as u32).collect() };
+    let mut kept = Vec::with_capacity(block.rows.len());
+    let mut next = 0u32;
+    block.rows.retain(|row| {
+        let keep = cx.eval(pred, row);
+        if keep {
+            kept.push(next);
+        }
+        next += 1;
+        keep
+    });
+    kept
 }
 
 /// Filter a freshly extracted columnar block by evaluating the
@@ -86,11 +99,12 @@ mod tests {
         let bq = bind(&q, &s, &udfs).unwrap();
         let cx = EvalContext::new(2, &[0, 1], &udfs);
         let mut b = block();
-        let removed = filter_block(&mut b, bq.predicate.as_ref(), &cx);
+        let kept = filter_block(&mut b, bq.predicate.as_ref(), &cx);
         // f32(0.7) ≈ 0.699999988 < 0.7, so i = 7 survives too.
-        assert_eq!(removed, 5);
         assert_eq!(b.rows.len(), 5); // A in {3,4,5,6,7}
         assert_eq!(b.rows[0][0], Value::Int(3));
+        // Survivors' pre-filter positions, for ordinal partitioning.
+        assert_eq!(kept, vec![3, 4, 5, 6, 7]);
     }
 
     #[test]
@@ -98,7 +112,8 @@ mod tests {
         let udfs = UdfRegistry::new();
         let cx = EvalContext::new(2, &[0, 1], &udfs);
         let mut b = block();
-        assert_eq!(filter_block(&mut b, None, &cx), 0);
+        let kept = filter_block(&mut b, None, &cx);
+        assert_eq!(kept, (0..10).collect::<Vec<u32>>());
         assert_eq!(b.rows.len(), 10);
     }
 
@@ -139,10 +154,15 @@ mod tests {
         let cx = EvalContext::new(2, &[0, 1], &udfs);
 
         let mut rows = block();
-        filter_block(&mut rows, bq.predicate.as_ref(), &cx);
+        let kept = filter_block(&mut rows, bq.predicate.as_ref(), &cx);
         let mut cols = column_block();
         let removed = filter_columns(&mut cols, bq.predicate.as_ref(), &cx);
         assert_eq!(removed, 10 - rows.rows.len());
+
+        // The row path's kept indices and the columnar selection
+        // vector must name the same scanned ordinals.
+        let sel = cols.selection().expect("partial filter installs a selection");
+        assert_eq!(kept, sel.to_vec());
 
         let survivors: Vec<Value> = cols.columns[0].values(cols.selection());
         let expected: Vec<Value> = rows.rows.iter().map(|r| r[0]).collect();

@@ -47,6 +47,6 @@ pub use dv_types::{CancelReason, CancelToken};
 pub use executor::ExecutorService;
 pub use mover::{BandwidthModel, MoverSnapshot};
 pub use partition::PartitionStrategy;
-pub use server::{ExecMode, QueryOptions, StormServer};
+pub use server::{default_intra_node_threads, ExecMode, QueryOptions, StormServer};
 pub use service::{QueryId, QueryService, ServiceConfig, SessionHandle, SubmitOptions};
-pub use stats::QueryStats;
+pub use stats::{MorselSnapshot, QueryStats};

@@ -91,13 +91,21 @@ pub struct MoverSnapshot {
 }
 
 /// Message from node workers to the client-side collector.
+///
+/// Data messages carry a sequence tag: the *scanned ordinal* of the
+/// source block's first pre-filter row within its node's schedule — a
+/// plan-time quantity, unique and monotonic in schedule order per
+/// node. The absorbing side buffers arrivals and reassembles them
+/// sorted by `(source node, seq)`, so client tables come out
+/// bit-identical no matter how morsel workers interleaved or stole
+/// the work that produced the blocks.
 #[derive(Debug)]
 pub enum MoverMessage {
     /// A block destined for client processor `processor`.
-    Block { processor: usize, block: RowBlock },
+    Block { processor: usize, seq: u64, block: RowBlock },
     /// A columnar block destined for client processor `processor`
     /// (rows are reconstituted only when the client absorbs it).
-    Columns { processor: usize, block: ColumnBlock },
+    Columns { processor: usize, seq: u64, block: ColumnBlock },
     /// Node `node` finished (successfully or not), reporting how long
     /// its extract/filter/partition/move pipeline ran.
     Done { node: usize, result: Result<()>, busy: std::time::Duration },
@@ -148,30 +156,33 @@ pub fn absorb_transfer(
     }
 }
 
-/// Send one block into the bounded transport. Returns the wire bytes
-/// of the payload.
+/// Send one block into the bounded transport, tagged with its source
+/// block's scanned ordinal. Returns the wire bytes of the payload.
 pub fn send_block(
     tx: &Sender<MoverMessage>,
     processor: usize,
+    seq: u64,
     block: RowBlock,
     stats: &MoverStats,
 ) -> Result<usize> {
     let bytes = block.wire_bytes();
-    send_msg(tx, MoverMessage::Block { processor, block }, stats)?;
+    send_msg(tx, MoverMessage::Block { processor, seq, block }, stats)?;
     Ok(bytes)
 }
 
-/// Send one columnar block into the bounded transport. Only *selected*
-/// rows count toward the payload — exactly what a serializing mover
-/// would put on the wire.
+/// Send one columnar block into the bounded transport, tagged with its
+/// source block's scanned ordinal. Only *selected* rows count toward
+/// the payload — exactly what a serializing mover would put on the
+/// wire.
 pub fn send_columns(
     tx: &Sender<MoverMessage>,
     processor: usize,
+    seq: u64,
     block: ColumnBlock,
     stats: &MoverStats,
 ) -> Result<usize> {
     let bytes = block.wire_bytes();
-    send_msg(tx, MoverMessage::Columns { processor, block }, stats)?;
+    send_msg(tx, MoverMessage::Columns { processor, seq, block }, stats)?;
     Ok(bytes)
 }
 
@@ -196,11 +207,12 @@ mod tests {
         let stats = MoverStats::default();
         let mut b = RowBlock::new(0);
         b.rows.push(vec![Value::Int(1), Value::Double(2.0)]);
-        let bytes = send_block(&tx, 3, b, &stats).unwrap();
+        let bytes = send_block(&tx, 3, 40, b, &stats).unwrap();
         assert_eq!(bytes, 12);
         match rx.recv().unwrap() {
-            MoverMessage::Block { processor, block } => {
+            MoverMessage::Block { processor, seq, block } => {
                 assert_eq!(processor, 3);
+                assert_eq!(seq, 40);
                 assert_eq!(block.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -221,11 +233,12 @@ mod tests {
         }
         b.advance_rows(4);
         b.set_selection(Some(vec![1, 3]));
-        let bytes = send_columns(&tx, 2, b, &MoverStats::default()).unwrap();
+        let bytes = send_columns(&tx, 2, 8, b, &MoverStats::default()).unwrap();
         assert_eq!(bytes, 2 * 12);
         match rx.recv().unwrap() {
-            MoverMessage::Columns { processor, block } => {
+            MoverMessage::Columns { processor, seq, block } => {
                 assert_eq!(processor, 2);
+                assert_eq!(seq, 8);
                 assert_eq!(block.selected(), 2);
             }
             other => panic!("unexpected {other:?}"),
@@ -237,7 +250,7 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         let b = RowBlock::new(0);
-        assert!(send_block(&tx, 0, b, &MoverStats::default()).is_err());
+        assert!(send_block(&tx, 0, 0, b, &MoverStats::default()).is_err());
     }
 
     #[test]
@@ -273,7 +286,7 @@ mod tests {
             b.rows.push(vec![Value::Int(1)]);
             b
         };
-        send_block(&tx, 0, mk(), &stats).unwrap();
+        send_block(&tx, 0, 0, mk(), &stats).unwrap();
         // The channel is full: the next send must block until the
         // consumer drains one message.
         let consumer = std::thread::spawn(move || {
@@ -282,7 +295,7 @@ mod tests {
             let second = rx.recv();
             (first.is_ok(), second.is_ok())
         });
-        send_block(&tx, 0, mk(), &stats).unwrap();
+        send_block(&tx, 0, 1, mk(), &stats).unwrap();
         let (first, second) = consumer.join().unwrap();
         assert!(first && second);
         let snap = stats.snapshot();

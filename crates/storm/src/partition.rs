@@ -61,18 +61,28 @@ fn range_processor(v: f64, bounds: &[f64], processors: usize) -> usize {
 }
 
 /// Split a block into per-processor blocks. `base_ordinal` is the
-/// count of rows already partitioned from this node (keeps round-robin
-/// stable across blocks).
+/// *scanned* ordinal of the block's first pre-filter row — a plan-time
+/// quantity (rows materialized by all earlier AFCs in the node's
+/// schedule), so round-robin assignment is independent of block
+/// boundaries, batch sizes, thread counts, and morsel steal order.
+/// `ordinals`, when present, gives each surviving row's pre-filter
+/// index within the block (from [`crate::filter::filter_block`]);
+/// `None` means the block was not filtered (identity).
 pub fn partition_block(
     block: RowBlock,
     strategy: &PartitionStrategy,
     processors: usize,
     base_ordinal: u64,
+    ordinals: Option<&[u32]>,
 ) -> Vec<RowBlock> {
     let mut out: Vec<RowBlock> =
         (0..processors).map(|_| RowBlock::new(block.source_node)).collect();
     for (i, row) in block.rows.into_iter().enumerate() {
-        let p = strategy.assign(base_ordinal + i as u64, &row, processors);
+        let ord = match ordinals {
+            Some(o) => o[i] as u64,
+            None => i as u64,
+        };
+        let p = strategy.assign(base_ordinal + ord, &row, processors);
         out[p].rows.push(row);
     }
     out
@@ -81,6 +91,9 @@ pub fn partition_block(
 /// Split a columnar block's *selected* rows into dense per-processor
 /// columnar blocks. Assignment reads only the key column (as `f64`s);
 /// the gather then touches each payload column exactly once.
+/// Round-robin keys on `base_ordinal` plus each row's pre-filter index
+/// (the selection vector preserves scanned positions), mirroring
+/// [`partition_block`]'s scanned-ordinal semantics.
 pub fn partition_columns(
     block: ColumnBlock,
     strategy: &PartitionStrategy,
@@ -90,8 +103,8 @@ pub fn partition_columns(
     let mut idx: Vec<Vec<u32>> = (0..processors).map(|_| Vec::new()).collect();
     match strategy {
         PartitionStrategy::RoundRobin => {
-            for (k, i) in block.selected_rows().into_iter().enumerate() {
-                idx[((base_ordinal + k as u64) % processors as u64) as usize].push(i);
+            for i in block.selected_rows() {
+                idx[((base_ordinal + i as u64) % processors as u64) as usize].push(i);
             }
         }
         PartitionStrategy::HashAttr { position } => {
@@ -129,7 +142,7 @@ mod tests {
 
     #[test]
     fn round_robin_balances() {
-        let parts = partition_block(block(10), &PartitionStrategy::RoundRobin, 3, 0);
+        let parts = partition_block(block(10), &PartitionStrategy::RoundRobin, 3, 0, None);
         assert_eq!(parts.len(), 3);
         let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
@@ -139,8 +152,8 @@ mod tests {
 
     #[test]
     fn round_robin_continues_across_blocks() {
-        let a = partition_block(block(2), &PartitionStrategy::RoundRobin, 2, 0);
-        let b = partition_block(block(2), &PartitionStrategy::RoundRobin, 2, 2);
+        let a = partition_block(block(2), &PartitionStrategy::RoundRobin, 2, 0, None);
+        let b = partition_block(block(2), &PartitionStrategy::RoundRobin, 2, 2, None);
         // Second block continues the cycle: ordinals 2,3 → procs 0,1.
         assert_eq!(a[0].len(), 1);
         assert_eq!(b[0].len(), 1);
@@ -156,7 +169,7 @@ mod tests {
         for _ in 0..5 {
             b.rows.push(vec![Value::Int(7)]);
         }
-        let parts = partition_block(b, &PartitionStrategy::HashAttr { position: 0 }, 4, 0);
+        let parts = partition_block(b, &PartitionStrategy::HashAttr { position: 0 }, 4, 0, None);
         // Each distinct value lands entirely on one processor.
         for parts_with_42 in parts.iter().filter(|p| p.rows.iter().any(|r| r[0] == Value::Int(42)))
         {
@@ -176,7 +189,7 @@ mod tests {
     #[test]
     fn range_partition_respects_bounds() {
         let s = PartitionStrategy::RangeAttr { position: 1, bounds: vec![3.0, 6.0] };
-        let parts = partition_block(block(10), &s, 3, 0);
+        let parts = partition_block(block(10), &s, 3, 0, None);
         assert_eq!(parts[0].len(), 3); // 0,1,2
         assert_eq!(parts[1].len(), 3); // 3,4,5
         assert_eq!(parts[2].len(), 4); // 6..9
@@ -212,7 +225,7 @@ mod tests {
             PartitionStrategy::RangeAttr { position: 1, bounds: vec![3.0, 6.0] },
         ];
         for s in strategies {
-            let rows = partition_block(block(10), &s, 3, 5);
+            let rows = partition_block(block(10), &s, 3, 5, None);
             let cols = partition_columns(col_block(10), &s, 3, 5);
             assert_eq!(cols.len(), rows.len());
             for (c, r) in cols.iter().zip(&rows) {
@@ -225,10 +238,38 @@ mod tests {
     fn columnar_partition_honors_selection() {
         let mut b = col_block(10);
         // Keep only even rows, then round-robin over 2 processors.
+        // Assignment keys on the *scanned* ordinal (the pre-filter
+        // index), so every even-ordinal survivor lands on processor 0
+        // — a plan-time function of the scan, independent of how the
+        // surviving rows were batched or which worker shipped them.
         b.set_selection(Some(vec![0, 2, 4, 6, 8]));
         let parts = partition_columns(b, &PartitionStrategy::RoundRobin, 2, 0);
         assert_eq!(parts[0].len() + parts[1].len(), 5);
+        assert_eq!(parts[0].len(), 5);
+        assert_eq!(parts[1].len(), 0);
         assert_eq!(part_rows(&parts[0])[0], vec![Value::Int(0), Value::Double(0.0)]);
-        assert_eq!(part_rows(&parts[1])[0], vec![Value::Int(2), Value::Double(2.0)]);
+        assert_eq!(part_rows(&parts[0])[1], vec![Value::Int(2), Value::Double(2.0)]);
+    }
+
+    #[test]
+    fn row_partition_with_ordinals_matches_columnar_selection() {
+        // Row path: the same five survivors with their pre-filter
+        // indices must partition exactly like the columnar selection.
+        let mut b = RowBlock::new(0);
+        for i in [0, 2, 4, 6, 8] {
+            b.rows.push(vec![Value::Int(i), Value::Double(i as f64)]);
+        }
+        let kept: Vec<u32> = vec![0, 2, 4, 6, 8];
+        let parts = partition_block(b, &PartitionStrategy::RoundRobin, 2, 0, Some(&kept));
+        assert_eq!(parts[0].len(), 5);
+        assert_eq!(parts[1].len(), 0);
+        // A different base shifts the whole block's assignment.
+        let mut b = RowBlock::new(0);
+        for i in [0, 2, 4, 6, 8] {
+            b.rows.push(vec![Value::Int(i), Value::Double(i as f64)]);
+        }
+        let parts = partition_block(b, &PartitionStrategy::RoundRobin, 2, 1, Some(&kept));
+        assert_eq!(parts[0].len(), 0);
+        assert_eq!(parts[1].len(), 5);
     }
 }

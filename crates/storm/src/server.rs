@@ -19,6 +19,19 @@ use crate::partition::PartitionStrategy;
 use crate::service::{QueryService, ServerCore, ServiceConfig, SubmitOptions};
 use crate::stats::QueryStats;
 
+/// The default per-node worker count: the host's available
+/// parallelism, overridable with `DV_THREADS=<n>`; `DV_SERIAL=1`
+/// forces the serial configuration (equivalent to `DV_THREADS=1`).
+pub fn default_intra_node_threads() -> usize {
+    if std::env::var("DV_SERIAL").map(|v| v == "1").unwrap_or(false) {
+        return 1;
+    }
+    if let Some(n) = std::env::var("DV_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Which engine the node pipeline runs. Results are identical; the
 /// columnar engine is the default, the row engine is retained for the
 /// ablation benchmark and as the oracle in differential tests.
@@ -44,9 +57,18 @@ pub struct QueryOptions {
     pub bandwidth: Option<BandwidthModel>,
     /// Target rows per extracted block (AFCs are batched up to this).
     pub batch_rows: usize,
-    /// Worker threads per node (1 = the paper's one-process-per-node
-    /// configuration; >1 is the intra-node parallelism ablation).
+    /// Worker threads per node pool. Defaults to the host's available
+    /// parallelism (see [`default_intra_node_threads`]); `1` is the
+    /// explicit serial configuration (the paper's one-process-per-node
+    /// setup and the differential-test oracle). Results are
+    /// bit-identical at any setting. Clamped at execution time by
+    /// `ServiceConfig::max_intra_node_threads`.
     pub intra_node_threads: usize,
+    /// Morsel size target in bytes for intra-node scheduling.
+    /// `0` (the default) sizes adaptively: the node's schedule bytes
+    /// spread over `threads × MORSELS_PER_THREAD` morsels, floored at
+    /// 64 KiB (see [`dv_layout::adaptive_morsel_bytes`]).
+    pub morsel_bytes: u64,
     /// Run node pipelines one after another instead of concurrently.
     /// Results are identical; per-node busy times become free of
     /// timesharing noise, so `QueryStats::simulated_parallel_time`
@@ -72,7 +94,8 @@ impl Default for QueryOptions {
             partition: PartitionStrategy::RoundRobin,
             bandwidth: None,
             batch_rows: 4 * 1024,
-            intra_node_threads: 1,
+            intra_node_threads: default_intra_node_threads(),
+            morsel_bytes: 0,
             sequential_nodes: false,
             exec: ExecMode::default(),
             io: IoOptions::default(),
@@ -102,7 +125,7 @@ impl StormServer {
         udfs: UdfRegistry,
         config: ServiceConfig,
     ) -> StormServer {
-        let core = Arc::new(ServerCore::new(compiled, udfs));
+        let core = Arc::new(ServerCore::new(compiled, udfs, &config));
         StormServer { service: QueryService::new(core, &config) }
     }
 

@@ -27,14 +27,14 @@ use crossbeam::channel::{bounded, Receiver};
 use dv_layout::io::IoStats;
 use dv_layout::{CompiledDataset, Extractor, IoOptions, SegmentCache, SharedHandles};
 use dv_sql::{bind, parse, BoundExpr, BoundQuery, UdfRegistry};
-use dv_types::{CancelToken, DvError, Result, Table};
+use dv_types::{CancelToken, ColumnBlock, DvError, Result, RowBlock, Table};
 
 use crate::admission::Admission;
 use crate::cluster::Cluster;
 use crate::executor::{ExecutorService, NodeWorker};
 use crate::mover::{absorb_transfer, MoverMessage, MoverStats};
 use crate::server::QueryOptions;
-use crate::stats::QueryStats;
+use crate::stats::{MorselStats, QueryStats};
 
 /// Identifier the service assigns to each admitted query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,11 +51,21 @@ impl std::fmt::Display for QueryId {
 pub struct ServiceConfig {
     /// Queries admitted concurrently; the rest queue (min 1).
     pub max_concurrent: usize,
+    /// Ceiling on `QueryOptions::intra_node_threads` — a per-query
+    /// request above this is clamped at execution time, so one greedy
+    /// query cannot oversubscribe a shared server. Defaults to the
+    /// host's available parallelism.
+    pub max_intra_node_threads: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
-        ServiceConfig { max_concurrent: 4 }
+        ServiceConfig {
+            max_concurrent: 4,
+            max_intra_node_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
     }
 }
 
@@ -94,10 +104,16 @@ pub(crate) struct ServerCore {
     pub segment_cache: Arc<SegmentCache>,
     pub shared_handles: SharedHandles,
     pub executors: Vec<ExecutorService>,
+    /// Server-wide ceiling on per-query intra-node worker threads.
+    pub max_intra_node_threads: usize,
 }
 
 impl ServerCore {
-    pub fn new(compiled: Arc<CompiledDataset>, udfs: UdfRegistry) -> ServerCore {
+    pub fn new(
+        compiled: Arc<CompiledDataset>,
+        udfs: UdfRegistry,
+        config: &ServiceConfig,
+    ) -> ServerCore {
         let nodes = compiled.model.node_count();
         let cluster = Arc::new(Cluster::new(nodes));
         let executors =
@@ -108,6 +124,7 @@ impl ServerCore {
             segment_cache: Arc::new(SegmentCache::new(IoOptions::default().cache_bytes)),
             shared_handles: SharedHandles::new(),
             executors,
+            max_intra_node_threads: config.max_intra_node_threads.max(1),
         }
     }
 }
@@ -361,6 +378,10 @@ pub(crate) fn run_session(
     if opts.client_processors == 0 {
         return Err(DvError::Runtime("client_processors must be >= 1".into()));
     }
+    // Clamp the per-query worker request to the server-wide ceiling.
+    let mut opts = opts.clone();
+    opts.intra_node_threads = opts.intra_node_threads.clamp(1, core.max_intra_node_threads);
+    let opts = &opts;
     let mut stats = QueryStats::default();
     cancel.check()?;
 
@@ -396,6 +417,7 @@ pub(crate) fn run_session(
     let prune_bytes_avoided = Arc::new(AtomicU64::new(0));
     let io_stats = Arc::new(IoStats::default());
     let mover_stats = Arc::new(MoverStats::default());
+    let morsel_stats = Arc::new(MorselStats::default());
 
     // The mover is the only inter-stage transport: a bounded typed
     // channel, so a slow absorber back-pressures the node pipelines.
@@ -432,6 +454,7 @@ pub(crate) fn run_session(
             prune_bytes_avoided: Arc::clone(&prune_bytes_avoided),
             io_stats: Arc::clone(&io_stats),
             mover_stats: Arc::clone(&mover_stats),
+            morsel_stats: Arc::clone(&morsel_stats),
             segment_cache: Arc::clone(&core.segment_cache),
         };
         let worker_tx = tx.clone();
@@ -445,6 +468,19 @@ pub(crate) fn run_session(
         });
     };
 
+    // Blocks buffered for ordered reassembly: morsel workers ship in
+    // whatever order stealing produced, but every block carries its
+    // node and plan-time sequence tag (the starting scanned ordinal),
+    // so sorting by (node, seq) reconstructs exactly the serial
+    // schedule order before anything is absorbed into a client table.
+    // This is what makes results bit-identical across thread counts
+    // and steal orders.
+    enum Shipped {
+        Rows(RowBlock),
+        Cols(ColumnBlock),
+    }
+    let mut pending: Vec<(usize, u64, usize, Shipped)> = Vec::new();
+
     // Drain messages until `want` Done messages arrive. Always drains
     // to completion — a cancelled query still collects every node's
     // Done, so no fragment is left running or blocked on the mover.
@@ -453,19 +489,19 @@ pub(crate) fn run_session(
     // cancelled one skips the remaining sleeps (the error surfaces
     // from the final checkpoint) while still collecting every Done.
     let drain = |want: usize,
-                 tables: &mut Vec<Table>,
+                 pending: &mut Vec<(usize, u64, usize, Shipped)>,
                  node_busy: &mut Vec<std::time::Duration>,
                  first_error: &mut Option<DvError>| {
         let mut done = 0usize;
         for msg in rx.iter() {
             match msg {
-                MoverMessage::Block { processor, block } => {
+                MoverMessage::Block { processor, seq, block } => {
                     let _ = absorb_transfer(opts.bandwidth.as_ref(), block.wire_bytes(), cancel);
-                    tables[processor].absorb(block)
+                    pending.push((block.source_node, seq, processor, Shipped::Rows(block)));
                 }
-                MoverMessage::Columns { processor, block } => {
+                MoverMessage::Columns { processor, seq, block } => {
                     let _ = absorb_transfer(opts.bandwidth.as_ref(), block.wire_bytes(), cancel);
-                    tables[processor].absorb_columns(block)
+                    pending.push((block.source_node, seq, processor, Shipped::Cols(block)));
                 }
                 MoverMessage::Done { result, busy, .. } => {
                     done += 1;
@@ -484,13 +520,13 @@ pub(crate) fn run_session(
     if opts.sequential_nodes {
         for node in 0..node_count {
             dispatch(node, &tx);
-            drain(1, &mut tables, &mut node_busy, &mut first_error);
+            drain(1, &mut pending, &mut node_busy, &mut first_error);
         }
     } else {
         for node in 0..node_count {
             dispatch(node, &tx);
         }
-        drain(node_count, &mut tables, &mut node_busy, &mut first_error);
+        drain(node_count, &mut pending, &mut node_busy, &mut first_error);
     }
     drop(tx);
     stats.exec_time = exec_start.elapsed();
@@ -503,6 +539,17 @@ pub(crate) fn run_session(
     // return a (possibly complete) result as if nothing happened.
     cancel.check()?;
 
+    // Ordered reassembly (see `pending` above). The sort is stable and
+    // (node, seq) is unique per destination table: a node pipeline
+    // never ships two blocks for the same processor with equal seq.
+    pending.sort_by_key(|&(node, seq, _, _)| (node, seq));
+    for (_, _, processor, shipped) in pending {
+        match shipped {
+            Shipped::Rows(block) => tables[processor].absorb(block),
+            Shipped::Cols(block) => tables[processor].absorb_columns(block),
+        }
+    }
+
     stats.rows_scanned = rows_scanned.load(Ordering::Relaxed);
     stats.rows_selected = rows_selected.load(Ordering::Relaxed);
     stats.bytes_read = bytes_read.load(Ordering::Relaxed);
@@ -514,5 +561,6 @@ pub(crate) fn run_session(
     stats.bytes_avoided = prune_bytes_avoided.load(Ordering::Relaxed);
     stats.io = io_stats.snapshot();
     stats.mover = mover_stats.snapshot();
+    stats.morsels = morsel_stats.snapshot();
     Ok((tables, stats))
 }

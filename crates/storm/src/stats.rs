@@ -1,11 +1,84 @@
 //! Query execution statistics, gathered across services.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use dv_layout::IoSnapshot;
 
 use crate::mover::MoverSnapshot;
+
+/// Shared atomic morsel-scheduler counters for one query, aggregated
+/// across all node pools and snapshotted into `QueryStats::morsels`.
+#[derive(Debug)]
+pub struct MorselStats {
+    /// Morsels planned across all node schedules.
+    pub planned: AtomicU64,
+    /// Morsels a worker stole from another worker's queue.
+    pub stolen: AtomicU64,
+    /// Workers started across all node pools.
+    pub workers: AtomicU64,
+    /// Largest adaptive byte target any node planned with.
+    pub target_bytes: AtomicU64,
+    /// Fewest bytes any single worker processed (skew floor).
+    pub worker_bytes_min: AtomicU64,
+    /// Most bytes any single worker processed (skew ceiling).
+    pub worker_bytes_max: AtomicU64,
+    /// Total worker time spent in the pool but not executing a morsel
+    /// (claim/steal scans plus idle tail while peers finish).
+    pub pool_wait_ns: AtomicU64,
+}
+
+impl Default for MorselStats {
+    fn default() -> MorselStats {
+        MorselStats {
+            planned: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
+            target_bytes: AtomicU64::new(0),
+            // Folded with `fetch_min`; MAX means "no worker reported".
+            worker_bytes_min: AtomicU64::new(u64::MAX),
+            worker_bytes_max: AtomicU64::new(0),
+            pool_wait_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MorselStats {
+    /// Copy the counters into a plain snapshot.
+    pub fn snapshot(&self) -> MorselSnapshot {
+        let min = self.worker_bytes_min.load(Ordering::Relaxed);
+        MorselSnapshot {
+            planned: self.planned.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
+            target_bytes: self.target_bytes.load(Ordering::Relaxed),
+            worker_bytes_min: if min == u64::MAX { 0 } else { min },
+            worker_bytes_max: self.worker_bytes_max.load(Ordering::Relaxed),
+            pool_wait: Duration::from_nanos(self.pool_wait_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time view of [`MorselStats`], carried in
+/// `QueryStats::morsels`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MorselSnapshot {
+    /// Morsels planned across all node schedules.
+    pub planned: u64,
+    /// Morsels a worker stole from another worker's queue.
+    pub stolen: u64,
+    /// Workers started across all node pools.
+    pub workers: u64,
+    /// Largest adaptive byte target any node planned with.
+    pub target_bytes: u64,
+    /// Fewest bytes any single worker processed.
+    pub worker_bytes_min: u64,
+    /// Most bytes any single worker processed.
+    pub worker_bytes_max: u64,
+    /// Total worker time in the pool but not executing a morsel.
+    pub pool_wait: Duration,
+}
 
 /// Counters and timings of one query execution.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +112,9 @@ pub struct QueryStats {
     /// Data mover counters: sends, and how often/long the bounded
     /// transport back-pressured the node pipelines.
     pub mover: MoverSnapshot,
+    /// Morsel scheduler counters: work planned, stolen, and how evenly
+    /// the worker pools shared the bytes.
+    pub morsels: MorselSnapshot,
     /// Time spent planning (phase 2: grouping + AFC alignment).
     pub plan_time: Duration,
     /// Wall time of the parallel execute/transfer phase.
@@ -79,7 +155,7 @@ impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; prune: {}/{} groups pruned, {} full, {} KiB avoided; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits; mover: {} sends, {} blocked {:?}; queued {:?})",
+            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; prune: {}/{} groups pruned, {} full, {} KiB avoided; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits; mover: {} sends, {} blocked {:?}; morsels: {} planned, {} stolen, {} workers, {}..{} KiB/worker, pool wait {:?}; queued {:?})",
             self.rows_selected,
             self.rows_scanned,
             self.afcs,
@@ -103,6 +179,12 @@ impl fmt::Display for QueryStats {
             self.mover.sends,
             self.mover.blocked_sends,
             self.mover.send_wait,
+            self.morsels.planned,
+            self.morsels.stolen,
+            self.morsels.workers,
+            self.morsels.worker_bytes_min / 1024,
+            self.morsels.worker_bytes_max / 1024,
+            self.morsels.pool_wait,
             self.queue_wait,
         )
     }
@@ -141,6 +223,14 @@ mod tests {
                 ..Default::default()
             },
             mover: crate::mover::MoverSnapshot { sends: 9, blocked_sends: 2, ..Default::default() },
+            morsels: MorselSnapshot {
+                planned: 16,
+                stolen: 3,
+                workers: 4,
+                worker_bytes_min: 1024,
+                worker_bytes_max: 2048,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let text = s.to_string();
@@ -152,6 +242,19 @@ mod tests {
         assert!(text.contains("cache hit 50%"), "{text}");
         assert!(text.contains("9 sends, 2 blocked"), "{text}");
         assert!(text.contains("3/10 groups pruned, 2 full, 8 KiB avoided"), "{text}");
+        assert!(text.contains("16 planned, 3 stolen, 4 workers, 1..2 KiB/worker"), "{text}");
+    }
+
+    #[test]
+    fn morsel_snapshot_maps_untouched_min_to_zero() {
+        let stats = MorselStats::default();
+        let snap = stats.snapshot();
+        assert_eq!(snap.worker_bytes_min, 0);
+        stats.worker_bytes_min.fetch_min(512, Ordering::Relaxed);
+        stats.worker_bytes_max.fetch_max(512, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.worker_bytes_min, 512);
+        assert_eq!(snap.worker_bytes_max, 512);
     }
 
     #[test]

@@ -36,7 +36,7 @@ proptest! {
         base in 0u64..100,
     ) {
         let block = block_of(&vals);
-        let parts = partition_block(block, &strategy, processors, base);
+        let parts = partition_block(block, &strategy, processors, base, None);
         prop_assert_eq!(parts.len(), processors);
 
         // Conservation: the multiset of rows is unchanged.
@@ -59,6 +59,7 @@ proptest! {
             &PartitionStrategy::HashAttr { position: 0 },
             processors,
             0,
+            None,
         );
         // No value appears on two different processors.
         let mut owner: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
@@ -82,7 +83,7 @@ proptest! {
         let processors = bounds.len() + 1;
         let rows: Vec<(i32, f64)> = vals.iter().map(|v| (0, *v)).collect();
         let strategy = PartitionStrategy::RangeAttr { position: 1, bounds: bounds.clone() };
-        let parts = partition_block(block_of(&rows), &strategy, processors, 0);
+        let parts = partition_block(block_of(&rows), &strategy, processors, 0, None);
         for (p, part) in parts.iter().enumerate() {
             for row in &part.rows {
                 let v = row[1].as_f64();
@@ -102,7 +103,7 @@ proptest! {
         processors in 1usize..6,
     ) {
         let rows: Vec<(i32, f64)> = (0..n as i32).map(|i| (i, 0.0)).collect();
-        let parts = partition_block(block_of(&rows), &PartitionStrategy::RoundRobin, processors, 0);
+        let parts = partition_block(block_of(&rows), &PartitionStrategy::RoundRobin, processors, 0, None);
         let max = parts.iter().map(|p| p.len()).max().unwrap_or(0);
         let min = parts.iter().map(|p| p.len()).min().unwrap_or(0);
         prop_assert!(max - min <= 1);

@@ -88,6 +88,53 @@ fn concurrent_clients_bit_match_serial() {
     assert_eq!(v.service().queued(), 0, "no waiter left behind");
 }
 
+/// Concurrent clients × morsel-parallel node pools: every query runs
+/// with an explicit 8-thread pool (stealing active inside each node)
+/// while 8 clients hammer the shared server — results must still be
+/// bit-identical to the serial oracle, now in exact row order, not
+/// just as a sorted multiset.
+#[test]
+fn concurrent_morsel_pools_bit_match_serial_in_order() {
+    let base = scratch("stress-morsel");
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    let v = Arc::new(
+        Virtualizer::builder(&descriptor)
+            .storage_base(&base)
+            .max_concurrent(4)
+            .max_intra_node_threads(8)
+            .build()
+            .unwrap(),
+    );
+    let pool = QueryOptions { intra_node_threads: 8, ..QueryOptions::default() };
+    let serial = QueryOptions { intra_node_threads: 1, ..QueryOptions::default() };
+    let queries: Vec<String> =
+        ipars_queries("IparsData", cfg().time_steps).into_iter().map(|q| q.sql).take(4).collect();
+    let oracle: Vec<_> =
+        queries.iter().map(|sql| v.query_with(sql, &serial).unwrap().0.remove(0)).collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..8usize {
+            let v = Arc::clone(&v);
+            let queries = &queries;
+            let oracle = &oracle;
+            let pool = &pool;
+            scope.spawn(move || {
+                for (i, _) in queries.iter().enumerate() {
+                    let i = (i + client) % queries.len();
+                    let (mut tables, stats) = v.query_with(&queries[i], pool).unwrap();
+                    let table = tables.remove(0);
+                    assert_eq!(
+                        table.rows, oracle[i].rows,
+                        "client {client} query {i}: morsel-parallel rows diverged from serial"
+                    );
+                    assert!(stats.morsels.planned > 0, "morsel plan recorded");
+                }
+            });
+        }
+    });
+    assert_eq!(v.service().running(), 0, "all slots released");
+}
+
 /// A timed-out query returns `Cancelled`, releases its admission slot,
 /// and the very next query on the same server succeeds — no orphaned
 /// cluster job holds the slot or wedges the workers.

@@ -1,0 +1,239 @@
+//! Morsel-parallelism differential tests: results must be
+//! *bit-identical* — same rows in the same order per client partition
+//! — across thread counts, steal orders (shuffled with injected
+//! per-morsel jitter), layouts, engines, and prune on/off. Plus: a
+//! cancelled parallel scan leaves no orphaned workers, and a skewed
+//! schedule spreads bytes evenly over the pool (the bug the morsel
+//! scheduler replaces: count-based chunking serialized behind the
+//! biggest file).
+
+use std::io::Write;
+use std::time::Duration;
+
+use dv_core::{
+    BandwidthModel, ExecMode, PartitionStrategy, QueryOptions, SubmitOptions, Virtualizer,
+};
+use dv_datagen::{ipars, IparsConfig, IparsLayout};
+use dv_integration::scratch;
+
+fn cfg() -> IparsConfig {
+    IparsConfig { realizations: 2, time_steps: 40, grid_per_dir: 50, dirs: 2, nodes: 2, seed: 41 }
+}
+
+fn opts(threads: usize, exec: ExecMode, no_prune: bool) -> QueryOptions {
+    QueryOptions { intra_node_threads: threads, exec, no_prune, ..QueryOptions::default() }
+}
+
+/// Every (layout × engine × prune × thread-count) combination returns
+/// exactly the serial oracle's tables: same rows, same order. Jitter
+/// (`DV_MORSEL_JITTER`) injects a deterministic pseudo-random sleep
+/// per morsel, so the parallel runs complete morsels in thoroughly
+/// shuffled orders — the (node, seq) reassembly must still
+/// reconstruct schedule order bit-for-bit.
+#[test]
+fn parallel_results_bit_match_serial_across_layouts_and_engines() {
+    let queries = [
+        "SELECT * FROM IparsData",
+        "SELECT REL, TIME, SOIL, PGAS FROM IparsData WHERE TIME <= 25 AND SOIL > 0.3",
+    ];
+    std::env::set_var("DV_MORSEL_JITTER", "2");
+    for layout in IparsLayout::all() {
+        let base = scratch(&format!("morsel-diff-{}", layout.tag()));
+        let descriptor = ipars::generate(&base, &cfg(), layout).unwrap();
+        let v = Virtualizer::builder(&descriptor)
+            .storage_base(&base)
+            .max_intra_node_threads(8)
+            .build()
+            .unwrap();
+        for sql in queries {
+            for exec in [ExecMode::Columnar, ExecMode::RowAtATime] {
+                for no_prune in [false, true] {
+                    let (oracle, _) = v.query_with(sql, &opts(1, exec, no_prune)).unwrap();
+                    for threads in [2usize, 8] {
+                        let (tables, _) =
+                            v.query_with(sql, &opts(threads, exec, no_prune)).unwrap();
+                        assert_eq!(tables.len(), oracle.len());
+                        for (t, o) in tables.iter().zip(&oracle) {
+                            assert_eq!(
+                                t.rows,
+                                o.rows,
+                                "{} {exec:?} no_prune={no_prune} threads={threads}: \
+                                 parallel output diverged from serial",
+                                layout.tag()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    std::env::remove_var("DV_MORSEL_JITTER");
+}
+
+/// Partitioned delivery is also steal-order independent: with several
+/// client processors, each processor's partition matches the serial
+/// run exactly (round-robin keys on plan-time scanned ordinals, not on
+/// arrival order).
+#[test]
+fn partitioned_delivery_is_thread_count_independent() {
+    let base = scratch("morsel-parts");
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    let v = Virtualizer::builder(&descriptor)
+        .storage_base(&base)
+        .max_intra_node_threads(8)
+        .build()
+        .unwrap();
+    let sql = "SELECT REL, TIME, SOIL FROM IparsData WHERE SOIL > 0.2";
+    for strategy in [
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::HashAttr { position: 2 },
+        PartitionStrategy::RangeAttr { position: 2, bounds: vec![0.5] },
+    ] {
+        let po = |threads: usize| QueryOptions {
+            client_processors: 3,
+            partition: strategy.clone(),
+            intra_node_threads: threads,
+            ..QueryOptions::default()
+        };
+        let (oracle, _) = v.query_with(sql, &po(1)).unwrap();
+        for threads in [2usize, 8] {
+            let (tables, stats) = v.query_with(sql, &po(threads)).unwrap();
+            for (p, (t, o)) in tables.iter().zip(&oracle).enumerate() {
+                assert_eq!(
+                    t.rows, o.rows,
+                    "{strategy:?} threads={threads}: processor {p} partition diverged"
+                );
+            }
+            assert!(stats.morsels.workers > 0, "pool stats recorded");
+        }
+    }
+}
+
+/// Cancelling a parallel scan mid-flight: the query ends with
+/// `Cancelled`, every pool worker stops (the admission slot is
+/// released, so the next query runs), and no orphaned worker keeps
+/// the server busy.
+#[test]
+fn mid_scan_cancellation_stops_all_workers_and_frees_slot() {
+    let base = scratch("morsel-cancel");
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    let v = Virtualizer::builder(&descriptor)
+        .storage_base(&base)
+        .max_concurrent(1)
+        .max_intra_node_threads(8)
+        .build()
+        .unwrap();
+    // A link slow enough that the transfer takes many seconds: the
+    // cancel must interrupt the scan, not race it to completion.
+    let slow = QueryOptions {
+        intra_node_threads: 8,
+        bandwidth: Some(BandwidthModel {
+            bytes_per_sec: 64.0 * 1024.0,
+            latency: Duration::from_millis(1),
+        }),
+        ..QueryOptions::default()
+    };
+    let handle = v.submit("SELECT * FROM IparsData", &slow, &SubmitOptions::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    handle.cancel();
+    let err = handle.wait().unwrap_err();
+    assert!(err.is_cancelled(), "expected cancellation, got: {err}");
+
+    // Slot released and workers gone: the next query (behind the
+    // single admission slot) completes promptly and correctly.
+    for _ in 0..200 {
+        if v.service().running() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(v.service().running(), 0, "cancelled query must release its slot");
+    let (table, _) = v.query("SELECT REL, TIME FROM IparsData WHERE TIME = 1").unwrap();
+    assert!(!table.rows.is_empty());
+}
+
+/// Build a single-node dataset whose per-directory extents shrink
+/// steeply: directory 0 holds ~6× the bytes of directory 7. Under the
+/// old count-based chunk striping the worker that drew directory 0's
+/// AFCs did ~6× the work; byte-budgeted morsels plus stealing must
+/// spread bytes nearly evenly.
+fn generate_skewed(tag: &str) -> (std::path::PathBuf, String) {
+    let base = scratch(tag);
+    let dirs = 8usize;
+    let times = 16usize;
+    let mut descriptor = String::from(
+        "[SKEW]\nTIME = int\nVAL = float\nAUX = float\n\n[SkewData]\nDatasetDescription = SKEW\n",
+    );
+    for d in 0..dirs {
+        descriptor.push_str(&format!("DIR[{d}] = node0/skew.d{d}\n"));
+    }
+    descriptor.push_str(
+        "\nDATASET \"SkewData\" {\n  DATATYPE { SKEW }\n  DATAINDEX { TIME }\n  DATA { DATASET var_val DATASET var_aux }\n",
+    );
+    for (name, file) in [("var_val", "val.dat"), ("var_aux", "aux.dat")] {
+        descriptor.push_str(&format!(
+            "  DATASET \"{name}\" {{\n    DATASPACE {{ LOOP TIME 1:{times}:1 {{ LOOP GRID 1:(8000-960*$DIRID):1 {{ {} }} }} }}\n    DATA {{ DIR[$DIRID]/{file} DIRID = 0:{}:1 }}\n  }}\n",
+            if name == "var_val" { "VAL" } else { "AUX" },
+            dirs - 1,
+        ));
+    }
+    descriptor.push_str("}\n");
+    for d in 0..dirs {
+        let dir = base.join("node0").join(format!("skew.d{d}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = 8000 - 960 * d;
+        for file in ["val.dat", "aux.dat"] {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(dir.join(file)).unwrap());
+            for t in 0..times {
+                for g in 0..rows {
+                    let x = (d * 1_000_000 + t * 10_000 + g) as f32 * 1e-3;
+                    w.write_all(&x.to_le_bytes()).unwrap();
+                }
+            }
+            w.flush().unwrap();
+        }
+    }
+    (base, descriptor)
+}
+
+/// The skew regression itself: one hugely oversized directory plus
+/// progressively smaller ones. The pool must (a) return exactly the
+/// serial rows and (b) keep the busiest worker's byte share close to
+/// the mean — under count-based chunking it carried ~6× the mean.
+#[test]
+fn skewed_schedule_balances_worker_bytes() {
+    let (base, descriptor) = generate_skewed("morsel-skew");
+    let v = Virtualizer::builder(&descriptor)
+        .storage_base(&base)
+        .max_intra_node_threads(4)
+        .build()
+        .unwrap();
+    let sql = "SELECT TIME, VAL FROM SkewData";
+    let serial = QueryOptions { intra_node_threads: 1, ..QueryOptions::default() };
+    let (oracle, _) = v.query_with(sql, &serial).unwrap();
+
+    let par = QueryOptions { intra_node_threads: 4, ..QueryOptions::default() };
+    let (tables, stats) = v.query_with(sql, &par).unwrap();
+    assert_eq!(tables[0].rows, oracle[0].rows, "skewed parallel scan diverged from serial");
+
+    let m = &stats.morsels;
+    assert!(m.workers >= 2, "pool must actually be parallel, got {} workers", m.workers);
+    assert!(
+        m.planned > m.workers,
+        "schedule must split finer than the pool: {} morsels for {} workers",
+        m.planned,
+        m.workers
+    );
+    // Byte balance: the busiest worker stays within 2× the fair share.
+    // (Count-based chunking put ~6 shares on the directory-0 worker.)
+    let fair = stats.bytes_read / m.workers;
+    assert!(
+        m.worker_bytes_max <= 2 * fair,
+        "worker byte skew: max {} vs fair share {} ({} morsels, {} stolen)",
+        m.worker_bytes_max,
+        fair,
+        m.planned,
+        m.stolen
+    );
+    assert!(m.worker_bytes_min > 0, "every worker must get work on a skewed schedule");
+}
