@@ -7,7 +7,7 @@
 //! datavirt validate <descriptor> --base <dir>         check files against the descriptor
 //! datavirt lint     <descriptor> [<SQL>]              static analysis: DV0xx/DV1xx diagnostics
 //! datavirt verify   <descriptor> [<SQL>]              semantic verification: DV2xx refutations + certificate
-//! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats] [--timeout D]
+//! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats] [--timeout D] [--no-prune] [--no-agg-pushdown]
 //! datavirt serve    <descriptor> --base <dir> --workload <file>   run a query workload concurrently
 //! datavirt explain  <descriptor> --base <dir> <SQL>   show the AFC schedule
 //! datavirt codegen  <descriptor> --base <dir>         render the generated index/extractor functions
@@ -64,7 +64,7 @@ USAGE:
   datavirt validate <descriptor> --base <dir>
   datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json|sarif] [--deny-warnings]
   datavirt verify   <descriptor> [\"<SQL>\"] [--base <dir>] [--format human|json|sarif] [--deny-warnings]
-  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>] [--deny-warnings]
+  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>] [--no-prune] [--no-agg-pushdown] [--deny-warnings]
   datavirt serve    <descriptor> --base <dir> --workload <file> [--max-concurrent <N>] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>]
   datavirt explain  <descriptor> --base <dir> \"<SQL>\" [--deny-warnings]
   datavirt codegen  <descriptor> --base <dir>
@@ -126,6 +126,12 @@ fn query_options(a: &args::Args) -> Result<dv_core::QueryOptions, String> {
         opts.morsel_bytes = b
             .parse()
             .map_err(|_| "--morsel-bytes must be an integer (0 = adaptive)".to_string())?;
+    }
+    if a.has("no-prune") {
+        opts.no_prune = true;
+    }
+    if a.has("no-agg-pushdown") {
+        opts.no_agg_pushdown = true;
     }
     Ok(opts)
 }
@@ -486,6 +492,21 @@ fn cmd_query(a: &args::Args) -> Result<ExitCode, String> {
             stats.morsels.worker_bytes_max,
             stats.morsels.pool_wait,
         );
+        eprintln!(
+            "mover: {} sends, {} blocked; peak reorder buffer: {} blocks",
+            stats.mover.sends, stats.mover.blocked_sends, stats.mover.peak_buffered_blocks
+        );
+        if stats.mover.agg_blocks > 0 {
+            let reduction = stats
+                .mover
+                .agg_reduction()
+                .map(|r| format!("{r:.1}x reduction"))
+                .unwrap_or_else(|| "no groups".to_string());
+            eprintln!(
+                "agg pushdown: {} partial blocks; {} rows folded -> {} group entries shipped ({reduction})",
+                stats.mover.agg_blocks, stats.mover.agg_rows_in, stats.mover.agg_groups_out,
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -227,6 +227,267 @@ impl HandIparsL0 {
     }
 }
 
+/// Hand-rolled accumulator state — deliberately independent of
+/// `dv_types::AccState` so the differential suite checks the canonical
+/// aggregation semantics against a second implementation.
+#[derive(Clone, Copy)]
+enum HandAcc {
+    Count(i64),
+    Sum(f64),
+    Min(f64),
+    Max(f64),
+    Avg { sum: f64, count: i64 },
+}
+
+impl HandAcc {
+    fn first(func: dv_types::AggFunc, x: f64) -> HandAcc {
+        use dv_types::AggFunc as F;
+        match func {
+            F::Count => HandAcc::Count(1),
+            F::Sum => HandAcc::Sum(x),
+            F::Min => HandAcc::Min(x),
+            F::Max => HandAcc::Max(x),
+            F::Avg => HandAcc::Avg { sum: x, count: 1 },
+        }
+    }
+
+    fn fold(&mut self, x: f64) {
+        match self {
+            HandAcc::Count(c) => *c += 1,
+            HandAcc::Sum(s) => *s += x,
+            HandAcc::Min(m) => {
+                if x.total_cmp(m).is_lt() {
+                    *m = x;
+                }
+            }
+            HandAcc::Max(m) => {
+                if x.total_cmp(m).is_gt() {
+                    *m = x;
+                }
+            }
+            HandAcc::Avg { sum, count } => {
+                *sum += x;
+                *count += 1;
+            }
+        }
+    }
+
+    /// Merge a later chunk's partial into this one (this = earlier).
+    fn merge(&mut self, o: HandAcc) {
+        match (self, o) {
+            (HandAcc::Count(a), HandAcc::Count(b)) => *a += b,
+            (HandAcc::Sum(a), HandAcc::Sum(b)) => *a += b,
+            (HandAcc::Min(a), HandAcc::Min(b)) => {
+                if b.total_cmp(a).is_lt() {
+                    *a = b;
+                }
+            }
+            (HandAcc::Max(a), HandAcc::Max(b)) => {
+                if b.total_cmp(a).is_gt() {
+                    *a = b;
+                }
+            }
+            (HandAcc::Avg { sum: a, count: c }, HandAcc::Avg { sum: b, count: d }) => {
+                *a += b;
+                *c += d;
+            }
+            _ => unreachable!("mismatched accumulator kinds"),
+        }
+    }
+
+    fn finalize(self, dtype: dv_types::DataType) -> Value {
+        match self {
+            HandAcc::Count(c) => Value::Long(c),
+            HandAcc::Sum(s) => Value::Double(s),
+            HandAcc::Min(m) | HandAcc::Max(m) => Value::from_f64(dtype, m),
+            HandAcc::Avg { sum, count } => Value::Double(sum / count as f64),
+        }
+    }
+}
+
+impl HandIparsL0 {
+    /// Execute an aggregate query against the raw files, replicating
+    /// the canonical fold tree by hand: one partial per `(dir, rel,
+    /// time)` slab of `G` rows — exactly the engine's aligned file
+    /// chunks for L0 — folded row-by-row in scan order, then merged
+    /// per group in ascending `(node, chunk)` order. Bit-identical to
+    /// the generated pipeline at every thread count, by construction.
+    pub fn execute_agg(&self, bq: &BoundQuery) -> Result<Table> {
+        let spec = bq
+            .agg
+            .as_ref()
+            .ok_or_else(|| DvError::Runtime("execute_agg needs an aggregate query".into()))?;
+        let cfg = &self.cfg;
+        let g = cfg.grid_per_dir as u64;
+
+        // Working row layout and fold positions within it.
+        let working = bq.needed_attrs();
+        let wpos = |attr: usize| working.iter().position(|&w| w == attr).expect("covered");
+        let group_pos: Vec<usize> = spec.group_by.iter().map(|&a| wpos(a)).collect();
+        let arg_pos: Vec<Option<usize>> = spec.aggs.iter().map(|a| a.arg.map(wpos)).collect();
+        let need_coord = working.iter().any(|&a| (2..5).contains(&a));
+        let needed_vars: Vec<usize> = working.iter().filter(|&&a| a >= 5).map(|&a| a - 5).collect();
+        let cx = EvalContext::new(bq.schema.len(), &working, &self.udfs);
+
+        // Global merge table: canonicalized key bits -> accumulators.
+        // One partial per group per slab, so per-group merge order is
+        // (node, chunk) ascending exactly as the absorber folds.
+        let mut slots: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<u64>, Vec<HandAcc>)> = Vec::new();
+        let canon = |v: f64| -> u64 {
+            if v.is_nan() {
+                0x7ff8_0000_0000_0000
+            } else {
+                v.to_bits()
+            }
+        };
+
+        for node in 0..cfg.nodes {
+            for d in (node..cfg.dirs).step_by(cfg.nodes) {
+                let dir = self.dir_path(d);
+                let coords: Vec<u8> = if need_coord {
+                    let path = dir.join("COORDS");
+                    std::fs::read(&path).map_err(|e| DvError::io(path.display().to_string(), e))?
+                } else {
+                    Vec::new()
+                };
+                for rel in 0..cfg.realizations as i64 {
+                    let files: Vec<File> = needed_vars
+                        .iter()
+                        .map(|&v| {
+                            let path =
+                                dir.join(format!("{}.r{rel}.dat", VARS[v].to_ascii_lowercase()));
+                            File::open(&path)
+                                .map_err(|e| DvError::io(path.display().to_string(), e))
+                        })
+                        .collect::<Result<_>>()?;
+                    let mut bufs: Vec<Vec<u8>> =
+                        files.iter().map(|_| vec![0u8; (g * 4) as usize]).collect();
+                    for t in 1..=cfg.time_steps as i64 {
+                        let off = (t as u64 - 1) * g * 4;
+                        for (f, buf) in files.iter().zip(bufs.iter_mut()) {
+                            f.read_exact_at(buf, off)
+                                .map_err(|e| DvError::io("<l0 var file>", e))?;
+                        }
+                        // One partial per (d, rel, t) slab.
+                        let mut slab: HashMap<Vec<u64>, Vec<HandAcc>> = HashMap::new();
+                        for k in 0..g as usize {
+                            let row: Row = working
+                                .iter()
+                                .map(|&attr| match attr {
+                                    0 => Value::Short(rel as i16),
+                                    1 => Value::Int(t as i32),
+                                    2..=4 => {
+                                        let at = k * 12 + (attr - 2) * 4;
+                                        Value::Float(f32::from_le_bytes(
+                                            coords[at..at + 4].try_into().unwrap(),
+                                        ))
+                                    }
+                                    _ => {
+                                        let vi = needed_vars
+                                            .iter()
+                                            .position(|&v| v == attr - 5)
+                                            .unwrap();
+                                        let at = k * 4;
+                                        Value::Float(f32::from_le_bytes(
+                                            bufs[vi][at..at + 4].try_into().unwrap(),
+                                        ))
+                                    }
+                                })
+                                .collect();
+                            let keep = match &bq.predicate {
+                                Some(p) => cx.eval(p, &row),
+                                None => true,
+                            };
+                            if !keep {
+                                continue;
+                            }
+                            let key: Vec<u64> =
+                                group_pos.iter().map(|&p| canon(row[p].as_f64())).collect();
+                            match slab.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    for (acc, pos) in e.get_mut().iter_mut().zip(&arg_pos) {
+                                        acc.fold(pos.map(|p| row[p].as_f64()).unwrap_or(0.0));
+                                    }
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(
+                                        spec.aggs
+                                            .iter()
+                                            .zip(&arg_pos)
+                                            .map(|(a, pos)| {
+                                                HandAcc::first(
+                                                    a.func,
+                                                    pos.map(|p| row[p].as_f64()).unwrap_or(0.0),
+                                                )
+                                            })
+                                            .collect(),
+                                    );
+                                }
+                            }
+                        }
+                        // Merge the slab's partials; each group has at
+                        // most one entry per slab, so map iteration
+                        // order is irrelevant to the per-group fold.
+                        for (key, accs) in slab {
+                            match slots.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(e) => {
+                                    let gi = *e.get();
+                                    for (a, b) in groups[gi].1.iter_mut().zip(accs) {
+                                        a.merge(b);
+                                    }
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    let key = e.key().clone();
+                                    e.insert(groups.len());
+                                    groups.push((key, accs));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Deterministic output order: decoded key values, total_cmp
+        // lexicographic.
+        let group_dtypes: Vec<dv_types::DataType> =
+            spec.group_by.iter().map(|&a| bq.schema.attr_at(a).dtype).collect();
+        let decode = |key: &[u64]| -> Vec<Value> {
+            key.iter()
+                .zip(&group_dtypes)
+                .map(|(&code, &ty)| Value::from_f64(ty, f64::from_bits(code)))
+                .collect()
+        };
+        let mut idx: Vec<usize> = (0..groups.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let ka = decode(&groups[a].0);
+            let kb = decode(&groups[b].0);
+            ka.iter()
+                .zip(&kb)
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|c| *c != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut table = Table::empty(bq.output_schema());
+        for i in idx {
+            let (key, accs) = &groups[i];
+            let keys = decode(key);
+            let row: Row = spec
+                .output
+                .iter()
+                .map(|o| match *o {
+                    dv_sql::AggOutput::Group(k) => keys[k],
+                    dv_sql::AggOutput::Agg(a) => accs[a].finalize(spec.result_dtype(a, &bq.schema)),
+                })
+                .collect();
+            table.rows.push(row);
+        }
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,6 @@ pub use afc::{Afc, AfcEntry, ImplicitValue};
 pub use extract::{ExtractScratch, Extractor, SharedHandles};
 pub use io::{IoOptions, IoScheduler, IoSnapshot, IoStats, SegmentCache};
 pub use morsel::{adaptive_morsel_bytes, Morsel, MorselPlan, MORSELS_PER_THREAD};
-pub use plan::{Certificate, CompiledDataset, FileIssue, NodePlan, QueryPlan};
+pub use plan::{AggPrep, Certificate, CompiledDataset, FileIssue, NodePlan, QueryPlan, QueryPrep};
 pub use prune::{PruneCertificate, PruneVerdict};
 pub use segment::{InnerSig, Segment};

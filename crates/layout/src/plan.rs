@@ -67,6 +67,10 @@ pub struct QueryPlan {
     /// The analyzed per-attribute ranges (kept for diagnostics and the
     /// data-mover's partition planner).
     pub ranges: HashMap<String, IntervalSet>,
+    /// Aggregation context (`None` = plain scan query).
+    pub agg: Option<AggPrep>,
+    /// Whether nodes fold partial aggregates before shipping.
+    pub agg_pushdown: bool,
 }
 
 impl QueryPlan {
@@ -281,12 +285,28 @@ impl CompiledDataset {
                     .expect("projection attr missing from working set")
             })
             .collect();
+        let agg = query.agg.as_ref().map(|spec| {
+            let pos = |attr: usize| {
+                working
+                    .attrs
+                    .iter()
+                    .position(|&w| w == attr)
+                    .expect("aggregate attr missing from working set")
+            };
+            AggPrep {
+                group_pos: spec.group_by.iter().map(|&a| pos(a)).collect(),
+                arg_pos: spec.aggs.iter().map(|a| a.arg.map(pos)).collect(),
+                spec: spec.clone(),
+            }
+        });
         Ok(QueryPrep {
             working,
             output_positions,
             ranges,
             predicate: query.predicate.clone(),
             prune_enabled: prune_enabled_by_env(),
+            agg,
+            agg_pushdown: agg_pushdown_enabled_by_env(),
         })
     }
 
@@ -343,6 +363,8 @@ impl CompiledDataset {
             output_positions: prep.output_positions,
             node_plans,
             ranges: prep.ranges,
+            agg: prep.agg,
+            agg_pushdown: prep.agg_pushdown,
         })
     }
 }
@@ -376,6 +398,19 @@ impl std::fmt::Display for FileIssue {
     }
 }
 
+/// Per-query aggregation context shared by all node workers: the bound
+/// spec plus the positions of its columns inside working rows.
+#[derive(Debug, Clone)]
+pub struct AggPrep {
+    /// The bound aggregation spec.
+    pub spec: dv_sql::BoundAggSpec,
+    /// Position of each `GROUP BY` column within working rows.
+    pub group_pos: Vec<usize>,
+    /// Position of each aggregate argument within working rows
+    /// (`None` = `COUNT(*)`).
+    pub arg_pos: Vec<Option<usize>>,
+}
+
 /// Central planning output shared by all node planners.
 #[derive(Debug, Clone)]
 pub struct QueryPrep {
@@ -390,12 +425,25 @@ pub struct QueryPrep {
     /// Static pruning switch (default on; `DV_NO_PRUNE=1` or
     /// `QueryOptions::no_prune` turn it off for ablation).
     pub prune_enabled: bool,
+    /// Aggregation context (`None` = plain scan query).
+    pub agg: Option<AggPrep>,
+    /// Partial-aggregation pushdown switch (default on;
+    /// `DV_NO_AGG_PUSHDOWN=1` or `QueryOptions::no_agg_pushdown` turn
+    /// it off: nodes then ship filtered rows and the absorber
+    /// aggregates client-side).
+    pub agg_pushdown: bool,
 }
 
 /// Pruning default from the environment: enabled unless `DV_NO_PRUNE`
 /// is set to something other than `0`/empty.
 fn prune_enabled_by_env() -> bool {
     !matches!(std::env::var("DV_NO_PRUNE"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Aggregation-pushdown default from the environment: enabled unless
+/// `DV_NO_AGG_PUSHDOWN` is set to something other than `0`/empty.
+fn agg_pushdown_enabled_by_env() -> bool {
+    !matches!(std::env::var("DV_NO_AGG_PUSHDOWN"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 /// Convenience: compile a descriptor text directly against a single

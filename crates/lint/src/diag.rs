@@ -38,6 +38,10 @@ pub enum Code {
     /// Layout yields AFC runs smaller than one I/O coalescing unit at
     /// high file fan-in — reads degenerate to a seek per file.
     Dv104,
+    /// Degenerate aggregation: a `GROUP BY` key or an `AVG`/`SUM`
+    /// argument is a non-stored coordinate the descriptor pins to a
+    /// single value.
+    Dv106,
     /// Two DATA items claim overlapping byte ranges of one file.
     Dv201,
     /// A layout access is out of bounds w.r.t. the observed file size.
@@ -226,6 +230,7 @@ mod tests {
             Code::Dv102,
             Code::Dv103,
             Code::Dv104,
+            Code::Dv106,
             Code::Dv201,
             Code::Dv202,
             Code::Dv203,

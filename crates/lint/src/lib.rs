@@ -25,10 +25,11 @@
 //!   text. Syntax
 //!   errors abort (the parser reports those); everything else, even a
 //!   descriptor the resolver rejects, still gets AST-level lints.
-//! * [`lint_query`] — DV101..DV103 over a SQL string checked against a
-//!   resolved [`DatasetModel`]: provably-empty predicates, UDF
-//!   filters that defeat index pruning, and UDF filters that defeat
-//!   vectorized execution.
+//! * [`lint_query`] — DV101..DV103 and DV106 over a SQL string checked
+//!   against a resolved [`DatasetModel`]: provably-empty predicates,
+//!   UDF filters that defeat index pruning, UDF filters that defeat
+//!   vectorized execution, and degenerate aggregations over pinned
+//!   coordinates.
 //! * [`verify_descriptor`] / [`verify_query`] — the `dv-verify`
 //!   semantic pass (DV201..DV205): abstract interpretation of the
 //!   layout with a symbolic affine/interval domain that *proves* or
@@ -62,6 +63,7 @@
 //! | DV102 | warning  | UDF filter over an index-prunable attribute |
 //! | DV103 | warning  | UDF filter with no vectorizable guard conjunct |
 //! | DV104 | warning  | AFC runs smaller than one I/O coalescing unit at high fan-in |
+//! | DV106 | warning  | aggregate keyed by or computed over a never-varying coordinate |
 //! | DV201 | error    | two DATA items overlap within one file |
 //! | DV202 | error    | layout access out of bounds of the observed file size |
 //! | DV203 | error    | aligned file group with mismatched row counts |
@@ -131,6 +133,12 @@ pub const CODE_REGISTRY: &[CodeInfo] = &[
     row(Code::Dv102, "DV102", Severity::Warning, "UDF filter over an index-prunable attribute"),
     row(Code::Dv103, "DV103", Severity::Warning, "UDF filter with no vectorizable guard conjunct"),
     row(Code::Dv104, "DV104", Severity::Warning, "AFC runs below one I/O coalescing unit"),
+    row(
+        Code::Dv106,
+        "DV106",
+        Severity::Warning,
+        "aggregate keyed by or computed over a never-varying coordinate",
+    ),
     row(Code::Dv201, "DV201", Severity::Error, "two DATA items overlap within one file"),
     row(Code::Dv202, "DV202", Severity::Error, "layout access out of bounds of the file size"),
     row(Code::Dv203, "DV203", Severity::Error, "aligned file group with mismatched row counts"),

@@ -52,13 +52,13 @@ fn span_of(sql: &str, needle: &str) -> Span {
 
 /// Names of schema attributes stored in at least one file — excluded
 /// from every hull env (their byte values are unconstrained).
-fn stored_attrs(model: &DatasetModel) -> BTreeSet<&str> {
+pub(crate) fn stored_attrs(model: &DatasetModel) -> BTreeSet<&str> {
     model.files.iter().flat_map(|f| f.stored_attrs.iter().map(String::as_str)).collect()
 }
 
 /// Hulls of the never-stored schema attributes: attribute index →
 /// inclusive `(lo, hi)` union across every file's bindings + extents.
-fn dataset_hulls(model: &DatasetModel) -> BTreeMap<usize, (f64, f64)> {
+pub(crate) fn dataset_hulls(model: &DatasetModel) -> BTreeMap<usize, (f64, f64)> {
     let stored = stored_attrs(model);
     let mut hulls: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
     for file in &model.files {

@@ -1,5 +1,5 @@
-//! Query lints DV101–DV103: a SQL query checked against a resolved
-//! dataset model.
+//! Query lints DV101–DV103 and DV106: a SQL query checked against a
+//! resolved dataset model.
 //!
 //! SQL has no per-token spans, so query diagnostics anchor to the
 //! WHERE clause of the query string.
@@ -10,7 +10,7 @@ use dv_descriptor::DatasetModel;
 use dv_layout::groups::file_matches;
 use dv_sql::analysis::attribute_ranges;
 use dv_sql::eval::expr_has_func;
-use dv_sql::{bind, parse, BoundExpr, BoundScalar, UdfRegistry};
+use dv_sql::{bind, parse, AggFunc, BoundAggSpec, BoundExpr, BoundScalar, UdfRegistry};
 use dv_types::{IntervalSet, Result, Span};
 
 use crate::diag::{Code, Diagnostic};
@@ -114,6 +114,76 @@ fn push_udf_diag(attr: usize, model: &DatasetModel, span: Span, diags: &mut Vec<
     }
 }
 
+/// Span of the first case-insensitive occurrence of `needle` at or
+/// after byte `from`, falling back to the WHERE-clause span.
+fn span_from(sql: &str, from: usize, needle: &str) -> Span {
+    let upper = sql.to_ascii_uppercase();
+    match upper[from.min(upper.len())..].find(&needle.to_ascii_uppercase()) {
+        Some(p) => Span::new(from + p, from + p + needle.len()),
+        None => where_span(sql),
+    }
+}
+
+/// DV106: degenerate aggregation. A `GROUP BY` key that the descriptor
+/// pins to one value puts every row in a single group (the aggregate
+/// analogue of DV305), and `AVG`/`SUM` over a non-stored pinned
+/// coordinate computes a constant (resp. a scaled row count) no data
+/// byte can influence.
+fn check_degenerate_agg(
+    spec: &BoundAggSpec,
+    model: &DatasetModel,
+    sql: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Hulls exist only for never-stored attributes; a pinned one has
+    // lo == hi across every file's bindings and extents.
+    let hulls = crate::prune::dataset_hulls(model);
+    let pinned = |idx: usize| hulls.get(&idx).filter(|(lo, hi)| lo == hi).map(|&(lo, _)| lo);
+
+    let group_clause = sql.to_ascii_uppercase().find("GROUP").unwrap_or(0);
+    for &g in &spec.group_by {
+        let Some(v) = pinned(g) else { continue };
+        let name = &model.schema.attr_at(g).name;
+        diags.push(
+            Diagnostic::new(
+                Code::Dv106,
+                span_from(sql, group_clause, name),
+                format!(
+                    "GROUP BY `{name}` keys on a coordinate the descriptor never varies \
+                     (always {v}); every row falls into one group"
+                ),
+            )
+            .with_help(
+                "drop the key or widen the coordinate's range in the descriptor — DV305 \
+                 reports the same pinning when a predicate constrains it",
+            ),
+        );
+    }
+    for agg in &spec.aggs {
+        if !matches!(agg.func, AggFunc::Sum | AggFunc::Avg) {
+            continue;
+        }
+        let Some(arg) = agg.arg else { continue };
+        let Some(v) = pinned(arg) else { continue };
+        let name = &model.schema.attr_at(arg).name;
+        diags.push(
+            Diagnostic::new(
+                Code::Dv106,
+                span_from(sql, 0, &format!("{}({name})", agg.func)),
+                format!(
+                    "{}(`{name}`) aggregates a non-stored coordinate the descriptor pins \
+                     to {v}; the result is determined without reading any data",
+                    agg.func
+                ),
+            )
+            .with_help(format!(
+                "the descriptor binds `{name}` to the constant {v} in every file — \
+                 aggregate a stored attribute or COUNT rows instead"
+            )),
+        );
+    }
+}
+
 /// Lint one SQL query against a resolved model. Parse/bind errors are
 /// returned as `Err`; lint findings come back as diagnostics whose
 /// spans index into `sql`.
@@ -123,7 +193,13 @@ pub fn lint_query(model: &DatasetModel, sql: &str, udfs: &UdfRegistry) -> Result
     let mut diags = Vec::new();
     let span = where_span(sql);
 
+    // DV106 fires with or without a WHERE clause.
+    if let Some(spec) = &bound.agg {
+        check_degenerate_agg(spec, model, sql, &mut diags);
+    }
+
     let Some(pred) = &bound.predicate else {
+        diags.sort_by_key(|d| (d.span.start, d.code));
         return Ok(diags);
     };
 

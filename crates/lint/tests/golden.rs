@@ -33,7 +33,11 @@ fn run_descriptor(name: &str) -> (Vec<Diagnostic>, String) {
 }
 
 fn run_query(sql: &str) -> (Vec<Diagnostic>, String) {
-    let text = fs::read_to_string(fixture("query.desc")).unwrap();
+    run_query_on("query", sql)
+}
+
+fn run_query_on(desc: &str, sql: &str) -> (Vec<Diagnostic>, String) {
+    let text = fs::read_to_string(fixture(&format!("{desc}.desc"))).unwrap();
     let model = dv_descriptor::compile(&text).unwrap();
     let diags = lint_query(&model, sql, &UdfRegistry::with_builtins()).unwrap();
     let rendered = render_all(&diags, sql, "<query>");
@@ -155,6 +159,36 @@ fn dv103_unguarded_udf_filter() {
     let (diags, rendered) = run_query("SELECT X FROM D WHERE DISTANCE(X, X, X) < 5");
     assert_eq!(codes(&diags), [Code::Dv103], "{rendered}");
     check_golden(&rendered, "q_dv103.expected");
+}
+
+#[test]
+fn dv106_group_by_pinned_coordinate() {
+    // `prune.desc` pins REL = 0:0:1 — grouping by it puts every row in
+    // one group, the aggregate-side analogue of DV305.
+    let (diags, rendered) = run_query_on("prune", "SELECT REL, COUNT(T) FROM D GROUP BY REL");
+    assert_eq!(codes(&diags), [Code::Dv106], "{rendered}");
+    let d = &diags[0];
+    let sql = "SELECT REL, COUNT(T) FROM D GROUP BY REL";
+    assert_eq!(&sql[d.span.start..d.span.end], "REL", "{rendered}");
+    assert!(d.span.start > sql.find("GROUP").unwrap(), "span anchors inside GROUP BY: {rendered}");
+    check_golden(&rendered, "q_dv106_group.expected");
+}
+
+#[test]
+fn dv106_avg_and_sum_over_pinned_coordinate() {
+    let (diags, rendered) = run_query_on("prune", "SELECT AVG(REL), SUM(REL) FROM D WHERE T < 50");
+    assert_eq!(codes(&diags), [Code::Dv106], "{rendered}");
+    assert_eq!(diags.len(), 2, "one per degenerate call:\n{rendered}");
+    check_golden(&rendered, "q_dv106_agg.expected");
+}
+
+#[test]
+fn dv106_quiet_on_varying_keys_and_stored_args() {
+    // T varies 1..100 and X is stored: grouping by T, MIN over the
+    // pinned REL (order statistics are fine), and SUM over stored X
+    // are all legitimate.
+    let (diags, rendered) = run_query_on("prune", "SELECT T, MIN(REL), SUM(X) FROM D GROUP BY T");
+    assert!(diags.is_empty(), "unexpected diagnostics:\n{rendered}");
 }
 
 #[test]

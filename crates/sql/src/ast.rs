@@ -7,12 +7,16 @@
 
 use std::fmt;
 
-/// A parsed `SELECT ... FROM ... WHERE ...` query.
+pub use dv_types::AggFunc;
+
+/// A parsed `SELECT ... FROM ... WHERE ... GROUP BY ...` query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     pub select: SelectList,
     pub dataset: String,
     pub predicate: Option<Expr>,
+    /// `GROUP BY` column names, in clause order (empty = no clause).
+    pub group_by: Vec<String>,
 }
 
 /// The projection list.
@@ -20,8 +24,24 @@ pub struct Query {
 pub enum SelectList {
     /// `SELECT *`
     All,
-    /// `SELECT a, b, c`
-    Columns(Vec<String>),
+    /// `SELECT a, COUNT(*), AVG(b), ...`
+    Columns(Vec<SelectItem>),
+}
+
+/// One item of an explicit select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column reference (name as written).
+    Column(String),
+    /// An aggregate call; `arg` is `None` for `COUNT(*)`.
+    Agg { func: AggFunc, arg: Option<String> },
+}
+
+impl SelectItem {
+    /// Convenience constructor for a plain column item.
+    pub fn column(name: impl Into<String>) -> SelectItem {
+        SelectItem::Column(name.into())
+    }
 }
 
 /// Comparison operators.
@@ -134,6 +154,9 @@ impl fmt::Display for Query {
         if let Some(p) = &self.predicate {
             write!(f, " WHERE {p}")?;
         }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
         Ok(())
     }
 }
@@ -142,7 +165,21 @@ impl fmt::Display for SelectList {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SelectList::All => write!(f, "*"),
-            SelectList::Columns(cols) => write!(f, "{}", cols.join(", ")),
+            SelectList::Columns(cols) => {
+                let items: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                write!(f, "{}", items.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Agg { func, arg } => {
+                write!(f, "{func}({})", arg.as_deref().unwrap_or("*"))
+            }
         }
     }
 }
@@ -249,15 +286,34 @@ mod tests {
     #[test]
     fn display_query() {
         let q = Query {
-            select: SelectList::Columns(vec!["SOIL".into(), "SGAS".into()]),
+            select: SelectList::Columns(vec![
+                SelectItem::column("SOIL"),
+                SelectItem::column("SGAS"),
+            ]),
             dataset: "IPARS".into(),
             predicate: Some(Expr::Cmp {
                 op: CmpOp::Gt,
                 lhs: Scalar::Column("TIME".into()),
                 rhs: Scalar::IntLit(1000),
             }),
+            group_by: Vec::new(),
         };
         assert_eq!(q.to_string(), "SELECT SOIL, SGAS FROM IPARS WHERE TIME > 1000");
+    }
+
+    #[test]
+    fn display_aggregate_query() {
+        let q = Query {
+            select: SelectList::Columns(vec![
+                SelectItem::column("REL"),
+                SelectItem::Agg { func: AggFunc::Count, arg: None },
+                SelectItem::Agg { func: AggFunc::Avg, arg: Some("SOIL".into()) },
+            ]),
+            dataset: "IPARS".into(),
+            predicate: None,
+            group_by: vec!["REL".into()],
+        };
+        assert_eq!(q.to_string(), "SELECT REL, COUNT(*), AVG(SOIL) FROM IPARS GROUP BY REL");
     }
 
     #[test]

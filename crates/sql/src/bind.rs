@@ -6,9 +6,9 @@
 //! between the SQL front-end and the layout compiler / runtime: all
 //! string lookups are done exactly once, before any file is touched.
 
-use dv_types::{DvError, Result, Schema};
+use dv_types::{AggFunc, Attribute, DataType, DvError, Result, Schema, MAX_GROUP_COLS};
 
-use crate::ast::{ArithOp, CmpOp, Expr, Query, Scalar, SelectList};
+use crate::ast::{ArithOp, CmpOp, Expr, Query, Scalar, SelectItem, SelectList};
 use crate::udf::UdfRegistry;
 
 /// A bound scalar expression: all names resolved to indices, constants
@@ -42,6 +42,74 @@ pub enum BoundExpr {
     Between { expr: BoundScalar, lo: BoundScalar, hi: BoundScalar, negated: bool },
 }
 
+/// One bound aggregate call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundAgg {
+    pub func: AggFunc,
+    /// Schema attribute index of the argument; `None` = `COUNT(*)`.
+    pub arg: Option<usize>,
+}
+
+/// One output column of an aggregate query, in select-list order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOutput {
+    /// Index into [`BoundAggSpec::group_by`].
+    Group(usize),
+    /// Index into [`BoundAggSpec::aggs`].
+    Agg(usize),
+}
+
+/// The aggregation half of a bound query: `GROUP BY` keys, aggregate
+/// calls, and the select-list output order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundAggSpec {
+    /// Schema attribute indices of the `GROUP BY` columns, in clause
+    /// order (at most [`MAX_GROUP_COLS`]). Empty = global aggregate.
+    pub group_by: Vec<usize>,
+    /// Aggregate calls in select-list appearance order.
+    pub aggs: Vec<BoundAgg>,
+    /// Output columns in select-list order.
+    pub output: Vec<AggOutput>,
+}
+
+impl BoundAggSpec {
+    /// The aggregate functions, in [`BoundAggSpec::aggs`] order.
+    pub fn funcs(&self) -> Vec<AggFunc> {
+        self.aggs.iter().map(|a| a.func).collect()
+    }
+
+    /// Data types of the `GROUP BY` key columns.
+    pub fn group_dtypes(&self, schema: &Schema) -> Vec<DataType> {
+        self.group_by.iter().map(|&i| schema.attr_at(i).dtype).collect()
+    }
+
+    /// Result data type of aggregate `a`.
+    pub fn result_dtype(&self, a: usize, schema: &Schema) -> DataType {
+        let agg = &self.aggs[a];
+        agg.func.result_dtype(agg.arg.map(|i| schema.attr_at(i).dtype))
+    }
+
+    /// Schema of the finalized aggregate result, in select-list order.
+    pub fn output_schema(&self, schema: &Schema) -> Schema {
+        let attrs: Vec<Attribute> = self
+            .output
+            .iter()
+            .map(|o| match *o {
+                AggOutput::Group(k) => schema.attr_at(self.group_by[k]).clone(),
+                AggOutput::Agg(a) => {
+                    let agg = &self.aggs[a];
+                    let name = match agg.arg {
+                        Some(i) => format!("{}({})", agg.func, schema.attr_at(i).name),
+                        None => format!("{}(*)", agg.func),
+                    };
+                    Attribute::new(name, self.result_dtype(a, schema))
+                }
+            })
+            .collect();
+        Schema::new(schema.name.clone(), attrs).expect("binder rejects duplicate output columns")
+    }
+}
+
 /// A fully-resolved query ready for planning and execution.
 #[derive(Debug, Clone)]
 pub struct BoundQuery {
@@ -50,16 +118,25 @@ pub struct BoundQuery {
     pub dataset: String,
     /// Schema the query was bound against.
     pub schema: Schema,
-    /// Indices of the selected attributes, in output order.
+    /// Indices of the selected attributes, in output order. For
+    /// aggregate queries this is the sorted, deduplicated union of the
+    /// `GROUP BY` columns and aggregate arguments — exactly what the
+    /// nodes must materialize (and what the ablation mode ships).
     pub projection: Vec<usize>,
     /// Bound WHERE clause, if any.
     pub predicate: Option<BoundExpr>,
+    /// Aggregation spec when the query aggregates (`GROUP BY` and/or
+    /// aggregate select items).
+    pub agg: Option<BoundAggSpec>,
 }
 
 impl BoundQuery {
     /// Schema of the result rows.
     pub fn output_schema(&self) -> Schema {
-        self.schema.project(&self.projection)
+        match &self.agg {
+            Some(spec) => spec.output_schema(&self.schema),
+            None => self.schema.project(&self.projection),
+        }
     }
 
     /// Indices of every attribute the execution needs: the projection
@@ -120,12 +197,120 @@ fn collect_scalar_attrs(s: &BoundScalar, out: &mut Vec<usize>) {
 
 /// Bind a parsed query against a schema and UDF registry.
 pub fn bind(query: &Query, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundQuery> {
-    let projection = match &query.select {
-        SelectList::All => (0..schema.len()).collect(),
-        SelectList::Columns(cols) => schema.resolve(cols)?,
+    let is_agg = !query.group_by.is_empty()
+        || matches!(&query.select, SelectList::Columns(cols)
+            if cols.iter().any(|c| matches!(c, SelectItem::Agg { .. })));
+
+    let (projection, agg) = if is_agg {
+        let spec = bind_agg(query, schema)?;
+        let mut proj: Vec<usize> = spec.group_by.clone();
+        proj.extend(spec.aggs.iter().filter_map(|a| a.arg));
+        proj.sort_unstable();
+        proj.dedup();
+        (proj, Some(spec))
+    } else {
+        let proj = match &query.select {
+            SelectList::All => (0..schema.len()).collect(),
+            SelectList::Columns(cols) => {
+                let names: Vec<String> = cols
+                    .iter()
+                    .map(|c| match c {
+                        SelectItem::Column(n) => n.clone(),
+                        SelectItem::Agg { .. } => unreachable!("agg handled above"),
+                    })
+                    .collect();
+                schema.resolve(&names)?
+            }
+        };
+        (proj, None)
     };
     let predicate = query.predicate.as_ref().map(|p| bind_expr(p, schema, udfs)).transpose()?;
-    Ok(BoundQuery { dataset: query.dataset.clone(), schema: schema.clone(), projection, predicate })
+    Ok(BoundQuery {
+        dataset: query.dataset.clone(),
+        schema: schema.clone(),
+        projection,
+        predicate,
+        agg,
+    })
+}
+
+/// Resolve the aggregation half of a query: `GROUP BY` columns,
+/// aggregate calls, and the select-list output order.
+fn bind_agg(query: &Query, schema: &Schema) -> Result<BoundAggSpec> {
+    let cols = match &query.select {
+        SelectList::All => {
+            return Err(DvError::Binding(
+                "SELECT * cannot be combined with GROUP BY; list the grouped columns and \
+                 aggregates explicitly"
+                    .into(),
+            ));
+        }
+        SelectList::Columns(cols) => cols,
+    };
+    let mut group_by = Vec::with_capacity(query.group_by.len());
+    for name in &query.group_by {
+        let idx = schema.index_of(name).ok_or_else(|| {
+            DvError::Binding(format!(
+                "unknown attribute `{name}` in GROUP BY (schema `{}`)",
+                schema.name
+            ))
+        })?;
+        if group_by.contains(&idx) {
+            return Err(DvError::Binding(format!("duplicate GROUP BY column `{name}`")));
+        }
+        group_by.push(idx);
+    }
+    if group_by.len() > MAX_GROUP_COLS {
+        return Err(DvError::Binding(format!(
+            "GROUP BY supports at most {MAX_GROUP_COLS} columns, got {}",
+            group_by.len()
+        )));
+    }
+    let mut aggs: Vec<BoundAgg> = Vec::new();
+    let mut output = Vec::with_capacity(cols.len());
+    for item in cols {
+        match item {
+            SelectItem::Column(name) => {
+                let idx = schema.index_of(name).ok_or_else(|| {
+                    DvError::Binding(format!(
+                        "unknown attribute `{name}` in schema `{}`",
+                        schema.name
+                    ))
+                })?;
+                let k = group_by.iter().position(|&g| g == idx).ok_or_else(|| {
+                    DvError::Binding(format!(
+                        "column `{name}` must appear in GROUP BY or inside an aggregate"
+                    ))
+                })?;
+                if output.contains(&AggOutput::Group(k)) {
+                    return Err(DvError::Binding(format!(
+                        "column `{name}` selected more than once in an aggregate query"
+                    )));
+                }
+                output.push(AggOutput::Group(k));
+            }
+            SelectItem::Agg { func, arg } => {
+                let arg_idx = match arg {
+                    Some(name) => Some(schema.index_of(name).ok_or_else(|| {
+                        DvError::Binding(format!(
+                            "unknown attribute `{name}` in {func} (schema `{}`)",
+                            schema.name
+                        ))
+                    })?),
+                    None => None,
+                };
+                let bound = BoundAgg { func: *func, arg: arg_idx };
+                if aggs.contains(&bound) {
+                    return Err(DvError::Binding(format!(
+                        "duplicate aggregate `{item}` in select list"
+                    )));
+                }
+                aggs.push(bound);
+                output.push(AggOutput::Agg(aggs.len() - 1));
+            }
+        }
+    }
+    Ok(BoundAggSpec { group_by, aggs, output })
 }
 
 fn bind_expr(e: &Expr, schema: &Schema, udfs: &UdfRegistry) -> Result<BoundExpr> {
@@ -319,5 +504,80 @@ mod tests {
     fn bare_udf_without_implicit_args_fails_arity() {
         // Builtin SPEED has arity 3 but no implicit args registered.
         assert!(bindq("SELECT * FROM IPARS WHERE SPEED() < 30").is_err());
+    }
+
+    #[test]
+    fn group_by_aggregate_binds() {
+        let b = bindq("SELECT REL, COUNT(*), AVG(SOIL) FROM IPARS GROUP BY REL").unwrap();
+        let spec = b.agg.as_ref().unwrap();
+        assert_eq!(spec.group_by, vec![0]);
+        assert_eq!(
+            spec.aggs,
+            vec![
+                BoundAgg { func: AggFunc::Count, arg: None },
+                BoundAgg { func: AggFunc::Avg, arg: Some(2) },
+            ]
+        );
+        assert_eq!(spec.output, vec![AggOutput::Group(0), AggOutput::Agg(0), AggOutput::Agg(1)]);
+        // Projection = sorted dedup(group ∪ args): REL(0) and SOIL(2).
+        assert_eq!(b.projection, vec![0, 2]);
+        let out = b.output_schema();
+        assert_eq!(out.attributes()[0].name, "REL");
+        assert_eq!(out.attributes()[1].name, "COUNT(*)");
+        assert_eq!(out.attributes()[1].dtype, DataType::Long);
+        assert_eq!(out.attributes()[2].name, "AVG(SOIL)");
+        assert_eq!(out.attributes()[2].dtype, DataType::Double);
+    }
+
+    #[test]
+    fn min_max_keep_argument_dtype() {
+        let b = bindq("SELECT MIN(TIME), MAX(SOIL) FROM IPARS").unwrap();
+        let out = b.output_schema();
+        assert_eq!(out.attributes()[0].dtype, DataType::Int);
+        assert_eq!(out.attributes()[1].dtype, DataType::Float);
+        // Global aggregate: no group columns, projection = args only.
+        assert_eq!(b.agg.as_ref().unwrap().group_by, Vec::<usize>::new());
+        assert_eq!(b.projection, vec![1, 2]);
+    }
+
+    #[test]
+    fn group_by_without_aggregates_is_distinct() {
+        let b = bindq("SELECT REL, TIME FROM IPARS GROUP BY REL, TIME").unwrap();
+        let spec = b.agg.as_ref().unwrap();
+        assert!(spec.aggs.is_empty());
+        assert_eq!(spec.output, vec![AggOutput::Group(0), AggOutput::Group(1)]);
+    }
+
+    #[test]
+    fn needed_attrs_cover_agg_args_and_predicate() {
+        let b = bindq("SELECT REL, SUM(SOIL) FROM IPARS WHERE TIME > 10 GROUP BY REL").unwrap();
+        assert_eq!(b.projection, vec![0, 2]);
+        assert_eq!(b.needed_attrs(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn agg_validation_errors() {
+        // SELECT * with GROUP BY.
+        assert!(bindq("SELECT * FROM IPARS GROUP BY REL").is_err());
+        // Bare column not in GROUP BY.
+        assert!(bindq("SELECT SOIL, COUNT(*) FROM IPARS GROUP BY REL").is_err());
+        // Duplicate GROUP BY column.
+        assert!(bindq("SELECT REL FROM IPARS GROUP BY REL, REL").is_err());
+        // Duplicate aggregate item (would collide in the output schema).
+        assert!(bindq("SELECT SUM(SOIL), SUM(SOIL) FROM IPARS GROUP BY REL").is_err());
+        // Duplicate grouped column in the select list.
+        assert!(bindq("SELECT REL, REL FROM IPARS GROUP BY REL").is_err());
+        // Unknown names.
+        assert!(bindq("SELECT COUNT(*) FROM IPARS GROUP BY BOGUS").is_err());
+        assert!(bindq("SELECT SUM(BOGUS) FROM IPARS GROUP BY REL").is_err());
+    }
+
+    #[test]
+    fn grouped_key_may_be_omitted_from_select() {
+        let b = bindq("SELECT COUNT(*) FROM IPARS GROUP BY REL").unwrap();
+        let spec = b.agg.as_ref().unwrap();
+        assert_eq!(spec.group_by, vec![0]);
+        assert_eq!(spec.output, vec![AggOutput::Agg(0)]);
+        assert_eq!(b.output_schema().attributes()[0].name, "COUNT(*)");
     }
 }

@@ -176,6 +176,8 @@ impl<'a> Lexer<'a> {
             "NOT" => TokenKind::Not,
             "IN" => TokenKind::In,
             "BETWEEN" => TokenKind::Between,
+            "GROUP" => TokenKind::Group,
+            "BY" => TokenKind::By,
             _ => TokenKind::Ident(text.to_string()),
         }
     }
@@ -245,8 +247,19 @@ mod tests {
     #[test]
     fn keywords_case_insensitive() {
         assert_eq!(
-            kinds("select from where and or not in between")[..8],
-            [K::Select, K::From, K::Where, K::And, K::Or, K::Not, K::In, K::Between]
+            kinds("select from where and or not in between group by")[..10],
+            [
+                K::Select,
+                K::From,
+                K::Where,
+                K::And,
+                K::Or,
+                K::Not,
+                K::In,
+                K::Between,
+                K::Group,
+                K::By
+            ]
         );
     }
 

@@ -32,7 +32,7 @@ pub mod ternary;
 pub mod token;
 pub mod udf;
 
-pub use ast::{ArithOp, CmpOp, Expr, Query, Scalar, SelectList};
-pub use bind::{bind, BoundExpr, BoundQuery, BoundScalar};
+pub use ast::{AggFunc, ArithOp, CmpOp, Expr, Query, Scalar, SelectItem, SelectList};
+pub use bind::{bind, AggOutput, BoundAgg, BoundAggSpec, BoundExpr, BoundQuery, BoundScalar};
 pub use parser::parse;
 pub use udf::UdfRegistry;

@@ -3,8 +3,11 @@
 //! Grammar (precedence low → high):
 //!
 //! ```text
-//! query     := SELECT select_list FROM ident [WHERE or_expr] [';']
-//! select_list := '*' | ident (',' ident)*
+//! query     := SELECT select_list FROM ident [WHERE or_expr]
+//!              [GROUP BY ident (',' ident)*] [';']
+//! select_list := '*' | select_item (',' select_item)*
+//! select_item := ident | agg_func '(' ('*' | ident) ')'
+//! agg_func  := COUNT | SUM | MIN | MAX | AVG
 //! or_expr   := and_expr (OR and_expr)*
 //! and_expr  := not_expr (AND not_expr)*
 //! not_expr  := NOT not_expr | predicate
@@ -24,7 +27,7 @@
 
 use dv_types::{DvError, Result};
 
-use crate::ast::{ArithOp, CmpOp, Expr, Query, Scalar, SelectList};
+use crate::ast::{AggFunc, ArithOp, CmpOp, Expr, Query, Scalar, SelectItem, SelectList};
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
 
@@ -99,8 +102,18 @@ impl Parser {
         self.expect(TokenKind::From)?;
         let dataset = self.ident()?;
         let predicate = if self.eat(TokenKind::Where) { Some(self.or_expr()?) } else { None };
+        let group_by = if self.eat(TokenKind::Group) {
+            self.expect(TokenKind::By)?;
+            let mut cols = vec![self.ident()?];
+            while self.eat(TokenKind::Comma) {
+                cols.push(self.ident()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
         self.eat(TokenKind::Semi);
-        Ok(Query { select, dataset, predicate })
+        Ok(Query { select, dataset, predicate, group_by })
     }
 
     fn expect_end(&mut self) -> Result<()> {
@@ -115,22 +128,36 @@ impl Parser {
         if self.eat(TokenKind::Star) {
             return Ok(SelectList::All);
         }
-        let mut cols = vec![self.ident()?];
+        let mut cols = vec![self.select_item()?];
         while self.eat(TokenKind::Comma) {
-            cols.push(self.ident()?);
-        }
-        // The paper's tool supports subsetting only; reject anything
-        // that smells like aggregation early with a clear message.
-        for c in &cols {
-            let upper = c.to_ascii_uppercase();
-            if matches!(upper.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") {
-                return Err(self.err(format!(
-                    "aggregation `{c}` is not supported: the virtualization tool performs \
-                     subsetting only (no joins, aggregations or group-by)"
-                )));
-            }
+            cols.push(self.select_item()?);
         }
         Ok(SelectList::Columns(cols))
+    }
+
+    /// One select-list item: a plain column, or an aggregate call
+    /// `COUNT(*)` / `COUNT(a)` / `SUM|MIN|MAX|AVG(a)`.
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let name = self.ident()?;
+        let Some(func) = AggFunc::from_name(&name) else {
+            return Ok(SelectItem::Column(name));
+        };
+        if !self.eat(TokenKind::LParen) {
+            return Err(self.err(format!(
+                "aggregate `{name}` requires parentheses: write `{func}(attr)`{}",
+                if func == AggFunc::Count { " or `COUNT(*)`" } else { "" }
+            )));
+        }
+        let arg = if self.eat(TokenKind::Star) {
+            if func != AggFunc::Count {
+                return Err(self.err(format!("`{func}(*)` is not valid; only `COUNT(*)` is")));
+            }
+            None
+        } else {
+            Some(self.ident()?)
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(SelectItem::Agg { func, arg })
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
@@ -352,8 +379,61 @@ mod tests {
     #[test]
     fn parse_projection() {
         let q = parse("SELECT soil, sgas FROM Ipars").unwrap();
-        assert_eq!(q.select, SelectList::Columns(vec!["soil".into(), "sgas".into()]));
+        assert_eq!(
+            q.select,
+            SelectList::Columns(vec![SelectItem::column("soil"), SelectItem::column("sgas")])
+        );
         assert!(q.predicate.is_none());
+        assert!(q.group_by.is_empty());
+    }
+
+    #[test]
+    fn parse_aggregates_and_group_by() {
+        let q = parse(
+            "SELECT REL, COUNT(*), avg(SOIL), Max(TIME) FROM IparsData \
+             WHERE TIME > 3 GROUP BY REL, TIME",
+        )
+        .unwrap();
+        assert_eq!(
+            q.select,
+            SelectList::Columns(vec![
+                SelectItem::column("REL"),
+                SelectItem::Agg { func: AggFunc::Count, arg: None },
+                SelectItem::Agg { func: AggFunc::Avg, arg: Some("SOIL".into()) },
+                SelectItem::Agg { func: AggFunc::Max, arg: Some("TIME".into()) },
+            ])
+        );
+        assert_eq!(q.group_by, vec!["REL".to_string(), "TIME".to_string()]);
+        assert!(q.predicate.is_some());
+    }
+
+    #[test]
+    fn parse_global_aggregate_without_group_by() {
+        let q = parse("SELECT COUNT(SOIL), SUM(SOIL) FROM T").unwrap();
+        assert_eq!(
+            q.select,
+            SelectList::Columns(vec![
+                SelectItem::Agg { func: AggFunc::Count, arg: Some("SOIL".into()) },
+                SelectItem::Agg { func: AggFunc::Sum, arg: Some("SOIL".into()) },
+            ])
+        );
+        assert!(q.group_by.is_empty());
+    }
+
+    #[test]
+    fn reject_star_arg_outside_count() {
+        let e = parse("SELECT SUM(*) FROM T").unwrap_err().to_string();
+        assert!(e.contains("COUNT(*)"), "{e}");
+    }
+
+    #[test]
+    fn reject_group_without_by() {
+        assert!(parse("SELECT REL FROM T GROUP REL").is_err());
+    }
+
+    #[test]
+    fn reject_empty_group_by() {
+        assert!(parse("SELECT REL FROM T GROUP BY").is_err());
     }
 
     #[test]
@@ -457,9 +537,9 @@ mod tests {
     }
 
     #[test]
-    fn reject_aggregates() {
+    fn reject_bare_aggregate_keyword() {
         let e = parse("SELECT COUNT FROM T").unwrap_err().to_string();
-        assert!(e.contains("subsetting"), "{e}");
+        assert!(e.contains("parentheses"), "{e}");
     }
 
     #[test]
@@ -474,6 +554,9 @@ mod tests {
             "SELECT X, Y FROM T WHERE X IN (1, 2, 3) OR NOT Y = 0",
             "SELECT * FROM T WHERE SPEED(VX, VY, VZ) < 30.0",
             "SELECT * FROM T WHERE A BETWEEN 1 AND 2 AND B NOT BETWEEN 3 AND 4",
+            "SELECT A, COUNT(*), SUM(B), MIN(B), MAX(B), AVG(B) FROM T GROUP BY A",
+            "SELECT COUNT(*) FROM T WHERE A > 1",
+            "SELECT A, B FROM T WHERE A > 1 GROUP BY A, B",
         ];
         for q in inputs {
             let ast1 = parse(q).unwrap();

@@ -23,6 +23,8 @@ pub enum TokenKind {
     Not,
     In,
     Between,
+    Group,
+    By,
     // Literals and identifiers.
     Ident(String),
     IntLit(i64),
@@ -58,6 +60,8 @@ impl fmt::Display for TokenKind {
             TokenKind::Not => write!(f, "NOT"),
             TokenKind::In => write!(f, "IN"),
             TokenKind::Between => write!(f, "BETWEEN"),
+            TokenKind::Group => write!(f, "GROUP"),
+            TokenKind::By => write!(f, "BY"),
             TokenKind::Ident(s) => write!(f, "{s}"),
             TokenKind::IntLit(v) => write!(f, "{v}"),
             TokenKind::FloatLit(v) => write!(f, "{v}"),

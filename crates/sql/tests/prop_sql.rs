@@ -19,7 +19,9 @@ use proptest::prelude::*;
 
 use dv_sql::analysis::attribute_ranges;
 use dv_sql::eval::EvalContext;
-use dv_sql::{bind, parse, ArithOp, CmpOp, Expr, Query, Scalar, SelectList, UdfRegistry};
+use dv_sql::{
+    bind, parse, AggFunc, ArithOp, CmpOp, Expr, Query, Scalar, SelectItem, SelectList, UdfRegistry,
+};
 use dv_types::{Attribute, DataType, Schema, Value};
 
 const COLS: [&str; 4] = ["REL", "TIME", "SOIL", "X"];
@@ -112,17 +114,41 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     })
 }
 
+fn arb_agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Avg),
+    ]
+}
+
+fn arb_select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        (0..COLS.len()).prop_map(|i| SelectItem::column(COLS[i])),
+        Just(SelectItem::Agg { func: AggFunc::Count, arg: None }),
+        (arb_agg_func(), 0..COLS.len())
+            .prop_map(|(func, i)| SelectItem::Agg { func, arg: Some(COLS[i].to_string()) }),
+    ]
+}
+
 fn arb_query() -> impl Strategy<Value = Query> {
     let select = prop_oneof![
         Just(SelectList::All),
-        prop::collection::vec((0..COLS.len()).prop_map(|i| COLS[i].to_string()), 1..4)
-            .prop_map(SelectList::Columns),
+        prop::collection::vec(arb_select_item(), 1..4).prop_map(SelectList::Columns),
     ];
-    (select, proptest::option::of(arb_expr())).prop_map(|(select, predicate)| Query {
-        select,
-        dataset: "T".to_string(),
-        predicate,
-    })
+    let group_by = prop_oneof![
+        Just(Vec::new()),
+        prop::collection::vec((0..COLS.len()).prop_map(|i| COLS[i].to_string()), 1..3),
+    ];
+    (select, proptest::option::of(arb_expr()), group_by).prop_map(
+        |(select, predicate, group_by)| {
+            // `SELECT * ... GROUP BY` doesn't bind, but it still must
+            // round-trip through the printer/parser.
+            Query { select, dataset: "T".to_string(), predicate, group_by }
+        },
+    )
 }
 
 proptest! {
@@ -148,7 +174,12 @@ proptest! {
     ) {
         let schema = schema();
         let expr = (0..nots).fold(expr, |e, _| Expr::Not(Box::new(e)));
-        let q = Query { select: SelectList::All, dataset: "T".into(), predicate: Some(expr) };
+        let q = Query {
+            select: SelectList::All,
+            dataset: "T".into(),
+            predicate: Some(expr),
+            group_by: Vec::new(),
+        };
         let udfs = UdfRegistry::with_builtins();
         let b = bind(&q, &schema, &udfs).unwrap();
         let pred = b.predicate.as_ref().unwrap();

@@ -37,11 +37,15 @@ use dv_layout::io::{FetchedGroup, IoScheduler, IoStats};
 use dv_layout::{Afc, Extractor, Morsel, MorselPlan, PruneCertificate, PruneVerdict, SegmentCache};
 use dv_sql::eval::EvalContext;
 use dv_sql::{BoundExpr, UdfRegistry};
-use dv_types::{CancelToken, ColumnBlock, DataType, DvError, Result, RowBlock};
+use dv_types::{
+    AggBlock, AggFunc, AggTable, CancelToken, ColumnBlock, DataType, DvError, Result, RowBlock,
+};
 
 use crate::cluster::Cluster;
 use crate::filter::{filter_block, filter_columns, project_block};
-use crate::mover::{send_block, send_columns, MoverMessage, MoverStats};
+use crate::mover::{
+    send_agg, send_block, send_columns, send_morsel_done, MoverMessage, MoverStats,
+};
 use crate::partition::{partition_block, partition_columns};
 use crate::server::{ExecMode, QueryOptions};
 use crate::stats::MorselStats;
@@ -355,6 +359,47 @@ impl<'a> SharedPrefetcher<'a> {
     }
 }
 
+/// Accumulator-table entries buffered in a worker's outgoing
+/// [`AggBlock`] before it is handed to the mover. Large enough to
+/// amortize per-message overhead, small enough that partials stream
+/// out during the scan instead of piling up per worker.
+const AGG_FLUSH_ENTRIES: usize = 4096;
+
+/// Per-query aggregation context for one node's workers: the functions
+/// to fold plus the positions of group keys and arguments inside
+/// *working* columns (folding runs before output projection).
+pub(crate) struct AggExec {
+    pub funcs: Vec<AggFunc>,
+    pub group_pos: Vec<usize>,
+    pub arg_pos: Vec<Option<usize>>,
+    /// `true` = nodes fold per-AFC partials and ship accumulators;
+    /// `false` = ablation mode, nodes ship filtered rows (one block
+    /// per AFC so the absorber can reproduce the same fold tree).
+    pub pushdown: bool,
+}
+
+/// One worker's in-flight aggregation state for the current morsel:
+/// a reusable per-AFC fold table and the outgoing block of drained
+/// partials. Every AFC is folded whole by exactly one worker, so each
+/// `(seq, key)` entry is produced exactly once per query — the
+/// node-side "merge" across workers is pure union, never a float add.
+struct AggSink {
+    table: AggTable,
+    out: AggBlock,
+    rows_in: u64,
+}
+
+impl AggSink {
+    fn new(node: usize, agg: &AggExec) -> AggSink {
+        let key_width = agg.group_pos.len();
+        AggSink {
+            table: AggTable::new(&agg.funcs, key_width),
+            out: AggBlock::new(node, key_width, &agg.funcs),
+            rows_in: 0,
+        }
+    }
+}
+
 /// Everything one node needs to run the extraction → filter →
 /// partition → move pipeline for one query.
 pub(crate) struct NodeWorker {
@@ -381,6 +426,8 @@ pub(crate) struct NodeWorker {
     pub mover_stats: Arc<MoverStats>,
     pub morsel_stats: Arc<MorselStats>,
     pub segment_cache: Arc<SegmentCache>,
+    /// Aggregation context (`None` = plain scan query).
+    pub agg: Option<Arc<AggExec>>,
 }
 
 impl NodeWorker {
@@ -588,19 +635,31 @@ impl NodeWorker {
         tx: &Sender<MoverMessage>,
     ) -> Result<()> {
         let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
+        let mut sink = self.new_sink();
         let mut cursor = m.base_rows;
         for gi in m.groups.clone() {
             self.cancel.check()?;
             let g = plan.groups[gi].clone();
             let fetched = fetch(gi)?;
-            self.decode_and_ship(&afcs[g.clone()], &verdicts[g], &fetched, &cx, &mut cursor, tx)?;
+            self.decode_and_ship(
+                &afcs[g.clone()],
+                &verdicts[g],
+                &fetched,
+                &cx,
+                &mut cursor,
+                &mut sink,
+                tx,
+            )?;
         }
-        Ok(())
+        self.finish_morsel(m, cursor, sink, tx)
     }
 
     /// Decode one fetched working-set group into blocks of at most
     /// `batch_rows` and run each through filter → project → partition
-    /// → move.
+    /// → move. Aggregate queries cap every block at a single AFC — the
+    /// canonical float-fold unit — so block sequence tags identify AFCs
+    /// in pushdown and ablation mode alike.
+    #[allow(clippy::too_many_arguments)]
     fn decode_and_ship(
         &self,
         afcs: &[Afc],
@@ -608,16 +667,16 @@ impl NodeWorker {
         fetched: &FetchedGroup,
         cx: &EvalContext,
         cursor: &mut u64,
+        sink: &mut Option<AggSink>,
         tx: &Sender<MoverMessage>,
     ) -> Result<()> {
+        let batch_cap = if self.agg.is_some() { 0 } else { self.opts.batch_rows as u64 };
         let mut i = 0usize;
         while i < afcs.len() {
             let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
             let mut batched_rows = 0u64;
             let mut all_full = true;
-            while i < afcs.len()
-                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
-            {
+            while i < afcs.len() && (batched_rows == 0 || batched_rows < batch_cap) {
                 let afc = &afcs[i];
                 self.extractor.extract_columns_fetched(afc, &mut block, fetched)?;
                 self.bytes_read.fetch_add(afc.bytes_read(), Ordering::Relaxed);
@@ -626,8 +685,90 @@ impl NodeWorker {
                 batched_rows += afc.num_rows;
                 i += 1;
             }
-            self.ship_columns(block, all_full, cx, cursor, tx)?;
+            match sink {
+                Some(s) => self.fold_columns(block, all_full, cx, cursor, s, tx)?,
+                None => self.ship_columns(block, all_full, cx, cursor, tx)?,
+            }
         }
+        Ok(())
+    }
+
+    /// A fresh aggregation sink when this query folds node-side.
+    fn new_sink(&self) -> Option<AggSink> {
+        self.agg.as_ref().filter(|a| a.pushdown).map(|a| AggSink::new(self.node, a))
+    }
+
+    /// End-of-morsel bookkeeping shared by all engine paths: flush the
+    /// aggregation sink (if any), then post the advisory `MorselDone`
+    /// marker. `cursor` is the scanned ordinal after the morsel's last
+    /// block, so `cursor - base` is exactly the morsel's pre-filter
+    /// row span.
+    fn finish_morsel(
+        &self,
+        m: &Morsel,
+        cursor: u64,
+        sink: Option<AggSink>,
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
+        if let Some(mut s) = sink {
+            self.flush_agg(&mut s, tx)?;
+        }
+        send_morsel_done(tx, self.node, m.base_rows, cursor - m.base_rows)
+    }
+
+    /// Filter one single-AFC block and fold the survivors into the
+    /// worker's aggregation sink (pushdown path). The partials drain
+    /// into the outgoing block tagged with the AFC's scanned ordinal;
+    /// the absorber leftfolds them per group in `(node, seq)` order,
+    /// reproducing the serial fold bit for bit.
+    fn fold_columns(
+        &self,
+        mut block: ColumnBlock,
+        skip_filter: bool,
+        cx: &EvalContext,
+        cursor: &mut u64,
+        sink: &mut AggSink,
+        tx: &Sender<MoverMessage>,
+    ) -> Result<()> {
+        self.cancel.check()?;
+        let seq = *cursor;
+        let scanned = block.len() as u64;
+        *cursor += scanned;
+        self.rows_scanned.fetch_add(scanned, Ordering::Relaxed);
+
+        let predicate = if skip_filter { None } else { self.predicate.as_ref().as_ref() };
+        filter_columns(&mut block, predicate, cx);
+        self.rows_selected.fetch_add(block.selected() as u64, Ordering::Relaxed);
+        if block.is_empty() {
+            return Ok(());
+        }
+
+        let agg = self.agg.as_ref().expect("fold_columns requires aggregation context");
+        sink.table.clear();
+        sink.rows_in += sink.table.fold_block(&block, &agg.group_pos, &agg.arg_pos);
+        sink.table.drain_into(seq, &mut sink.out);
+        if sink.out.len() >= AGG_FLUSH_ENTRIES {
+            self.flush_agg(sink, tx)?;
+        }
+        Ok(())
+    }
+
+    /// Ship the sink's buffered partials. Aggregate results are always
+    /// delivered whole to client processor 0 (partitioning a handful
+    /// of groups would only fragment them).
+    fn flush_agg(&self, sink: &mut AggSink, tx: &Sender<MoverMessage>) -> Result<()> {
+        if sink.out.is_empty() {
+            sink.rows_in = 0;
+            return Ok(());
+        }
+        let agg = self.agg.as_ref().expect("flush_agg requires aggregation context");
+        let block = std::mem::replace(
+            &mut sink.out,
+            AggBlock::new(self.node, agg.group_pos.len(), &agg.funcs),
+        );
+        let bytes = send_agg(tx, 0, block, sink.rows_in, &self.mover_stats)?;
+        self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        sink.rows_in = 0;
         Ok(())
     }
 
@@ -644,17 +785,18 @@ impl NodeWorker {
     ) -> Result<()> {
         let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
         let mut scratch = dv_layout::ExtractScratch::default();
+        let mut sink = self.new_sink();
         let mut cursor = m.base_rows;
+        let batch_cap = if self.agg.is_some() { 0 } else { self.opts.batch_rows as u64 };
 
         let mut i = m.afcs.start;
         while i < m.afcs.end {
-            // Batch AFCs until the block reaches the target row count.
+            // Batch AFCs until the block reaches the target row count
+            // (aggregate queries: exactly one AFC per block).
             let mut block = ColumnBlock::with_dtypes(self.node, &self.working_dtypes);
             let mut batched_rows = 0u64;
             let mut all_full = true;
-            while i < m.afcs.end
-                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
-            {
+            while i < m.afcs.end && (batched_rows == 0 || batched_rows < batch_cap) {
                 let afc = &afcs[i];
                 self.extractor.extract_columns_with(afc, &mut block, &mut scratch)?;
                 self.count_direct_reads(afc);
@@ -662,9 +804,12 @@ impl NodeWorker {
                 batched_rows += afc.num_rows;
                 i += 1;
             }
-            self.ship_columns(block, all_full, &cx, &mut cursor, tx)?;
+            match &mut sink {
+                Some(s) => self.fold_columns(block, all_full, &cx, &mut cursor, s, tx)?,
+                None => self.ship_columns(block, all_full, &cx, &mut cursor, tx)?,
+            }
         }
-        Ok(())
+        self.finish_morsel(m, cursor, sink, tx)
     }
 
     /// Per-AFC accounting shared by the direct-read paths: logical
@@ -740,18 +885,19 @@ impl NodeWorker {
     ) -> Result<()> {
         let cx = EvalContext::new(self.schema_len, &self.working_attrs, &self.udfs);
         let mut scratch = dv_layout::ExtractScratch::default();
+        let mut sink = self.new_sink();
         let mut cursor = m.base_rows;
+        let batch_cap = if self.agg.is_some() { 0 } else { self.opts.batch_rows as u64 };
 
         let mut i = m.afcs.start;
         while i < m.afcs.end {
             self.cancel.check()?;
-            // Batch AFCs until the block reaches the target row count.
+            // Batch AFCs until the block reaches the target row count
+            // (aggregate queries: exactly one AFC per block).
             let mut block = RowBlock::new(self.node);
             let mut batched_rows = 0u64;
             let mut all_full = true;
-            while i < m.afcs.end
-                && (batched_rows == 0 || batched_rows < self.opts.batch_rows as u64)
-            {
+            while i < m.afcs.end && (batched_rows == 0 || batched_rows < batch_cap) {
                 let afc = &afcs[i];
                 self.extractor.extract_into_with(afc, &mut block, &mut scratch)?;
                 self.count_direct_reads(afc);
@@ -767,6 +913,22 @@ impl NodeWorker {
             let kept = filter_block(&mut block, predicate, &cx);
             self.rows_selected.fetch_add(block.len() as u64, Ordering::Relaxed);
             if block.is_empty() {
+                continue;
+            }
+
+            if let Some(s) = &mut sink {
+                // Row-engine fold: same rows, same scan order, same
+                // fold tree as the columnar kernel.
+                let agg = self.agg.as_ref().expect("sink implies aggregation context");
+                s.table.clear();
+                for row in &block.rows {
+                    s.table.fold_values(row, &agg.group_pos, &agg.arg_pos);
+                }
+                s.rows_in += block.rows.len() as u64;
+                s.table.drain_into(seq, &mut s.out);
+                if s.out.len() >= AGG_FLUSH_ENTRIES {
+                    self.flush_agg(s, tx)?;
+                }
                 continue;
             }
 
@@ -792,7 +954,7 @@ impl NodeWorker {
                 }
             }
         }
-        Ok(())
+        self.finish_morsel(m, cursor, sink, tx)
     }
 }
 

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Sender, TrySendError};
-use dv_types::{CancelToken, ColumnBlock, DvError, Result, RowBlock};
+use dv_types::{AggBlock, CancelToken, ColumnBlock, DvError, Result, RowBlock};
 
 /// Longest uninterruptible slice of a simulated transfer sleep.
 const SLEEP_SLICE: Duration = Duration::from_millis(10);
@@ -65,6 +65,15 @@ pub struct MoverStats {
     pub blocked_sends: AtomicU64,
     /// Total time senders spent blocked on a full channel.
     pub send_wait_ns: AtomicU64,
+    /// Partial-aggregate blocks shipped (aggregation pushdown).
+    pub agg_blocks: AtomicU64,
+    /// Rows folded into node-side accumulators before shipping.
+    pub agg_rows_in: AtomicU64,
+    /// Accumulator entries (per-AFC group partials) actually shipped.
+    pub agg_groups_out: AtomicU64,
+    /// High-water mark of blocks buffered in the absorber's reorder
+    /// maps (set by the absorbing side; bounds client-side memory).
+    pub peak_buffered_blocks: AtomicU64,
 }
 
 impl MoverStats {
@@ -74,7 +83,17 @@ impl MoverStats {
             sends: self.sends.load(Ordering::Relaxed),
             blocked_sends: self.blocked_sends.load(Ordering::Relaxed),
             send_wait: Duration::from_nanos(self.send_wait_ns.load(Ordering::Relaxed)),
+            agg_blocks: self.agg_blocks.load(Ordering::Relaxed),
+            agg_rows_in: self.agg_rows_in.load(Ordering::Relaxed),
+            agg_groups_out: self.agg_groups_out.load(Ordering::Relaxed),
+            peak_buffered_blocks: self.peak_buffered_blocks.load(Ordering::Relaxed),
         }
+    }
+
+    /// Record the absorber's current buffered-block count, keeping the
+    /// high-water mark.
+    pub fn note_buffered(&self, buffered: u64) {
+        self.peak_buffered_blocks.fetch_max(buffered, Ordering::Relaxed);
     }
 }
 
@@ -88,6 +107,23 @@ pub struct MoverSnapshot {
     pub blocked_sends: u64,
     /// Total sender time spent blocked on a full channel.
     pub send_wait: Duration,
+    /// Partial-aggregate blocks shipped (aggregation pushdown).
+    pub agg_blocks: u64,
+    /// Rows folded into node-side accumulators before shipping.
+    pub agg_rows_in: u64,
+    /// Accumulator entries (per-AFC group partials) shipped.
+    pub agg_groups_out: u64,
+    /// High-water mark of blocks buffered in the absorber's reorder
+    /// maps.
+    pub peak_buffered_blocks: u64,
+}
+
+impl MoverSnapshot {
+    /// Rows-in to groups-out reduction ratio of the aggregation
+    /// pushdown (`None` when no partials were shipped).
+    pub fn agg_reduction(&self) -> Option<f64> {
+        (self.agg_groups_out > 0).then(|| self.agg_rows_in as f64 / self.agg_groups_out as f64)
+    }
 }
 
 /// Message from node workers to the client-side collector.
@@ -106,6 +142,17 @@ pub enum MoverMessage {
     /// A columnar block destined for client processor `processor`
     /// (rows are reconstituted only when the client absorbs it).
     Columns { processor: usize, seq: u64, block: ColumnBlock },
+    /// A partial-aggregate block (aggregation pushdown). Entries carry
+    /// their own per-AFC sequence tags, so no message-level `seq`.
+    Agg { processor: usize, block: AggBlock },
+    /// Control message: the sending worker finished every block of the
+    /// morsel starting at scanned ordinal `base` and spanning `rows`
+    /// pre-filter rows on `node`. The channel is per-sender FIFO, so
+    /// this always arrives after the morsel's data blocks; the absorber
+    /// uses the contiguous-coverage watermark it implies to drain its
+    /// reorder buffer early. Purely advisory — correctness never
+    /// depends on it (the node's `Done` drain is the safety net).
+    MorselDone { node: usize, base: u64, rows: u64 },
     /// Node `node` finished (successfully or not), reporting how long
     /// its extract/filter/partition/move pipeline ran.
     Done { node: usize, result: Result<()>, busy: std::time::Duration },
@@ -184,6 +231,38 @@ pub fn send_columns(
     let bytes = block.wire_bytes();
     send_msg(tx, MoverMessage::Columns { processor, seq, block }, stats)?;
     Ok(bytes)
+}
+
+/// Send one partial-aggregate block into the bounded transport.
+/// Returns the wire bytes of the payload (seq tags + keys +
+/// accumulator states). `rows_in` is the number of pre-aggregation
+/// rows the block's accumulators absorbed, kept for the
+/// pushdown-reduction counters.
+pub fn send_agg(
+    tx: &Sender<MoverMessage>,
+    processor: usize,
+    block: AggBlock,
+    rows_in: u64,
+    stats: &MoverStats,
+) -> Result<usize> {
+    let bytes = block.wire_bytes();
+    stats.agg_blocks.fetch_add(1, Ordering::Relaxed);
+    stats.agg_rows_in.fetch_add(rows_in, Ordering::Relaxed);
+    stats.agg_groups_out.fetch_add(block.len() as u64, Ordering::Relaxed);
+    send_msg(tx, MoverMessage::Agg { processor, block }, stats)?;
+    Ok(bytes)
+}
+
+/// Send the advisory end-of-morsel marker. A control frame: it is not
+/// charged to the bandwidth model and does not count as a payload send.
+pub fn send_morsel_done(
+    tx: &Sender<MoverMessage>,
+    node: usize,
+    base: u64,
+    rows: u64,
+) -> Result<()> {
+    tx.send(MoverMessage::MorselDone { node, base, rows })
+        .map_err(|_| DvError::Runtime("client disconnected during data transfer".into()))
 }
 
 #[cfg(test)]

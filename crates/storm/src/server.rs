@@ -85,6 +85,12 @@ pub struct QueryOptions {
     /// Disable static partition pruning for this query (ablation
     /// baseline; equivalent to running with `DV_NO_PRUNE=1`).
     pub no_prune: bool,
+    /// Disable aggregation pushdown for this query (ablation baseline;
+    /// equivalent to running with `DV_NO_AGG_PUSHDOWN=1`). Nodes ship
+    /// filtered projected rows and the absorber aggregates client-side
+    /// over the identical per-AFC fold units, so results stay
+    /// bit-identical across modes.
+    pub no_agg_pushdown: bool,
 }
 
 impl Default for QueryOptions {
@@ -101,6 +107,7 @@ impl Default for QueryOptions {
             io: IoOptions::default(),
             mover_capacity: 64,
             no_prune: false,
+            no_agg_pushdown: false,
         }
     }
 }

@@ -18,20 +18,22 @@
 //! leaves no orphaned cluster jobs, and its RAII admission slot and
 //! per-query channels/file state are released on every exit path.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver};
 use dv_layout::io::IoStats;
-use dv_layout::{CompiledDataset, Extractor, IoOptions, SegmentCache, SharedHandles};
-use dv_sql::{bind, parse, BoundExpr, BoundQuery, UdfRegistry};
-use dv_types::{CancelToken, ColumnBlock, DvError, Result, RowBlock, Table};
+use dv_layout::{AggPrep, CompiledDataset, Extractor, IoOptions, SegmentCache, SharedHandles};
+use dv_sql::{bind, parse, AggOutput, BoundExpr, BoundQuery, UdfRegistry};
+use dv_types::{
+    AggBlock, AggTable, CancelToken, ColumnBlock, DvError, Result, RowBlock, Schema, Table,
+};
 
 use crate::admission::Admission;
 use crate::cluster::Cluster;
-use crate::executor::{ExecutorService, NodeWorker};
+use crate::executor::{AggExec, ExecutorService, NodeWorker};
 use crate::mover::{absorb_transfer, MoverMessage, MoverStats};
 use crate::server::QueryOptions;
 use crate::stats::{MorselStats, QueryStats};
@@ -365,6 +367,195 @@ impl Drop for SessionHandle {
     }
 }
 
+/// A block as shipped by a node pipeline, awaiting ordered absorption.
+enum Shipped {
+    Rows(RowBlock),
+    Cols(ColumnBlock),
+}
+
+/// Aggregation half of the absorber: per-AFC partials collected from
+/// the nodes (pushdown) or computed here on arrival (ablation), merged
+/// and finalized deterministically when every node is done.
+struct AbsorbAgg {
+    /// Positions of group keys / aggregate arguments within *shipped*
+    /// blocks (= the query projection) — used only in ablation mode,
+    /// where the nodes ship filtered projected rows.
+    group_pos: Vec<usize>,
+    arg_pos: Vec<Option<usize>>,
+    /// Reusable per-block fold table (ablation mode).
+    scratch: AggTable,
+    /// Partial-aggregate blocks, merged in `(node, seq)` order at the
+    /// end. Each `(node, seq, key)` entry appears exactly once.
+    parts: Vec<AggBlock>,
+}
+
+/// Client-side streaming reassembly of mover blocks.
+///
+/// Blocks arrive in whatever order morsel workers and stealing produced
+/// them; every block carries its source node and plan-time sequence tag
+/// (the starting scanned ordinal). Instead of buffering the whole
+/// result and stable-sorting at the end, the absorber drains
+/// incrementally: each node's advisory [`MoverMessage::MorselDone`]
+/// markers build a contiguous-coverage watermark `W(n)` — the prefix
+/// `[0, W)` of the node's scanned ordinals whose morsels all completed.
+/// A buffered block with `seq < W(n)` can never be preceded by a
+/// still-in-flight one, so it moves into its per-(processor, node)
+/// output run immediately; peak buffered blocks track what is genuinely
+/// in flight, not the result size. Correctness never depends on the
+/// markers: a node's `Done` drains its remainder unconditionally, and
+/// per-node runs concatenated in node order equal the old global
+/// `(node, seq)` sort exactly.
+struct Absorber<'a> {
+    node_count: usize,
+    /// `[processor][node]` reorder buffers keyed by sequence tag.
+    buf: Vec<Vec<BTreeMap<u64, Shipped>>>,
+    /// `[processor][node]` output runs, drained in ascending seq.
+    runs: Vec<Vec<Table>>,
+    /// Per node: completed-morsel spans (`base → rows`) not yet folded
+    /// into the watermark.
+    spans: Vec<BTreeMap<u64, u64>>,
+    /// Per node: contiguous-coverage watermark.
+    watermark: Vec<u64>,
+    buffered: u64,
+    mover_stats: &'a MoverStats,
+    agg: Option<AbsorbAgg>,
+}
+
+impl<'a> Absorber<'a> {
+    fn new(
+        processors: usize,
+        node_count: usize,
+        output_schema: &Schema,
+        agg: Option<AbsorbAgg>,
+        mover_stats: &'a MoverStats,
+    ) -> Absorber<'a> {
+        Absorber {
+            node_count,
+            buf: (0..processors)
+                .map(|_| (0..node_count).map(|_| BTreeMap::new()).collect())
+                .collect(),
+            runs: (0..processors)
+                .map(|_| (0..node_count).map(|_| Table::empty(output_schema.clone())).collect())
+                .collect(),
+            spans: (0..node_count).map(|_| BTreeMap::new()).collect(),
+            watermark: vec![0; node_count],
+            buffered: 0,
+            mover_stats,
+            agg,
+        }
+    }
+
+    /// A data block arrived. Aggregate-ablation queries fold it into a
+    /// per-block partial immediately (one block = one AFC = one
+    /// canonical fold unit — nothing is buffered); everything else
+    /// enters the reorder buffer until its watermark covers it.
+    fn on_data(&mut self, processor: usize, node: usize, seq: u64, shipped: Shipped) {
+        if let Some(agg) = &mut self.agg {
+            agg.scratch.clear();
+            match &shipped {
+                Shipped::Rows(b) => {
+                    for row in &b.rows {
+                        agg.scratch.fold_values(row, &agg.group_pos, &agg.arg_pos);
+                    }
+                }
+                Shipped::Cols(b) => {
+                    agg.scratch.fold_block(b, &agg.group_pos, &agg.arg_pos);
+                }
+            }
+            let mut out = AggBlock::new(node, agg.scratch.key_width(), agg.scratch.funcs());
+            agg.scratch.drain_into(seq, &mut out);
+            agg.parts.push(out);
+            return;
+        }
+        self.buf[processor][node].insert(seq, shipped);
+        self.buffered += 1;
+        self.mover_stats.note_buffered(self.buffered);
+    }
+
+    /// A partial-aggregate block arrived (pushdown mode).
+    fn on_agg(&mut self, block: AggBlock) {
+        if let Some(agg) = &mut self.agg {
+            agg.parts.push(block);
+        }
+    }
+
+    /// Advance `node`'s watermark with a completed-morsel span and
+    /// drain every buffered block it now covers.
+    fn on_morsel_done(&mut self, node: usize, base: u64, rows: u64) {
+        self.spans[node].insert(base, rows);
+        let mut w = self.watermark[node];
+        while let Some(r) = self.spans[node].remove(&w) {
+            w += r;
+        }
+        self.watermark[node] = w;
+        self.drain_node(node, w);
+    }
+
+    /// Unconditional drain when `node` reports done — the safety net
+    /// that makes correctness independent of the advisory markers.
+    fn on_node_done(&mut self, node: usize) {
+        self.drain_node(node, u64::MAX);
+    }
+
+    fn drain_node(&mut self, node: usize, below: u64) {
+        for p in 0..self.buf.len() {
+            let map = &mut self.buf[p][node];
+            let rest = if below == u64::MAX { BTreeMap::new() } else { map.split_off(&below) };
+            let ready = std::mem::replace(map, rest);
+            for (_, shipped) in ready {
+                self.buffered -= 1;
+                match shipped {
+                    Shipped::Rows(b) => self.runs[p][node].absorb(b),
+                    Shipped::Cols(b) => self.runs[p][node].absorb_columns(b),
+                }
+            }
+        }
+    }
+
+    /// Move the per-node runs into the client tables, node-major —
+    /// exactly the old global `(node, seq)` order.
+    fn finish(mut self, tables: &mut [Table]) -> Option<AbsorbAgg> {
+        for node in 0..self.node_count {
+            self.on_node_done(node);
+        }
+        for (p, t) in tables.iter_mut().enumerate() {
+            for node in 0..self.node_count {
+                t.rows.append(&mut self.runs[p][node].rows);
+            }
+        }
+        self.agg
+    }
+}
+
+/// Merge the collected per-AFC partials in ascending `(node, seq)`
+/// order and finalize into result rows sorted by decoded group key —
+/// the deterministic fold tree shared by every engine, thread count and
+/// pushdown mode.
+fn finalize_agg(agg: AbsorbAgg, prep: &AggPrep, schema: &Schema, out: &mut Table) {
+    let spec = &prep.spec;
+    let mut order: Vec<(usize, usize)> =
+        agg.parts.iter().enumerate().flat_map(|(p, b)| (0..b.len()).map(move |e| (p, e))).collect();
+    order.sort_by_key(|&(p, e)| (agg.parts[p].source_node, agg.parts[p].seqs[e]));
+    let mut table = AggTable::new(&spec.funcs(), spec.group_by.len());
+    for (p, e) in order {
+        let b = &agg.parts[p];
+        table.merge_entry(b.keys[e], &b.states_at(e));
+    }
+    let group_dtypes = spec.group_dtypes(schema);
+    for i in table.sorted_indices(&group_dtypes) {
+        let keys = table.key_values(i, &group_dtypes);
+        let row: Vec<dv_types::Value> = spec
+            .output
+            .iter()
+            .map(|o| match *o {
+                AggOutput::Group(k) => keys[k],
+                AggOutput::Agg(a) => table.accs[a].finalize(i, spec.result_dtype(a, schema)),
+            })
+            .collect();
+        out.rows.push(row);
+    }
+}
+
 /// Execute one admitted session: central planning, fragment fan-out
 /// via the per-node executors, and the absorb loop. This is the old
 /// monolithic `StormServer::execute_bound`, now fed by the service
@@ -391,8 +582,42 @@ pub(crate) fn run_session(
     if opts.no_prune {
         prep.prune_enabled = false;
     }
+    if opts.no_agg_pushdown {
+        prep.agg_pushdown = false;
+    }
     let prep = Arc::new(prep);
     stats.plan_time = plan_start.elapsed();
+
+    // Per-query aggregation context shared by all node workers. With
+    // pushdown on, each worker folds morsels into per-AFC partial
+    // tables and ships compact aggregate blocks; with it off, the
+    // nodes ship filtered projected rows (one block per AFC) and the
+    // absorber computes the identical per-AFC partials on arrival.
+    let agg_exec: Option<Arc<AggExec>> = prep.agg.as_ref().map(|a| {
+        Arc::new(AggExec {
+            funcs: a.spec.funcs(),
+            group_pos: a.group_pos.clone(),
+            arg_pos: a.arg_pos.clone(),
+            pushdown: prep.agg_pushdown,
+        })
+    });
+    // Absorber-side fold positions index into *shipped* blocks, whose
+    // columns follow the query projection (sorted dedup of group keys
+    // and aggregate arguments).
+    let absorb_agg = prep.agg.as_ref().map(|a| {
+        let ppos = |attr: usize| {
+            bq.projection
+                .iter()
+                .position(|&x| x == attr)
+                .expect("aggregate attr missing from projection")
+        };
+        AbsorbAgg {
+            group_pos: a.spec.group_by.iter().map(|&g| ppos(g)).collect(),
+            arg_pos: a.spec.aggs.iter().map(|ag| ag.arg.map(ppos)).collect(),
+            scratch: AggTable::new(&a.spec.funcs(), a.spec.group_by.len()),
+            parts: Vec::new(),
+        }
+    });
 
     let output_schema = bq.output_schema();
     let schema_len = core.compiled.model.schema.len();
@@ -456,6 +681,7 @@ pub(crate) fn run_session(
             mover_stats: Arc::clone(&mover_stats),
             morsel_stats: Arc::clone(&morsel_stats),
             segment_cache: Arc::clone(&core.segment_cache),
+            agg: agg_exec.clone(),
         };
         let worker_tx = tx.clone();
         // Phase 2b (the node's generated index function) runs inside
@@ -468,18 +694,16 @@ pub(crate) fn run_session(
         });
     };
 
-    // Blocks buffered for ordered reassembly: morsel workers ship in
-    // whatever order stealing produced, but every block carries its
-    // node and plan-time sequence tag (the starting scanned ordinal),
-    // so sorting by (node, seq) reconstructs exactly the serial
-    // schedule order before anything is absorbed into a client table.
-    // This is what makes results bit-identical across thread counts
-    // and steal orders.
-    enum Shipped {
-        Rows(RowBlock),
-        Cols(ColumnBlock),
-    }
-    let mut pending: Vec<(usize, u64, usize, Shipped)> = Vec::new();
+    // Streaming ordered reassembly (see `Absorber` above): morsel
+    // workers ship in whatever order stealing produced, but every
+    // block carries its node and plan-time sequence tag (the starting
+    // scanned ordinal), so draining per-node buffers in ascending seq
+    // and concatenating runs node-major reconstructs exactly the
+    // serial schedule order. This is what makes results bit-identical
+    // across thread counts and steal orders — without holding the
+    // whole result in the reorder buffer.
+    let mut absorber =
+        Absorber::new(opts.client_processors, node_count, &output_schema, absorb_agg, &mover_stats);
 
     // Drain messages until `want` Done messages arrive. Always drains
     // to completion — a cancelled query still collects every node's
@@ -489,7 +713,7 @@ pub(crate) fn run_session(
     // cancelled one skips the remaining sleeps (the error surfaces
     // from the final checkpoint) while still collecting every Done.
     let drain = |want: usize,
-                 pending: &mut Vec<(usize, u64, usize, Shipped)>,
+                 absorber: &mut Absorber,
                  node_busy: &mut Vec<std::time::Duration>,
                  first_error: &mut Option<DvError>| {
         let mut done = 0usize;
@@ -497,13 +721,21 @@ pub(crate) fn run_session(
             match msg {
                 MoverMessage::Block { processor, seq, block } => {
                     let _ = absorb_transfer(opts.bandwidth.as_ref(), block.wire_bytes(), cancel);
-                    pending.push((block.source_node, seq, processor, Shipped::Rows(block)));
+                    absorber.on_data(processor, block.source_node, seq, Shipped::Rows(block));
                 }
                 MoverMessage::Columns { processor, seq, block } => {
                     let _ = absorb_transfer(opts.bandwidth.as_ref(), block.wire_bytes(), cancel);
-                    pending.push((block.source_node, seq, processor, Shipped::Cols(block)));
+                    absorber.on_data(processor, block.source_node, seq, Shipped::Cols(block));
                 }
-                MoverMessage::Done { result, busy, .. } => {
+                MoverMessage::Agg { block, .. } => {
+                    let _ = absorb_transfer(opts.bandwidth.as_ref(), block.wire_bytes(), cancel);
+                    absorber.on_agg(block);
+                }
+                MoverMessage::MorselDone { node, base, rows } => {
+                    absorber.on_morsel_done(node, base, rows);
+                }
+                MoverMessage::Done { node, result, busy } => {
+                    absorber.on_node_done(node);
                     done += 1;
                     node_busy.push(busy);
                     if let Err(e) = result {
@@ -520,13 +752,13 @@ pub(crate) fn run_session(
     if opts.sequential_nodes {
         for node in 0..node_count {
             dispatch(node, &tx);
-            drain(1, &mut pending, &mut node_busy, &mut first_error);
+            drain(1, &mut absorber, &mut node_busy, &mut first_error);
         }
     } else {
         for node in 0..node_count {
             dispatch(node, &tx);
         }
-        drain(node_count, &mut pending, &mut node_busy, &mut first_error);
+        drain(node_count, &mut absorber, &mut node_busy, &mut first_error);
     }
     drop(tx);
     stats.exec_time = exec_start.elapsed();
@@ -539,15 +771,12 @@ pub(crate) fn run_session(
     // return a (possibly complete) result as if nothing happened.
     cancel.check()?;
 
-    // Ordered reassembly (see `pending` above). The sort is stable and
-    // (node, seq) is unique per destination table: a node pipeline
-    // never ships two blocks for the same processor with equal seq.
-    pending.sort_by_key(|&(node, seq, _, _)| (node, seq));
-    for (_, _, processor, shipped) in pending {
-        match shipped {
-            Shipped::Rows(block) => tables[processor].absorb(block),
-            Shipped::Cols(block) => tables[processor].absorb_columns(block),
-        }
+    // Move the drained runs into the client tables; for aggregate
+    // queries, merge and finalize the collected partials instead —
+    // aggregate results are always delivered whole to processor 0.
+    let agg_state = absorber.finish(&mut tables);
+    if let (Some(agg), Some(aprep)) = (agg_state, prep.agg.as_ref()) {
+        finalize_agg(agg, aprep, &core.compiled.model.schema, &mut tables[0]);
     }
 
     stats.rows_scanned = rows_scanned.load(Ordering::Relaxed);

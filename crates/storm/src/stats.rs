@@ -153,9 +153,21 @@ impl QueryStats {
 
 impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Aggregation pushdown line only when the query aggregated.
+        let agg = if self.mover.agg_blocks > 0 {
+            format!(
+                "; agg: {} blocks, {} rows in -> {} groups out ({:.1}x reduction)",
+                self.mover.agg_blocks,
+                self.mover.agg_rows_in,
+                self.mover.agg_groups_out,
+                self.mover.agg_reduction().unwrap_or(0.0),
+            )
+        } else {
+            String::new()
+        };
         write!(
             f,
-            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; prune: {}/{} groups pruned, {} full, {} KiB avoided; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits; mover: {} sends, {} blocked {:?}; morsels: {} planned, {} stolen, {} workers, {}..{} KiB/worker, pool wait {:?}; queued {:?})",
+            "{} rows selected / {} scanned ({} AFCs, {} KiB read, {} KiB moved) in {:?}              (plan {:?}, exec {:?}; simulated cluster {:?}; prune: {}/{} groups pruned, {} full, {} KiB avoided; io: {} syscalls, coalesce {:.1}x, {} KiB issued / {} KiB used, cache hit {:.0}%, prefetch {}/{} waits; mover: {} sends, {} blocked {:?}, peak buffer {}{agg}; morsels: {} planned, {} stolen, {} workers, {}..{} KiB/worker, pool wait {:?}; queued {:?})",
             self.rows_selected,
             self.rows_scanned,
             self.afcs,
@@ -179,6 +191,7 @@ impl fmt::Display for QueryStats {
             self.mover.sends,
             self.mover.blocked_sends,
             self.mover.send_wait,
+            self.mover.peak_buffered_blocks,
             self.morsels.planned,
             self.morsels.stolen,
             self.morsels.workers,
@@ -222,7 +235,15 @@ mod tests {
                 cache_miss_bytes: 1024,
                 ..Default::default()
             },
-            mover: crate::mover::MoverSnapshot { sends: 9, blocked_sends: 2, ..Default::default() },
+            mover: crate::mover::MoverSnapshot {
+                sends: 9,
+                blocked_sends: 2,
+                peak_buffered_blocks: 5,
+                agg_blocks: 6,
+                agg_rows_in: 1200,
+                agg_groups_out: 48,
+                ..Default::default()
+            },
             morsels: MorselSnapshot {
                 planned: 16,
                 stolen: 3,
@@ -241,6 +262,11 @@ mod tests {
         assert!(text.contains("2 KiB issued / 4 KiB used"), "{text}");
         assert!(text.contains("cache hit 50%"), "{text}");
         assert!(text.contains("9 sends, 2 blocked"), "{text}");
+        assert!(text.contains("peak buffer 5"), "{text}");
+        assert!(
+            text.contains("6 blocks, 1200 rows in -> 48 groups out (25.0x reduction)"),
+            "{text}"
+        );
         assert!(text.contains("3/10 groups pruned, 2 full, 8 KiB avoided"), "{text}");
         assert!(text.contains("16 planned, 3 stolen, 4 workers, 1..2 KiB/worker"), "{text}");
     }

@@ -25,6 +25,7 @@
 //! Nothing here knows about files, layouts, SQL or the STORM runtime;
 //! those live in the higher crates.
 
+pub mod agg;
 pub mod cancel;
 pub mod column;
 pub mod datatype;
@@ -35,6 +36,7 @@ pub mod schema;
 pub mod span;
 pub mod value;
 
+pub use agg::{AccCol, AccState, AggBlock, AggFunc, AggTable, GroupKey, MAX_GROUP_COLS};
 pub use cancel::{CancelReason, CancelToken};
 pub use column::{Bitmap, Column, ColumnBlock, ColumnData, ColumnGen, LazyRun};
 pub use datatype::DataType;

@@ -1,0 +1,332 @@
+//! Aggregation differential tests: GROUP BY results must be
+//! *bit-identical* — same rows, same order, same float bit patterns —
+//! across engines (columnar vs row-at-a-time), prune on/off,
+//! aggregation pushdown on/off, and thread counts (with injected
+//! per-morsel jitter shuffling steal orders). The canonical fold unit
+//! is the aligned file chunk, so every configuration folds the same
+//! tree; the handwritten L0 oracle replicates that tree from the raw
+//! files with an independent accumulator implementation.
+
+use std::io::Write as _;
+
+use dv_core::{ExecMode, QueryOptions, Virtualizer};
+use dv_datagen::{ipars, IparsConfig, IparsLayout};
+use dv_handwritten::HandIparsL0;
+use dv_integration::scratch;
+use dv_sql::{bind, parse, UdfRegistry};
+use dv_types::{Table, Value};
+use proptest::prelude::*;
+
+fn cfg() -> IparsConfig {
+    IparsConfig { realizations: 2, time_steps: 40, grid_per_dir: 50, dirs: 2, nodes: 2, seed: 93 }
+}
+
+fn opts(threads: usize, exec: ExecMode, no_prune: bool, no_agg_pushdown: bool) -> QueryOptions {
+    QueryOptions {
+        intra_node_threads: threads,
+        exec,
+        no_prune,
+        no_agg_pushdown,
+        ..Default::default()
+    }
+}
+
+const AGG_QUERIES: &[&str] = &[
+    "SELECT REL, TIME, COUNT(*), SUM(SOIL), MIN(PGAS), MAX(PGAS), AVG(SOIL) \
+     FROM IparsData GROUP BY REL, TIME",
+    "SELECT TIME, AVG(SOIL) FROM IparsData WHERE SOIL > 0.3 GROUP BY TIME",
+    "SELECT COUNT(*), SUM(SOIL), MIN(SOIL), MAX(SOIL), AVG(PGAS) FROM IparsData",
+    "SELECT REL FROM IparsData GROUP BY REL",
+    "SELECT MAX(SOIL) FROM IparsData WHERE TIME <= 13 GROUP BY REL",
+];
+
+/// Require *bit* equality, not `total_cmp` equality: `assert_eq!` on
+/// `Value` would already distinguish NaN payloads and -0.0, but spell
+/// the comparison out so a future `PartialEq` loosening can't silently
+/// weaken the suite.
+fn assert_bit_identical(a: &Table, b: &Table, what: &str) {
+    assert_eq!(a.rows.len(), b.rows.len(), "{what}: row count");
+    for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{what}: row {i} width");
+        for (va, vb) in ra.iter().zip(rb) {
+            let same = match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+                _ => va == vb,
+            };
+            assert!(same, "{what}: row {i} diverged: {ra:?} vs {rb:?}");
+        }
+    }
+}
+
+/// Every (engine × prune × pushdown × thread-count) combination
+/// returns exactly the serial columnar pushdown result, bit for bit,
+/// even with jitter shuffling morsel completion order.
+#[test]
+fn aggregates_bit_match_across_engines_prune_pushdown_threads() {
+    std::env::set_var("DV_MORSEL_JITTER", "2");
+    let base = scratch("agg-diff-l0");
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    let v = Virtualizer::builder(&descriptor)
+        .storage_base(&base)
+        .max_intra_node_threads(8)
+        .build()
+        .unwrap();
+    for sql in AGG_QUERIES {
+        let (oracle, _) = v.query_with(sql, &opts(1, ExecMode::Columnar, false, false)).unwrap();
+        // Aggregate results are always delivered whole to processor 0.
+        assert!(!oracle[0].rows.is_empty(), "{sql}: degenerate diff");
+        for exec in [ExecMode::Columnar, ExecMode::RowAtATime] {
+            for no_prune in [false, true] {
+                for no_push in [false, true] {
+                    for threads in [1usize, 2, 8] {
+                        let (tables, _) =
+                            v.query_with(sql, &opts(threads, exec, no_prune, no_push)).unwrap();
+                        assert_bit_identical(
+                            &tables[0],
+                            &oracle[0],
+                            &format!(
+                                "{sql} [{exec:?} no_prune={no_prune} \
+                                 no_push={no_push} threads={threads}]"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    std::env::remove_var("DV_MORSEL_JITTER");
+}
+
+/// The same fold tree replicated by hand from the raw L0 files, with
+/// an independent accumulator implementation.
+#[test]
+fn aggregates_bit_match_handwritten_oracle() {
+    let base = scratch("agg-diff-hand");
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    let v = Virtualizer::builder(&descriptor)
+        .storage_base(&base)
+        .max_intra_node_threads(8)
+        .build()
+        .unwrap();
+    let hand = HandIparsL0::new(base, cfg().clone(), UdfRegistry::with_builtins());
+    for sql in AGG_QUERIES {
+        let bq = bind(&parse(sql).unwrap(), v.schema(), &UdfRegistry::with_builtins()).unwrap();
+        let expect = hand.execute_agg(&bq).unwrap();
+        for exec in [ExecMode::Columnar, ExecMode::RowAtATime] {
+            for threads in [1usize, 8] {
+                let (tables, _) = v.query_with(sql, &opts(threads, exec, false, false)).unwrap();
+                assert_bit_identical(
+                    &tables[0],
+                    &expect,
+                    &format!("{sql} [{exec:?} threads={threads}] vs handwritten"),
+                );
+            }
+        }
+    }
+}
+
+/// A layout whose chunk boundaries differ from L0 (single all-in-one
+/// file) still agrees with itself across every configuration — the
+/// fold tree is per-layout canonical, not global.
+#[test]
+fn aggregates_bit_match_on_other_layouts() {
+    for layout in [IparsLayout::II, IparsLayout::V] {
+        let base = scratch(&format!("agg-diff-{}", layout.tag()));
+        let descriptor = ipars::generate(&base, &cfg(), layout).unwrap();
+        let v = Virtualizer::builder(&descriptor)
+            .storage_base(&base)
+            .max_intra_node_threads(8)
+            .build()
+            .unwrap();
+        let sql = AGG_QUERIES[0];
+        let (oracle, _) = v.query_with(sql, &opts(1, ExecMode::Columnar, false, false)).unwrap();
+        for exec in [ExecMode::Columnar, ExecMode::RowAtATime] {
+            for no_push in [false, true] {
+                for threads in [1usize, 8] {
+                    let (tables, _) =
+                        v.query_with(sql, &opts(threads, exec, false, no_push)).unwrap();
+                    assert_bit_identical(
+                        &tables[0],
+                        &oracle[0],
+                        &format!("{} [{exec:?} no_push={no_push} threads={threads}]", layout.tag()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A global aggregate over an empty selection returns an empty table
+/// (SQL would say one NULL row; the subset has no NULLs — documented
+/// in LANGUAGE.md).
+#[test]
+fn empty_selection_yields_empty_table() {
+    let base = scratch("agg-diff-empty");
+    let descriptor = ipars::generate(&base, &cfg(), IparsLayout::L0).unwrap();
+    let v = Virtualizer::builder(&descriptor).storage_base(&base).build().unwrap();
+    for no_push in [false, true] {
+        let (tables, _) = v
+            .query_with(
+                "SELECT COUNT(*), SUM(SOIL) FROM IparsData WHERE TIME > 90000",
+                &opts(2, ExecMode::Columnar, false, no_push),
+            )
+            .unwrap();
+        assert!(tables[0].rows.is_empty(), "no_push={no_push}");
+    }
+}
+
+/// NaN-laden data: every NaN bit pattern collapses into one group key;
+/// SUM/AVG propagate NaN; MIN/MAX use total_cmp (NaN above all
+/// numbers); -0.0 and +0.0 form distinct groups. All of it stable
+/// across engines, pushdown modes and thread counts.
+#[test]
+fn nan_and_signed_zero_groups() {
+    const DESC: &str = r#"
+[S]
+TIME = int
+V = float
+W = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATATYPE { S }
+  DATAINDEX { TIME }
+  DATA { DATASET leaf }
+  DATASET "leaf" {
+    DATASPACE { LOOP TIME 1:6:1 { LOOP G 1:4:1 { V W } } }
+    DATA { DIR[0]/f0 }
+  }
+}
+"#;
+    let base = scratch("agg-diff-nan");
+    let dir = base.join("n0").join("d");
+    std::fs::create_dir_all(&dir).unwrap();
+    // 6 times × 4 grid points × (V, W) f32 records. V cycles through
+    // NaN (two payloads), ±0.0 and normals; W is a plain ramp.
+    let v_vals: [f32; 8] = [
+        f32::NAN,
+        1.5,
+        -0.0,
+        f32::from_bits(0x7fc0_0001), // NaN, different payload
+        0.0,
+        2.5,
+        f32::from_bits(0xffc0_0000), // negative NaN
+        1.5,
+    ];
+    let mut bytes = Vec::new();
+    for i in 0..24 {
+        bytes.extend_from_slice(&v_vals[i % v_vals.len()].to_le_bytes());
+        bytes.extend_from_slice(&(i as f32).to_le_bytes());
+    }
+    let mut f = std::fs::File::create(dir.join("f0")).unwrap();
+    f.write_all(&bytes).unwrap();
+    drop(f);
+
+    let v =
+        Virtualizer::builder(DESC).storage_base(&base).max_intra_node_threads(8).build().unwrap();
+    let sql = "SELECT V, COUNT(*), SUM(W), MIN(W), MAX(V), AVG(W) FROM D GROUP BY V";
+    let (oracle, _) = v.query_with(sql, &opts(1, ExecMode::Columnar, false, false)).unwrap();
+    // 3 NaN patterns collapse to one group; -0.0 and 0.0 stay apart:
+    // groups are {NaN, -0.0, 0.0, 1.5, 2.5}.
+    assert_eq!(oracle[0].rows.len(), 5, "{}", oracle[0]);
+    let keys: Vec<f32> = oracle[0]
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Float(x) => x,
+            ref v => panic!("group key should be float, got {v:?}"),
+        })
+        .collect();
+    assert_eq!(keys[0].to_bits(), (-0.0f32).to_bits(), "sorted order starts at -0.0");
+    assert_eq!(keys[1].to_bits(), (0.0f32).to_bits());
+    assert!(keys[4].is_nan(), "NaN group sorts last under total_cmp");
+    // NaN group: 3 patterns × 3 full cycles = 9 rows.
+    assert_eq!(oracle[0].rows[4][1], Value::Long(9));
+    // MAX(V) of the 1.5 group is 1.5 exactly.
+    assert_eq!(oracle[0].rows[2][4], Value::Float(1.5));
+
+    std::env::set_var("DV_MORSEL_JITTER", "1");
+    for exec in [ExecMode::Columnar, ExecMode::RowAtATime] {
+        for no_push in [false, true] {
+            for threads in [1usize, 2, 8] {
+                let (tables, _) = v.query_with(sql, &opts(threads, exec, false, no_push)).unwrap();
+                assert_bit_identical(
+                    &tables[0],
+                    &oracle[0],
+                    &format!("nan [{exec:?} no_push={no_push} threads={threads}]"),
+                );
+            }
+        }
+    }
+    std::env::remove_var("DV_MORSEL_JITTER");
+}
+
+const PROP_CALLS: [&str; 6] =
+    ["COUNT(*)", "SUM(SOIL)", "MIN(PGAS)", "MAX(SOIL)", "AVG(PGAS)", "AVG(SOIL)"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random GROUP BY queries: both engines, both pushdown modes and
+    /// a parallel run all agree with the serial columnar pushdown
+    /// fold, bit for bit.
+    #[test]
+    fn prop_random_group_by_queries(
+        group_sel in 0usize..3,
+        call_idx in prop::collection::vec(0usize..PROP_CALLS.len(), 1..4),
+        pred in prop::option::of((1i64..7, any::<bool>())),
+    ) {
+        // One shared small dataset (built on first use, cheap to keep).
+        use std::sync::OnceLock;
+        static V: OnceLock<Virtualizer> = OnceLock::new();
+        let v = V.get_or_init(|| {
+            let base = scratch("agg-diff-prop");
+            let small = IparsConfig {
+                realizations: 2, time_steps: 6, grid_per_dir: 10, dirs: 2, nodes: 2, seed: 7,
+            };
+            let descriptor = ipars::generate(&base, &small, IparsLayout::L0).unwrap();
+            Virtualizer::builder(&descriptor)
+                .storage_base(&base)
+                .max_intra_node_threads(8)
+                .build()
+                .unwrap()
+        });
+        let group: &[&str] = match group_sel {
+            0 => &["REL"],
+            1 => &["TIME"],
+            _ => &["REL", "TIME"],
+        };
+        let mut calls: Vec<&str> = call_idx.iter().map(|&i| PROP_CALLS[i]).collect();
+        calls.sort();
+        calls.dedup();
+        let sql = format!(
+            "SELECT {}, {} FROM IparsData{} GROUP BY {}",
+            group.join(", "),
+            calls.join(", "),
+            match pred {
+                Some((t, true)) => format!(" WHERE TIME <= {t}"),
+                Some((t, false)) => format!(" WHERE TIME >= {t} AND SOIL > 0.4"),
+                None => String::new(),
+            },
+            group.join(", "),
+        );
+        let (oracle, _) = v.query_with(&sql, &opts(1, ExecMode::Columnar, false, false)).unwrap();
+        for (exec, no_push, threads) in [
+            (ExecMode::RowAtATime, false, 1),
+            (ExecMode::Columnar, true, 1),
+            (ExecMode::RowAtATime, true, 8),
+            (ExecMode::Columnar, false, 8),
+        ] {
+            let (tables, _) = v.query_with(&sql, &opts(threads, exec, false, no_push)).unwrap();
+            assert_bit_identical(
+                &tables[0],
+                &oracle[0],
+                &format!("{sql} [{exec:?} no_push={no_push} threads={threads}]"),
+            );
+        }
+    }
+}

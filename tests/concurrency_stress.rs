@@ -246,6 +246,66 @@ fn panicking_udf_is_a_query_error_not_a_dead_server() {
     assert!(!table.rows.is_empty(), "server must survive a panicking fragment");
 }
 
+/// The absorber streams: with in-order per-node block arrival
+/// (single worker per node) the reorder buffer holds at most the
+/// in-flight morsels' blocks, never the whole result. The old
+/// buffer-everything-then-sort absorber would peak at every data
+/// block of the query; the watermark drain must stay well below that.
+#[test]
+fn absorber_reorder_buffer_is_bounded_by_inflight_blocks() {
+    let v = build("stress-absorber", 4);
+    // Small blocks + small morsels: many sends, many MorselDone
+    // watermark advances.
+    let opts = QueryOptions {
+        intra_node_threads: 1,
+        batch_rows: 100,
+        morsel_bytes: 16 * 1024,
+        ..QueryOptions::default()
+    };
+    let (tables, stats) = v.query_with("SELECT * FROM IparsData", &opts).unwrap();
+    assert!(!tables[0].rows.is_empty());
+    assert!(
+        stats.mover.sends > 20,
+        "need many blocks for a meaningful bound: {}",
+        stats.mover.sends
+    );
+    assert!(
+        stats.mover.peak_buffered_blocks * 3 <= stats.mover.sends,
+        "streaming absorber must not buffer the whole result: peak {} of {} sends",
+        stats.mover.peak_buffered_blocks,
+        stats.mover.sends
+    );
+
+    // Parallel workers with steal jitter still drain incrementally;
+    // the result stays bit-identical (covered by morsel_diff) and the
+    // peak can never exceed the total data sends.
+    std::env::set_var("DV_MORSEL_JITTER", "1");
+    let (_, par) = v
+        .query_with(
+            "SELECT * FROM IparsData",
+            &QueryOptions { intra_node_threads: 8, batch_rows: 100, ..QueryOptions::default() },
+        )
+        .unwrap();
+    std::env::remove_var("DV_MORSEL_JITTER");
+    assert!(par.mover.peak_buffered_blocks <= par.mover.sends);
+
+    // Aggregate queries never enter the reorder buffer at all: with
+    // pushdown the nodes ship partials, without it the absorber folds
+    // each block into a partial on arrival.
+    for no_agg_pushdown in [false, true] {
+        let (_, agg) = v
+            .query_with(
+                "SELECT REL, TIME, AVG(SOIL) FROM IparsData GROUP BY REL, TIME",
+                &QueryOptions { intra_node_threads: 8, no_agg_pushdown, ..QueryOptions::default() },
+            )
+            .unwrap();
+        assert_eq!(
+            agg.mover.peak_buffered_blocks, 0,
+            "aggregation (no_agg_pushdown={no_agg_pushdown}) must not buffer data blocks"
+        );
+    }
+}
+
 /// Poll `cond` for up to two seconds before failing — session threads
 /// are detached, so slot release may trail `wait()` by a scheduling
 /// quantum.
