@@ -1,0 +1,301 @@
+//! dv-cost micro-benchmark — static bound analysis latency, admission
+//! overhead, and bound tightness.
+//!
+//! ```text
+//! cargo run --release -p dv-bench --bin repro_cost
+//! ```
+//!
+//! Three measurements:
+//!
+//! 1. **Analysis latency** — the bound derivation
+//!    (`CostReport::analyze`) on every shipped example descriptor
+//!    under its canonical query. The acceptance bar is <= 2 ms per
+//!    descriptor (best of 20): the analysis must stay cheap enough to
+//!    run on every admission. Planning time is reported alongside but
+//!    not counted against the bar — the admission path executes from
+//!    the same plans, so planning is not added latency.
+//! 2. **Admission overhead** — wall time for the service to *reject* a
+//!    statically over-budget query, versus the planning time of the
+//!    same query accepted; rejection must not cost more than planning
+//!    (it is planning, plus a comparison).
+//! 3. **Bound tightness** — per-stage ratio `static bound / runtime
+//!    counter` over the bench query set on a staged dataset. A ratio
+//!    of 1.0 is exact; large ratios show where the analysis is loose
+//!    (by design, e.g. coalesce-gap slack on issued bytes).
+//!
+//! Results go to `BENCH_COST.json` at the repo root (override with
+//! `DV_BENCH_OUT`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dv_bench::stage::stage_ipars;
+use dv_bench::{print_table, scaled};
+use dv_core::{CostReport, Virtualizer};
+use dv_datagen::{IparsConfig, IparsLayout};
+use dv_sql::UdfRegistry;
+
+fn cfg() -> IparsConfig {
+    IparsConfig {
+        realizations: 4,
+        time_steps: 50,
+        grid_per_dir: scaled(500),
+        dirs: 4,
+        nodes: 4,
+        seed: 4040,
+    }
+}
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .join("examples/descriptors")
+}
+
+/// Canonical query per shipped descriptor (mirrors the lint golden
+/// suite).
+fn canonical_query(name: &str) -> &'static str {
+    match name {
+        "titan.desc" => "SELECT S1 FROM TitanData WHERE X > 100",
+        "ipars_pinned.desc" => "SELECT SOIL FROM SnapData WHERE TIME = 5",
+        "ipars_dense.desc" => "SELECT BUCKET, AVG(SOIL) FROM DenseData GROUP BY BUCKET",
+        _ => "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20",
+    }
+}
+
+struct Latency {
+    name: String,
+    /// Bound derivation alone (`CostReport::analyze`) — the latency
+    /// admission adds on top of planning.
+    analyze_us: f64,
+    /// End-to-end parse + bind + plan + analyze, for context.
+    total_us: f64,
+    boundable: bool,
+}
+
+fn analysis_latencies() -> Vec<Latency> {
+    let udfs = UdfRegistry::with_builtins();
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(examples_dir()).unwrap().flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "desc") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let model = dv_descriptor::compile(&text).unwrap();
+        let sql = canonical_query(&name);
+        let start = Instant::now();
+        let planned = dv_lint::cost::cost_plan(&model, sql, &udfs).unwrap();
+        let total_us = start.elapsed().as_secs_f64() * 1e6;
+        let mut analyze_us = 0.0;
+        let boundable = planned.is_some();
+        if let Some((plan, params)) = planned {
+            let mut best = f64::INFINITY;
+            for _ in 0..20 {
+                let start = Instant::now();
+                std::hint::black_box(CostReport::analyze(&plan, &params));
+                best = best.min(start.elapsed().as_secs_f64() * 1e6);
+            }
+            analyze_us = best;
+        }
+        out.push(Latency { name, analyze_us, total_us: total_us + analyze_us, boundable });
+    }
+    out
+}
+
+struct Tightness {
+    name: &'static str,
+    bytes_read: f64,
+    bytes_issued: Option<f64>,
+    mover_bytes: f64,
+    mover_sends: f64,
+    agg_groups: Option<f64>,
+}
+
+fn ratio(bound: u64, actual: u64) -> f64 {
+    bound as f64 / actual.max(1) as f64
+}
+
+fn tightness(v: &Virtualizer) -> Vec<Tightness> {
+    let cases: &[(&str, &str)] = &[
+        ("full-scan", "SELECT REL, TIME, SOIL FROM IparsData"),
+        ("time-window", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("stored-filter", "SELECT SOIL FROM IparsData WHERE SOIL > 0.5"),
+        ("group-by-key", "SELECT REL, COUNT(SOIL), AVG(SOIL) FROM IparsData GROUP BY REL"),
+    ];
+    cases
+        .iter()
+        .map(|&(name, sql)| {
+            let report = v.cost_report(sql).unwrap();
+            let (_, stats) = v.query(sql).unwrap();
+            Tightness {
+                name,
+                bytes_read: ratio(report.bytes_read.hi, stats.bytes_read),
+                bytes_issued: (stats.io.bytes_issued > 0)
+                    .then(|| ratio(report.bytes_issued.hi, stats.io.bytes_issued)),
+                mover_bytes: ratio(report.mover_bytes.hi, stats.bytes_moved),
+                mover_sends: ratio(report.mover_sends.hi, stats.mover.sends),
+                agg_groups: (report.agg_groups.hi > 0)
+                    .then(|| ratio(report.agg_groups.hi, stats.mover.agg_groups_out)),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = cfg();
+    println!("# dv-cost — analysis latency, admission overhead, bound tightness\n");
+
+    // 1. Per-descriptor analysis latency.
+    let latencies = analysis_latencies();
+    let rows: Vec<Vec<String>> = latencies
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                format!("{:.1}", l.analyze_us),
+                format!("{:.1}", l.total_us),
+                if l.boundable { "yes" } else { "no (chunked)" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Static cost analysis latency per shipped descriptor (best of 20)",
+        &["descriptor", "analyze (us)", "plan+analyze (us)", "boundable"],
+        &rows,
+    );
+    for l in &latencies {
+        assert!(
+            l.analyze_us <= 2000.0,
+            "acceptance: {} cost analysis took {:.0} us (> 2 ms)",
+            l.name,
+            l.analyze_us
+        );
+    }
+
+    // 2. Admission overhead: rejection vs accepted planning. The
+    // accepted side runs under a roomy budget so both take the same
+    // central-planning + analysis path — the delta is the comparison
+    // itself.
+    let (base, desc) = stage_ipars("cost-l0", &cfg, IparsLayout::L0);
+    dv_bench::warm_dir(&base);
+    let v =
+        Virtualizer::builder(&desc).storage_base(&base).max_plan_bytes(u64::MAX).build().unwrap();
+    let sql = "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20";
+    let mut plan_us = f64::INFINITY;
+    for _ in 0..10 {
+        let (_, stats) = v.query(sql).unwrap();
+        plan_us = plan_us.min(stats.plan_time.as_secs_f64() * 1e6);
+    }
+    let tight = Virtualizer::builder(&desc).storage_base(&base).max_plan_bytes(1).build().unwrap();
+    let mut reject_us = f64::INFINITY;
+    for _ in 0..10 {
+        let start = Instant::now();
+        let err = tight.query(sql).unwrap_err();
+        reject_us = reject_us.min(start.elapsed().as_secs_f64() * 1e6);
+        assert!(err.is_cost_rejected(), "{err}");
+    }
+    println!(
+        "\nadmission: accepted plan {plan_us:.0} us; over-budget rejection {reject_us:.0} us\n"
+    );
+
+    // 3. Bound tightness per stage.
+    let measures = tightness(&v);
+    let rows: Vec<Vec<String>> = measures
+        .iter()
+        .map(|t| {
+            vec![
+                t.name.to_string(),
+                format!("{:.2}", t.bytes_read),
+                t.bytes_issued.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+                format!("{:.2}", t.mover_bytes),
+                format!("{:.2}", t.mover_sends),
+                t.agg_groups.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Bound tightness (static bound / runtime counter; 1.00 = exact)",
+        &["query", "bytes read", "bytes issued", "mover bytes", "sends", "agg groups"],
+        &rows,
+    );
+    for t in &measures {
+        assert!(t.bytes_read >= 1.0 - 1e-9, "{}: bytes_read bound below actual", t.name);
+        assert!(t.mover_bytes >= 1.0 - 1e-9, "{}: mover_bytes bound below actual", t.name);
+    }
+
+    let out = out_path();
+    std::fs::write(&out, render_json(&cfg, &latencies, plan_us, reject_us, &measures))
+        .expect("write bench JSON");
+    println!("\nwrote {}", out.display());
+}
+
+fn out_path() -> PathBuf {
+    match std::env::var("DV_BENCH_OUT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => {
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest.parent().unwrap().parent().unwrap().join("BENCH_COST.json")
+        }
+    }
+}
+
+/// Hand-formatted JSON (the workspace carries no serde).
+fn render_json(
+    cfg: &IparsConfig,
+    latencies: &[Latency],
+    plan_us: f64,
+    reject_us: f64,
+    measures: &[Tightness],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"cost-analysis\",\n");
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"ipars\", \"layout\": \"l0\", \"rows\": {}, \"nodes\": {}, \
+         \"seed\": {}}},\n",
+        cfg.rows(),
+        cfg.nodes,
+        cfg.seed
+    ));
+    s.push_str(&format!("  \"quick_mode\": {},\n", dv_bench::quick_mode()));
+    s.push_str("  \"analysis_latency_us\": [\n");
+    for (i, l) in latencies.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"descriptor\": \"{}\", \"analyze_us\": {:.1}, \"plan_and_analyze_us\": {:.1}, \
+             \"boundable\": {}}}{}\n",
+            l.name,
+            l.analyze_us,
+            l.total_us,
+            l.boundable,
+            if i + 1 < latencies.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"admission\": {{\"accepted_plan_us\": {plan_us:.1}, \"rejection_us\": {reject_us:.1}}},\n"
+    ));
+    s.push_str("  \"tightness\": [\n");
+    for (i, t) in measures.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"query\": \"{}\", \"bytes_read\": {:.3}, \"bytes_issued\": {}, \
+             \"mover_bytes\": {:.3}, \"mover_sends\": {:.3}, \"agg_groups\": {}}}{}\n",
+            t.name,
+            t.bytes_read,
+            t.bytes_issued.map(|r| format!("{r:.3}")).unwrap_or_else(|| "null".into()),
+            t.mover_bytes,
+            t.mover_sends,
+            t.agg_groups.map(|r| format!("{r:.3}")).unwrap_or_else(|| "null".into()),
+            if i + 1 < measures.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

@@ -15,7 +15,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// switch).
-const VALUED: [&str; 11] = [
+const VALUED: [&str; 15] = [
     "base",
     "format",
     "limit",
@@ -27,6 +27,10 @@ const VALUED: [&str; 11] = [
     "max-concurrent",
     "threads",
     "morsel-bytes",
+    "byte-budget",
+    "group-memory-budget",
+    "link-bytes-per-sec",
+    "link-deadline",
 ];
 
 /// Parse raw arguments (excluding argv[0]).

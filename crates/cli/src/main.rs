@@ -7,6 +7,7 @@
 //! datavirt validate <descriptor> --base <dir>         check files against the descriptor
 //! datavirt lint     <descriptor> [<SQL>]              static analysis: DV0xx/DV1xx diagnostics
 //! datavirt verify   <descriptor> [<SQL>]              semantic verification: DV2xx refutations + certificate
+//! datavirt cost     <descriptor> <SQL>                static resource bounds + DV4xx budget checks
 //! datavirt query    <descriptor> --base <dir> <SQL>   run a query  [--format table|csv] [--limit N] [--stats] [--timeout D] [--no-prune] [--no-agg-pushdown]
 //! datavirt serve    <descriptor> --base <dir> --workload <file>   run a query workload concurrently
 //! datavirt explain  <descriptor> --base <dir> <SQL>   show the AFC schedule
@@ -25,7 +26,13 @@
 //! `lint` and `verify` accept `--format json` (one shared schema) and
 //! `--format sarif` for code-scanning upload. When a SQL argument is
 //! given, `lint` also runs the static prune pass (DV301–DV305): the
-//! WHERE clause abstract-interpreted over the descriptor's extents.
+//! WHERE clause abstract-interpreted over the descriptor's extents,
+//! and the static cost pass (DV401–DV405): guaranteed resource bounds
+//! checked against `--byte-budget`, `--group-memory-budget` and
+//! `--link-bytes-per-sec`/`--link-deadline`. `cost` prints the full
+//! bound report; the same budget flags on `query` configure
+//! cost-based admission (statically over-budget queries are rejected
+//! with a DV-coded error before any fragment runs).
 
 mod args;
 
@@ -62,9 +69,10 @@ USAGE:
   datavirt schema   <descriptor>
   datavirt fmt      <descriptor>
   datavirt validate <descriptor> --base <dir>
-  datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json|sarif] [--deny-warnings]
+  datavirt lint     <descriptor> [\"<SQL>\"] [--format human|json|sarif] [--deny-warnings] [--byte-budget <B>] [--group-memory-budget <B>] [--link-bytes-per-sec <B> --link-deadline <dur>]
   datavirt verify   <descriptor> [\"<SQL>\"] [--base <dir>] [--format human|json|sarif] [--deny-warnings]
-  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>] [--no-prune] [--no-agg-pushdown] [--deny-warnings]
+  datavirt cost     <descriptor> \"<SQL>\" [--byte-budget <B>] [--group-memory-budget <B>] [--link-bytes-per-sec <B> --link-deadline <dur>] [--deny-warnings]
+  datavirt query    <descriptor> --base <dir> \"<SQL>\" [--format table|csv] [--limit N] [--stats] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>] [--byte-budget <B>] [--group-memory-budget <B>] [--no-prune] [--no-agg-pushdown] [--deny-warnings]
   datavirt serve    <descriptor> --base <dir> --workload <file> [--max-concurrent <N>] [--timeout <dur>] [--threads <N>] [--morsel-bytes <B>]
   datavirt explain  <descriptor> --base <dir> \"<SQL>\" [--deny-warnings]
   datavirt codegen  <descriptor> --base <dir>
@@ -78,6 +86,7 @@ fn run(a: &args::Args) -> Result<ExitCode, String> {
         "validate" => cmd_validate(a),
         "lint" => cmd_lint(a),
         "verify" => cmd_verify(a),
+        "cost" => cmd_cost(a),
         "query" => cmd_query(a),
         "serve" => cmd_serve(a),
         "explain" => cmd_explain(a),
@@ -107,7 +116,51 @@ fn virtualizer(a: &args::Args) -> Result<Virtualizer, String> {
         let t: usize = t.parse().map_err(|_| "--threads must be an integer".to_string())?;
         builder = builder.max_intra_node_threads(t.max(1));
     }
+    // Budget flags configure cost-based admission: statically
+    // over-budget queries are rejected with a DV-coded error.
+    if let Some(b) = a.options.get("byte-budget") {
+        let b: u64 = b.parse().map_err(|_| "--byte-budget must be an integer".to_string())?;
+        builder = builder.max_plan_bytes(b);
+    }
+    if let Some(b) = a.options.get("group-memory-budget") {
+        let b: u64 =
+            b.parse().map_err(|_| "--group-memory-budget must be an integer".to_string())?;
+        builder = builder.max_group_memory(b);
+    }
     builder.build().map_err(|e| e.to_string())
+}
+
+/// Static-analysis budgets from the `--byte-budget`,
+/// `--group-memory-budget` and `--link-*` flags (the dv-cost DV401,
+/// DV403 and DV404 checks).
+fn cost_budgets(a: &args::Args) -> Result<dv_lint::CostBudgets, String> {
+    let mut budgets = dv_lint::CostBudgets::default();
+    if let Some(b) = a.options.get("byte-budget") {
+        budgets.max_plan_bytes =
+            Some(b.parse().map_err(|_| "--byte-budget must be an integer".to_string())?);
+    }
+    if let Some(b) = a.options.get("group-memory-budget") {
+        budgets.max_group_memory =
+            Some(b.parse().map_err(|_| "--group-memory-budget must be an integer".to_string())?);
+    }
+    match (a.options.get("link-bytes-per-sec"), a.options.get("link-deadline")) {
+        (Some(bps), Some(deadline)) => {
+            let bytes_per_sec: f64 =
+                bps.parse().map_err(|_| "--link-bytes-per-sec must be a number".to_string())?;
+            if bytes_per_sec <= 0.0 || !bytes_per_sec.is_finite() {
+                return Err("--link-bytes-per-sec must be positive".to_string());
+            }
+            budgets.link =
+                Some(dv_lint::LinkBudget { bytes_per_sec, deadline: parse_duration(deadline)? });
+        }
+        (None, None) => {}
+        _ => {
+            return Err(
+                "--link-bytes-per-sec and --link-deadline must be given together".to_string()
+            )
+        }
+    }
+    Ok(budgets)
 }
 
 /// Per-query execution options from `--threads` (intra-node worker
@@ -218,6 +271,7 @@ fn cmd_validate(a: &args::Args) -> Result<ExitCode, String> {
 fn collect_lints(
     text: &str,
     sql: Option<&str>,
+    budgets: &dv_lint::CostBudgets,
 ) -> Result<(Vec<dv_lint::Diagnostic>, Vec<dv_lint::Diagnostic>), String> {
     let diags = dv_lint::lint_descriptor(text).map_err(|e| e.to_string())?;
     let qdiags = match sql {
@@ -226,6 +280,7 @@ fn collect_lints(
             let udfs = dv_sql::UdfRegistry::with_builtins();
             let mut q = dv_lint::lint_query(&model, sql, &udfs).map_err(|e| e.to_string())?;
             q.extend(dv_lint::prune_query(&model, sql, &udfs).map_err(|e| e.to_string())?);
+            q.extend(dv_lint::cost_query(&model, sql, &udfs, budgets).map_err(|e| e.to_string())?);
             q.sort_by_key(|d| (d.span.start, d.code));
             q
         }
@@ -252,7 +307,7 @@ fn cmd_lint(a: &args::Args) -> Result<ExitCode, String> {
     let path = a.positional(0, "descriptor")?.to_string();
     let text = read_descriptor(a)?;
     let sql = a.positionals.get(1).map(|s| s.as_str());
-    let (diags, qdiags) = collect_lints(&text, sql)?;
+    let (diags, qdiags) = collect_lints(&text, sql, &cost_budgets(a)?)?;
     let total = diags.len() + qdiags.len();
     let errors =
         diags.iter().chain(&qdiags).filter(|d| d.severity == dv_lint::Severity::Error).count();
@@ -385,6 +440,33 @@ fn cmd_verify(a: &args::Args) -> Result<ExitCode, String> {
     }
 }
 
+/// `datavirt cost <descriptor> "<SQL>"` — print the plan's static
+/// resource bounds (no data touched), then the DV4xx diagnostics for
+/// whatever budgets were declared on the command line.
+fn cmd_cost(a: &args::Args) -> Result<ExitCode, String> {
+    let text = read_descriptor(a)?;
+    let sql = a.positional(1, "SQL")?.to_string();
+    let model = dv_descriptor::compile(&text).map_err(|e| e.to_string())?;
+    let udfs = dv_sql::UdfRegistry::with_builtins();
+    match dv_lint::cost::cost_report(&model, &sql, &udfs).map_err(|e| e.to_string())? {
+        Some(report) => println!("{report}"),
+        None => println!("cost bounds unavailable: chunked layouts need the on-disk chunk index"),
+    }
+    let budgets = cost_budgets(a)?;
+    let diags = dv_lint::cost_query(&model, &sql, &udfs, &budgets).map_err(|e| e.to_string())?;
+    let rendered: Vec<String> = diags.iter().map(|d| d.render(&sql, "<query>")).collect();
+    if !rendered.is_empty() {
+        println!();
+        print!("{}", rendered.join("\n"));
+    }
+    let actionable = diags.iter().filter(|d| d.severity != dv_lint::Severity::Note).count();
+    if actionable > 0 && a.has("deny-warnings") {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 /// `--deny-warnings` pre-flight for query/explain: refuse to run when
 /// the lint or verify passes report anything about the descriptor or
 /// the SQL.
@@ -394,7 +476,7 @@ fn preflight_lint(a: &args::Args, sql: &str) -> Result<(), String> {
     }
     let path = a.positional(0, "descriptor")?.to_string();
     let text = read_descriptor(a)?;
-    let (mut diags, mut qdiags) = collect_lints(&text, Some(sql))?;
+    let (mut diags, mut qdiags) = collect_lints(&text, Some(sql), &cost_budgets(a)?)?;
     let report = dv_lint::verify_descriptor(&text, None).map_err(|e| e.to_string())?;
     diags.extend(report.findings.into_iter().map(|f| f.diag));
     diags.sort_by_key(|d| (d.span.start, d.code));

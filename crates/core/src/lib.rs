@@ -36,8 +36,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 pub use dv_descriptor::DatasetModel;
-pub use dv_layout::{Certificate, CompiledDataset, FileIssue, QueryPlan};
-pub use dv_lint::VerifyReport;
+pub use dv_layout::{
+    Certificate, CompiledDataset, CostBound, CostParams, CostReport, FileIssue, QueryPlan,
+};
+pub use dv_lint::{CostBudgets, LinkBudget, VerifyReport};
 pub use dv_sql::{BoundQuery, UdfRegistry};
 pub use dv_storm::{
     BandwidthModel, CancelReason, CancelToken, ExecMode, IoOptions, IoSnapshot, PartitionStrategy,
@@ -117,6 +119,22 @@ impl VirtualizerBuilder {
     /// clamped at execution time.
     pub fn max_intra_node_threads(mut self, limit: usize) -> Self {
         self.service.max_intra_node_threads = limit.max(1);
+        self
+    }
+
+    /// Cost-based admission byte budget: reject any query whose static
+    /// planned byte bound exceeds `bytes` with a DV401-coded error,
+    /// before any fragment runs. Unset by default.
+    pub fn max_plan_bytes(mut self, bytes: u64) -> Self {
+        self.service.max_plan_bytes = Some(bytes);
+        self
+    }
+
+    /// Cost-based admission group-memory budget: reject any query
+    /// whose static absorber group-state bound exceeds `bytes` with a
+    /// DV404-coded error. Unset by default.
+    pub fn max_group_memory(mut self, bytes: u64) -> Self {
+        self.service.max_group_memory = Some(bytes);
         self
     }
 
@@ -236,11 +254,35 @@ impl Virtualizer {
         dv_layout::codegen::render_compiled(self.server.compiled())
     }
 
-    /// Render the AFC schedule of a query (debugging / inspection).
+    /// Render the AFC schedule of a query (debugging / inspection),
+    /// followed by the plan's static resource bounds (dv-cost).
     pub fn explain(&self, sql: &str) -> Result<String> {
         let bq = self.server.bind_sql(sql)?;
         let plan = self.server.compiled().plan_query(&bq)?;
-        Ok(dv_layout::codegen::render_plan(self.server.compiled(), &plan))
+        let mut out = dv_layout::codegen::render_plan(self.server.compiled(), &plan);
+        let report = CostReport::analyze(
+            &plan,
+            &CostParams::new(&IoOptions::default(), 1, bq.predicate.is_some()),
+        );
+        out.push_str("// ---- static cost bounds (dv-cost) ----\n");
+        for line in report.to_string().lines() {
+            out.push_str("// ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// The static [`CostReport`] of a query's plan: guaranteed upper
+    /// bounds on rows, bytes, syscalls, mover wire bytes and absorber
+    /// memory, derived without touching any data.
+    pub fn cost_report(&self, sql: &str) -> Result<CostReport> {
+        let bq = self.server.bind_sql(sql)?;
+        let plan = self.server.compiled().plan_query(&bq)?;
+        Ok(CostReport::analyze(
+            &plan,
+            &CostParams::new(&IoOptions::default(), 1, bq.predicate.is_some()),
+        ))
     }
 
     /// Validate the descriptor against the files on disk; returns all
@@ -318,6 +360,26 @@ mod tests {
         assert!(code.contains("index_function"));
         let plan = v.explain("SELECT * FROM IparsData WHERE TIME = 1").unwrap();
         assert!(plan.contains("working row"));
+        assert!(plan.contains("static cost bounds (dv-cost)"));
+        assert!(plan.contains("rows scanned"));
+    }
+
+    #[test]
+    fn cost_report_bounds_hold_and_budgets_reject() {
+        let (base, desc) = setup("cost");
+        let v = Virtualizer::builder(&desc).storage_base(&base).build().unwrap();
+        let sql = "SELECT REL, TIME, SOIL FROM IparsData WHERE SOIL > 0.5";
+        let report = v.cost_report(sql).unwrap();
+        let (_, stats) = v.query(sql).unwrap();
+        assert_eq!(stats.rows_scanned, report.rows_scanned.hi);
+        assert_eq!(stats.bytes_read, report.bytes_read.hi);
+        assert!(stats.rows_selected <= report.rows_selected.hi);
+        // An impossible byte budget rejects the same query at
+        // admission with a DV-coded error.
+        let tight =
+            Virtualizer::builder(&desc).storage_base(&base).max_plan_bytes(1).build().unwrap();
+        let err = tight.query(sql).unwrap_err();
+        assert!(err.is_cost_rejected(), "{err}");
     }
 
     #[test]

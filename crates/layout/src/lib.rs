@@ -33,6 +33,7 @@
 
 pub mod afc;
 pub mod codegen;
+pub mod cost;
 pub mod extract;
 pub mod groups;
 pub mod io;
@@ -42,6 +43,9 @@ pub mod prune;
 pub mod segment;
 
 pub use afc::{Afc, AfcEntry, ImplicitValue};
+pub use cost::{
+    afc_group_bound, CostBound, CostParams, CostReport, CostViolation, RuntimeCounters,
+};
 pub use extract::{ExtractScratch, Extractor, SharedHandles};
 pub use io::{IoOptions, IoScheduler, IoSnapshot, IoStats, SegmentCache};
 pub use morsel::{adaptive_morsel_bytes, Morsel, MorselPlan, MORSELS_PER_THREAD};

@@ -8,8 +8,9 @@ use dv_types::Span;
 /// Every diagnostic the analyzer can emit. `DV0xx` codes fire on
 /// descriptor text, `DV1xx` codes on queries checked against a
 /// resolved model, `DV2xx` codes are refutations produced by the
-/// `dv-verify` semantic analysis pass, and `DV3xx` codes come from the
-/// dv-prune predicate–extent abstract interpretation.
+/// `dv-verify` semantic analysis pass, `DV3xx` codes come from the
+/// dv-prune predicate–extent abstract interpretation, and `DV4xx`
+/// codes from the dv-cost static resource-bound analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Overlapping or shadowing `LOOP`s over one variable.
@@ -66,6 +67,20 @@ pub enum Code {
     /// Predicate constrains a coordinate dimension the descriptor
     /// never varies.
     Dv305,
+    /// The plan's static byte bound exceeds a declared byte budget.
+    Dv401,
+    /// Cost is unboundable below a full scan: a UDF or non-finite
+    /// constant blocks selectivity reasoning (blocking subexpression
+    /// spanned).
+    Dv402,
+    /// The mover wire-byte bound exceeds what the declared link model
+    /// can carry within the deadline.
+    Dv403,
+    /// The group-cardinality bound exceeds a declared memory budget.
+    Dv404,
+    /// Cost summary naming the estimate-dominating stage
+    /// (informational note).
+    Dv405,
 }
 
 impl Code {
@@ -241,6 +256,11 @@ mod tests {
             Code::Dv303,
             Code::Dv304,
             Code::Dv305,
+            Code::Dv401,
+            Code::Dv402,
+            Code::Dv403,
+            Code::Dv404,
+            Code::Dv405,
         ];
         let mut names: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         names.sort();

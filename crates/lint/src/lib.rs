@@ -45,6 +45,13 @@
 //!   such as UDF calls and non-finite constants (DV303), a per-file
 //!   prune summary note (DV304), and predicates constraining a
 //!   coordinate the descriptor never varies (DV305).
+//! * [`cost_query`] — the dv-cost static pass (DV401..DV405): derives
+//!   the plan's guaranteed resource bounds (rows, bytes, syscalls,
+//!   mover wire bytes, group cardinality — see
+//!   `dv_layout::CostReport`) and checks them against declared
+//!   [`CostBudgets`]: byte budgets (DV401), unboundable-cost blockers
+//!   (DV402), link-capacity deadlines (DV403), group-memory budgets
+//!   (DV404), plus a dominating-stage summary note (DV405).
 //!
 //! The single source of truth for every code's name, default severity
 //! and documentation anchor is [`CODE_REGISTRY`]:
@@ -74,13 +81,20 @@
 //! | DV303 | warning  | pruning blocked by a UDF or NaN-unsound comparison |
 //! | DV304 | note     | per-group static prune summary |
 //! | DV305 | warning  | predicate constrains a never-varying coordinate dimension |
+//! | DV401 | warning  | static byte bound exceeds the declared byte budget |
+//! | DV402 | warning  | cost unboundable below a full scan (UDF / non-finite blocker) |
+//! | DV403 | warning  | mover byte bound exceeds link capacity within the deadline |
+//! | DV404 | warning  | group-cardinality bound exceeds the declared memory budget |
+//! | DV405 | note     | static cost summary naming the dominating stage |
 
+pub mod cost;
 mod descriptor;
 mod diag;
 pub mod prune;
 mod query;
 pub mod verify;
 
+pub use cost::{cost_query, CostBudgets, LinkBudget};
 pub use diag::{Code, Diagnostic, Severity};
 pub use prune::prune_query;
 pub use query::lint_query;
@@ -159,6 +173,26 @@ pub const CODE_REGISTRY: &[CodeInfo] = &[
         Severity::Warning,
         "predicate constrains a never-varying coordinate dimension",
     ),
+    row(Code::Dv401, "DV401", Severity::Warning, "static byte bound exceeds the byte budget"),
+    row(
+        Code::Dv402,
+        "DV402",
+        Severity::Warning,
+        "cost unboundable below a full scan (UDF or non-finite blocker)",
+    ),
+    row(
+        Code::Dv403,
+        "DV403",
+        Severity::Warning,
+        "mover byte bound exceeds link capacity within the deadline",
+    ),
+    row(
+        Code::Dv404,
+        "DV404",
+        Severity::Warning,
+        "group-cardinality bound exceeds the memory budget",
+    ),
+    row(Code::Dv405, "DV405", Severity::Note, "static cost summary (dominating stage)"),
 ];
 
 /// Lint descriptor text: parse, run the AST lints, and — when the

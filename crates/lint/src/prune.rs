@@ -34,7 +34,7 @@ use dv_types::{Result, Span};
 use crate::diag::{Code, Diagnostic};
 
 /// Span of the WHERE clause (or the whole query when there is none).
-fn where_span(sql: &str) -> Span {
+pub(crate) fn where_span(sql: &str) -> Span {
     match sql.to_ascii_uppercase().find("WHERE") {
         Some(p) => Span::new(p, sql.trim_end().len().max(p + 5)),
         None => Span::new(0, sql.trim_end().len().max(1)),
@@ -43,7 +43,7 @@ fn where_span(sql: &str) -> Span {
 
 /// Span of the first case-insensitive occurrence of `needle` in `sql`,
 /// falling back to the WHERE clause.
-fn span_of(sql: &str, needle: &str) -> Span {
+pub(crate) fn span_of(sql: &str, needle: &str) -> Span {
     match sql.to_ascii_uppercase().find(&needle.to_ascii_uppercase()) {
         Some(p) => Span::new(p, p + needle.len()),
         None => where_span(sql),

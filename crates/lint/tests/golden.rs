@@ -293,6 +293,158 @@ fn prune_codes_are_spanned_and_distinct() {
     assert_eq!(seen.len(), 5, "expected DV301–DV305, got {seen:?}");
 }
 
+// ---------------------------------------------------------------------
+// DV401–DV405: the static cost pass (`cost_query`), golden-tested the
+// same way. Budgets are supplied per test; DV405 (the bound summary
+// note) fires on every boundable plan regardless of budgets.
+
+fn run_cost(desc: &str, sql: &str, budgets: &dv_lint::CostBudgets) -> (Vec<Diagnostic>, String) {
+    let text = fs::read_to_string(fixture(&format!("{desc}.desc"))).unwrap();
+    let model = dv_descriptor::compile(&text).unwrap();
+    let diags = dv_lint::cost_query(&model, sql, &UdfRegistry::with_builtins(), budgets).unwrap();
+    let rendered = render_all(&diags, sql, "<query>");
+    (diags, rendered)
+}
+
+#[test]
+fn dv401_byte_budget_exceeded() {
+    let budgets =
+        dv_lint::CostBudgets { max_plan_bytes: Some(16), ..dv_lint::CostBudgets::default() };
+    let (diags, rendered) = run_cost("query", "SELECT X FROM D WHERE T < 50", &budgets);
+    assert_eq!(codes(&diags), [Code::Dv401, Code::Dv405], "{rendered}");
+    check_golden(&rendered, "q_dv401.expected");
+}
+
+#[test]
+fn dv402_udf_makes_cost_unboundable() {
+    let (diags, rendered) = run_cost(
+        "query",
+        "SELECT X FROM D WHERE SPEED(X, X, X) < 30.0",
+        &dv_lint::CostBudgets::default(),
+    );
+    let c = codes(&diags);
+    assert!(c.contains(&Code::Dv402), "{rendered}");
+    assert!(c.contains(&Code::Dv405), "{rendered}");
+    let d = diags.iter().find(|d| d.code == Code::Dv402).unwrap();
+    let sql = "SELECT X FROM D WHERE SPEED(X, X, X) < 30.0";
+    assert_eq!(&sql[d.span.start..d.span.end], "SPEED", "{rendered}");
+    check_golden(&rendered, "q_dv402.expected");
+}
+
+#[test]
+fn dv403_link_deadline_exceeded() {
+    let budgets = dv_lint::CostBudgets {
+        link: Some(dv_lint::LinkBudget {
+            bytes_per_sec: 1.0,
+            deadline: std::time::Duration::from_millis(1),
+        }),
+        ..dv_lint::CostBudgets::default()
+    };
+    let (diags, rendered) = run_cost("query", "SELECT X FROM D WHERE T < 50", &budgets);
+    assert_eq!(codes(&diags), [Code::Dv403, Code::Dv405], "{rendered}");
+    check_golden(&rendered, "q_dv403.expected");
+}
+
+#[test]
+fn dv404_group_memory_budget_exceeded() {
+    // X is stored: its group cardinality is only bounded by the row
+    // count, so a tiny memory budget must warn.
+    let budgets =
+        dv_lint::CostBudgets { max_group_memory: Some(64), ..dv_lint::CostBudgets::default() };
+    let (diags, rendered) = run_cost("query", "SELECT X, COUNT(X) FROM D GROUP BY X", &budgets);
+    assert_eq!(codes(&diags), [Code::Dv404, Code::Dv405], "{rendered}");
+    check_golden(&rendered, "q_dv404.expected");
+}
+
+#[test]
+fn dv405_cost_summary_note() {
+    let (diags, rendered) =
+        run_cost("query", "SELECT X FROM D WHERE T < 50", &dv_lint::CostBudgets::default());
+    assert_eq!(codes(&diags), [Code::Dv405], "{rendered}");
+    assert!(diags.iter().all(|d| d.severity == Severity::Note), "{rendered}");
+    check_golden(&rendered, "q_dv405.expected");
+}
+
+#[test]
+fn cost_codes_are_spanned_and_distinct() {
+    let tight = dv_lint::CostBudgets {
+        max_plan_bytes: Some(16),
+        max_group_memory: Some(64),
+        link: Some(dv_lint::LinkBudget {
+            bytes_per_sec: 1.0,
+            deadline: std::time::Duration::from_millis(1),
+        }),
+    };
+    let mut seen = Vec::new();
+    for sql in [
+        "SELECT X FROM D WHERE T < 50",
+        "SELECT X FROM D WHERE SPEED(X, X, X) < 30.0",
+        "SELECT X, COUNT(X) FROM D GROUP BY X",
+    ] {
+        let (diags, rendered) = run_cost("query", sql, &tight);
+        assert!(!diags.is_empty(), "{sql} produced nothing");
+        for d in &diags {
+            assert!(!d.span.is_dummy(), "{sql}: dummy span in:\n{rendered}");
+        }
+        seen.extend(codes(&diags));
+    }
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), 5, "expected DV401–DV405, got {seen:?}");
+}
+
+/// Every shipped example descriptor is cost-clean (notes only) under
+/// its canonical query and a generous shared budget — except
+/// `ipars_dense.desc`, shipped intentionally grouping by a stored
+/// attribute whose cardinality bound blows the memory budget (DV404).
+#[test]
+fn shipped_examples_cost_clean_except_dense() {
+    let budgets = dv_lint::CostBudgets {
+        max_plan_bytes: Some(1 << 30),
+        max_group_memory: Some(64 * 1024),
+        ..dv_lint::CostBudgets::default()
+    };
+    let canonical: &[(&str, &str)] = &[
+        ("ipars_l0.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l1.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l2.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l3.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l4.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l5.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_l6.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("titan.desc", "SELECT S1 FROM TitanData WHERE X > 100"),
+        ("ipars_pinned.desc", "SELECT SOIL FROM SnapData WHERE TIME = 5"),
+        ("ipars_dense.desc", "SELECT BUCKET, AVG(SOIL) FROM DenseData GROUP BY BUCKET"),
+    ];
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/descriptors");
+    let mut entries: Vec<_> = fs::read_dir(&dir).unwrap().flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "desc") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let (_, sql) = canonical
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name}: add a canonical cost query for this new example"));
+        let text = fs::read_to_string(&path).unwrap();
+        let model = dv_descriptor::compile(&text).unwrap();
+        let diags =
+            dv_lint::cost_query(&model, sql, &UdfRegistry::with_builtins(), &budgets).unwrap();
+        let rendered = render_all(&diags, sql, "<query>");
+        if name == "ipars_dense.desc" {
+            assert!(codes(&diags).contains(&Code::Dv404), "{name}: expected DV404:\n{rendered}");
+        } else {
+            assert!(
+                diags.iter().all(|d| d.severity == Severity::Note),
+                "{name} is not cost-clean:\n{rendered}"
+            );
+        }
+    }
+}
+
 /// Every shipped example descriptor stays DV30x-clean under its
 /// canonical query — except `ipars_pinned.desc`, shipped intentionally
 /// contradictory: its pinned TIME makes the canonical query statically
@@ -309,6 +461,7 @@ fn shipped_examples_prune_clean_except_pinned() {
         ("ipars_l6.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
         ("titan.desc", "SELECT S1 FROM TitanData WHERE X > 100"),
         ("ipars_pinned.desc", "SELECT SOIL FROM SnapData WHERE TIME > 5"),
+        ("ipars_dense.desc", "SELECT SOIL FROM DenseData WHERE TIME >= 10 AND TIME <= 20"),
     ];
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/descriptors");
     let mut entries: Vec<_> = fs::read_dir(&dir).unwrap().flatten().collect();

@@ -25,7 +25,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver};
 use dv_layout::io::IoStats;
-use dv_layout::{AggPrep, CompiledDataset, Extractor, IoOptions, SegmentCache, SharedHandles};
+use dv_layout::{
+    AggPrep, CompiledDataset, CostParams, CostReport, Extractor, IoOptions, RuntimeCounters,
+    SegmentCache, SharedHandles,
+};
 use dv_sql::{bind, parse, AggOutput, BoundExpr, BoundQuery, UdfRegistry};
 use dv_types::{
     AggBlock, AggTable, CancelToken, ColumnBlock, DvError, Result, RowBlock, Schema, Table,
@@ -58,6 +61,15 @@ pub struct ServiceConfig {
     /// query cannot oversubscribe a shared server. Defaults to the
     /// host's available parallelism.
     pub max_intra_node_threads: usize,
+    /// Cost-based admission: reject any query whose *static* planned
+    /// byte bound (`CostReport::bytes_read`, the exact post-prune
+    /// payload) exceeds this budget, with a DV401-coded error, before
+    /// any fragment is dispatched. `None` disables the check.
+    pub max_plan_bytes: Option<u64>,
+    /// Cost-based admission: reject any query whose static absorber
+    /// group-memory bound (`CostReport::group_memory_hi`) exceeds this
+    /// budget, with a DV404-coded error. `None` disables the check.
+    pub max_group_memory: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +79,8 @@ impl Default for ServiceConfig {
             max_intra_node_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            max_plan_bytes: None,
+            max_group_memory: None,
         }
     }
 }
@@ -108,6 +122,10 @@ pub(crate) struct ServerCore {
     pub executors: Vec<ExecutorService>,
     /// Server-wide ceiling on per-query intra-node worker threads.
     pub max_intra_node_threads: usize,
+    /// Cost-based admission byte budget (see [`ServiceConfig`]).
+    pub max_plan_bytes: Option<u64>,
+    /// Cost-based admission group-memory budget (see [`ServiceConfig`]).
+    pub max_group_memory: Option<u64>,
 }
 
 impl ServerCore {
@@ -127,6 +145,8 @@ impl ServerCore {
             shared_handles: SharedHandles::new(),
             executors,
             max_intra_node_threads: config.max_intra_node_threads.max(1),
+            max_plan_bytes: config.max_plan_bytes,
+            max_group_memory: config.max_group_memory,
         }
     }
 }
@@ -586,6 +606,61 @@ pub(crate) fn run_session(
         prep.agg_pushdown = false;
     }
     let prep = Arc::new(prep);
+
+    // Phase 2a': cost-based admission (dv-cost). When a budget is
+    // configured — or `DV_COST_VALIDATE=1` asks for drain-time bound
+    // checking — plan every node centrally, derive the static
+    // [`CostReport`], and reject statically over-budget queries with a
+    // DV-coded error before any fragment is dispatched. The plans are
+    // reused by the dispatch closure, so admitted queries pay the
+    // analysis but never plan twice.
+    let budgeted = core.max_plan_bytes.is_some() || core.max_group_memory.is_some();
+    let cost_validate = cost_validate_enabled();
+    let (pre_planned, cost_report) = if budgeted || cost_validate {
+        let node_count = core.compiled.model.node_count();
+        let plans: Vec<dv_layout::NodePlan> = (0..node_count)
+            .map(|node| core.compiled.plan_node(&prep, node))
+            .collect::<Result<_>>()?;
+        let mut params = CostParams::new(&opts.io, opts.client_processors, bq.predicate.is_some());
+        // The I/O scheduler (run-coalescing reads, scheduled-run
+        // accounting) only runs on the columnar engine; every other
+        // path issues one direct read per AFC entry.
+        params.io_enabled = opts.io.enabled && opts.exec == crate::server::ExecMode::Columnar;
+        let report = CostReport::analyze_nodes(
+            &plans,
+            &prep.working,
+            &prep.output_positions,
+            prep.agg.as_ref(),
+            prep.agg_pushdown,
+            &params,
+        );
+        if let Some(budget) = core.max_plan_bytes {
+            if report.bytes_read.hi > budget {
+                return Err(DvError::CostBudget {
+                    code: "DV401",
+                    message: format!(
+                        "static byte bound {} exceeds the {budget}-byte plan budget",
+                        report.bytes_read.hi
+                    ),
+                });
+            }
+        }
+        if let Some(budget) = core.max_group_memory {
+            let need = report.group_memory_hi();
+            if need > budget {
+                return Err(DvError::CostBudget {
+                    code: "DV404",
+                    message: format!(
+                        "static group-memory bound {need} exceeds the \
+                         {budget}-byte memory budget"
+                    ),
+                });
+            }
+        }
+        (Some(Arc::new(plans)), Some(report))
+    } else {
+        (None, None)
+    };
     stats.plan_time = plan_start.elapsed();
 
     // Per-query aggregation context shared by all node workers. With
@@ -657,6 +732,7 @@ pub(crate) fn run_session(
     let dispatch = |node: usize, tx: &crossbeam::channel::Sender<MoverMessage>| {
         let compiled = Arc::clone(&core.compiled);
         let prep = Arc::clone(&prep);
+        let pre = pre_planned.clone();
         let worker = NodeWorker {
             node,
             extractor: extractor.clone(),
@@ -686,11 +762,18 @@ pub(crate) fn run_session(
         let worker_tx = tx.clone();
         // Phase 2b (the node's generated index function) runs inside
         // the fragment and counts as this node's work.
-        core.executors[node].spawn_fragment(tx.clone(), move || {
-            compiled.plan_node(&prep, node).and_then(|np| {
+        core.executors[node].spawn_fragment(tx.clone(), move || match &pre {
+            // Cost-admitted sessions already planned every node
+            // centrally; reuse that plan instead of planning twice.
+            Some(plans) => {
+                let np = &plans[node];
                 worker.record_prune(&np.prune);
                 worker.run(&np.afcs, &np.prune.verdicts, &worker_tx)
-            })
+            }
+            None => compiled.plan_node(&prep, node).and_then(|np| {
+                worker.record_prune(&np.prune);
+                worker.run(&np.afcs, &np.prune.verdicts, &worker_tx)
+            }),
         });
     };
 
@@ -791,5 +874,39 @@ pub(crate) fn run_session(
     stats.io = io_stats.snapshot();
     stats.mover = mover_stats.snapshot();
     stats.morsels = morsel_stats.snapshot();
+
+    // DV_COST_VALIDATE=1: assert, on every successful drain, that each
+    // runtime counter stayed within its static bound — the soundness
+    // contract of the dv-cost analysis, checked end to end.
+    if let Some(report) = &cost_report {
+        if cost_validate {
+            let counters = RuntimeCounters {
+                rows_scanned: stats.rows_scanned,
+                rows_selected: stats.rows_selected,
+                bytes_read: stats.bytes_read,
+                afcs: stats.afcs,
+                io_runs: stats.io.runs_scheduled,
+                read_syscalls: stats.io.read_syscalls,
+                bytes_issued: stats.io.bytes_issued,
+                mover_sends: stats.mover.sends,
+                mover_bytes: stats.bytes_moved,
+                agg_groups: stats.mover.agg_groups_out,
+                peak_buffered_blocks: stats.mover.peak_buffered_blocks,
+            };
+            let violations = report.validate(&counters);
+            if !violations.is_empty() {
+                let list = violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ");
+                return Err(DvError::Runtime(format!(
+                    "DV_COST_VALIDATE: runtime counters escaped their static bounds: {list}"
+                )));
+            }
+        }
+    }
     Ok((tables, stats))
+}
+
+/// True when the environment asks every session to check its runtime
+/// counters against the static cost bounds at drain time.
+fn cost_validate_enabled() -> bool {
+    std::env::var("DV_COST_VALIDATE").map(|v| v == "1").unwrap_or(false)
 }

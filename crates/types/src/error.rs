@@ -38,6 +38,10 @@ pub enum DvError {
     Io { path: String, source: std::io::Error },
     /// Type mismatch when evaluating an expression or decoding a value.
     Type(String),
+    /// The query service rejected the query at admission because a
+    /// static cost bound exceeds a configured budget. `code` is the
+    /// DV lint code naming the violated budget (e.g. `DV401`).
+    CostBudget { code: &'static str, message: String },
 }
 
 impl fmt::Display for DvError {
@@ -57,6 +61,9 @@ impl fmt::Display for DvError {
             DvError::MiniDb(m) => write!(f, "minidb error: {m}"),
             DvError::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
             DvError::Type(m) => write!(f, "type error: {m}"),
+            DvError::CostBudget { code, message } => {
+                write!(f, "admission rejected [{code}]: {message}")
+            }
         }
     }
 }
@@ -80,6 +87,12 @@ impl DvError {
     /// aborts differently from failures branch on this).
     pub fn is_cancelled(&self) -> bool {
         matches!(self, DvError::Cancelled(_))
+    }
+
+    /// True for the [`DvError::CostBudget`] variant (a statically
+    /// over-budget query rejected at admission).
+    pub fn is_cost_rejected(&self) -> bool {
+        matches!(self, DvError::CostBudget { .. })
     }
 }
 
@@ -115,9 +128,18 @@ mod tests {
             DvError::Cancelled("x".into()),
             DvError::MiniDb("x".into()),
             DvError::Type("x".into()),
+            DvError::CostBudget { code: "DV401", message: "x".into() },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn cost_budget_carries_its_code() {
+        let e = DvError::CostBudget { code: "DV404", message: "group bound 10 > 5".into() };
+        assert!(e.is_cost_rejected());
+        assert!(!e.is_cancelled());
+        assert!(e.to_string().contains("[DV404]"), "{e}");
     }
 }

@@ -175,9 +175,12 @@ impl IntervalSet {
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
         let mut all: Vec<Interval> =
             self.ivs.iter().chain(other.ivs.iter()).copied().filter(|iv| !iv.is_empty()).collect();
-        all.sort_by(|a, b| {
-            a.lo.partial_cmp(&b.lo).unwrap().then_with(|| b.lo_closed.cmp(&a.lo_closed))
-        });
+        // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN endpoint
+        // (e.g. an interval built from a NaN literal in a predicate)
+        // must not panic the whole analysis. NaN sorts above +inf under
+        // the IEEE total order, so such degenerate intervals land last
+        // and never merge with real ones.
+        all.sort_by(|a, b| a.lo.total_cmp(&b.lo).then_with(|| b.lo_closed.cmp(&a.lo_closed)));
         let mut out: Vec<Interval> = Vec::with_capacity(all.len());
         for iv in all {
             match out.last_mut() {
@@ -397,5 +400,21 @@ mod tests {
         let u = IntervalSet::single(Interval::at_most(0.0))
             .union(&IntervalSet::single(Interval::at_least(0.0)));
         assert!(u.is_all());
+    }
+
+    #[test]
+    fn union_with_nan_endpoints_does_not_panic() {
+        // A predicate like `X >= 0/0` can reach the analysis with a NaN
+        // endpoint; union must stay total (it used to panic in the
+        // sort comparator) and must not let the poisoned interval
+        // swallow real ones.
+        let nan = IntervalSet::single(Interval::closed(f64::NAN, f64::NAN));
+        let real = IntervalSet::single(Interval::closed(1.0, 2.0));
+        let u = nan.union(&real);
+        assert!(u.contains(1.5));
+        assert!(!u.contains(3.0));
+        let both_nan = nan.union(&IntervalSet::single(Interval::at_least(f64::NAN)));
+        // NaN endpoints never satisfy a membership probe.
+        assert!(!both_nan.contains(0.0));
     }
 }

@@ -135,14 +135,29 @@ impl Value {
         self.data_type().size()
     }
 
+    /// The exact integer payload for the integer family; `None` for
+    /// floats, even integral ones (those take the `f64` compare path).
+    #[inline]
+    const fn int_value(self) -> Option<i64> {
+        match self {
+            Value::Char(v) => Some(v as i64),
+            Value::Short(v) => Some(v as i64),
+            Value::Int(v) => Some(v as i64),
+            Value::Long(v) => Some(v),
+            Value::Float(_) | Value::Double(_) => None,
+        }
+    }
+
     /// Total-order comparison across numeric types (compares by `f64`
     /// view; NaN sorts last).
     #[inline]
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         // Exact path when both sides are integers, avoiding the f64
-        // round-trip for i64 values.
-        if self.data_type().is_integer() && other.data_type().is_integer() {
-            return self.as_i64().unwrap().cmp(&other.as_i64().unwrap());
+        // round-trip for i64 values. Matching the variants directly
+        // (rather than `as_i64().unwrap()`) keeps this panic-free no
+        // matter how the integer/float family split evolves.
+        if let (Some(a), Some(b)) = (self.int_value(), other.int_value()) {
+            return a.cmp(&b);
         }
         self.as_f64().total_cmp(&other.as_f64())
     }
@@ -223,6 +238,17 @@ mod tests {
     fn nan_sorts_last() {
         assert!(Value::Double(f64::NAN) > Value::Double(f64::MAX));
         assert!(Value::Float(f32::NAN) > Value::Float(f32::MAX));
+    }
+
+    #[test]
+    fn integer_compare_is_exact_beyond_f64_precision() {
+        // Adjacent i64 values collapse under an f64 round-trip; the
+        // integer fast path must still distinguish them.
+        assert!(Value::Long(i64::MAX) > Value::Long(i64::MAX - 1));
+        assert!(Value::Long(i64::MIN) < Value::Long(i64::MIN + 1));
+        // Mixed integer/float pairs take the f64 path without panicking.
+        assert!(Value::Long(2) > Value::Double(1.5));
+        assert_eq!(Value::Int(2), Value::Double(2.0));
     }
 
     #[test]
