@@ -30,6 +30,8 @@ use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
+use dv_descriptor::ast::{DataAst, DatasetAst};
+use dv_descriptor::{codec, CodecKind};
 use dv_types::{DvError, Result, Value};
 
 use crate::hash::{combine, uniform};
@@ -250,6 +252,45 @@ pub fn generate(base: &Path, cfg: &IparsConfig, layout: IparsLayout) -> Result<S
         IparsLayout::VI => gen_grouped(cfg, &dirs, true)?,
     }
     Ok(descriptor(cfg, layout))
+}
+
+/// Like [`generate`], then re-encode every file with `kind` (CSV text
+/// or zstd-compressed) and return descriptor text carrying the
+/// matching `CODEC` clauses. The logical content is identical to the
+/// binary layout from the same seed: decoding any emitted file yields
+/// the binary emitter's bytes exactly.
+pub fn generate_with_codec(
+    base: &Path,
+    cfg: &IparsConfig,
+    layout: IparsLayout,
+    kind: CodecKind,
+) -> Result<String> {
+    let text = generate(base, cfg, layout)?;
+    if kind.is_affine() {
+        return Ok(text);
+    }
+    let mut ast = dv_descriptor::parse_descriptor(&text)?;
+    set_codec(&mut ast.layout, kind);
+    let text = dv_descriptor::render(&ast);
+    let model = dv_descriptor::resolve(&ast)?;
+    for f in &model.files {
+        let path = base.join(&model.nodes[f.node]).join(&f.rel_path);
+        let logical = fs::read(&path).map_err(|e| DvError::io(path.display().to_string(), e))?;
+        let physical = codec::encode_logical(f.codec, f, &model.attr_types, &logical)?;
+        fs::write(&path, physical).map_err(|e| DvError::io(path.display().to_string(), e))?;
+    }
+    Ok(text)
+}
+
+fn set_codec(ds: &mut DatasetAst, kind: CodecKind) {
+    if let DataAst::Files(bindings) = &mut ds.data {
+        for b in bindings {
+            b.codec = kind;
+        }
+    }
+    for c in &mut ds.children {
+        set_codec(c, kind);
+    }
 }
 
 struct W(BufWriter<File>);
@@ -613,6 +654,54 @@ mod tests {
                 assert_eq!(actual, expected, "{} {}", layout.label(), f.rel_path);
             }
         }
+    }
+
+    #[test]
+    fn codec_reencoding_is_lossless() {
+        // binary == text == compressed: from one seed, decoding any
+        // CSV or zstd emission reproduces the binary emitter's bytes.
+        let cfg = IparsConfig::tiny();
+        let pid = std::process::id();
+        let bin_base = std::env::temp_dir().join(format!("dv-ipars-codec-bin-{pid}"));
+        let _ = std::fs::remove_dir_all(&bin_base);
+        for layout in [IparsLayout::I, IparsLayout::V] {
+            let bin_text = generate(&bin_base, &cfg, layout).unwrap();
+            let bin_model = dv_descriptor::compile(&bin_text).unwrap();
+            for kind in [CodecKind::DelimitedText, CodecKind::ZstdSegment] {
+                let base = std::env::temp_dir().join(format!(
+                    "dv-ipars-codec-{}-{}-{pid}",
+                    layout.tag(),
+                    kind
+                ));
+                let _ = std::fs::remove_dir_all(&base);
+                let text = generate_with_codec(&base, &cfg, layout, kind).unwrap();
+                assert!(text.contains(&format!("CODEC {kind}")), "{text}");
+                let model = dv_descriptor::compile(&text).unwrap();
+                assert_eq!(model.files.len(), bin_model.files.len());
+                for (f, bf) in model.files.iter().zip(&bin_model.files) {
+                    assert_eq!(f.codec, kind);
+                    let bin_path = bin_base.join(&bin_model.nodes[bf.node]).join(&bf.rel_path);
+                    let reference = std::fs::read(&bin_path).unwrap();
+                    let path = base.join(&model.nodes[f.node]).join(&f.rel_path);
+                    let physical = std::fs::read(&path).unwrap();
+                    assert_ne!(physical, reference, "{} must be re-encoded", f.rel_path);
+                    let decoded =
+                        codec::decode_physical(f.codec, f, &model.attr_types, &physical).unwrap();
+                    assert_eq!(decoded, reference, "{} {kind}", f.rel_path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_codec_passthrough_keeps_descriptor() {
+        let cfg = IparsConfig::tiny();
+        let base =
+            std::env::temp_dir().join(format!("dv-ipars-codec-passthrough-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let text =
+            generate_with_codec(&base, &cfg, IparsLayout::I, CodecKind::FixedBinary).unwrap();
+        assert!(!text.contains("CODEC"), "{text}");
     }
 
     #[test]

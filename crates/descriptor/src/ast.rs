@@ -8,6 +8,7 @@
 
 use dv_types::{DataType, Span};
 
+use crate::codec::CodecKind;
 use crate::expr::Expr;
 
 /// A full parsed descriptor (all three components).
@@ -163,12 +164,16 @@ impl PathTemplate {
 }
 
 /// A leaf `DATA` entry: template plus the ranges of its binding
-/// variables (`DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1`).
+/// variables (`DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1`),
+/// optionally followed by a `CODEC <name>` clause.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FileBinding {
     pub template: PathTemplate,
     /// `(var, lo, hi, step)` — inclusive, like loop bounds.
     pub ranges: Vec<(String, Expr, Expr, Expr)>,
+    /// Storage codec of every file the binding expands to
+    /// (`CODEC csv`); defaults to fixed-stride binary.
+    pub codec: CodecKind,
     /// Span from the file template through the last range.
     pub span: Span,
 }

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod ast;
+pub mod codec;
 pub mod expr;
 pub mod lexer;
 pub mod model;
@@ -64,6 +65,7 @@ pub mod resolve;
 pub mod token;
 
 pub use ast::DescriptorAst;
+pub use codec::CodecKind;
 pub use model::{DatasetModel, FileModel, ResolvedItem, VarExtent};
 pub use parser::parse_descriptor;
 pub use pretty::render;

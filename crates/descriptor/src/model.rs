@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use dv_types::{DataType, Schema};
 
+use crate::codec::CodecKind;
 use crate::expr::Env;
 
 /// Location of a `DIR[i]` storage entry.
@@ -133,10 +134,15 @@ pub struct FileModel {
     /// binding variables (points) and loop variables (ranges). Keys
     /// include non-schema alignment variables such as `GRID`.
     pub extents: BTreeMap<String, VarExtent>,
+    /// Storage codec of the physical file.
+    pub codec: CodecKind,
 }
 
 impl FileModel {
-    /// Expected byte size from the layout (`None` when chunked).
+    /// Expected byte size of the *logical* image from the layout
+    /// (`None` when chunked). For affine codecs this is also the
+    /// physical file size; for CSV/zstd the physical size is
+    /// data-dependent.
     pub fn expected_size(&self, attr_sizes: &HashMap<String, usize>) -> Option<u64> {
         items_byte_size(&self.layout, attr_sizes)
     }

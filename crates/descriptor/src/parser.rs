@@ -11,6 +11,7 @@ use crate::ast::{
     DataAst, DatasetAst, DescriptorAst, DirAst, FileBinding, NamePart, PathTemplate, SchemaAst,
     SpaceItem, StorageAst,
 };
+use crate::codec::CodecKind;
 use crate::expr::{Expr, Op};
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
@@ -351,8 +352,16 @@ impl Parser {
                 let step = self.expr()?;
                 ranges.push((var, lo, hi, step));
             }
+            let codec = if self.eat_keyword("CODEC") {
+                let word = self.word()?;
+                CodecKind::parse(&word).ok_or_else(|| {
+                    self.err(format!("unknown codec `{word}` (expected `binary`, `csv` or `zstd`)"))
+                })?
+            } else {
+                CodecKind::default()
+            };
             let span = binding_start.to(self.last_span());
-            bindings.push(FileBinding { template, ranges, span });
+            bindings.push(FileBinding { template, ranges, codec, span });
         }
         if bindings.is_empty() {
             return Err(self.err(
@@ -704,6 +713,35 @@ DATASET "TitanData" {
             }
             other => panic!("expected CHUNKED, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn codec_clause_parses() {
+        let text = FIGURE4
+            .replace(
+                "DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }",
+                "DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 CODEC csv }",
+            )
+            .replace(
+                "DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }",
+                "DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 CODEC ZSTD }",
+            );
+        let d = parse_descriptor(&text).unwrap();
+        let DataAst::Files(b1) = &d.layout.children[0].data else { panic!() };
+        assert_eq!(b1[0].codec, crate::codec::CodecKind::DelimitedText);
+        let DataAst::Files(b2) = &d.layout.children[1].data else { panic!() };
+        assert_eq!(b2[0].codec, crate::codec::CodecKind::ZstdSegment);
+
+        // Default is binary; unknown codecs are rejected.
+        let d = parse_descriptor(FIGURE4).unwrap();
+        let DataAst::Files(b) = &d.layout.children[0].data else { panic!() };
+        assert_eq!(b[0].codec, crate::codec::CodecKind::FixedBinary);
+        let bad = FIGURE4.replace(
+            "DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }",
+            "DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 CODEC lz4 }",
+        );
+        let e = parse_descriptor(&bad).unwrap_err().to_string();
+        assert!(e.contains("lz4"), "{e}");
     }
 
     #[test]

@@ -140,6 +140,9 @@ fn render_binding(b: &FileBinding) -> String {
     for (var, lo, hi, step) in &b.ranges {
         let _ = write!(s, " {var} = {}:{}:{}", render_expr(lo), render_expr(hi), render_expr(step));
     }
+    if !b.codec.is_affine() {
+        let _ = write!(s, " CODEC {}", b.codec.descriptor_name());
+    }
     s
 }
 

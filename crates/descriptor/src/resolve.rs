@@ -292,6 +292,17 @@ impl<'a> Resolver<'a> {
         }
         let layout = self.resolve_items(ds, space, &upper_env(env), &mut extents)?;
 
+        if !binding.codec.is_affine()
+            && layout.iter().any(|i| matches!(i, ResolvedItem::Chunked { .. }))
+        {
+            return Err(DvError::DescriptorSemantic(format!(
+                "dataset `{}` uses CODEC {} with a CHUNKED layout; external-index \
+                 layouts require the binary codec",
+                ds.name,
+                binding.codec.descriptor_name()
+            )));
+        }
+
         let mut stored_attrs: Vec<String> = Vec::new();
         collect_stored_attrs(&layout, self.schema, &mut stored_attrs);
 
@@ -304,6 +315,7 @@ impl<'a> Resolver<'a> {
             layout,
             stored_attrs,
             extents,
+            codec: binding.codec,
         });
         Ok(())
     }
@@ -566,6 +578,47 @@ DATASET "IparsData" {
         let ast = parse_descriptor(&text).unwrap();
         let e = resolve(&ast).unwrap_err().to_string();
         assert!(e.contains("DIR[4]"), "{e}");
+    }
+
+    #[test]
+    fn codec_threads_to_file_models() {
+        use crate::codec::CodecKind;
+        let text = FIGURE4.replace(
+            "DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }",
+            "DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 CODEC csv }",
+        );
+        let m = resolve(&parse_descriptor(&text).unwrap()).unwrap();
+        for f in &m.files {
+            let want = if f.dataset == "ipars1" {
+                CodecKind::DelimitedText
+            } else {
+                CodecKind::FixedBinary
+            };
+            assert_eq!(f.codec, want, "{}", f.rel_path);
+        }
+    }
+
+    #[test]
+    fn chunked_with_nonbinary_codec_rejected() {
+        let text = r#"
+[T]
+X = int
+
+[TitanData]
+DatasetDescription = T
+DIR[0] = tnode0/titan
+
+DATASET "TitanData" {
+  DATATYPE { T }
+  DATA { DATASET chunks }
+  DATASET "chunks" {
+    DATASPACE { CHUNKED INDEXFILE "DIR[0]/titan.idx" { X } }
+    DATA { DIR[0]/titan.dat CODEC zstd }
+  }
+}
+"#;
+        let e = resolve(&parse_descriptor(text).unwrap()).unwrap_err().to_string();
+        assert!(e.contains("CHUNKED"), "{e}");
     }
 
     #[test]

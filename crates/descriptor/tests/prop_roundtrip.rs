@@ -8,7 +8,7 @@ use dv_descriptor::ast::{
     SpaceItem, StorageAst,
 };
 use dv_descriptor::expr::{Expr, Op};
-use dv_descriptor::{parse_descriptor, render, resolve};
+use dv_descriptor::{parse_descriptor, render, resolve, CodecKind};
 use dv_types::{DataType, Span};
 
 const ATTR_POOL: [&str; 8] = ["ALPHA", "BETA", "GAMMA", "DELTA", "EPS", "ZETA", "ETA", "THETA"];
@@ -40,6 +40,14 @@ fn arb_bound() -> impl Strategy<Value = Expr> {
     ]
 }
 
+fn arb_codec() -> impl Strategy<Value = CodecKind> {
+    prop_oneof![
+        Just(CodecKind::FixedBinary),
+        Just(CodecKind::DelimitedText),
+        Just(CodecKind::ZstdSegment),
+    ]
+}
+
 #[derive(Debug, Clone)]
 struct Params {
     n_attrs: usize,
@@ -50,6 +58,7 @@ struct Params {
     grid_extent: i64,
     split: usize,
     rels: i64,
+    codecs: (CodecKind, CodecKind),
 }
 
 fn arb_params() -> impl Strategy<Value = Params> {
@@ -62,16 +71,10 @@ fn arb_params() -> impl Strategy<Value = Params> {
         1i64..20,
         1usize..8,
         1i64..4,
+        (arb_codec(), arb_codec()),
     )
-        .prop_map(|(n_attrs, types, dirs, t_hi, grid_lo, grid_extent, split, rels)| Params {
-            n_attrs,
-            types,
-            dirs,
-            t_hi,
-            grid_lo,
-            grid_extent,
-            split,
-            rels,
+        .prop_map(|(n_attrs, types, dirs, t_hi, grid_lo, grid_extent, split, rels, codecs)| {
+            Params { n_attrs, types, dirs, t_hi, grid_lo, grid_extent, split, rels, codecs }
         })
 }
 
@@ -119,6 +122,7 @@ fn build_ast(p: &Params) -> DescriptorAst {
                 Expr::Int(p.dirs as i64 - 1),
                 Expr::Int(1),
             )],
+            codec: p.codecs.0,
             span: Span::DUMMY,
         }]),
         children: vec![],
@@ -146,6 +150,7 @@ fn build_ast(p: &Params) -> DescriptorAst {
                 ("REL".into(), Expr::Int(0), Expr::Int(p.rels - 1), Expr::Int(1)),
                 ("DIRID".into(), Expr::Int(0), Expr::Int(p.dirs as i64 - 1), Expr::Int(1)),
             ],
+            codec: p.codecs.1,
             span: Span::DUMMY,
         }]),
         children: vec![],

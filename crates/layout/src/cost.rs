@@ -308,12 +308,22 @@ impl CostReport {
             }
         };
 
+        // All I/O accounting is in *logical* (decoded-image) bytes, so
+        // the scheduled-path upper bounds hold for every codec: a
+        // non-affine file decodes at most once per cache-missed range,
+        // and decodes ≤ missed ranges ≤ runs. Only the direct path
+        // loses *exactness* — a CSV/zstd run is served by a whole-file
+        // decode rather than one positioned read — so its bounds
+        // degrade to `at_most` when any node touches such a file.
+        let nonaffine = node_plans.iter().any(|np| np.nonaffine);
         let (io_runs, read_syscalls, bytes_issued) = if params.io_enabled {
             (
                 CostBound::at_most(runs),
                 CostBound::at_most(runs),
                 CostBound::at_most(bytes.saturating_add(runs.saturating_mul(params.coalesce_gap))),
             )
+        } else if nonaffine {
+            (CostBound::at_most(runs), CostBound::at_most(runs), CostBound::at_most(bytes))
         } else {
             (CostBound::exact(runs), CostBound::exact(runs), CostBound::exact(bytes))
         };

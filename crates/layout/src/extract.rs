@@ -13,9 +13,10 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::SystemTime;
 
+use dv_descriptor::{codec, CodecKind, DatasetModel};
 use dv_types::{CancelToken, ColumnBlock, ColumnData, ColumnGen, DvError, Result, RowBlock, Value};
 use std::sync::RwLock;
 
@@ -105,14 +106,27 @@ impl Default for SharedHandles {
     }
 }
 
+/// Generation-stamped decoded logical images, keyed by file ordinal.
+type DecodedMemo = Mutex<HashMap<usize, (FileGen, Arc<Vec<u8>>)>>;
+
 /// Executes AFCs on one node's files. Cloneable across worker threads;
 /// the open-file pool is shared.
 #[derive(Clone)]
 pub struct Extractor {
     paths: Arc<Vec<PathBuf>>,
+    /// The resolved model: per-file codecs and layouts for decoding
+    /// non-affine files, attribute types for CSV cells.
+    model: Arc<DatasetModel>,
     /// Working-row width (number of attributes to materialize).
     row_width: usize,
     handles: Arc<HandlePool>,
+    /// Decoded logical images of non-affine files, memoized per
+    /// generation for the direct (per-entry) read path — without it
+    /// every AFC of a CSV/zstd file would re-decode the whole file.
+    /// The scheduled path deliberately bypasses this memo: its warmth
+    /// comes from the segment cache, so that cache ablations measure
+    /// real re-decode cost.
+    decoded: Arc<DecodedMemo>,
     /// `DV_ROWMAJOR` ablation flag, read once at construction rather
     /// than once per AFC on the hot path.
     rowmajor: bool,
@@ -133,8 +147,10 @@ impl Extractor {
         let paths = (0..compiled.model.files.len()).map(|i| compiled.file_path(i)).collect();
         Extractor {
             paths: Arc::new(paths),
+            model: Arc::clone(&compiled.model),
             row_width,
             handles: Arc::new(HandlePool::new(HANDLE_CACHE_CAP)),
+            decoded: Arc::new(Mutex::new(HashMap::new())),
             rowmajor: std::env::var_os("DV_ROWMAJOR").is_some(),
             unchecked: compiled.certificate() == Certificate::Safe
                 && std::env::var_os("DV_CHECKED_DECODE").is_none(),
@@ -207,6 +223,56 @@ impl Extractor {
         self.handles.remove(file);
     }
 
+    /// Storage codec of `file`.
+    pub fn codec(&self, file: usize) -> CodecKind {
+        self.model.files[file].codec
+    }
+
+    /// Read the whole physical file and decode it to its logical
+    /// fixed-stride image (unmemoized — the scheduled path's warmth
+    /// is the segment cache, and warm reads must not decode at all).
+    pub fn decode_physical_file(&self, file: usize) -> Result<Arc<Vec<u8>>> {
+        let len = self.file_generation(file)?.len;
+        let mut physical = vec![0u8; len as usize];
+        self.read_file_at(file, 0, &mut physical)?;
+        let f = &self.model.files[file];
+        let logical = codec::decode_physical(f.codec, f, &self.model.attr_types, &physical)?;
+        Ok(Arc::new(logical))
+    }
+
+    /// Decoded logical image of a non-affine `file`, memoized by
+    /// on-disk generation (direct read path only).
+    fn logical_file(&self, file: usize) -> Result<Arc<Vec<u8>>> {
+        let generation = self.file_generation(file)?;
+        if let Some((g, data)) = self.decoded.lock().unwrap().get(&file) {
+            if *g == generation {
+                return Ok(Arc::clone(data));
+            }
+            self.invalidate_handle(file);
+        }
+        let data = self.decode_physical_file(file)?;
+        self.decoded.lock().unwrap().insert(file, (generation, Arc::clone(&data)));
+        Ok(data)
+    }
+
+    /// Copy `len` logical bytes at `offset` of a non-affine file out
+    /// of its decoded image.
+    fn read_decoded(&self, file: usize, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let whole = self.logical_file(file)?;
+        let lo = offset as usize;
+        let src = lo.checked_add(buf.len()).and_then(|hi| whole.get(lo..hi)).ok_or_else(|| {
+            DvError::Runtime(format!(
+                "{}: decoded logical image ({} bytes) is shorter than the \
+                     descriptor layout requires (run at offset {offset}, {} bytes)",
+                self.paths[file].display(),
+                whole.len(),
+                buf.len()
+            ))
+        })?;
+        buf.copy_from_slice(src);
+        Ok(())
+    }
+
     /// Read every entry run of `afc` into the shared scratch buffer
     /// (one allocation reused across entries and calls) and return
     /// per-entry slices.
@@ -223,8 +289,12 @@ impl Extractor {
         }
         for (e, &(a, b)) in afc.entries.iter().zip(scratch.spans.iter()) {
             self.cancel.check()?;
-            let handle = self.open(e.file)?;
-            read_exact_at(&handle, &mut scratch.data[a..b], e.offset, &self.paths[e.file])?;
+            if self.codec(e.file).is_affine() {
+                let handle = self.open(e.file)?;
+                read_exact_at(&handle, &mut scratch.data[a..b], e.offset, &self.paths[e.file])?;
+            } else {
+                self.read_decoded(e.file, e.offset, &mut scratch.data[a..b])?;
+            }
         }
         Ok(scratch.spans.iter().map(|&(a, b)| &scratch.data[a..b]).collect())
     }
@@ -635,6 +705,210 @@ DATASET "IparsData" {
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d
+    }
+
+    /// DESC with `CODEC csv` on COORDS and `CODEC zstd` on DATA$REL.
+    fn codec_desc() -> String {
+        DESC.replace("DIR[0]/COORDS", "DIR[0]/COORDS CODEC csv")
+            .replace("REL = 0:1:1", "REL = 0:1:1 CODEC zstd")
+    }
+
+    /// Re-encode every non-affine file of `desc` in place: the binary
+    /// bytes written by `write_dataset` become the logical image.
+    fn transcode_dataset(desc: &str, base: &Path) {
+        let compiled = crate::plan::compile_from_text(desc, base).unwrap();
+        for f in compiled.model.files.iter().filter(|f| !f.codec.is_affine()) {
+            let path = compiled.file_path(f.id);
+            let logical = std::fs::read(&path).unwrap();
+            let physical =
+                codec::encode_logical(f.codec, f, &compiled.model.attr_types, &logical).unwrap();
+            std::fs::write(&path, physical).unwrap();
+        }
+    }
+
+    fn run_desc(desc: &str, sql: &str, base: &Path) -> Vec<Row> {
+        let compiled = crate::plan::compile_from_text(desc, base).unwrap();
+        let q = parse(sql).unwrap();
+        let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+        let plan = compiled.plan_query(&b).unwrap();
+        let ex = Extractor::new(&compiled, plan.working.attrs.len());
+        let mut rows = Vec::new();
+        for np in &plan.node_plans {
+            let block = ex.extract_all(&np.afcs, np.node).unwrap();
+            rows.extend(block.rows);
+        }
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn mixed_codec_table_matches_binary() {
+        // One virtual table spanning a CSV file and zstd files must
+        // return bit-identical rows to the all-binary layout.
+        let bin = tmpbase("codec-bin");
+        write_dataset(&bin);
+        let mixed = tmpbase("codec-mixed");
+        write_dataset(&mixed);
+        let desc = codec_desc();
+        transcode_dataset(&desc, &mixed);
+        // The transcode really changed the bytes on disk.
+        assert_ne!(
+            std::fs::read(bin.join("n0/d/COORDS")).unwrap(),
+            std::fs::read(mixed.join("n0/d/COORDS")).unwrap()
+        );
+        for sql in [
+            "SELECT * FROM IparsData",
+            "SELECT SOIL FROM IparsData WHERE REL = 0 AND TIME = 1",
+            "SELECT X FROM IparsData WHERE TIME = 2",
+        ] {
+            assert_eq!(run(sql, &bin), run_desc(&desc, sql, &mixed), "{sql}");
+        }
+    }
+
+    #[test]
+    fn scheduled_codec_extraction_matches_direct() {
+        let base = tmpbase("codec-sched");
+        write_dataset(&base);
+        let desc = codec_desc();
+        transcode_dataset(&desc, &base);
+        let compiled = crate::plan::compile_from_text(&desc, &base).unwrap();
+        let q = parse("SELECT * FROM IparsData").unwrap();
+        let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+        let plan = compiled.plan_query(&b).unwrap();
+        let ex = Extractor::new(&compiled, plan.working.attrs.len());
+        let opts =
+            IoOptions { coalesce_gap: 64 * 1024, cache_bytes: 1 << 20, ..IoOptions::default() };
+        let cache = Some(Arc::new(SegmentCache::new(1 << 20)));
+        let stats = Arc::new(IoStats::default());
+        let mut decode_calls_cold = 0;
+        for round in 0..2 {
+            for np in &plan.node_plans {
+                let sched =
+                    IoScheduler::new(ex.clone(), opts.clone(), cache.clone(), Arc::clone(&stats));
+                let direct =
+                    ex.extract_all_columns(&np.afcs, np.node, &plan.working.dtypes).unwrap();
+                let mut via = ColumnBlock::with_dtypes(np.node, &plan.working.dtypes);
+                for g in group_afcs(&np.afcs, opts.group_bytes) {
+                    let fetched = sched.fetch(&np.afcs[g.clone()]).unwrap();
+                    for afc in &np.afcs[g] {
+                        ex.extract_columns_fetched(afc, &mut via, &fetched).unwrap();
+                    }
+                }
+                assert_eq!(via.len(), direct.len());
+                for i in 0..direct.len() {
+                    let a: Row = direct.columns.iter().map(|c| c.value_at(i)).collect();
+                    let b: Row = via.columns.iter().map(|c| c.value_at(i)).collect();
+                    assert_eq!(a, b, "row {i} round {round}");
+                }
+            }
+            let snap = stats.snapshot();
+            if round == 0 {
+                decode_calls_cold = snap.decode_calls;
+                assert!(snap.decode_calls > 0, "cold fetch must decode");
+                assert!(snap.decode_bytes > 0);
+            } else {
+                // Warm reads come out of the segment cache as already
+                // decompressed bytes: zero re-decompression.
+                assert_eq!(snap.decode_calls, decode_calls_cold, "warm fetch must not decode");
+                assert!(snap.cache_hit_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_budget_counts_decompressed_bytes() {
+        // Regression: the cache must charge the *stored* (decompressed)
+        // length against its byte budget. A high-compression-ratio zstd
+        // file whose physical size fits the budget but whose logical
+        // image does not must not be retained.
+        let base = tmpbase("codec-budget");
+        let dir = base.join("n0/d");
+        std::fs::create_dir_all(&dir).unwrap();
+        let desc = r#"
+[ZERO]
+GRID = int
+X = float
+
+[ZeroData]
+DatasetDescription = ZERO
+DIR[0] = n0/d
+
+DATASET "ZeroData" {
+  DATATYPE { ZERO }
+  DATAINDEX { GRID }
+  DATA { DATASET zero }
+  DATASET "zero" {
+    DATASPACE { LOOP GRID 1:8192:1 { X } }
+    DATA { DIR[0]/Z CODEC zstd }
+  }
+}
+"#;
+        // 8192 zero floats: 32 KiB logical, RLE-compressed to a frame
+        // far below the 1 KiB cache budget.
+        let compiled = crate::plan::compile_from_text(desc, &base).unwrap();
+        let f = &compiled.model.files[0];
+        let logical = vec![0u8; 8192 * 4];
+        let physical =
+            codec::encode_logical(f.codec, f, &compiled.model.attr_types, &logical).unwrap();
+        assert!(physical.len() < 256, "RLE frame should be tiny, got {}", physical.len());
+        std::fs::write(dir.join("Z"), &physical).unwrap();
+
+        let q = parse("SELECT X FROM ZeroData").unwrap();
+        let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+        let plan = compiled.plan_query(&b).unwrap();
+        let ex = Extractor::new(&compiled, plan.working.attrs.len());
+        let budget = 1024u64;
+        let opts = IoOptions { cache_bytes: budget, ..IoOptions::default() };
+        let cache = Arc::new(SegmentCache::new(budget));
+        let stats = Arc::new(IoStats::default());
+        let np = &plan.node_plans[0];
+        for _ in 0..2 {
+            let sched = IoScheduler::new(
+                ex.clone(),
+                opts.clone(),
+                Some(Arc::clone(&cache)),
+                Arc::clone(&stats),
+            );
+            for g in group_afcs(&np.afcs, opts.group_bytes) {
+                sched.fetch(&np.afcs[g]).unwrap();
+            }
+        }
+        let snap = stats.snapshot();
+        assert!(
+            cache.used_bytes() <= budget,
+            "cache holds {} bytes over a {} byte budget",
+            cache.used_bytes(),
+            budget
+        );
+        assert_eq!(snap.cache_hit_bytes, 0, "oversized decompressed segment must not be served");
+        assert_eq!(snap.decode_calls, 2, "both fetches re-decode when the entry cannot fit");
+        assert_eq!(snap.decode_bytes, 2 * 8192 * 4);
+    }
+
+    #[test]
+    fn truncated_nonaffine_file_is_clean_error() {
+        // The descriptor promises 12 logical rows per DATA file; a CSV
+        // file that decodes shorter must surface DvError, not panic.
+        let base = tmpbase("codec-short");
+        write_dataset(&base);
+        let desc = codec_desc();
+        transcode_dataset(&desc, &base);
+        let coords = base.join("n0/d/COORDS");
+        let text = std::fs::read_to_string(&coords).unwrap();
+        let keep: Vec<&str> = text.lines().take(2).collect();
+        std::fs::write(&coords, format!("{}\n", keep.join("\n"))).unwrap();
+        let compiled = crate::plan::compile_from_text(&desc, &base).unwrap();
+        let q = parse("SELECT X FROM IparsData").unwrap();
+        let b = bind(&q, &compiled.model.schema, &UdfRegistry::with_builtins()).unwrap();
+        let plan = compiled.plan_query(&b).unwrap();
+        let ex = Extractor::new(&compiled, plan.working.attrs.len());
+        let err = plan
+            .node_plans
+            .iter()
+            .map(|np| ex.extract_all(&np.afcs, np.node))
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 
     #[test]

@@ -94,6 +94,12 @@ pub struct IoStats {
     /// Bytes this query inserted into the shared segment cache (its
     /// footprint in the cross-query budget).
     pub cache_insert_bytes: AtomicU64,
+    /// Whole-file codec decodes (CSV parses, zstd inflations) run to
+    /// satisfy cache misses on non-affine files. A warm segment cache
+    /// serves every scheduled range without this counter moving.
+    pub decode_calls: AtomicU64,
+    /// Logical bytes produced by those decodes.
+    pub decode_bytes: AtomicU64,
 }
 
 impl IoStats {
@@ -110,6 +116,8 @@ impl IoStats {
             prefetch_waits: self.prefetch_waits.load(Ordering::Relaxed),
             prefetch_wait: Duration::from_nanos(self.prefetch_wait_ns.load(Ordering::Relaxed)),
             cache_insert_bytes: self.cache_insert_bytes.load(Ordering::Relaxed),
+            decode_calls: self.decode_calls.load(Ordering::Relaxed),
+            decode_bytes: self.decode_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -137,6 +145,10 @@ pub struct IoSnapshot {
     pub prefetch_wait: Duration,
     /// Bytes this query inserted into the shared segment cache.
     pub cache_insert_bytes: u64,
+    /// Whole-file codec decodes run to satisfy cache misses.
+    pub decode_calls: u64,
+    /// Logical bytes produced by those decodes.
+    pub decode_bytes: u64,
 }
 
 impl IoSnapshot {
@@ -478,6 +490,12 @@ impl IoScheduler {
         self.stats.bytes_used.fetch_add(used, Ordering::Relaxed);
 
         let mut gens: HashMap<usize, FileGen> = HashMap::new();
+        // Whole-file decoded images of non-affine files, shared by all
+        // coalesced ranges of this fetch group (so a group spanning a
+        // CSV/zstd file decodes it once, not once per range). Dropped
+        // at the end of the call: warmth across groups is the segment
+        // cache's job, and it must be measurable.
+        let mut decoded: HashMap<usize, Arc<Vec<u8>>> = HashMap::new();
         let mut segs: FileSegments = HashMap::new();
         for read in &reads {
             self.cancel.check()?;
@@ -501,11 +519,44 @@ impl IoScheduler {
                     hit
                 }
                 None => {
-                    let mut buf = vec![0u8; read.len as usize];
-                    self.extractor.read_file_at(read.file, read.start, &mut buf)?;
-                    self.stats.read_syscalls.fetch_add(1, Ordering::Relaxed);
+                    let data = if self.extractor.codec(read.file).is_affine() {
+                        let mut buf = vec![0u8; read.len as usize];
+                        self.extractor.read_file_at(read.file, read.start, &mut buf)?;
+                        self.stats.read_syscalls.fetch_add(1, Ordering::Relaxed);
+                        Arc::new(buf)
+                    } else {
+                        // Non-affine codec: byte offsets only exist in
+                        // the decoded image, so decode the whole file
+                        // (memoized across this fetch group) and slice
+                        // the logical range. The cache stores those
+                        // decompressed slices, so warm reads above hit
+                        // without decoding.
+                        let whole = match decoded.get(&read.file) {
+                            Some(w) => Arc::clone(w),
+                            None => {
+                                let w = self.extractor.decode_physical_file(read.file)?;
+                                self.stats.read_syscalls.fetch_add(1, Ordering::Relaxed);
+                                self.stats.decode_calls.fetch_add(1, Ordering::Relaxed);
+                                self.stats
+                                    .decode_bytes
+                                    .fetch_add(w.len() as u64, Ordering::Relaxed);
+                                decoded.insert(read.file, Arc::clone(&w));
+                                w
+                            }
+                        };
+                        let lo = read.start as usize;
+                        let slice = lo
+                            .checked_add(read.len as usize)
+                            .and_then(|hi| whole.get(lo..hi))
+                            .ok_or_else(|| missed_run(read.file, read.start, read.len))?;
+                        Arc::new(slice.to_vec())
+                    };
+                    // Issued bytes are counted in logical coordinates
+                    // (the range length, not physical file bytes) so
+                    // the static bound `bytes_issued ≤ bytes_used +
+                    // runs × gap` stays valid for every codec;
+                    // physical decode work shows up in decode_bytes.
                     self.stats.bytes_issued.fetch_add(read.len, Ordering::Relaxed);
-                    let data = Arc::new(buf);
                     if let Some(cache) = self.cache.as_deref() {
                         self.stats.cache_miss_bytes.fetch_add(read.len, Ordering::Relaxed);
                         self.stats.cache_insert_bytes.fetch_add(read.len, Ordering::Relaxed);

@@ -39,6 +39,10 @@ pub struct NodePlan {
     pub afcs: Vec<Afc>,
     /// Static prune verdicts for `afcs` plus drop accounting.
     pub prune: PruneCertificate,
+    /// True when any AFC touches a file with a non-affine codec
+    /// (CSV/zstd): byte offsets are logical-image coordinates, so
+    /// direct-path I/O cost bounds degrade from exact to upper bounds.
+    pub nonaffine: bool,
 }
 
 impl NodePlan {
@@ -231,6 +235,11 @@ impl CompiledDataset {
                     continue;
                 }
             };
+            if !f.codec.is_affine() {
+                // CSV/zstd physical sizes are data-dependent; the
+                // logical image is validated at decode time instead.
+                continue;
+            }
             if let Some(expected) = f.expected_size(&self.model.attr_sizes) {
                 if expected != actual {
                     issues.push(FileIssue::SizeMismatch { file: f.id, path, expected, actual });
@@ -346,7 +355,11 @@ impl CompiledDataset {
         // I/O scheduler ever sees them.
         let predicate = if prep.prune_enabled { prep.predicate.as_ref() } else { None };
         let (afcs, prune) = prune_afcs(predicate, &prep.working, afcs);
-        Ok(NodePlan { node, afcs, prune })
+        let nonaffine = afcs
+            .iter()
+            .flat_map(|a| &a.entries)
+            .any(|e| !self.model.files[e.file].codec.is_affine());
+        Ok(NodePlan { node, afcs, prune, nonaffine })
     }
 
     /// Phase 2, whole-cluster convenience: plan every node centrally

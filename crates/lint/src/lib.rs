@@ -153,6 +153,12 @@ pub const CODE_REGISTRY: &[CodeInfo] = &[
         Severity::Warning,
         "aggregate keyed by or computed over a never-varying coordinate",
     ),
+    row(
+        Code::Dv107,
+        "DV107",
+        Severity::Note,
+        "non-affine codec on a layout that would otherwise verify Safe",
+    ),
     row(Code::Dv201, "DV201", Severity::Error, "two DATA items overlap within one file"),
     row(Code::Dv202, "DV202", Severity::Error, "layout access out of bounds of the file size"),
     row(Code::Dv203, "DV203", Severity::Error, "aligned file group with mismatched row counts"),

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use dv_descriptor::ast::{DataAst, DatasetAst, DescriptorAst, FileBinding, SpaceItem};
 use dv_descriptor::expr::Env;
 use dv_descriptor::model::ResolvedItem;
+use dv_descriptor::CodecKind;
 use dv_types::Span;
 
 use super::domain::{AffineExtent, Dim};
@@ -37,8 +38,11 @@ pub struct PseudoFile {
     pub regions: Vec<AffineExtent>,
     /// Dead extent maps (some enclosing loop iterates zero times).
     pub dead: Vec<AffineExtent>,
-    /// Declared (layout-implied) byte size.
+    /// Declared (layout-implied) byte size — of the *logical* image;
+    /// only affine codecs store it physically.
     pub expected_size: u64,
+    /// Storage codec of the producing binding.
+    pub codec: CodecKind,
     /// Span of the DATA file binding that produced this file.
     pub binding_span: Span,
 }
@@ -112,6 +116,17 @@ fn expand_binding(
     sizes: &BTreeMap<String, u64>,
     out: &mut Elaboration,
 ) {
+    if !binding.codec.is_affine() {
+        // Byte-level bounds exist only in the decoded image; record
+        // counts still verify, but the physical file cannot be checked
+        // against the layout, so `Safe` is off the table.
+        out.unproven.push(format!(
+            "dataset \"{}\": CODEC {} stores records in a non-affine encoding; physical \
+             sizes are data-dependent and decode is checked at query time",
+            leaf.name,
+            binding.codec.descriptor_name()
+        ));
+    }
     let empty = Env::new();
     let mut ranges: Vec<(String, i64, i64, i64)> = Vec::new();
     for (var, lo, hi, step) in &binding.ranges {
@@ -197,6 +212,7 @@ fn expand_binding(
                 regions,
                 dead,
                 expected_size: total,
+                codec: binding.codec,
                 binding_span: binding.span,
             }),
             Err(reason) => {
@@ -346,6 +362,11 @@ pub fn check_bounds(
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     for f in files {
+        if !f.codec.is_affine() {
+            // Physical size is compressed/textual, not the layout's
+            // byte image; expand_binding already reported it unproven.
+            continue;
+        }
         let key = (f.node.clone(), f.rel_path.clone());
         let Some(&observed) = sizes.get(&key) else {
             unproven.push(format!("no observed size for `{}` on node {}", f.rel_path, f.node));

@@ -131,6 +131,28 @@ fn dv104_tiny_afc_runs() {
 }
 
 #[test]
+fn dv107_nonaffine_codec_on_safe_layout() {
+    let (diags, rendered) = run_descriptor("dv107");
+    assert_eq!(codes(&diags), [Code::Dv107], "{rendered}");
+    assert_eq!(diags.len(), 1, "one note per non-affine binding:\n{rendered}");
+    assert_eq!(diags[0].severity, Severity::Note, "{rendered}");
+    check_golden(&rendered, "dv107.expected");
+}
+
+#[test]
+fn dv107_quiet_when_layout_is_unverifiable_anyway() {
+    // dv104's layout verifies, but a CHUNKED one does not — gate the
+    // check on clean.desc with an unevaluable binding range instead.
+    let text = fs::read_to_string(fixture("dv107.desc")).unwrap();
+    let broken = text.replace("LOOP TIME 1:500:1", "LOOP TIME 1:$UNBOUND:1");
+    let diags = lint_descriptor(&broken).unwrap();
+    assert!(
+        !diags.iter().any(|d| d.code == Code::Dv107),
+        "DV107 must stay quiet when Safe was out of reach regardless of codec"
+    );
+}
+
+#[test]
 fn dv101_unsatisfiable_predicate() {
     let (diags, rendered) = run_query("SELECT X FROM D WHERE T > 10 AND T < 5");
     assert_eq!(codes(&diags), [Code::Dv101], "{rendered}");
@@ -412,6 +434,8 @@ fn shipped_examples_cost_clean_except_dense() {
         ("ipars_l4.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
         ("ipars_l5.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
         ("ipars_l6.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_csv.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_zstd.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
         ("titan.desc", "SELECT S1 FROM TitanData WHERE X > 100"),
         ("ipars_pinned.desc", "SELECT SOIL FROM SnapData WHERE TIME = 5"),
         ("ipars_dense.desc", "SELECT BUCKET, AVG(SOIL) FROM DenseData GROUP BY BUCKET"),
@@ -459,6 +483,8 @@ fn shipped_examples_prune_clean_except_pinned() {
         ("ipars_l4.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
         ("ipars_l5.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
         ("ipars_l6.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_csv.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
+        ("ipars_zstd.desc", "SELECT SOIL FROM IparsData WHERE TIME >= 10 AND TIME <= 20"),
         ("titan.desc", "SELECT S1 FROM TitanData WHERE X > 100"),
         ("ipars_pinned.desc", "SELECT SOIL FROM SnapData WHERE TIME > 5"),
         ("ipars_dense.desc", "SELECT SOIL FROM DenseData WHERE TIME >= 10 AND TIME <= 20"),

@@ -96,6 +96,28 @@ fn dv202_exact_sizes_verify_safe() {
 }
 
 #[test]
+fn nonaffine_codec_demotes_certificate_to_unverified() {
+    // Same layout and exact sizes that earn `Safe` above, but stored
+    // as CSV: physical size is data-dependent, so byte bounds cannot
+    // be checked and the certificate honestly degrades.
+    let text = fs::read_to_string(fixture("dv202.desc")).unwrap();
+    let csv = text.replace("DATA { DIR[0]/f.dat }", "DATA { DIR[0]/f.dat CODEC csv }");
+    let mut sizes = ObservedSizes::new();
+    // A physical size far from the 20-byte logical image must NOT be
+    // reported: the bounds check is skipped for non-affine codecs.
+    sizes.insert(("node0".to_string(), "d/f.dat".to_string()), 999);
+    let report = verify_descriptor(&csv, Some(&sizes)).unwrap();
+    let rendered = render(&report.findings, &csv, "dv202-csv.desc");
+    assert!(report.findings.is_empty(), "{rendered}");
+    assert_eq!(report.certificate(), Certificate::Unverified);
+    assert!(
+        report.unproven.iter().any(|r| r.contains("CODEC csv")),
+        "unproven must name the codec: {:?}",
+        report.unproven
+    );
+}
+
+#[test]
 fn dv203_misaligned_file_group() {
     let (report, rendered) = run("dv203", None);
     assert_eq!(codes(&report), [Code::Dv203], "{rendered}");
